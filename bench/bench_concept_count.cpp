@@ -1,0 +1,60 @@
+// Experiment E13 (DESIGN.md): Proposition 4.2 — the number of distinct
+// concepts in LminS[K] is polynomial, in selection-free/intersection-free
+// LS[K] single exponential, and in full LS[K] double exponential.
+//
+// The counts themselves are printed as counters (log2 for the huge ones);
+// the timed body is the enumeration of the polynomial fragment, which must
+// stay fast.
+
+#include <benchmark/benchmark.h>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+
+namespace {
+
+void BM_ConceptCount_Proposition42(benchmark::State& state) {
+  auto schema = wn::workload::CitiesDataSchema();
+  if (!schema.ok()) {
+    state.SkipWithError("schema");
+    return;
+  }
+  size_t k = static_cast<size_t>(state.range(0));
+  wn::ls::ConceptCounts counts = wn::ls::CountConcepts(schema.value(), k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wn::ls::CountConcepts(schema.value(), k));
+  }
+  state.counters["K"] = static_cast<double>(k);
+  state.counters["minimal"] = static_cast<double>(counts.minimal.exact);
+  state.counters["selection_free_log2"] = counts.selection_free.log2;
+  state.counters["intersection_free_log2"] = counts.intersection_free.log2;
+  state.counters["full_log2"] = counts.full.log2;
+}
+BENCHMARK(BM_ConceptCount_Proposition42)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_ConceptCount_MinimalEnumeration(benchmark::State& state) {
+  auto schema = wn::workload::CitiesDataSchema();
+  auto instance = wn::workload::CitiesInstance(&schema.value());
+  if (!instance.ok()) {
+    state.SkipWithError("instance");
+    return;
+  }
+  size_t k = static_cast<size_t>(state.range(0));
+  std::vector<wn::Value> constants;
+  for (size_t i = 0; i < k; ++i) {
+    constants.push_back(wn::Value(static_cast<int64_t>(i)));
+  }
+  for (auto _ : state) {
+    auto r = wn::ls::EnumerateConjunctConcepts(
+        instance.value(), constants, wn::ls::Fragment::kMinimal, 1u << 20);
+    if (!r.ok()) state.SkipWithError("enumeration");
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["K"] = static_cast<double>(k);
+}
+BENCHMARK(BM_ConceptCount_MinimalEnumeration)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024);
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Experiment E15 (DESIGN.md): Theorem 5.2 — EXHAUSTIVE SEARCH (Algorithm 1)
+// runs in PTIME for fixed query arity and EXPTIME in general, plus the
+// naive-vs-pruned antichain-maintenance ablation.
+//
+// Expected shape: near-linear growth in the ontology size at arity 2;
+// multiplicative blowup as the arity grows at fixed ontology size; the
+// pruned variant dominates the naive one as the explanation count rises.
+
+#include <benchmark/benchmark.h>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+
+namespace {
+
+struct Fixture {
+  wn::workload::ScaledWorld world;
+  std::unique_ptr<wn::onto::BoundOntology> bound;
+  wn::explain::WhyNotInstance wni;
+};
+
+/// Ontology size is driven by countries-per-continent.
+std::unique_ptr<Fixture> MakeFixture(int countries, size_t arity) {
+  auto world = wn::workload::MakeScaledWorld(3, countries, 4);
+  if (!world.ok()) return nullptr;
+  auto f = std::make_unique<Fixture>();
+  f->world = std::move(world).value();
+  f->bound = std::make_unique<wn::onto::BoundOntology>(
+      f->world.ontology.get(), f->world.instance.get());
+  // Build an arity-m why-not question: alternate the two continents'
+  // cities in the missing tuple; answers are same-city diagonals.
+  wn::Tuple missing;
+  for (size_t i = 0; i < arity; ++i) {
+    missing.push_back(f->world.missing_pair[i % 2]);
+  }
+  std::vector<wn::Tuple> answers;
+  std::vector<wn::Value> adom = f->world.instance->ActiveDomain();
+  for (size_t i = 0; i < adom.size(); i += 3) {
+    answers.push_back(wn::Tuple(arity, adom[i]));
+  }
+  auto wni = wn::explain::MakeWhyNotInstanceFromAnswers(
+      f->world.instance.get(), answers, missing);
+  if (!wni.ok()) return nullptr;
+  f->wni = std::move(wni).value();
+  return f;
+}
+
+void BM_Exhaustive_OntologySizeFixedArity(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 2);
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = wn::explain::ExhaustiveSearchAllMge(f->bound.get(), f->wni);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["concepts"] = f->bound->NumConcepts();
+}
+BENCHMARK(BM_Exhaustive_OntologySizeFixedArity)
+    ->RangeMultiplier(2)
+    ->Range(2, 32);
+
+void BM_Exhaustive_AritySweep(benchmark::State& state) {
+  auto f = MakeFixture(3, static_cast<size_t>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  wn::explain::ExhaustiveOptions options;
+  options.max_candidates = 200000000;
+  for (auto _ : state) {
+    auto r =
+        wn::explain::ExhaustiveSearchAllMge(f->bound.get(), f->wni, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["arity"] = static_cast<double>(state.range(0));
+  state.counters["concepts"] = f->bound->NumConcepts();
+}
+BENCHMARK(BM_Exhaustive_AritySweep)->DenseRange(1, 4);
+
+void BM_Exhaustive_PrunedAblation(benchmark::State& state) {
+  auto f = MakeFixture(8, 2);
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  bool pruned = state.range(0) == 1;
+  for (auto _ : state) {
+    auto r = pruned
+                 ? wn::explain::PrunedSearchAllMge(f->bound.get(), f->wni)
+                 : wn::explain::ExhaustiveSearchAllMge(f->bound.get(), f->wni);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(pruned ? "pruned" : "naive");
+}
+BENCHMARK(BM_Exhaustive_PrunedAblation)->Arg(0)->Arg(1);
+
+}  // namespace

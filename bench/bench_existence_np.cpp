@@ -1,0 +1,68 @@
+// Experiment E14 (DESIGN.md): Theorem 5.1.2 — EXISTENCE-OF-EXPLANATION is
+// NP-complete, via the SET COVER reduction (bounded schema arity, query
+// arity = cover bound).
+//
+// Expected shape: the backtracking decision procedure scales super-
+// polynomially in the cover bound on tight instances, while shallow
+// instances (easily coverable) stay fast.
+
+#include <benchmark/benchmark.h>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+
+namespace {
+
+void BM_Existence_CoverBoundSweep(benchmark::State& state) {
+  size_t bound_k = static_cast<size_t>(state.range(0));
+  // Tight family: universe scales with the bound, sets are small, so the
+  // search must consider many combinations.
+  wn::explain::SetCoverInstance sc = wn::explain::RandomSetCover(
+      /*universe=*/3 * bound_k, /*num_sets=*/2 * bound_k + 4,
+      /*set_size=*/4, bound_k, /*seed=*/42);
+  auto reduction = wn::explain::ReduceSetCoverToWhyNot(sc);
+  if (!reduction.ok()) {
+    state.SkipWithError("reduction");
+    return;
+  }
+  wn::onto::BoundOntology bound((*reduction)->ontology.get(),
+                                (*reduction)->instance.get());
+  wn::explain::ExistenceOptions options;
+  options.max_nodes = 500000000;
+  bool exists = false;
+  for (auto _ : state) {
+    auto r = wn::explain::ExistsExplanation(&bound, (*reduction)->wni,
+                                            nullptr, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    if (r.ok()) exists = r.value();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["cover_bound"] = static_cast<double>(bound_k);
+  state.counters["universe"] = static_cast<double>(sc.universe);
+  state.SetLabel(exists ? "cover exists" : "no cover");
+}
+BENCHMARK(BM_Existence_CoverBoundSweep)->DenseRange(2, 7);
+
+void BM_Existence_UniverseSweep(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  wn::explain::SetCoverInstance sc = wn::explain::RandomSetCover(
+      universe, /*num_sets=*/10, /*set_size=*/universe / 3 + 1,
+      /*bound=*/4, /*seed=*/7);
+  auto reduction = wn::explain::ReduceSetCoverToWhyNot(sc);
+  if (!reduction.ok()) {
+    state.SkipWithError("reduction");
+    return;
+  }
+  wn::onto::BoundOntology bound((*reduction)->ontology.get(),
+                                (*reduction)->instance.get());
+  for (auto _ : state) {
+    auto r = wn::explain::ExistsExplanation(&bound, (*reduction)->wni);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["universe"] = static_cast<double>(universe);
+}
+BENCHMARK(BM_Existence_UniverseSweep)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace

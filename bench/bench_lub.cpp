@@ -1,0 +1,96 @@
+// Experiment E17 (DESIGN.md): Lemmas 5.1 and 5.2 — lub is PTIME in
+// selection-free LS; lubσ is exponential in the schema arity (canonical
+// boxes) and polynomial for bounded arity.
+//
+// Expected shape: selection-free lub stays linear-ish in rows; the box
+// construction grows polynomially in rows at fixed arity and
+// multiplicatively per added attribute.
+
+#include <benchmark/benchmark.h>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+namespace rel = whynot::rel;
+
+namespace {
+
+std::unique_ptr<rel::Instance> MakeInstance(rel::Schema* schema, int arity,
+                                            int rows, int domain) {
+  std::vector<std::string> attrs;
+  for (int a = 0; a < arity; ++a) attrs.push_back("a" + std::to_string(a));
+  if (!schema->AddRelation("R", attrs).ok()) return nullptr;
+  auto instance = wn::workload::RandomInstance(schema, rows, domain, 3);
+  if (!instance.ok()) return nullptr;
+  return std::make_unique<rel::Instance>(std::move(instance).value());
+}
+
+void BM_Lub_SelectionFreeRowSweep(benchmark::State& state) {
+  rel::Schema schema;
+  auto instance =
+      MakeInstance(&schema, 3, static_cast<int>(state.range(0)), 20);
+  if (instance == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  wn::ls::LubContext ctx(instance.get());
+  std::vector<wn::Value> adom = instance->ActiveDomain();
+  std::vector<wn::Value> x = {adom[0], adom[adom.size() / 2], adom.back()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.LubSelectionFree(x));
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Lub_SelectionFreeRowSweep)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_Lub_WithSelectionsRowSweepArity2(benchmark::State& state) {
+  rel::Schema schema;
+  auto instance =
+      MakeInstance(&schema, 2, static_cast<int>(state.range(0)), 12);
+  if (instance == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  std::vector<wn::Value> adom = instance->ActiveDomain();
+  std::vector<wn::Value> x = {adom[0], adom.back()};
+  size_t boxes = 0;
+  for (auto _ : state) {
+    wn::ls::LubContext ctx(instance.get());  // rebuild boxes each time
+    auto r = ctx.LubWithSelections(x);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    boxes = ctx.NumBoxes("R");
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  state.counters["boxes"] = static_cast<double>(boxes);
+}
+BENCHMARK(BM_Lub_WithSelectionsRowSweepArity2)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+
+void BM_Lub_WithSelectionsAritySweep(benchmark::State& state) {
+  rel::Schema schema;
+  auto instance =
+      MakeInstance(&schema, static_cast<int>(state.range(0)), 10, 6);
+  if (instance == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  std::vector<wn::Value> adom = instance->ActiveDomain();
+  std::vector<wn::Value> x = {adom[0], adom.back()};
+  wn::ls::LubOptions options;
+  options.max_boxes_per_relation = 100000000;
+  size_t boxes = 0;
+  for (auto _ : state) {
+    wn::ls::LubContext ctx(instance.get(), options);
+    auto r = ctx.LubWithSelections(x);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    boxes = ctx.NumBoxes("R");
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["arity"] = static_cast<double>(state.range(0));
+  state.counters["boxes"] = static_cast<double>(boxes);
+}
+BENCHMARK(BM_Lub_WithSelectionsAritySweep)->DenseRange(1, 4);
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Experiment E18 (DESIGN.md): Proposition 5.3 — COMPUTE-ONE-MGE w.r.t. OS
+// via materializing OS[K]: PTIME for LminS with fixed query arity over a
+// PTIME-subsumption schema class, exponential for richer fragments.
+//
+// Expected shape: the LminS route grows polynomially with the instance;
+// the selection-free fragment grows much faster (syntactic closure).
+
+#include <benchmark/benchmark.h>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+namespace rel = whynot::rel;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<rel::Schema> schema;
+  std::unique_ptr<rel::Instance> instance;
+  wn::explain::WhyNotInstance wni;
+};
+
+/// A views-only schema (a decidable Table 1 class) with a scaled instance.
+std::unique_ptr<Fixture> MakeFixture(int rows) {
+  auto f = std::make_unique<Fixture>();
+  f->schema = std::make_unique<rel::Schema>();
+  if (!f->schema->AddRelation("Cities", {"name", "population"}).ok()) {
+    return nullptr;
+  }
+  rel::ConjunctiveQuery big;
+  big.head = {"x"};
+  rel::Atom atom;
+  atom.relation = "Cities";
+  atom.args = {rel::Term::Var("x"), rel::Term::Var("y")};
+  big.atoms = {atom};
+  big.comparisons = {{"y", rel::CmpOp::kGe, wn::Value(100)}};
+  rel::UnionQuery def;
+  def.disjuncts.push_back(std::move(big));
+  if (!f->schema->AddView("Big", {"name"}, std::move(def)).ok()) {
+    return nullptr;
+  }
+  f->instance = std::make_unique<rel::Instance>(f->schema.get());
+  for (int i = 0; i < rows; ++i) {
+    (void)f->instance->AddFact(
+        "Cities", {"city" + std::to_string(i), 10 * i});
+  }
+  if (!rel::MaterializeViews(f->instance.get()).ok()) return nullptr;
+
+  rel::ConjunctiveQuery q;
+  q.head = {"x"};
+  rel::Atom big_atom;
+  big_atom.relation = "Big";
+  big_atom.args = {rel::Term::Var("x")};
+  q.atoms = {big_atom};
+  rel::UnionQuery query;
+  query.disjuncts.push_back(std::move(q));
+  auto wni = wn::explain::MakeWhyNotInstance(f->instance.get(), query,
+                                             {wn::Value("city0")});
+  if (!wni.ok()) return nullptr;
+  f->wni = std::move(wni).value();
+  return f;
+}
+
+void BM_SchemaMge_MinimalFragment(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  wn::explain::DerivedMgeOptions options;
+  options.fragment = wn::ls::Fragment::kMinimal;
+  options.mode = wn::ls::SubsumptionMode::kSchema;
+  options.max_concepts = 100000;
+  for (auto _ : state) {
+    auto r = wn::explain::ComputeAllMgeDerived(f->wni, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SchemaMge_MinimalFragment)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_SchemaMge_InstanceModeBaseline(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  wn::explain::DerivedMgeOptions options;
+  options.fragment = wn::ls::Fragment::kMinimal;
+  options.mode = wn::ls::SubsumptionMode::kInstance;
+  for (auto _ : state) {
+    auto r = wn::explain::ComputeAllMgeDerived(f->wni, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SchemaMge_InstanceModeBaseline)
+    ->RangeMultiplier(2)
+    ->Range(4, 32);
+
+}  // namespace

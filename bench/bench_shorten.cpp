@@ -1,0 +1,80 @@
+// Experiment E19 (DESIGN.md): Proposition 6.2 — irredundant shortening runs
+// in polynomial time — versus the NP-hard exact minimization of
+// Propositions 6.1/6.3 (exponential subset search).
+//
+// Expected shape: MakeIrredundant grows polynomially in the conjunct count;
+// MinimizeEquivalent blows up (or hits its node cap) much earlier.
+
+#include <benchmark/benchmark.h>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+namespace ls = whynot::ls;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<wn::rel::Schema> schema;
+  std::unique_ptr<wn::rel::Instance> instance;
+  ls::LsConcept bloated;
+};
+
+/// A concept with `k` conjuncts, most of them redundant on the instance.
+std::unique_ptr<Fixture> MakeFixture(int k) {
+  auto f = std::make_unique<Fixture>();
+  f->schema = std::make_unique<wn::rel::Schema>();
+  if (!f->schema->AddRelation("R", {"a", "b"}).ok()) return nullptr;
+  auto instance = wn::workload::RandomInstance(f->schema.get(), 20, 12, 17);
+  if (!instance.ok()) return nullptr;
+  f->instance =
+      std::make_unique<wn::rel::Instance>(std::move(instance).value());
+  std::vector<ls::Conjunct> conjuncts;
+  conjuncts.push_back(ls::Conjunct::Projection("R", 0));
+  for (int i = 0; i < k; ++i) {
+    // Increasingly weak selections: all but the tightest are redundant.
+    conjuncts.push_back(ls::Conjunct::Projection(
+        "R", 0, {{1, wn::rel::CmpOp::kGe,
+                  wn::Value(static_cast<int64_t>(i % 4))}}));
+  }
+  f->bloated = ls::LsConcept(std::move(conjuncts));
+  return f;
+}
+
+void BM_Shorten_IrredundantConjunctSweep(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wn::explain::MakeIrredundant(f->bloated, *f->instance));
+  }
+  state.counters["conjuncts"] =
+      static_cast<double>(f->bloated.conjuncts().size());
+}
+BENCHMARK(BM_Shorten_IrredundantConjunctSweep)
+    ->RangeMultiplier(2)
+    ->Range(2, 64);
+
+void BM_Shorten_ExactMinimization(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  wn::explain::MinimizeOptions options;
+  options.with_selections = false;
+  for (auto _ : state) {
+    auto r = wn::explain::MinimizeEquivalent(f->bloated, *f->instance,
+                                             options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["conjuncts"] =
+      static_cast<double>(f->bloated.conjuncts().size());
+}
+BENCHMARK(BM_Shorten_ExactMinimization)->RangeMultiplier(2)->Range(2, 16);
+
+}  // namespace

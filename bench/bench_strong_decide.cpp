@@ -1,0 +1,148 @@
+// Experiment E24 (DESIGN.md): Section 6 introduces *strong explanations*
+// (instance-independent: the concept product avoids q on every instance of
+// the schema) and leaves their theory to future work. This benchmark
+// measures the canonical-pattern decision procedure:
+//
+//   * branch growth: the procedure branches over query disjuncts × view
+//     expansion options per concept conjunct — exponential in the number
+//     of view conjuncts (the counterpart of Table 1's view rows);
+//   * FD chase cost: polynomial in the pattern size for a fixed schema;
+//   * the no-constraint case is flat and fast.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+
+namespace {
+
+// Schema with one wide data relation and `num_views` single-disjunct views
+// over it.
+wn::Result<wn::rel::Schema> ViewSchema(int num_views, int disjuncts_per_view) {
+  wn::rel::Schema schema;
+  WHYNOT_RETURN_IF_ERROR(schema.AddRelation("R", {"a", "b", "c"}));
+  for (int v = 0; v < num_views; ++v) {
+    wn::rel::UnionQuery def;
+    for (int d = 0; d < disjuncts_per_view; ++d) {
+      wn::rel::ConjunctiveQuery cq;
+      cq.head = {"x"};
+      wn::rel::Atom atom;
+      atom.relation = "R";
+      atom.args = {wn::rel::Term::Var("x"), wn::rel::Term::Var("y"),
+                   wn::rel::Term::Var("z")};
+      cq.atoms = {atom};
+      cq.comparisons = {{"y", wn::rel::CmpOp::kGe,
+                         wn::Value(static_cast<int64_t>(10 * d))}};
+      def.disjuncts.push_back(std::move(cq));
+    }
+    WHYNOT_RETURN_IF_ERROR(
+        schema.AddView("V" + std::to_string(v), {"x"}, std::move(def)));
+  }
+  return schema;
+}
+
+wn::rel::UnionQuery UnaryQuery() {
+  wn::rel::ConjunctiveQuery cq;
+  cq.head = {"x"};
+  wn::rel::Atom atom;
+  atom.relation = "R";
+  atom.args = {wn::rel::Term::Var("x"), wn::rel::Term::Var("y"),
+               wn::rel::Term::Var("z")};
+  cq.atoms = {atom};
+  wn::rel::UnionQuery q;
+  q.disjuncts.push_back(std::move(cq));
+  return q;
+}
+
+// Branch growth: the candidate intersects `conjuncts` view concepts, each
+// with `range(1)` expansion disjuncts. Branches = disjuncts^conjuncts.
+void BM_StrongDecide_ViewConjunctSweep(benchmark::State& state) {
+  int conjuncts = static_cast<int>(state.range(0));
+  int per_view = static_cast<int>(state.range(1));
+  auto schema = ViewSchema(conjuncts, per_view);
+  if (!schema.ok()) {
+    state.SkipWithError("schema");
+    return;
+  }
+  std::vector<wn::ls::Conjunct> cs;
+  for (int v = 0; v < conjuncts; ++v) {
+    cs.push_back(wn::ls::Conjunct::Projection("V" + std::to_string(v), 0));
+  }
+  wn::explain::LsExplanation candidate = {wn::ls::LsConcept(cs)};
+  for (auto _ : state) {
+    auto d = wn::explain::DecideStrongExplanation(schema.value(), UnaryQuery(),
+                                                  candidate);
+    if (!d.ok()) {
+      state.SkipWithError(d.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["branches"] = std::pow(static_cast<double>(per_view),
+                                        static_cast<double>(conjuncts));
+}
+BENCHMARK(BM_StrongDecide_ViewConjunctSweep)
+    ->ArgsProduct({{1, 2, 3, 4}, {2, 3}});
+
+// FD chase cost: candidate with `range(0)` data-relation conjuncts over a
+// schema with FDs — the pattern has that many R-atoms to chase.
+void BM_StrongDecide_FdChaseSweep(benchmark::State& state) {
+  int conjuncts = static_cast<int>(state.range(0));
+  wn::rel::Schema schema;
+  if (!schema.AddRelation("R", {"a", "b", "c"}).ok() ||
+      !schema.AddFd({"R", {0}, {1}}).ok() ||
+      !schema.AddFd({"R", {1}, {2}}).ok()) {
+    state.SkipWithError("schema");
+    return;
+  }
+  std::vector<wn::ls::Conjunct> cs;
+  for (int k = 0; k < conjuncts; ++k) {
+    cs.push_back(wn::ls::Conjunct::Projection(
+        "R", 0,
+        {{2, wn::rel::CmpOp::kGe, wn::Value(static_cast<int64_t>(k))}}));
+  }
+  wn::explain::LsExplanation candidate = {wn::ls::LsConcept(cs)};
+  for (auto _ : state) {
+    auto d = wn::explain::DecideStrongExplanation(schema, UnaryQuery(),
+                                                  candidate);
+    if (!d.ok()) {
+      state.SkipWithError(d.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["pattern_atoms"] = static_cast<double>(conjuncts + 1);
+}
+BENCHMARK(BM_StrongDecide_FdChaseSweep)->DenseRange(1, 9, 2);
+
+// Baseline: no constraints, plain conjunct sweep — flat and fast.
+void BM_StrongDecide_NoConstraints(benchmark::State& state) {
+  int conjuncts = static_cast<int>(state.range(0));
+  wn::rel::Schema schema;
+  if (!schema.AddRelation("R", {"a", "b", "c"}).ok()) {
+    state.SkipWithError("schema");
+    return;
+  }
+  std::vector<wn::ls::Conjunct> cs;
+  for (int k = 0; k < conjuncts; ++k) {
+    cs.push_back(wn::ls::Conjunct::Projection(
+        "R", 0,
+        {{2, wn::rel::CmpOp::kGe, wn::Value(static_cast<int64_t>(k))}}));
+  }
+  wn::explain::LsExplanation candidate = {wn::ls::LsConcept(cs)};
+  for (auto _ : state) {
+    auto d = wn::explain::DecideStrongExplanation(schema, UnaryQuery(),
+                                                  candidate);
+    if (!d.ok()) {
+      state.SkipWithError(d.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_StrongDecide_NoConstraints)->DenseRange(1, 9, 2);
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Experiment E6-E11 (DESIGN.md): Table 1 — complexity of LS concept
+// subsumption ⊑_S per integrity-constraint class.
+//
+//   UCQ-view def. (no comparisons)   NP-complete      -> exponential sweep
+//   UCQ-view def. (with comparisons) ΠP2-complete     -> steeper exponential
+//   nested UCQ-view def.             CONEXPTIME       -> doubly exponential
+//                                                        expansion blowup
+//   FDs                              PTIME            -> flat polynomial
+//   IDs (selection-free LS)          PTIME            -> flat polynomial
+//
+// Expected shape: the PTIME rows stay near-linear as the sweep parameter
+// grows; the views rows blow up exponentially in the number of view atoms
+// in the concept / nesting depth.
+
+#include <benchmark/benchmark.h>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+namespace ls = whynot::ls;
+namespace rel = whynot::rel;
+
+namespace {
+
+rel::Atom MakeAtom(const std::string& r, const std::vector<rel::Term>& args) {
+  rel::Atom a;
+  a.relation = r;
+  a.args = args;
+  return a;
+}
+
+/// A views-only schema with `num_views` unary views over Cities, each with
+/// `disjuncts` disjuncts, optionally with comparisons in the bodies.
+rel::Schema ViewSchema(int num_views, int disjuncts, bool comparisons) {
+  rel::Schema schema;
+  (void)schema.AddRelation("Cities", {"name", "population", "continent"});
+  for (int v = 0; v < num_views; ++v) {
+    rel::UnionQuery def;
+    for (int d = 0; d < disjuncts; ++d) {
+      rel::ConjunctiveQuery cq;
+      cq.head = {"x"};
+      cq.atoms = {MakeAtom("Cities", {rel::Term::Var("x"), rel::Term::Var("y"),
+                                      rel::Term::Var("w")})};
+      if (comparisons) {
+        cq.comparisons = {{"y", rel::CmpOp::kGe, wn::Value(1000 * (d + 1))},
+                          {"y", rel::CmpOp::kLe, wn::Value(100000 * (d + 2))}};
+      }
+      def.disjuncts.push_back(std::move(cq));
+    }
+    (void)schema.AddView("V" + std::to_string(v), {"name"}, std::move(def));
+  }
+  return schema;
+}
+
+/// C1 = intersection of the first `k` views' projections; C2 = π_name.
+void BM_Table1_ViewsNoComparisons(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  rel::Schema schema = ViewSchema(k, 2, /*comparisons=*/false);
+  std::vector<ls::Conjunct> conjuncts;
+  for (int v = 0; v < k; ++v) {
+    conjuncts.push_back(ls::Conjunct::Projection("V" + std::to_string(v), 0));
+  }
+  ls::LsConcept c1(std::move(conjuncts));
+  ls::LsConcept c2 = ls::LsConcept::Projection("Cities", 0);
+  for (auto _ : state) {
+    auto r = ls::SubsumedSViews(c1, c2, schema);
+    if (!r.ok() || !r.value()) state.SkipWithError("unexpected verdict");
+  }
+  state.counters["view_atoms"] = k;
+}
+BENCHMARK(BM_Table1_ViewsNoComparisons)->DenseRange(1, 6);
+
+void BM_Table1_ViewsWithComparisons(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  rel::Schema schema = ViewSchema(k, 2, /*comparisons=*/true);
+  std::vector<ls::Conjunct> conjuncts;
+  for (int v = 0; v < k; ++v) {
+    conjuncts.push_back(ls::Conjunct::Projection("V" + std::to_string(v), 0));
+  }
+  ls::LsConcept c1(std::move(conjuncts));
+  ls::LsConcept c2 = ls::LsConcept::Projection("Cities", 0);
+  ls::SchemaSubsumptionOptions options;
+  options.max_region_combinations = 50000000;
+  for (auto _ : state) {
+    auto r = ls::SubsumedSViews(c1, c2, schema, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.counters["view_atoms"] = k;
+}
+BENCHMARK(BM_Table1_ViewsWithComparisons)->DenseRange(1, 4);
+
+/// Nested views: a chain of depth d where each view has 2 disjuncts, one
+/// of them joining the previous view with a base atom — expansion is 2^d
+/// disjuncts (the CONEXPTIME row's engine). (Nesting the previous view
+/// *twice* in a disjunct would square the count per level — doubly
+/// exponential — and overflow any cap by depth 5.)
+void BM_Table1_NestedViews(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  rel::Schema schema;
+  (void)schema.AddRelation("B", {"x"});
+  std::string prev = "B";
+  for (int i = 0; i < depth; ++i) {
+    rel::UnionQuery def;
+    for (int d = 0; d < 2; ++d) {
+      rel::ConjunctiveQuery cq;
+      cq.head = {"x"};
+      cq.atoms = {MakeAtom(prev, {rel::Term::Var("x")})};
+      if (d == 1) cq.atoms.push_back(MakeAtom("B", {rel::Term::Var("y")}));
+      def.disjuncts.push_back(std::move(cq));
+    }
+    std::string name = "N" + std::to_string(i);
+    (void)schema.AddView(name, {"x"}, std::move(def));
+    prev = name;
+  }
+  ls::LsConcept c1 = ls::LsConcept::Projection(prev, 0);
+  ls::LsConcept c2 = ls::LsConcept::Projection("B", 0);
+  ls::SchemaSubsumptionOptions options;
+  options.max_expansion_disjuncts = 1u << 20;
+  options.max_expansion_atoms = 1u << 20;
+  for (auto _ : state) {
+    auto r = ls::SubsumedSViews(c1, c2, schema, options);
+    if (!r.ok() || !r.value()) state.SkipWithError("unexpected verdict");
+  }
+  state.counters["nesting_depth"] = depth;
+}
+BENCHMARK(BM_Table1_NestedViews)->DenseRange(1, 9);
+
+/// FDs row (PTIME): the concept size grows; the chase stays polynomial.
+void BM_Table1_Fds(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  rel::Schema schema;
+  (void)schema.AddRelation("R", {"key", "a", "b", "c"});
+  (void)schema.AddFd({"R", {0}, {1, 2, 3}});
+  std::vector<ls::Conjunct> conjuncts;
+  for (int i = 0; i < k; ++i) {
+    conjuncts.push_back(ls::Conjunct::Projection(
+        "R", 0, {{1, rel::CmpOp::kGe, wn::Value(i)}}));
+  }
+  ls::LsConcept c1(std::move(conjuncts));
+  ls::LsConcept c2 = ls::LsConcept::Projection(
+      "R", 0, {{1, rel::CmpOp::kGe, wn::Value(0)}});
+  for (auto _ : state) {
+    auto r = ls::SubsumedSFds(c1, c2, schema);
+    if (!r.ok() || !r.value()) state.SkipWithError("unexpected verdict");
+  }
+  state.counters["conjuncts"] = k;
+}
+BENCHMARK(BM_Table1_Fds)->RangeMultiplier(2)->Range(2, 64);
+
+/// IDs row (selection-free, PTIME): reachability over an ID chain.
+void BM_Table1_IdsSelectionFree(benchmark::State& state) {
+  int chain = static_cast<int>(state.range(0));
+  rel::Schema schema;
+  for (int i = 0; i <= chain; ++i) {
+    (void)schema.AddRelation("R" + std::to_string(i), {"a", "b"});
+  }
+  for (int i = 0; i < chain; ++i) {
+    (void)schema.AddId({"R" + std::to_string(i), {0},
+                        "R" + std::to_string(i + 1), {0}});
+  }
+  ls::LsConcept c1 = ls::LsConcept::Projection("R0", 0);
+  ls::LsConcept c2 =
+      ls::LsConcept::Projection("R" + std::to_string(chain), 0);
+  for (auto _ : state) {
+    auto r = ls::SubsumedSIdsSelectionFree(c1, c2, schema);
+    if (!r.ok() || !r.value()) state.SkipWithError("unexpected verdict");
+  }
+  state.counters["chain_length"] = chain;
+}
+BENCHMARK(BM_Table1_IdsSelectionFree)->RangeMultiplier(2)->Range(2, 128);
+
+}  // namespace

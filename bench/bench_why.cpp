@@ -1,0 +1,88 @@
+// Experiment E25 (DESIGN.md): Section 7 suggests studying *why*
+// explanations (the dual question — why IS a tuple among the answers) in
+// the ontology framework. This benchmark measures both implementations:
+//
+//   * the Algorithm-1-style enumeration over an external finite ontology
+//     (AllMostGeneralWhyExplanations) — exponential in arity like
+//     Theorem 5.2;
+//   * the Algorithm-2-style greedy w.r.t. the derived ontology OI
+//     (IncrementalWhySearch) — answer-bounded polynomial for selection-free
+//     LS, mirroring Theorem 5.3 for the dual condition.
+
+#include <benchmark/benchmark.h>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+
+namespace {
+
+struct Fixture {
+  wn::workload::ScaledWorld world;
+  wn::explain::WhyInstance wi;
+};
+
+std::unique_ptr<Fixture> MakeFixture(int cities_per_country) {
+  auto world = wn::workload::MakeScaledWorld(2, 2, cities_per_country);
+  if (!world.ok()) return nullptr;
+  auto f = std::make_unique<Fixture>();
+  f->world = std::move(world).value();
+  // Any two-hop pair is a present answer; find one.
+  auto answers = wn::rel::Evaluate(wn::workload::ConnectedViaQuery(),
+                                   *f->world.instance);
+  if (!answers.ok() || answers.value().empty()) return nullptr;
+  auto wi = wn::explain::MakeWhyInstance(f->world.instance.get(),
+                                         wn::workload::ConnectedViaQuery(),
+                                         answers.value().front());
+  if (!wi.ok()) return nullptr;
+  f->wi = std::move(wi).value();
+  return f;
+}
+
+// Derived-ontology greedy (dual Algorithm 2): instance-size sweep.
+void BM_Why_IncrementalDerived(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  for (auto _ : state) {
+    auto e = wn::explain::IncrementalWhySearch(f->wi);
+    if (!e.ok()) {
+      state.SkipWithError(e.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["facts"] = static_cast<double>(f->world.instance->NumFacts());
+  state.counters["answers"] = static_cast<double>(f->wi.answers.size());
+}
+BENCHMARK(BM_Why_IncrementalDerived)->RangeMultiplier(2)->Range(4, 16);
+
+// External-ontology enumeration (dual Algorithm 1): ontology-size sweep.
+void BM_Why_ExhaustiveExternal(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  wn::onto::BoundOntology bound(f->world.ontology.get(),
+                                f->world.instance.get());
+  size_t num = 0;
+  for (auto _ : state) {
+    auto all =
+        wn::explain::AllMostGeneralWhyExplanations(&bound, f->wi);
+    if (!all.ok()) {
+      state.SkipWithError(all.status().ToString().c_str());
+      return;
+    }
+    num = all.value().size();
+    benchmark::DoNotOptimize(all);
+  }
+  state.counters["concepts"] =
+      static_cast<double>(f->world.ontology->NumConcepts());
+  state.counters["why_mges"] = static_cast<double>(num);
+}
+BENCHMARK(BM_Why_ExhaustiveExternal)->RangeMultiplier(2)->Range(4, 16);
+
+}  // namespace

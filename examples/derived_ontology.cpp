@@ -1,0 +1,175 @@
+// Ontologies derived from a schema or instance (Section 4.2, Figure 5,
+// Example 4.9): when no external ontology is available, concepts are built
+// in the language LS from the schema itself. This example
+//
+//  1. prints the Figure 5 concepts in both algebra and SQL form,
+//  2. verifies the Example 4.9 subsumptions (⊑_S via the best-effort
+//     combined engine, since Figure 1 mixes views, an FD, and IDs; ⊑_I
+//     exactly),
+//  3. runs Algorithm 2 (INCREMENTAL SEARCH, with and without selections)
+//     on why-not (Amsterdam, New York) w.r.t. the derived ontology OI,
+//  4. shortens the result to an irredundant explanation (Proposition 6.2).
+
+#include <cstdio>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+namespace ls = whynot::ls;
+
+int main() {
+  wn::Result<wn::rel::Schema> schema = wn::workload::CitiesSchema();
+  wn::Result<wn::rel::Instance> instance =
+      wn::workload::CitiesInstance(&schema.value());
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Schema (Figure 1):\n%s\n", schema->ToString().c_str());
+
+  // --- Figure 5: concepts of LS, algebra + SQL renderings. ---------------
+  const char* figure5[] = {
+      "pi[name](Cities)",
+      "pi[name](sigma[continent = Europe](Cities))",
+      "pi[name](sigma[continent = 'N.America'](Cities))",
+      "pi[name](sigma[population > 1000000](Cities))",
+      "pi[name](BigCity)",
+      "{'Santa Cruz'}",
+      "pi[name](sigma[population < 1000000](Cities)) & "
+      "pi[city_to](sigma[city_from = Amsterdam](Reachable))",
+  };
+  std::printf("Figure 5 concepts:\n");
+  for (const char* text : figure5) {
+    wn::Result<ls::LsConcept> c = ls::ParseConcept(text, schema.value());
+    if (!c.ok()) {
+      std::fprintf(stderr, "parse '%s': %s\n", text,
+                   c.status().ToString().c_str());
+      return 1;
+    }
+    ls::Extension ext = ls::Eval(c.value(), instance.value());
+    std::printf("  %s\n    SQL: %s\n    ext: %s\n",
+                c->ToString(&schema.value()).c_str(),
+                c->ToSql(schema.value()).c_str(), ext.ToString().c_str());
+  }
+
+  // --- Example 4.9 subsumptions. ------------------------------------------
+  struct Pair {
+    const char* sub;
+    const char* super;
+  };
+  const Pair schema_subs[] = {
+      {"pi[name](sigma[continent = Europe](Cities))", "pi[name](Cities)"},
+      {"pi[name](sigma[population > 7000000](Cities))", "pi[name](BigCity)"},
+      {"pi[name](BigCity)", "pi[name](Cities)"},
+      {"pi[name](BigCity)", "pi[city_from](Train-Connections)"},
+  };
+  std::printf("\nSchema-level subsumptions (Example 4.9, best-effort "
+              "combined engine):\n");
+  for (const Pair& p : schema_subs) {
+    wn::Result<ls::LsConcept> c1 = ls::ParseConcept(p.sub, schema.value());
+    wn::Result<ls::LsConcept> c2 = ls::ParseConcept(p.super, schema.value());
+    ls::Verdict v =
+        ls::SubsumedSBestEffort(c1.value(), c2.value(), schema.value());
+    std::printf("  %s  ⊑S  %s : %s\n", p.sub, p.super, ls::VerdictName(v));
+  }
+  {
+    // Holds w.r.t. O_I but not w.r.t. O_S (Example 4.9).
+    wn::Result<ls::LsConcept> c1 = ls::ParseConcept(
+        "pi[city_to](sigma[city_from = Amsterdam](Reachable))",
+        schema.value());
+    wn::Result<ls::LsConcept> c2 = ls::ParseConcept(
+        "pi[city_to](sigma[city_from = Berlin](Reachable))", schema.value());
+    std::printf("  reachable-from-Amsterdam ⊑I reachable-from-Berlin : %s\n",
+                ls::SubsumedI(c1.value(), c2.value(), instance.value())
+                    ? "yes"
+                    : "no");
+    std::printf("  reachable-from-Amsterdam ⊑S reachable-from-Berlin : %s\n",
+                ls::VerdictName(ls::SubsumedSBestEffort(
+                    c1.value(), c2.value(), schema.value())));
+  }
+
+  // --- Algorithm 2 on why-not (Amsterdam, New York) w.r.t. OI. -----------
+  wn::Result<wn::explain::WhyNotInstance> wni =
+      wn::explain::MakeWhyNotInstance(&instance.value(),
+                                      wn::workload::ConnectedViaQuery(),
+                                      {"Amsterdam", "New York"});
+  if (!wni.ok()) {
+    std::fprintf(stderr, "%s\n", wni.status().ToString().c_str());
+    return 1;
+  }
+
+  wn::explain::IncrementalOptions options;
+  options.with_selections = false;
+  wn::Result<wn::explain::LsExplanation> mge =
+      wn::explain::IncrementalSearch(wni.value(), options);
+  if (!mge.ok()) {
+    std::fprintf(stderr, "%s\n", mge.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nIncremental search (selection-free, Theorem 5.3):\n  %s\n",
+              wn::explain::LsExplanationToString(schema.value(), mge.value()).c_str());
+  wn::explain::LsExplanation shortened =
+      wn::explain::MakeIrredundant(mge.value(), instance.value());
+  std::printf("Irredundant form (Proposition 6.2):\n  %s\n",
+              wn::explain::LsExplanationToString(schema.value(), shortened).c_str());
+
+  options.with_selections = true;
+  wn::Result<wn::explain::LsExplanation> mge_sel =
+      wn::explain::IncrementalSearch(wni.value(), options);
+  if (!mge_sel.ok()) {
+    std::fprintf(stderr, "%s\n", mge_sel.status().ToString().c_str());
+    return 1;
+  }
+  shortened = wn::explain::MakeIrredundant(mge_sel.value(), instance.value());
+  std::printf(
+      "\nIncremental search WITH selections (Theorem 5.4), irredundant:\n"
+      "  %s\n",
+      wn::explain::LsExplanationToString(schema.value(), shortened).c_str());
+
+  {
+    ls::LubContext ctx(&instance.value());
+    wn::Result<bool> is_mge = wn::explain::CheckMgeDerived(
+        wni.value(), mge.value(), /*with_selections=*/false, &ctx);
+    std::printf("\nCHECK-MGE w.r.t. OI (selection-free): %s\n",
+                is_mge.ok() ? (is_mge.value() ? "confirmed" : "NOT most "
+                                                              "general")
+                            : is_mge.status().ToString().c_str());
+  }
+
+  // The paper's E2 = (cities-in-Europe, cities-in-N.America). It is an
+  // explanation, and it cannot be generalized to ⊤ on either side. Against
+  // the *full* language LS over OI, however, CHECK-MGE finds a strictly
+  // more general refinement: the canonical box
+  //   pi[name](sigma[name ∈ [Kyoto..Santa Cruz], country ∈ [Japan..USA]])
+  // has extension {Kyoto, New York, San Francisco, Santa Cruz} ⊋
+  // ext(N.America-cities) and the tuple stays an explanation. The paper's
+  // "E2 is most general" claim is relative to its illustrated concept
+  // family (and holds under ⊑_S, where such data-specific boxes are not
+  // comparable); Definition 3.3 over OI is what the checker implements.
+  {
+    wn::Result<ls::LsConcept> e2a = ls::ParseConcept(
+        "pi[name](sigma[continent = Europe](Cities))", schema.value());
+    wn::Result<ls::LsConcept> e2b = ls::ParseConcept(
+        "pi[name](sigma[continent = 'N.America'](Cities))", schema.value());
+    wn::explain::LsExplanation e2 = {e2a.value(), e2b.value()};
+    std::printf("\nPaper's E2 = %s\n",
+                wn::explain::LsExplanationToString(schema.value(), e2).c_str());
+    std::printf("  is an explanation: %s\n",
+                wn::explain::IsLsExplanation(wni.value(), e2) ? "yes" : "no");
+    ls::LubContext ctx(&instance.value());
+    wn::Result<bool> is_mge = wn::explain::CheckMgeDerived(
+        wni.value(), e2, /*with_selections=*/true, &ctx);
+    std::printf("  CHECK-MGE w.r.t. OI over full LS: %s\n",
+                is_mge.ok() ? (is_mge.value() ? "confirmed most general"
+                                              : "not most general (a "
+                                                "data-specific canonical box "
+                                                "strictly generalizes it)")
+                            : is_mge.status().ToString().c_str());
+  }
+  std::printf(
+      "\nNote: Algorithm 2's own run reaches (⊤, ...) because adom(I) mixes\n"
+      "strings and numbers — once a position's support set spans both, only\n"
+      "⊤ covers it, and the tuple happens to stay an explanation. There may\n"
+      "be several incomparable most-general explanations (Example 4.9).\n");
+  return 0;
+}

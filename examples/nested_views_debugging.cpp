@@ -1,0 +1,128 @@
+// Debugging nested view pipelines (the paper's motivation, Section 1, and
+// its concluding example): complex analytics are specified as collections
+// of nested views (LogiQL / non-recursive Datalog style). A curation bug
+// silently drops every Springer publication; the user only sees that one
+// particular publication X is missing from the final view. The derived
+// ontology OI turns the tuple-level question "why is X missing?" into the
+// high-level answer "every publication with publisher = Springer is
+// missing" — pointing at the pipeline stage to inspect.
+
+#include <cstdio>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+namespace rel = whynot::rel;
+
+int main() {
+  // Schema: RawPubs(id, publisher, year), Curated(id);
+  // nested views: Recent(id)  <-> RawPubs(id, p, y) ∧ y >= 2000
+  //               Indexed(id) <-> Recent(id) ∧ Curated(id).
+  rel::Schema schema;
+  wn::Status st = schema.AddRelation("RawPubs", {"id", "publisher", "year"});
+  if (st.ok()) st = schema.AddRelation("Curated", {"id"});
+  if (st.ok()) {
+    rel::ConjunctiveQuery recent;
+    recent.head = {"x"};
+    rel::Atom raw;
+    raw.relation = "RawPubs";
+    raw.args = {rel::Term::Var("x"), rel::Term::Var("p"), rel::Term::Var("y")};
+    recent.atoms = {raw};
+    recent.comparisons = {{"y", rel::CmpOp::kGe, wn::Value(2000)}};
+    rel::UnionQuery def;
+    def.disjuncts.push_back(std::move(recent));
+    st = schema.AddView("Recent", {"id"}, std::move(def));
+  }
+  if (st.ok()) {
+    rel::ConjunctiveQuery indexed;
+    indexed.head = {"x"};
+    rel::Atom recent_atom;
+    recent_atom.relation = "Recent";
+    recent_atom.args = {rel::Term::Var("x")};
+    rel::Atom curated;
+    curated.relation = "Curated";
+    curated.args = {rel::Term::Var("x")};
+    indexed.atoms = {recent_atom, curated};
+    rel::UnionQuery def;
+    def.disjuncts.push_back(std::move(indexed));
+    st = schema.AddView("Indexed", {"id"}, std::move(def));
+  }
+  if (st.ok()) st = schema.Validate();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Nested view pipeline (linearly nested UCQ views):\n%s\n",
+              schema.ToString().c_str());
+
+  // Data: 4 publications per publisher; the curation step (erroneously)
+  // dropped every Springer id.
+  rel::Instance instance(&schema);
+  const char* publishers[] = {"ACM", "IEEE", "Springer"};
+  for (const char* pub : publishers) {
+    for (int i = 0; i < 4; ++i) {
+      std::string id = std::string("pub-") + pub + "-" + std::to_string(i);
+      int64_t year = 1995 + 7 * i;  // 1995, 2002, 2009, 2016
+      st = instance.AddFact("RawPubs", {id, pub, year});
+      if (!st.ok()) break;
+      bool recent = year >= 2000;
+      bool curation_bug = std::string(pub) == "Springer";
+      if (recent && !curation_bug) {
+        st = instance.AddFact("Curated", {id});
+        if (!st.ok()) break;
+      }
+    }
+  }
+  st = rel::MaterializeViews(&instance);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // The final query: everything the index serves.
+  rel::ConjunctiveQuery q;
+  q.head = {"x"};
+  rel::Atom indexed_atom;
+  indexed_atom.relation = "Indexed";
+  indexed_atom.args = {rel::Term::Var("x")};
+  q.atoms = {indexed_atom};
+  rel::UnionQuery query;
+  query.disjuncts.push_back(std::move(q));
+
+  wn::Result<wn::explain::WhyNotInstance> wni = wn::explain::MakeWhyNotInstance(
+      &instance, query, {wn::Value("pub-Springer-2")});
+  if (!wni.ok()) {
+    std::fprintf(stderr, "%s\n", wni.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Indexed publications (q(I)):\n");
+  for (const wn::Tuple& t : wni->answers) {
+    std::printf("  %s\n", wn::TupleToString(t).c_str());
+  }
+  std::printf("\n%s   (pub-Springer-2 appeared in 2009 — it should be "
+              "indexed)\n\n",
+              wni->ToString().c_str());
+
+  // Most-general explanation w.r.t. the derived ontology OI, with
+  // selections so publisher-level concepts are expressible.
+  wn::explain::IncrementalOptions options;
+  options.with_selections = true;
+  wn::Result<wn::explain::LsExplanation> mge =
+      wn::explain::IncrementalSearch(wni.value(), options);
+  if (!mge.ok()) {
+    std::fprintf(stderr, "%s\n", mge.status().ToString().c_str());
+    return 1;
+  }
+  wn::explain::LsExplanation shortened =
+      wn::explain::MakeIrredundant(mge.value(), instance);
+  std::printf("Most-general explanation (Algorithm 2 + Proposition 6.2):\n"
+              "  %s\n",
+              wn::explain::LsExplanationToString(schema, shortened).c_str());
+  std::printf(
+      "\nReading: the missing publication is explained at the level of a\n"
+      "whole concept — every Springer publication (equivalently: every\n"
+      "uncurated recent publication) is absent from the index, which is\n"
+      "precisely the curation bug. A tuple-level (data- or query-centric)\n"
+      "explanation would only suggest inserting pub-Springer-2 itself.\n");
+  return 0;
+}

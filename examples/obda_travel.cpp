@@ -1,0 +1,82 @@
+// OBDA-induced ontology (Section 4.1, Figure 4, Example 4.5): a DL-LiteR
+// TBox plus GAV mapping assertions induce an S-ontology O_B; the why-not
+// question of Example 3.4 is answered against it, yielding the paper's
+// most-general explanation E1 = (EU-City, N.A.-City).
+
+#include <cstdio>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+
+int main() {
+  wn::Result<wn::rel::Schema> schema = wn::workload::CitiesDataSchema();
+  wn::Result<wn::rel::Instance> instance =
+      wn::workload::CitiesInstance(&schema.value());
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+
+  // The OBDA specification B = (T, S, M) of Figure 4.
+  wn::dl::TBox tbox = wn::workload::CitiesTBox();
+  std::printf("TBox:\n%s\n", tbox.ToString().c_str());
+  std::vector<wn::obda::GavMapping> mappings = wn::workload::CitiesMappings();
+  std::printf("Mappings:\n");
+  for (const wn::obda::GavMapping& m : mappings) {
+    std::printf("  %s\n", m.ToString().c_str());
+  }
+  wn::obda::ObdaSpec spec(std::move(tbox), &schema.value(),
+                          std::move(mappings));
+  wn::Status valid = spec.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 1;
+  }
+  wn::Status consistent = spec.CheckConsistent(instance.value());
+  std::printf("\nInstance consistent with the OBDA specification: %s\n",
+              consistent.ToString().c_str());
+
+  // The induced S-ontology O_B (Definition 4.4, computed in PTIME by
+  // Theorem 4.2). Show a few certain extensions, as in Example 4.5.
+  wn::obda::ObdaInducedOntology ontology(&spec);
+  wn::onto::BoundOntology bound(&ontology, &instance.value());
+  std::printf("\nInduced concepts and certain extensions ext_OB(C, I):\n");
+  for (wn::onto::ConceptId c = 0; c < ontology.NumConcepts(); ++c) {
+    std::printf("  %-22s %s\n", ontology.ConceptName(c).c_str(),
+                bound.Ext(c).ToString(bound.pool()).c_str());
+  }
+
+  // The why-not question of Example 3.4 against O_B.
+  wn::Result<wn::explain::WhyNotInstance> wni =
+      wn::explain::MakeWhyNotInstance(&instance.value(),
+                                      wn::workload::ConnectedViaQuery(),
+                                      {"Amsterdam", "New York"});
+  if (!wni.ok()) {
+    std::fprintf(stderr, "%s\n", wni.status().ToString().c_str());
+    return 1;
+  }
+
+  wn::Result<std::vector<wn::explain::Explanation>> mges =
+      wn::explain::ExhaustiveSearchAllMge(&bound, wni.value());
+  if (!mges.ok()) {
+    std::fprintf(stderr, "%s\n", mges.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nMost-general explanations for why-not (Amsterdam, New York):\n");
+  for (const wn::explain::Explanation& e : mges.value()) {
+    std::printf("  %s\n",
+                wn::explain::ExplanationToString(bound, e).c_str());
+    wn::Result<bool> check =
+        wn::explain::CheckMgeExternal(&bound, wni.value(), e);
+    std::printf("    CHECK-MGE: %s\n",
+                check.ok() ? (check.value() ? "confirmed" : "NOT an MGE!?")
+                           : check.status().ToString().c_str());
+  }
+  std::printf(
+      "\nThe paper's Example 4.5 explanation E1 = (EU-City, N.A.-City) is\n"
+      "the most general of its E1-E4 family; the mappings ground both\n"
+      "concepts in the Cities table, and the TBox supplies EU-City ⊑ City,\n"
+      "US-City ⊑ N.A.-City, and the disjointness EU-City ⊑ ¬N.A.-City.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#ifndef WHYNOT_COMMON_STRINGS_H_
+#define WHYNOT_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace whynot {
+
+/// Joins `parts` with `sep`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace whynot
+
+#endif  // WHYNOT_COMMON_STRINGS_H_

@@ -1,0 +1,101 @@
+#include "whynot/common/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace whynot {
+
+double Value::AsNumber() const {
+  if (kind() == Kind::kInt) return static_cast<double>(AsInt());
+  return AsDoubleRaw();
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return std::to_string(AsInt());
+    case Kind::kDouble: {
+      double d = AsDoubleRaw();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        // Render integral doubles compactly ("5000000" not "5e+06").
+        return std::to_string(static_cast<int64_t>(d));
+      }
+      std::ostringstream os;
+      os << d;
+      return os.str();
+    }
+    case Kind::kString:
+      return AsString();
+  }
+  return "";
+}
+
+std::string Value::ToLiteral() const {
+  if (is_string()) return "\"" + AsString() + "\"";
+  return ToString();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_number() && other.is_number()) {
+    return AsNumber() == other.AsNumber();
+  }
+  if (is_string() != other.is_string()) return false;
+  return AsString() == other.AsString();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_number()) {
+    if (!other.is_number()) return true;  // numbers < strings
+    return AsNumber() < other.AsNumber();
+  }
+  if (other.is_number()) return false;
+  return AsString() < other.AsString();
+}
+
+size_t Value::Hash() const {
+  if (is_number()) {
+    // Ints and doubles with equal numeric value must hash alike.
+    double d = AsNumber();
+    return std::hash<double>()(d);
+  }
+  return std::hash<std::string>()(AsString());
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+ValueId ValuePool::Intern(const Value& v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.push_back(v);
+  index_.emplace(v, id);
+  return id;
+}
+
+ValueId ValuePool::Lookup(const Value& v) const {
+  auto it = index_.find(v);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  size_t h = 1469598103934665603ull;
+  for (const Value& v : t) {
+    h ^= v.Hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace whynot

@@ -1,0 +1,115 @@
+#ifndef WHYNOT_COMMON_VALUE_H_
+#define WHYNOT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace whynot {
+
+/// A constant from the domain `Const` of the paper (Section 2).
+///
+/// The paper assumes a countably infinite set of constants with a dense
+/// linear order `<`. We realize `Const` as the tagged union
+/// {int64, double, string} with the documented total order:
+///
+///   * numbers (int64 and double) compare by numeric value;
+///   * strings compare lexicographically;
+///   * every number is smaller than every string.
+///
+/// Doubles provide density between any two numbers, which is all the
+/// algorithms ever rely on (comparisons in queries and selections are
+/// always against explicit constants; no arithmetic is performed).
+class Value {
+ public:
+  enum class Kind { kInt = 0, kDouble = 1, kString = 2 };
+
+  Value() : rep_(int64_t{0}) {}
+  /// Implicit constructors keep call sites (tuples, test fixtures) terse.
+  Value(int64_t v) : rep_(v) {}              // NOLINT(runtime/explicit)
+  Value(int v) : rep_(int64_t{v}) {}         // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_number() const { return kind() != Kind::kString; }
+  bool is_string() const { return kind() == Kind::kString; }
+
+  /// Requires kind() == kInt.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// Requires kind() == kDouble.
+  double AsDoubleRaw() const { return std::get<double>(rep_); }
+  /// Requires is_number(); widens int64 to double.
+  double AsNumber() const;
+  /// Requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value for display: strings unquoted, numbers via
+  /// std::to_string-like formatting (integral doubles without trailing ".0").
+  std::string ToString() const;
+  /// Renders the value as a literal: strings in double quotes.
+  std::string ToLiteral() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order described in the class comment.
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Dense integer handle for an interned Value. Extensions, query answers
+/// and ontology machinery all operate on ValueIds for speed and determinism.
+using ValueId = int32_t;
+
+/// Interns Values to dense ids. Owned by an Instance; ids are stable for
+/// the lifetime of the pool and assigned in insertion order.
+class ValuePool {
+ public:
+  ValuePool() = default;
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  /// Returns the id for `v`, interning it if new.
+  ValueId Intern(const Value& v);
+  /// Returns the id for `v`, or -1 if it has never been interned.
+  ValueId Lookup(const Value& v) const;
+  /// Requires 0 <= id < size().
+  const Value& Get(ValueId id) const { return values_[static_cast<size_t>(id)]; }
+  int32_t size() const { return static_cast<int32_t>(values_.size()); }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, ValueId, ValueHash> index_;
+};
+
+/// A tuple of constants (a row of a relation, or a why-not tuple).
+using Tuple = std::vector<Value>;
+
+/// Renders "(v1, v2, ...)".
+std::string TupleToString(const Tuple& t);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+}  // namespace whynot
+
+#endif  // WHYNOT_COMMON_VALUE_H_

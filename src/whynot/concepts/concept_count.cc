@@ -1,0 +1,113 @@
+#include "whynot/concepts/concept_count.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace whynot::ls {
+
+namespace {
+
+constexpr double kLog2Max = 63.9;  // stay clear of uint64 overflow
+
+BigCount FromLog2(double lg) {
+  BigCount c;
+  c.log2 = lg;
+  if (lg <= kLog2Max) {
+    c.exact = static_cast<uint64_t>(std::llround(std::exp2(lg)));
+  } else {
+    c.overflow = true;
+  }
+  return c;
+}
+
+BigCount Mul(const BigCount& a, const BigCount& b) {
+  BigCount c;
+  c.log2 = a.log2 + b.log2;
+  if (!a.overflow && !b.overflow && c.log2 <= kLog2Max) {
+    c.exact = a.exact * b.exact;
+  } else {
+    c.overflow = true;
+  }
+  return c;
+}
+
+BigCount Add(const BigCount& a, const BigCount& b) {
+  BigCount c;
+  if (!a.overflow && !b.overflow &&
+      a.exact <= std::numeric_limits<uint64_t>::max() - b.exact) {
+    c.exact = a.exact + b.exact;
+    c.log2 = std::log2(static_cast<double>(c.exact == 0 ? 1 : c.exact));
+  } else {
+    c.overflow = true;
+    c.log2 = std::max(a.log2, b.log2) + 1.0;  // upper bound
+  }
+  return c;
+}
+
+BigCount Exact(uint64_t v) {
+  BigCount c;
+  c.exact = v;
+  c.log2 = std::log2(static_cast<double>(v == 0 ? 1 : v));
+  return c;
+}
+
+/// 2^n as a BigCount, n may be huge.
+BigCount Pow2(double n) { return FromLog2(n); }
+
+}  // namespace
+
+std::string BigCount::ToString() const {
+  if (!overflow) return std::to_string(exact);
+  std::ostringstream os;
+  os << "~2^" << static_cast<long long>(log2);
+  return os.str();
+}
+
+ConceptCounts CountConcepts(const rel::Schema& schema, size_t num_constants) {
+  ConceptCounts out;
+  double k = static_cast<double>(num_constants);
+
+  // LminS[K]: ⊤, |K| nominals, and one projection per (relation, attribute).
+  uint64_t positions = 0;
+  for (const rel::RelationDef& def : schema.relations()) {
+    positions += def.arity();
+  }
+  out.minimal = Exact(1 + num_constants + positions);
+
+  // Intersection-free LS[K]: ⊤, nominals, and projections with a selection
+  // box. Per attribute a selection is (nothing | = c | interval with lower
+  // and/or upper bound drawn from K with strict/non-strict ends):
+  //   choices(attr) = 1 + |K| + (2|K| + 1)^2 ≈ interval bounds
+  // counted as: lower in {-inf} ∪ {>=c, >c : c ∈ K}, upper likewise.
+  double per_attr = 1.0 + k + (2.0 * k + 1.0) * (2.0 * k + 1.0);
+  BigCount inter_free = Exact(1 + num_constants);
+  for (const rel::RelationDef& def : schema.relations()) {
+    // Each attribute can be the projection target; the remaining attributes
+    // carry selection choices.
+    BigCount per_relation = Exact(0);
+    for (size_t a = 0; a < def.arity(); ++a) {
+      BigCount combo = Exact(1);
+      for (size_t j = 0; j < def.arity(); ++j) {
+        combo = Mul(combo, FromLog2(std::log2(per_attr)));
+      }
+      (void)a;
+      per_relation = Add(per_relation, combo);
+    }
+    inter_free = Add(inter_free, per_relation);
+  }
+  out.intersection_free = inter_free;
+
+  // Selection-free LS[K]: intersections of selection-free conjuncts =
+  // subsets of (nominals + positions), i.e. 2^(|K| + positions).
+  out.selection_free = Pow2(k + static_cast<double>(positions));
+
+  // Full LS[K]: intersections of intersection-free conjuncts: 2^(count of
+  // intersection-free conjuncts) — double exponential in the input size.
+  out.full = Pow2(out.intersection_free.overflow
+                      ? out.intersection_free.log2
+                      : static_cast<double>(out.intersection_free.exact));
+  return out;
+}
+
+}  // namespace whynot::ls

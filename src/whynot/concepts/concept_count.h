@@ -1,0 +1,45 @@
+#ifndef WHYNOT_CONCEPTS_CONCEPT_COUNT_H_
+#define WHYNOT_CONCEPTS_CONCEPT_COUNT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "whynot/relational/schema.h"
+
+namespace whynot::ls {
+
+/// A count that may overflow uint64; log2 is always maintained so that the
+/// double-exponential growth of Proposition 4.2 can still be reported.
+struct BigCount {
+  uint64_t exact = 0;   // valid iff !overflow
+  bool overflow = false;
+  double log2 = 0.0;    // log2 of the count (approximate when overflowed)
+
+  std::string ToString() const;
+};
+
+/// Counts of syntactically distinct concepts per language fragment over a
+/// schema and a constant set of size `num_constants` (Proposition 4.2):
+///
+///  * LminS[K] (no σ, no ⊓): 1 + |K| + Σ_R arity(R)      — polynomial;
+///  * intersection-free LS[K]: conjunct choices with selections
+///    (per attribute: =, and interval bounds over K)      — single exp;
+///  * selection-free LS[K]: subsets of LminS conjuncts    — single exp;
+///  * full LS[K]: subsets of intersection-free concepts   — double exp.
+///
+/// Counts are syntactic upper bounds "modulo trivial normalization"
+/// (sorted, deduplicated conjuncts; per-attribute interval form); the
+/// proposition's statement is about counts modulo logical equivalence,
+/// which these bound from above and match in order of growth.
+struct ConceptCounts {
+  BigCount minimal;            // LminS[K]
+  BigCount intersection_free;  // intersection-free LS[K]
+  BigCount selection_free;     // selection-free LS[K]
+  BigCount full;               // LS[K]
+};
+
+ConceptCounts CountConcepts(const rel::Schema& schema, size_t num_constants);
+
+}  // namespace whynot::ls
+
+#endif  // WHYNOT_CONCEPTS_CONCEPT_COUNT_H_

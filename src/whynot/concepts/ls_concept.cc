@@ -1,0 +1,194 @@
+#include "whynot/concepts/ls_concept.h"
+
+#include <algorithm>
+
+#include "whynot/common/strings.h"
+
+namespace whynot::ls {
+
+bool Selection::operator==(const Selection& o) const {
+  return attr == o.attr && op == o.op && constant == o.constant;
+}
+
+bool Selection::operator<(const Selection& o) const {
+  if (attr != o.attr) return attr < o.attr;
+  if (op != o.op) return op < o.op;
+  return constant < o.constant;
+}
+
+Conjunct Conjunct::Top() { return Conjunct{}; }
+
+Conjunct Conjunct::Nominal(Value v) {
+  Conjunct c;
+  c.kind = Kind::kNominal;
+  c.nominal = std::move(v);
+  return c;
+}
+
+Conjunct Conjunct::Projection(std::string relation, int attr,
+                              std::vector<Selection> selections) {
+  Conjunct c;
+  c.kind = Kind::kProjection;
+  c.relation = std::move(relation);
+  c.attr = attr;
+  std::sort(selections.begin(), selections.end());
+  selections.erase(std::unique(selections.begin(), selections.end()),
+                   selections.end());
+  c.selections = std::move(selections);
+  return c;
+}
+
+bool Conjunct::operator==(const Conjunct& o) const {
+  if (kind != o.kind) return false;
+  switch (kind) {
+    case Kind::kTop:
+      return true;
+    case Kind::kNominal:
+      return nominal == o.nominal;
+    case Kind::kProjection:
+      return relation == o.relation && attr == o.attr &&
+             selections == o.selections;
+  }
+  return false;
+}
+
+bool Conjunct::operator<(const Conjunct& o) const {
+  if (kind != o.kind) return kind < o.kind;
+  switch (kind) {
+    case Kind::kTop:
+      return false;
+    case Kind::kNominal:
+      return nominal < o.nominal;
+    case Kind::kProjection:
+      if (relation != o.relation) return relation < o.relation;
+      if (attr != o.attr) return attr < o.attr;
+      return std::lexicographical_compare(selections.begin(), selections.end(),
+                                          o.selections.begin(),
+                                          o.selections.end());
+  }
+  return false;
+}
+
+size_t Conjunct::Length() const {
+  switch (kind) {
+    case Kind::kTop:
+    case Kind::kNominal:
+      return 1;
+    case Kind::kProjection:
+      return 2 + 3 * selections.size();  // relation + attr + (attr op const)*
+  }
+  return 1;
+}
+
+std::string Conjunct::ToString(const rel::Schema* schema) const {
+  switch (kind) {
+    case Kind::kTop:
+      return "top";
+    case Kind::kNominal:
+      return "{" + nominal.ToLiteral() + "}";
+    case Kind::kProjection: {
+      const rel::RelationDef* def =
+          schema != nullptr ? schema->Find(relation) : nullptr;
+      auto attr_name = [&](int a) {
+        return def != nullptr ? def->AttrName(a) : std::to_string(a);
+      };
+      std::string inner = relation;
+      if (!selections.empty()) {
+        std::vector<std::string> conds;
+        conds.reserve(selections.size());
+        for (const Selection& s : selections) {
+          conds.push_back(attr_name(s.attr) + " " + rel::CmpOpName(s.op) + " " +
+                          s.constant.ToLiteral());
+        }
+        inner = "sigma[" + Join(conds, ", ") + "](" + relation + ")";
+      }
+      return "pi[" + attr_name(attr) + "](" + inner + ")";
+    }
+  }
+  return "top";
+}
+
+LsConcept::LsConcept(std::vector<Conjunct> conjuncts) {
+  // Canonical form: drop ⊤ conjuncts (the empty intersection is ⊤), sort,
+  // deduplicate.
+  for (Conjunct& c : conjuncts) {
+    if (c.kind != Conjunct::Kind::kTop) conjuncts_.push_back(std::move(c));
+  }
+  std::sort(conjuncts_.begin(), conjuncts_.end());
+  conjuncts_.erase(std::unique(conjuncts_.begin(), conjuncts_.end()),
+                   conjuncts_.end());
+}
+
+bool LsConcept::selection_free() const {
+  for (const Conjunct& c : conjuncts_) {
+    if (!c.selection_free()) return false;
+  }
+  return true;
+}
+
+bool LsConcept::IsMinimal() const {
+  return conjuncts_.size() <= 1 && selection_free();
+}
+
+LsConcept LsConcept::Intersect(const LsConcept& other) const {
+  std::vector<Conjunct> all = conjuncts_;
+  all.insert(all.end(), other.conjuncts_.begin(), other.conjuncts_.end());
+  return LsConcept(std::move(all));
+}
+
+std::vector<Value> LsConcept::Constants() const {
+  std::vector<Value> out;
+  for (const Conjunct& c : conjuncts_) {
+    if (c.kind == Conjunct::Kind::kNominal) out.push_back(c.nominal);
+    for (const Selection& s : c.selections) out.push_back(s.constant);
+  }
+  return out;
+}
+
+size_t LsConcept::Length() const {
+  if (conjuncts_.empty()) return 1;
+  size_t n = 0;
+  for (const Conjunct& c : conjuncts_) n += c.Length();
+  return n;
+}
+
+std::string LsConcept::ToString(const rel::Schema* schema) const {
+  if (conjuncts_.empty()) return "top";
+  std::vector<std::string> parts;
+  parts.reserve(conjuncts_.size());
+  for (const Conjunct& c : conjuncts_) parts.push_back(c.ToString(schema));
+  return Join(parts, " & ");
+}
+
+std::string LsConcept::ToSql(const rel::Schema& schema) const {
+  if (conjuncts_.empty()) return "any constant";
+  std::vector<std::string> parts;
+  for (const Conjunct& c : conjuncts_) {
+    switch (c.kind) {
+      case Conjunct::Kind::kTop:
+        break;
+      case Conjunct::Kind::kNominal:
+        parts.push_back(c.nominal.ToLiteral());
+        break;
+      case Conjunct::Kind::kProjection: {
+        const rel::RelationDef* def = schema.Find(c.relation);
+        auto attr_name = [&](int a) {
+          return def != nullptr ? def->AttrName(a) : std::to_string(a);
+        };
+        std::string sql = attr_name(c.attr) + " from " + c.relation;
+        if (!c.selections.empty()) {
+          std::vector<std::string> conds;
+          for (const Selection& s : c.selections) {
+            conds.push_back(attr_name(s.attr) + rel::CmpOpName(s.op) +
+                            s.constant.ToLiteral());
+          }
+          sql += " where " + Join(conds, " AND ");
+        }
+        parts.push_back(sql);
+      }
+    }
+  }
+  return Join(parts, " AND ");
+}
+
+}  // namespace whynot::ls

@@ -1,0 +1,106 @@
+#ifndef WHYNOT_CONCEPTS_LS_CONCEPT_H_
+#define WHYNOT_CONCEPTS_LS_CONCEPT_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/value.h"
+#include "whynot/relational/cq.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::ls {
+
+/// One selection condition `attr op constant` inside σ (Definition 4.6).
+/// `attr` is a 0-based attribute position.
+struct Selection {
+  int attr;
+  rel::CmpOp op;
+  Value constant;
+
+  bool operator==(const Selection& o) const;
+  bool operator<(const Selection& o) const;
+};
+
+/// An intersection-free conjunct of the concept language LS
+/// (Definition 4.6): ⊤, a nominal {c}, or a projection π_A(D) where D is a
+/// relation or a selection over one.
+struct Conjunct {
+  enum class Kind { kTop, kNominal, kProjection };
+
+  static Conjunct Top();
+  static Conjunct Nominal(Value v);
+  static Conjunct Projection(std::string relation, int attr,
+                             std::vector<Selection> selections = {});
+
+  Kind kind = Kind::kTop;
+  Value nominal;          // kNominal
+  std::string relation;   // kProjection
+  int attr = 0;           // kProjection
+  std::vector<Selection> selections;  // kProjection (empty: selection-free)
+
+  bool selection_free() const { return selections.empty(); }
+
+  bool operator==(const Conjunct& o) const;
+  bool operator<(const Conjunct& o) const;
+
+  /// Number of symbols, for the explanation-length measure of Section 6
+  /// (1 for ⊤/nominal/relation/attribute, 3 per selection).
+  size_t Length() const;
+
+  /// "pi[name](sigma[population >= 5000000](Cities))"; attribute names come
+  /// from `schema` when provided, otherwise 0-based indices are printed.
+  std::string ToString(const rel::Schema* schema = nullptr) const;
+};
+
+/// A concept of LS (Definition 4.6): an intersection C1 ⊓ ... ⊓ Cn of
+/// intersection-free conjuncts, kept in canonical (sorted, deduplicated)
+/// form. The empty intersection is ⊤.
+class LsConcept {
+ public:
+  /// ⊤ (the empty intersection).
+  LsConcept() = default;
+  explicit LsConcept(std::vector<Conjunct> conjuncts);
+
+  static LsConcept Top() { return LsConcept(); }
+  static LsConcept Nominal(Value v) {
+    return LsConcept({Conjunct::Nominal(std::move(v))});
+  }
+  static LsConcept Projection(std::string relation, int attr,
+                              std::vector<Selection> selections = {}) {
+    return LsConcept({Conjunct::Projection(std::move(relation), attr,
+                                           std::move(selections))});
+  }
+
+  const std::vector<Conjunct>& conjuncts() const { return conjuncts_; }
+  bool IsTop() const { return conjuncts_.empty(); }
+  bool selection_free() const;
+  /// True iff the concept lies in LminS (no σ and no ⊓: at most one
+  /// selection-free conjunct).
+  bool IsMinimal() const;
+
+  /// ⊓ of this and `other`, canonicalized.
+  LsConcept Intersect(const LsConcept& other) const;
+
+  /// All constants mentioned (nominals and selection constants).
+  std::vector<Value> Constants() const;
+
+  /// Total symbol count (Section 6 length measure).
+  size_t Length() const;
+
+  bool operator==(const LsConcept& o) const { return conjuncts_ == o.conjuncts_; }
+  bool operator!=(const LsConcept& o) const { return !(*this == o); }
+  bool operator<(const LsConcept& o) const { return conjuncts_ < o.conjuncts_; }
+
+  /// Algebra rendering: "top", "{Amsterdam}", or conjuncts joined by " & ".
+  std::string ToString(const rel::Schema* schema = nullptr) const;
+
+  /// SELECT-FROM-WHERE rendering in the style of Figure 5.
+  std::string ToSql(const rel::Schema& schema) const;
+
+ private:
+  std::vector<Conjunct> conjuncts_;
+};
+
+}  // namespace whynot::ls
+
+#endif  // WHYNOT_CONCEPTS_LS_CONCEPT_H_

@@ -1,0 +1,100 @@
+#include "whynot/concepts/ls_eval.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "whynot/common/strings.h"
+
+namespace whynot::ls {
+
+Extension Extension::Of(std::vector<Value> vals) {
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return Extension{false, std::move(vals)};
+}
+
+bool Extension::Contains(const Value& v) const {
+  if (all) return true;
+  return std::binary_search(values.begin(), values.end(), v);
+}
+
+bool Extension::SubsetOf(const Extension& o) const {
+  if (o.all) return true;
+  if (all) return false;
+  return std::includes(o.values.begin(), o.values.end(), values.begin(),
+                       values.end());
+}
+
+Extension Extension::Intersect(const Extension& o) const {
+  if (all) return o;
+  if (o.all) return *this;
+  Extension out;
+  std::set_intersection(values.begin(), values.end(), o.values.begin(),
+                        o.values.end(), std::back_inserter(out.values));
+  return out;
+}
+
+size_t Extension::CardinalityOrInfinite() const {
+  return all ? std::numeric_limits<size_t>::max() : values.size();
+}
+
+std::string Extension::ToString() const {
+  if (all) return "Const";
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (const Value& v : values) parts.push_back(v.ToString());
+  return "{" + Join(parts, ", ") + "}";
+}
+
+Extension Eval(const Conjunct& conjunct, const rel::Instance& instance) {
+  switch (conjunct.kind) {
+    case Conjunct::Kind::kTop:
+      return Extension::All();
+    case Conjunct::Kind::kNominal:
+      return Extension::Of({conjunct.nominal});
+    case Conjunct::Kind::kProjection: {
+      std::vector<Value> out;
+      for (const Tuple& t : instance.Relation(conjunct.relation)) {
+        bool pass = true;
+        for (const Selection& s : conjunct.selections) {
+          if (!rel::EvalCmp(t[static_cast<size_t>(s.attr)], s.op,
+                            s.constant)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.push_back(t[static_cast<size_t>(conjunct.attr)]);
+      }
+      return Extension::Of(std::move(out));
+    }
+  }
+  return Extension::All();
+}
+
+Extension Eval(const LsConcept& concept_expr, const rel::Instance& instance) {
+  Extension ext = Extension::All();
+  for (const Conjunct& c : concept_expr.conjuncts()) {
+    ext = ext.Intersect(Eval(c, instance));
+    if (ext.empty()) break;
+  }
+  return ext;
+}
+
+bool SubsumedI(const LsConcept& c1, const LsConcept& c2,
+               const rel::Instance& instance) {
+  return Eval(c1, instance).SubsetOf(Eval(c2, instance));
+}
+
+bool EquivalentI(const LsConcept& c1, const LsConcept& c2,
+                 const rel::Instance& instance) {
+  return Eval(c1, instance) == Eval(c2, instance);
+}
+
+bool StrictlySubsumedI(const LsConcept& c1, const LsConcept& c2,
+                       const rel::Instance& instance) {
+  Extension e1 = Eval(c1, instance);
+  Extension e2 = Eval(c2, instance);
+  return e1.SubsetOf(e2) && !(e1 == e2);
+}
+
+}  // namespace whynot::ls

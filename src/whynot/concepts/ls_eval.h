@@ -1,0 +1,58 @@
+#ifndef WHYNOT_CONCEPTS_LS_EVAL_H_
+#define WHYNOT_CONCEPTS_LS_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/value.h"
+#include "whynot/concepts/ls_concept.h"
+#include "whynot/relational/instance.h"
+
+namespace whynot::ls {
+
+/// The extension ⟦C⟧ᴵ of an LS concept (Section 4.2): either a finite
+/// sorted set of constants or — for ⊤ and concepts equivalent to it — all
+/// of Const.
+struct Extension {
+  bool all = false;
+  std::vector<Value> values;  // sorted, deduplicated; empty if all
+
+  static Extension All() { return Extension{true, {}}; }
+  static Extension Of(std::vector<Value> vals);
+
+  bool empty() const { return !all && values.empty(); }
+  bool Contains(const Value& v) const;
+  bool SubsetOf(const Extension& o) const;
+  Extension Intersect(const Extension& o) const;
+  bool operator==(const Extension& o) const {
+    return all == o.all && values == o.values;
+  }
+
+  /// |ext|, with All treated as "infinite" (SIZE_MAX); used by the
+  /// cardinality-based preference of Section 6.
+  size_t CardinalityOrInfinite() const;
+
+  std::string ToString() const;
+};
+
+/// ⟦C⟧ᴵ per the inductive semantics of Section 4.2 (polynomial time).
+Extension Eval(const LsConcept& concept_expr, const rel::Instance& instance);
+
+/// ⟦D⟧ᴵ of a single conjunct.
+Extension Eval(const Conjunct& conjunct, const rel::Instance& instance);
+
+/// C1 ⊑_I C2 : ⟦C1⟧ᴵ ⊆ ⟦C2⟧ᴵ (Proposition 4.1, PTIME).
+bool SubsumedI(const LsConcept& c1, const LsConcept& c2,
+               const rel::Instance& instance);
+
+/// C1 ≡_{O_I} C2 : equal extensions on I (Section 6).
+bool EquivalentI(const LsConcept& c1, const LsConcept& c2,
+                 const rel::Instance& instance);
+
+/// Strict subsumption: C1 ⊑_I C2 and not C2 ⊑_I C1.
+bool StrictlySubsumedI(const LsConcept& c1, const LsConcept& c2,
+                       const rel::Instance& instance);
+
+}  // namespace whynot::ls
+
+#endif  // WHYNOT_CONCEPTS_LS_EVAL_H_

@@ -1,0 +1,208 @@
+#include "whynot/concepts/ls_parser.h"
+
+#include <cctype>
+
+namespace whynot::ls {
+
+namespace {
+
+/// A tiny recursive-descent parser over the concept grammar.
+class Parser {
+ public:
+  Parser(const std::string& text, const rel::Schema& schema)
+      : text_(text), schema_(schema) {}
+
+  Result<LsConcept> Parse() {
+    std::vector<Conjunct> conjuncts;
+    while (true) {
+      WHYNOT_ASSIGN_OR_RETURN(Conjunct c, ParseConjunct());
+      conjuncts.push_back(std::move(c));
+      SkipSpace();
+      if (!Eat('&')) break;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_) + " in concept '" +
+                                     text_ + "'");
+    }
+    return LsConcept(std::move(conjuncts));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Eat(c)) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_) +
+                                     " in concept '" + text_ + "'");
+    }
+    return Status::OK();
+  }
+
+  std::string Word() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<Value> ParseLiteral() {
+    SkipSpace();
+    if (pos_ < text_.size() && (text_[pos_] == '"' || text_[pos_] == '\'')) {
+      char quote = text_[pos_++];
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ == text_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      std::string s = text_.substr(start, pos_ - start);
+      ++pos_;  // closing quote
+      return Value(std::move(s));
+    }
+    std::string w = Word();
+    if (w.empty()) {
+      return Status::InvalidArgument("expected literal at offset " +
+                                     std::to_string(pos_));
+    }
+    // Numeric if it looks numeric; otherwise a bare-word string.
+    bool numeric = true;
+    bool has_dot = false;
+    for (size_t i = 0; i < w.size(); ++i) {
+      char c = w[i];
+      if (c == '.') {
+        has_dot = true;
+      } else if (!std::isdigit(static_cast<unsigned char>(c)) &&
+                 !(i == 0 && (c == '-' || c == '+'))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric && w != "-" && w != "+" && w != ".") {
+      if (has_dot) return Value(std::stod(w));
+      return Value(static_cast<int64_t>(std::stoll(w)));
+    }
+    return Value(std::move(w));
+  }
+
+  Result<rel::CmpOp> ParseOp() {
+    SkipSpace();
+    if (Eat('<')) return Eat('=') ? rel::CmpOp::kLe : rel::CmpOp::kLt;
+    if (Eat('>')) return Eat('=') ? rel::CmpOp::kGe : rel::CmpOp::kGt;
+    if (Eat('=')) return rel::CmpOp::kEq;
+    return Status::InvalidArgument("expected comparison operator at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<int> ResolveAttr(const std::string& word,
+                          const std::string& relation) {
+    const rel::RelationDef* def = schema_.Find(relation);
+    if (def == nullptr) {
+      return Status::NotFound("unknown relation '" + relation + "'");
+    }
+    int idx = def->AttrIndex(word);
+    if (idx >= 0) return idx;
+    // Allow a 0-based numeric index.
+    bool numeric = !word.empty();
+    for (char c : word) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) numeric = false;
+    }
+    if (numeric) {
+      idx = std::stoi(word);
+      if (idx >= 0 && static_cast<size_t>(idx) < def->arity()) return idx;
+    }
+    return Status::NotFound("unknown attribute '" + word + "' of relation '" +
+                            relation + "'");
+  }
+
+  Result<Conjunct> ParseConjunct() {
+    SkipSpace();
+    if (Eat('{')) {
+      WHYNOT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      WHYNOT_RETURN_IF_ERROR(Expect('}'));
+      return Conjunct::Nominal(std::move(v));
+    }
+    std::string word = Word();
+    if (word == "top") return Conjunct::Top();
+    if (word != "pi") {
+      return Status::InvalidArgument("expected 'top', 'pi', or '{' at offset " +
+                                     std::to_string(pos_) + " in concept '" +
+                                     text_ + "'");
+    }
+    WHYNOT_RETURN_IF_ERROR(Expect('['));
+    std::string attr_word = Word();
+    WHYNOT_RETURN_IF_ERROR(Expect(']'));
+    WHYNOT_RETURN_IF_ERROR(Expect('('));
+
+    SkipSpace();
+    size_t mark = pos_;
+    std::string inner = Word();
+    std::vector<Selection> selections;
+    std::string relation;
+    if (inner == "sigma") {
+      WHYNOT_RETURN_IF_ERROR(Expect('['));
+      // Conditions; attribute names resolved after the relation is known,
+      // so collect raw pieces first.
+      struct RawCond {
+        std::string attr;
+        rel::CmpOp op;
+        Value constant;
+      };
+      std::vector<RawCond> raw;
+      while (true) {
+        std::string a = Word();
+        WHYNOT_ASSIGN_OR_RETURN(rel::CmpOp op, ParseOp());
+        WHYNOT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        raw.push_back({std::move(a), op, std::move(v)});
+        if (!Eat(',')) break;
+      }
+      WHYNOT_RETURN_IF_ERROR(Expect(']'));
+      WHYNOT_RETURN_IF_ERROR(Expect('('));
+      relation = Word();
+      WHYNOT_RETURN_IF_ERROR(Expect(')'));
+      for (RawCond& rc : raw) {
+        WHYNOT_ASSIGN_OR_RETURN(int idx, ResolveAttr(rc.attr, relation));
+        selections.push_back({idx, rc.op, std::move(rc.constant)});
+      }
+    } else {
+      pos_ = mark;
+      relation = Word();
+    }
+    WHYNOT_RETURN_IF_ERROR(Expect(')'));
+    WHYNOT_ASSIGN_OR_RETURN(int attr, ResolveAttr(attr_word, relation));
+    return Conjunct::Projection(std::move(relation), attr,
+                                std::move(selections));
+  }
+
+  const std::string& text_;
+  const rel::Schema& schema_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<LsConcept> ParseConcept(const std::string& text,
+                               const rel::Schema& schema) {
+  return Parser(text, schema).Parse();
+}
+
+}  // namespace whynot::ls

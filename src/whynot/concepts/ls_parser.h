@@ -1,0 +1,32 @@
+#ifndef WHYNOT_CONCEPTS_LS_PARSER_H_
+#define WHYNOT_CONCEPTS_LS_PARSER_H_
+
+#include <string>
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/ls_concept.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::ls {
+
+/// Parses the textual concept syntax produced by LsConcept::ToString:
+///
+///   concept  := conj (" & " conj)*
+///   conj     := "top"
+///             | "{" literal "}"
+///             | "pi" "[" attr "]" "(" inner ")"
+///   inner    := relation
+///             | "sigma" "[" cond ("," cond)* "]" "(" relation ")"
+///   cond     := attr op literal
+///   op       := "=" | "<" | ">" | "<=" | ">="
+///   literal  := integer | double | "quoted string" | bare-word
+///
+/// Attributes may be written by name (resolved against `schema`) or as
+/// 0-based indices. Bare-word literals are treated as strings, so
+/// `continent = Europe` and `continent = "Europe"` are equivalent.
+Result<LsConcept> ParseConcept(const std::string& text,
+                               const rel::Schema& schema);
+
+}  // namespace whynot::ls
+
+#endif  // WHYNOT_CONCEPTS_LS_PARSER_H_

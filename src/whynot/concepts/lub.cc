@@ -1,0 +1,229 @@
+#include "whynot/concepts/lub.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "whynot/concepts/ls_eval.h"
+
+namespace whynot::ls {
+
+LubContext::LubContext(const rel::Instance* instance, LubOptions options)
+    : instance_(instance), options_(options) {}
+
+LsConcept LubContext::LubSelectionFree(const std::vector<Value>& x) const {
+  std::vector<Value> sorted_x = x;
+  std::sort(sorted_x.begin(), sorted_x.end());
+  sorted_x.erase(std::unique(sorted_x.begin(), sorted_x.end()),
+                 sorted_x.end());
+
+  std::vector<Conjunct> conjuncts;
+  if (sorted_x.size() == 1) {
+    conjuncts.push_back(Conjunct::Nominal(sorted_x.front()));
+  }
+  for (const rel::RelationDef& def : instance_->schema().relations()) {
+    const std::vector<Tuple>& tuples = instance_->Relation(def.name());
+    for (size_t a = 0; a < def.arity(); ++a) {
+      std::set<Value> column;
+      for (const Tuple& t : tuples) column.insert(t[a]);
+      bool covers = true;
+      for (const Value& v : sorted_x) {
+        if (column.count(v) == 0) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers) {
+        conjuncts.push_back(
+            Conjunct::Projection(def.name(), static_cast<int>(a)));
+      }
+    }
+  }
+  return LsConcept(std::move(conjuncts));
+}
+
+Status LubContext::BuildBoxes(const std::string& relation,
+                              RelationBoxes* out) const {
+  const std::vector<Tuple>& tuples = instance_->Relation(relation);
+  const rel::RelationDef* def = instance_->schema().Find(relation);
+  if (def == nullptr) return Status::NotFound("unknown relation " + relation);
+  size_t m = def->arity();
+  size_t n = tuples.size();
+  if (n == 0) return Status::OK();
+
+  // Sorted distinct values per attribute, and each tuple's value index.
+  std::vector<std::vector<Value>> distinct(m);
+  std::vector<std::vector<int>> tuple_value_index(m,
+                                                  std::vector<int>(n, 0));
+  for (size_t j = 0; j < m; ++j) {
+    std::set<Value> col;
+    for (const Tuple& t : tuples) col.insert(t[j]);
+    distinct[j].assign(col.begin(), col.end());
+    std::map<Value, int> index;
+    for (size_t i = 0; i < distinct[j].size(); ++i) {
+      index[distinct[j][i]] = static_cast<int>(i);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      tuple_value_index[j][i] = index[tuples[i][j]];
+    }
+  }
+
+  // Recursive enumeration of per-attribute runs. The trace (selected tuple
+  // index set) canonicalizes boxes; duplicates keep the first (fewest
+  // selections, because the unconstrained option is enumerated first).
+  std::map<std::vector<uint32_t>, size_t> seen;
+  size_t enumerated = 0;
+  std::vector<Selection> current_sel;
+  std::vector<uint32_t> current_tuples(n);
+  for (size_t i = 0; i < n; ++i) current_tuples[i] = static_cast<uint32_t>(i);
+
+  // Iterative stack-free recursion via std::function-free lambda recursion.
+  Status status = Status::OK();
+  auto recurse = [&](auto&& self, size_t j,
+                     std::vector<uint32_t> selected) -> void {
+    if (!status.ok()) return;
+    if (selected.empty()) return;
+    if (j == m) {
+      if (++enumerated > options_.max_boxes_per_relation) {
+        status = Status::ResourceExhausted(
+            "canonical box enumeration for relation '" + relation +
+            "' exceeded max_boxes_per_relation; lub with selections is "
+            "exponential in schema arity (Lemma 5.2)");
+        return;
+      }
+      auto [it, inserted] = seen.emplace(selected, out->boxes.size());
+      if (inserted) {
+        Box box;
+        box.selections = current_sel;
+        box.tuple_indices = std::move(selected);
+        out->boxes.push_back(std::move(box));
+      }
+      return;
+    }
+    // Option 1: no constraint on attribute j.
+    self(self, j + 1, selected);
+    // Option 2: every run [a..b] over the distinct values of attribute j.
+    int k = static_cast<int>(distinct[j].size());
+    for (int a = 0; a < k; ++a) {
+      for (int b = a; b < k; ++b) {
+        if (a == 0 && b == k - 1) continue;  // same trace as unconstrained
+        std::vector<uint32_t> narrowed;
+        for (uint32_t idx : selected) {
+          int vi = tuple_value_index[j][idx];
+          if (vi >= a && vi <= b) narrowed.push_back(idx);
+        }
+        if (narrowed.empty()) continue;
+        size_t sel_mark = current_sel.size();
+        int ja = static_cast<int>(j);
+        if (a == b) {
+          current_sel.push_back({ja, rel::CmpOp::kEq, distinct[j][a]});
+        } else {
+          if (a > 0) {
+            current_sel.push_back({ja, rel::CmpOp::kGe, distinct[j][a]});
+          }
+          if (b < k - 1) {
+            current_sel.push_back({ja, rel::CmpOp::kLe, distinct[j][b]});
+          }
+        }
+        self(self, j + 1, std::move(narrowed));
+        current_sel.resize(sel_mark);
+        if (!status.ok()) return;
+      }
+    }
+  };
+  recurse(recurse, 0, std::move(current_tuples));
+  return status;
+}
+
+LubContext::RelationBoxes& LubContext::BoxesFor(const std::string& relation) {
+  RelationBoxes& rb = cache_[relation];
+  if (!rb.built) {
+    rb.build_status = BuildBoxes(relation, &rb);
+    rb.built = true;
+  }
+  return rb;
+}
+
+size_t LubContext::NumBoxes(const std::string& relation) {
+  return BoxesFor(relation).boxes.size();
+}
+
+Result<std::vector<LsConcept>> LubContext::CanonicalSelectionConcepts(
+    const std::string& relation) {
+  RelationBoxes& rb = BoxesFor(relation);
+  if (!rb.build_status.ok()) return rb.build_status;
+  const rel::RelationDef* def = instance_->schema().Find(relation);
+  if (def == nullptr) return Status::NotFound("unknown relation " + relation);
+  std::vector<LsConcept> out;
+  for (const Box& box : rb.boxes) {
+    for (size_t a = 0; a < def->arity(); ++a) {
+      out.push_back(LsConcept::Projection(relation, static_cast<int>(a),
+                                          box.selections));
+    }
+  }
+  return out;
+}
+
+Result<LsConcept> LubContext::LubWithSelections(const std::vector<Value>& x) {
+  std::vector<Value> sorted_x = x;
+  std::sort(sorted_x.begin(), sorted_x.end());
+  sorted_x.erase(std::unique(sorted_x.begin(), sorted_x.end()),
+                 sorted_x.end());
+
+  std::vector<Conjunct> conjuncts;
+  if (sorted_x.size() == 1) {
+    conjuncts.push_back(Conjunct::Nominal(sorted_x.front()));
+  }
+
+  for (const rel::RelationDef& def : instance_->schema().relations()) {
+    RelationBoxes& rb = BoxesFor(def.name());
+    if (!rb.build_status.ok()) return rb.build_status;
+    const std::vector<Tuple>& tuples = instance_->Relation(def.name());
+    for (size_t a = 0; a < def.arity(); ++a) {
+      int attr = static_cast<int>(a);
+      // Valid boxes: A-projection contains X.
+      std::vector<Box*> valid;
+      for (Box& box : rb.boxes) {
+        auto it = box.projections.find(attr);
+        if (it == box.projections.end()) {
+          std::set<Value> proj;
+          for (uint32_t idx : box.tuple_indices) proj.insert(tuples[idx][a]);
+          it = box.projections
+                   .emplace(attr, std::vector<Value>(proj.begin(), proj.end()))
+                   .first;
+        }
+        if (std::includes(it->second.begin(), it->second.end(),
+                          sorted_x.begin(), sorted_x.end())) {
+          valid.push_back(&box);
+        }
+      }
+      // Keep inclusion-minimal traces: validity is upward closed in the
+      // trace, so the intersection over all valid conjuncts equals the
+      // intersection over the minimal ones.
+      std::sort(valid.begin(), valid.end(), [](const Box* l, const Box* r) {
+        return l->tuple_indices.size() < r->tuple_indices.size();
+      });
+      std::vector<Box*> minimal;
+      for (Box* candidate : valid) {
+        bool dominated = false;
+        for (Box* kept : minimal) {
+          if (std::includes(candidate->tuple_indices.begin(),
+                            candidate->tuple_indices.end(),
+                            kept->tuple_indices.begin(),
+                            kept->tuple_indices.end())) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) minimal.push_back(candidate);
+      }
+      for (Box* box : minimal) {
+        conjuncts.push_back(
+            Conjunct::Projection(def.name(), attr, box->selections));
+      }
+    }
+  }
+  return LsConcept(std::move(conjuncts));
+}
+
+}  // namespace whynot::ls

@@ -1,0 +1,90 @@
+#ifndef WHYNOT_CONCEPTS_LUB_H_
+#define WHYNOT_CONCEPTS_LUB_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/concepts/ls_concept.h"
+#include "whynot/relational/instance.h"
+
+namespace whynot::ls {
+
+/// Resource limits for lub-with-selections (Lemma 5.2 is EXPTIME in
+/// general; the canonical-box enumeration below is exponential in the
+/// relation arity and polynomial for bounded arity, exactly matching the
+/// lemma).
+struct LubOptions {
+  /// Maximum number of distinct canonical boxes enumerated per relation.
+  size_t max_boxes_per_relation = 2000000;
+};
+
+/// Computes least upper bounds of constant sets in the concept language,
+/// relative to one instance (Lemmas 5.1 and 5.2). The context caches the
+/// per-relation canonical-box decomposition, so repeated lub calls inside
+/// INCREMENTAL SEARCH are cheap.
+///
+/// Canonical boxes: a conjunction of {=,<,>,<=,>=} selections on one
+/// attribute traces an interval, and on a finite column only contiguous
+/// runs of the sorted distinct column values are distinguishable; a
+/// selection over a relation therefore traces a product of per-attribute
+/// runs ("box"). lubσ(X) is the intersection of all selection conjuncts
+/// whose A-projection contains X; since that family is upward closed in
+/// the traced tuple set, it suffices to intersect the inclusion-minimal
+/// valid boxes, which is what LubWithSelections returns.
+class LubContext {
+ public:
+  explicit LubContext(const rel::Instance* instance, LubOptions options = {});
+
+  const rel::Instance& instance() const { return *instance_; }
+
+  /// lub_I(X) in selection-free LS (Lemma 5.1, PTIME): the conjunction of
+  /// every selection-free conjunct whose extension contains X (the nominal
+  /// {x} when X = {x}, and every π_A(R) whose column contains X). Returns ⊤
+  /// when no conjunct qualifies. X must be non-empty.
+  LsConcept LubSelectionFree(const std::vector<Value>& x) const;
+
+  /// lubσ_I(X) in full LS (Lemma 5.2): additionally intersects all valid
+  /// selection conjuncts via the canonical-box decomposition. EXPTIME in
+  /// general, PTIME for bounded schema arity; the box cap turns blowups
+  /// into ResourceExhausted.
+  Result<LsConcept> LubWithSelections(const std::vector<Value>& x);
+
+  /// Number of canonical boxes enumerated for `relation` (0 before first
+  /// use); exposed for the Lemma 5.2 benchmarks.
+  size_t NumBoxes(const std::string& relation);
+
+  /// All distinct selection conjuncts of `relation` — one single-conjunct
+  /// concept π_A(σ_box(R)) per (attribute, canonical box) pair. Used when
+  /// materializing the full-LS fragment of OI[K] (Proposition 4.2's
+  /// intersection-free count).
+  Result<std::vector<LsConcept>> CanonicalSelectionConcepts(
+      const std::string& relation);
+
+ private:
+  struct Box {
+    std::vector<Selection> selections;
+    std::vector<uint32_t> tuple_indices;         // sorted
+    std::map<int, std::vector<Value>> projections;  // attr -> sorted values
+  };
+  struct RelationBoxes {
+    bool built = false;
+    Status build_status;
+    std::vector<Box> boxes;
+  };
+
+  Status BuildBoxes(const std::string& relation, RelationBoxes* out) const;
+  RelationBoxes& BoxesFor(const std::string& relation);
+
+  const rel::Instance* instance_;
+  LubOptions options_;
+  std::map<std::string, RelationBoxes> cache_;
+};
+
+}  // namespace whynot::ls
+
+#endif  // WHYNOT_CONCEPTS_LUB_H_

@@ -1,0 +1,97 @@
+#ifndef WHYNOT_CONCEPTS_MATERIALIZE_H_
+#define WHYNOT_CONCEPTS_MATERIALIZE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/ls_concept.h"
+#include "whynot/concepts/schema_subsumption.h"
+#include "whynot/ontology/ontology.h"
+#include "whynot/ontology/preorder.h"
+#include "whynot/relational/instance.h"
+
+namespace whynot::ls {
+
+/// Which fragment of LS[K] to enumerate when materializing a derived
+/// ontology (Definition 4.6 / Proposition 4.2).
+enum class Fragment {
+  kMinimal,        // LminS[K]: ⊤, nominals, plain projections — polynomial
+  kSelectionFree,  // intersections of LminS conjuncts — single exponential
+  kFull,           // with selections (canonical boxes) — double exponential
+};
+
+/// Which subsumption pre-order the materialized ontology carries.
+enum class SubsumptionMode {
+  kInstance,  // ⊑_I  (OI[K], Definition 4.8)
+  kSchema,    // ⊑_S  (OS[K]); requires a Table 1 constraint class
+};
+
+struct MaterializeOptions {
+  Fragment fragment = Fragment::kMinimal;
+  SubsumptionMode mode = SubsumptionMode::kInstance;
+  /// Hard cap on the number of concepts (after extension deduplication);
+  /// exceeding it returns ResourceExhausted — the OI[K] ontologies are
+  /// "typically infinite, and not intended to be materialized" (Section 4.2);
+  /// materialization exists for Prop. 5.3 and for cross-checking Algorithm 2
+  /// against Algorithm 1 on small inputs.
+  size_t max_concepts = 4096;
+  /// For kSelectionFree / kFull: deduplicate concepts by extension on the
+  /// bound instance, keeping a shortest representative per class. This is
+  /// exactly "modulo equivalence" w.r.t. OI.
+  bool dedup_by_extension = true;
+  SchemaSubsumptionOptions schema_options;
+};
+
+/// A finite S-ontology whose concepts are LS concept expressions over a
+/// constant set K, with ⊑ either instance-level or schema-level. This is
+/// the materialized OI[K] / OS[K] of Proposition 5.1 and Section 5.3.
+class LsOntology : public onto::FiniteOntology {
+ public:
+  /// Materializes the fragment over K = adom(I) ∪ extra_constants.
+  static Result<std::unique_ptr<LsOntology>> Materialize(
+      const rel::Instance* instance, std::vector<Value> extra_constants,
+      const MaterializeOptions& options);
+
+  /// Builds an ontology from an explicit concept list (subsumption per
+  /// `mode` is computed pairwise).
+  static Result<std::unique_ptr<LsOntology>> FromConcepts(
+      const rel::Instance* instance, std::vector<LsConcept> concepts,
+      const MaterializeOptions& options);
+
+  const LsConcept& Concept(onto::ConceptId id) const {
+    return concepts_[static_cast<size_t>(id)];
+  }
+  const std::vector<LsConcept>& concepts() const { return concepts_; }
+
+  // FiniteOntology:
+  int32_t NumConcepts() const override {
+    return static_cast<int32_t>(concepts_.size());
+  }
+  std::string ConceptName(onto::ConceptId id) const override;
+  bool Subsumes(onto::ConceptId sub, onto::ConceptId super) const override;
+  onto::ExtSet ComputeExt(onto::ConceptId id, const rel::Instance& instance,
+                          ValuePool* pool) const override;
+
+ private:
+  LsOntology(const rel::Instance* instance, std::vector<LsConcept> concepts)
+      : instance_(instance), concepts_(std::move(concepts)), matrix_(0) {}
+
+  Status BuildMatrix(const MaterializeOptions& options);
+
+  const rel::Instance* instance_;
+  std::vector<LsConcept> concepts_;
+  onto::BoolMatrix matrix_;
+};
+
+/// Enumerates the conjuncts of the fragment over K (used by Materialize and
+/// by the concept-count benchmarks): nominals over K, plain projections,
+/// and — for kFull — the canonical selection boxes of each relation.
+Result<std::vector<LsConcept>> EnumerateConjunctConcepts(
+    const rel::Instance& instance, const std::vector<Value>& constants,
+    Fragment fragment, size_t max_concepts);
+
+}  // namespace whynot::ls
+
+#endif  // WHYNOT_CONCEPTS_MATERIALIZE_H_

@@ -1,0 +1,93 @@
+#ifndef WHYNOT_CONCEPTS_SCHEMA_SUBSUMPTION_H_
+#define WHYNOT_CONCEPTS_SCHEMA_SUBSUMPTION_H_
+
+#include <string>
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/ls_concept.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::ls {
+
+/// Three-valued answer for the sound-but-incomplete combined engine.
+enum class Verdict { kYes, kNo, kUnknown };
+const char* VerdictName(Verdict v);
+
+/// Resource limits for the ⊑_S deciders. The defaults are generous for
+/// test-scale inputs; the benchmarks tighten or sweep them to exhibit the
+/// Table 1 growth shapes.
+struct SchemaSubsumptionOptions {
+  /// View expansion caps (nested UCQ views blow up exponentially —
+  /// the CONEXPTIME row of Table 1).
+  size_t max_expansion_disjuncts = 20000;
+  size_t max_expansion_atoms = 20000;
+  /// Cap on region-assignment combinations in the comparison-aware
+  /// containment check (the ΠP2 row).
+  size_t max_region_combinations = 2000000;
+  /// Chase rounds for the sound-but-incomplete best-effort engine.
+  int max_chase_rounds = 6;
+};
+
+/// C1 ⊑_S C2 for a schema *without* integrity constraints: plain
+/// containment of the concepts' queries, decided by canonical-instance
+/// enumeration over comparison regions. PTIME without comparisons (the
+/// concepts' queries are single-atom conjunctions sharing one variable);
+/// exponential only in the number of comparison-relevant variables.
+Result<bool> SubsumedSNoConstraints(const LsConcept& c1, const LsConcept& c2,
+                                    const rel::Schema& schema,
+                                    const SchemaSubsumptionOptions& options = {});
+
+/// C1 ⊑_S C2 for a schema whose only constraints are functional
+/// dependencies (Table 1 "FDs" row, PTIME): symbolic FD chase of C1's
+/// canonical pattern followed by per-conjunct entailment of C2.
+///
+/// Completeness caveat: entailment of a C2 selection is checked per chased
+/// atom; adversarial interval-cover corner cases (a class whose interval is
+/// covered by the union of selection regions across two candidate atoms
+/// without being contained in either) are reported as non-subsumed. No
+/// such schema arises in this repository's tests or benchmarks.
+Result<bool> SubsumedSFds(const LsConcept& c1, const LsConcept& c2,
+                          const rel::Schema& schema,
+                          const SchemaSubsumptionOptions& options = {});
+
+/// C1 ⊑_S C2 for a schema whose only constraints are inclusion
+/// dependencies and selection-free concepts (Table 1 "IDs" row, PTIME):
+/// reachability in the position graph induced by the IDs. Concepts with
+/// selections are rejected with kUnsupported (the general IDs case is open
+/// in the paper).
+Result<bool> SubsumedSIdsSelectionFree(
+    const LsConcept& c1, const LsConcept& c2, const rel::Schema& schema,
+    const SchemaSubsumptionOptions& options = {});
+
+/// C1 ⊑_S C2 for a schema whose only constraints are (possibly nested)
+/// UCQ-view definitions (Table 1 rows "UCQ-view def." through "nested
+/// UCQ-view def."): views are expanded away (exponential for nested
+/// definitions) and containment is decided per C2-conjunct against the
+/// expansion union with the region-enumeration engine.
+Result<bool> SubsumedSViews(const LsConcept& c1, const LsConcept& c2,
+                            const rel::Schema& schema,
+                            const SchemaSubsumptionOptions& options = {});
+
+/// Dispatcher over the constraint classes of Table 1. Schemas mixing FDs
+/// with IDs are rejected with kUnsupported — their ⊑_S is undecidable
+/// (Table 1 last row) — as are mixtures of views with FDs/IDs; use
+/// SubsumedSBestEffort for a sound partial answer on such schemas.
+Result<bool> SubsumedS(const LsConcept& c1, const LsConcept& c2,
+                       const rel::Schema& schema,
+                       const SchemaSubsumptionOptions& options = {});
+
+/// Sound-but-incomplete ⊑_S for arbitrary schemas (views + FDs + IDs
+/// together, e.g. Figure 1): expands C1 over the views, then runs a bounded
+/// chase with FD equality-generating rules, ID tuple-generating rules, and
+/// view-repopulation rules (ϕi → P from each view definition), and finally
+/// checks C2 conjunct entailment. Returns kYes only on a proof; kUnknown
+/// otherwise (never an unsound kNo: a kNo is returned only when the
+/// schema happens to be in a complete class, in which case the dispatcher
+/// is consulted).
+Verdict SubsumedSBestEffort(const LsConcept& c1, const LsConcept& c2,
+                            const rel::Schema& schema,
+                            const SchemaSubsumptionOptions& options = {});
+
+}  // namespace whynot::ls
+
+#endif  // WHYNOT_CONCEPTS_SCHEMA_SUBSUMPTION_H_

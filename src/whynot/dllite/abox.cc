@@ -1,0 +1,204 @@
+#include "whynot/dllite/abox.h"
+
+#include <algorithm>
+
+namespace whynot::dl {
+
+void ABox::AddConceptAssertion(const std::string& atomic, Value c) {
+  concept_assertions_[atomic].insert(std::move(c));
+}
+
+void ABox::AddRoleAssertion(const std::string& role, Value c, Value d) {
+  role_assertions_[role].emplace(std::move(c), std::move(d));
+}
+
+std::vector<Value> ABox::Individuals() const {
+  std::set<Value> all;
+  for (const auto& [name, members] : concept_assertions_) {
+    all.insert(members.begin(), members.end());
+  }
+  for (const auto& [name, pairs] : role_assertions_) {
+    for (const auto& [c, d] : pairs) {
+      all.insert(c);
+      all.insert(d);
+    }
+  }
+  return std::vector<Value>(all.begin(), all.end());
+}
+
+size_t ABox::NumAssertions() const {
+  size_t n = 0;
+  for (const auto& [name, members] : concept_assertions_) n += members.size();
+  for (const auto& [name, pairs] : role_assertions_) n += pairs.size();
+  return n;
+}
+
+std::string ABox::ToString() const {
+  std::string out;
+  for (const auto& [name, members] : concept_assertions_) {
+    for (const Value& c : members) {
+      out += name + "(" + c.ToString() + ")\n";
+    }
+  }
+  for (const auto& [name, pairs] : role_assertions_) {
+    for (const auto& [c, d] : pairs) {
+      out += name + "(" + c.ToString() + ", " + d.ToString() + ")\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// The base (pre-closure) concepts asserted for `c`.
+std::vector<BasicConcept> BaseConcepts(const ABox& abox, const Value& c) {
+  std::vector<BasicConcept> base;
+  for (const auto& [name, members] : abox.concept_assertions()) {
+    if (members.count(c) > 0) base.push_back(BasicConcept::Atomic(name));
+  }
+  for (const auto& [name, pairs] : abox.role_assertions()) {
+    bool from = false;
+    bool to = false;
+    for (const auto& [x, y] : pairs) {
+      if (x == c) from = true;
+      if (y == c) to = true;
+      if (from && to) break;
+    }
+    if (from) base.push_back(BasicConcept::Exists(Role{name, false}));
+    if (to) base.push_back(BasicConcept::Exists(Role{name, true}));
+  }
+  return base;
+}
+
+}  // namespace
+
+std::vector<BasicConcept> DerivedConcepts(const Reasoner& reasoner,
+                                          const ABox& abox, const Value& c) {
+  std::set<BasicConcept> derived;
+  for (const BasicConcept& base : BaseConcepts(abox, c)) {
+    for (const BasicConcept& b : reasoner.Universe()) {
+      if (reasoner.Subsumed(base, b)) derived.insert(b);
+    }
+    derived.insert(base);  // base concepts outside the TBox signature
+  }
+  return std::vector<BasicConcept>(derived.begin(), derived.end());
+}
+
+std::vector<Value> CertainMembers(const Reasoner& reasoner, const ABox& abox,
+                                  const BasicConcept& b) {
+  std::vector<Value> out;
+  for (const Value& c : abox.Individuals()) {
+    for (const BasicConcept& base : BaseConcepts(abox, c)) {
+      if (base == b || reasoner.Subsumed(base, b)) {
+        out.push_back(c);
+        break;
+      }
+    }
+  }
+  return out;  // Individuals() is sorted and deduplicated already
+}
+
+std::vector<std::pair<Value, Value>> CertainRolePairs(const Reasoner& reasoner,
+                                                      const ABox& abox,
+                                                      const Role& r) {
+  std::set<std::pair<Value, Value>> out;
+  for (const auto& [name, pairs] : abox.role_assertions()) {
+    Role direct{name, false};
+    bool forward = direct == r || reasoner.RoleSubsumed(direct, r);
+    bool backward =
+        direct.Inverse() == r || reasoner.RoleSubsumed(direct.Inverse(), r);
+    for (const auto& [c, d] : pairs) {
+      if (forward) out.emplace(c, d);
+      if (backward) out.emplace(d, c);
+    }
+  }
+  return std::vector<std::pair<Value, Value>>(out.begin(), out.end());
+}
+
+Status CheckAboxConsistency(const Reasoner& reasoner, const ABox& abox) {
+  for (const Value& c : abox.Individuals()) {
+    std::vector<BasicConcept> base = BaseConcepts(abox, c);
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (reasoner.Unsatisfiable(base[i])) {
+        return Status::InvalidArgument(
+            "assertion uses unsatisfiable concept " + base[i].ToString() +
+            " for individual " + c.ToString());
+      }
+      for (size_t j = i + 1; j < base.size(); ++j) {
+        if (reasoner.Disjoint(base[i], base[j])) {
+          return Status::InvalidArgument(
+              "individual " + c.ToString() + " realizes disjoint concepts " +
+              base[i].ToString() + " and " + base[j].ToString());
+        }
+      }
+    }
+  }
+  // Role disjointness: two asserted roles sharing a pair.
+  std::vector<std::pair<Role, const std::set<std::pair<Value, Value>>*>>
+      asserted;
+  for (const auto& [name, pairs] : abox.role_assertions()) {
+    asserted.emplace_back(Role{name, false}, &pairs);
+  }
+  for (size_t i = 0; i < asserted.size(); ++i) {
+    if (reasoner.RoleUnsatisfiable(asserted[i].first)) {
+      return Status::InvalidArgument("assertion uses unsatisfiable role " +
+                                     asserted[i].first.ToString());
+    }
+    for (size_t j = i; j < asserted.size(); ++j) {
+      bool direct_disjoint =
+          reasoner.RoleDisjoint(asserted[i].first, asserted[j].first);
+      bool inverse_disjoint = reasoner.RoleDisjoint(
+          asserted[i].first, asserted[j].first.Inverse());
+      if (!direct_disjoint && !inverse_disjoint) continue;
+      for (const auto& p : *asserted[i].second) {
+        if (direct_disjoint && i != j && asserted[j].second->count(p) > 0) {
+          return Status::InvalidArgument(
+              "pair (" + p.first.ToString() + ", " + p.second.ToString() +
+              ") realizes disjoint roles " + asserted[i].first.ToString() +
+              " and " + asserted[j].first.ToString());
+        }
+        std::pair<Value, Value> flipped{p.second, p.first};
+        if (inverse_disjoint && asserted[j].second->count(flipped) > 0) {
+          return Status::InvalidArgument(
+              "pair (" + p.first.ToString() + ", " + p.second.ToString() +
+              ") realizes roles disjoint up to inverse: " +
+              asserted[i].first.ToString() + " and " +
+              asserted[j].first.ToString() + "^-");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<AboxOntology>> AboxOntology::Make(const TBox* tbox,
+                                                         ABox abox) {
+  std::unique_ptr<AboxOntology> onto(new AboxOntology(tbox, std::move(abox)));
+  WHYNOT_RETURN_IF_ERROR(CheckAboxConsistency(onto->reasoner_, onto->abox_));
+  return onto;
+}
+
+int32_t AboxOntology::NumConcepts() const {
+  return static_cast<int32_t>(reasoner_.Universe().size());
+}
+
+std::string AboxOntology::ConceptName(onto::ConceptId id) const {
+  return Concept(id).ToString();
+}
+
+bool AboxOntology::Subsumes(onto::ConceptId sub, onto::ConceptId super) const {
+  return reasoner_.Subsumed(Concept(sub), Concept(super));
+}
+
+onto::ExtSet AboxOntology::ComputeExt(onto::ConceptId id,
+                                      const rel::Instance& instance,
+                                      ValuePool* pool) const {
+  (void)instance;  // extensions are ABox-determined (Figure 3 style)
+  std::vector<ValueId> ids;
+  for (const Value& v : CertainMembers(reasoner_, abox_, Concept(id))) {
+    ids.push_back(pool->Intern(v));
+  }
+  return onto::ExtSet::Finite(std::move(ids));
+}
+
+}  // namespace whynot::dl

@@ -1,0 +1,109 @@
+#ifndef WHYNOT_DLLITE_ABOX_H_
+#define WHYNOT_DLLITE_ABOX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/dllite/reasoner.h"
+#include "whynot/dllite/tbox.h"
+#include "whynot/ontology/ontology.h"
+
+namespace whynot::dl {
+
+/// An ABox (Assertion Box): concept assertions A(c) and role assertions
+/// P(c, d). Section 4.1 of the paper notes that "alongside TBoxes, ABoxes
+/// are sometimes used to describe the extension of concepts" but omits
+/// them for presentation; this module supplies them, giving a second,
+/// mapping-free way to attach an external DL-LiteR ontology to the
+/// framework (see AboxOntology below).
+class ABox {
+ public:
+  /// Adds A(c). `atomic` must be an atomic concept name.
+  void AddConceptAssertion(const std::string& atomic, Value c);
+  /// Adds P(c, d). `role` must be an atomic role name.
+  void AddRoleAssertion(const std::string& role, Value c, Value d);
+
+  const std::map<std::string, std::set<Value>>& concept_assertions() const {
+    return concept_assertions_;
+  }
+  const std::map<std::string, std::set<std::pair<Value, Value>>>&
+  role_assertions() const {
+    return role_assertions_;
+  }
+
+  /// All constants mentioned in assertions, sorted.
+  std::vector<Value> Individuals() const;
+
+  size_t NumAssertions() const;
+
+  /// One assertion per line: "A(c)", "P(c, d)".
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::set<Value>> concept_assertions_;
+  std::map<std::string, std::set<std::pair<Value, Value>>> role_assertions_;
+};
+
+/// The basic concepts b with (T, A) ⊨ b(c) for some asserted pattern:
+/// A(c) assertions yield A, P(c, ·) yields ∃P, P(·, c) yields ∃P⁻; the
+/// TBox closure then lifts these along ⊑. (For DL-LiteR with GAV-style
+/// data this syntactic saturation is complete for instance checking —
+/// the canonical-model property of the DL-Lite family.)
+std::vector<BasicConcept> DerivedConcepts(const Reasoner& reasoner,
+                                          const ABox& abox, const Value& c);
+
+/// {c | (T, A) ⊨ b(c)}, sorted.
+std::vector<Value> CertainMembers(const Reasoner& reasoner, const ABox& abox,
+                                  const BasicConcept& b);
+
+/// {(c, d) | (T, A) ⊨ r(c, d)}, sorted.
+std::vector<std::pair<Value, Value>> CertainRolePairs(const Reasoner& reasoner,
+                                                      const ABox& abox,
+                                                      const Role& r);
+
+/// Checks (T, A) consistency: no individual may realize two concepts that
+/// the TBox makes disjoint, no pair may realize two disjoint roles, and no
+/// assertion may use an unsatisfiable concept/role. Returns
+/// InvalidArgument naming the first conflict found.
+Status CheckAboxConsistency(const Reasoner& reasoner, const ABox& abox);
+
+/// An S-ontology (Definition 3.1) whose concepts are the basic concepts of
+/// a DL-LiteR TBox and whose extensions come from an ABox — independent of
+/// the database instance, exactly like the hand-built ontology of
+/// Figure 3. This is the ABox-based alternative to the OBDA route of
+/// Definition 4.4 (where ext is induced by GAV mappings instead).
+class AboxOntology : public onto::FiniteOntology {
+ public:
+  /// Fails when (T, A) is inconsistent.
+  static Result<std::unique_ptr<AboxOntology>> Make(const TBox* tbox,
+                                                    ABox abox);
+
+  const Reasoner& reasoner() const { return reasoner_; }
+  const ABox& abox() const { return abox_; }
+  const BasicConcept& Concept(onto::ConceptId id) const {
+    return reasoner_.Universe()[static_cast<size_t>(id)];
+  }
+
+  // FiniteOntology:
+  int32_t NumConcepts() const override;
+  std::string ConceptName(onto::ConceptId id) const override;
+  bool Subsumes(onto::ConceptId sub, onto::ConceptId super) const override;
+  onto::ExtSet ComputeExt(onto::ConceptId id, const rel::Instance& instance,
+                          ValuePool* pool) const override;
+
+ private:
+  AboxOntology(const TBox* tbox, ABox abox)
+      : abox_(std::move(abox)), reasoner_(tbox) {}
+
+  ABox abox_;
+  Reasoner reasoner_;
+};
+
+}  // namespace whynot::dl
+
+#endif  // WHYNOT_DLLITE_ABOX_H_

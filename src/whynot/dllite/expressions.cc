@@ -1,0 +1,6 @@
+#include "whynot/dllite/expressions.h"
+
+// All members are defined inline in the header; this translation unit exists
+// so the module has a stable home for future out-of-line definitions.
+
+namespace whynot::dl {}  // namespace whynot::dl

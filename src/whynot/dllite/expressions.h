@@ -1,0 +1,81 @@
+#ifndef WHYNOT_DLLITE_EXPRESSIONS_H_
+#define WHYNOT_DLLITE_EXPRESSIONS_H_
+
+#include <string>
+
+namespace whynot::dl {
+
+/// A basic role expression of DL-LiteR (Definition 4.1): an atomic role P
+/// or its inverse P⁻.
+struct Role {
+  std::string name;
+  bool inverse = false;
+
+  Role Inverse() const { return Role{name, !inverse}; }
+
+  bool operator==(const Role& o) const {
+    return name == o.name && inverse == o.inverse;
+  }
+  bool operator<(const Role& o) const {
+    if (name != o.name) return name < o.name;
+    return inverse < o.inverse;
+  }
+
+  /// "P" or "P^-".
+  std::string ToString() const { return inverse ? name + "^-" : name; }
+};
+
+/// A basic concept expression of DL-LiteR (Definition 4.1): an atomic
+/// concept A or an unqualified existential ∃R.
+struct BasicConcept {
+  enum class Kind { kAtomic, kExists };
+
+  static BasicConcept Atomic(std::string name) {
+    return BasicConcept{Kind::kAtomic, std::move(name), Role{}};
+  }
+  static BasicConcept Exists(Role role) {
+    return BasicConcept{Kind::kExists, "", role};
+  }
+
+  Kind kind;
+  std::string atomic;  // valid iff kind == kAtomic
+  Role role;           // valid iff kind == kExists
+
+  bool operator==(const BasicConcept& o) const {
+    if (kind != o.kind) return false;
+    return kind == Kind::kAtomic ? atomic == o.atomic : role == o.role;
+  }
+  bool operator<(const BasicConcept& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    return kind == Kind::kAtomic ? atomic < o.atomic : role < o.role;
+  }
+
+  /// "A", "exists P", or "exists P^-".
+  std::string ToString() const {
+    return kind == Kind::kAtomic ? atomic : "exists " + role.ToString();
+  }
+};
+
+/// A (general) concept expression: B or ¬B (Definition 4.1).
+struct ConceptExpr {
+  BasicConcept basic;
+  bool negated = false;
+
+  std::string ToString() const {
+    return negated ? "not " + basic.ToString() : basic.ToString();
+  }
+};
+
+/// A (general) role expression: R or ¬R.
+struct RoleExpr {
+  Role role;
+  bool negated = false;
+
+  std::string ToString() const {
+    return negated ? "not " + role.ToString() : role.ToString();
+  }
+};
+
+}  // namespace whynot::dl
+
+#endif  // WHYNOT_DLLITE_EXPRESSIONS_H_

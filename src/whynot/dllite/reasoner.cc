@@ -1,0 +1,245 @@
+#include "whynot/dllite/reasoner.h"
+
+#include <algorithm>
+
+namespace whynot::dl {
+
+Reasoner::Reasoner(const TBox* tbox) : tbox_(tbox) {
+  // Universe of basic roles: P and P^- for every atomic role.
+  for (const std::string& p : tbox->AtomicRoles()) {
+    roles_.push_back(Role{p, false});
+    roles_.push_back(Role{p, true});
+  }
+  std::sort(roles_.begin(), roles_.end());
+  for (size_t i = 0; i < roles_.size(); ++i) {
+    role_index_[roles_[i]] = static_cast<int>(i);
+  }
+
+  // Universe of basic concepts: atomic concepts plus ∃R for each basic role.
+  for (const std::string& a : tbox->AtomicConcepts()) {
+    concepts_.push_back(BasicConcept::Atomic(a));
+  }
+  for (const Role& r : roles_) {
+    concepts_.push_back(BasicConcept::Exists(r));
+  }
+  std::sort(concepts_.begin(), concepts_.end());
+  for (size_t i = 0; i < concepts_.size(); ++i) {
+    concept_index_[concepts_[i]] = static_cast<int>(i);
+  }
+
+  int nr = static_cast<int>(roles_.size());
+  int nc = static_cast<int>(concepts_.size());
+  role_closure_ = onto::BoolMatrix(nr);
+  concept_closure_ = onto::BoolMatrix(nc);
+  role_disjoint_ = onto::BoolMatrix(nr);
+  concept_disjoint_ = onto::BoolMatrix(nc);
+
+  // Positive role inclusions, mirrored on inverses.
+  for (const RoleAxiom& ax : tbox->role_axioms()) {
+    if (ax.rhs.negated) continue;
+    int l = RoleIndex(ax.lhs);
+    int r = RoleIndex(ax.rhs.role);
+    int li = RoleIndex(ax.lhs.Inverse());
+    int ri = RoleIndex(ax.rhs.role.Inverse());
+    if (l >= 0 && r >= 0) role_closure_.Set(l, r);
+    if (li >= 0 && ri >= 0) role_closure_.Set(li, ri);
+  }
+  onto::ReflexiveTransitiveClosure(&role_closure_);
+
+  // Positive concept inclusions.
+  for (const ConceptAxiom& ax : tbox->concept_axioms()) {
+    if (ax.rhs.negated) continue;
+    int l = ConceptIndex(ax.lhs);
+    int r = ConceptIndex(ax.rhs.basic);
+    if (l >= 0 && r >= 0) concept_closure_.Set(l, r);
+  }
+  // Role inclusions induce ∃R ⊑ ∃S (the inverse direction ∃R⁻ ⊑ ∃S⁻ is
+  // covered because the role closure contains the mirrored edge).
+  for (int i = 0; i < nr; ++i) {
+    for (int j = 0; j < nr; ++j) {
+      if (!role_closure_.Get(i, j)) continue;
+      int ei = ConceptIndex(BasicConcept::Exists(roles_[static_cast<size_t>(i)]));
+      int ej = ConceptIndex(BasicConcept::Exists(roles_[static_cast<size_t>(j)]));
+      if (ei >= 0 && ej >= 0) concept_closure_.Set(ei, ej);
+    }
+  }
+  onto::ReflexiveTransitiveClosure(&concept_closure_);
+
+  // Negative role inclusions: R ⊑ ¬S yields base disjoint pairs (R, S) and
+  // (R⁻, S⁻); close upward over the positive role closure, symmetrically.
+  onto::BoolMatrix role_base_disj(nr);
+  for (const RoleAxiom& ax : tbox->role_axioms()) {
+    if (!ax.rhs.negated) continue;
+    auto mark = [&](const Role& a, const Role& b) {
+      int ia = RoleIndex(a);
+      int ib = RoleIndex(b);
+      if (ia >= 0 && ib >= 0) {
+        role_base_disj.Set(ia, ib);
+        role_base_disj.Set(ib, ia);
+      }
+    };
+    mark(ax.lhs, ax.rhs.role);
+    mark(ax.lhs.Inverse(), ax.rhs.role.Inverse());
+  }
+  for (int a = 0; a < nr; ++a) {
+    for (int b = 0; b < nr; ++b) {
+      bool disj = false;
+      for (int x = 0; x < nr && !disj; ++x) {
+        if (!role_closure_.Get(a, x)) continue;
+        for (int y = 0; y < nr && !disj; ++y) {
+          if (role_closure_.Get(b, y) && role_base_disj.Get(x, y)) disj = true;
+        }
+      }
+      if (disj) role_disjoint_.Set(a, b);
+    }
+  }
+
+  // Negative concept inclusions, plus self-disjointness of ∃R for
+  // unsatisfiable roles; closed upward over the positive concept closure.
+  onto::BoolMatrix concept_base_disj(nc);
+  for (const ConceptAxiom& ax : tbox->concept_axioms()) {
+    if (!ax.rhs.negated) continue;
+    int ia = ConceptIndex(ax.lhs);
+    int ib = ConceptIndex(ax.rhs.basic);
+    if (ia >= 0 && ib >= 0) {
+      concept_base_disj.Set(ia, ib);
+      concept_base_disj.Set(ib, ia);
+    }
+  }
+  for (int r = 0; r < nr; ++r) {
+    if (!role_disjoint_.Get(r, r)) continue;
+    int e = ConceptIndex(BasicConcept::Exists(roles_[static_cast<size_t>(r)]));
+    if (e >= 0) concept_base_disj.Set(e, e);
+  }
+  for (int a = 0; a < nc; ++a) {
+    for (int b = 0; b < nc; ++b) {
+      bool disj = false;
+      for (int x = 0; x < nc && !disj; ++x) {
+        if (!concept_closure_.Get(a, x)) continue;
+        for (int y = 0; y < nc && !disj; ++y) {
+          if (concept_closure_.Get(b, y) && concept_base_disj.Get(x, y)) {
+            disj = true;
+          }
+        }
+      }
+      if (disj) concept_disjoint_.Set(a, b);
+    }
+  }
+}
+
+int Reasoner::ConceptIndex(const BasicConcept& b) const {
+  auto it = concept_index_.find(b);
+  return it == concept_index_.end() ? -1 : it->second;
+}
+
+int Reasoner::RoleIndex(const Role& r) const {
+  auto it = role_index_.find(r);
+  return it == role_index_.end() ? -1 : it->second;
+}
+
+bool Reasoner::Subsumed(const BasicConcept& b1, const BasicConcept& b2) const {
+  if (b1 == b2) return true;
+  int i = ConceptIndex(b1);
+  int j = ConceptIndex(b2);
+  if (i < 0) return false;  // unknown concept: only reflexivity holds
+  if (Unsatisfiable(b1)) return true;
+  if (j < 0) return false;
+  return concept_closure_.Get(i, j);
+}
+
+bool Reasoner::Disjoint(const BasicConcept& b1, const BasicConcept& b2) const {
+  if (Unsatisfiable(b1) || Unsatisfiable(b2)) return true;
+  int i = ConceptIndex(b1);
+  int j = ConceptIndex(b2);
+  if (i < 0 || j < 0) return false;
+  return concept_disjoint_.Get(i, j);
+}
+
+bool Reasoner::Unsatisfiable(const BasicConcept& b) const {
+  int i = ConceptIndex(b);
+  return i >= 0 && concept_disjoint_.Get(i, i);
+}
+
+bool Reasoner::RoleSubsumed(const Role& r1, const Role& r2) const {
+  if (r1 == r2) return true;
+  int i = RoleIndex(r1);
+  int j = RoleIndex(r2);
+  if (i < 0) return false;
+  if (RoleUnsatisfiable(r1)) return true;
+  if (j < 0) return false;
+  return role_closure_.Get(i, j);
+}
+
+bool Reasoner::RoleDisjoint(const Role& r1, const Role& r2) const {
+  if (RoleUnsatisfiable(r1) || RoleUnsatisfiable(r2)) return true;
+  int i = RoleIndex(r1);
+  int j = RoleIndex(r2);
+  if (i < 0 || j < 0) return false;
+  return role_disjoint_.Get(i, j);
+}
+
+bool Reasoner::RoleUnsatisfiable(const Role& r) const {
+  int i = RoleIndex(r);
+  return i >= 0 && role_disjoint_.Get(i, i);
+}
+
+void Interpretation::AddConceptMember(const std::string& atomic, Value v) {
+  concepts_[atomic].insert(std::move(v));
+}
+
+void Interpretation::AddRolePair(const std::string& role, Value from,
+                                 Value to) {
+  roles_[role].emplace(std::move(from), std::move(to));
+}
+
+std::set<Value> Interpretation::Eval(const BasicConcept& b) const {
+  if (b.kind == BasicConcept::Kind::kAtomic) {
+    auto it = concepts_.find(b.atomic);
+    return it == concepts_.end() ? std::set<Value>{} : it->second;
+  }
+  std::set<Value> out;
+  for (const auto& [from, to] : EvalRole(b.role)) out.insert(from);
+  return out;
+}
+
+std::set<std::pair<Value, Value>> Interpretation::EvalRole(
+    const Role& r) const {
+  auto it = roles_.find(r.name);
+  if (it == roles_.end()) return {};
+  if (!r.inverse) return it->second;
+  std::set<std::pair<Value, Value>> out;
+  for (const auto& [from, to] : it->second) out.emplace(to, from);
+  return out;
+}
+
+bool Interpretation::Satisfies(const TBox& tbox) const {
+  for (const ConceptAxiom& ax : tbox.concept_axioms()) {
+    std::set<Value> lhs = Eval(ax.lhs);
+    std::set<Value> rhs = Eval(ax.rhs.basic);
+    if (ax.rhs.negated) {
+      for (const Value& v : lhs) {
+        if (rhs.count(v) > 0) return false;
+      }
+    } else {
+      for (const Value& v : lhs) {
+        if (rhs.count(v) == 0) return false;
+      }
+    }
+  }
+  for (const RoleAxiom& ax : tbox.role_axioms()) {
+    auto lhs = EvalRole(ax.lhs);
+    auto rhs = EvalRole(ax.rhs.role);
+    if (ax.rhs.negated) {
+      for (const auto& p : lhs) {
+        if (rhs.count(p) > 0) return false;
+      }
+    } else {
+      for (const auto& p : lhs) {
+        if (rhs.count(p) == 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace whynot::dl

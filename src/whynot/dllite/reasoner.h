@@ -1,0 +1,89 @@
+#ifndef WHYNOT_DLLITE_REASONER_H_
+#define WHYNOT_DLLITE_REASONER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "whynot/common/value.h"
+#include "whynot/dllite/tbox.h"
+#include "whynot/ontology/preorder.h"
+
+namespace whynot::dl {
+
+/// PTIME subsumption and consistency reasoning for DL-LiteR TBoxes
+/// (Theorem 4.1.1 of the paper; the algorithm is the standard closure
+/// construction of Calvanese et al., JAR 2007).
+///
+/// Construction: the positive concept-inclusion digraph over all basic
+/// concepts (atomic concepts of the TBox plus ∃P / ∃P⁻ for its roles) is
+/// closed transitively, where role inclusions R ⊑ S additionally induce
+/// ∃R ⊑ ∃S and ∃R⁻ ⊑ ∃S⁻, and every role edge is mirrored on the
+/// inverses. Negative inclusions are propagated backwards over the
+/// positive closure; a basic concept is unsatisfiable iff it is disjoint
+/// with itself, and an unsatisfiable concept is subsumed by everything.
+class Reasoner {
+ public:
+  explicit Reasoner(const TBox* tbox);
+
+  /// T ⊨ b1 ⊑ b2.
+  bool Subsumed(const BasicConcept& b1, const BasicConcept& b2) const;
+  /// T ⊨ b1 ⊑ ¬b2 (equivalently: I(b1) ∩ I(b2) = ∅ in every model).
+  bool Disjoint(const BasicConcept& b1, const BasicConcept& b2) const;
+  /// T ⊨ b ⊑ ⊥ (empty in every model).
+  bool Unsatisfiable(const BasicConcept& b) const;
+
+  /// T ⊨ r1 ⊑ r2.
+  bool RoleSubsumed(const Role& r1, const Role& r2) const;
+  /// T ⊨ r1 ⊑ ¬r2.
+  bool RoleDisjoint(const Role& r1, const Role& r2) const;
+  bool RoleUnsatisfiable(const Role& r) const;
+
+  /// All basic concepts over the TBox's signature: its atomic concepts and
+  /// ∃P / ∃P⁻ for each of its atomic roles, sorted.
+  const std::vector<BasicConcept>& Universe() const { return concepts_; }
+  /// All basic roles P / P⁻ over the TBox's roles, sorted.
+  const std::vector<Role>& RoleUniverse() const { return roles_; }
+
+ private:
+  int ConceptIndex(const BasicConcept& b) const;
+  int RoleIndex(const Role& r) const;
+
+  const TBox* tbox_;
+  std::vector<BasicConcept> concepts_;
+  std::map<BasicConcept, int> concept_index_;
+  std::vector<Role> roles_;
+  std::map<Role, int> role_index_;
+  onto::BoolMatrix concept_closure_{0};
+  onto::BoolMatrix role_closure_{0};
+  onto::BoolMatrix concept_disjoint_{0};
+  onto::BoolMatrix role_disjoint_{0};
+};
+
+/// A finite (ΦC, ΦR)-interpretation for testing the reasoner against model
+/// semantics: assigns finite unary relations to atomic concepts and finite
+/// binary relations to atomic roles. Negated expressions are handled via
+/// disjointness (never by materializing complements).
+class Interpretation {
+ public:
+  void AddConceptMember(const std::string& atomic, Value v);
+  void AddRolePair(const std::string& role, Value from, Value to);
+
+  /// I(b) for a basic concept.
+  std::set<Value> Eval(const BasicConcept& b) const;
+  /// I(r) for a basic role (inverses flip pairs).
+  std::set<std::pair<Value, Value>> EvalRole(const Role& r) const;
+
+  /// Whether this interpretation satisfies every axiom of the TBox.
+  bool Satisfies(const TBox& tbox) const;
+
+ private:
+  std::map<std::string, std::set<Value>> concepts_;
+  std::map<std::string, std::set<std::pair<Value, Value>>> roles_;
+};
+
+}  // namespace whynot::dl
+
+#endif  // WHYNOT_DLLITE_REASONER_H_

@@ -1,0 +1,55 @@
+#include "whynot/dllite/tbox.h"
+
+namespace whynot::dl {
+
+namespace {
+
+void CollectBasic(const BasicConcept& b, std::set<BasicConcept>* out) {
+  out->insert(b);
+}
+
+}  // namespace
+
+std::set<std::string> TBox::AtomicConcepts() const {
+  std::set<std::string> out;
+  for (const ConceptAxiom& ax : concept_axioms_) {
+    if (ax.lhs.kind == BasicConcept::Kind::kAtomic) out.insert(ax.lhs.atomic);
+    if (ax.rhs.basic.kind == BasicConcept::Kind::kAtomic) {
+      out.insert(ax.rhs.basic.atomic);
+    }
+  }
+  return out;
+}
+
+std::set<std::string> TBox::AtomicRoles() const {
+  std::set<std::string> out;
+  for (const ConceptAxiom& ax : concept_axioms_) {
+    if (ax.lhs.kind == BasicConcept::Kind::kExists) out.insert(ax.lhs.role.name);
+    if (ax.rhs.basic.kind == BasicConcept::Kind::kExists) {
+      out.insert(ax.rhs.basic.role.name);
+    }
+  }
+  for (const RoleAxiom& ax : role_axioms_) {
+    out.insert(ax.lhs.name);
+    out.insert(ax.rhs.role.name);
+  }
+  return out;
+}
+
+std::vector<BasicConcept> TBox::BasicConcepts() const {
+  std::set<BasicConcept> set;
+  for (const ConceptAxiom& ax : concept_axioms_) {
+    CollectBasic(ax.lhs, &set);
+    CollectBasic(ax.rhs.basic, &set);
+  }
+  return std::vector<BasicConcept>(set.begin(), set.end());
+}
+
+std::string TBox::ToString() const {
+  std::string out;
+  for (const ConceptAxiom& ax : concept_axioms_) out += ax.ToString() + "\n";
+  for (const RoleAxiom& ax : role_axioms_) out += ax.ToString() + "\n";
+  return out;
+}
+
+}  // namespace whynot::dl

@@ -1,0 +1,78 @@
+#ifndef WHYNOT_DLLITE_TBOX_H_
+#define WHYNOT_DLLITE_TBOX_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/dllite/expressions.h"
+
+namespace whynot::dl {
+
+/// A TBox axiom B ⊑ C with B basic and C possibly negated (Definition 4.1).
+struct ConceptAxiom {
+  BasicConcept lhs;
+  ConceptExpr rhs;
+
+  std::string ToString() const {
+    return lhs.ToString() + " <= " + rhs.ToString();
+  }
+};
+
+/// A TBox axiom R ⊑ E with R basic and E possibly negated.
+struct RoleAxiom {
+  Role lhs;
+  RoleExpr rhs;
+
+  std::string ToString() const {
+    return lhs.ToString() + " <= " + rhs.ToString();
+  }
+};
+
+/// A DL-LiteR TBox: a finite set of concept and role inclusion axioms.
+class TBox {
+ public:
+  void AddConceptAxiom(BasicConcept lhs, ConceptExpr rhs) {
+    concept_axioms_.push_back({std::move(lhs), std::move(rhs)});
+  }
+  void AddRoleAxiom(Role lhs, RoleExpr rhs) {
+    role_axioms_.push_back({std::move(lhs), std::move(rhs)});
+  }
+
+  /// Convenience: A ⊑ B for atomic names.
+  void AddAtomicInclusion(const std::string& sub, const std::string& super) {
+    AddConceptAxiom(BasicConcept::Atomic(sub),
+                    ConceptExpr{BasicConcept::Atomic(super), false});
+  }
+  /// Convenience: A ⊑ ¬B for atomic names (disjointness).
+  void AddAtomicDisjointness(const std::string& a, const std::string& b) {
+    AddConceptAxiom(BasicConcept::Atomic(a),
+                    ConceptExpr{BasicConcept::Atomic(b), true});
+  }
+
+  const std::vector<ConceptAxiom>& concept_axioms() const {
+    return concept_axioms_;
+  }
+  const std::vector<RoleAxiom>& role_axioms() const { return role_axioms_; }
+
+  /// All atomic concept names occurring anywhere in the TBox (ΦC ∩ T).
+  std::set<std::string> AtomicConcepts() const;
+  /// All atomic role names occurring anywhere in the TBox (ΦR ∩ T).
+  std::set<std::string> AtomicRoles() const;
+
+  /// All basic concept expressions occurring in the TBox; this is exactly
+  /// the concept set C_OB of the induced S-ontology (Definition 4.4).
+  std::vector<BasicConcept> BasicConcepts() const;
+
+  /// One axiom per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<ConceptAxiom> concept_axioms_;
+  std::vector<RoleAxiom> role_axioms_;
+};
+
+}  // namespace whynot::dl
+
+#endif  // WHYNOT_DLLITE_TBOX_H_

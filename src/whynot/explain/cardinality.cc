@@ -1,0 +1,95 @@
+#include "whynot/explain/cardinality.h"
+
+#include "whynot/explain/existence.h"
+
+namespace whynot::explain {
+
+Degree DegreeOf(onto::BoundOntology* bound, const Explanation& e) {
+  Degree d;
+  for (onto::ConceptId c : e) {
+    const onto::ExtSet& ext = bound->Ext(c);
+    if (ext.is_all()) {
+      d.infinite = true;
+    } else {
+      d.finite += ext.size();
+    }
+  }
+  return d;
+}
+
+Result<std::optional<CardinalityResult>> ExactCardMaximal(
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    const ExhaustiveOptions& options) {
+  // Enumerate the full candidate product (as in Algorithm 1 line 2) and
+  // keep the highest-degree explanation.
+  std::vector<std::vector<onto::ConceptId>> lists(wni.arity());
+  for (size_t i = 0; i < wni.arity(); ++i) {
+    ValueId id = bound->pool().Intern(wni.missing[i]);
+    for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
+      if (bound->Ext(c).Contains(id)) lists[i].push_back(c);
+    }
+    if (lists[i].empty()) return std::optional<CardinalityResult>();
+  }
+  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+
+  std::optional<CardinalityResult> best;
+  size_t m = wni.arity();
+  std::vector<size_t> idx(m, 0);
+  std::vector<onto::ConceptId> current(m);
+  size_t count = 0;
+  while (true) {
+    if (++count > options.max_candidates) {
+      return Status::ResourceExhausted(
+          "exact >card-maximal enumeration exceeded max_candidates "
+          "(Proposition 6.4: no PTIME algorithm exists unless P=NP)");
+    }
+    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+    if (!ProductIntersectsAnswers(bound, current, answers)) {
+      Degree d = DegreeOf(bound, current);
+      if (!best.has_value() || d > best->degree) {
+        best = CardinalityResult{current, d};
+      }
+    }
+    size_t i = 0;
+    while (i < m && ++idx[i] == lists[i].size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == m) break;
+  }
+  return best;
+}
+
+Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
+    onto::BoundOntology* bound, const WhyNotInstance& wni) {
+  Explanation seed;
+  WHYNOT_ASSIGN_OR_RETURN(bool exists, ExistsExplanation(bound, wni, &seed));
+  if (!exists) return std::optional<CardinalityResult>();
+  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+
+  Explanation current = seed;
+  Degree degree = DegreeOf(bound, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (size_t i = 0; i < current.size(); ++i) {
+      ValueId missing_id = bound->pool().Intern(wni.missing[i]);
+      Explanation probe = current;
+      for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
+        if (c == current[i] || !bound->Ext(c).Contains(missing_id)) continue;
+        probe[i] = c;
+        if (ProductIntersectsAnswers(bound, probe, answers)) continue;
+        Degree d = DegreeOf(bound, probe);
+        if (d > degree) {
+          current = probe;
+          degree = d;
+          improved = true;
+        }
+        probe[i] = current[i];
+      }
+    }
+  }
+  return std::optional<CardinalityResult>(CardinalityResult{current, degree});
+}
+
+}  // namespace whynot::explain

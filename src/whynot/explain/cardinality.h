@@ -1,0 +1,56 @@
+#ifndef WHYNOT_EXPLAIN_CARDINALITY_H_
+#define WHYNOT_EXPLAIN_CARDINALITY_H_
+
+#include <optional>
+
+#include "whynot/common/status.h"
+#include "whynot/explain/exhaustive.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+/// The degree of generality of an explanation (Section 6, cardinality-based
+/// preference): |ext(C1, I)| + ... + |ext(Cm, I)|, possibly infinite.
+struct Degree {
+  bool infinite = false;
+  size_t finite = 0;
+
+  bool operator>(const Degree& o) const {
+    if (infinite != o.infinite) return infinite;
+    return finite > o.finite;
+  }
+  bool operator==(const Degree& o) const {
+    return infinite == o.infinite && (infinite || finite == o.finite);
+  }
+  std::string ToString() const {
+    return infinite ? "inf" : std::to_string(finite);
+  }
+};
+
+Degree DegreeOf(onto::BoundOntology* bound, const Explanation& e);
+
+struct CardinalityResult {
+  Explanation explanation;
+  Degree degree;
+};
+
+/// A >card-maximal explanation by exhaustive enumeration of all
+/// explanations (exponential; Proposition 6.4 shows no PTIME algorithm
+/// exists unless P=NP, and no PTIME constant-factor approximation either).
+/// Returns nullopt when no explanation exists.
+Result<std::optional<CardinalityResult>> ExactCardMaximal(
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    const ExhaustiveOptions& options = {});
+
+/// Greedy hill-climbing heuristic: starts from any explanation and
+/// repeatedly applies the single-position replacement that increases the
+/// degree most. Fast, but only reaches a local optimum — the
+/// bench_cardinality benchmark exhibits the approximation gap on
+/// set-cover-shaped families, illustrating Proposition 6.4's
+/// inapproximability. Returns nullopt when no explanation exists.
+Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
+    onto::BoundOntology* bound, const WhyNotInstance& wni);
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_CARDINALITY_H_

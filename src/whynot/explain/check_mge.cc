@@ -1,0 +1,72 @@
+#include "whynot/explain/check_mge.h"
+
+#include <algorithm>
+
+namespace whynot::explain {
+
+Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
+                              const WhyNotInstance& wni,
+                              const Explanation& candidate) {
+  WHYNOT_ASSIGN_OR_RETURN(bool is_expl, IsExplanation(bound, wni, candidate));
+  if (!is_expl) return false;
+  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+  Explanation probe = candidate;
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    for (onto::ConceptId d = 0; d < bound->NumConcepts(); ++d) {
+      // Strictly more general replacement at position i.
+      if (!bound->Subsumes(candidate[i], d) || bound->Subsumes(d, candidate[i])) {
+        continue;
+      }
+      probe[i] = d;
+      // ext(candidate[i]) ⊆ ext(d) by consistency, so the missing tuple
+      // stays inside; only the answer-avoidance condition can break.
+      if (!ProductIntersectsAnswers(bound, probe, answers)) {
+        return false;  // a strictly more general explanation exists
+      }
+    }
+    probe[i] = candidate[i];
+  }
+  return true;
+}
+
+Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
+                             const LsExplanation& candidate,
+                             bool with_selections,
+                             ls::LubContext* lub_context) {
+  if (!IsLsExplanation(wni, candidate)) return false;
+  std::vector<Value> adom = wni.instance->ActiveDomain();
+  LsExplanation probe = candidate;
+  for (size_t j = 0; j < candidate.size(); ++j) {
+    ls::Extension ext = ls::Eval(candidate[j], *wni.instance);
+    if (ext.all) continue;  // already maximally general at this position
+
+    // Generalization to ⊤ covers all constants outside adom(I) at once:
+    // the only LS concepts containing a non-adom constant besides its own
+    // nominal are equivalent to ⊤.
+    probe[j] = ls::LsConcept::Top();
+    if (IsLsExplanation(wni, probe)) return false;
+
+    // lines 4-11 of Algorithm 2, used as a maximality test: lub-generalize
+    // by each uncovered active-domain constant.
+    std::vector<Value> support = ext.values;
+    support.push_back(wni.missing[j]);
+    for (const Value& b : adom) {
+      if (ext.Contains(b)) continue;
+      std::vector<Value> extended = support;
+      extended.push_back(b);
+      ls::LsConcept generalized;
+      if (with_selections) {
+        WHYNOT_ASSIGN_OR_RETURN(generalized,
+                                lub_context->LubWithSelections(extended));
+      } else {
+        generalized = lub_context->LubSelectionFree(extended);
+      }
+      probe[j] = std::move(generalized);
+      if (IsLsExplanation(wni, probe)) return false;
+    }
+    probe[j] = candidate[j];
+  }
+  return true;
+}
+
+}  // namespace whynot::explain

@@ -1,0 +1,38 @@
+#ifndef WHYNOT_EXPLAIN_CHECK_MGE_H_
+#define WHYNOT_EXPLAIN_CHECK_MGE_H_
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/lub.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+/// CHECK-MGE (Definition 5.3, Theorem 5.1.1, PTIME): is the candidate a
+/// most-general explanation w.r.t. the bound finite ontology?
+///
+/// Method (as in the paper): first check it is an explanation; then, for
+/// each position, try every strictly-more-general replacement concept — if
+/// any replacement keeps the tuple an explanation, the candidate is not
+/// most general. Single-position replacement is complete because a
+/// pointwise-greater explanation stays an explanation when all other
+/// positions are shrunk back.
+Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
+                              const WhyNotInstance& wni,
+                              const Explanation& candidate);
+
+/// CHECK-MGE W.R.T. OI (Definition 5.7, Proposition 5.2): is the candidate
+/// LS-explanation most general w.r.t. the instance-derived ontology OI?
+///
+/// Method (lines 4-11 of Algorithm 2 in reverse): for each position j and
+/// each constant b ∈ adom(I) \ ext(Cj), replace Cj with
+/// lub(ext(Cj,I) ∪ {b}); the candidate is an MGE iff no replacement (and no
+/// generalization to ⊤) keeps the tuple an explanation. PTIME for
+/// selection-free LS and for bounded schema arity, EXPTIME in general.
+Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
+                             const LsExplanation& candidate,
+                             bool with_selections,
+                             ls::LubContext* lub_context);
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_CHECK_MGE_H_

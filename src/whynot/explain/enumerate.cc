@@ -1,0 +1,280 @@
+#include "whynot/explain/enumerate.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "whynot/concepts/ls_eval.h"
+
+namespace whynot::explain {
+
+namespace {
+
+// A ground element of the independence system: position j generalized by
+// active-domain constant `adom[constant_index]`, or — when `constant_index
+// == kTopIndex` — by ⊤.
+constexpr int kTopIndex = -1;
+
+struct GroundElement {
+  int position;
+  int constant_index;
+
+  bool operator<(const GroundElement& o) const {
+    return std::tie(position, constant_index) <
+           std::tie(o.position, o.constant_index);
+  }
+  bool operator==(const GroundElement& o) const {
+    return position == o.position && constant_index == o.constant_index;
+  }
+};
+
+using ExclusionSet = std::set<GroundElement>;
+
+// State of one greedy completion: per-position support sets, concepts,
+// extensions, and the *decision* elements — accepted additions that
+// changed an extension. Decisions are the only elements worth branching
+// on: excluding an absorbed element cannot change the greedy trajectory.
+struct GreedyState {
+  std::vector<std::vector<Value>> support;  // constants fed to lub
+  std::vector<bool> topped;                 // position generalized to ⊤
+  LsExplanation concepts;
+  std::vector<ls::Extension> exts;
+  std::vector<GroundElement> decisions;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const WhyNotInstance& wni, const EnumerateOptions& options,
+             ls::LubContext* lub, EnumerateStats* stats)
+      : wni_(wni),
+        options_(options),
+        lub_(lub),
+        stats_(stats),
+        adom_(wni.instance->ActiveDomain()) {}
+
+  // Exclusion-branching enumeration of maximal independent sets
+  // (Lawler-style), specialized to this monotone system:
+  //
+  //   * One sweep in fixed (position, constant) order under exclusions F
+  //     yields a set maximal within ground ∖ F: acceptance only ever makes
+  //     later checks stricter, so a rejected element never becomes
+  //     acceptable again.
+  //   * The output is reported iff no excluded element can be re-added
+  //     (then it is maximal unconstrained, i.e. a genuine MGE).
+  //   * Children exclude, in turn, each decision element of the output.
+  //     Completeness: for a target MGE M and a node with F ∩ M = ∅, if
+  //     every decision lies inside M's support then induction over the
+  //     sweep shows the output's extensions equal M's (every element of
+  //     M's support is attempted and accepted, every acceptance stays
+  //     inside M), so the node reports M; otherwise some decision e ∉ M
+  //     gives a child with F ∪ {e} still disjoint from M.
+  Result<std::vector<LsExplanation>> Run() {
+    std::vector<LsExplanation> results;
+    std::set<std::vector<std::pair<bool, std::vector<Value>>>> seen_outputs;
+    std::set<ExclusionSet> visited;
+    std::deque<ExclusionSet> queue;
+    queue.push_back({});
+    visited.insert({});
+    size_t nodes_since_last_output = 0;
+
+    while (!queue.empty()) {
+      if (stats_->nodes_expanded >= options_.max_nodes) {
+        return Status::ResourceExhausted(
+            "MGE enumeration exceeded max_nodes = " +
+            std::to_string(options_.max_nodes));
+      }
+      ExclusionSet excluded = std::move(queue.front());
+      queue.pop_front();
+      ++stats_->nodes_expanded;
+      ++nodes_since_last_output;
+
+      GreedyState state;
+      WHYNOT_RETURN_IF_ERROR(GreedyComplete(excluded, &state));
+
+      WHYNOT_ASSIGN_OR_RETURN(bool maximal,
+                              MaximalUnconstrained(excluded, state));
+      bool fresh_output = false;
+      if (maximal) {
+        std::vector<std::pair<bool, std::vector<Value>>> ext_key;
+        ext_key.reserve(state.exts.size());
+        for (const ls::Extension& ext : state.exts) {
+          ext_key.emplace_back(ext.all, ext.values);
+        }
+        if (seen_outputs.insert(std::move(ext_key)).second) {
+          fresh_output = true;
+          stats_->max_delay =
+              std::max(stats_->max_delay, nodes_since_last_output);
+          nodes_since_last_output = 0;
+          results.push_back(state.concepts);
+          if (results.size() >= options_.max_results) return results;
+        } else {
+          ++stats_->duplicate_outputs;
+        }
+      }
+      if (!fresh_output && !options_.expand_duplicate_nodes) continue;
+
+      for (const GroundElement& e : state.decisions) {
+        ExclusionSet child = excluded;
+        child.insert(e);
+        if (visited.insert(child).second) {
+          queue.push_back(std::move(child));
+        } else {
+          ++stats_->visited_hits;
+        }
+      }
+    }
+    return results;
+  }
+
+ private:
+  // Deterministic greedy maximization under an exclusion set: start from
+  // the nominal-pinned tuple and, in fixed (position, constant) order, add
+  // every non-excluded generalization that keeps the tuple an explanation.
+  Status GreedyComplete(const ExclusionSet& excluded, GreedyState* state) {
+    size_t m = wni_.arity();
+    state->support.resize(m);
+    state->topped.assign(m, false);
+    state->concepts.resize(m);
+    state->exts.resize(m);
+    for (size_t j = 0; j < m; ++j) {
+      state->support[j] = {wni_.missing[j]};
+      WHYNOT_ASSIGN_OR_RETURN(auto ce, LubAndEval(state->support[j]));
+      state->concepts[j] = std::move(ce.first);
+      state->exts[j] = std::move(ce.second);
+    }
+    if (!IsExplanationNow(*state)) {
+      return Status::Internal(
+          "nominal-pinned tuple is not an explanation; contradicts "
+          "Section 5.2");
+    }
+
+    for (size_t j = 0; j < m; ++j) {
+      for (size_t bi = 0; bi < adom_.size() && !state->topped[j]; ++bi) {
+        GroundElement e{static_cast<int>(j), static_cast<int>(bi)};
+        if (excluded.count(e) > 0) continue;
+        const Value& b = adom_[bi];
+        // Inside the current lub extension: adding b leaves the lub
+        // unchanged (Lemma 5.1/5.2 minimality), so nothing to decide.
+        if (state->exts[j].Contains(b)) continue;
+        std::vector<Value> extended = state->support[j];
+        extended.push_back(b);
+        WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
+        if (StaysExplanation(*state, j, cand.second)) {
+          state->support[j] = std::move(extended);
+          state->concepts[j] = std::move(cand.first);
+          state->exts[j] = std::move(cand.second);
+          state->decisions.push_back(e);
+        }
+      }
+      if (options_.generalize_to_top && !state->exts[j].all) {
+        GroundElement top{static_cast<int>(j), kTopIndex};
+        if (excluded.count(top) == 0 &&
+            StaysExplanation(*state, j, ls::Extension::All())) {
+          state->topped[j] = true;
+          state->concepts[j] = ls::LsConcept::Top();
+          state->exts[j] = ls::Extension::All();
+          state->decisions.push_back(top);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // True iff no *excluded* element can still be added: combined with
+  // maximality within ground ∖ F (which the sweep guarantees), this makes
+  // the output maximal in the unconstrained system.
+  Result<bool> MaximalUnconstrained(const ExclusionSet& excluded,
+                                    const GreedyState& state) {
+    for (const GroundElement& e : excluded) {
+      size_t j = static_cast<size_t>(e.position);
+      if (state.topped[j] || state.exts[j].all) continue;
+      if (e.constant_index == kTopIndex) {
+        if (options_.generalize_to_top &&
+            StaysExplanation(state, j, ls::Extension::All())) {
+          return false;
+        }
+        continue;
+      }
+      const Value& b = adom_[static_cast<size_t>(e.constant_index)];
+      if (state.exts[j].Contains(b)) continue;  // absorbed: same MGE
+      std::vector<Value> extended = state.support[j];
+      extended.push_back(b);
+      WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
+      if (StaysExplanation(state, j, cand.second)) return false;
+    }
+    return true;
+  }
+
+  Result<ls::LsConcept> Lub(const std::vector<Value>& x) {
+    if (options_.with_selections) return lub_->LubWithSelections(x);
+    return lub_->LubSelectionFree(x);
+  }
+
+  // Memoized lub + evaluation: branch-tree nodes share long support-set
+  // prefixes, so the same lub is requested many times across nodes.
+  Result<std::pair<ls::LsConcept, ls::Extension>> LubAndEval(
+      const std::vector<Value>& x) {
+    std::vector<Value> key = x;
+    std::sort(key.begin(), key.end());
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+    auto it = lub_cache_.find(key);
+    if (it != lub_cache_.end()) return it->second;
+    WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept concept_expr, Lub(x));
+    ls::Extension ext = ls::Eval(concept_expr, *wni_.instance);
+    auto value = std::make_pair(std::move(concept_expr), std::move(ext));
+    lub_cache_.emplace(std::move(key), value);
+    return value;
+  }
+
+  bool IsExplanationNow(const GreedyState& state) const {
+    for (const Tuple& ans : wni_.answers) {
+      bool inside = true;
+      for (size_t j = 0; j < state.exts.size() && inside; ++j) {
+        inside = state.exts[j].Contains(ans[j]);
+      }
+      if (inside) return false;
+    }
+    return true;
+  }
+
+  // Would replacing position j's extension with `cand` keep the product
+  // disjoint from Ans?
+  bool StaysExplanation(const GreedyState& state, size_t j,
+                        const ls::Extension& cand) const {
+    for (const Tuple& ans : wni_.answers) {
+      if (!cand.Contains(ans[j])) continue;
+      bool inside = true;
+      for (size_t k = 0; k < state.exts.size() && inside; ++k) {
+        if (k == j) continue;
+        inside = state.exts[k].Contains(ans[k]);
+      }
+      if (inside) return false;
+    }
+    return true;
+  }
+
+  const WhyNotInstance& wni_;
+  const EnumerateOptions& options_;
+  ls::LubContext* lub_;
+  EnumerateStats* stats_;
+  std::vector<Value> adom_;
+  std::map<std::vector<Value>, std::pair<ls::LsConcept, ls::Extension>>
+      lub_cache_;
+};
+
+}  // namespace
+
+Result<std::vector<LsExplanation>> EnumerateAllMges(
+    const WhyNotInstance& wni, const EnumerateOptions& options,
+    EnumerateStats* stats) {
+  EnumerateStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = EnumerateStats{};
+  ls::LubContext lub(wni.instance, options.lub);
+  Enumerator enumerator(wni, options, &lub, stats);
+  return enumerator.Run();
+}
+
+}  // namespace whynot::explain

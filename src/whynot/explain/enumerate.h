@@ -1,0 +1,85 @@
+#ifndef WHYNOT_EXPLAIN_ENUMERATE_H_
+#define WHYNOT_EXPLAIN_ENUMERATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/lub.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+struct EnumerateOptions {
+  /// false: enumerate over selection-free LS (the fragment for which the
+  /// paper's Section 7 poses the polynomial-delay enumeration question).
+  /// true: enumerate over full LS via lubσ (Lemma 5.2).
+  bool with_selections = false;
+
+  /// Allow positions to generalize all the way to ⊤ (see
+  /// IncrementalOptions::generalize_to_top for why this is needed for
+  /// maximality over the full language, which contains ⊤).
+  bool generalize_to_top = true;
+
+  /// Stop after this many distinct most-general explanations.
+  size_t max_results = 100000;
+
+  /// Cap on branch-tree nodes expanded (the enumeration is output-
+  /// sensitive in practice but has no known polynomial-delay bound; the
+  /// paper leaves that question open).
+  size_t max_nodes = 1000000;
+
+  /// true (default): expand children of every node, including nodes whose
+  /// greedy output duplicates an already-reported MGE — required for the
+  /// completeness guarantee (a duplicate node's exclusion set can still be
+  /// the only gateway to an unreported MGE). false: stop at duplicate
+  /// outputs — a heuristic that explores far fewer nodes; every output is
+  /// still a verified MGE, but rare MGEs may be missed. The benchmark
+  /// bench_enumerate measures the gap.
+  bool expand_duplicate_nodes = true;
+
+  ls::LubOptions lub;
+};
+
+/// Counters exposed for the enumeration benchmarks (delay behaviour).
+struct EnumerateStats {
+  /// Branch-tree nodes whose greedy completion was computed.
+  size_t nodes_expanded = 0;
+  /// Nodes whose greedy completion duplicated an already-reported MGE.
+  size_t duplicate_outputs = 0;
+  /// Nodes skipped because their exclusion set was already visited.
+  size_t visited_hits = 0;
+  /// Largest number of nodes expanded between two successive new outputs
+  /// (the empirical "delay" of the enumeration).
+  size_t max_delay = 0;
+};
+
+/// Enumerates *all* most-general explanations for the why-not instance
+/// w.r.t. the instance-derived ontology OI, modulo equivalence ≡_OI
+/// (Section 7 poses this as an open problem for selection-free LS; this is
+/// a correct — but not provably polynomial-delay — solution).
+///
+/// Method. Being an explanation is monotone-decreasing in the per-position
+/// support sets: growing a support set grows the lub extension and hence
+/// the product, so explanations form an independence system over the
+/// ground set {(position j, b) | b ∈ adom(I)} ∪ {(position j, ⊤)}. Every
+/// most-general explanation corresponds to exactly one *maximal*
+/// independent set (its full support: by Lemmas 5.1/5.2, adding a constant
+/// already inside the lub extension leaves the lub unchanged). Maximal
+/// independent sets are enumerated by deterministic greedy completion with
+/// exclusion-set branching (Lawler-style): report greedy(∅); for each
+/// reported set E and each ground element e ∈ E, branch on excluding e.
+/// For any maximal M, greedy(ground ∖ M) = M and each branching step can
+/// stay inside ground ∖ M, so every MGE is reached; a visited-set on
+/// exclusion sets and result deduplication bound re-exploration.
+///
+/// The result is an antichain w.r.t. ≤_OI; each element passes CHECK-MGE
+/// w.r.t. OI. Ordering is deterministic (discovery order of the
+/// deterministic branching).
+Result<std::vector<LsExplanation>> EnumerateAllMges(
+    const WhyNotInstance& wni, const EnumerateOptions& options = {},
+    EnumerateStats* stats = nullptr);
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_ENUMERATE_H_

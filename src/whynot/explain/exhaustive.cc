@@ -1,0 +1,133 @@
+#include "whynot/explain/exhaustive.h"
+
+#include <algorithm>
+
+namespace whynot::explain {
+
+namespace {
+
+/// C(a_i): the concepts whose extension contains a_i (line 1 of
+/// Algorithm 1).
+Result<std::vector<std::vector<onto::ConceptId>>> CandidateLists(
+    onto::BoundOntology* bound, const WhyNotInstance& wni) {
+  std::vector<std::vector<onto::ConceptId>> lists(wni.arity());
+  for (size_t i = 0; i < wni.arity(); ++i) {
+    ValueId id = bound->pool().Intern(wni.missing[i]);
+    for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
+      if (bound->Ext(c).Contains(id)) lists[i].push_back(c);
+    }
+    if (lists[i].empty()) return lists;  // no explanation can exist
+  }
+  return lists;
+}
+
+/// Enumerates the candidate product, calling `visit` on every tuple that
+/// avoids Ans (line 2 of Algorithm 1). `visit` returns false to abort.
+template <typename Visit>
+Status EnumerateExplanations(
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    const std::vector<std::vector<onto::ConceptId>>& lists,
+    const std::vector<std::vector<ValueId>>& answers, size_t max_candidates,
+    Visit visit) {
+  size_t m = wni.arity();
+  for (const auto& list : lists) {
+    if (list.empty()) return Status::OK();
+  }
+  std::vector<size_t> idx(m, 0);
+  std::vector<onto::ConceptId> current(m);
+  size_t count = 0;
+  while (true) {
+    if (++count > max_candidates) {
+      return Status::ResourceExhausted(
+          "candidate enumeration exceeded max_candidates (the space is "
+          "exponential in the query arity, Theorem 5.2)");
+    }
+    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+    if (!ProductIntersectsAnswers(bound, current, answers)) {
+      if (!visit(current)) return Status::OK();
+    }
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < m && ++idx[i] == lists[i].size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == m) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    const ExhaustiveOptions& options) {
+  WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<onto::ConceptId>> lists,
+                          CandidateLists(bound, wni));
+  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+
+  // Line 2: the set X of all explanations.
+  std::vector<Explanation> x;
+  WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
+      bound, wni, lists, answers, options.max_candidates,
+      [&x](const Explanation& e) {
+        x.push_back(e);
+        return true;
+      }));
+
+  // Lines 3-5: remove every explanation strictly less general than another.
+  std::vector<bool> removed(x.size(), false);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (removed[i]) continue;
+    for (size_t j = 0; j < x.size(); ++j) {
+      if (i == j || removed[j]) continue;
+      if (StrictlyLessGeneral(*bound, x[j], x[i])) removed[j] = true;
+    }
+  }
+  // Also collapse equivalent explanations (mutually ≤), keeping the first.
+  std::vector<Explanation> result;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (removed[i]) continue;
+    bool duplicate = false;
+    for (const Explanation& kept : result) {
+      if (LessGeneral(*bound, kept, x[i]) && LessGeneral(*bound, x[i], kept)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) result.push_back(x[i]);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Result<std::vector<Explanation>> PrunedSearchAllMge(
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    const ExhaustiveOptions& options) {
+  WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<onto::ConceptId>> lists,
+                          CandidateLists(bound, wni));
+  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+
+  std::vector<Explanation> antichain;
+  WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
+      bound, wni, lists, answers, options.max_candidates,
+      [&](const Explanation& e) {
+        // Skip candidates dominated by (or equivalent to) a kept one.
+        for (const Explanation& kept : antichain) {
+          if (LessGeneral(*bound, e, kept)) return true;
+        }
+        // Remove kept ones strictly dominated by the candidate.
+        antichain.erase(
+            std::remove_if(antichain.begin(), antichain.end(),
+                           [&](const Explanation& kept) {
+                             return StrictlyLessGeneral(*bound, kept, e);
+                           }),
+            antichain.end());
+        antichain.push_back(e);
+        return true;
+      }));
+  std::sort(antichain.begin(), antichain.end());
+  return antichain;
+}
+
+}  // namespace whynot::explain

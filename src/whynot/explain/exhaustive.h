@@ -1,0 +1,39 @@
+#ifndef WHYNOT_EXPLAIN_EXHAUSTIVE_H_
+#define WHYNOT_EXPLAIN_EXHAUSTIVE_H_
+
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+struct ExhaustiveOptions {
+  /// Cap on candidate tuples enumerated (the candidate space is
+  /// |C(a_1)| × ... × |C(a_m)|, exponential in the query arity —
+  /// Theorem 5.2).
+  size_t max_candidates = 20000000;
+};
+
+/// Algorithm 1 (EXHAUSTIVE SEARCH): computes the set of *all* most-general
+/// explanations for the why-not instance w.r.t. the bound finite ontology.
+/// Runs in EXPTIME in general and PTIME for fixed query arity
+/// (Theorem 5.2). The result is an antichain under ≤_O containing, modulo
+/// equivalence, every most-general explanation; explanations are returned
+/// in lexicographic concept-id order.
+Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    const ExhaustiveOptions& options = {});
+
+/// Optimized variant of Algorithm 1 used as an ablation baseline: maintains
+/// the maximal antichain incrementally while enumerating (instead of
+/// generating all explanations first and filtering pairwise afterwards) and
+/// skips candidates already dominated. Produces exactly the same set as
+/// ExhaustiveSearchAllMge.
+Result<std::vector<Explanation>> PrunedSearchAllMge(
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    const ExhaustiveOptions& options = {});
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_EXHAUSTIVE_H_

@@ -1,0 +1,91 @@
+#include "whynot/explain/existence.h"
+
+#include <set>
+
+namespace whynot::explain {
+
+namespace {
+
+/// Backtracking state: at position i with a set of still-alive answers
+/// (answers not yet excluded at any earlier position). An explanation
+/// exists below this state iff every alive answer can be excluded at some
+/// remaining position.
+class Search {
+ public:
+  Search(onto::BoundOntology* bound, const WhyNotInstance& wni,
+         const ExistenceOptions& options)
+      : bound_(bound), options_(options) {
+    m_ = wni.arity();
+    candidates_.resize(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      ValueId id = bound->pool().Intern(wni.missing[i]);
+      for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
+        if (bound->Ext(c).Contains(id)) candidates_[i].push_back(c);
+      }
+    }
+    answers_ = InternAnswers(bound, wni);
+    chosen_.resize(m_);
+  }
+
+  Result<bool> Run(Explanation* witness) {
+    for (const auto& list : candidates_) {
+      if (list.empty()) return false;
+    }
+    std::vector<uint32_t> alive(answers_.size());
+    for (uint32_t i = 0; i < answers_.size(); ++i) alive[i] = i;
+    bool found = false;
+    WHYNOT_RETURN_IF_ERROR(Descend(0, alive, &found));
+    if (found && witness != nullptr) *witness = chosen_;
+    return found;
+  }
+
+ private:
+  Status Descend(size_t pos, const std::vector<uint32_t>& alive, bool* found) {
+    if (*found) return Status::OK();
+    if (++nodes_ > options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "existence search exceeded max_nodes (the problem is NP-complete, "
+          "Theorem 5.1.2)");
+    }
+    if (pos == m_) {
+      if (alive.empty()) *found = true;
+      return Status::OK();
+    }
+    // Memoize defeated (pos, alive) states.
+    auto key = std::make_pair(pos, alive);
+    if (defeated_.count(key) > 0) return Status::OK();
+
+    for (onto::ConceptId c : candidates_[pos]) {
+      std::vector<uint32_t> next;
+      for (uint32_t a : alive) {
+        if (bound_->Ext(c).Contains(answers_[a][pos])) next.push_back(a);
+      }
+      chosen_[pos] = c;
+      WHYNOT_RETURN_IF_ERROR(Descend(pos + 1, next, found));
+      if (*found) return Status::OK();
+    }
+    defeated_.emplace(std::move(key));
+    return Status::OK();
+  }
+
+  onto::BoundOntology* bound_;
+  ExistenceOptions options_;
+  size_t m_ = 0;
+  std::vector<std::vector<onto::ConceptId>> candidates_;
+  std::vector<std::vector<ValueId>> answers_;
+  Explanation chosen_;
+  std::set<std::pair<size_t, std::vector<uint32_t>>> defeated_;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+Result<bool> ExistsExplanation(onto::BoundOntology* bound,
+                               const WhyNotInstance& wni,
+                               Explanation* witness,
+                               const ExistenceOptions& options) {
+  Search search(bound, wni, options);
+  return search.Run(witness);
+}
+
+}  // namespace whynot::explain

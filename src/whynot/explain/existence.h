@@ -1,0 +1,29 @@
+#ifndef WHYNOT_EXPLAIN_EXISTENCE_H_
+#define WHYNOT_EXPLAIN_EXISTENCE_H_
+
+#include <optional>
+
+#include "whynot/common/status.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+struct ExistenceOptions {
+  /// Cap on backtracking search nodes (the problem is NP-complete in
+  /// general, Theorem 5.1.2).
+  size_t max_nodes = 50000000;
+};
+
+/// EXISTENCE-OF-EXPLANATION (Definition 5.2): does any explanation for
+/// a ∉ Ans exist w.r.t. the bound ontology? NP-complete in general, even
+/// for bounded schema arity (Theorem 5.1.2); decided by backtracking over
+/// positions with answer-set pruning and memoization of defeated states.
+/// If `witness` is non-null and an explanation exists, one is stored.
+Result<bool> ExistsExplanation(onto::BoundOntology* bound,
+                               const WhyNotInstance& wni,
+                               Explanation* witness = nullptr,
+                               const ExistenceOptions& options = {});
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_EXISTENCE_H_

@@ -1,0 +1,78 @@
+#include "whynot/explain/incremental.h"
+
+#include <algorithm>
+
+namespace whynot::explain {
+
+namespace {
+
+Result<ls::LsConcept> Lub(ls::LubContext* ctx, bool with_selections,
+                          const std::vector<Value>& x) {
+  if (with_selections) return ctx->LubWithSelections(x);
+  return ctx->LubSelectionFree(x);
+}
+
+}  // namespace
+
+Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
+                                        const IncrementalOptions& options,
+                                        ls::LubContext* lub_context) {
+  size_t m = wni.arity();
+
+  // Lines 2-3: support sets X_j = {a_j}; first candidate explanation
+  // E = (lub(X_1), ..., lub(X_m)).
+  std::vector<std::vector<Value>> support(m);
+  LsExplanation e(m);
+  for (size_t j = 0; j < m; ++j) {
+    support[j] = {wni.missing[j]};
+    WHYNOT_ASSIGN_OR_RETURN(
+        e[j], Lub(lub_context, options.with_selections, support[j]));
+  }
+  if (!IsLsExplanation(wni, e)) {
+    return Status::Internal(
+        "initial nominal-pinned tuple is not an explanation; this "
+        "contradicts Section 5.2 (the trivial explanation always exists)");
+  }
+
+  // Lines 4-11: for every position and every uncovered active-domain
+  // constant, try the lub-generalized tuple; keep it if it remains an
+  // explanation.
+  std::vector<Value> adom = wni.instance->ActiveDomain();
+  for (size_t j = 0; j < m; ++j) {
+    for (const Value& b : adom) {
+      ls::Extension ext = ls::Eval(e[j], *wni.instance);
+      if (ext.Contains(b)) continue;
+      std::vector<Value> extended = support[j];
+      extended.push_back(b);
+      WHYNOT_ASSIGN_OR_RETURN(
+          ls::LsConcept generalized,
+          Lub(lub_context, options.with_selections, extended));
+      LsExplanation probe = e;
+      probe[j] = generalized;
+      if (IsLsExplanation(wni, probe)) {
+        e = std::move(probe);
+        support[j] = std::move(extended);
+      }
+    }
+  }
+
+  // Final sweep: ⊤ is strictly more general than any concept whose
+  // extension is finite; accept it where the tuple stays an explanation.
+  if (options.generalize_to_top) {
+    for (size_t j = 0; j < m; ++j) {
+      if (ls::Eval(e[j], *wni.instance).all) continue;
+      LsExplanation probe = e;
+      probe[j] = ls::LsConcept::Top();
+      if (IsLsExplanation(wni, probe)) e = std::move(probe);
+    }
+  }
+  return e;
+}
+
+Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
+                                        const IncrementalOptions& options) {
+  ls::LubContext ctx(wni.instance, options.lub);
+  return IncrementalSearch(wni, options, &ctx);
+}
+
+}  // namespace whynot::explain

@@ -1,0 +1,45 @@
+#ifndef WHYNOT_EXPLAIN_INCREMENTAL_H_
+#define WHYNOT_EXPLAIN_INCREMENTAL_H_
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/lub.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+struct IncrementalOptions {
+  /// false: Algorithm 2 with selection-free lub (Lemma 5.1, Theorem 5.3 —
+  /// PTIME). true: INCREMENTAL SEARCH WITH SELECTIONS using lubσ
+  /// (Lemma 5.2, Theorem 5.4 — EXPTIME, PTIME for bounded schema arity).
+  bool with_selections = false;
+
+  /// After the lub-generalization sweep, additionally try generalizing
+  /// each position to ⊤. The paper's pseudocode only generalizes over
+  /// adom(I); when a column covers the whole active domain, ⊤ is still a
+  /// strictly more general concept (its extension is all of Const), so
+  /// this extra step is required for the output to be most general with
+  /// respect to the full language LS, which contains ⊤. Disable to follow
+  /// the paper's pseudocode to the letter.
+  bool generalize_to_top = true;
+
+  ls::LubOptions lub;
+};
+
+/// Algorithm 2 (INCREMENTAL SEARCH): computes one most-general explanation
+/// for the why-not instance w.r.t. the instance-derived ontology OI
+/// (Section 5.2). Starts from the tuple of lub({a_j}) (the nominal-pinned,
+/// most specific explanation, which always exists) and greedily grows each
+/// position's support set by active-domain constants while the tuple
+/// remains an explanation.
+Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
+                                        const IncrementalOptions& options = {});
+
+/// Same, reusing a caller-provided lub context (amortizes the canonical-box
+/// construction across repeated calls; used by benchmarks).
+Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
+                                        const IncrementalOptions& options,
+                                        ls::LubContext* lub_context);
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_INCREMENTAL_H_

@@ -1,0 +1,40 @@
+#ifndef WHYNOT_EXPLAIN_SCHEMA_MGE_H_
+#define WHYNOT_EXPLAIN_SCHEMA_MGE_H_
+
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/materialize.h"
+#include "whynot/explain/exhaustive.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+struct DerivedMgeOptions {
+  ls::Fragment fragment = ls::Fragment::kMinimal;
+  /// kSchema materializes OS[K] (Proposition 5.3; requires the schema to
+  /// lie in a decidable Table 1 class); kInstance materializes OI[K]
+  /// (the Proposition 5.1 route, used to cross-check Algorithm 2).
+  ls::SubsumptionMode mode = ls::SubsumptionMode::kSchema;
+  size_t max_concepts = 4096;
+  ls::SchemaSubsumptionOptions schema_options;
+  ExhaustiveOptions exhaustive;
+};
+
+/// COMPUTE-ONE-MGE W.R.T. OS (Definition 5.8) / W.R.T. OI (Definition 5.6)
+/// via materialization: builds the finite restriction O_S[K] or O_I[K] with
+/// K = adom(I) ∪ {a_1..a_m} (sufficient by Proposition 5.1) and runs
+/// Algorithm 1 over it (Proposition 5.3: 2EXPTIME in general, PTIME for
+/// LminS with fixed query arity and a PTIME-subsumption schema class).
+/// Returns all most-general explanations as LS expressions.
+Result<std::vector<LsExplanation>> ComputeAllMgeDerived(
+    const WhyNotInstance& wni, const DerivedMgeOptions& options = {});
+
+/// Convenience: the first (lexicographically least) MGE from
+/// ComputeAllMgeDerived.
+Result<LsExplanation> ComputeOneMgeDerived(
+    const WhyNotInstance& wni, const DerivedMgeOptions& options = {});
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_SCHEMA_MGE_H_

@@ -1,0 +1,105 @@
+#include "whynot/explain/setcover.h"
+
+#include <algorithm>
+
+#include "whynot/explain/whynot_instance.h"
+
+namespace whynot::explain {
+
+bool BruteForceSetCover(const SetCoverInstance& sc) {
+  size_t k = sc.sets.size();
+  if (sc.universe == 0) return true;
+  // Enumerate all subsets of size <= bound (k is small in tests).
+  std::vector<size_t> chosen;
+  auto recurse = [&](auto&& self, size_t start, std::vector<bool> covered,
+                     size_t covered_count) -> bool {
+    if (covered_count == sc.universe) return true;
+    if (chosen.size() == sc.bound) return false;
+    for (size_t s = start; s < k; ++s) {
+      std::vector<bool> next = covered;
+      size_t count = covered_count;
+      for (int e : sc.sets[s]) {
+        if (!next[static_cast<size_t>(e)]) {
+          next[static_cast<size_t>(e)] = true;
+          ++count;
+        }
+      }
+      chosen.push_back(s);
+      if (self(self, s + 1, std::move(next), count)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  return recurse(recurse, 0, std::vector<bool>(sc.universe, false), 0);
+}
+
+Result<std::unique_ptr<SetCoverWhyNot>> ReduceSetCoverToWhyNot(
+    const SetCoverInstance& sc) {
+  if (sc.bound == 0) {
+    return Status::InvalidArgument("cover bound must be positive");
+  }
+  auto out = std::make_unique<SetCoverWhyNot>();
+  out->schema = std::make_unique<rel::Schema>();
+  WHYNOT_RETURN_IF_ERROR(out->schema->AddRelation("U", {"elem"}));
+  out->instance = std::make_unique<rel::Instance>(out->schema.get());
+
+  auto elem_name = [](int i) { return Value("u" + std::to_string(i)); };
+  const Value star("star");
+  for (size_t i = 0; i < sc.universe; ++i) {
+    WHYNOT_RETURN_IF_ERROR(
+        out->instance->AddFact("U", {elem_name(static_cast<int>(i))}));
+  }
+
+  out->ontology = std::make_unique<onto::ExplicitOntology>();
+  for (size_t s = 0; s < sc.sets.size(); ++s) {
+    std::vector<Value> ext;
+    ext.push_back(star);
+    std::vector<bool> in_set(sc.universe, false);
+    for (int e : sc.sets[s]) in_set[static_cast<size_t>(e)] = true;
+    for (size_t i = 0; i < sc.universe; ++i) {
+      if (!in_set[i]) ext.push_back(elem_name(static_cast<int>(i)));
+    }
+    std::string name = "C_set" + std::to_string(s);
+    out->ontology->AddConcept(name);
+    out->ontology->SetExtension(name, std::move(ext));
+  }
+  WHYNOT_RETURN_IF_ERROR(out->ontology->Finalize());
+
+  std::vector<Tuple> answers;
+  for (size_t i = 0; i < sc.universe; ++i) {
+    answers.push_back(Tuple(sc.bound, elem_name(static_cast<int>(i))));
+  }
+  Tuple missing(sc.bound, star);
+  WHYNOT_ASSIGN_OR_RETURN(
+      out->wni, MakeWhyNotInstanceFromAnswers(out->instance.get(),
+                                              std::move(answers),
+                                              std::move(missing)));
+  return out;
+}
+
+SetCoverInstance RandomSetCover(size_t universe, size_t num_sets,
+                                size_t set_size, size_t bound,
+                                uint64_t seed) {
+  SetCoverInstance sc;
+  sc.universe = universe;
+  sc.bound = bound;
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (size_t s = 0; s < num_sets; ++s) {
+    std::vector<int> set;
+    for (size_t j = 0; j < set_size; ++j) {
+      set.push_back(static_cast<int>(next() % universe));
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    sc.sets.push_back(std::move(set));
+  }
+  return sc;
+}
+
+}  // namespace whynot::explain

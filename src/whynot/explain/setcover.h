@@ -1,0 +1,54 @@
+#ifndef WHYNOT_EXPLAIN_SETCOVER_H_
+#define WHYNOT_EXPLAIN_SETCOVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/explain/explanation.h"
+#include "whynot/ontology/explicit_ontology.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::explain {
+
+/// A SET COVER instance: can `bound` of the `sets` cover {0..universe-1}?
+struct SetCoverInstance {
+  size_t universe = 0;
+  std::vector<std::vector<int>> sets;
+  size_t bound = 0;
+};
+
+/// Reference decision procedure (exponential; for cross-checking the
+/// reduction in tests).
+bool BruteForceSetCover(const SetCoverInstance& sc);
+
+/// The reduction behind Theorem 5.1.2 (EXISTENCE-OF-EXPLANATION is
+/// NP-complete; the query arity is the cover bound, the schema arity is 1):
+///
+///  * constants: u_0..u_{n-1} for the universe elements plus a fresh ★;
+///  * instance: a single unary relation U holding every u_i;
+///  * ontology: one concept C_S per set S with fixed extension
+///    {★} ∪ {u_i | i ∉ S} and no non-trivial subsumptions;
+///  * why-not question: a = (★, ..., ★) (arity = bound) with
+///    Ans = {(u_i, ..., u_i) | i < n}.
+///
+/// A tuple (C_{S1}, ..., C_{Sb}) avoids the answer (u_i,...,u_i) iff some
+/// chosen set contains i, so an explanation exists iff `bound` sets cover
+/// the universe.
+struct SetCoverWhyNot {
+  std::unique_ptr<rel::Schema> schema;
+  std::unique_ptr<rel::Instance> instance;
+  std::unique_ptr<onto::ExplicitOntology> ontology;
+  WhyNotInstance wni;
+};
+
+Result<std::unique_ptr<SetCoverWhyNot>> ReduceSetCoverToWhyNot(
+    const SetCoverInstance& sc);
+
+/// Deterministic pseudo-random SET COVER instances for tests/benchmarks.
+SetCoverInstance RandomSetCover(size_t universe, size_t num_sets,
+                                size_t set_size, size_t bound, uint64_t seed);
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_SETCOVER_H_

@@ -1,0 +1,117 @@
+#include "whynot/explain/shorten.h"
+
+#include <algorithm>
+
+#include "whynot/concepts/lub.h"
+#include "whynot/concepts/materialize.h"
+
+namespace whynot::explain {
+
+ls::LsConcept MakeIrredundant(const ls::LsConcept& concept_expr,
+                              const rel::Instance& instance) {
+  ls::Extension target = ls::Eval(concept_expr, instance);
+  std::vector<ls::Conjunct> kept(concept_expr.conjuncts());
+  // Greedy removal: drop a conjunct whenever the extension is unchanged.
+  // The result is irredundant because extensions grow monotonically as
+  // conjuncts are removed: if some subset of the survivors were still
+  // equivalent, the greedy pass would have removed the difference.
+  for (size_t i = 0; i < kept.size();) {
+    std::vector<ls::Conjunct> without = kept;
+    without.erase(without.begin() + static_cast<long>(i));
+    if (ls::Eval(ls::LsConcept(without), instance) == target) {
+      kept = std::move(without);
+    } else {
+      ++i;
+    }
+  }
+  return ls::LsConcept(std::move(kept));
+}
+
+LsExplanation MakeIrredundant(const LsExplanation& explanation,
+                              const rel::Instance& instance) {
+  LsExplanation out;
+  out.reserve(explanation.size());
+  for (const ls::LsConcept& c : explanation) {
+    out.push_back(MakeIrredundant(c, instance));
+  }
+  return out;
+}
+
+Result<ls::LsConcept> MinimizeEquivalent(const ls::LsConcept& concept_expr,
+                                         const rel::Instance& instance,
+                                         const MinimizeOptions& options) {
+  ls::Extension target = ls::Eval(concept_expr, instance);
+  if (target.all) return ls::LsConcept::Top();
+
+  // Candidate pool: single conjuncts whose extension contains the target
+  // (only those can appear in an equivalent intersection).
+  std::vector<Value> constants = instance.ActiveDomain();
+  for (const Value& v : concept_expr.Constants()) constants.push_back(v);
+  WHYNOT_ASSIGN_OR_RETURN(
+      std::vector<ls::LsConcept> pool_raw,
+      ls::EnumerateConjunctConcepts(instance, constants,
+                                    options.with_selections
+                                        ? ls::Fragment::kFull
+                                        : ls::Fragment::kSelectionFree,
+                                    options.max_nodes));
+  struct Candidate {
+    ls::LsConcept concept_expr;
+    ls::Extension ext;
+  };
+  std::vector<Candidate> pool;
+  for (ls::LsConcept& c : pool_raw) {
+    ls::Extension e = ls::Eval(c, instance);
+    if (target.SubsetOf(e)) pool.push_back({std::move(c), std::move(e)});
+  }
+  // Cheapest-first: sort by expression length.
+  std::sort(pool.begin(), pool.end(), [](const Candidate& a,
+                                         const Candidate& b) {
+    return a.concept_expr.Length() < b.concept_expr.Length();
+  });
+
+  // Iterative-deepening subset search on total length.
+  size_t nodes = 0;
+  std::vector<const Candidate*> best;
+  bool found = false;
+  size_t best_len = concept_expr.Length() + 1;
+
+  std::vector<const Candidate*> chosen;
+  auto search = [&](auto&& self, size_t start, const ls::Extension& current,
+                    size_t length) -> Status {
+    if (++nodes > options.max_nodes) {
+      return Status::ResourceExhausted(
+          "minimized-explanation search exceeded max_nodes (the problem is "
+          "NP-hard, Proposition 6.3)");
+    }
+    if (current == target) {
+      if (!found || length < best_len) {
+        best = chosen;
+        best_len = length;
+        found = true;
+      }
+      return Status::OK();
+    }
+    if (length >= best_len) return Status::OK();
+    for (size_t i = start; i < pool.size(); ++i) {
+      size_t next_len = length + pool[i].concept_expr.Length();
+      if (next_len >= best_len) continue;
+      ls::Extension next = current.Intersect(pool[i].ext);
+      if (next == current) continue;  // no progress
+      chosen.push_back(&pool[i]);
+      WHYNOT_RETURN_IF_ERROR(self(self, i + 1, next, next_len));
+      chosen.pop_back();
+    }
+    return Status::OK();
+  };
+  WHYNOT_RETURN_IF_ERROR(search(search, 0, ls::Extension::All(), 0));
+  if (!found) return MakeIrredundant(concept_expr, instance);
+  std::vector<ls::Conjunct> conjuncts;
+  for (const Candidate* c : best) {
+    for (const ls::Conjunct& cj : c->concept_expr.conjuncts()) {
+      conjuncts.push_back(cj);
+    }
+  }
+  return ls::LsConcept(std::move(conjuncts));
+}
+
+}  // namespace whynot::explain

@@ -1,0 +1,41 @@
+#ifndef WHYNOT_EXPLAIN_SHORTEN_H_
+#define WHYNOT_EXPLAIN_SHORTEN_H_
+
+#include "whynot/common/status.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+/// Proposition 6.2 (PTIME): removes conjuncts of `concept_expr` while the
+/// result stays ≡_{O_I}-equivalent (equal extension on I). The output is
+/// irredundant: no strict subset of its conjuncts is equivalent.
+ls::LsConcept MakeIrredundant(const ls::LsConcept& concept_expr,
+                              const rel::Instance& instance);
+
+/// Applies MakeIrredundant to every position. Combined with INCREMENTAL
+/// SEARCH this computes an irredundant most-general explanation in
+/// polynomial time (Section 6).
+LsExplanation MakeIrredundant(const LsExplanation& explanation,
+                              const rel::Instance& instance);
+
+struct MinimizeOptions {
+  /// Search cap: shortest-equivalent search is NP-hard (Propositions 6.1
+  /// and 6.3).
+  size_t max_nodes = 2000000;
+  /// Candidate conjunct pool: selection-free keeps the pool polynomial.
+  bool with_selections = false;
+};
+
+/// Proposition 6.3: a *minimized* equivalent of `concept_expr` — a shortest
+/// concept with the same extension on I, found by exhaustive subset search
+/// over the candidate conjunct pool (every irredundant concept is a subset
+/// of valid conjuncts, but a minimized one may use conjuncts absent from
+/// the input, so the pool is rebuilt from the instance). NP-hard in
+/// general; the cap yields ResourceExhausted on blowup.
+Result<ls::LsConcept> MinimizeEquivalent(const ls::LsConcept& concept_expr,
+                                         const rel::Instance& instance,
+                                         const MinimizeOptions& options = {});
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_SHORTEN_H_

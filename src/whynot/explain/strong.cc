@@ -1,0 +1,37 @@
+#include "whynot/explain/strong.h"
+
+#include "whynot/relational/cq_eval.h"
+
+namespace whynot::explain {
+
+Result<StrongCheckResult> CheckStrongExplanation(
+    const onto::FiniteOntology& ontology, const rel::UnionQuery& query,
+    const Explanation& candidate,
+    const std::vector<const rel::Instance*>& family) {
+  StrongCheckResult result;
+  for (const rel::Instance* instance : family) {
+    onto::BoundOntology bound(&ontology, instance);
+    if (!bound.CheckConsistent().ok()) continue;  // outside the quantifier
+    ++result.instances_checked;
+    WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
+                            rel::Evaluate(query, *instance));
+    for (const Tuple& ans : answers) {
+      bool inside = true;
+      for (size_t i = 0; i < candidate.size() && inside; ++i) {
+        ValueId id = bound.pool().Intern(ans[i]);
+        inside = bound.Ext(candidate[i]).Contains(id);
+      }
+      if (inside) {
+        result.refuted = true;
+        result.counterexample =
+            "answer " + TupleToString(ans) +
+            " lies in the concept product on a consistent instance with " +
+            std::to_string(instance->NumFacts()) + " facts";
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace whynot::explain

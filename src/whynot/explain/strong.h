@@ -1,0 +1,39 @@
+#ifndef WHYNOT_EXPLAIN_STRONG_H_
+#define WHYNOT_EXPLAIN_STRONG_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+/// Outcome of a strong-explanation check over a finite instance family.
+struct StrongCheckResult {
+  /// True iff some family instance witnesses that E is *not* strong.
+  bool refuted = false;
+  /// Description of the refuting instance and answer tuple, if any.
+  std::string counterexample;
+  /// Instances that were consistent with the ontology and actually checked.
+  size_t instances_checked = 0;
+};
+
+/// Strong explanations (Section 6): E is strong iff for *every* instance I′
+/// consistent with O, (ext(C1,I′) × ... × ext(Cm,I′)) ∩ q(I′) = ∅. The
+/// paper leaves the theory as future work; deciding it ranges up to
+/// undecidable depending on the ontology/query classes. This checker is a
+/// refutation procedure over a caller-supplied finite family of instances:
+/// `refuted == true` is a definitive "not strong"; `refuted == false` means
+/// no counterexample exists *within the family* (a semi-decision).
+///
+/// Instances inconsistent with the ontology are skipped (they are outside
+/// the quantifier's range).
+Result<StrongCheckResult> CheckStrongExplanation(
+    const onto::FiniteOntology& ontology, const rel::UnionQuery& query,
+    const Explanation& candidate,
+    const std::vector<const rel::Instance*>& family);
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_STRONG_H_

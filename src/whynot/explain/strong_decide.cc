@@ -1,0 +1,579 @@
+#include "whynot/explain/strong_decide.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "whynot/common/strings.h"
+#include "whynot/concepts/ls_eval.h"
+#include "whynot/relational/cq_eval.h"
+#include "whynot/relational/interval.h"
+#include "whynot/relational/views.h"
+
+namespace whynot::explain {
+
+const char* StrongVerdictName(StrongVerdict v) {
+  switch (v) {
+    case StrongVerdict::kStrong:
+      return "strong";
+    case StrongVerdict::kNotStrong:
+      return "not-strong";
+    case StrongVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+// One way to satisfy "x ∈ ⟦conjunct⟧" in some instance: a set of atoms
+// (over data relations), comparisons over their variables, an optional
+// equality pin on x (nominals), and the variable to unify with x (empty
+// for ⊤ / nominal-only options).
+struct MembershipOption {
+  std::vector<rel::Atom> atoms;
+  std::vector<rel::Comparison> comparisons;
+  std::optional<Value> pin;
+  std::string out_var;
+};
+
+// The canonical pattern under construction: a union-find over term nodes,
+// each carrying an interval constraint, plus atoms whose arguments are
+// node ids.
+class Pattern {
+ public:
+  int NodeForVar(const std::string& var) {
+    auto it = var_node_.find(var);
+    if (it != var_node_.end()) return it->second;
+    int id = NewNode();
+    var_node_.emplace(var, id);
+    return id;
+  }
+
+  int NodeForConst(const Value& v) {
+    int id = NewNode();
+    nodes_[static_cast<size_t>(id)].interval.Narrow(rel::CmpOp::kEq, v);
+    return id;
+  }
+
+  void AddAtom(const std::string& relation, std::vector<int> args) {
+    atoms_.push_back({relation, std::move(args)});
+  }
+
+  // Adds the atom, allocating nodes for its terms under `rename`.
+  void AddAtom(const rel::Atom& atom,
+               const std::map<std::string, std::string>& rename) {
+    std::vector<int> args;
+    args.reserve(atom.args.size());
+    for (const rel::Term& t : atom.args) {
+      if (t.is_var()) {
+        auto it = rename.find(t.var());
+        args.push_back(
+            NodeForVar(it == rename.end() ? t.var() : it->second));
+      } else {
+        args.push_back(NodeForConst(t.constant()));
+      }
+    }
+    AddAtom(atom.relation, std::move(args));
+  }
+
+  void Narrow(int node, rel::CmpOp op, const Value& c) {
+    nodes_[static_cast<size_t>(Find(node))].interval.Narrow(op, c);
+  }
+
+  void Unite(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    nodes_[static_cast<size_t>(a)].interval.Merge(
+        nodes_[static_cast<size_t>(b)].interval);
+    nodes_[static_cast<size_t>(b)].parent = a;
+  }
+
+  int Find(int x) const {
+    while (nodes_[static_cast<size_t>(x)].parent != x) {
+      x = nodes_[static_cast<size_t>(x)].parent;
+    }
+    return x;
+  }
+
+  const rel::IntervalConstraint& IntervalOf(int node) const {
+    return nodes_[static_cast<size_t>(Find(node))].interval;
+  }
+
+  bool Infeasible() const {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].parent == static_cast<int>(i) && nodes_[i].interval.empty) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Chases the functional dependencies: whenever two atoms of R must agree
+  // on the FD's lhs attributes (same node class, or classes pinned to equal
+  // constants), their rhs attributes are united. Runs to fixpoint; returns
+  // false if an interval became empty (no instance can embed the pattern).
+  bool ChaseFds(const rel::Schema& schema) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const rel::FunctionalDependency& fd : schema.fds()) {
+        std::vector<const PatternAtom*> over;
+        for (const PatternAtom& a : atoms_) {
+          if (a.relation == fd.relation) over.push_back(&a);
+        }
+        for (size_t i = 0; i < over.size(); ++i) {
+          for (size_t j = i + 1; j < over.size(); ++j) {
+            bool lhs_equal = true;
+            for (int x : fd.lhs) {
+              if (!MustEqual(over[i]->args[static_cast<size_t>(x)],
+                             over[j]->args[static_cast<size_t>(x)])) {
+                lhs_equal = false;
+                break;
+              }
+            }
+            if (!lhs_equal) continue;
+            for (int y : fd.rhs) {
+              int a = Find(over[i]->args[static_cast<size_t>(y)]);
+              int b = Find(over[j]->args[static_cast<size_t>(y)]);
+              if (a != b) {
+                Unite(a, b);
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+      if (Infeasible()) return false;
+    }
+    return true;
+  }
+
+  // Assigns a value to every node class: pinned classes take their pin,
+  // the rest take fresh pairwise-distinct witnesses from their intervals.
+  // Returns false when a witness cannot be realized (documented non-dense
+  // corner of the constant domain).
+  bool Instantiate() {
+    assignment_.assign(nodes_.size(), Value());
+    std::set<Value> used;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (Find(static_cast<int>(i)) != static_cast<int>(i)) continue;
+      if (nodes_[i].interval.eq.has_value()) {
+        assignment_[i] = *nodes_[i].interval.eq;
+        used.insert(assignment_[i]);
+      }
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (Find(static_cast<int>(i)) != static_cast<int>(i)) continue;
+      if (nodes_[i].interval.eq.has_value()) continue;
+      std::optional<Value> w = rel::PickWitness(nodes_[i].interval, used);
+      if (!w.has_value()) return false;
+      assignment_[i] = *w;
+      used.insert(*w);
+    }
+    return true;
+  }
+
+  const Value& ValueOf(int node) const {
+    return assignment_[static_cast<size_t>(Find(node))];
+  }
+
+  Status PopulateInstance(rel::Instance* instance) const {
+    for (const PatternAtom& a : atoms_) {
+      Tuple t;
+      t.reserve(a.args.size());
+      for (int arg : a.args) t.push_back(ValueOf(arg));
+      WHYNOT_RETURN_IF_ERROR(instance->AddFact(a.relation, std::move(t)));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct PatternAtom {
+    std::string relation;
+    std::vector<int> args;
+  };
+  struct Node {
+    int parent;
+    rel::IntervalConstraint interval;
+  };
+
+  int NewNode() {
+    Node n;
+    n.parent = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    return nodes_.back().parent;
+  }
+
+  bool MustEqual(int a, int b) const {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    const auto& ia = nodes_[static_cast<size_t>(a)].interval;
+    const auto& ib = nodes_[static_cast<size_t>(b)].interval;
+    return ia.eq.has_value() && ib.eq.has_value() && *ia.eq == *ib.eq;
+  }
+
+  std::vector<Node> nodes_;
+  std::map<std::string, int> var_node_;
+  std::vector<PatternAtom> atoms_;
+  std::vector<Value> assignment_;
+};
+
+// Builds the membership options of one concept conjunct (see
+// MembershipOption). `tag` makes variable names unique per conjunct.
+Result<std::vector<MembershipOption>> ConjunctOptions(
+    const ls::Conjunct& conjunct, const rel::Schema& schema,
+    const std::string& tag, const StrongDecideOptions& options) {
+  std::vector<MembershipOption> out;
+  switch (conjunct.kind) {
+    case ls::Conjunct::Kind::kTop:
+      out.push_back({});
+      return out;
+    case ls::Conjunct::Kind::kNominal: {
+      MembershipOption o;
+      o.pin = conjunct.nominal;
+      out.push_back(std::move(o));
+      return out;
+    }
+    case ls::Conjunct::Kind::kProjection:
+      break;
+  }
+  const rel::RelationDef* def = schema.Find(conjunct.relation);
+  if (def == nullptr) {
+    return Status::InvalidArgument("unknown relation in concept: " +
+                                   conjunct.relation);
+  }
+  if (!def->is_view()) {
+    MembershipOption o;
+    rel::Atom atom;
+    atom.relation = conjunct.relation;
+    for (size_t a = 0; a < def->arity(); ++a) {
+      atom.args.push_back(rel::Term::Var(tag + "v" + std::to_string(a)));
+    }
+    o.out_var = tag + "v" + std::to_string(conjunct.attr);
+    for (const ls::Selection& sel : conjunct.selections) {
+      o.comparisons.push_back(
+          {tag + "v" + std::to_string(sel.attr), sel.op, sel.constant});
+    }
+    o.atoms.push_back(std::move(atom));
+    out.push_back(std::move(o));
+    return out;
+  }
+  // View: expand V(v0..vk-1) into a UCQ over data relations; every
+  // expansion disjunct is one membership option.
+  rel::ConjunctiveQuery view_cq;
+  rel::Atom view_atom;
+  view_atom.relation = conjunct.relation;
+  for (size_t a = 0; a < def->arity(); ++a) {
+    std::string v = tag + "h" + std::to_string(a);
+    view_cq.head.push_back(v);
+    view_atom.args.push_back(rel::Term::Var(v));
+  }
+  view_cq.atoms.push_back(std::move(view_atom));
+  WHYNOT_ASSIGN_OR_RETURN(
+      rel::UnionQuery expanded,
+      rel::ExpandViews(view_cq, schema, options.max_expansion_disjuncts,
+                       options.max_expansion_atoms));
+  int disjunct_index = 0;
+  for (const rel::ConjunctiveQuery& psi : expanded.disjuncts) {
+    std::string prefix = tag + "d" + std::to_string(disjunct_index++) + "_";
+    std::map<std::string, std::string> rename;
+    for (const std::string& v : psi.Variables()) rename[v] = prefix + v;
+    MembershipOption o;
+    for (const rel::Atom& atom : psi.atoms) {
+      rel::Atom renamed = atom;
+      for (rel::Term& t : renamed.args) {
+        if (t.is_var()) t = rel::Term::Var(rename.at(t.var()));
+      }
+      o.atoms.push_back(std::move(renamed));
+    }
+    for (const rel::Comparison& cmp : psi.comparisons) {
+      o.comparisons.push_back({rename.at(cmp.var), cmp.op, cmp.constant});
+    }
+    o.out_var =
+        rename.at(psi.head[static_cast<size_t>(conjunct.attr)]);
+    for (const ls::Selection& sel : conjunct.selections) {
+      o.comparisons.push_back(
+          {rename.at(psi.head[static_cast<size_t>(sel.attr)]), sel.op,
+           sel.constant});
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+// Completes `instance` under the schema's inclusion dependencies by the
+// standard (bounded) chase, materializing views between rounds so that IDs
+// whose left side is a view fire as well. Returns true when the chase
+// closed; false when the round budget ran out or an ID's right side is a
+// view relation (whose extension cannot be grown directly).
+Result<bool> ChaseIds(const rel::Schema& schema, int max_rounds,
+                      int* fresh_counter, rel::Instance* instance) {
+  if (!schema.HasIds()) {
+    if (schema.HasViews()) {
+      WHYNOT_RETURN_IF_ERROR(rel::MaterializeViews(instance));
+    }
+    return true;
+  }
+  for (int round = 0; round < max_rounds; ++round) {
+    if (schema.HasViews()) {
+      WHYNOT_RETURN_IF_ERROR(rel::MaterializeViews(instance));
+    }
+    bool added = false;
+    for (const rel::InclusionDependency& id : schema.ids()) {
+      const rel::RelationDef* rhs = schema.Find(id.rhs_relation);
+      if (rhs == nullptr) {
+        return Status::InvalidArgument("unknown relation in ID: " +
+                                       id.rhs_relation);
+      }
+      // Collect existing rhs projections.
+      std::set<Tuple> rhs_proj;
+      for (const Tuple& t : instance->Relation(id.rhs_relation)) {
+        Tuple p;
+        for (int a : id.rhs_attrs) p.push_back(t[static_cast<size_t>(a)]);
+        rhs_proj.insert(std::move(p));
+      }
+      std::vector<Tuple> to_add;
+      for (const Tuple& t : instance->Relation(id.lhs_relation)) {
+        Tuple p;
+        for (int a : id.lhs_attrs) p.push_back(t[static_cast<size_t>(a)]);
+        if (rhs_proj.count(p) > 0) continue;
+        if (rhs->is_view()) {
+          // Cannot insert into a derived relation.
+          return false;
+        }
+        Tuple fresh(rhs->arity(), Value());
+        for (size_t k = 0; k < id.rhs_attrs.size(); ++k) {
+          fresh[static_cast<size_t>(id.rhs_attrs[k])] = p[k];
+        }
+        for (size_t a = 0; a < rhs->arity(); ++a) {
+          bool pinned = false;
+          for (int ra : id.rhs_attrs) {
+            if (static_cast<size_t>(ra) == a) pinned = true;
+          }
+          if (!pinned) {
+            // Labelled nulls are realized as hugely negative numbers:
+            // strings sort above all numbers, so a string null would
+            // spuriously satisfy every `attr >= c` view/query comparison
+            // (and e.g. turn every chased city into a BigCity, making the
+            // Figure 1 chase diverge). Far-negative values satisfy almost
+            // no realistic comparison; a wrong guess only costs closure
+            // (kUnknown), never soundness — counterexamples are verified.
+            fresh[a] =
+                Value(-1.0e15 - static_cast<double>((*fresh_counter)++));
+          }
+        }
+        rhs_proj.insert(p);
+        to_add.push_back(std::move(fresh));
+      }
+      for (Tuple& t : to_add) {
+        WHYNOT_RETURN_IF_ERROR(
+            instance->AddFact(id.rhs_relation, std::move(t)));
+        added = true;
+      }
+    }
+    if (!added) {
+      if (schema.HasViews()) {
+        WHYNOT_RETURN_IF_ERROR(rel::MaterializeViews(instance));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<StrongDecision> DecideStrongExplanation(
+    const rel::Schema& schema, const rel::UnionQuery& query,
+    const LsExplanation& candidate, const StrongDecideOptions& options) {
+  WHYNOT_RETURN_IF_ERROR(query.Validate(schema));
+  if (query.arity() != candidate.size()) {
+    return Status::InvalidArgument(
+        "candidate arity " + std::to_string(candidate.size()) +
+        " does not match query arity " + std::to_string(query.arity()));
+  }
+
+  WHYNOT_ASSIGN_OR_RETURN(
+      rel::UnionQuery expanded,
+      rel::ExpandViews(query, schema, options.max_expansion_disjuncts,
+                       options.max_expansion_atoms));
+
+  // Membership options per (position, conjunct), shared across query
+  // disjuncts.
+  std::vector<std::vector<std::vector<MembershipOption>>> per_position;
+  per_position.resize(candidate.size());
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    const std::vector<ls::Conjunct>& conjuncts = candidate[i].conjuncts();
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      std::string tag = "m" + std::to_string(i) + "_" + std::to_string(c) + "_";
+      WHYNOT_ASSIGN_OR_RETURN(
+          std::vector<MembershipOption> opts,
+          ConjunctOptions(conjuncts[c], schema, tag, options));
+      per_position[i].push_back(std::move(opts));
+    }
+  }
+
+  StrongDecision decision;
+  std::vector<std::string> unknown_details;
+  size_t branches = 0;
+
+  for (size_t d = 0; d < expanded.disjuncts.size(); ++d) {
+    const rel::ConjunctiveQuery& delta = expanded.disjuncts[d];
+
+    // Odometer over the membership options of all (position, conjunct)
+    // slots.
+    std::vector<const std::vector<MembershipOption>*> slots;
+    for (const auto& conjunct_opts : per_position) {
+      for (const auto& opts : conjunct_opts) slots.push_back(&opts);
+    }
+    bool any_empty_slot = false;
+    for (const auto* s : slots) {
+      if (s->empty()) any_empty_slot = true;
+    }
+    if (any_empty_slot) continue;  // some conjunct is unsatisfiable
+
+    std::vector<size_t> odo(slots.size(), 0);
+    bool done = slots.empty() && false;
+    while (!done) {
+      if (++branches > options.max_branches) {
+        decision.verdict = StrongVerdict::kUnknown;
+        decision.detail = "branch cap exceeded (max_branches = " +
+                          std::to_string(options.max_branches) + ")";
+        return decision;
+      }
+
+      // --- Build the pattern for this combination.
+      Pattern pattern;
+      std::map<std::string, std::string> qrename;
+      for (const std::string& v : delta.Variables()) qrename[v] = "q_" + v;
+      for (const rel::Atom& atom : delta.atoms) {
+        pattern.AddAtom(atom, qrename);
+      }
+      for (const rel::Comparison& cmp : delta.comparisons) {
+        pattern.Narrow(pattern.NodeForVar("q_" + cmp.var), cmp.op,
+                       cmp.constant);
+      }
+      size_t slot = 0;
+      for (size_t i = 0; i < candidate.size(); ++i) {
+        int head_node =
+            pattern.NodeForVar("q_" + delta.head[i]);
+        for (size_t c = 0; c < per_position[i].size(); ++c, ++slot) {
+          const MembershipOption& opt = per_position[i][c][odo[slot]];
+          if (opt.pin.has_value()) {
+            pattern.Narrow(head_node, rel::CmpOp::kEq, *opt.pin);
+          }
+          for (const rel::Atom& atom : opt.atoms) {
+            pattern.AddAtom(atom, {});
+          }
+          for (const rel::Comparison& cmp : opt.comparisons) {
+            pattern.Narrow(pattern.NodeForVar(cmp.var), cmp.op, cmp.constant);
+          }
+          if (!opt.out_var.empty()) {
+            pattern.Unite(pattern.NodeForVar(opt.out_var), head_node);
+          }
+        }
+      }
+
+      // --- Feasibility: FD chase, then interval satisfiability.
+      bool feasible = !pattern.Infeasible();
+      if (feasible && schema.HasFds()) feasible = pattern.ChaseFds(schema);
+      if (feasible && !pattern.Instantiate()) {
+        unknown_details.push_back(
+            "disjunct " + std::to_string(d) +
+            ": witness realization failed (non-dense corner)");
+        feasible = false;
+      }
+
+      if (feasible) {
+        // --- Build, complete, and verify the counterexample.
+        rel::Instance counterexample(&schema);
+        Status st = pattern.PopulateInstance(&counterexample);
+        int fresh = 0;
+        bool closed = false;
+        if (st.ok()) {
+          auto chased = ChaseIds(schema, options.max_chase_rounds, &fresh,
+                                 &counterexample);
+          if (!chased.ok()) {
+            st = chased.status();
+          } else {
+            closed = chased.value();
+          }
+        }
+        if (st.ok() && !closed) {
+          unknown_details.push_back("disjunct " + std::to_string(d) +
+                                    ": ID chase did not close");
+        } else if (st.ok()) {
+          Tuple witness;
+          for (size_t i = 0; i < candidate.size(); ++i) {
+            witness.push_back(
+                pattern.ValueOf(pattern.NodeForVar("q_" + delta.head[i])));
+          }
+          // Verify against the public evaluators; a verified witness is a
+          // definitive refutation.
+          bool ok = counterexample.SatisfiesConstraints().ok();
+          if (ok) {
+            auto answers = rel::Evaluate(query, counterexample);
+            ok = answers.ok() &&
+                 std::binary_search(answers.value().begin(),
+                                    answers.value().end(), witness);
+          }
+          for (size_t i = 0; ok && i < candidate.size(); ++i) {
+            ok = ls::Eval(candidate[i], counterexample).Contains(witness[i]);
+          }
+          if (ok) {
+            decision.verdict = StrongVerdict::kNotStrong;
+            decision.counterexample = std::move(counterexample);
+            decision.witness = std::move(witness);
+            decision.detail =
+                "query disjunct " + std::to_string(d) + " refutes";
+            return decision;
+          }
+          unknown_details.push_back(
+              "disjunct " + std::to_string(d) +
+              ": constructed counterexample failed verification");
+        } else {
+          unknown_details.push_back("disjunct " + std::to_string(d) + ": " +
+                                    st.ToString());
+        }
+      }
+
+      // --- Advance the odometer.
+      done = true;
+      for (size_t s = 0; s < slots.size(); ++s) {
+        if (++odo[s] < slots[s]->size()) {
+          done = false;
+          break;
+        }
+        odo[s] = 0;
+      }
+      if (slots.empty()) done = true;
+    }
+  }
+
+  if (!unknown_details.empty()) {
+    decision.verdict = StrongVerdict::kUnknown;
+    decision.detail = Join(unknown_details, "; ");
+  } else {
+    decision.verdict = StrongVerdict::kStrong;
+  }
+  return decision;
+}
+
+Result<StrongDecision> IsStrongExplanation(const WhyNotInstance& wni,
+                                           const LsExplanation& candidate,
+                                           const StrongDecideOptions& options) {
+  if (!IsLsExplanation(wni, candidate)) {
+    return Status::InvalidArgument(
+        "candidate is not an explanation for the given why-not instance "
+        "(Definition 3.2); strong explanations are a subclass of "
+        "explanations");
+  }
+  return DecideStrongExplanation(wni.schema(), wni.query, candidate, options);
+}
+
+}  // namespace whynot::explain

@@ -1,0 +1,86 @@
+#ifndef WHYNOT_EXPLAIN_STRONG_DECIDE_H_
+#define WHYNOT_EXPLAIN_STRONG_DECIDE_H_
+
+#include <optional>
+#include <string>
+
+#include "whynot/common/status.h"
+#include "whynot/explain/explanation.h"
+#include "whynot/relational/instance.h"
+
+namespace whynot::explain {
+
+/// Outcome of the strong-explanation decision procedure.
+enum class StrongVerdict {
+  /// No instance of the schema makes the concept product intersect q.
+  kStrong,
+  /// A concrete, verified counterexample instance exists (see
+  /// StrongDecision::counterexample / witness).
+  kNotStrong,
+  /// The procedure could not decide within its resource bounds (only
+  /// possible when the schema mixes constraint classes whose interaction
+  /// requires an unbounded chase; see StrongDecision::detail).
+  kUnknown,
+};
+
+const char* StrongVerdictName(StrongVerdict v);
+
+struct StrongDecideOptions {
+  /// Cap on (query disjunct × concept-conjunct option) combinations; view
+  /// concepts multiply options per conjunct.
+  size_t max_branches = 100000;
+  /// Rounds of the inclusion-dependency completion chase.
+  int max_chase_rounds = 12;
+  /// View-expansion caps (see rel::ExpandViews).
+  size_t max_expansion_disjuncts = 20000;
+  size_t max_expansion_atoms = 20000;
+};
+
+struct StrongDecision {
+  StrongVerdict verdict = StrongVerdict::kUnknown;
+  /// For kNotStrong: an instance I′ of the schema (constraints satisfied,
+  /// views materialized) and a tuple in (ext(C1,I′) × ... × ext(Cm,I′)) ∩
+  /// q(I′). Both are re-verified against the public evaluators before
+  /// being returned.
+  std::optional<rel::Instance> counterexample;
+  Tuple witness;
+  /// For kUnknown: why. For kNotStrong: which query disjunct refutes.
+  std::string detail;
+};
+
+/// Decides whether the tuple of LS concepts is a *strong explanation*
+/// (Section 6): whether (ext(C1,I′) × ... × ext(Cm,I′)) ∩ q(I′) = ∅ for
+/// every instance I′ of `schema` — not merely for the instance at hand.
+/// The paper introduces strong explanations and leaves their theory as
+/// future work; this procedure decides the natural decidable cases and is
+/// conservative elsewhere:
+///
+///   * No constraints, or UCQ views only: exact. Each query disjunct is
+///     expanded over the views and conjoined with one membership pattern
+///     per concept conjunct (a fresh atom for π_A(σ(R)), an equality pin
+///     for a nominal); the combined pattern with its comparison intervals
+///     is satisfiable iff a counterexample instance exists, and a
+///     satisfying pattern instantiates directly to one.
+///   * FDs: exact. The pattern is chased with equality-generating rules
+///     before instantiation; a constant clash kills the branch.
+///   * IDs (and FD+ID mixtures): refutation-complete. The instantiated
+///     counterexample is completed by a bounded ID chase; if the chase
+///     does not close (or re-breaks an FD), the branch reports kUnknown
+///     rather than guessing.
+///
+/// A kNotStrong result always carries a verified counterexample; kStrong
+/// is exact whenever no branch was cut off (no kUnknown detail).
+Result<StrongDecision> DecideStrongExplanation(
+    const rel::Schema& schema, const rel::UnionQuery& query,
+    const LsExplanation& candidate, const StrongDecideOptions& options = {});
+
+/// Convenience wrapper: checks that `candidate` is an explanation for the
+/// why-not instance (Definition 3.2 on wni's own instance) and then runs
+/// DecideStrongExplanation on its schema and query.
+Result<StrongDecision> IsStrongExplanation(
+    const WhyNotInstance& wni, const LsExplanation& candidate,
+    const StrongDecideOptions& options = {});
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_STRONG_DECIDE_H_

@@ -1,0 +1,259 @@
+#include "whynot/explain/why_explanation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "whynot/concepts/ls_eval.h"
+#include "whynot/relational/cq_eval.h"
+
+namespace whynot::explain {
+
+Result<WhyInstance> MakeWhyInstance(const rel::Instance* instance,
+                                    const rel::UnionQuery& query,
+                                    Tuple present) {
+  WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
+                          rel::Evaluate(query, *instance));
+  if (query.arity() != present.size()) {
+    return Status::InvalidArgument("tuple arity does not match query arity");
+  }
+  if (!std::binary_search(answers.begin(), answers.end(), present)) {
+    return Status::InvalidArgument(
+        "tuple " + TupleToString(present) +
+        " is not in the answer set; ask a why-not question instead");
+  }
+  WhyInstance wi;
+  wi.instance = instance;
+  wi.answers = std::move(answers);
+  wi.present = std::move(present);
+  return wi;
+}
+
+namespace {
+
+/// ext(C1) × ... × ext(Cm) ⊆ Ans. An All extension at any position makes
+/// the product infinite, hence never ⊆ the finite answer set (unless the
+/// product is empty, which cannot happen since a is inside).
+bool ProductInsideAnswers(onto::BoundOntology* bound,
+                          const std::vector<onto::ConceptId>& concepts,
+                          const std::set<std::vector<ValueId>>& answers) {
+  std::vector<const onto::ExtSet*> exts;
+  exts.reserve(concepts.size());
+  for (onto::ConceptId c : concepts) {
+    const onto::ExtSet& e = bound->Ext(c);
+    if (e.is_all()) return false;
+    exts.push_back(&e);
+  }
+  std::vector<ValueId> current(concepts.size());
+  auto recurse = [&](auto&& self, size_t pos) -> bool {
+    if (pos == concepts.size()) return answers.count(current) > 0;
+    for (ValueId id : exts[pos]->ids()) {
+      current[pos] = id;
+      if (!self(self, pos + 1)) return false;
+    }
+    return true;
+  };
+  return recurse(recurse, 0);
+}
+
+}  // namespace
+
+Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
+                              const WhyInstance& wi, const Explanation& e) {
+  if (e.size() != wi.arity()) {
+    return Status::InvalidArgument(
+        "explanation arity does not match the tuple");
+  }
+  for (size_t i = 0; i < e.size(); ++i) {
+    ValueId id = bound->pool().Intern(wi.present[i]);
+    if (!bound->Ext(e[i]).Contains(id)) return false;
+  }
+  std::set<std::vector<ValueId>> answers;
+  for (const Tuple& t : wi.answers) {
+    std::vector<ValueId> ids;
+    ids.reserve(t.size());
+    for (const Value& v : t) ids.push_back(bound->pool().Intern(v));
+    answers.insert(std::move(ids));
+  }
+  return ProductInsideAnswers(bound, e, answers);
+}
+
+Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
+    onto::BoundOntology* bound, const WhyInstance& wi,
+    size_t max_candidates) {
+  size_t m = wi.arity();
+  std::vector<std::vector<onto::ConceptId>> lists(m);
+  for (size_t i = 0; i < m; ++i) {
+    ValueId id = bound->pool().Intern(wi.present[i]);
+    for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
+      if (bound->Ext(c).Contains(id)) lists[i].push_back(c);
+    }
+    if (lists[i].empty()) return std::vector<Explanation>{};
+  }
+  std::set<std::vector<ValueId>> answers;
+  for (const Tuple& t : wi.answers) {
+    std::vector<ValueId> ids;
+    ids.reserve(t.size());
+    for (const Value& v : t) ids.push_back(bound->pool().Intern(v));
+    answers.insert(std::move(ids));
+  }
+
+  std::vector<Explanation> antichain;
+  std::vector<size_t> idx(m, 0);
+  Explanation current(m);
+  size_t count = 0;
+  while (true) {
+    if (++count > max_candidates) {
+      return Status::ResourceExhausted(
+          "why-explanation enumeration exceeded max_candidates");
+    }
+    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+    bool dominated = false;
+    for (const Explanation& kept : antichain) {
+      if (LessGeneral(*bound, current, kept)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated && ProductInsideAnswers(bound, current, answers)) {
+      antichain.erase(
+          std::remove_if(antichain.begin(), antichain.end(),
+                         [&](const Explanation& kept) {
+                           return StrictlyLessGeneral(*bound, kept, current);
+                         }),
+          antichain.end());
+      antichain.push_back(current);
+    }
+    size_t i = 0;
+    while (i < m && ++idx[i] == lists[i].size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == m) break;
+  }
+  std::sort(antichain.begin(), antichain.end());
+  return antichain;
+}
+
+// --- Why-explanations w.r.t. the derived ontology OI ----------------------
+
+namespace {
+
+/// ext(C1) × ... × ext(Cm) ⊆ Ans over LS extensions; early exit on the
+/// first non-answer combination (a successful product has at most |Ans|
+/// tuples, so the walk is answer-bounded).
+bool LsProductInsideAnswers(const std::vector<ls::Extension>& exts,
+                            const std::set<Tuple>& answers) {
+  for (const ls::Extension& e : exts) {
+    if (e.all) return false;
+  }
+  Tuple current(exts.size());
+  auto recurse = [&](auto&& self, size_t pos) -> bool {
+    if (pos == exts.size()) return answers.count(current) > 0;
+    for (const Value& v : exts[pos].values) {
+      current[pos] = v;
+      if (!self(self, pos + 1)) return false;
+    }
+    return true;
+  };
+  return recurse(recurse, 0);
+}
+
+std::set<Tuple> AnswerSet(const WhyInstance& wi) {
+  return std::set<Tuple>(wi.answers.begin(), wi.answers.end());
+}
+
+Result<ls::LsConcept> WhyLub(ls::LubContext* ctx, bool with_selections,
+                             const std::vector<Value>& x) {
+  if (with_selections) return ctx->LubWithSelections(x);
+  return ctx->LubSelectionFree(x);
+}
+
+}  // namespace
+
+bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e) {
+  if (e.size() != wi.arity()) return false;
+  std::vector<ls::Extension> exts;
+  exts.reserve(e.size());
+  for (size_t i = 0; i < e.size(); ++i) {
+    exts.push_back(ls::Eval(e[i], *wi.instance));
+    if (!exts.back().Contains(wi.present[i])) return false;
+  }
+  return LsProductInsideAnswers(exts, AnswerSet(wi));
+}
+
+Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
+                                           bool with_selections) {
+  ls::LubContext ctx(wi.instance);
+  size_t m = wi.arity();
+  std::set<Tuple> answers = AnswerSet(wi);
+
+  std::vector<std::vector<Value>> support(m);
+  LsExplanation e(m);
+  std::vector<ls::Extension> exts(m);
+  for (size_t j = 0; j < m; ++j) {
+    support[j] = {wi.present[j]};
+    WHYNOT_ASSIGN_OR_RETURN(e[j], WhyLub(&ctx, with_selections, support[j]));
+    exts[j] = ls::Eval(e[j], *wi.instance);
+  }
+  // Unlike the why-not case, the nominal-pinned start can already fail:
+  // lub({a_j}) may denote more than {a_j} only through columns, but the
+  // nominal conjunct pins it, so the product here is exactly {a} ⊆ Ans.
+  if (!LsProductInsideAnswers(exts, answers)) {
+    return Status::Internal(
+        "nominal-pinned tuple is not a why-explanation; the product of "
+        "nominals is {a} which must be inside Ans");
+  }
+
+  std::vector<Value> adom = wi.instance->ActiveDomain();
+  for (size_t j = 0; j < m; ++j) {
+    for (const Value& b : adom) {
+      if (exts[j].Contains(b)) continue;
+      std::vector<Value> extended = support[j];
+      extended.push_back(b);
+      WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
+                              WhyLub(&ctx, with_selections, extended));
+      ls::Extension cand_ext = ls::Eval(cand, *wi.instance);
+      std::vector<ls::Extension> probe = exts;
+      probe[j] = cand_ext;
+      if (LsProductInsideAnswers(probe, answers)) {
+        support[j] = std::move(extended);
+        e[j] = std::move(cand);
+        exts[j] = std::move(cand_ext);
+      }
+    }
+  }
+  return e;
+}
+
+Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
+                                const LsExplanation& candidate,
+                                bool with_selections,
+                                ls::LubContext* lub_context) {
+  if (!IsLsWhyExplanation(wi, candidate)) return false;
+  std::set<Tuple> answers = AnswerSet(wi);
+  std::vector<ls::Extension> exts;
+  exts.reserve(candidate.size());
+  for (const ls::LsConcept& c : candidate) {
+    exts.push_back(ls::Eval(c, *wi.instance));
+  }
+  std::vector<Value> adom = wi.instance->ActiveDomain();
+  for (size_t j = 0; j < candidate.size(); ++j) {
+    for (const Value& b : adom) {
+      if (exts[j].Contains(b)) continue;
+      std::vector<Value> extended = exts[j].values;
+      extended.push_back(b);
+      WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
+                              WhyLub(lub_context, with_selections, extended));
+      ls::Extension cand_ext = ls::Eval(cand, *wi.instance);
+      // lub(ext ∪ {b}) is strictly more general than the candidate's
+      // position (it contains b); if the tuple stays a why-explanation,
+      // the candidate is not most general.
+      std::vector<ls::Extension> probe = exts;
+      probe[j] = std::move(cand_ext);
+      if (LsProductInsideAnswers(probe, answers)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace whynot::explain

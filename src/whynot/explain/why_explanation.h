@@ -1,0 +1,77 @@
+#ifndef WHYNOT_EXPLAIN_WHY_EXPLANATION_H_
+#define WHYNOT_EXPLAIN_WHY_EXPLANATION_H_
+
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/lub.h"
+#include "whynot/explain/explanation.h"
+
+namespace whynot::explain {
+
+/// The paper's Section 7 sketches *why* explanations as future work: the
+/// dual question "why IS the tuple a in q(I)?" answered at concept level.
+/// We realize the natural dual of Definition 3.2: a tuple of concepts
+/// (C1, ..., Cm) is a why-explanation for a ∈ q(I) iff
+///
+///   * aᵢ ∈ ext(Cᵢ, I) for every i, and
+///   * ext(C1, I) × ... × ext(Cm, I) ⊆ q(I) — every tuple of the product
+///     is an answer ("all European cities reach all European cities").
+///
+/// Most-general why-explanations are defined exactly as in Definition 3.3;
+/// the same antichain machinery applies because only the second condition
+/// changed (⊆ Ans instead of ∩ Ans = ∅).
+struct WhyInstance {
+  const rel::Instance* instance = nullptr;
+  std::vector<Tuple> answers;  // q(I), sorted
+  Tuple present;               // a ∈ q(I)
+
+  size_t arity() const { return present.size(); }
+};
+
+/// Builds a why instance; fails unless `present` ∈ q(I).
+Result<WhyInstance> MakeWhyInstance(const rel::Instance* instance,
+                                    const rel::UnionQuery& query,
+                                    Tuple present);
+
+/// Checks the dual Definition 3.2 above.
+Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
+                              const WhyInstance& wi, const Explanation& e);
+
+/// All most-general why-explanations, by the Algorithm 1 scheme (enumerate
+/// candidates per position, keep product-inside-answers tuples, reduce to
+/// the maximal antichain). Same complexity envelope as Theorem 5.2.
+Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
+    onto::BoundOntology* bound, const WhyInstance& wi,
+    size_t max_candidates = 20000000);
+
+// --- Why-explanations w.r.t. the derived ontology OI ----------------------
+
+/// The dual Definition 3.2 against OI: every aᵢ ∈ ⟦Cᵢ⟧ᴵ and the extension
+/// product is contained in the answers. A ⊤-valued position always fails
+/// (infinite product vs. finite Ans), so — unlike the why-not case — no
+/// ⊤-generalization sweep exists.
+bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e);
+
+/// Algorithm 2's scheme applied to the dual problem: start from the
+/// nominal-pinned tuple (whose product is {a} ⊆ Ans) and greedily grow
+/// each position's support with active-domain constants while the product
+/// stays inside the answers. The "stays inside" condition is
+/// downward-closed in the supports, so one sweep in fixed order yields a
+/// most-general why-explanation w.r.t. OI (selection-free LS, or full LS
+/// with `with_selections`). PTIME for selection-free LS by the Theorem 5.3
+/// argument (the product of a why-explanation has at most |Ans| tuples, so
+/// every acceptance check is answer-bounded).
+Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
+                                           bool with_selections = false);
+
+/// CHECK-MGE for the dual problem w.r.t. OI: no single-position
+/// lub-generalization keeps the product inside the answers.
+Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
+                                const LsExplanation& candidate,
+                                bool with_selections,
+                                ls::LubContext* lub_context);
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_WHY_EXPLANATION_H_

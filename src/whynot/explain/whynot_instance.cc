@@ -1,0 +1,61 @@
+#include "whynot/explain/whynot_instance.h"
+
+#include <algorithm>
+
+#include "whynot/relational/cq_eval.h"
+
+namespace whynot::explain {
+
+std::string WhyNotInstance::ToString() const {
+  return "why-not " + TupleToString(missing) + "? Ans has " +
+         std::to_string(answers.size()) + " tuples";
+}
+
+Result<WhyNotInstance> MakeWhyNotInstance(const rel::Instance* instance,
+                                          rel::UnionQuery query,
+                                          Tuple missing) {
+  WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
+                          rel::Evaluate(query, *instance));
+  if (query.arity() != missing.size()) {
+    return Status::InvalidArgument(
+        "missing tuple arity does not match query arity");
+  }
+  WhyNotInstance wni;
+  wni.instance = instance;
+  wni.query = std::move(query);
+  wni.answers = std::move(answers);
+  wni.missing = std::move(missing);
+  if (std::binary_search(wni.answers.begin(), wni.answers.end(),
+                         wni.missing)) {
+    return Status::InvalidArgument("tuple " + TupleToString(wni.missing) +
+                                   " is in the answer set; nothing to "
+                                   "explain");
+  }
+  return wni;
+}
+
+Result<WhyNotInstance> MakeWhyNotInstanceFromAnswers(
+    const rel::Instance* instance, std::vector<Tuple> answers,
+    Tuple missing) {
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  for (const Tuple& t : answers) {
+    if (t.size() != missing.size()) {
+      return Status::InvalidArgument("answer arity does not match missing "
+                                     "tuple arity");
+    }
+  }
+  WhyNotInstance wni;
+  wni.instance = instance;
+  wni.answers = std::move(answers);
+  wni.missing = std::move(missing);
+  if (std::binary_search(wni.answers.begin(), wni.answers.end(),
+                         wni.missing)) {
+    return Status::InvalidArgument("tuple " + TupleToString(wni.missing) +
+                                   " is in the answer set; nothing to "
+                                   "explain");
+  }
+  return wni;
+}
+
+}  // namespace whynot::explain

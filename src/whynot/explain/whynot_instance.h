@@ -1,0 +1,47 @@
+#ifndef WHYNOT_EXPLAIN_WHYNOT_INSTANCE_H_
+#define WHYNOT_EXPLAIN_WHYNOT_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/relational/cq.h"
+#include "whynot/relational/instance.h"
+
+namespace whynot::explain {
+
+/// A why-not instance (S, I, q, Ans, a) (Definition 5.1): a schema, an
+/// instance over it, an m-ary query, the precomputed answer set Ans = q(I),
+/// and a missing tuple a ∉ Ans.
+///
+/// Per the paper, Ans is part of the input (the query has already been
+/// evaluated when the user asks "why not?"), and the query itself is not
+/// consulted by the explanation algorithms.
+struct WhyNotInstance {
+  const rel::Instance* instance = nullptr;
+  rel::UnionQuery query;           // informational; may be empty
+  std::vector<Tuple> answers;      // Ans = q(I), sorted
+  Tuple missing;                   // a, with a ∉ Ans
+
+  size_t arity() const { return missing.size(); }
+  const rel::Schema& schema() const { return instance->schema(); }
+
+  /// "why-not (Amsterdam, New York)? Ans has 4 tuples".
+  std::string ToString() const;
+};
+
+/// Builds a why-not instance by evaluating `query` over `instance`.
+/// Fails if `missing` is in the answer set or arities mismatch.
+Result<WhyNotInstance> MakeWhyNotInstance(const rel::Instance* instance,
+                                          rel::UnionQuery query,
+                                          Tuple missing);
+
+/// Builds a why-not instance from a precomputed answer set (for external
+/// Ans or tests). Fails if `missing` ∈ `answers` or arities mismatch.
+Result<WhyNotInstance> MakeWhyNotInstanceFromAnswers(
+    const rel::Instance* instance, std::vector<Tuple> answers, Tuple missing);
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_WHYNOT_INSTANCE_H_

@@ -1,0 +1,28 @@
+#include "whynot/obda/mapping.h"
+
+#include "whynot/common/strings.h"
+
+namespace whynot::obda {
+
+rel::ConjunctiveQuery GavMapping::BodyAsQuery() const {
+  rel::ConjunctiveQuery cq;
+  cq.head.push_back(head.var1);
+  if (head.kind == MappingHead::Kind::kRole) cq.head.push_back(head.var2);
+  cq.atoms = atoms;
+  cq.comparisons = comparisons;
+  return cq;
+}
+
+Status GavMapping::Validate(const rel::Schema& schema) const {
+  return BodyAsQuery().Validate(schema);
+}
+
+std::string GavMapping::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(atoms.size() + comparisons.size());
+  for (const rel::Atom& a : atoms) parts.push_back(a.ToString());
+  for (const rel::Comparison& c : comparisons) parts.push_back(c.ToString());
+  return Join(parts, ", ") + " -> " + head.ToString();
+}
+
+}  // namespace whynot::obda

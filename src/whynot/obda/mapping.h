@@ -1,0 +1,60 @@
+#ifndef WHYNOT_OBDA_MAPPING_H_
+#define WHYNOT_OBDA_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/relational/cq.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::obda {
+
+/// The head of a GAV mapping assertion (Definition 4.2): an atomic formula
+/// A(x) over an atomic concept, or P(x, y) over an atomic role.
+struct MappingHead {
+  enum class Kind { kConcept, kRole };
+
+  static MappingHead Concept(std::string name, std::string var) {
+    return MappingHead{Kind::kConcept, std::move(name), std::move(var), ""};
+  }
+  static MappingHead RolePair(std::string name, std::string var1,
+                              std::string var2) {
+    return MappingHead{Kind::kRole, std::move(name), std::move(var1),
+                       std::move(var2)};
+  }
+
+  Kind kind;
+  std::string name;
+  std::string var1;
+  std::string var2;  // valid iff kind == kRole
+
+  std::string ToString() const {
+    return kind == Kind::kConcept ? name + "(" + var1 + ")"
+                                  : name + "(" + var1 + ", " + var2 + ")";
+  }
+};
+
+/// A GAV mapping assertion ∀x̄ (ϕ1 ∧ ... ∧ ϕn → ψ(x̄)) relating a
+/// conjunctive query over the relational schema to an atomic concept or
+/// role of the ontology (Definition 4.2). Comparisons to constants are
+/// allowed in the body, matching the paper's CQ dialect.
+struct GavMapping {
+  /// Body atoms and comparisons over the relational schema. The head
+  /// variables must occur in the body atoms.
+  std::vector<rel::Atom> atoms;
+  std::vector<rel::Comparison> comparisons;
+  MappingHead head;
+
+  Status Validate(const rel::Schema& schema) const;
+
+  /// The body as a CQ whose head variables are the mapping-head variables.
+  rel::ConjunctiveQuery BodyAsQuery() const;
+
+  /// "Cities(x, z, w, "Europe") -> EU-City(x)".
+  std::string ToString() const;
+};
+
+}  // namespace whynot::obda
+
+#endif  // WHYNOT_OBDA_MAPPING_H_

@@ -1,0 +1,128 @@
+#include "whynot/obda/obda_spec.h"
+
+#include "whynot/relational/cq_eval.h"
+
+namespace whynot::obda {
+
+const std::set<Value>& Saturation::Members(const dl::BasicConcept& b) const {
+  static const std::set<Value> kEmpty;
+  auto it = concept_members.find(b);
+  return it == concept_members.end() ? kEmpty : it->second;
+}
+
+ObdaSpec::ObdaSpec(dl::TBox tbox, const rel::Schema* schema,
+                   std::vector<GavMapping> mappings)
+    : tbox_(std::move(tbox)),
+      schema_(schema),
+      mappings_(std::move(mappings)),
+      reasoner_(&tbox_) {}
+
+Status ObdaSpec::Validate() const {
+  for (const GavMapping& m : mappings_) {
+    WHYNOT_RETURN_IF_ERROR(m.Validate(*schema_));
+  }
+  return Status::OK();
+}
+
+Result<Saturation> ObdaSpec::Saturate(const rel::Instance& instance) const {
+  Saturation sat;
+
+  // Step 1: virtual ABox from the mappings.
+  for (const GavMapping& m : mappings_) {
+    WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                            rel::Evaluate(m.BodyAsQuery(), instance));
+    for (const Tuple& row : rows) {
+      if (m.head.kind == MappingHead::Kind::kConcept) {
+        sat.concept_members[dl::BasicConcept::Atomic(m.head.name)].insert(
+            row[0]);
+      } else {
+        sat.role_pairs[m.head.name].emplace(row[0], row[1]);
+      }
+    }
+  }
+
+  // Step 2: close role facts under positive role inclusions. For every
+  // atomic role P with asserted pairs and every atomic role Q with
+  // P ⊑ Q or P ⊑ Q⁻ derivable, add the (possibly flipped) pairs.
+  std::map<std::string, std::set<std::pair<Value, Value>>> closed_roles =
+      sat.role_pairs;
+  for (const auto& [p_name, pairs] : sat.role_pairs) {
+    dl::Role p{p_name, false};
+    for (const dl::Role& q : reasoner_.RoleUniverse()) {
+      if (!reasoner_.RoleSubsumed(p, q) || (q.name == p_name && !q.inverse)) {
+        continue;
+      }
+      auto& target = closed_roles[q.name];
+      for (const auto& [from, to] : pairs) {
+        if (q.inverse) {
+          target.emplace(to, from);
+        } else {
+          target.emplace(from, to);
+        }
+      }
+    }
+  }
+  sat.role_pairs = std::move(closed_roles);
+
+  // Step 3: ∃R / ∃R⁻ memberships from role facts.
+  for (const auto& [p_name, pairs] : sat.role_pairs) {
+    auto& fwd =
+        sat.concept_members[dl::BasicConcept::Exists(dl::Role{p_name, false})];
+    auto& bwd =
+        sat.concept_members[dl::BasicConcept::Exists(dl::Role{p_name, true})];
+    for (const auto& [from, to] : pairs) {
+      fwd.insert(from);
+      bwd.insert(to);
+    }
+  }
+
+  // Step 4: close unary memberships under the positive concept closure.
+  std::map<dl::BasicConcept, std::set<Value>> closed = sat.concept_members;
+  for (const auto& [b, members] : sat.concept_members) {
+    for (const dl::BasicConcept& c : reasoner_.Universe()) {
+      if (c == b || !reasoner_.Subsumed(b, c)) continue;
+      closed[c].insert(members.begin(), members.end());
+    }
+  }
+  sat.concept_members = std::move(closed);
+  return sat;
+}
+
+Status ObdaSpec::CheckConsistent(const rel::Instance& instance) const {
+  WHYNOT_ASSIGN_OR_RETURN(Saturation sat, Saturate(instance));
+  // Concept disjointness axioms.
+  for (const dl::ConceptAxiom& ax : tbox_.concept_axioms()) {
+    if (!ax.rhs.negated) continue;
+    const std::set<Value>& lhs = sat.Members(ax.lhs);
+    const std::set<Value>& rhs = sat.Members(ax.rhs.basic);
+    for (const Value& v : lhs) {
+      if (rhs.count(v) > 0) {
+        return Status::InvalidArgument(
+            "instance inconsistent with OBDA specification: axiom " +
+            ax.ToString() + " violated by constant " + v.ToString());
+      }
+    }
+  }
+  // Role disjointness axioms.
+  for (const dl::RoleAxiom& ax : tbox_.role_axioms()) {
+    if (!ax.rhs.negated) continue;
+    auto lhs_it = sat.role_pairs.find(ax.lhs.name);
+    auto rhs_it = sat.role_pairs.find(ax.rhs.role.name);
+    if (lhs_it == sat.role_pairs.end() || rhs_it == sat.role_pairs.end()) {
+      continue;
+    }
+    for (std::pair<Value, Value> p : lhs_it->second) {
+      if (ax.lhs.inverse) std::swap(p.first, p.second);
+      std::pair<Value, Value> q = p;
+      if (ax.rhs.role.inverse) std::swap(q.first, q.second);
+      if (rhs_it->second.count(q) > 0) {
+        return Status::InvalidArgument(
+            "instance inconsistent with OBDA specification: axiom " +
+            ax.ToString() + " violated");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace whynot::obda

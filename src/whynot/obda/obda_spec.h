@@ -1,0 +1,75 @@
+#ifndef WHYNOT_OBDA_OBDA_SPEC_H_
+#define WHYNOT_OBDA_OBDA_SPEC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/dllite/reasoner.h"
+#include "whynot/dllite/tbox.h"
+#include "whynot/obda/mapping.h"
+#include "whynot/relational/instance.h"
+
+namespace whynot::obda {
+
+/// The saturated certain memberships of one instance under an OBDA
+/// specification: for every basic concept B over the TBox signature, the set
+/// of constants c with c ∈ I(B) for *every* solution I
+/// (= certain(B, I, B) of Theorem 4.1.2).
+struct Saturation {
+  /// Certain members per basic concept.
+  std::map<dl::BasicConcept, std::set<Value>> concept_members;
+  /// Certain pairs per atomic role name.
+  std::map<std::string, std::set<std::pair<Value, Value>>> role_pairs;
+
+  const std::set<Value>& Members(const dl::BasicConcept& b) const;
+};
+
+/// An OBDA specification B = (T, S, M) (Definition 4.3): a DL-LiteR TBox,
+/// a relational schema, and GAV mapping assertions from S to the TBox
+/// signature.
+class ObdaSpec {
+ public:
+  ObdaSpec(dl::TBox tbox, const rel::Schema* schema,
+           std::vector<GavMapping> mappings);
+
+  const dl::TBox& tbox() const { return tbox_; }
+  const rel::Schema& schema() const { return *schema_; }
+  const std::vector<GavMapping>& mappings() const { return mappings_; }
+  const dl::Reasoner& reasoner() const { return reasoner_; }
+
+  Status Validate() const;
+
+  /// Computes the certain memberships for `instance`:
+  ///  1. evaluate every mapping body over the instance and assert the head
+  ///     facts (the virtual ABox);
+  ///  2. close role facts under the TBox's positive role inclusions;
+  ///  3. derive ∃R / ∃R⁻ memberships from role facts;
+  ///  4. close unary memberships under the positive concept closure
+  ///     (including B ⊑ ∃R axioms, whose existential witnesses are
+  ///     anonymous and therefore never surface as certain members of other
+  ///     concepts — exactly the certain-answer semantics of Theorem 4.1.2).
+  ///
+  /// Runs in polynomial time (Theorem 4.2 relies on this).
+  Result<Saturation> Saturate(const rel::Instance& instance) const;
+
+  /// Checks that `instance` is consistent with the specification: no
+  /// negative TBox axiom (concept or role disjointness) is violated by the
+  /// saturated certain facts. The paper assumes consistent inputs when
+  /// explaining; inconsistent ones are reported here.
+  Status CheckConsistent(const rel::Instance& instance) const;
+
+ private:
+  dl::TBox tbox_;
+  const rel::Schema* schema_;
+  std::vector<GavMapping> mappings_;
+  dl::Reasoner reasoner_;
+};
+
+}  // namespace whynot::obda
+
+#endif  // WHYNOT_OBDA_OBDA_SPEC_H_

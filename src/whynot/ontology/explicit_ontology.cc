@@ -1,0 +1,64 @@
+#include "whynot/ontology/explicit_ontology.h"
+
+namespace whynot::onto {
+
+ConceptId ExplicitOntology::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  ConceptId id = static_cast<ConceptId>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  fixed_ext_.emplace_back();
+  ext_fns_.emplace_back();
+  return id;
+}
+
+ConceptId ExplicitOntology::AddConcept(const std::string& name) {
+  return Intern(name);
+}
+
+void ExplicitOntology::AddSubsumption(const std::string& sub,
+                                      const std::string& super) {
+  edges_.emplace_back(Intern(sub), Intern(super));
+}
+
+void ExplicitOntology::SetExtension(const std::string& concept_name,
+                                    std::vector<Value> values) {
+  fixed_ext_[static_cast<size_t>(Intern(concept_name))] = std::move(values);
+}
+
+void ExplicitOntology::SetExtensionFn(const std::string& concept_name, ExtFn fn) {
+  ext_fns_[static_cast<size_t>(Intern(concept_name))] = std::move(fn);
+}
+
+Status ExplicitOntology::Finalize() {
+  closure_ = std::make_unique<BoolMatrix>(NumConcepts());
+  for (const auto& [sub, super] : edges_) closure_->Set(sub, super);
+  ReflexiveTransitiveClosure(closure_.get());
+  return Status::OK();
+}
+
+ConceptId ExplicitOntology::FindConcept(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool ExplicitOntology::Subsumes(ConceptId sub, ConceptId super) const {
+  return closure_->Get(sub, super);
+}
+
+ExtSet ExplicitOntology::ComputeExt(ConceptId id,
+                                    const rel::Instance& instance,
+                                    ValuePool* pool) const {
+  size_t idx = static_cast<size_t>(id);
+  if (ext_fns_[idx]) {
+    return InternValues(ext_fns_[idx](instance), pool);
+  }
+  return InternValues(fixed_ext_[idx], pool);
+}
+
+std::string ExplicitOntology::SubsumptionToString() const {
+  return HasseToString(*closure_, names_);
+}
+
+}  // namespace whynot::onto

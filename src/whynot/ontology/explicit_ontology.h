@@ -1,0 +1,79 @@
+#ifndef WHYNOT_ONTOLOGY_EXPLICIT_ONTOLOGY_H_
+#define WHYNOT_ONTOLOGY_EXPLICIT_ONTOLOGY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/ontology/ontology.h"
+#include "whynot/ontology/preorder.h"
+
+namespace whynot::onto {
+
+/// A hand-specified finite S-ontology: named concepts, explicit subsumption
+/// edges (closed reflexively and transitively on Finalize), and per-concept
+/// extensions given either as fixed constant sets (instance-independent,
+/// like Figure 3 of the paper) or as functions of the instance.
+///
+/// Usage:
+///   ExplicitOntology o;
+///   o.AddConcept("City");
+///   o.AddConcept("European-City");
+///   o.AddSubsumption("European-City", "City");
+///   o.SetExtension("City", {"Amsterdam", "Berlin", ...});
+///   WHYNOT_RETURN_IF_ERROR(o.Finalize());
+class ExplicitOntology : public FiniteOntology {
+ public:
+  using ExtFn = std::function<std::vector<Value>(const rel::Instance&)>;
+
+  /// Adds a concept; returns its id. Duplicate names are rejected at
+  /// Finalize time.
+  ConceptId AddConcept(const std::string& name);
+
+  /// Declares `sub` ⊑ `super` (by name; concepts are added implicitly).
+  void AddSubsumption(const std::string& sub, const std::string& super);
+
+  /// Fixed, instance-independent extension (Figure 3 style).
+  void SetExtension(const std::string& concept_name, std::vector<Value> values);
+
+  /// Instance-dependent extension.
+  void SetExtensionFn(const std::string& concept_name, ExtFn fn);
+
+  /// Computes the reflexive-transitive closure of the subsumption edges.
+  /// Must be called before use as a FiniteOntology.
+  Status Finalize();
+
+  /// Id of a named concept, or -1.
+  ConceptId FindConcept(const std::string& name) const;
+
+  // FiniteOntology:
+  int32_t NumConcepts() const override {
+    return static_cast<int32_t>(names_.size());
+  }
+  std::string ConceptName(ConceptId id) const override {
+    return names_[static_cast<size_t>(id)];
+  }
+  bool Subsumes(ConceptId sub, ConceptId super) const override;
+  ExtSet ComputeExt(ConceptId id, const rel::Instance& instance,
+                    ValuePool* pool) const override;
+
+  /// Hasse-diagram rendering of the subsumption order (for examples).
+  std::string SubsumptionToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, ConceptId> index_;
+  std::vector<std::pair<ConceptId, ConceptId>> edges_;
+  std::vector<std::vector<Value>> fixed_ext_;
+  std::vector<ExtFn> ext_fns_;
+  std::unique_ptr<BoolMatrix> closure_;
+
+  ConceptId Intern(const std::string& name);
+};
+
+}  // namespace whynot::onto
+
+#endif  // WHYNOT_ONTOLOGY_EXPLICIT_ONTOLOGY_H_

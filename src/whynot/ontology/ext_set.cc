@@ -1,0 +1,60 @@
+#include "whynot/ontology/ext_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "whynot/common/strings.h"
+
+namespace whynot::onto {
+
+ExtSet ExtSet::Finite(std::vector<ValueId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  ExtSet s;
+  s.ids_ = std::move(ids);
+  return s;
+}
+
+ExtSet ExtSet::All() {
+  ExtSet s;
+  s.all_ = true;
+  return s;
+}
+
+bool ExtSet::Contains(ValueId id) const {
+  if (all_) return true;
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool ExtSet::SubsetOf(const ExtSet& other) const {
+  if (other.all_) return true;
+  if (all_) return false;
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+ExtSet ExtSet::Intersect(const ExtSet& other) const {
+  if (all_) return other;
+  if (other.all_) return *this;
+  ExtSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+std::string ExtSet::ToString(const ValuePool& pool) const {
+  if (all_) return "Const";
+  std::vector<std::string> parts;
+  parts.reserve(ids_.size());
+  for (ValueId id : ids_) parts.push_back(pool.Get(id).ToString());
+  return "{" + Join(parts, ", ") + "}";
+}
+
+ExtSet InternValues(const std::vector<Value>& values, ValuePool* pool) {
+  std::vector<ValueId> ids;
+  ids.reserve(values.size());
+  for (const Value& v : values) ids.push_back(pool->Intern(v));
+  return ExtSet::Finite(std::move(ids));
+}
+
+}  // namespace whynot::onto

@@ -1,0 +1,63 @@
+#ifndef WHYNOT_ONTOLOGY_EXT_SET_H_
+#define WHYNOT_ONTOLOGY_EXT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "whynot/common/value.h"
+
+namespace whynot::onto {
+
+/// The extension of a concept with respect to an instance: either a finite
+/// set of interned constants, or symbolically *all* of Const (the extension
+/// of ⊤ and of any concept equivalent to it).
+///
+/// Ids refer to a ValuePool owned by the surrounding BoundOntology /
+/// algorithm context. Finite sets are kept sorted and deduplicated.
+class ExtSet {
+ public:
+  /// The empty extension.
+  ExtSet() = default;
+
+  /// A finite extension; `ids` need not be sorted.
+  static ExtSet Finite(std::vector<ValueId> ids);
+
+  /// The extension Const (countably infinite).
+  static ExtSet All();
+
+  bool is_all() const { return all_; }
+  bool empty() const { return !all_ && ids_.empty(); }
+
+  /// Number of elements; meaningless if is_all() (asserts in debug).
+  size_t size() const { return ids_.size(); }
+
+  /// Sorted ids; requires !is_all().
+  const std::vector<ValueId>& ids() const { return ids_; }
+
+  bool Contains(ValueId id) const;
+
+  /// Set containment: *this ⊆ other (All ⊆ only All).
+  bool SubsetOf(const ExtSet& other) const;
+
+  /// Set intersection.
+  ExtSet Intersect(const ExtSet& other) const;
+
+  bool operator==(const ExtSet& other) const {
+    return all_ == other.all_ && ids_ == other.ids_;
+  }
+
+  /// "{a, b, c}" or "Const" using the pool for names.
+  std::string ToString(const ValuePool& pool) const;
+
+ private:
+  bool all_ = false;
+  std::vector<ValueId> ids_;
+};
+
+/// Interns a list of values into the pool and returns their ExtSet.
+ExtSet InternValues(const std::vector<Value>& values, ValuePool* pool);
+
+}  // namespace whynot::onto
+
+#endif  // WHYNOT_ONTOLOGY_EXT_SET_H_

@@ -1,0 +1,37 @@
+#include "whynot/ontology/ontology.h"
+
+namespace whynot::onto {
+
+BoundOntology::BoundOntology(const FiniteOntology* ontology,
+                             const rel::Instance* instance)
+    : ontology_(ontology), instance_(instance) {
+  cache_.resize(static_cast<size_t>(ontology->NumConcepts()));
+  cached_.resize(static_cast<size_t>(ontology->NumConcepts()), false);
+}
+
+const ExtSet& BoundOntology::Ext(ConceptId id) {
+  size_t idx = static_cast<size_t>(id);
+  if (!cached_[idx]) {
+    cache_[idx] = ontology_->ComputeExt(id, *instance_, &pool_);
+    cached_[idx] = true;
+  }
+  return cache_[idx];
+}
+
+Status BoundOntology::CheckConsistent() {
+  int32_t n = NumConcepts();
+  for (ConceptId c1 = 0; c1 < n; ++c1) {
+    for (ConceptId c2 = 0; c2 < n; ++c2) {
+      if (c1 == c2 || !Subsumes(c1, c2)) continue;
+      if (!Ext(c1).SubsetOf(Ext(c2))) {
+        return Status::InvalidArgument(
+            "instance inconsistent with ontology: " + ConceptName(c1) +
+            " ⊑ " + ConceptName(c2) + " but ext(" + ConceptName(c1) +
+            ") ⊄ ext(" + ConceptName(c2) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace whynot::onto

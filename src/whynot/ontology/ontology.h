@@ -1,0 +1,84 @@
+#ifndef WHYNOT_ONTOLOGY_ONTOLOGY_H_
+#define WHYNOT_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/ontology/ext_set.h"
+#include "whynot/relational/instance.h"
+
+namespace whynot::onto {
+
+/// Dense handle for a concept inside one ontology object.
+using ConceptId = int32_t;
+
+/// A *finite* S-ontology (C, ⊑, ext) in the sense of Definition 3.1.
+///
+/// `C` is finite here; the infinite instance/schema-derived ontologies OI
+/// and OS of Section 4.2 are deliberately *not* materialized (the paper's
+/// Algorithm 2 works against them directly via `lub`), but their finite
+/// restrictions OI[K] / OS[K] can be materialized into this interface
+/// (concepts/materialize.h), which is what Propositions 5.1 and 5.3 exploit.
+class FiniteOntology {
+ public:
+  virtual ~FiniteOntology() = default;
+
+  virtual int32_t NumConcepts() const = 0;
+  virtual std::string ConceptName(ConceptId id) const = 0;
+
+  /// The subsumption pre-order: true iff `sub` ⊑ `super`. Must be reflexive
+  /// and transitive.
+  virtual bool Subsumes(ConceptId sub, ConceptId super) const = 0;
+
+  /// ext(C, I): the extension of concept `id` in `instance`, with constants
+  /// interned into `pool`. Must be polynomial-time computable
+  /// (Definition 3.1).
+  virtual ExtSet ComputeExt(ConceptId id, const rel::Instance& instance,
+                            ValuePool* pool) const = 0;
+};
+
+/// A finite ontology bound to one instance: caches extensions, owns the
+/// value pool, and checks consistency (Definition 3.1: I is consistent with
+/// O iff C1 ⊑ C2 implies ext(C1, I) ⊆ ext(C2, I)).
+///
+/// All explanation algorithms over external ontologies operate on a
+/// BoundOntology.
+class BoundOntology {
+ public:
+  BoundOntology(const FiniteOntology* ontology, const rel::Instance* instance);
+
+  const FiniteOntology& ontology() const { return *ontology_; }
+  const rel::Instance& instance() const { return *instance_; }
+  ValuePool& pool() { return pool_; }
+  const ValuePool& pool() const { return pool_; }
+
+  int32_t NumConcepts() const { return ontology_->NumConcepts(); }
+  bool Subsumes(ConceptId sub, ConceptId super) const {
+    return ontology_->Subsumes(sub, super);
+  }
+  std::string ConceptName(ConceptId id) const {
+    return ontology_->ConceptName(id);
+  }
+
+  /// Cached ext(C, I).
+  const ExtSet& Ext(ConceptId id);
+
+  /// Checks Definition 3.1 consistency of the bound instance with the
+  /// ontology. Returns InvalidArgument naming the offending pair otherwise.
+  Status CheckConsistent();
+
+ private:
+  const FiniteOntology* ontology_;
+  const rel::Instance* instance_;
+  ValuePool pool_;
+  std::vector<ExtSet> cache_;
+  std::vector<bool> cached_;
+};
+
+}  // namespace whynot::onto
+
+#endif  // WHYNOT_ONTOLOGY_ONTOLOGY_H_

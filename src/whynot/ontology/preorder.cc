@@ -1,0 +1,78 @@
+#include "whynot/ontology/preorder.h"
+
+namespace whynot::onto {
+
+void ReflexiveTransitiveClosure(BoolMatrix* m) {
+  int32_t n = m->size();
+  for (int32_t i = 0; i < n; ++i) m->Set(i, i);
+  for (int32_t k = 0; k < n; ++k) {
+    for (int32_t i = 0; i < n; ++i) {
+      if (!m->Get(i, k)) continue;
+      for (int32_t j = 0; j < n; ++j) {
+        if (m->Get(k, j)) m->Set(i, j);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Representative (smallest id) of i's equivalence class under ⊑∩⊒.
+int32_t ClassRep(const BoolMatrix& closure, int32_t i) {
+  for (int32_t j = 0; j < closure.size(); ++j) {
+    if (closure.Get(i, j) && closure.Get(j, i)) return j;  // smallest such j
+  }
+  return i;
+}
+
+}  // namespace
+
+std::vector<std::pair<int32_t, int32_t>> HasseEdges(const BoolMatrix& closure) {
+  int32_t n = closure.size();
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < n; ++i) {
+    if (ClassRep(closure, i) != i) continue;
+    for (int32_t j = 0; j < n; ++j) {
+      if (i == j || ClassRep(closure, j) != j) continue;
+      if (!closure.Get(i, j) || closure.Get(j, i)) continue;
+      // Check there is no intermediate class strictly between i and j.
+      bool covered = true;
+      for (int32_t k = 0; k < n; ++k) {
+        if (k == i || k == j || ClassRep(closure, k) != k) continue;
+        bool i_below_k = closure.Get(i, k) && !closure.Get(k, i);
+        bool k_below_j = closure.Get(k, j) && !closure.Get(j, k);
+        if (i_below_k && k_below_j) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) edges.emplace_back(i, j);
+    }
+  }
+  return edges;
+}
+
+std::vector<int32_t> MaximalElements(const BoolMatrix& closure) {
+  int32_t n = closure.size();
+  std::vector<int32_t> out;
+  for (int32_t i = 0; i < n; ++i) {
+    bool maximal = true;
+    for (int32_t j = 0; j < n && maximal; ++j) {
+      if (i != j && closure.Get(i, j) && !closure.Get(j, i)) maximal = false;
+    }
+    if (maximal) out.push_back(i);
+  }
+  return out;
+}
+
+std::string HasseToString(const BoolMatrix& closure,
+                          const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& [child, parent] : HasseEdges(closure)) {
+    out += names[static_cast<size_t>(child)] + " -> " +
+           names[static_cast<size_t>(parent)] + "\n";
+  }
+  return out;
+}
+
+}  // namespace whynot::onto

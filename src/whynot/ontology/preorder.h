@@ -1,0 +1,46 @@
+#ifndef WHYNOT_ONTOLOGY_PREORDER_H_
+#define WHYNOT_ONTOLOGY_PREORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whynot::onto {
+
+/// A dense boolean relation over {0..n-1}, used for subsumption matrices.
+class BoolMatrix {
+ public:
+  explicit BoolMatrix(int32_t n) : n_(n), bits_(static_cast<size_t>(n) * n) {}
+
+  int32_t size() const { return n_; }
+  bool Get(int32_t i, int32_t j) const {
+    return bits_[static_cast<size_t>(i) * n_ + j];
+  }
+  void Set(int32_t i, int32_t j, bool v = true) {
+    bits_[static_cast<size_t>(i) * n_ + j] = v;
+  }
+
+ private:
+  int32_t n_;
+  std::vector<bool> bits_;
+};
+
+/// In-place reflexive-transitive closure (Warshall).
+void ReflexiveTransitiveClosure(BoolMatrix* m);
+
+/// The Hasse reduction of a *partial order* closure: edges (i, j) with
+/// i ⊑ j, i ≠ j, and no k ∉ {i, j} with i ⊑ k ⊑ j. For pre-orders,
+/// equivalent elements are first grouped; edges are between class
+/// representatives (smallest id).
+std::vector<std::pair<int32_t, int32_t>> HasseEdges(const BoolMatrix& closure);
+
+/// Indices that are maximal in the pre-order: no j with i ⊑ j and not j ⊑ i.
+std::vector<int32_t> MaximalElements(const BoolMatrix& closure);
+
+/// Renders the Hasse diagram as "child -> parent" lines using `names`.
+std::string HasseToString(const BoolMatrix& closure,
+                          const std::vector<std::string>& names);
+
+}  // namespace whynot::onto
+
+#endif  // WHYNOT_ONTOLOGY_PREORDER_H_

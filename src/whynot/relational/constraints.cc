@@ -1,0 +1,118 @@
+#include "whynot/relational/constraints.h"
+
+#include <map>
+#include <set>
+
+#include "whynot/common/strings.h"
+#include "whynot/relational/instance.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::rel {
+
+namespace {
+
+Status ValidateAttrs(const Schema& schema, const std::string& relation,
+                     const std::vector<int>& attrs, const char* what) {
+  const RelationDef* def = schema.Find(relation);
+  if (def == nullptr) {
+    return Status::NotFound(std::string(what) + " references unknown relation '" +
+                            relation + "'");
+  }
+  for (int a : attrs) {
+    if (a < 0 || static_cast<size_t>(a) >= def->arity()) {
+      return Status::InvalidArgument(
+          std::string(what) + " attribute index " + std::to_string(a) +
+          " out of range for " + relation);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> AttrNames(const Schema& schema,
+                                   const std::string& relation,
+                                   const std::vector<int>& attrs) {
+  std::vector<std::string> names;
+  const RelationDef* def = schema.Find(relation);
+  names.reserve(attrs.size());
+  for (int a : attrs) {
+    names.push_back(def != nullptr ? def->AttrName(a) : std::to_string(a));
+  }
+  return names;
+}
+
+Tuple Project(const Tuple& t, const std::vector<int>& attrs) {
+  Tuple out;
+  out.reserve(attrs.size());
+  for (int a : attrs) out.push_back(t[static_cast<size_t>(a)]);
+  return out;
+}
+
+}  // namespace
+
+Status FunctionalDependency::Validate(const Schema& schema) const {
+  WHYNOT_RETURN_IF_ERROR(ValidateAttrs(schema, relation, lhs, "FD"));
+  WHYNOT_RETURN_IF_ERROR(ValidateAttrs(schema, relation, rhs, "FD"));
+  if (rhs.empty()) return Status::InvalidArgument("FD with empty RHS");
+  return Status::OK();
+}
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  return relation + " : " + Join(AttrNames(schema, relation, lhs), ", ") +
+         " -> " + Join(AttrNames(schema, relation, rhs), ", ");
+}
+
+Status InclusionDependency::Validate(const Schema& schema) const {
+  WHYNOT_RETURN_IF_ERROR(ValidateAttrs(schema, lhs_relation, lhs_attrs, "ID"));
+  WHYNOT_RETURN_IF_ERROR(ValidateAttrs(schema, rhs_relation, rhs_attrs, "ID"));
+  if (lhs_attrs.size() != rhs_attrs.size() || lhs_attrs.empty()) {
+    return Status::InvalidArgument("ID attribute lists must be equal-length "
+                                   "and non-empty");
+  }
+  return Status::OK();
+}
+
+std::string InclusionDependency::ToString(const Schema& schema) const {
+  return lhs_relation + "[" +
+         Join(AttrNames(schema, lhs_relation, lhs_attrs), ", ") + "] <= " +
+         rhs_relation + "[" +
+         Join(AttrNames(schema, rhs_relation, rhs_attrs), ", ") + "]";
+}
+
+bool SatisfiesFd(const Instance& instance, const FunctionalDependency& fd,
+                 std::string* violation) {
+  std::map<Tuple, Tuple> seen;  // lhs projection -> rhs projection
+  for (const Tuple& t : instance.Relation(fd.relation)) {
+    Tuple key = Project(t, fd.lhs);
+    Tuple val = Project(t, fd.rhs);
+    auto [it, inserted] = seen.emplace(std::move(key), val);
+    if (!inserted && it->second != val) {
+      if (violation != nullptr) {
+        *violation = fd.ToString(instance.schema()) + " on tuples with key " +
+                     TupleToString(it->first);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesId(const Instance& instance, const InclusionDependency& id,
+                 std::string* violation) {
+  std::set<Tuple> rhs;
+  for (const Tuple& t : instance.Relation(id.rhs_relation)) {
+    rhs.insert(Project(t, id.rhs_attrs));
+  }
+  for (const Tuple& t : instance.Relation(id.lhs_relation)) {
+    Tuple key = Project(t, id.lhs_attrs);
+    if (rhs.count(key) == 0) {
+      if (violation != nullptr) {
+        *violation = id.ToString(instance.schema()) + " misses " +
+                     TupleToString(key);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace whynot::rel

@@ -1,0 +1,49 @@
+#ifndef WHYNOT_RELATIONAL_CONSTRAINTS_H_
+#define WHYNOT_RELATIONAL_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+
+namespace whynot::rel {
+
+class Schema;
+class Instance;
+
+/// A functional dependency R : X -> Y (Section 2). Attribute positions are
+/// 0-based indices into the relation's attribute list; rendering uses the
+/// schema's attribute names.
+struct FunctionalDependency {
+  std::string relation;
+  std::vector<int> lhs;
+  std::vector<int> rhs;
+
+  Status Validate(const Schema& schema) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// An inclusion dependency R[A1..An] ⊆ S[B1..Bn] (Section 2), with 0-based
+/// attribute positions.
+struct InclusionDependency {
+  std::string lhs_relation;
+  std::vector<int> lhs_attrs;
+  std::string rhs_relation;
+  std::vector<int> rhs_attrs;
+
+  Status Validate(const Schema& schema) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// True iff `instance` satisfies `fd`. If `violation` is non-null and the FD
+/// is violated, a human-readable description of one violation is stored.
+bool SatisfiesFd(const Instance& instance, const FunctionalDependency& fd,
+                 std::string* violation);
+
+/// True iff `instance` satisfies `id`; see SatisfiesFd for `violation`.
+bool SatisfiesId(const Instance& instance, const InclusionDependency& id,
+                 std::string* violation);
+
+}  // namespace whynot::rel
+
+#endif  // WHYNOT_RELATIONAL_CONSTRAINTS_H_

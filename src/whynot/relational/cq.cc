@@ -1,0 +1,150 @@
+#include "whynot/relational/cq.h"
+
+#include <algorithm>
+#include <set>
+
+#include "whynot/common/strings.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::rel {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.is_var_ = true;
+  t.var_ = std::move(name);
+  return t;
+}
+
+Term Term::Const(Value v) {
+  Term t;
+  t.is_var_ = false;
+  t.constant_ = std::move(v);
+  return t;
+}
+
+std::string Term::ToString() const {
+  return is_var_ ? var_ : constant_.ToLiteral();
+}
+
+bool Term::operator==(const Term& other) const {
+  if (is_var_ != other.is_var_) return false;
+  return is_var_ ? var_ == other.var_ : constant_ == other.constant_;
+}
+
+std::string Atom::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Term& t : args) parts.push_back(t.ToString());
+  return relation + "(" + Join(parts, ", ") + ")";
+}
+
+std::string Comparison::ToString() const {
+  return var + " " + CmpOpName(op) + " " + constant.ToLiteral();
+}
+
+Status ConjunctiveQuery::Validate(const Schema& schema) const {
+  std::set<std::string> atom_vars;
+  for (const Atom& atom : atoms) {
+    const RelationDef* def = schema.Find(atom.relation);
+    if (def == nullptr) {
+      return Status::NotFound("unknown relation '" + atom.relation +
+                              "' in query");
+    }
+    if (def->arity() != atom.args.size()) {
+      return Status::InvalidArgument(
+          "atom " + atom.ToString() + " has arity " +
+          std::to_string(atom.args.size()) + ", relation expects " +
+          std::to_string(def->arity()));
+    }
+    for (const Term& t : atom.args) {
+      if (t.is_var()) atom_vars.insert(t.var());
+    }
+  }
+  for (const std::string& v : head) {
+    if (atom_vars.count(v) == 0) {
+      return Status::InvalidArgument("head variable '" + v +
+                                     "' does not occur in any atom");
+    }
+  }
+  for (const Comparison& cmp : comparisons) {
+    if (atom_vars.count(cmp.var) == 0) {
+      return Status::InvalidArgument("comparison variable '" + cmp.var +
+                                     "' does not occur in any atom");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ConjunctiveQuery::Variables() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Atom& atom : atoms) {
+    for (const Term& t : atom.args) {
+      if (t.is_var() && seen.insert(t.var()).second) out.push_back(t.var());
+    }
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::vector<std::string> body;
+  body.reserve(atoms.size() + comparisons.size());
+  for (const Atom& a : atoms) body.push_back(a.ToString());
+  for (const Comparison& c : comparisons) body.push_back(c.ToString());
+  return "q(" + Join(head, ", ") + ") :- " + Join(body, ", ");
+}
+
+Status UnionQuery::Validate(const Schema& schema) const {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("union query has no disjuncts");
+  }
+  size_t ar = disjuncts.front().arity();
+  for (const ConjunctiveQuery& cq : disjuncts) {
+    if (cq.arity() != ar) {
+      return Status::InvalidArgument("union query disjuncts disagree on arity");
+    }
+    WHYNOT_RETURN_IF_ERROR(cq.Validate(schema));
+  }
+  return Status::OK();
+}
+
+std::string UnionQuery::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(disjuncts.size());
+  for (const ConjunctiveQuery& cq : disjuncts) parts.push_back(cq.ToString());
+  return Join(parts, "  |  ");
+}
+
+}  // namespace whynot::rel

@@ -1,0 +1,103 @@
+#ifndef WHYNOT_RELATIONAL_CQ_H_
+#define WHYNOT_RELATIONAL_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+
+namespace whynot::rel {
+
+class Schema;
+
+/// Comparison operator usable against constants (Section 2 of the paper:
+/// comparisons of the form `x op c`; variable-variable comparisons are not
+/// allowed).
+enum class CmpOp { kEq, kLt, kGt, kLe, kGe };
+
+/// "=", "<", ">", "<=", ">=".
+const char* CmpOpName(CmpOp op);
+
+/// Evaluates `lhs op rhs` under the total order on Value.
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs);
+
+/// A term of an atom: either a variable (by name) or a constant.
+class Term {
+ public:
+  static Term Var(std::string name);
+  static Term Const(Value v);
+
+  bool is_var() const { return is_var_; }
+  /// Requires is_var().
+  const std::string& var() const { return var_; }
+  /// Requires !is_var().
+  const Value& constant() const { return constant_; }
+
+  std::string ToString() const;
+  bool operator==(const Term& other) const;
+
+ private:
+  bool is_var_ = false;
+  std::string var_;
+  Value constant_;
+};
+
+/// A relational atom R(t1, ..., tk).
+struct Atom {
+  std::string relation;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+/// A comparison atom `var op constant`.
+struct Comparison {
+  std::string var;
+  CmpOp op;
+  Value constant;
+
+  std::string ToString() const;
+};
+
+/// A conjunctive query with comparisons to constants (Section 2):
+/// q(head) :- atoms, comparisons. Variables not in the head are
+/// existentially quantified. The head may not repeat variables of the body
+/// that do not occur in any relational atom.
+struct ConjunctiveQuery {
+  std::vector<std::string> head;
+  std::vector<Atom> atoms;
+  std::vector<Comparison> comparisons;
+
+  size_t arity() const { return head.size(); }
+
+  /// Checks arities against the schema, that every head and comparison
+  /// variable occurs in some relational atom, and that atoms reference
+  /// known relations.
+  Status Validate(const Schema& schema) const;
+
+  /// All distinct variable names, body-atom variables first, in order of
+  /// first occurrence.
+  std::vector<std::string> Variables() const;
+
+  /// "q(x, y) :- R(x, z), S(z, y), z >= 5".
+  std::string ToString() const;
+};
+
+/// A union of conjunctive queries, all of the same arity.
+struct UnionQuery {
+  std::vector<ConjunctiveQuery> disjuncts;
+
+  size_t arity() const {
+    return disjuncts.empty() ? 0 : disjuncts.front().arity();
+  }
+
+  /// Validates every disjunct and that arities agree.
+  Status Validate(const Schema& schema) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace whynot::rel
+
+#endif  // WHYNOT_RELATIONAL_CQ_H_

@@ -1,0 +1,163 @@
+#include "whynot/relational/cq_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace whynot::rel {
+
+namespace {
+
+/// Shared evaluation state for one CQ over one instance.
+class Evaluator {
+ public:
+  Evaluator(const ConjunctiveQuery& query, const Instance& instance)
+      : query_(query), instance_(instance) {
+    // Index comparisons by variable for early filtering.
+    for (const Comparison& cmp : query.comparisons) {
+      filters_[cmp.var].push_back(&cmp);
+    }
+    OrderAtoms();
+  }
+
+  /// Runs the backtracking join. If `first_only`, stops after one match.
+  /// Appends head projections of matches to `out` (unsorted, may contain
+  /// duplicates).
+  bool Run(bool first_only, std::vector<Tuple>* out) {
+    found_ = false;
+    first_only_ = first_only;
+    out_ = out;
+    Descend(0);
+    return found_;
+  }
+
+ private:
+  void OrderAtoms() {
+    // Greedy: repeatedly pick the unplaced atom sharing the most variables
+    // with already-bound ones (ties: more constants, then original order).
+    std::vector<const Atom*> remaining;
+    for (const Atom& a : query_.atoms) remaining.push_back(&a);
+    std::set<std::string> bound;
+    while (!remaining.empty()) {
+      size_t best = 0;
+      int best_score = -1;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        int shared = 0;
+        int consts = 0;
+        for (const Term& t : remaining[i]->args) {
+          if (t.is_var()) {
+            if (bound.count(t.var()) > 0) ++shared;
+          } else {
+            ++consts;
+          }
+        }
+        int score = shared * 100 + consts;
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      for (const Term& t : remaining[best]->args) {
+        if (t.is_var()) bound.insert(t.var());
+      }
+      ordered_.push_back(remaining[best]);
+      remaining.erase(remaining.begin() + static_cast<long>(best));
+    }
+  }
+
+  bool PassesFilters(const std::string& var, const Value& v) const {
+    auto it = filters_.find(var);
+    if (it == filters_.end()) return true;
+    for (const Comparison* cmp : it->second) {
+      if (!EvalCmp(v, cmp->op, cmp->constant)) return false;
+    }
+    return true;
+  }
+
+  void Descend(size_t atom_idx) {
+    if (found_ && first_only_) return;
+    if (atom_idx == ordered_.size()) {
+      found_ = true;
+      if (out_ != nullptr) {
+        Tuple head;
+        head.reserve(query_.head.size());
+        for (const std::string& v : query_.head) head.push_back(binding_.at(v));
+        out_->push_back(std::move(head));
+      }
+      return;
+    }
+    const Atom& atom = *ordered_[atom_idx];
+    for (const Tuple& tuple : instance_.Relation(atom.relation)) {
+      std::vector<std::string> newly_bound;
+      bool match = true;
+      for (size_t i = 0; i < atom.args.size() && match; ++i) {
+        const Term& term = atom.args[i];
+        const Value& v = tuple[i];
+        if (!term.is_var()) {
+          match = term.constant() == v;
+          continue;
+        }
+        auto it = binding_.find(term.var());
+        if (it != binding_.end()) {
+          match = it->second == v;
+        } else if (!PassesFilters(term.var(), v)) {
+          match = false;
+        } else {
+          binding_.emplace(term.var(), v);
+          newly_bound.push_back(term.var());
+        }
+      }
+      if (match) Descend(atom_idx + 1);
+      for (const std::string& v : newly_bound) binding_.erase(v);
+      if (found_ && first_only_) return;
+    }
+  }
+
+  const ConjunctiveQuery& query_;
+  const Instance& instance_;
+  std::vector<const Atom*> ordered_;
+  std::map<std::string, std::vector<const Comparison*>> filters_;
+  std::map<std::string, Value> binding_;
+  std::vector<Tuple>* out_ = nullptr;
+  bool found_ = false;
+  bool first_only_ = false;
+};
+
+void SortDedup(std::vector<Tuple>* tuples) {
+  std::sort(tuples->begin(), tuples->end());
+  tuples->erase(std::unique(tuples->begin(), tuples->end()), tuples->end());
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> Evaluate(const ConjunctiveQuery& query,
+                                    const Instance& instance) {
+  WHYNOT_RETURN_IF_ERROR(query.Validate(instance.schema()));
+  std::vector<Tuple> out;
+  Evaluator eval(query, instance);
+  eval.Run(/*first_only=*/false, &out);
+  SortDedup(&out);
+  return out;
+}
+
+Result<std::vector<Tuple>> Evaluate(const UnionQuery& query,
+                                    const Instance& instance) {
+  WHYNOT_RETURN_IF_ERROR(query.Validate(instance.schema()));
+  std::vector<Tuple> out;
+  for (const ConjunctiveQuery& cq : query.disjuncts) {
+    Evaluator eval(cq, instance);
+    eval.Run(/*first_only=*/false, &out);
+  }
+  SortDedup(&out);
+  return out;
+}
+
+Result<bool> HasMatch(const ConjunctiveQuery& query,
+                      const Instance& instance) {
+  WHYNOT_RETURN_IF_ERROR(query.Validate(instance.schema()));
+  Evaluator eval(query, instance);
+  return eval.Run(/*first_only=*/true, nullptr);
+}
+
+}  // namespace whynot::rel

@@ -1,0 +1,34 @@
+#ifndef WHYNOT_RELATIONAL_CQ_EVAL_H_
+#define WHYNOT_RELATIONAL_CQ_EVAL_H_
+
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/relational/cq.h"
+#include "whynot/relational/instance.h"
+
+namespace whynot::rel {
+
+/// Evaluates a conjunctive query over an instance under set semantics.
+/// Answers are returned sorted and deduplicated. Comparisons are evaluated
+/// under the Value total order.
+///
+/// The evaluator is a backtracking join: atoms are reordered greedily so
+/// that atoms sharing variables with already-bound atoms come first, and
+/// per-variable comparison filters are applied as soon as the variable is
+/// bound.
+Result<std::vector<Tuple>> Evaluate(const ConjunctiveQuery& query,
+                                    const Instance& instance);
+
+/// Evaluates a union of conjunctive queries (set semantics, sorted).
+Result<std::vector<Tuple>> Evaluate(const UnionQuery& query,
+                                    const Instance& instance);
+
+/// True iff the Boolean query (head ignored) has at least one satisfying
+/// assignment.
+Result<bool> HasMatch(const ConjunctiveQuery& query, const Instance& instance);
+
+}  // namespace whynot::rel
+
+#endif  // WHYNOT_RELATIONAL_CQ_EVAL_H_

@@ -1,0 +1,89 @@
+#include "whynot/relational/instance.h"
+
+#include <algorithm>
+#include <set>
+
+namespace whynot::rel {
+
+Instance::Instance(const Schema* schema) : schema_(schema) {}
+
+Status Instance::AddFact(const std::string& relation, Tuple tuple) {
+  const RelationDef* def = schema_->Find(relation);
+  if (def == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  if (def->arity() != tuple.size()) {
+    return Status::InvalidArgument(
+        "fact " + relation + TupleToString(tuple) + " has arity " +
+        std::to_string(tuple.size()) + ", relation expects " +
+        std::to_string(def->arity()));
+  }
+  auto& set = sets_[relation];
+  if (set.insert(tuple).second) {
+    relations_[relation].push_back(std::move(tuple));
+  }
+  return Status::OK();
+}
+
+bool Instance::Contains(const std::string& relation,
+                        const Tuple& tuple) const {
+  auto it = sets_.find(relation);
+  return it != sets_.end() && it->second.count(tuple) > 0;
+}
+
+const std::vector<Tuple>& Instance::Relation(
+    const std::string& relation) const {
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? empty_ : it->second;
+}
+
+size_t Instance::NumFacts() const {
+  size_t n = 0;
+  for (const auto& [name, tuples] : relations_) n += tuples.size();
+  return n;
+}
+
+void Instance::ClearRelation(const std::string& relation) {
+  relations_.erase(relation);
+  sets_.erase(relation);
+}
+
+std::vector<Value> Instance::ActiveDomain() const {
+  std::set<Value> dom;
+  for (const auto& [name, tuples] : relations_) {
+    for (const Tuple& t : tuples) {
+      for (const Value& v : t) dom.insert(v);
+    }
+  }
+  return std::vector<Value>(dom.begin(), dom.end());
+}
+
+Status Instance::SatisfiesConstraints() const {
+  std::string violation;
+  for (const FunctionalDependency& fd : schema_->fds()) {
+    if (!SatisfiesFd(*this, fd, &violation)) {
+      return Status::InvalidArgument("FD violated: " + violation);
+    }
+  }
+  for (const InclusionDependency& id : schema_->ids()) {
+    if (!SatisfiesId(*this, id, &violation)) {
+      return Status::InvalidArgument("ID violated: " + violation);
+    }
+  }
+  return Status::OK();
+}
+
+std::string Instance::ToString() const {
+  std::string out;
+  for (const RelationDef& def : schema_->relations()) {
+    const std::vector<Tuple>& tuples = Relation(def.name());
+    if (tuples.empty()) continue;
+    out += def.ToString() + ":\n";
+    for (const Tuple& t : tuples) {
+      out += "  " + TupleToString(t) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace whynot::rel

@@ -1,0 +1,63 @@
+#ifndef WHYNOT_RELATIONAL_INSTANCE_H_
+#define WHYNOT_RELATIONAL_INSTANCE_H_
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::rel {
+
+/// A database instance over a schema (Section 2): a finite set of facts.
+///
+/// The instance holds facts for both data and view relations; view
+/// extensions are filled in by MaterializeViews (views.h). Constraint
+/// satisfaction is checked by SatisfiesConstraints, not enforced on insert,
+/// so that tests can construct violating instances on purpose.
+class Instance {
+ public:
+  explicit Instance(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Inserts the fact R(t). Fails if R is unknown or the arity mismatches.
+  /// Duplicate facts are silently ignored (set semantics).
+  Status AddFact(const std::string& relation, Tuple tuple);
+
+  /// True iff the fact is present.
+  bool Contains(const std::string& relation, const Tuple& tuple) const;
+
+  /// Tuples of `relation` in insertion order. Empty for unknown relations.
+  const std::vector<Tuple>& Relation(const std::string& relation) const;
+
+  /// Number of facts across all relations.
+  size_t NumFacts() const;
+
+  /// Removes all tuples of `relation`.
+  void ClearRelation(const std::string& relation);
+
+  /// The active domain adom(I): all constants occurring in facts, sorted
+  /// by the Value total order, deduplicated.
+  std::vector<Value> ActiveDomain() const;
+
+  /// Checks all FDs and IDs of the schema. Returns InvalidArgument with a
+  /// description of the first violation found.
+  Status SatisfiesConstraints() const;
+
+  /// Multi-line table rendering of non-empty relations.
+  std::string ToString() const;
+
+ private:
+  const Schema* schema_;
+  std::map<std::string, std::vector<Tuple>> relations_;
+  std::map<std::string, std::unordered_set<Tuple, TupleHash>> sets_;
+  std::vector<Tuple> empty_;
+};
+
+}  // namespace whynot::rel
+
+#endif  // WHYNOT_RELATIONAL_INSTANCE_H_

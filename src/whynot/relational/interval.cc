@@ -1,0 +1,185 @@
+#include "whynot/relational/interval.h"
+
+#include <cmath>
+#include <limits>
+
+namespace whynot::rel {
+
+void IntervalConstraint::Narrow(CmpOp op, const Value& c) {
+  if (empty) return;
+  switch (op) {
+    case CmpOp::kEq:
+      if (eq.has_value() && !(*eq == c)) empty = true;
+      eq = c;
+      break;
+    case CmpOp::kLt:
+    case CmpOp::kLe: {
+      bool strict = op == CmpOp::kLt;
+      if (!hi.has_value() || c < *hi || (c == *hi && strict && !hi_strict)) {
+        hi = c;
+        hi_strict = strict;
+      }
+      break;
+    }
+    case CmpOp::kGt:
+    case CmpOp::kGe: {
+      bool strict = op == CmpOp::kGt;
+      if (!lo.has_value() || *lo < c || (c == *lo && strict && !lo_strict)) {
+        lo = c;
+        lo_strict = strict;
+      }
+      break;
+    }
+  }
+  Normalize();
+}
+
+void IntervalConstraint::Normalize() {
+  if (empty) return;
+  if (eq.has_value()) {
+    if (lo.has_value() &&
+        !EvalCmp(*eq, lo_strict ? CmpOp::kGt : CmpOp::kGe, *lo)) {
+      empty = true;
+    }
+    if (hi.has_value() &&
+        !EvalCmp(*eq, hi_strict ? CmpOp::kLt : CmpOp::kLe, *hi)) {
+      empty = true;
+    }
+    return;
+  }
+  if (lo.has_value() && hi.has_value()) {
+    if (*hi < *lo) {
+      empty = true;
+    } else if (*lo == *hi) {
+      if (lo_strict || hi_strict) {
+        empty = true;
+      } else {
+        eq = *lo;
+      }
+    }
+  }
+}
+
+void IntervalConstraint::Merge(const IntervalConstraint& o) {
+  if (o.eq.has_value()) Narrow(CmpOp::kEq, *o.eq);
+  if (o.lo.has_value()) Narrow(o.lo_strict ? CmpOp::kGt : CmpOp::kGe, *o.lo);
+  if (o.hi.has_value()) Narrow(o.hi_strict ? CmpOp::kLt : CmpOp::kLe, *o.hi);
+  if (o.empty) empty = true;
+}
+
+bool IntervalConstraint::Entails(CmpOp op, const Value& c) const {
+  if (empty) return true;
+  if (eq.has_value()) return EvalCmp(*eq, op, c);
+  switch (op) {
+    case CmpOp::kEq:
+      return false;  // a non-point interval never entails equality
+    case CmpOp::kLt:
+      return hi.has_value() && (*hi < c || (*hi == c && hi_strict));
+    case CmpOp::kLe:
+      return hi.has_value() && (*hi < c || *hi == c);
+    case CmpOp::kGt:
+      return lo.has_value() && (c < *lo || (*lo == c && lo_strict));
+    case CmpOp::kGe:
+      return lo.has_value() && (c < *lo || *lo == c);
+  }
+  return false;
+}
+
+bool IntervalConstraint::Admits(const Value& v) const {
+  if (empty) return false;
+  if (eq.has_value()) return *eq == v;
+  if (lo.has_value() &&
+      !EvalCmp(v, lo_strict ? CmpOp::kGt : CmpOp::kGe, *lo)) {
+    return false;
+  }
+  if (hi.has_value() &&
+      !EvalCmp(v, hi_strict ? CmpOp::kLt : CmpOp::kLe, *hi)) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// The k-th candidate inside the open/closed interval, spreading candidates
+// so that successive k yield distinct values where the order is dense.
+std::optional<Value> CandidateAt(const IntervalConstraint& in, int k) {
+  if (in.eq.has_value()) return k == 0 ? in.eq : std::nullopt;
+  const bool has_lo = in.lo.has_value();
+  const bool has_hi = in.hi.has_value();
+  if (!has_lo && !has_hi) {
+    // Completely free: fresh strings never collide with realistic data.
+    return Value("~w" + std::to_string(k));
+  }
+  if (has_lo && !has_hi) {
+    if (in.lo->is_number()) {
+      return Value(in.lo->AsNumber() + 1.0 + static_cast<double>(k));
+    }
+    // Strings are unbounded above by suffix extension.
+    return Value(in.lo->AsString() + "~" + std::to_string(k));
+  }
+  if (!has_lo && has_hi) {
+    if (in.hi->is_number()) {
+      return Value(in.hi->AsNumber() - 1.0 - static_cast<double>(k));
+    }
+    // Every number sorts below every string.
+    return Value(static_cast<double>(-k));
+  }
+  // Bounded on both sides.
+  if (in.lo->is_number() && in.hi->is_number()) {
+    double lo = in.lo->AsNumber();
+    double hi = in.hi->AsNumber();
+    double t = (static_cast<double>(k) + 1.0) / (static_cast<double>(k) + 2.0);
+    double mid = lo + (hi - lo) * (1.0 - t / 2.0);  // walks toward lo
+    if (mid <= lo || mid >= hi) {
+      // Degenerate float spacing: only the closed endpoints remain.
+      if (!in.lo_strict && k == 0) return *in.lo;
+      if (!in.hi_strict && k == 1) return *in.hi;
+      return std::nullopt;
+    }
+    return Value(mid);
+  }
+  if (in.lo->is_number() && in.hi->is_string()) {
+    // Numbers above lo are all below the string bound.
+    return Value(in.lo->AsNumber() + 1.0 + static_cast<double>(k));
+  }
+  if (in.lo->is_string() && in.hi->is_string()) {
+    // lo + "\x01...\x01" is strictly above lo; check against hi explicitly
+    // (byte strings are not dense around "\0"-padded neighbours).
+    std::string cand = in.lo->AsString() + std::string(1, '\x01');
+    for (int i = 0; i < k; ++i) cand += '\x01';
+    Value v(cand);
+    if (in.Admits(v)) return v;
+    return std::nullopt;
+  }
+  // lo string, hi number: empty under the number < string order; Normalize
+  // marks these empty already.
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Value> PickWitness(const IntervalConstraint& interval,
+                                 const std::set<Value>& used, int attempts) {
+  if (interval.empty) return std::nullopt;
+  for (int k = 0; k < attempts; ++k) {
+    std::optional<Value> cand = CandidateAt(interval, k);
+    if (!cand.has_value()) {
+      // Candidate generation ran dry; closed endpoints are the last resort.
+      break;
+    }
+    if (!interval.Admits(*cand)) continue;
+    if (used.count(*cand) == 0) return cand;
+  }
+  if (interval.lo.has_value() && !interval.lo_strict &&
+      interval.Admits(*interval.lo) && used.count(*interval.lo) == 0) {
+    return interval.lo;
+  }
+  if (interval.hi.has_value() && !interval.hi_strict &&
+      interval.Admits(*interval.hi) && used.count(*interval.hi) == 0) {
+    return interval.hi;
+  }
+  return std::nullopt;
+}
+
+}  // namespace whynot::rel

@@ -1,0 +1,58 @@
+#ifndef WHYNOT_RELATIONAL_INTERVAL_H_
+#define WHYNOT_RELATIONAL_INTERVAL_H_
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "whynot/common/value.h"
+#include "whynot/relational/cq.h"
+
+namespace whynot::rel {
+
+/// Interval constraints on a single term, accumulated from comparisons
+/// `x op c` (Section 2 allows only comparisons against constants, so a
+/// term's admissible set is always an interval of the dense order,
+/// optionally degenerated to a point).
+///
+/// Shared by the ⊑_S deciders (schema_subsumption.cc) and the
+/// strong-explanation decision procedure (strong_decide.cc).
+struct IntervalConstraint {
+  std::optional<Value> eq;
+  std::optional<Value> lo;
+  bool lo_strict = false;
+  std::optional<Value> hi;
+  bool hi_strict = false;
+  bool empty = false;
+
+  /// Narrows by `op c`; sets `empty` when the constraint becomes
+  /// unsatisfiable. A strict gap lo < x < hi with lo < hi is satisfiable in
+  /// the dense order.
+  void Narrow(CmpOp op, const Value& c);
+
+  /// Re-derives `empty`/`eq` after a bound update.
+  void Normalize();
+
+  /// Merges another constraint in (used when a chase unifies terms).
+  void Merge(const IntervalConstraint& o);
+
+  /// True iff every value satisfying this constraint satisfies `op c`.
+  bool Entails(CmpOp op, const Value& c) const;
+
+  /// True iff `v` satisfies the constraint.
+  bool Admits(const Value& v) const;
+};
+
+/// Picks a witness value admitted by `interval` and not contained in
+/// `used`, exploiting the density of the Value order (doubles between
+/// numbers, suffix extension between strings). Returns nullopt when the
+/// interval is empty, or in the (documented) corner cases where the
+/// realized constant domain is not dense — e.g. two adjacent strings
+/// "a" and "a\0" — or when `attempts` distinct candidates were all taken.
+std::optional<Value> PickWitness(const IntervalConstraint& interval,
+                                 const std::set<Value>& used,
+                                 int attempts = 64);
+
+}  // namespace whynot::rel
+
+#endif  // WHYNOT_RELATIONAL_INTERVAL_H_

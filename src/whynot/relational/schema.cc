@@ -1,0 +1,195 @@
+#include "whynot/relational/schema.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "whynot/common/strings.h"
+
+namespace whynot::rel {
+
+int RelationDef::AttrIndex(const std::string& attr) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RelationDef::ToString() const {
+  return name_ + "(" + Join(attrs_, ", ") + ")";
+}
+
+Status Schema::AddRelation(const std::string& name,
+                           const std::vector<std::string>& attrs) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("relation '" + name + "' has arity 0");
+  }
+  if (index_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate relation '" + name + "'");
+  }
+  index_[name] = relations_.size();
+  relations_.emplace_back(name, attrs, /*is_view=*/false);
+  return Status::OK();
+}
+
+Status Schema::AddView(const std::string& name,
+                       const std::vector<std::string>& attrs,
+                       UnionQuery definition) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("view '" + name + "' has arity 0");
+  }
+  if (index_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate relation '" + name + "'");
+  }
+  if (definition.disjuncts.empty()) {
+    return Status::InvalidArgument("view '" + name + "' has no disjuncts");
+  }
+  for (const ConjunctiveQuery& cq : definition.disjuncts) {
+    if (cq.head.size() != attrs.size()) {
+      return Status::InvalidArgument(
+          "view '" + name + "' disjunct head arity mismatch");
+    }
+  }
+  index_[name] = relations_.size();
+  relations_.emplace_back(name, attrs, /*is_view=*/true);
+  view_index_[name] = views_.size();
+  views_.push_back(ViewDef{name, std::move(definition)});
+  return Status::OK();
+}
+
+Status Schema::AddFd(FunctionalDependency fd) {
+  WHYNOT_RETURN_IF_ERROR(fd.Validate(*this));
+  fds_.push_back(std::move(fd));
+  return Status::OK();
+}
+
+Status Schema::AddId(InclusionDependency id) {
+  WHYNOT_RETURN_IF_ERROR(id.Validate(*this));
+  ids_.push_back(std::move(id));
+  return Status::OK();
+}
+
+const RelationDef* Schema::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &relations_[it->second];
+}
+
+const RelationDef& Schema::Get(const std::string& name) const {
+  const RelationDef* def = Find(name);
+  return *def;
+}
+
+const ViewDef* Schema::FindView(const std::string& name) const {
+  auto it = view_index_.find(name);
+  return it == view_index_.end() ? nullptr : &views_[it->second];
+}
+
+std::vector<std::pair<std::string, std::string>> Schema::ViewDependencies()
+    const {
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const ViewDef& v : views_) {
+    std::set<std::string> deps;
+    for (const ConjunctiveQuery& cq : v.definition.disjuncts) {
+      for (const Atom& atom : cq.atoms) {
+        const RelationDef* def = Find(atom.relation);
+        if (def != nullptr && def->is_view()) deps.insert(atom.relation);
+      }
+    }
+    for (const std::string& d : deps) edges.emplace_back(v.name, d);
+  }
+  return edges;
+}
+
+Status Schema::CheckViewsAcyclic() const {
+  // Kahn-style cycle detection over the "depends on" graph.
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::string, int> indegree;
+  for (const ViewDef& v : views_) {
+    adj[v.name];
+    indegree[v.name];
+  }
+  for (const auto& [from, to] : ViewDependencies()) {
+    if (adj[from].insert(to).second) indegree[to]++;
+  }
+  std::vector<std::string> queue;
+  for (const auto& [name, deg] : indegree) {
+    if (deg == 0) queue.push_back(name);
+  }
+  size_t removed = 0;
+  while (!queue.empty()) {
+    std::string n = queue.back();
+    queue.pop_back();
+    ++removed;
+    for (const std::string& m : adj[n]) {
+      if (--indegree[m] == 0) queue.push_back(m);
+    }
+  }
+  if (removed != adj.size()) {
+    return Status::InvalidArgument(
+        "view definitions are cyclic; nested UCQ-view definitions require "
+        "an acyclic 'depends on' relation");
+  }
+  return Status::OK();
+}
+
+bool Schema::ViewsAreLinear() const {
+  for (const ViewDef& v : views_) {
+    for (const ConjunctiveQuery& cq : v.definition.disjuncts) {
+      int view_atoms = 0;
+      for (const Atom& atom : cq.atoms) {
+        const RelationDef* def = Find(atom.relation);
+        if (def != nullptr && def->is_view()) ++view_atoms;
+      }
+      if (view_atoms > 1) return false;
+    }
+  }
+  return true;
+}
+
+bool Schema::ViewsAreFlat() const { return ViewDependencies().empty(); }
+
+Status Schema::Validate() const {
+  for (const FunctionalDependency& fd : fds_) {
+    WHYNOT_RETURN_IF_ERROR(fd.Validate(*this));
+  }
+  for (const InclusionDependency& id : ids_) {
+    WHYNOT_RETURN_IF_ERROR(id.Validate(*this));
+  }
+  for (const ViewDef& v : views_) {
+    WHYNOT_RETURN_IF_ERROR(v.definition.Validate(*this));
+  }
+  return CheckViewsAcyclic();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  out += "Data schema:\n";
+  for (const RelationDef& r : relations_) {
+    if (!r.is_view()) out += "  " + r.ToString() + "\n";
+  }
+  if (!views_.empty()) {
+    out += "View schema:\n";
+    for (const RelationDef& r : relations_) {
+      if (r.is_view()) out += "  " + r.ToString() + "\n";
+    }
+    out += "View definitions:\n";
+    for (const ViewDef& v : views_) {
+      out += "  " + v.name + " <-> " + v.definition.ToString() + "\n";
+    }
+  }
+  if (!fds_.empty()) {
+    out += "Functional dependencies:\n";
+    for (const FunctionalDependency& fd : fds_) {
+      out += "  " + fd.ToString(*this) + "\n";
+    }
+  }
+  if (!ids_.empty()) {
+    out += "Inclusion dependencies:\n";
+    for (const InclusionDependency& id : ids_) {
+      out += "  " + id.ToString(*this) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace whynot::rel

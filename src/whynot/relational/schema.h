@@ -1,0 +1,121 @@
+#ifndef WHYNOT_RELATIONAL_SCHEMA_H_
+#define WHYNOT_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/relational/constraints.h"
+#include "whynot/relational/cq.h"
+
+namespace whynot::rel {
+
+/// A relation name with named attributes. Attribute positions are 0-based;
+/// the paper's 1-based attribute numbers map to index + 1.
+class RelationDef {
+ public:
+  RelationDef(std::string name, std::vector<std::string> attrs,
+              bool is_view = false)
+      : name_(std::move(name)), attrs_(std::move(attrs)), is_view_(is_view) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+  /// True iff this relation is defined by a UCQ-view definition.
+  bool is_view() const { return is_view_; }
+
+  /// 0-based position of the named attribute, or -1.
+  int AttrIndex(const std::string& attr) const;
+  /// Requires 0 <= i < arity().
+  const std::string& AttrName(int i) const {
+    return attrs_[static_cast<size_t>(i)];
+  }
+
+  /// "Cities(name, population, country, continent)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attrs_;
+  bool is_view_;
+};
+
+/// A UCQ-view definition P(x̄) ↔ ∨ᵢ ϕᵢ(x̄) (Section 2). The disjunct CQs'
+/// heads are the view's attribute variables, in order.
+struct ViewDef {
+  std::string name;
+  UnionQuery definition;
+};
+
+/// A schema (S, Σ) in the sense of Section 2: relation names with arities
+/// plus integrity constraints (FDs, IDs, and UCQ-view definitions, which
+/// the paper treats as a special case of integrity constraints).
+///
+/// The relation set is partitioned into data relations D and view relations
+/// V; every view relation has exactly one ViewDef.
+class Schema {
+ public:
+  /// Adds a data relation. Fails on duplicate names or empty arity.
+  Status AddRelation(const std::string& name,
+                     const std::vector<std::string>& attrs);
+
+  /// Adds a view relation together with its UCQ-view definition. The view's
+  /// attributes are the head variables of the first disjunct.
+  Status AddView(const std::string& name,
+                 const std::vector<std::string>& attrs, UnionQuery definition);
+
+  Status AddFd(FunctionalDependency fd);
+  Status AddId(InclusionDependency id);
+
+  const RelationDef* Find(const std::string& name) const;
+  /// Requires the relation to exist.
+  const RelationDef& Get(const std::string& name) const;
+  /// The definition of view `name`, or nullptr if not a view.
+  const ViewDef* FindView(const std::string& name) const;
+
+  /// All relations (data + views) in insertion order.
+  const std::vector<RelationDef>& relations() const { return relations_; }
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+  const std::vector<InclusionDependency>& ids() const { return ids_; }
+  const std::vector<ViewDef>& views() const { return views_; }
+
+  bool HasViews() const { return !views_.empty(); }
+  bool HasFds() const { return !fds_.empty(); }
+  bool HasIds() const { return !ids_.empty(); }
+
+  /// Whether P "depends on" R (directly): R occurs in P's view definition.
+  /// Returns the full direct-dependency edge list over view names.
+  std::vector<std::pair<std::string, std::string>> ViewDependencies() const;
+
+  /// Checks that the "depends on" relation over views is acyclic (required
+  /// for nested UCQ-view definitions, Section 2). OK for schemas without
+  /// views.
+  Status CheckViewsAcyclic() const;
+
+  /// True iff every disjunct of every view definition contains at most one
+  /// atom over V (linearly nested UCQ-view definitions, Section 2).
+  bool ViewsAreLinear() const;
+
+  /// True iff no view definition references another view (flat UCQ views).
+  bool ViewsAreFlat() const;
+
+  /// Validates all constraints against the relation definitions and view
+  /// acyclicity.
+  Status Validate() const;
+
+  /// Multi-line rendering of relations and constraints (Figure 1 style).
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationDef> relations_;
+  std::map<std::string, size_t> index_;
+  std::vector<FunctionalDependency> fds_;
+  std::vector<InclusionDependency> ids_;
+  std::vector<ViewDef> views_;
+  std::map<std::string, size_t> view_index_;
+};
+
+}  // namespace whynot::rel
+
+#endif  // WHYNOT_RELATIONAL_SCHEMA_H_

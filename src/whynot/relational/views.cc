@@ -1,0 +1,179 @@
+#include "whynot/relational/views.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "whynot/relational/cq_eval.h"
+
+namespace whynot::rel {
+
+Result<std::vector<std::string>> ViewTopologicalOrder(const Schema& schema) {
+  WHYNOT_RETURN_IF_ERROR(schema.CheckViewsAcyclic());
+  // "P depends on R" means R occurs in P's definition, so R must be
+  // materialized before P.
+  std::map<std::string, std::set<std::string>> deps;
+  for (const ViewDef& v : schema.views()) deps[v.name];
+  for (const auto& [from, to] : schema.ViewDependencies()) {
+    deps[from].insert(to);
+  }
+  std::vector<std::string> order;
+  std::set<std::string> done;
+  while (order.size() < deps.size()) {
+    bool progressed = false;
+    for (const auto& [name, ds] : deps) {
+      if (done.count(name) > 0) continue;
+      bool ready = true;
+      for (const std::string& d : ds) {
+        if (done.count(d) == 0) ready = false;
+      }
+      if (ready) {
+        order.push_back(name);
+        done.insert(name);
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      return Status::Internal("view dependency cycle slipped past validation");
+    }
+  }
+  return order;
+}
+
+Status MaterializeViews(Instance* instance) {
+  const Schema& schema = instance->schema();
+  WHYNOT_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                          ViewTopologicalOrder(schema));
+  for (const std::string& name : order) instance->ClearRelation(name);
+  for (const std::string& name : order) {
+    const ViewDef* def = schema.FindView(name);
+    if (def == nullptr) return Status::Internal("missing view def: " + name);
+    WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                            Evaluate(def->definition, *instance));
+    for (Tuple& t : tuples) {
+      WHYNOT_RETURN_IF_ERROR(instance->AddFact(name, std::move(t)));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Expands the first view atom of `cq` (if any). Returns true if an
+/// expansion happened, appending the resulting CQs to `out`.
+Result<bool> ExpandOneStep(const ConjunctiveQuery& cq, const Schema& schema,
+                           int* fresh_counter,
+                           std::vector<ConjunctiveQuery>* out) {
+  size_t view_idx = cq.atoms.size();
+  const ViewDef* view = nullptr;
+  for (size_t i = 0; i < cq.atoms.size(); ++i) {
+    const RelationDef* def = schema.Find(cq.atoms[i].relation);
+    if (def == nullptr) {
+      return Status::NotFound("unknown relation '" + cq.atoms[i].relation +
+                              "'");
+    }
+    if (def->is_view()) {
+      view_idx = i;
+      view = schema.FindView(cq.atoms[i].relation);
+      break;
+    }
+  }
+  if (view == nullptr) return false;
+
+  const Atom& view_atom = cq.atoms[view_idx];
+  for (const ConjunctiveQuery& body : view->definition.disjuncts) {
+    // Map the body's head variables to the atom's terms, everything else
+    // to fresh variables.
+    std::map<std::string, Term> subst;
+    for (size_t i = 0; i < body.head.size(); ++i) {
+      subst.emplace(body.head[i], view_atom.args[i]);
+    }
+    auto substituted = [&](const std::string& var) -> Term {
+      auto it = subst.find(var);
+      if (it != subst.end()) return it->second;
+      Term fresh = Term::Var("_v" + std::to_string((*fresh_counter)++));
+      subst.emplace(var, fresh);
+      return fresh;
+    };
+
+    ConjunctiveQuery expanded;
+    expanded.head = cq.head;
+    for (size_t i = 0; i < cq.atoms.size(); ++i) {
+      if (i != view_idx) expanded.atoms.push_back(cq.atoms[i]);
+    }
+    expanded.comparisons = cq.comparisons;
+
+    bool unsatisfiable = false;
+    for (const Atom& atom : body.atoms) {
+      Atom copy;
+      copy.relation = atom.relation;
+      for (const Term& t : atom.args) {
+        copy.args.push_back(t.is_var() ? substituted(t.var()) : t);
+      }
+      expanded.atoms.push_back(std::move(copy));
+    }
+    for (const Comparison& cmp : body.comparisons) {
+      Term t = substituted(cmp.var);
+      if (t.is_var()) {
+        expanded.comparisons.push_back({t.var(), cmp.op, cmp.constant});
+      } else if (!EvalCmp(t.constant(), cmp.op, cmp.constant)) {
+        unsatisfiable = true;
+        break;
+      }
+      // A true constant comparison is simply dropped.
+    }
+    if (!unsatisfiable) out->push_back(std::move(expanded));
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<UnionQuery> ExpandViews(const UnionQuery& query, const Schema& schema,
+                               size_t max_disjuncts, size_t max_atoms) {
+  WHYNOT_RETURN_IF_ERROR(schema.CheckViewsAcyclic());
+  int fresh_counter = 0;
+  std::deque<ConjunctiveQuery> work(query.disjuncts.begin(),
+                                    query.disjuncts.end());
+  UnionQuery result;
+  while (!work.empty()) {
+    ConjunctiveQuery cq = std::move(work.front());
+    work.pop_front();
+    if (cq.atoms.size() > max_atoms) {
+      return Status::ResourceExhausted(
+          "view expansion exceeded max_atoms; nested UCQ-view expansion is "
+          "exponential in general (Table 1, CONEXPTIME row)");
+    }
+    std::vector<ConjunctiveQuery> expanded;
+    WHYNOT_ASSIGN_OR_RETURN(bool did_expand,
+                            ExpandOneStep(cq, schema, &fresh_counter,
+                                          &expanded));
+    if (!did_expand) {
+      result.disjuncts.push_back(std::move(cq));
+      if (result.disjuncts.size() > max_disjuncts) {
+        return Status::ResourceExhausted(
+            "view expansion exceeded max_disjuncts");
+      }
+      continue;
+    }
+    for (ConjunctiveQuery& e : expanded) work.push_back(std::move(e));
+    if (work.size() + result.disjuncts.size() > max_disjuncts) {
+      return Status::ResourceExhausted("view expansion exceeded max_disjuncts");
+    }
+  }
+  // Note: if every disjunct was unsatisfiable (a constant comparison in a
+  // view body failed), the result has zero disjuncts; callers treat that as
+  // the empty query.
+  return result;
+}
+
+Result<UnionQuery> ExpandViews(const ConjunctiveQuery& query,
+                               const Schema& schema, size_t max_disjuncts,
+                               size_t max_atoms) {
+  UnionQuery u;
+  u.disjuncts.push_back(query);
+  return ExpandViews(u, schema, max_disjuncts, max_atoms);
+}
+
+}  // namespace whynot::rel

@@ -1,0 +1,42 @@
+#ifndef WHYNOT_RELATIONAL_VIEWS_H_
+#define WHYNOT_RELATIONAL_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/relational/instance.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::rel {
+
+/// Computes the extensions of all view relations of `instance`'s schema
+/// from its data relations, in a topological order of the "depends on"
+/// relation (nested UCQ-view definitions correspond to non-recursive
+/// Datalog, Section 2; evaluation is the usual stratum-by-stratum
+/// materialization). Existing view tuples are discarded first.
+Status MaterializeViews(Instance* instance);
+
+/// View names in a topological order such that every view comes after the
+/// views it depends on. Fails if the dependency relation is cyclic.
+Result<std::vector<std::string>> ViewTopologicalOrder(const Schema& schema);
+
+/// Expands every view atom in `query` using the view definitions, yielding
+/// an equivalent union of conjunctive queries over data relations only.
+/// Fresh variables are introduced for existential variables of the view
+/// bodies. The expansion is exponential in the nesting depth in general
+/// (this is exactly the CONEXPTIME source in Table 1); `max_disjuncts`
+/// and `max_atoms` guard the blowup.
+Result<UnionQuery> ExpandViews(const UnionQuery& query, const Schema& schema,
+                               size_t max_disjuncts = 100000,
+                               size_t max_atoms = 100000);
+
+/// Expands a single CQ; see ExpandViews.
+Result<UnionQuery> ExpandViews(const ConjunctiveQuery& query,
+                               const Schema& schema,
+                               size_t max_disjuncts = 100000,
+                               size_t max_atoms = 100000);
+
+}  // namespace whynot::rel
+
+#endif  // WHYNOT_RELATIONAL_VIEWS_H_

@@ -1,0 +1,80 @@
+#include "whynot/text/dot_export.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "whynot/common/strings.h"
+#include "whynot/ontology/preorder.h"
+
+namespace whynot::text {
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string OntologyToDot(onto::BoundOntology* bound,
+                          const DotOptions& options) {
+  int32_t n = bound->NumConcepts();
+  onto::BoolMatrix closure(n);
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = 0; j < n; ++j) {
+      if (bound->Subsumes(i, j)) closure.Set(i, j);
+    }
+  }
+
+  // Group ⊑-equivalent concepts; the class representative is the smallest
+  // id (matching HasseEdges).
+  std::map<int32_t, std::vector<int32_t>> classes;
+  std::vector<int32_t> rep(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    int32_t r = i;
+    for (int32_t j = 0; j < i; ++j) {
+      if (closure.Get(i, j) && closure.Get(j, i)) {
+        r = rep[static_cast<size_t>(j)];
+        break;
+      }
+    }
+    rep[static_cast<size_t>(i)] = r;
+    classes[r].push_back(i);
+  }
+
+  std::set<onto::ConceptId> highlighted(options.highlight.begin(),
+                                        options.highlight.end());
+
+  std::string dot = "digraph " + options.name + " {\n";
+  dot += "  rankdir=BT;\n";
+  dot += "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const auto& [r, members] : classes) {
+    std::vector<std::string> names;
+    bool highlight = false;
+    for (int32_t m : members) {
+      names.push_back(bound->ConceptName(m));
+      if (highlighted.count(m) > 0) highlight = true;
+    }
+    std::string label = DotEscape(Join(names, " = "));
+    if (options.show_extensions) {
+      // "\n" is DOT's in-label line break; it must not be escaped itself.
+      label += "\\n" + DotEscape(bound->Ext(r).ToString(bound->pool()));
+    }
+    dot += "  c" + std::to_string(r) + " [label=\"" + label + "\"";
+    if (highlight) {
+      dot += ", peripheries=2, style=filled, fillcolor=\"#ffe9a8\"";
+    }
+    dot += "];\n";
+  }
+  for (const auto& [from, to] : onto::HasseEdges(closure)) {
+    dot += "  c" + std::to_string(from) + " -> c" + std::to_string(to) +
+           ";\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace whynot::text

@@ -1,0 +1,34 @@
+#ifndef WHYNOT_TEXT_DOT_EXPORT_H_
+#define WHYNOT_TEXT_DOT_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/explain/explanation.h"
+#include "whynot/ontology/ontology.h"
+
+namespace whynot::text {
+
+struct DotOptions {
+  /// Graph name (DOT identifier).
+  std::string name = "ontology";
+  /// Render extensions (ext(C, I)) inside each node label.
+  bool show_extensions = true;
+  /// Highlight these concepts (e.g. the concepts of a most-general
+  /// explanation) with a double border and fill.
+  std::vector<onto::ConceptId> highlight;
+};
+
+/// Renders the Hasse diagram of a bound ontology as a Graphviz DOT digraph
+/// (edges point from subsumee to subsumer, Figure 3 style). Equivalent
+/// concepts (mutual subsumption) are merged into one node listing all
+/// names.
+std::string OntologyToDot(onto::BoundOntology* bound,
+                          const DotOptions& options = {});
+
+/// Escapes a string for use inside a double-quoted DOT label.
+std::string DotEscape(const std::string& s);
+
+}  // namespace whynot::text
+
+#endif  // WHYNOT_TEXT_DOT_EXPORT_H_

@@ -1,0 +1,355 @@
+#include "whynot/text/parsers.h"
+
+#include <cctype>
+#include <map>
+
+#include "whynot/text/text_util.h"
+
+namespace whynot::text {
+
+namespace {
+
+// --- shared body parsing (queries, view definitions, mapping bodies) ------
+
+// Parses one body item — an atom `R(t, ...)` or a comparison `x op c` —
+// under the convention that bare identifiers are variables.
+Status ParseBodyItem(const std::string& item, std::vector<rel::Atom>* atoms,
+                     std::vector<rel::Comparison>* comparisons) {
+  // Comparison? Look for an operator at depth zero outside a call.
+  if (item.find('(') == std::string::npos) {
+    for (const std::string op_text : {"<=", ">=", "==", "=", "<", ">"}) {
+      auto split = SplitOnce(item, op_text);
+      if (!split.ok()) continue;
+      const auto& [lhs, rhs] = split.value();
+      if (!IsIdentifier(lhs)) {
+        return Status::InvalidArgument(
+            "comparison left side must be a variable: " + item);
+      }
+      WHYNOT_ASSIGN_OR_RETURN(rel::CmpOp op, ParseCmpOp(op_text));
+      WHYNOT_ASSIGN_OR_RETURN(Value c, ParseValueLiteral(rhs));
+      comparisons->push_back({lhs, op, std::move(c)});
+      return Status::OK();
+    }
+    return Status::InvalidArgument("expected atom or comparison: " + item);
+  }
+  WHYNOT_ASSIGN_OR_RETURN(auto call, ParseCall(item));
+  rel::Atom atom;
+  atom.relation = std::move(call.first);
+  for (const std::string& arg : call.second) {
+    if (IsIdentifier(arg)) {
+      atom.args.push_back(rel::Term::Var(arg));
+    } else {
+      WHYNOT_ASSIGN_OR_RETURN(Value v, ParseValueLiteral(arg));
+      atom.args.push_back(rel::Term::Const(std::move(v)));
+    }
+  }
+  atoms->push_back(std::move(atom));
+  return Status::OK();
+}
+
+// Parses a union body `items | items | ...` with a fixed head.
+Result<rel::UnionQuery> ParseUnionBody(const std::string& body,
+                                       const std::vector<std::string>& head) {
+  rel::UnionQuery q;
+  for (const std::string& disjunct_text : SplitTopLevel(body, '|')) {
+    if (disjunct_text.empty()) {
+      return Status::InvalidArgument("empty disjunct in body: " + body);
+    }
+    rel::ConjunctiveQuery cq;
+    cq.head = head;
+    for (const std::string& item : SplitTopLevel(disjunct_text, ',')) {
+      if (item.empty()) {
+        return Status::InvalidArgument("empty item in body: " + disjunct_text);
+      }
+      WHYNOT_RETURN_IF_ERROR(
+          ParseBodyItem(item, &cq.atoms, &cq.comparisons));
+    }
+    q.disjuncts.push_back(std::move(cq));
+  }
+  return q;
+}
+
+// Resolves an attribute given by name or 0-based index.
+Result<int> ResolveAttr(const rel::RelationDef& def, const std::string& name) {
+  int idx = def.AttrIndex(name);
+  if (idx >= 0) return idx;
+  bool numeric = !name.empty();
+  for (char c : name) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) numeric = false;
+  }
+  if (numeric) {
+    int i = std::atoi(name.c_str());
+    if (i >= 0 && static_cast<size_t>(i) < def.arity()) return i;
+  }
+  return Status::NotFound("no attribute '" + name + "' in relation " +
+                          def.name());
+}
+
+Result<std::vector<int>> ResolveAttrList(const rel::RelationDef& def,
+                                         const std::string& list) {
+  std::vector<int> out;
+  for (const std::string& name : SplitTopLevel(list, ',')) {
+    WHYNOT_ASSIGN_OR_RETURN(int idx, ResolveAttr(def, name));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+// Parses `Relation[attr, ...]`.
+Result<std::pair<std::string, std::string>> ParseRelationAttrs(
+    const std::string& s) {
+  size_t open = s.find('[');
+  if (open == std::string::npos || s.back() != ']') {
+    return Status::InvalidArgument("expected Relation[attrs]: " + s);
+  }
+  std::string relation = StripCommentAndTrim(s.substr(0, open));
+  std::string attrs = s.substr(open + 1, s.size() - open - 2);
+  return std::make_pair(std::move(relation), std::move(attrs));
+}
+
+// --- DL-Lite expression parsing -------------------------------------------
+
+Result<dl::Role> ParseRole(const std::string& s) {
+  std::string t = s;
+  bool inverse = false;
+  if (t.size() > 2 && t.compare(t.size() - 2, 2, "^-") == 0) {
+    inverse = true;
+    t = StripCommentAndTrim(t.substr(0, t.size() - 2));
+  }
+  if (!IsIdentifier(t)) {
+    return Status::InvalidArgument("bad role name: " + s);
+  }
+  return dl::Role{t, inverse};
+}
+
+Result<dl::BasicConcept> ParseBasicConcept(const std::string& s) {
+  if (s.rfind("exists ", 0) == 0) {
+    WHYNOT_ASSIGN_OR_RETURN(dl::Role role,
+                            ParseRole(StripCommentAndTrim(s.substr(7))));
+    return dl::BasicConcept::Exists(role);
+  }
+  if (!IsIdentifier(s)) {
+    return Status::InvalidArgument("bad concept name: " + s);
+  }
+  return dl::BasicConcept::Atomic(s);
+}
+
+}  // namespace
+
+Result<rel::Schema> ParseSchema(const std::string& text) {
+  rel::Schema schema;
+  for (const auto& [line, content] : LogicalLines(text)) {
+    if (content.rfind("relation ", 0) == 0) {
+      auto call = ParseCall(content.substr(9));
+      if (!call.ok()) return AtLine(line, call.status());
+      WHYNOT_RETURN_IF_ERROR(AtLine(
+          line, schema.AddRelation(call.value().first, call.value().second)));
+    } else if (content.rfind("view ", 0) == 0) {
+      auto split = SplitOnce(content.substr(5), ":=");
+      if (!split.ok()) return AtLine(line, split.status());
+      auto head_call = ParseCall(split.value().first);
+      if (!head_call.ok()) return AtLine(line, head_call.status());
+      auto body = ParseUnionBody(split.value().second, head_call.value().second);
+      if (!body.ok()) return AtLine(line, body.status());
+      WHYNOT_RETURN_IF_ERROR(
+          AtLine(line, schema.AddView(head_call.value().first,
+                                      head_call.value().second,
+                                      std::move(body).value())));
+    } else if (content.rfind("fd ", 0) == 0) {
+      // fd Relation: attrs -> attrs
+      auto split = SplitOnce(content.substr(3), ":");
+      if (!split.ok()) return AtLine(line, split.status());
+      const rel::RelationDef* def = schema.Find(split.value().first);
+      if (def == nullptr) {
+        return AtLine(line, Status::NotFound("unknown relation: " +
+                                             split.value().first));
+      }
+      auto arrow = SplitOnce(split.value().second, "->");
+      if (!arrow.ok()) return AtLine(line, arrow.status());
+      auto lhs = ResolveAttrList(*def, arrow.value().first);
+      if (!lhs.ok()) return AtLine(line, lhs.status());
+      auto rhs = ResolveAttrList(*def, arrow.value().second);
+      if (!rhs.ok()) return AtLine(line, rhs.status());
+      WHYNOT_RETURN_IF_ERROR(AtLine(
+          line, schema.AddFd({def->name(), std::move(lhs).value(),
+                              std::move(rhs).value()})));
+    } else if (content.rfind("id ", 0) == 0) {
+      // id R[attrs] <= S[attrs]
+      auto split = SplitOnce(content.substr(3), "<=");
+      if (!split.ok()) return AtLine(line, split.status());
+      auto lhs = ParseRelationAttrs(split.value().first);
+      if (!lhs.ok()) return AtLine(line, lhs.status());
+      auto rhs = ParseRelationAttrs(split.value().second);
+      if (!rhs.ok()) return AtLine(line, rhs.status());
+      const rel::RelationDef* ldef = schema.Find(lhs.value().first);
+      const rel::RelationDef* rdef = schema.Find(rhs.value().first);
+      if (ldef == nullptr || rdef == nullptr) {
+        return AtLine(line, Status::NotFound("unknown relation in id"));
+      }
+      auto lattrs = ResolveAttrList(*ldef, lhs.value().second);
+      if (!lattrs.ok()) return AtLine(line, lattrs.status());
+      auto rattrs = ResolveAttrList(*rdef, rhs.value().second);
+      if (!rattrs.ok()) return AtLine(line, rattrs.status());
+      WHYNOT_RETURN_IF_ERROR(AtLine(
+          line, schema.AddId({ldef->name(), std::move(lattrs).value(),
+                              rdef->name(), std::move(rattrs).value()})));
+    } else {
+      return AtLine(line, Status::InvalidArgument(
+                              "expected 'relation', 'view', 'fd' or 'id': " +
+                              content));
+    }
+  }
+  WHYNOT_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+Status ParseFactsInto(const std::string& text, rel::Instance* instance) {
+  for (const auto& [line, content] : LogicalLines(text)) {
+    auto call = ParseCall(content);
+    if (!call.ok()) return AtLine(line, call.status());
+    Tuple tuple;
+    tuple.reserve(call.value().second.size());
+    for (const std::string& arg : call.value().second) {
+      auto v = ParseValueLiteral(arg);
+      if (!v.ok()) return AtLine(line, v.status());
+      tuple.push_back(std::move(v).value());
+    }
+    const rel::RelationDef* def =
+        instance->schema().Find(call.value().first);
+    if (def != nullptr && def->is_view()) {
+      return AtLine(line,
+                    Status::InvalidArgument(
+                        "facts may not be asserted for view relation " +
+                        def->name() + "; views are materialized"));
+    }
+    WHYNOT_RETURN_IF_ERROR(
+        AtLine(line, instance->AddFact(call.value().first, std::move(tuple))));
+  }
+  return Status::OK();
+}
+
+Result<rel::UnionQuery> ParseQuery(const std::string& text,
+                                   const rel::Schema& schema) {
+  WHYNOT_ASSIGN_OR_RETURN(auto split,
+                          SplitOnce(StripCommentAndTrim(text), ":="));
+  WHYNOT_ASSIGN_OR_RETURN(auto head_call, ParseCall(split.first));
+  for (const std::string& v : head_call.second) {
+    if (!IsIdentifier(v)) {
+      return Status::InvalidArgument("head terms must be variables: " + v);
+    }
+  }
+  WHYNOT_ASSIGN_OR_RETURN(rel::UnionQuery q,
+                          ParseUnionBody(split.second, head_call.second));
+  WHYNOT_RETURN_IF_ERROR(q.Validate(schema));
+  return q;
+}
+
+Result<dl::TBox> ParseTBox(const std::string& text) {
+  dl::TBox tbox;
+  for (const auto& [line, content] : LogicalLines(text)) {
+    bool is_role = content.rfind("role ", 0) == 0;
+    std::string rest = is_role ? content.substr(5) : content;
+    if (rest.rfind("concept ", 0) == 0) rest = rest.substr(8);
+    auto split = SplitOnce(rest, "<=");
+    if (!split.ok()) return AtLine(line, split.status());
+    std::string rhs = split.value().second;
+    bool negated = false;
+    if (rhs.rfind("not ", 0) == 0) {
+      negated = true;
+      rhs = StripCommentAndTrim(rhs.substr(4));
+    }
+    if (is_role) {
+      auto lhs_role = ParseRole(split.value().first);
+      if (!lhs_role.ok()) return AtLine(line, lhs_role.status());
+      auto rhs_role = ParseRole(rhs);
+      if (!rhs_role.ok()) return AtLine(line, rhs_role.status());
+      tbox.AddRoleAxiom(lhs_role.value(), {rhs_role.value(), negated});
+    } else {
+      auto lhs_c = ParseBasicConcept(split.value().first);
+      if (!lhs_c.ok()) return AtLine(line, lhs_c.status());
+      auto rhs_c = ParseBasicConcept(rhs);
+      if (!rhs_c.ok()) return AtLine(line, rhs_c.status());
+      tbox.AddConceptAxiom(lhs_c.value(), {rhs_c.value(), negated});
+    }
+  }
+  return tbox;
+}
+
+Result<std::vector<obda::GavMapping>> ParseMappings(const std::string& text,
+                                                    const rel::Schema& schema) {
+  std::vector<obda::GavMapping> mappings;
+  for (const auto& [line, content] : LogicalLines(text)) {
+    auto split = SplitOnce(content, "->");
+    if (!split.ok()) return AtLine(line, split.status());
+    obda::GavMapping m;
+    for (const std::string& item : SplitTopLevel(split.value().first, ',')) {
+      if (item.empty()) {
+        return AtLine(line,
+                      Status::InvalidArgument("empty item in mapping body"));
+      }
+      WHYNOT_RETURN_IF_ERROR(
+          AtLine(line, ParseBodyItem(item, &m.atoms, &m.comparisons)));
+    }
+    auto head_call = ParseCall(split.value().second);
+    if (!head_call.ok()) return AtLine(line, head_call.status());
+    const auto& [head_name, head_args] = head_call.value();
+    for (const std::string& v : head_args) {
+      if (!IsIdentifier(v)) {
+        return AtLine(line, Status::InvalidArgument(
+                                "mapping head terms must be variables: " + v));
+      }
+    }
+    if (head_args.size() == 1) {
+      m.head = obda::MappingHead::Concept(head_name, head_args[0]);
+    } else if (head_args.size() == 2) {
+      m.head = obda::MappingHead::RolePair(head_name, head_args[0],
+                                           head_args[1]);
+    } else {
+      return AtLine(line, Status::InvalidArgument(
+                              "mapping head must be unary or binary: " +
+                              split.value().second));
+    }
+    WHYNOT_RETURN_IF_ERROR(AtLine(line, m.Validate(schema)));
+    mappings.push_back(std::move(m));
+  }
+  return mappings;
+}
+
+Result<dl::ABox> ParseAbox(const std::string& text) {
+  dl::ABox abox;
+  for (const auto& [line, content] : LogicalLines(text)) {
+    auto call = ParseCall(content);
+    if (!call.ok()) return AtLine(line, call.status());
+    const auto& [name, args] = call.value();
+    std::vector<Value> values;
+    for (const std::string& arg : args) {
+      auto v = ParseValueLiteral(arg);
+      if (!v.ok()) return AtLine(line, v.status());
+      values.push_back(std::move(v).value());
+    }
+    if (values.size() == 1) {
+      abox.AddConceptAssertion(name, std::move(values[0]));
+    } else if (values.size() == 2) {
+      abox.AddRoleAssertion(name, std::move(values[0]), std::move(values[1]));
+    } else {
+      return AtLine(line, Status::InvalidArgument(
+                              "assertions are unary or binary: " + content));
+    }
+  }
+  return abox;
+}
+
+Result<Tuple> ParseTuple(const std::string& text) {
+  std::string t = StripCommentAndTrim(text);
+  if (!t.empty() && t.front() == '(' && t.back() == ')') {
+    t = StripCommentAndTrim(t.substr(1, t.size() - 2));
+  }
+  Tuple tuple;
+  for (const std::string& piece : SplitTopLevel(t, ',')) {
+    WHYNOT_ASSIGN_OR_RETURN(Value v, ParseValueLiteral(piece));
+    tuple.push_back(std::move(v));
+  }
+  return tuple;
+}
+
+}  // namespace whynot::text

@@ -1,0 +1,88 @@
+#ifndef WHYNOT_TEXT_PARSERS_H_
+#define WHYNOT_TEXT_PARSERS_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/dllite/abox.h"
+#include "whynot/dllite/tbox.h"
+#include "whynot/obda/mapping.h"
+#include "whynot/relational/cq.h"
+#include "whynot/relational/instance.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::text {
+
+/// Parses a schema document, one declaration per line (`#` comments):
+///
+///   relation Cities(name, population, country, continent)
+///   view BigCity(name) := Cities(x, y, z, w), y >= 5000000
+///   view Reachable(a, b) := TC(a, b) | TC(a, z), TC(z, b)
+///   fd Cities: country -> continent
+///   id BigCity[name] <= TC[city_from]
+///
+/// View bodies are unions (`|`) of comma-separated atoms and comparisons;
+/// bare identifiers in bodies are variables, so constants must be quoted
+/// or numeric. FD/ID attributes are names or 0-based indices. The parsed
+/// schema is validated (arity checks, view acyclicity).
+Result<rel::Schema> ParseSchema(const std::string& text);
+
+/// Parses a facts document — one fact per line — into `instance`:
+///
+///   Cities(Amsterdam, 779808, Netherlands, Europe)
+///
+/// In fact files bare words are *string constants* (there are no
+/// variables). View relations may not be populated directly; use
+/// rel::MaterializeViews.
+Status ParseFactsInto(const std::string& text, rel::Instance* instance);
+
+/// Parses a (union) query:
+///
+///   q(x, y) := TC(x, z), TC(z, y) | TC(x, y)
+///
+/// Bare identifiers in the body are variables; constants must be quoted or
+/// numeric. Every disjunct shares the head of the first. Validated against
+/// `schema`.
+Result<rel::UnionQuery> ParseQuery(const std::string& text,
+                                   const rel::Schema& schema);
+
+/// Parses a DL-LiteR TBox document, one axiom per line:
+///
+///   concept EU-City <= City
+///   concept EU-City <= not N.A.-City
+///   concept City <= exists hasCountry
+///   concept exists hasCountry^- <= Country
+///   role connected <= travels
+///   role P <= not Q^-
+///
+/// The `concept` keyword may be omitted; `role` is required for role
+/// axioms. `^-` marks an inverse role.
+Result<dl::TBox> ParseTBox(const std::string& text);
+
+/// Parses GAV mapping assertions, one per line:
+///
+///   Cities(x, z, w, "Europe") -> EU-City(x)
+///   TC(x, y), Cities(x, a, b, c), Cities(y, d, e, f) -> connected(x, y)
+///
+/// Bodies follow the query-body syntax; heads are unary (concept) or
+/// binary (role) atoms over head variables. Validated against `schema`.
+Result<std::vector<obda::GavMapping>> ParseMappings(const std::string& text,
+                                                    const rel::Schema& schema);
+
+/// Parses an ABox document, one assertion per line:
+///
+///   EU-City(Amsterdam)
+///   connected(Amsterdam, Berlin)
+///
+/// Bare words are string constants (fact-file convention).
+Result<dl::ABox> ParseAbox(const std::string& text);
+
+/// Parses a why-not tuple: `(Amsterdam, New York)` or `Amsterdam, New
+/// York`. Bare words are string constants.
+Result<Tuple> ParseTuple(const std::string& text);
+
+}  // namespace whynot::text
+
+#endif  // WHYNOT_TEXT_PARSERS_H_

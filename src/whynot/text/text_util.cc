@@ -1,0 +1,201 @@
+#include "whynot/text/text_util.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace whynot::text {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string StripCommentAndTrim(const std::string& line) {
+  bool in_quote = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"' && (i == 0 || line[i - 1] != '\\')) in_quote = !in_quote;
+    if (c == '#' && !in_quote) return Trim(line.substr(0, i));
+  }
+  return Trim(line);
+}
+
+std::vector<std::string> SplitTopLevel(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_quote = false;
+  std::string current;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '"' && (i == 0 || s[i - 1] != '\\')) in_quote = !in_quote;
+    if (!in_quote) {
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == delim && depth == 0) {
+        out.push_back(Trim(current));
+        current.clear();
+        continue;
+      }
+    }
+    current += c;
+  }
+  out.push_back(Trim(current));
+  return out;
+}
+
+Result<std::pair<std::string, std::string>> SplitOnce(
+    const std::string& s, const std::string& separator) {
+  int depth = 0;
+  bool in_quote = false;
+  std::vector<size_t> hits;
+  for (size_t i = 0; i + separator.size() <= s.size(); ++i) {
+    char c = s[i];
+    if (c == '"' && (i == 0 || s[i - 1] != '\\')) in_quote = !in_quote;
+    if (in_quote) continue;
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (depth == 0 && s.compare(i, separator.size(), separator) == 0) {
+      hits.push_back(i);
+      i += separator.size() - 1;
+    }
+  }
+  if (hits.size() != 1) {
+    return Status::InvalidArgument("expected exactly one '" + separator +
+                                   "' in: " + s);
+  }
+  return std::make_pair(Trim(s.substr(0, hits[0])),
+                        Trim(s.substr(hits[0] + separator.size())));
+}
+
+Result<Value> ParseValueLiteral(const std::string& token) {
+  std::string t = Trim(token);
+  if (t.empty()) return Status::InvalidArgument("empty value literal");
+  if (t.front() == '"') {
+    if (t.size() < 2 || t.back() != '"') {
+      return Status::InvalidArgument("unterminated string literal: " + t);
+    }
+    std::string out;
+    for (size_t i = 1; i + 1 < t.size(); ++i) {
+      if (t[i] == '\\' && i + 2 < t.size() &&
+          (t[i + 1] == '"' || t[i + 1] == '\\')) {
+        out += t[i + 1];
+        ++i;
+      } else {
+        out += t[i];
+      }
+    }
+    return Value(std::move(out));
+  }
+  // Numeric?
+  bool numeric = !t.empty() && (std::isdigit(static_cast<unsigned char>(
+                                    t[0])) ||
+                                ((t[0] == '-' || t[0] == '+') && t.size() > 1));
+  if (numeric) {
+    bool is_double = false;
+    bool all_numeric = true;
+    for (size_t i = 1; i < t.size(); ++i) {
+      char c = t[i];
+      if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+      } else if (!std::isdigit(static_cast<unsigned char>(c))) {
+        all_numeric = false;
+        break;
+      }
+    }
+    if (all_numeric) {
+      char* end = nullptr;
+      if (!is_double) {
+        long long v = std::strtoll(t.c_str(), &end, 10);
+        if (end == t.c_str() + t.size()) {
+          return Value(static_cast<int64_t>(v));
+        }
+      }
+      double d = std::strtod(t.c_str(), &end);
+      if (end == t.c_str() + t.size()) return Value(d);
+    }
+  }
+  // Bare word: a string constant.
+  return Value(t);
+}
+
+Result<std::pair<std::string, std::vector<std::string>>> ParseCall(
+    const std::string& s) {
+  std::string t = Trim(s);
+  size_t open = t.find('(');
+  if (open == std::string::npos || t.back() != ')') {
+    return Status::InvalidArgument("expected Name(args): " + t);
+  }
+  std::string name = Trim(t.substr(0, open));
+  if (name.empty()) {
+    return Status::InvalidArgument("missing name before '(': " + t);
+  }
+  std::string inner = t.substr(open + 1, t.size() - open - 2);
+  std::vector<std::string> args;
+  if (!Trim(inner).empty()) args = SplitTopLevel(inner, ',');
+  for (const std::string& a : args) {
+    if (a.empty()) {
+      return Status::InvalidArgument("empty argument in: " + t);
+    }
+  }
+  return std::make_pair(std::move(name), std::move(args));
+}
+
+Result<rel::CmpOp> ParseCmpOp(const std::string& token) {
+  if (token == "=" || token == "==") return rel::CmpOp::kEq;
+  if (token == "<") return rel::CmpOp::kLt;
+  if (token == ">") return rel::CmpOp::kGt;
+  if (token == "<=") return rel::CmpOp::kLe;
+  if (token == ">=") return rel::CmpOp::kGe;
+  return Status::InvalidArgument("unknown comparison operator: " + token);
+}
+
+bool IsIdentifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<int, std::string>> LogicalLines(const std::string& text) {
+  std::vector<std::pair<int, std::string>> out;
+  int number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string raw = end == std::string::npos
+                          ? text.substr(start)
+                          : text.substr(start, end - start);
+    ++number;
+    std::string line = StripCommentAndTrim(raw);
+    if (!line.empty()) out.emplace_back(number, line);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+Status AtLine(int line, const Status& status) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                "line " + std::to_string(line) + ": " + status.message());
+}
+
+}  // namespace whynot::text

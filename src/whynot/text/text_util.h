@@ -1,0 +1,52 @@
+#ifndef WHYNOT_TEXT_TEXT_UTIL_H_
+#define WHYNOT_TEXT_TEXT_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/common/value.h"
+#include "whynot/relational/cq.h"
+
+namespace whynot::text {
+
+/// Strips a trailing `#` comment (quote-aware) and surrounding whitespace.
+std::string StripCommentAndTrim(const std::string& line);
+
+/// Splits on `delim` at paren/bracket/quote nesting depth zero; pieces are
+/// trimmed. A trailing/leading empty piece is an error in most grammars,
+/// so pieces are returned verbatim (possibly empty) for the caller to
+/// validate.
+std::vector<std::string> SplitTopLevel(const std::string& s, char delim);
+
+/// Splits on a multi-character separator (e.g. "->", "<=", ":=") at depth
+/// zero. Returns exactly two pieces, or an error when the separator occurs
+/// zero or multiple times.
+Result<std::pair<std::string, std::string>> SplitOnce(
+    const std::string& s, const std::string& separator);
+
+/// Parses a value literal: "quoted string" (with \" and \\ escapes),
+/// integer, floating-point number, or bare word (treated as a string).
+Result<Value> ParseValueLiteral(const std::string& token);
+
+/// Parses `Name(arg, arg, ...)` into the name and raw argument strings.
+Result<std::pair<std::string, std::vector<std::string>>> ParseCall(
+    const std::string& s);
+
+/// Parses a comparison operator token.
+Result<rel::CmpOp> ParseCmpOp(const std::string& token);
+
+/// True iff `s` is an identifier: [A-Za-z_][A-Za-z0-9_.-]* (dots and
+/// dashes appear in the paper's names, e.g. "N.A.-City").
+bool IsIdentifier(const std::string& s);
+
+/// Splits a document into logical lines: comments stripped, blank lines
+/// dropped; each returned pair is (1-based line number, content).
+std::vector<std::pair<int, std::string>> LogicalLines(const std::string& text);
+
+/// Prefixes `status`'s message with "line N: ". OK statuses pass through.
+Status AtLine(int line, const Status& status);
+
+}  // namespace whynot::text
+
+#endif  // WHYNOT_TEXT_TEXT_UTIL_H_

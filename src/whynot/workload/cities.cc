@@ -1,0 +1,296 @@
+#include "whynot/workload/cities.h"
+
+#include "whynot/relational/views.h"
+
+namespace whynot::workload {
+
+namespace {
+
+using rel::Atom;
+using rel::CmpOp;
+using rel::ConjunctiveQuery;
+using rel::Term;
+
+Atom MakeAtom(const std::string& relation,
+              const std::vector<Term>& args) {
+  Atom a;
+  a.relation = relation;
+  a.args = args;
+  return a;
+}
+
+Status AddDataRelations(rel::Schema* schema) {
+  WHYNOT_RETURN_IF_ERROR(schema->AddRelation(
+      "Cities", {"name", "population", "country", "continent"}));
+  WHYNOT_RETURN_IF_ERROR(schema->AddRelation("Train-Connections",
+                                             {"city_from", "city_to"}));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<rel::Schema> CitiesDataSchema() {
+  rel::Schema schema;
+  WHYNOT_RETURN_IF_ERROR(AddDataRelations(&schema));
+  return schema;
+}
+
+Result<rel::Schema> CitiesSchema() {
+  rel::Schema schema;
+  WHYNOT_RETURN_IF_ERROR(AddDataRelations(&schema));
+
+  // BigCity(x) <-> Cities(x, y, z, w) ∧ y >= 5000000.
+  {
+    ConjunctiveQuery cq;
+    cq.head = {"x"};
+    cq.atoms = {MakeAtom("Cities", {Term::Var("x"), Term::Var("y"),
+                                    Term::Var("z"), Term::Var("w")})};
+    cq.comparisons = {{"y", CmpOp::kGe, Value(5000000)}};
+    rel::UnionQuery def;
+    def.disjuncts.push_back(std::move(cq));
+    WHYNOT_RETURN_IF_ERROR(schema.AddView("BigCity", {"name"}, std::move(def)));
+  }
+  // EuropeanCountry(z) <-> Cities(x, y, z, w) ∧ w = Europe.
+  {
+    ConjunctiveQuery cq;
+    cq.head = {"z"};
+    cq.atoms = {MakeAtom("Cities", {Term::Var("x"), Term::Var("y"),
+                                    Term::Var("z"), Term::Var("w")})};
+    cq.comparisons = {{"w", CmpOp::kEq, Value("Europe")}};
+    rel::UnionQuery def;
+    def.disjuncts.push_back(std::move(cq));
+    WHYNOT_RETURN_IF_ERROR(
+        schema.AddView("EuropeanCountry", {"name"}, std::move(def)));
+  }
+  // Reachable(x, y) <-> TC(x, y) ∨ (TC(x, z) ∧ TC(z, y)).
+  {
+    ConjunctiveQuery direct;
+    direct.head = {"x", "y"};
+    direct.atoms = {
+        MakeAtom("Train-Connections", {Term::Var("x"), Term::Var("y")})};
+    ConjunctiveQuery via;
+    via.head = {"x", "y"};
+    via.atoms = {
+        MakeAtom("Train-Connections", {Term::Var("x"), Term::Var("z")}),
+        MakeAtom("Train-Connections", {Term::Var("z"), Term::Var("y")})};
+    rel::UnionQuery def;
+    def.disjuncts.push_back(std::move(direct));
+    def.disjuncts.push_back(std::move(via));
+    WHYNOT_RETURN_IF_ERROR(schema.AddView(
+        "Reachable", {"city_from", "city_to"}, std::move(def)));
+  }
+
+  // country → continent on Cities (0-based attrs: 2 → 3).
+  WHYNOT_RETURN_IF_ERROR(schema.AddFd({"Cities", {2}, {3}}));
+  // BigCity[name] ⊆ Train-Connections[city_from].
+  WHYNOT_RETURN_IF_ERROR(
+      schema.AddId({"BigCity", {0}, "Train-Connections", {0}}));
+  // Train-Connections[city_from] ⊆ Cities[name].
+  WHYNOT_RETURN_IF_ERROR(
+      schema.AddId({"Train-Connections", {0}, "Cities", {0}}));
+  // Train-Connections[city_to] ⊆ Cities[name].
+  WHYNOT_RETURN_IF_ERROR(
+      schema.AddId({"Train-Connections", {1}, "Cities", {0}}));
+  WHYNOT_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+Result<rel::Instance> CitiesInstance(const rel::Schema* schema) {
+  rel::Instance instance(schema);
+  struct CityRow {
+    const char* name;
+    int64_t population;
+    const char* country;
+    const char* continent;
+  };
+  const CityRow rows[] = {
+      {"Amsterdam", 779808, "Netherlands", "Europe"},
+      {"Berlin", 3502000, "Germany", "Europe"},
+      {"Rome", 2753000, "Italy", "Europe"},
+      {"New York", 8337000, "USA", "N.America"},
+      {"San Francisco", 837442, "USA", "N.America"},
+      {"Santa Cruz", 59946, "USA", "N.America"},
+      {"Tokyo", 13185000, "Japan", "Asia"},
+      {"Kyoto", 1400000, "Japan", "Asia"},
+  };
+  for (const CityRow& r : rows) {
+    WHYNOT_RETURN_IF_ERROR(instance.AddFact(
+        "Cities", {r.name, r.population, r.country, r.continent}));
+  }
+  const std::pair<const char*, const char*> connections[] = {
+      {"Amsterdam", "Berlin"},     {"Berlin", "Rome"},
+      {"Berlin", "Amsterdam"},     {"New York", "San Francisco"},
+      {"San Francisco", "Santa Cruz"}, {"Tokyo", "Kyoto"},
+  };
+  for (const auto& [from, to] : connections) {
+    WHYNOT_RETURN_IF_ERROR(instance.AddFact("Train-Connections", {from, to}));
+  }
+  if (schema->HasViews()) {
+    WHYNOT_RETURN_IF_ERROR(rel::MaterializeViews(&instance));
+  }
+  return instance;
+}
+
+Result<std::unique_ptr<onto::ExplicitOntology>> CitiesOntology() {
+  auto o = std::make_unique<onto::ExplicitOntology>();
+  o->AddSubsumption("European-City", "City");
+  o->AddSubsumption("US-City", "City");
+  o->AddSubsumption("Dutch-City", "European-City");
+  o->AddSubsumption("East-Coast-City", "US-City");
+  o->AddSubsumption("West-Coast-City", "US-City");
+  o->SetExtension("City",
+                  {"Amsterdam", "Berlin", "Rome", "New York", "San Francisco",
+                   "Santa Cruz", "Tokyo", "Kyoto"});
+  o->SetExtension("European-City", {"Amsterdam", "Berlin", "Rome"});
+  o->SetExtension("Dutch-City", {"Amsterdam"});
+  o->SetExtension("US-City", {"New York", "San Francisco", "Santa Cruz"});
+  o->SetExtension("East-Coast-City", {"New York"});
+  o->SetExtension("West-Coast-City", {"Santa Cruz", "San Francisco"});
+  WHYNOT_RETURN_IF_ERROR(o->Finalize());
+  return o;
+}
+
+dl::TBox CitiesTBox() {
+  using dl::BasicConcept;
+  using dl::ConceptExpr;
+  using dl::Role;
+  using dl::RoleExpr;
+  dl::TBox t;
+  t.AddAtomicInclusion("EU-City", "City");
+  t.AddAtomicInclusion("Dutch-City", "EU-City");
+  t.AddAtomicInclusion("N.A.-City", "City");
+  t.AddAtomicDisjointness("EU-City", "N.A.-City");
+  t.AddAtomicInclusion("US-City", "N.A.-City");
+  t.AddConceptAxiom(BasicConcept::Atomic("City"),
+                    {BasicConcept::Exists(Role{"hasCountry", false}), false});
+  t.AddConceptAxiom(BasicConcept::Atomic("Country"),
+                    {BasicConcept::Exists(Role{"hasContinent", false}), false});
+  t.AddConceptAxiom(BasicConcept::Exists(Role{"hasCountry", true}),
+                    {BasicConcept::Atomic("Country"), false});
+  t.AddConceptAxiom(BasicConcept::Exists(Role{"hasContinent", true}),
+                    {BasicConcept::Atomic("Continent"), false});
+  t.AddConceptAxiom(BasicConcept::Exists(Role{"connected", false}),
+                    {BasicConcept::Atomic("City"), false});
+  t.AddConceptAxiom(BasicConcept::Exists(Role{"connected", true}),
+                    {BasicConcept::Atomic("City"), false});
+  return t;
+}
+
+std::vector<obda::GavMapping> CitiesMappings() {
+  using obda::GavMapping;
+  using obda::MappingHead;
+  std::vector<GavMapping> ms;
+  auto cities = [](const Term& a, const Term& b, const Term& c,
+                   const Term& d) {
+    return MakeAtom("Cities", {a, b, c, d});
+  };
+  // Cities(x, z, w, "Europe") → EU-City(x).
+  ms.push_back({{cities(Term::Var("x"), Term::Var("z"), Term::Var("w"),
+                        Term::Const(Value("Europe")))},
+                {},
+                MappingHead::Concept("EU-City", "x")});
+  // Cities(x, z, "Netherlands", w) → Dutch-City(x).
+  ms.push_back({{cities(Term::Var("x"), Term::Var("z"),
+                        Term::Const(Value("Netherlands")), Term::Var("w"))},
+                {},
+                MappingHead::Concept("Dutch-City", "x")});
+  // Cities(x, z, w, "N.America") → N.A.-City(x).
+  ms.push_back({{cities(Term::Var("x"), Term::Var("z"), Term::Var("w"),
+                        Term::Const(Value("N.America")))},
+                {},
+                MappingHead::Concept("N.A.-City", "x")});
+  // Cities(x, z, "USA", w) → US-City(x).
+  ms.push_back({{cities(Term::Var("x"), Term::Var("z"),
+                        Term::Const(Value("USA")), Term::Var("w"))},
+                {},
+                MappingHead::Concept("US-City", "x")});
+  // Cities(x, y, z, w) → Continent(w).
+  ms.push_back({{cities(Term::Var("x"), Term::Var("y"), Term::Var("z"),
+                        Term::Var("w"))},
+                {},
+                MappingHead::Concept("Continent", "w")});
+  // Cities(x, k, y, w) → hasCountry(x, y).
+  ms.push_back({{cities(Term::Var("x"), Term::Var("k"), Term::Var("y"),
+                        Term::Var("w"))},
+                {},
+                MappingHead::RolePair("hasCountry", "x", "y")});
+  // Cities(x, k, w, y) → hasContinent(x, y).
+  ms.push_back({{cities(Term::Var("x"), Term::Var("k"), Term::Var("w"),
+                        Term::Var("y"))},
+                {},
+                MappingHead::RolePair("hasContinent", "x", "y")});
+  // TC(x, y), Cities(x, ...), Cities(y, ...) → connected(x, y).
+  ms.push_back(
+      {{MakeAtom("Train-Connections", {Term::Var("x"), Term::Var("y")}),
+        cities(Term::Var("x"), Term::Var("x1"), Term::Var("x2"),
+               Term::Var("x3")),
+        cities(Term::Var("y"), Term::Var("y1"), Term::Var("y2"),
+               Term::Var("y3"))},
+       {},
+       MappingHead::RolePair("connected", "x", "y")});
+  return ms;
+}
+
+rel::UnionQuery ConnectedViaQuery() {
+  ConjunctiveQuery cq;
+  cq.head = {"x", "y"};
+  cq.atoms = {
+      MakeAtom("Train-Connections", {Term::Var("x"), Term::Var("z")}),
+      MakeAtom("Train-Connections", {Term::Var("z"), Term::Var("y")})};
+  rel::UnionQuery q;
+  q.disjuncts.push_back(std::move(cq));
+  return q;
+}
+
+Result<ScaledWorld> MakeScaledWorld(int continents,
+                                    int countries_per_continent,
+                                    int cities_per_country) {
+  ScaledWorld world;
+  world.schema = std::make_unique<rel::Schema>();
+  WHYNOT_RETURN_IF_ERROR(AddDataRelations(world.schema.get()));
+  world.instance = std::make_unique<rel::Instance>(world.schema.get());
+  world.ontology = std::make_unique<onto::ExplicitOntology>();
+  world.ontology->AddConcept("City");
+
+  std::vector<Value> all_cities;
+  for (int c = 0; c < continents; ++c) {
+    std::string continent = "continent" + std::to_string(c);
+    std::string cont_concept = "Cities-of-" + continent;
+    world.ontology->AddSubsumption(cont_concept, "City");
+    std::vector<Value> continent_cities;
+    for (int k = 0; k < countries_per_continent; ++k) {
+      std::string country = continent + "-country" + std::to_string(k);
+      std::string country_concept = "Cities-of-" + country;
+      world.ontology->AddSubsumption(country_concept, cont_concept);
+      std::vector<Value> country_cities;
+      std::string prev;
+      for (int i = 0; i < cities_per_country; ++i) {
+        std::string city = country + "-city" + std::to_string(i);
+        int64_t population = 10000 + 977 * i + 131 * k + 17 * c;
+        WHYNOT_RETURN_IF_ERROR(world.instance->AddFact(
+            "Cities", {city, population, country, continent}));
+        if (!prev.empty()) {
+          WHYNOT_RETURN_IF_ERROR(
+              world.instance->AddFact("Train-Connections", {prev, city}));
+        }
+        prev = city;
+        country_cities.emplace_back(city);
+        continent_cities.emplace_back(city);
+        all_cities.emplace_back(city);
+      }
+      world.ontology->SetExtension(country_concept, country_cities);
+    }
+    world.ontology->SetExtension(cont_concept, continent_cities);
+  }
+  world.ontology->SetExtension("City", all_cities);
+  WHYNOT_RETURN_IF_ERROR(world.ontology->Finalize());
+  if (continents >= 2) {
+    world.missing_pair = {Value("continent0-country0-city0"),
+                          Value("continent1-country0-city0")};
+  } else {
+    world.missing_pair = {all_cities.front(), all_cities.back()};
+  }
+  return world;
+}
+
+}  // namespace whynot::workload

@@ -1,0 +1,64 @@
+#ifndef WHYNOT_WORKLOAD_CITIES_H_
+#define WHYNOT_WORKLOAD_CITIES_H_
+
+#include <memory>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/dllite/tbox.h"
+#include "whynot/obda/mapping.h"
+#include "whynot/ontology/explicit_ontology.h"
+#include "whynot/relational/instance.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::workload {
+
+/// The travel schema of Figure 1: data relations Cities(name, population,
+/// country, continent) and Train-Connections(city_from, city_to); views
+/// BigCity, EuropeanCountry, Reachable; the FD country → continent on
+/// Cities; and the three inclusion dependencies.
+Result<rel::Schema> CitiesSchema();
+
+/// Figure 1 without the view definitions and dependencies (used by the
+/// Table 1 per-class deciders, which require pure constraint classes).
+Result<rel::Schema> CitiesDataSchema();
+
+/// The instance of Figure 2 over `schema`, with view extensions
+/// materialized.
+Result<rel::Instance> CitiesInstance(const rel::Schema* schema);
+
+/// The external S-ontology of Figure 3 (fixed extensions; the Hasse diagram
+/// City ⊒ {European-City ⊒ Dutch-City, US-City ⊒ {East-Coast-City,
+/// West-Coast-City}}).
+Result<std::unique_ptr<onto::ExplicitOntology>> CitiesOntology();
+
+/// The DL-LiteR TBox of Figure 4.
+dl::TBox CitiesTBox();
+
+/// The GAV mapping assertions of Figure 4.
+std::vector<obda::GavMapping> CitiesMappings();
+
+/// q(x, y) = ∃z. Train-Connections(x, z) ∧ Train-Connections(z, y)
+/// (Examples 3.4, 4.5, 4.9).
+rel::UnionQuery ConnectedViaQuery();
+
+/// A deterministically scaled version of the travel world for benchmarks:
+/// `continents` × `countries_per_continent` × `cities_per_country` cities,
+/// train connections chaining the cities of each country, and a layered
+/// external ontology (one concept per country and continent plus a root).
+struct ScaledWorld {
+  std::unique_ptr<rel::Schema> schema;
+  std::unique_ptr<rel::Instance> instance;
+  std::unique_ptr<onto::ExplicitOntology> ontology;
+  /// Two cities on different continents (never connected): a natural
+  /// why-not pair.
+  Tuple missing_pair;
+};
+
+Result<ScaledWorld> MakeScaledWorld(int continents,
+                                    int countries_per_continent,
+                                    int cities_per_country);
+
+}  // namespace whynot::workload
+
+#endif  // WHYNOT_WORKLOAD_CITIES_H_

@@ -1,0 +1,119 @@
+#include "whynot/workload/generators.h"
+
+#include <algorithm>
+
+namespace whynot::workload {
+
+Result<rel::Schema> RandomSchema(int num_relations,
+                                 const std::vector<int>& arities) {
+  rel::Schema schema;
+  for (int r = 0; r < num_relations; ++r) {
+    int arity = arities[static_cast<size_t>(r) % arities.size()];
+    std::vector<std::string> attrs;
+    for (int a = 0; a < arity; ++a) attrs.push_back("a" + std::to_string(a));
+    WHYNOT_RETURN_IF_ERROR(schema.AddRelation("R" + std::to_string(r), attrs));
+  }
+  return schema;
+}
+
+Result<rel::Instance> RandomInstance(const rel::Schema* schema,
+                                     int rows_per_relation, int domain,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  rel::Instance instance(schema);
+  for (const rel::RelationDef& def : schema->relations()) {
+    if (def.is_view()) continue;
+    for (int row = 0; row < rows_per_relation; ++row) {
+      Tuple t;
+      t.reserve(def.arity());
+      for (size_t a = 0; a < def.arity(); ++a) {
+        t.push_back(
+            Value(static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)))));
+      }
+      WHYNOT_RETURN_IF_ERROR(instance.AddFact(def.name(), std::move(t)));
+    }
+  }
+  return instance;
+}
+
+Result<std::unique_ptr<onto::ExplicitOntology>> RandomTreeOntology(
+    const std::vector<Value>& domain, int num_concepts, uint64_t seed) {
+  Rng rng(seed);
+  auto onto = std::make_unique<onto::ExplicitOntology>();
+  std::vector<std::vector<Value>> extensions;
+  onto->AddConcept("K0");
+  onto->SetExtension("K0", domain);
+  extensions.push_back(domain);
+  for (int c = 1; c < num_concepts; ++c) {
+    int parent = static_cast<int>(rng.Below(static_cast<uint64_t>(c)));
+    std::vector<Value> ext;
+    for (const Value& v : extensions[static_cast<size_t>(parent)]) {
+      if (rng.Chance(2, 3)) ext.push_back(v);
+    }
+    std::string name = "K" + std::to_string(c);
+    onto->AddSubsumption(name, "K" + std::to_string(parent));
+    onto->SetExtension(name, ext);
+    extensions.push_back(std::move(ext));
+  }
+  WHYNOT_RETURN_IF_ERROR(onto->Finalize());
+  return onto;
+}
+
+dl::TBox RandomTBox(int num_concepts, int num_roles, int num_axioms,
+                    uint64_t seed, int negative_percent) {
+  Rng rng(seed);
+  dl::TBox tbox;
+  auto random_basic = [&]() {
+    if (num_roles > 0 && rng.Chance(1, 3)) {
+      dl::Role role{"P" + std::to_string(rng.Below(
+                               static_cast<uint64_t>(num_roles))),
+                    rng.Chance(1, 2)};
+      return dl::BasicConcept::Exists(role);
+    }
+    return dl::BasicConcept::Atomic(
+        "A" + std::to_string(rng.Below(static_cast<uint64_t>(num_concepts))));
+  };
+  for (int i = 0; i < num_axioms; ++i) {
+    if (num_roles > 0 && rng.Chance(1, 4)) {
+      dl::Role lhs{"P" + std::to_string(
+                            rng.Below(static_cast<uint64_t>(num_roles))),
+                   rng.Chance(1, 2)};
+      dl::Role rhs{"P" + std::to_string(
+                            rng.Below(static_cast<uint64_t>(num_roles))),
+                   rng.Chance(1, 2)};
+      tbox.AddRoleAxiom(
+          lhs, {rhs, rng.Chance(static_cast<uint64_t>(negative_percent), 100)});
+    } else {
+      tbox.AddConceptAxiom(
+          random_basic(),
+          {random_basic(),
+           rng.Chance(static_cast<uint64_t>(negative_percent), 100)});
+    }
+  }
+  return tbox;
+}
+
+dl::Interpretation RandomInterpretation(const dl::TBox& tbox, int domain,
+                                        int facts, uint64_t seed) {
+  Rng rng(seed);
+  dl::Interpretation interp;
+  const std::set<std::string> concept_set = tbox.AtomicConcepts();
+  const std::set<std::string> role_set = tbox.AtomicRoles();
+  std::vector<std::string> concepts(concept_set.begin(), concept_set.end());
+  std::vector<std::string> roles(role_set.begin(), role_set.end());
+  for (int i = 0; i < facts; ++i) {
+    if (!roles.empty() && rng.Chance(1, 2)) {
+      interp.AddRolePair(
+          roles[rng.Below(roles.size())],
+          Value(static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)))),
+          Value(static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)))));
+    } else if (!concepts.empty()) {
+      interp.AddConceptMember(
+          concepts[rng.Below(concepts.size())],
+          Value(static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)))));
+    }
+  }
+  return interp;
+}
+
+}  // namespace whynot::workload

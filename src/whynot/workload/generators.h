@@ -1,0 +1,74 @@
+#ifndef WHYNOT_WORKLOAD_GENERATORS_H_
+#define WHYNOT_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/dllite/reasoner.h"
+#include "whynot/dllite/tbox.h"
+#include "whynot/ontology/explicit_ontology.h"
+#include "whynot/relational/instance.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::workload {
+
+/// Deterministic xorshift64* generator: all randomized tests and benchmarks
+/// are reproducible from their seeds.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed)
+      : state_(seed * 6364136223846793005ull + 1442695040888963407ull) {
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ull;
+  }
+
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+/// A schema with `num_relations` data relations of arities cycling through
+/// `arities`, no constraints. Relation names are "R0", "R1", ...
+Result<rel::Schema> RandomSchema(int num_relations,
+                                 const std::vector<int>& arities);
+
+/// Fills every relation of `schema` with `rows_per_relation` random tuples
+/// over an integer domain {0..domain-1}.
+Result<rel::Instance> RandomInstance(const rel::Schema* schema,
+                                     int rows_per_relation, int domain,
+                                     uint64_t seed);
+
+/// A random tree-shaped external ontology over the given domain values:
+/// concept 0 is a root containing everything; each further concept picks a
+/// random parent and a random subset of the parent's extension, so the
+/// subsumption order is consistent with every instance by construction.
+Result<std::unique_ptr<onto::ExplicitOntology>> RandomTreeOntology(
+    const std::vector<Value>& domain, int num_concepts, uint64_t seed);
+
+/// A random DL-LiteR TBox over `num_concepts` atomic concepts and
+/// `num_roles` atomic roles with `num_axioms` axioms; a fraction of the
+/// axioms are negative inclusions.
+dl::TBox RandomTBox(int num_concepts, int num_roles, int num_axioms,
+                    uint64_t seed, int negative_percent = 15);
+
+/// A random finite interpretation over the TBox's signature (for testing
+/// the reasoner's soundness against model semantics).
+dl::Interpretation RandomInterpretation(const dl::TBox& tbox, int domain,
+                                        int facts, uint64_t seed);
+
+}  // namespace whynot::workload
+
+#endif  // WHYNOT_WORKLOAD_GENERATORS_H_

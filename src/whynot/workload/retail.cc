@@ -1,0 +1,104 @@
+#include "whynot/workload/retail.h"
+
+#include <map>
+
+namespace whynot::workload {
+
+Result<RetailScenario> MakeRetailScenario(int num_products, int num_stores) {
+  RetailScenario s;
+  s.schema = std::make_unique<rel::Schema>();
+  WHYNOT_RETURN_IF_ERROR(s.schema->AddRelation("Products", {"pid", "category"}));
+  WHYNOT_RETURN_IF_ERROR(
+      s.schema->AddRelation("Stores", {"sid", "city", "region"}));
+  WHYNOT_RETURN_IF_ERROR(s.schema->AddRelation("Stock", {"pid", "sid"}));
+  s.instance = std::make_unique<rel::Instance>(s.schema.get());
+  s.ontology = std::make_unique<onto::ExplicitOntology>();
+
+  struct Category {
+    const char* name;
+    const char* concept_name;
+    const char* parent;
+  };
+  const Category categories[] = {
+      {"bluetooth-headset", "Bluetooth-Headset", "Audio-Product"},
+      {"speaker", "Speaker", "Audio-Product"},
+      {"laptop", "Laptop", "Computing-Product"},
+  };
+  s.ontology->AddSubsumption("Audio-Product", "Product");
+  s.ontology->AddSubsumption("Computing-Product", "Product");
+
+  struct City {
+    const char* name;
+    const char* concept_name;
+    const char* region_concept;
+  };
+  const City cities[] = {
+      {"San Francisco", "SF-Store", "California-Store"},
+      {"Oakland", "Oakland-Store", "California-Store"},
+      {"Seattle", "Seattle-Store", "Washington-Store"},
+  };
+  s.ontology->AddSubsumption("California-Store", "Store");
+  s.ontology->AddSubsumption("Washington-Store", "Store");
+
+  std::map<std::string, std::vector<Value>> concept_ext;
+  std::vector<std::pair<Value, std::string>> products;  // (pid, category)
+  std::vector<std::pair<Value, std::string>> stores;    // (sid, region concept)
+
+  for (const Category& cat : categories) {
+    s.ontology->AddSubsumption(cat.concept_name, cat.parent);
+    for (int i = 0; i < num_products; ++i) {
+      // The worked example's P0034 is the first bluetooth headset.
+      std::string pid = (std::string(cat.name) == "bluetooth-headset" && i == 0)
+                            ? "P0034"
+                            : "P-" + std::string(cat.name) + "-" +
+                                  std::to_string(i);
+      WHYNOT_RETURN_IF_ERROR(
+          s.instance->AddFact("Products", {pid, cat.name}));
+      concept_ext[cat.concept_name].emplace_back(pid);
+      concept_ext[cat.parent].emplace_back(pid);
+      concept_ext["Product"].emplace_back(pid);
+      products.emplace_back(Value(pid), cat.name);
+    }
+  }
+  for (const City& city : cities) {
+    for (int i = 0; i < num_stores; ++i) {
+      std::string sid =
+          (std::string(city.name) == "San Francisco" && i == 0)
+              ? "S012"
+              : "S-" + std::string(city.concept_name) + "-" + std::to_string(i);
+      WHYNOT_RETURN_IF_ERROR(
+          s.instance->AddFact("Stores", {sid, city.name, city.region_concept}));
+      s.ontology->AddSubsumption(city.concept_name, city.region_concept);
+      concept_ext[city.concept_name].emplace_back(sid);
+      concept_ext[city.region_concept].emplace_back(sid);
+      concept_ext["Store"].emplace_back(sid);
+      stores.emplace_back(Value(sid), city.region_concept);
+    }
+  }
+  for (auto& [name, ext] : concept_ext) {
+    s.ontology->SetExtension(name, ext);
+  }
+  WHYNOT_RETURN_IF_ERROR(s.ontology->Finalize());
+
+  // Stock: everything except bluetooth headsets in California stores.
+  for (const auto& [pid, category] : products) {
+    for (const auto& [sid, region] : stores) {
+      if (category == "bluetooth-headset" && region == "California-Store") {
+        continue;
+      }
+      WHYNOT_RETURN_IF_ERROR(s.instance->AddFact("Stock", {pid, sid}));
+    }
+  }
+
+  rel::ConjunctiveQuery cq;
+  cq.head = {"p", "s"};
+  rel::Atom stock;
+  stock.relation = "Stock";
+  stock.args = {rel::Term::Var("p"), rel::Term::Var("s")};
+  cq.atoms.push_back(std::move(stock));
+  s.stock_query.disjuncts.push_back(std::move(cq));
+  s.missing = {Value("P0034"), Value("S012")};
+  return s;
+}
+
+}  // namespace whynot::workload

@@ -1,0 +1,37 @@
+#ifndef WHYNOT_WORKLOAD_RETAIL_H_
+#define WHYNOT_WORKLOAD_RETAIL_H_
+
+#include <memory>
+
+#include "whynot/common/status.h"
+#include "whynot/ontology/explicit_ontology.h"
+#include "whynot/relational/cq.h"
+#include "whynot/relational/instance.h"
+#include "whynot/relational/schema.h"
+
+namespace whynot::workload {
+
+/// The retail scenario from the paper's introduction: a query asks for all
+/// (product, store) pairs in stock; the user asks why (P0034, S012) —
+/// a bluetooth headset and a San Francisco store — is missing; the
+/// most-general explanation should come out as "no store in San Francisco
+/// (indeed, in California) has any bluetooth headset in stock".
+struct RetailScenario {
+  std::unique_ptr<rel::Schema> schema;
+  std::unique_ptr<rel::Instance> instance;
+  std::unique_ptr<onto::ExplicitOntology> ontology;
+  rel::UnionQuery stock_query;  // q(pid, sid) :- Stock(pid, sid)
+  Tuple missing;                // (P0034, S012)
+};
+
+/// Builds the scenario deterministically. `num_products` per category and
+/// `num_stores` per city scale it for benchmarks; the defaults match the
+/// worked example. Guarantees that no California store stocks any bluetooth
+/// headset, while every other (category, region) combination intersects the
+/// stock table.
+Result<RetailScenario> MakeRetailScenario(int num_products = 4,
+                                          int num_stores = 3);
+
+}  // namespace whynot::workload
+
+#endif  // WHYNOT_WORKLOAD_RETAIL_H_

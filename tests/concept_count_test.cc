@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+TEST(ConceptCountTest, MinimalCountMatchesEnumeration) {
+  // Proposition 4.2: |LminS[K]| = 1 + |K| + Σ arity(R) — and the
+  // enumerator must produce exactly that many concepts.
+  ASSERT_OK_AND_ASSIGN(rel::Schema schema, workload::CitiesDataSchema());
+  ASSERT_OK_AND_ASSIGN(rel::Instance instance,
+                       workload::CitiesInstance(&schema));
+  std::vector<Value> constants;
+  for (int i = 0; i < 5; ++i) constants.push_back(Value(i));
+  ls::ConceptCounts counts = ls::CountConcepts(schema, constants.size());
+  // Cities arity 4 + TC arity 2 = 6 positions; 1 + 5 + 6 = 12.
+  EXPECT_FALSE(counts.minimal.overflow);
+  EXPECT_EQ(counts.minimal.exact, 12u);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<ls::LsConcept> enumerated,
+      ls::EnumerateConjunctConcepts(instance, constants,
+                                    ls::Fragment::kMinimal, 10000));
+  EXPECT_EQ(enumerated.size(), counts.minimal.exact);
+}
+
+TEST(ConceptCountTest, GrowthOrdersMatchProposition42) {
+  ASSERT_OK_AND_ASSIGN(rel::Schema schema, workload::CitiesDataSchema());
+  ls::ConceptCounts small = ls::CountConcepts(schema, 4);
+  ls::ConceptCounts big = ls::CountConcepts(schema, 8);
+  // Minimal: polynomial (linear in |K|).
+  EXPECT_EQ(big.minimal.exact - small.minimal.exact, 4u);
+  // Selection-free: single exponential — log2 grows linearly with |K|.
+  EXPECT_NEAR(big.selection_free.log2 - small.selection_free.log2, 4.0, 1e-6);
+  // Full LS[K]: double exponential — log2 itself grows exponentially.
+  EXPECT_GT(big.full.log2, small.full.log2 * 4);
+  EXPECT_TRUE(big.full.overflow);
+  EXPECT_FALSE(big.full.ToString().empty());
+}
+
+TEST(ConceptCountTest, IntersectionFreeSingleExponential) {
+  ASSERT_OK_AND_ASSIGN(rel::Schema schema, workload::CitiesDataSchema());
+  ls::ConceptCounts a = ls::CountConcepts(schema, 2);
+  ls::ConceptCounts b = ls::CountConcepts(schema, 4);
+  ls::ConceptCounts c = ls::CountConcepts(schema, 8);
+  // Each attribute contributes a factor polynomial in |K|; with arity 4 the
+  // count is a polynomial of degree 8 in |K| — "single exponential in the
+  // size of the schema", growing steeply but far below the full fragment.
+  EXPECT_GT(b.intersection_free.log2, a.intersection_free.log2);
+  EXPECT_GT(c.intersection_free.log2, b.intersection_free.log2);
+  EXPECT_LT(c.intersection_free.log2, c.full.log2);
+}
+
+TEST(ConceptCountTest, FullFragmentEnumerationMatchesBoxes) {
+  // On a tiny instance, the full-fragment enumerator's size equals
+  // nominals + Top + plain projections + Σ_R boxes(R) × arity(R).
+  rel::Schema schema = testutil::SimpleSchema();
+  rel::Instance instance(&schema);
+  ASSERT_OK(instance.AddFact("R", {Value(1), Value(2)}));
+  ASSERT_OK(instance.AddFact("R", {Value(2), Value(3)}));
+  ASSERT_OK(instance.AddFact("U", {Value(1)}));
+  std::vector<Value> constants = instance.ActiveDomain();
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<ls::LsConcept> enumerated,
+      ls::EnumerateConjunctConcepts(instance, constants, ls::Fragment::kFull,
+                                    100000));
+  ls::LubContext ctx(&instance);
+  size_t expected = 1 + constants.size() + 3;  // Top + nominals + projections
+  expected += ctx.NumBoxes("R") * 2 + ctx.NumBoxes("U") * 1;
+  EXPECT_EQ(enumerated.size(), expected);
+}
+
+}  // namespace
+}  // namespace whynot

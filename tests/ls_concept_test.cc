@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+using ls::Conjunct;
+using ls::LsConcept;
+using ls::Selection;
+using rel::CmpOp;
+
+class LsConceptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = workload::CitiesSchema();
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    schema_ = std::move(schema).value();
+    auto instance = workload::CitiesInstance(&schema_);
+    ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+    instance_ = std::make_unique<rel::Instance>(std::move(instance).value());
+  }
+
+  LsConcept Parse(const std::string& text) {
+    auto c = ls::ParseConcept(text, schema_);
+    EXPECT_TRUE(c.ok()) << text << ": " << c.status().ToString();
+    return c.ok() ? c.value() : LsConcept::Top();
+  }
+
+  rel::Schema schema_;
+  std::unique_ptr<rel::Instance> instance_;
+};
+
+TEST_F(LsConceptTest, CanonicalizationSortsAndDedupes) {
+  LsConcept a({Conjunct::Projection("Cities", 0),
+               Conjunct::Nominal(Value("x")),
+               Conjunct::Projection("Cities", 0)});
+  EXPECT_EQ(a.conjuncts().size(), 2u);
+  LsConcept b({Conjunct::Nominal(Value("x")),
+               Conjunct::Projection("Cities", 0)});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(LsConceptTest, TopIsEmptyIntersection) {
+  EXPECT_TRUE(LsConcept::Top().IsTop());
+  LsConcept with_top({Conjunct::Top(), Conjunct::Projection("Cities", 0)});
+  EXPECT_EQ(with_top.conjuncts().size(), 1u);  // ⊤ conjuncts dropped
+  EXPECT_TRUE(LsConcept({Conjunct::Top()}).IsTop());
+}
+
+TEST_F(LsConceptTest, IntersectMergesCanonically) {
+  LsConcept a = LsConcept::Projection("Cities", 0);
+  LsConcept b = LsConcept::Nominal(Value("Amsterdam"));
+  LsConcept ab = a.Intersect(b);
+  EXPECT_EQ(ab.conjuncts().size(), 2u);
+  EXPECT_EQ(ab, b.Intersect(a));
+  EXPECT_EQ(a.Intersect(a), a);
+  EXPECT_EQ(a.Intersect(LsConcept::Top()), a);
+}
+
+TEST_F(LsConceptTest, FragmentPredicates) {
+  EXPECT_TRUE(LsConcept::Top().IsMinimal());
+  EXPECT_TRUE(LsConcept::Projection("Cities", 0).IsMinimal());
+  LsConcept sel = LsConcept::Projection(
+      "Cities", 0, {Selection{3, CmpOp::kEq, Value("Europe")}});
+  EXPECT_FALSE(sel.IsMinimal());
+  EXPECT_FALSE(sel.selection_free());
+  LsConcept inter = LsConcept::Projection("Cities", 0)
+                        .Intersect(LsConcept::Nominal(Value("x")));
+  EXPECT_FALSE(inter.IsMinimal());
+  EXPECT_TRUE(inter.selection_free());
+}
+
+TEST_F(LsConceptTest, EvalSemantics) {
+  // ⟦⊤⟧ = Const.
+  EXPECT_TRUE(ls::Eval(LsConcept::Top(), *instance_).all);
+  // ⟦{c}⟧ = {c} even when c is not in the active domain.
+  ls::Extension nom = ls::Eval(LsConcept::Nominal(Value("Mars")), *instance_);
+  EXPECT_EQ(nom.values, std::vector<Value>{Value("Mars")});
+  // ⟦π_name(σ_continent=Europe(Cities))⟧ = {Amsterdam, Berlin, Rome}.
+  ls::Extension eu = ls::Eval(
+      Parse("pi[name](sigma[continent = Europe](Cities))"), *instance_);
+  EXPECT_EQ(eu.values, (std::vector<Value>{Value("Amsterdam"), Value("Berlin"),
+                                           Value("Rome")}));
+  // Intersection evaluates to set intersection.
+  ls::Extension meet = ls::Eval(
+      Parse("pi[name](sigma[continent = Europe](Cities)) & "
+            "pi[name](sigma[population > 1000000](Cities))"),
+      *instance_);
+  EXPECT_EQ(meet.values,
+            (std::vector<Value>{Value("Berlin"), Value("Rome")}));
+}
+
+TEST_F(LsConceptTest, EvalMultipleSelectionsSameAttribute) {
+  ls::Extension mid = ls::Eval(
+      Parse("pi[name](sigma[population > 1000000, population < "
+            "3000000](Cities))"),
+      *instance_);
+  EXPECT_EQ(mid.values, (std::vector<Value>{Value("Kyoto"), Value("Rome")}));
+}
+
+TEST_F(LsConceptTest, EvalOverViews) {
+  ls::Extension big = ls::Eval(Parse("pi[name](BigCity)"), *instance_);
+  EXPECT_EQ(big.values,
+            (std::vector<Value>{Value("New York"), Value("Tokyo")}));
+  ls::Extension reach = ls::Eval(
+      Parse("pi[city_to](sigma[city_from = Amsterdam](Reachable))"),
+      *instance_);
+  EXPECT_EQ(reach.values,
+            (std::vector<Value>{Value("Amsterdam"), Value("Berlin"),
+                                Value("Rome")}));
+}
+
+TEST_F(LsConceptTest, SubsumptionI) {
+  LsConcept eu = Parse("pi[name](sigma[continent = Europe](Cities))");
+  LsConcept all = Parse("pi[name](Cities)");
+  EXPECT_TRUE(ls::SubsumedI(eu, all, *instance_));
+  EXPECT_FALSE(ls::SubsumedI(all, eu, *instance_));
+  EXPECT_TRUE(ls::StrictlySubsumedI(eu, all, *instance_));
+  EXPECT_TRUE(ls::SubsumedI(all, LsConcept::Top(), *instance_));
+  EXPECT_FALSE(ls::SubsumedI(LsConcept::Top(), all, *instance_));
+  EXPECT_TRUE(ls::EquivalentI(eu, eu, *instance_));
+  // Example 4.9: reachable-from-Amsterdam ⊑_I reachable-from-Berlin.
+  EXPECT_TRUE(ls::SubsumedI(
+      Parse("pi[city_to](sigma[city_from = Amsterdam](Reachable))"),
+      Parse("pi[city_to](sigma[city_from = Berlin](Reachable))"),
+      *instance_));
+}
+
+TEST_F(LsConceptTest, LengthMeasure) {
+  EXPECT_EQ(LsConcept::Top().Length(), 1u);
+  EXPECT_EQ(LsConcept::Nominal(Value("x")).Length(), 1u);
+  EXPECT_EQ(LsConcept::Projection("Cities", 0).Length(), 2u);
+  LsConcept sel = Parse("pi[name](sigma[continent = Europe](Cities))");
+  EXPECT_EQ(sel.Length(), 5u);  // relation + attr + one (attr op const)
+}
+
+TEST_F(LsConceptTest, ConstantsCollected) {
+  LsConcept c = Parse("{Amsterdam} & pi[name](sigma[population > "
+                      "5000000](Cities))");
+  std::vector<Value> constants = c.Constants();
+  ASSERT_EQ(constants.size(), 2u);
+}
+
+TEST_F(LsConceptTest, SqlRendering) {
+  EXPECT_EQ(Parse("pi[name](Cities)").ToSql(schema_), "name from Cities");
+  EXPECT_EQ(Parse("pi[name](sigma[continent = Europe](Cities))").ToSql(schema_),
+            "name from Cities where continent=\"Europe\"");
+  EXPECT_EQ(Parse("{'Santa Cruz'}").ToSql(schema_), "\"Santa Cruz\"");
+  EXPECT_EQ(LsConcept::Top().ToSql(schema_), "any constant");
+}
+
+/// Parser round-trips: parse(ToString(parse(text))) == parse(text), and
+/// extensions agree — swept over the Figure 5 concepts and more.
+class ParserRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTripTest, RoundTrip) {
+  auto schema = workload::CitiesSchema();
+  ASSERT_TRUE(schema.ok());
+  auto instance = workload::CitiesInstance(&schema.value());
+  ASSERT_TRUE(instance.ok());
+  auto first = ls::ParseConcept(GetParam(), schema.value());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = first->ToString(&schema.value());
+  auto second = ls::ParseConcept(printed, schema.value());
+  ASSERT_TRUE(second.ok()) << printed << ": " << second.status().ToString();
+  EXPECT_EQ(first.value(), second.value()) << printed;
+  EXPECT_EQ(ls::Eval(first.value(), instance.value()),
+            ls::Eval(second.value(), instance.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure5AndMore, ParserRoundTripTest,
+    ::testing::Values(
+        "top", "{Amsterdam}", "{42}", "{3.5}", "pi[name](Cities)",
+        "pi[0](Cities)", "pi[name](sigma[continent = Europe](Cities))",
+        "pi[name](sigma[continent = 'N.America'](Cities))",
+        "pi[name](sigma[population > 1000000](Cities))",
+        "pi[name](sigma[population >= 1000000, population <= "
+        "9000000](Cities))",
+        "pi[name](BigCity)", "{'Santa Cruz'}",
+        "pi[name](sigma[population < 1000000](Cities)) & "
+        "pi[city_to](sigma[city_from = Amsterdam](Reachable))",
+        "pi[city_from](Train-Connections) & pi[city_to](Train-Connections)",
+        "top & pi[name](Cities)"));
+
+TEST_F(LsConceptTest, ParserErrors) {
+  EXPECT_FALSE(ls::ParseConcept("", schema_).ok());
+  EXPECT_FALSE(ls::ParseConcept("pi[name](Nowhere)", schema_).ok());
+  EXPECT_FALSE(ls::ParseConcept("pi[bogus](Cities)", schema_).ok());
+  EXPECT_FALSE(ls::ParseConcept("pi[name](Cities) &", schema_).ok());
+  EXPECT_FALSE(ls::ParseConcept("pi[name](Cities) junk", schema_).ok());
+  EXPECT_FALSE(ls::ParseConcept("{unterminated", schema_).ok());
+  EXPECT_FALSE(
+      ls::ParseConcept("pi[name](sigma[continent ~ X](Cities))", schema_)
+          .ok());
+}
+
+}  // namespace
+}  // namespace whynot

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+using ls::LsConcept;
+using ls::LubContext;
+
+class LubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = workload::CitiesDataSchema();
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::move(schema).value();
+    auto instance = workload::CitiesInstance(&schema_);
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::make_unique<rel::Instance>(std::move(instance).value());
+    ctx_ = std::make_unique<LubContext>(instance_.get());
+  }
+
+  rel::Schema schema_;
+  std::unique_ptr<rel::Instance> instance_;
+  std::unique_ptr<LubContext> ctx_;
+};
+
+TEST_F(LubTest, SingletonLubIsNominalPinned) {
+  LsConcept lub = ctx_->LubSelectionFree({Value("Amsterdam")});
+  ls::Extension ext = ls::Eval(lub, *instance_);
+  // The nominal conjunct pins the extension to exactly {Amsterdam}.
+  EXPECT_EQ(ext.values, std::vector<Value>{Value("Amsterdam")});
+}
+
+TEST_F(LubTest, LubContainsItsInput) {
+  std::vector<Value> x = {Value("Amsterdam"), Value("Berlin"),
+                          Value("Tokyo")};
+  LsConcept lub = ctx_->LubSelectionFree(x);
+  ls::Extension ext = ls::Eval(lub, *instance_);
+  for (const Value& v : x) EXPECT_TRUE(ext.Contains(v));
+}
+
+TEST_F(LubTest, CityNamesLubIsNameColumnIntersection) {
+  // {Amsterdam, Kyoto} appear in Cities.name and in TC columns partially;
+  // the lub must be the intersection of all covering columns.
+  LsConcept lub = ctx_->LubSelectionFree({Value("Amsterdam"), Value("Kyoto")});
+  ls::Extension ext = ls::Eval(lub, *instance_);
+  // Cities.name covers both; TC.city_to covers both (Berlin<-, Kyoto<-...):
+  // Amsterdam and Kyoto are both train destinations. TC.city_from does not
+  // cover Kyoto. So ext = name-column ∩ city_to-column.
+  EXPECT_TRUE(ext.Contains(Value("Amsterdam")));
+  EXPECT_TRUE(ext.Contains(Value("Kyoto")));
+  EXPECT_FALSE(ext.Contains(Value("Tokyo")));  // Tokyo is never a city_to
+  EXPECT_FALSE(ext.Contains(Value("New York")));
+}
+
+TEST_F(LubTest, OutOfDomainSetFallsBackToTop) {
+  LsConcept lub =
+      ctx_->LubSelectionFree({Value("Mars"), Value("Venus")});
+  EXPECT_TRUE(lub.IsTop());
+}
+
+TEST_F(LubTest, MixedTypeSetFallsBackToTop) {
+  // No column contains both a city name and a population number.
+  LsConcept lub =
+      ctx_->LubSelectionFree({Value("Amsterdam"), Value(779808)});
+  EXPECT_TRUE(lub.IsTop());
+}
+
+/// Lemma 5.1 minimality: no selection-free concept has a strictly smaller
+/// extension while still containing X. Verified by brute force over all
+/// selection-free conjunct intersections (the extension lattice) on the
+/// small Figure 2 instance.
+TEST_F(LubTest, SelectionFreeMinimalityBruteForce) {
+  std::vector<std::vector<Value>> inputs = {
+      {Value("Amsterdam")},
+      {Value("Amsterdam"), Value("Berlin")},
+      {Value("New York"), Value("Tokyo")},
+      {Value("USA"), Value("Japan")},
+      {Value(779808), Value(59946)},
+  };
+  // All selection-free conjuncts.
+  std::vector<LsConcept> conjuncts;
+  for (const rel::RelationDef& def : schema_.relations()) {
+    for (size_t a = 0; a < def.arity(); ++a) {
+      conjuncts.push_back(
+          LsConcept::Projection(def.name(), static_cast<int>(a)));
+    }
+  }
+  for (const std::vector<Value>& x : inputs) {
+    LsConcept lub = ctx_->LubSelectionFree(x);
+    ls::Extension lub_ext = ls::Eval(lub, *instance_);
+    for (const Value& v : x) ASSERT_TRUE(lub_ext.Contains(v));
+    // The brute-force smallest extension: intersect every conjunct that
+    // contains X (plus the nominal when |X| = 1).
+    ls::Extension best = ls::Extension::All();
+    for (const LsConcept& c : conjuncts) {
+      ls::Extension e = ls::Eval(c, *instance_);
+      bool covers = true;
+      for (const Value& v : x) covers &= e.Contains(v);
+      if (covers) best = best.Intersect(e);
+    }
+    if (x.size() == 1) {
+      best = best.Intersect(ls::Eval(LsConcept::Nominal(x[0]), *instance_));
+    }
+    EXPECT_EQ(lub_ext, best) << "X = " << TupleToString(x);
+  }
+}
+
+TEST_F(LubTest, LubWithSelectionsIsAtLeastAsSpecific) {
+  std::vector<Value> x = {Value("Amsterdam"), Value("Berlin")};
+  LsConcept free_lub = ctx_->LubSelectionFree(x);
+  ASSERT_OK_AND_ASSIGN(LsConcept sel_lub, ctx_->LubWithSelections(x));
+  ls::Extension free_ext = ls::Eval(free_lub, *instance_);
+  ls::Extension sel_ext = ls::Eval(sel_lub, *instance_);
+  EXPECT_TRUE(sel_ext.SubsetOf(free_ext));
+  for (const Value& v : x) EXPECT_TRUE(sel_ext.Contains(v));
+  // With selections, {Amsterdam, Berlin} is pinned exactly: the canonical
+  // box name ∈ [Amsterdam..Berlin] selects precisely those rows.
+  EXPECT_EQ(sel_ext.values,
+            (std::vector<Value>{Value("Amsterdam"), Value("Berlin")}));
+}
+
+/// Lemma 5.2 minimality against the canonical-box concept space.
+TEST_F(LubTest, WithSelectionsMinimalityBruteForce) {
+  std::vector<std::vector<Value>> inputs = {
+      {Value("Amsterdam"), Value("Rome")},
+      {Value("New York"), Value("San Francisco")},
+      {Value(3502000), Value(2753000)},
+  };
+  // The full single-conjunct concept pool.
+  std::vector<LsConcept> pool;
+  for (const rel::RelationDef& def : schema_.relations()) {
+    ASSERT_OK_AND_ASSIGN(std::vector<LsConcept> sel,
+                         ctx_->CanonicalSelectionConcepts(def.name()));
+    pool.insert(pool.end(), sel.begin(), sel.end());
+  }
+  for (const std::vector<Value>& x : inputs) {
+    ASSERT_OK_AND_ASSIGN(LsConcept lub, ctx_->LubWithSelections(x));
+    ls::Extension lub_ext = ls::Eval(lub, *instance_);
+    ls::Extension best = ls::Extension::All();
+    for (const LsConcept& c : pool) {
+      ls::Extension e = ls::Eval(c, *instance_);
+      bool covers = true;
+      for (const Value& v : x) covers &= e.Contains(v);
+      if (covers) best = best.Intersect(e);
+    }
+    EXPECT_EQ(lub_ext, best) << "X = " << TupleToString(x);
+  }
+}
+
+TEST_F(LubTest, BoxCountsReported) {
+  ASSERT_OK(ctx_->LubWithSelections({Value("Amsterdam")}).status().ok()
+                ? Status::OK()
+                : Status::OK());
+  EXPECT_GT(ctx_->NumBoxes("Train-Connections"), 0u);
+  EXPECT_GT(ctx_->NumBoxes("Cities"), ctx_->NumBoxes("Train-Connections"));
+}
+
+TEST_F(LubTest, BoxCapReportsResourceExhausted) {
+  ls::LubOptions options;
+  options.max_boxes_per_relation = 10;
+  LubContext tight(instance_.get(), options);
+  Result<LsConcept> lub = tight.LubWithSelections({Value("Amsterdam")});
+  ASSERT_FALSE(lub.ok());
+  EXPECT_EQ(lub.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace whynot

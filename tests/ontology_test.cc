@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+TEST(ExtSetTest, FiniteOperations) {
+  onto::ExtSet a = onto::ExtSet::Finite({3, 1, 2, 2});
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.Contains(1));
+  EXPECT_FALSE(a.Contains(4));
+  onto::ExtSet b = onto::ExtSet::Finite({1, 2});
+  EXPECT_TRUE(b.SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(b));
+  EXPECT_EQ(a.Intersect(b), b);
+  EXPECT_TRUE(onto::ExtSet().empty());
+}
+
+TEST(ExtSetTest, AllSemantics) {
+  onto::ExtSet all = onto::ExtSet::All();
+  onto::ExtSet fin = onto::ExtSet::Finite({1});
+  EXPECT_TRUE(all.is_all());
+  EXPECT_TRUE(all.Contains(12345));
+  EXPECT_TRUE(fin.SubsetOf(all));
+  EXPECT_FALSE(all.SubsetOf(fin));
+  EXPECT_TRUE(all.SubsetOf(all));
+  EXPECT_EQ(all.Intersect(fin), fin);
+  EXPECT_EQ(fin.Intersect(all), fin);
+}
+
+TEST(PreorderTest, TransitiveClosure) {
+  onto::BoolMatrix m(3);
+  m.Set(0, 1);
+  m.Set(1, 2);
+  onto::ReflexiveTransitiveClosure(&m);
+  EXPECT_TRUE(m.Get(0, 2));
+  EXPECT_TRUE(m.Get(0, 0));
+  EXPECT_FALSE(m.Get(2, 0));
+}
+
+TEST(PreorderTest, HasseSkipsTransitiveEdges) {
+  onto::BoolMatrix m(3);
+  m.Set(0, 1);
+  m.Set(1, 2);
+  m.Set(0, 2);  // transitive, should not appear in the Hasse diagram
+  onto::ReflexiveTransitiveClosure(&m);
+  auto edges = onto::HasseEdges(m);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(edges[1], std::make_pair(1, 2));
+}
+
+TEST(PreorderTest, MaximalElements) {
+  onto::BoolMatrix m(4);
+  m.Set(0, 1);
+  m.Set(2, 1);
+  onto::ReflexiveTransitiveClosure(&m);
+  std::vector<int32_t> maximal = onto::MaximalElements(m);
+  EXPECT_EQ(maximal, (std::vector<int32_t>{1, 3}));
+}
+
+TEST(ExplicitOntologyTest, SubsumptionClosure) {
+  onto::ExplicitOntology o;
+  o.AddSubsumption("Dutch-City", "European-City");
+  o.AddSubsumption("European-City", "City");
+  ASSERT_OK(o.Finalize());
+  onto::ConceptId dutch = o.FindConcept("Dutch-City");
+  onto::ConceptId city = o.FindConcept("City");
+  onto::ConceptId eu = o.FindConcept("European-City");
+  ASSERT_GE(dutch, 0);
+  EXPECT_TRUE(o.Subsumes(dutch, city));    // transitivity
+  EXPECT_TRUE(o.Subsumes(dutch, dutch));   // reflexivity
+  EXPECT_FALSE(o.Subsumes(city, eu));
+  EXPECT_EQ(o.FindConcept("nope"), -1);
+}
+
+TEST(ExplicitOntologyTest, FixedAndFunctionExtensions) {
+  rel::Schema schema = testutil::SimpleSchema();
+  rel::Instance instance(&schema);
+  ASSERT_OK(instance.AddFact("U", {Value("x")}));
+
+  onto::ExplicitOntology o;
+  o.AddConcept("Fixed");
+  o.SetExtension("Fixed", {Value("a"), Value("b")});
+  o.AddConcept("FromInstance");
+  o.SetExtensionFn("FromInstance", [](const rel::Instance& i) {
+    std::vector<Value> out;
+    for (const Tuple& t : i.Relation("U")) out.push_back(t[0]);
+    return out;
+  });
+  ASSERT_OK(o.Finalize());
+
+  ValuePool pool;
+  onto::ExtSet fixed = o.ComputeExt(o.FindConcept("Fixed"), instance, &pool);
+  EXPECT_EQ(fixed.size(), 2u);
+  onto::ExtSet dynamic =
+      o.ComputeExt(o.FindConcept("FromInstance"), instance, &pool);
+  ASSERT_EQ(dynamic.size(), 1u);
+  EXPECT_TRUE(dynamic.Contains(pool.Lookup(Value("x"))));
+}
+
+TEST(BoundOntologyTest, ConsistencyCheck) {
+  rel::Schema schema = testutil::SimpleSchema();
+  rel::Instance instance(&schema);
+
+  onto::ExplicitOntology good;
+  good.AddSubsumption("Sub", "Super");
+  good.SetExtension("Sub", {Value(1)});
+  good.SetExtension("Super", {Value(1), Value(2)});
+  ASSERT_OK(good.Finalize());
+  onto::BoundOntology bound_good(&good, &instance);
+  EXPECT_OK(bound_good.CheckConsistent());
+
+  onto::ExplicitOntology bad;
+  bad.AddSubsumption("Sub", "Super");
+  bad.SetExtension("Sub", {Value(1), Value(3)});
+  bad.SetExtension("Super", {Value(1)});
+  ASSERT_OK(bad.Finalize());
+  onto::BoundOntology bound_bad(&bad, &instance);
+  EXPECT_FALSE(bound_bad.CheckConsistent().ok());
+}
+
+TEST(BoundOntologyTest, Figure3OntologyIsConsistent) {
+  ASSERT_OK_AND_ASSIGN(rel::Schema schema, workload::CitiesDataSchema());
+  ASSERT_OK_AND_ASSIGN(rel::Instance instance,
+                       workload::CitiesInstance(&schema));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<onto::ExplicitOntology> o,
+                       workload::CitiesOntology());
+  onto::BoundOntology bound(o.get(), &instance);
+  EXPECT_OK(bound.CheckConsistent());
+  // ext caching returns identical objects.
+  onto::ConceptId city = o->FindConcept("City");
+  const onto::ExtSet& e1 = bound.Ext(city);
+  const onto::ExtSet& e2 = bound.Ext(city);
+  EXPECT_EQ(&e1, &e2);
+  EXPECT_EQ(e1.size(), 8u);
+}
+
+TEST(RandomTreeOntologyTest, AlwaysConsistent) {
+  rel::Schema schema = testutil::SimpleSchema();
+  rel::Instance instance(&schema);
+  std::vector<Value> domain;
+  for (int i = 0; i < 12; ++i) domain.push_back(Value(i));
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<onto::ExplicitOntology> o,
+                         workload::RandomTreeOntology(domain, 15, seed));
+    onto::BoundOntology bound(o.get(), &instance);
+    EXPECT_OK(bound.CheckConsistent());
+  }
+}
+
+}  // namespace
+}  // namespace whynot

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+using rel::CmpOp;
+using rel::ConjunctiveQuery;
+using testutil::A;
+using testutil::C;
+using testutil::V;
+
+TEST(SchemaTest, AddAndFind) {
+  rel::Schema s = testutil::SimpleSchema();
+  ASSERT_NE(s.Find("R"), nullptr);
+  EXPECT_EQ(s.Find("R")->arity(), 2u);
+  EXPECT_EQ(s.Find("R")->AttrIndex("b"), 1);
+  EXPECT_EQ(s.Find("R")->AttrIndex("zzz"), -1);
+  EXPECT_EQ(s.Find("nope"), nullptr);
+  EXPECT_FALSE(s.AddRelation("R", {"x"}).ok());   // duplicate
+  EXPECT_FALSE(s.AddRelation("E", {}).ok());      // arity 0
+}
+
+TEST(SchemaTest, ConstraintValidation) {
+  rel::Schema s = testutil::SimpleSchema();
+  EXPECT_OK(s.AddFd({"R", {0}, {1}}));
+  EXPECT_FALSE(s.AddFd({"R", {0}, {5}}).ok());
+  EXPECT_FALSE(s.AddFd({"Z", {0}, {1}}).ok());
+  EXPECT_OK(s.AddId({"R", {0}, "U", {0}}));
+  EXPECT_FALSE(s.AddId({"R", {0, 1}, "U", {0}}).ok());  // length mismatch
+}
+
+TEST(InstanceTest, AddFactsSetSemantics) {
+  rel::Schema s = testutil::SimpleSchema();
+  rel::Instance i(&s);
+  ASSERT_OK(i.AddFact("R", {Value(1), Value(2)}));
+  ASSERT_OK(i.AddFact("R", {Value(1), Value(2)}));  // duplicate ignored
+  EXPECT_EQ(i.Relation("R").size(), 1u);
+  EXPECT_TRUE(i.Contains("R", {Value(1), Value(2)}));
+  EXPECT_FALSE(i.Contains("R", {Value(2), Value(1)}));
+  EXPECT_FALSE(i.AddFact("R", {Value(1)}).ok());       // arity
+  EXPECT_FALSE(i.AddFact("Z", {Value(1)}).ok());       // unknown
+  EXPECT_EQ(i.NumFacts(), 1u);
+}
+
+TEST(InstanceTest, ActiveDomainSortedDistinct) {
+  rel::Schema s = testutil::SimpleSchema();
+  rel::Instance i(&s);
+  ASSERT_OK(i.AddFact("R", {Value("b"), Value(3)}));
+  ASSERT_OK(i.AddFact("U", {Value("b")}));
+  ASSERT_OK(i.AddFact("U", {Value("a")}));
+  std::vector<Value> adom = i.ActiveDomain();
+  ASSERT_EQ(adom.size(), 3u);
+  EXPECT_EQ(adom[0], Value(3));
+  EXPECT_EQ(adom[1], Value("a"));
+  EXPECT_EQ(adom[2], Value("b"));
+}
+
+TEST(ConstraintsTest, FdSatisfaction) {
+  rel::Schema s = testutil::SimpleSchema();
+  rel::FunctionalDependency fd{"R", {0}, {1}};
+  rel::Instance good(&s);
+  ASSERT_OK(good.AddFact("R", {Value(1), Value(2)}));
+  ASSERT_OK(good.AddFact("R", {Value(2), Value(2)}));
+  EXPECT_TRUE(SatisfiesFd(good, fd, nullptr));
+
+  rel::Instance bad(&s);
+  ASSERT_OK(bad.AddFact("R", {Value(1), Value(2)}));
+  ASSERT_OK(bad.AddFact("R", {Value(1), Value(3)}));
+  std::string why;
+  EXPECT_FALSE(SatisfiesFd(bad, fd, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(ConstraintsTest, IdSatisfaction) {
+  rel::Schema s = testutil::SimpleSchema();
+  rel::InclusionDependency id{"R", {0}, "U", {0}};
+  rel::Instance good(&s);
+  ASSERT_OK(good.AddFact("R", {Value(1), Value(2)}));
+  ASSERT_OK(good.AddFact("U", {Value(1)}));
+  EXPECT_TRUE(SatisfiesId(good, id, nullptr));
+
+  rel::Instance bad(&s);
+  ASSERT_OK(bad.AddFact("R", {Value(1), Value(2)}));
+  std::string why;
+  EXPECT_FALSE(SatisfiesId(bad, id, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(ConstraintsTest, InstanceSatisfiesConstraints) {
+  rel::Schema s = testutil::SimpleSchema();
+  ASSERT_OK(s.AddFd({"R", {0}, {1}}));
+  ASSERT_OK(s.AddId({"R", {1}, "U", {0}}));
+  rel::Instance i(&s);
+  ASSERT_OK(i.AddFact("R", {Value(1), Value(2)}));
+  ASSERT_OK(i.AddFact("U", {Value(2)}));
+  EXPECT_OK(i.SatisfiesConstraints());
+  ASSERT_OK(i.AddFact("R", {Value(1), Value(3)}));  // violates the FD
+  EXPECT_FALSE(i.SatisfiesConstraints().ok());
+}
+
+TEST(CmpTest, AllOperators) {
+  EXPECT_TRUE(rel::EvalCmp(Value(1), CmpOp::kLt, Value(2)));
+  EXPECT_TRUE(rel::EvalCmp(Value(2), CmpOp::kLe, Value(2)));
+  EXPECT_TRUE(rel::EvalCmp(Value(3), CmpOp::kGt, Value(2)));
+  EXPECT_TRUE(rel::EvalCmp(Value(2), CmpOp::kGe, Value(2)));
+  EXPECT_TRUE(rel::EvalCmp(Value("a"), CmpOp::kEq, Value("a")));
+  EXPECT_FALSE(rel::EvalCmp(Value("a"), CmpOp::kGt, Value("b")));
+}
+
+class CqEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = testutil::SimpleSchema();
+    instance_ = std::make_unique<rel::Instance>(&schema_);
+    // R = {(1,2), (2,3), (3,1), (2,2)}; U = {2, 3}.
+    ASSERT_OK(instance_->AddFact("R", {Value(1), Value(2)}));
+    ASSERT_OK(instance_->AddFact("R", {Value(2), Value(3)}));
+    ASSERT_OK(instance_->AddFact("R", {Value(3), Value(1)}));
+    ASSERT_OK(instance_->AddFact("R", {Value(2), Value(2)}));
+    ASSERT_OK(instance_->AddFact("U", {Value(2)}));
+    ASSERT_OK(instance_->AddFact("U", {Value(3)}));
+  }
+  rel::Schema schema_;
+  std::unique_ptr<rel::Instance> instance_;
+};
+
+TEST_F(CqEvalTest, SingleAtomProjection) {
+  ConjunctiveQuery q;
+  q.head = {"x"};
+  q.atoms = {A("R", {V("x"), V("y")})};
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> ans, Evaluate(q, *instance_));
+  EXPECT_EQ(ans, (std::vector<Tuple>{{Value(1)}, {Value(2)}, {Value(3)}}));
+}
+
+TEST_F(CqEvalTest, JoinViaSharedVariable) {
+  // q(x, z) :- R(x, y), R(y, z).
+  ConjunctiveQuery q;
+  q.head = {"x", "z"};
+  q.atoms = {A("R", {V("x"), V("y")}), A("R", {V("y"), V("z")})};
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> ans, Evaluate(q, *instance_));
+  // (1,2)->(2,3),(2,2); (2,3)->(3,1); (3,1)->(1,2); (2,2)->(2,3),(2,2).
+  std::vector<Tuple> expected = {{Value(1), Value(2)}, {Value(1), Value(3)},
+                                 {Value(2), Value(1)}, {Value(2), Value(2)},
+                                 {Value(2), Value(3)}, {Value(3), Value(2)}};
+  EXPECT_EQ(ans, expected);
+}
+
+TEST_F(CqEvalTest, ComparisonsFilter) {
+  // q(x) :- R(x, y), y >= 2, x < 3.
+  ConjunctiveQuery q;
+  q.head = {"x"};
+  q.atoms = {A("R", {V("x"), V("y")})};
+  q.comparisons = {{"y", CmpOp::kGe, Value(2)}, {"x", CmpOp::kLt, Value(3)}};
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> ans, Evaluate(q, *instance_));
+  EXPECT_EQ(ans, (std::vector<Tuple>{{Value(1)}, {Value(2)}}));
+}
+
+TEST_F(CqEvalTest, ConstantsInAtoms) {
+  // q(y) :- R(2, y).
+  ConjunctiveQuery q;
+  q.head = {"y"};
+  q.atoms = {A("R", {C(Value(2)), V("y")})};
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> ans, Evaluate(q, *instance_));
+  EXPECT_EQ(ans, (std::vector<Tuple>{{Value(2)}, {Value(3)}}));
+}
+
+TEST_F(CqEvalTest, RepeatedVariableInAtom) {
+  // q(x) :- R(x, x).
+  ConjunctiveQuery q;
+  q.head = {"x"};
+  q.atoms = {A("R", {V("x"), V("x")})};
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> ans, Evaluate(q, *instance_));
+  EXPECT_EQ(ans, (std::vector<Tuple>{{Value(2)}}));
+}
+
+TEST_F(CqEvalTest, CrossJoinAndBooleanMatch) {
+  ConjunctiveQuery q;
+  q.head = {};
+  q.atoms = {A("U", {V("x")}), A("R", {V("x"), V("x")})};
+  ASSERT_OK_AND_ASSIGN(bool match, HasMatch(q, *instance_));
+  EXPECT_TRUE(match);  // x = 2
+
+  ConjunctiveQuery q2;
+  q2.head = {};
+  q2.atoms = {A("R", {V("x"), V("x")})};
+  q2.comparisons = {{"x", CmpOp::kGt, Value(5)}};
+  ASSERT_OK_AND_ASSIGN(bool match2, HasMatch(q2, *instance_));
+  EXPECT_FALSE(match2);
+}
+
+TEST_F(CqEvalTest, UnionQueryDeduplicates) {
+  ConjunctiveQuery q1;
+  q1.head = {"x"};
+  q1.atoms = {A("U", {V("x")})};
+  ConjunctiveQuery q2;
+  q2.head = {"x"};
+  q2.atoms = {A("R", {V("x"), V("y")})};
+  rel::UnionQuery u;
+  u.disjuncts = {q1, q2};
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> ans, Evaluate(u, *instance_));
+  EXPECT_EQ(ans, (std::vector<Tuple>{{Value(1)}, {Value(2)}, {Value(3)}}));
+}
+
+TEST_F(CqEvalTest, ValidationErrors) {
+  ConjunctiveQuery q;
+  q.head = {"w"};  // not in any atom
+  q.atoms = {A("R", {V("x"), V("y")})};
+  EXPECT_FALSE(Evaluate(q, *instance_).ok());
+
+  ConjunctiveQuery q2;
+  q2.head = {"x"};
+  q2.atoms = {A("R", {V("x")})};  // wrong arity
+  EXPECT_FALSE(Evaluate(q2, *instance_).ok());
+
+  ConjunctiveQuery q3;
+  q3.head = {"x"};
+  q3.atoms = {A("Z", {V("x")})};  // unknown relation
+  EXPECT_FALSE(Evaluate(q3, *instance_).ok());
+}
+
+TEST(CqToStringTest, ReadableRendering) {
+  ConjunctiveQuery q;
+  q.head = {"x"};
+  q.atoms = {A("R", {V("x"), C(Value("c"))})};
+  q.comparisons = {{"x", CmpOp::kGe, Value(5)}};
+  EXPECT_EQ(q.ToString(), "q(x) :- R(x, \"c\"), x >= 5");
+}
+
+}  // namespace
+}  // namespace whynot

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+using ls::LsConcept;
+using ls::Verdict;
+using testutil::A;
+using testutil::Q1;
+using testutil::V;
+
+LsConcept Parse(const std::string& text, const rel::Schema& schema) {
+  auto c = ls::ParseConcept(text, schema);
+  EXPECT_TRUE(c.ok()) << text << ": " << c.status().ToString();
+  return c.ok() ? c.value() : LsConcept::Top();
+}
+
+// --- No constraints -------------------------------------------------------
+
+class NoConstraintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(schema_.AddRelation("Cities",
+                                  {"name", "population", "country"}));
+    ASSERT_OK(schema_.AddRelation("TC", {"from", "to"}));
+  }
+  rel::Schema schema_;
+};
+
+TEST_F(NoConstraintsTest, SelectionWeakeningHolds) {
+  // π_name(σ_pop>5) ⊑S π_name(σ_pop>2) ⊑S π_name(Cities).
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](sigma[population > 5](Cities))", schema_),
+      Parse("pi[name](sigma[population > 2](Cities))", schema_), schema_));
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](sigma[population > 5](Cities))", schema_),
+      Parse("pi[name](Cities)", schema_), schema_));
+  EXPECT_FALSE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](sigma[population > 2](Cities))", schema_),
+      Parse("pi[name](sigma[population > 5](Cities))", schema_), schema_));
+}
+
+TEST_F(NoConstraintsTest, BoundaryOperatorsExact) {
+  // x >= 5 ⊑ x > 4 over a dense order, but x >= 5 ⋢ x > 5.
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](sigma[population >= 5](Cities))", schema_),
+      Parse("pi[name](sigma[population > 4](Cities))", schema_), schema_));
+  EXPECT_FALSE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](sigma[population >= 5](Cities))", schema_),
+      Parse("pi[name](sigma[population > 5](Cities))", schema_), schema_));
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](sigma[population = 5](Cities))", schema_),
+      Parse("pi[name](sigma[population >= 5, population <= 5](Cities))",
+            schema_),
+      schema_));
+}
+
+TEST_F(NoConstraintsTest, DifferentColumnsIncomparable) {
+  EXPECT_FALSE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](Cities)", schema_), Parse("pi[from](TC)", schema_),
+      schema_));
+  EXPECT_FALSE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](Cities)", schema_), Parse("pi[country](Cities)",
+                                                schema_),
+      schema_));
+}
+
+TEST_F(NoConstraintsTest, TopAndNominals) {
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(
+      Parse("pi[name](Cities)", schema_), LsConcept::Top(), schema_));
+  EXPECT_FALSE(*ls::SubsumedSNoConstraints(
+      LsConcept::Top(), Parse("pi[name](Cities)", schema_), schema_));
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(LsConcept::Nominal(Value("x")),
+                                          LsConcept::Nominal(Value("x")),
+                                          schema_));
+  EXPECT_FALSE(*ls::SubsumedSNoConstraints(LsConcept::Nominal(Value("x")),
+                                           LsConcept::Nominal(Value("y")),
+                                           schema_));
+  // {x} ⊓ {y} is empty in every instance, hence subsumed by anything.
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(
+      LsConcept::Nominal(Value("x")).Intersect(LsConcept::Nominal(Value("y"))),
+      Parse("pi[name](Cities)", schema_), schema_));
+  // A nominal is not schema-subsumed by a projection (empty instances).
+  EXPECT_FALSE(*ls::SubsumedSNoConstraints(
+      LsConcept::Nominal(Value("x")), Parse("pi[name](Cities)", schema_),
+      schema_));
+}
+
+TEST_F(NoConstraintsTest, IntersectionOnLhsHelps) {
+  // C1 = π_name(σ_pop>5) ⊓ π_name(σ_country=X) is contained in both parts.
+  LsConcept c1 = Parse(
+      "pi[name](sigma[population > 5](Cities)) & "
+      "pi[name](sigma[country = X](Cities))",
+      schema_);
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(
+      c1, Parse("pi[name](sigma[population > 5](Cities))", schema_),
+      schema_));
+  EXPECT_TRUE(*ls::SubsumedSNoConstraints(
+      c1, Parse("pi[name](sigma[country = X](Cities))", schema_), schema_));
+  // But not in an unrelated selection.
+  EXPECT_FALSE(*ls::SubsumedSNoConstraints(
+      c1, Parse("pi[name](sigma[country = Y](Cities))", schema_), schema_));
+}
+
+TEST_F(NoConstraintsTest, SubsumedSImpliesSubsumedIOnRandomInstances) {
+  // ⊑_S implies ⊑_I on every instance (Section 4.2).
+  std::vector<std::pair<LsConcept, LsConcept>> pairs = {
+      {Parse("pi[name](sigma[population > 5](Cities))", schema_),
+       Parse("pi[name](sigma[population > 2](Cities))", schema_)},
+      {Parse("pi[from](TC)", schema_), Parse("pi[from](TC)", schema_)},
+  };
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ASSERT_OK_AND_ASSIGN(rel::Instance instance,
+                         workload::RandomInstance(&schema_, 12, 9, seed));
+    for (const auto& [c1, c2] : pairs) {
+      ASSERT_OK_AND_ASSIGN(bool schema_sub,
+                           ls::SubsumedSNoConstraints(c1, c2, schema_));
+      if (schema_sub) {
+        EXPECT_TRUE(ls::SubsumedI(c1, c2, instance)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// --- FDs (Table 1 row 5, PTIME) -------------------------------------------
+
+class FdSubsumptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(schema_.AddRelation("Cities",
+                                  {"name", "population", "country",
+                                   "continent"}));
+    // country → continent.
+    ASSERT_OK(schema_.AddFd({"Cities", {2}, {3}}));
+    // name → population, country, continent (name is a key).
+    ASSERT_OK(schema_.AddFd({"Cities", {0}, {1, 2, 3}}));
+  }
+  rel::Schema schema_;
+};
+
+TEST_F(FdSubsumptionTest, KeyMergesConjuncts) {
+  // C1 = π_name(σ_country=NL) ⊓ π_name(σ_pop>5): both atoms share the key
+  // (the output), so the FD chase unifies them; the merged atom has
+  // country = NL and population > 5, entailing π_name(σ_country=NL ∧ pop>0).
+  LsConcept c1 = Parse(
+      "pi[name](sigma[country = NL](Cities)) & "
+      "pi[name](sigma[population > 5](Cities))",
+      schema_);
+  LsConcept c2 = Parse(
+      "pi[name](sigma[country = NL, population > 0](Cities))", schema_);
+  ASSERT_OK_AND_ASSIGN(bool sub, ls::SubsumedSFds(c1, c2, schema_));
+  EXPECT_TRUE(sub);
+  // Without the key FD this fails: the two atoms need not be the same row.
+  rel::Schema no_key;
+  ASSERT_OK(no_key.AddRelation("Cities",
+                               {"name", "population", "country",
+                                "continent"}));
+  ASSERT_OK_AND_ASSIGN(bool sub2, ls::SubsumedSFds(
+                                      Parse("pi[name](sigma[country = "
+                                            "NL](Cities)) & "
+                                            "pi[name](sigma[population > "
+                                            "5](Cities))",
+                                            no_key),
+                                      Parse("pi[name](sigma[country = NL, "
+                                            "population > 0](Cities))",
+                                            no_key),
+                                      no_key));
+  EXPECT_FALSE(sub2);
+}
+
+TEST_F(FdSubsumptionTest, ContradictoryMergeMeansEmpty) {
+  // name → country: the same name cannot have two countries, so C1 is
+  // empty in every legal instance and subsumed by anything.
+  LsConcept c1 = Parse(
+      "pi[name](sigma[country = NL](Cities)) & "
+      "pi[name](sigma[country = DE](Cities))",
+      schema_);
+  ASSERT_OK_AND_ASSIGN(
+      bool sub,
+      ls::SubsumedSFds(c1, Parse("pi[population](Cities)", schema_), schema_));
+  EXPECT_TRUE(sub);
+}
+
+TEST_F(FdSubsumptionTest, RejectsWrongConstraintClass) {
+  rel::Schema with_id;
+  ASSERT_OK(with_id.AddRelation("R", {"a"}));
+  ASSERT_OK(with_id.AddRelation("S", {"a"}));
+  ASSERT_OK(with_id.AddId({"R", {0}, "S", {0}}));
+  EXPECT_FALSE(ls::SubsumedSFds(LsConcept::Top(), LsConcept::Top(), with_id)
+                   .ok());
+}
+
+// --- IDs, selection-free (Table 1 row 6) ----------------------------------
+
+class IdSubsumptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(schema_.AddRelation("BigCity", {"name"}));
+    ASSERT_OK(schema_.AddRelation("TC", {"from", "to"}));
+    ASSERT_OK(schema_.AddRelation("Cities", {"name", "pop"}));
+    ASSERT_OK(schema_.AddId({"BigCity", {0}, "TC", {0}}));
+    ASSERT_OK(schema_.AddId({"TC", {0}, "Cities", {0}}));
+    ASSERT_OK(schema_.AddId({"TC", {1}, "Cities", {0}}));
+  }
+  rel::Schema schema_;
+};
+
+TEST_F(IdSubsumptionTest, DirectAndTransitiveReachability) {
+  EXPECT_TRUE(*ls::SubsumedSIdsSelectionFree(
+      Parse("pi[name](BigCity)", schema_), Parse("pi[from](TC)", schema_),
+      schema_));
+  // Transitive: BigCity[name] ⊆ TC[from] ⊆ Cities[name].
+  EXPECT_TRUE(*ls::SubsumedSIdsSelectionFree(
+      Parse("pi[name](BigCity)", schema_), Parse("pi[name](Cities)", schema_),
+      schema_));
+  EXPECT_FALSE(*ls::SubsumedSIdsSelectionFree(
+      Parse("pi[from](TC)", schema_), Parse("pi[name](BigCity)", schema_),
+      schema_));
+  EXPECT_FALSE(*ls::SubsumedSIdsSelectionFree(
+      Parse("pi[name](BigCity)", schema_), Parse("pi[pop](Cities)", schema_),
+      schema_));
+}
+
+TEST_F(IdSubsumptionTest, ConjunctionsAndNominals) {
+  // Any conjunct reaching the target suffices.
+  EXPECT_TRUE(*ls::SubsumedSIdsSelectionFree(
+      Parse("pi[name](BigCity) & pi[pop](Cities)", schema_),
+      Parse("pi[name](Cities)", schema_), schema_));
+  // Two distinct nominals: empty everywhere.
+  EXPECT_TRUE(*ls::SubsumedSIdsSelectionFree(
+      LsConcept::Nominal(Value("x")).Intersect(LsConcept::Nominal(Value("y"))),
+      Parse("pi[pop](Cities)", schema_), schema_));
+  // A nominal target requires the same nominal on the left.
+  EXPECT_TRUE(*ls::SubsumedSIdsSelectionFree(
+      LsConcept::Nominal(Value("x")).Intersect(
+          Parse("pi[name](BigCity)", schema_)),
+      LsConcept::Nominal(Value("x")), schema_));
+  EXPECT_FALSE(*ls::SubsumedSIdsSelectionFree(
+      Parse("pi[name](BigCity)", schema_), LsConcept::Nominal(Value("x")),
+      schema_));
+}
+
+TEST_F(IdSubsumptionTest, SelectionsRejectedAsOpen) {
+  Result<bool> r = ls::SubsumedSIdsSelectionFree(
+      Parse("pi[name](BigCity)", schema_),
+      Parse("pi[name](sigma[pop > 5](Cities))", schema_), schema_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+// --- Views (Table 1 rows 1-4) ----------------------------------------------
+
+class ViewSubsumptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(schema_.AddRelation("Cities",
+                                  {"name", "population", "continent"}));
+    // BigCity(x) <-> Cities(x, y, w) ∧ y >= 5000000.
+    rel::ConjunctiveQuery big;
+    big.head = {"x"};
+    big.atoms = {A("Cities", {V("x"), V("y"), V("w")})};
+    big.comparisons = {{"y", rel::CmpOp::kGe, Value(5000000)}};
+    ASSERT_OK(schema_.AddView("BigCity", {"name"}, Q1(big)));
+    // AnyCity(x) <-> Cities(x, y, w).
+    rel::ConjunctiveQuery any;
+    any.head = {"x"};
+    any.atoms = {A("Cities", {V("x"), V("y"), V("w")})};
+    ASSERT_OK(schema_.AddView("AnyCity", {"name"}, Q1(any)));
+  }
+  rel::Schema schema_;
+};
+
+TEST_F(ViewSubsumptionTest, ViewUnfoldingDecides) {
+  // From the definitions: σ_pop>7M cities are BigCities; BigCities are
+  // cities (Example 4.9, first two subsumptions adapted).
+  EXPECT_TRUE(*ls::SubsumedSViews(
+      Parse("pi[name](sigma[population > 7000000](Cities))", schema_),
+      Parse("pi[name](BigCity)", schema_), schema_));
+  EXPECT_TRUE(*ls::SubsumedSViews(Parse("pi[name](BigCity)", schema_),
+                                  Parse("pi[name](Cities)", schema_),
+                                  schema_));
+  EXPECT_TRUE(*ls::SubsumedSViews(Parse("pi[name](BigCity)", schema_),
+                                  Parse("pi[name](AnyCity)", schema_),
+                                  schema_));
+  EXPECT_FALSE(*ls::SubsumedSViews(
+      Parse("pi[name](sigma[population > 1000000](Cities))", schema_),
+      Parse("pi[name](BigCity)", schema_), schema_));
+  EXPECT_FALSE(*ls::SubsumedSViews(Parse("pi[name](AnyCity)", schema_),
+                                   Parse("pi[name](BigCity)", schema_),
+                                   schema_));
+}
+
+TEST_F(ViewSubsumptionTest, UnionViewsNeedAllDisjunctsContained) {
+  rel::Schema schema;
+  ASSERT_OK(schema.AddRelation("P", {"a"}));
+  ASSERT_OK(schema.AddRelation("Q", {"a"}));
+  rel::ConjunctiveQuery from_p;
+  from_p.head = {"x"};
+  from_p.atoms = {A("P", {V("x")})};
+  rel::ConjunctiveQuery from_q;
+  from_q.head = {"x"};
+  from_q.atoms = {A("Q", {V("x")})};
+  rel::UnionQuery both;
+  both.disjuncts = {from_p, from_q};
+  ASSERT_OK(schema.AddView("Either", {"a"}, std::move(both)));
+  // P ⊑ Either, but Either ⋢ P.
+  EXPECT_TRUE(*ls::SubsumedSViews(Parse("pi[a](P)", schema),
+                                  Parse("pi[a](Either)", schema), schema));
+  EXPECT_FALSE(*ls::SubsumedSViews(Parse("pi[a](Either)", schema),
+                                   Parse("pi[a](P)", schema), schema));
+}
+
+// --- Dispatcher and undecidable mixtures -----------------------------------
+
+TEST(SubsumedSDispatcherTest, RoutesByConstraintClass) {
+  rel::Schema plain;
+  ASSERT_OK(plain.AddRelation("R", {"a", "b"}));
+  EXPECT_TRUE(ls::SubsumedS(LsConcept::Projection("R", 0),
+                            LsConcept::Top(), plain)
+                  .ok());
+
+  rel::Schema fds = plain;
+  ASSERT_OK(fds.AddFd({"R", {0}, {1}}));
+  EXPECT_TRUE(
+      ls::SubsumedS(LsConcept::Projection("R", 0), LsConcept::Top(), fds)
+          .ok());
+
+  rel::Schema mixed = fds;
+  ASSERT_OK(mixed.AddId({"R", {0}, "R", {1}}));
+  Result<bool> r =
+      ls::SubsumedS(LsConcept::Projection("R", 0), LsConcept::Top(), mixed);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(BestEffortTest, Example49SubsumptionsProved) {
+  ASSERT_OK_AND_ASSIGN(rel::Schema schema, workload::CitiesSchema());
+  struct Case {
+    const char* sub;
+    const char* super;
+  };
+  const Case cases[] = {
+      {"pi[name](sigma[continent = Europe](Cities))", "pi[name](Cities)"},
+      {"pi[name](sigma[population > 7000000](Cities))", "pi[name](BigCity)"},
+      {"pi[name](BigCity)", "pi[name](Cities)"},
+      // Via the ID BigCity[name] ⊆ TC[city_from].
+      {"pi[name](BigCity)", "pi[city_from](Train-Connections)"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(ls::SubsumedSBestEffort(Parse(c.sub, schema),
+                                      Parse(c.super, schema), schema),
+              Verdict::kYes)
+        << c.sub << " ⊑S " << c.super;
+  }
+  // Not schema-derivable: reachable-from-Amsterdam vs reachable-from-Berlin.
+  EXPECT_EQ(ls::SubsumedSBestEffort(
+                Parse("pi[city_to](sigma[city_from = Amsterdam](Reachable))",
+                      schema),
+                Parse("pi[city_to](sigma[city_from = Berlin](Reachable))",
+                      schema),
+                schema),
+            Verdict::kUnknown);
+}
+
+TEST(BestEffortTest, CompleteClassesGetExactVerdicts) {
+  rel::Schema plain;
+  ASSERT_OK(plain.AddRelation("R", {"a", "b"}));
+  EXPECT_EQ(ls::SubsumedSBestEffort(LsConcept::Projection("R", 0),
+                                    LsConcept::Top(), plain),
+            Verdict::kYes);
+  EXPECT_EQ(ls::SubsumedSBestEffort(LsConcept::Top(),
+                                    LsConcept::Projection("R", 0), plain),
+            Verdict::kNo);
+}
+
+}  // namespace
+}  // namespace whynot

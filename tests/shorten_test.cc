@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+using ls::LsConcept;
+
+class ShortenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = workload::CitiesDataSchema();
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::move(schema).value();
+    auto instance = workload::CitiesInstance(&schema_);
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::make_unique<rel::Instance>(std::move(instance).value());
+  }
+
+  LsConcept Parse(const std::string& text) {
+    auto c = ls::ParseConcept(text, schema_);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return c.ok() ? c.value() : LsConcept::Top();
+  }
+
+  rel::Schema schema_;
+  std::unique_ptr<rel::Instance> instance_;
+};
+
+TEST_F(ShortenTest, DropsRedundantConjuncts) {
+  // π_name(σ_continent=Europe) ⊓ π_name(Cities): the second conjunct is
+  // redundant on I.
+  LsConcept c = Parse(
+      "pi[name](sigma[continent = Europe](Cities)) & pi[name](Cities)");
+  LsConcept shortened = explain::MakeIrredundant(c, *instance_);
+  EXPECT_EQ(shortened.conjuncts().size(), 1u);
+  EXPECT_TRUE(ls::EquivalentI(c, shortened, *instance_));
+}
+
+TEST_F(ShortenTest, KeepsNecessaryConjuncts) {
+  // Europe-cities ∩ population>1M = {Berlin, Rome}: both conjuncts needed.
+  LsConcept c = Parse(
+      "pi[name](sigma[continent = Europe](Cities)) & "
+      "pi[name](sigma[population > 1000000](Cities))");
+  LsConcept shortened = explain::MakeIrredundant(c, *instance_);
+  EXPECT_EQ(shortened.conjuncts().size(), 2u);
+  EXPECT_TRUE(ls::EquivalentI(c, shortened, *instance_));
+}
+
+TEST_F(ShortenTest, IrredundancyProperty) {
+  // After shortening, removing any single conjunct changes the extension.
+  std::vector<LsConcept> inputs = {
+      Parse("pi[name](Cities) & pi[city_from](Train-Connections) & "
+            "pi[city_to](Train-Connections)"),
+      Parse("{Amsterdam} & pi[name](Cities)"),
+      Parse("pi[name](sigma[population > 1000000](Cities)) & "
+            "pi[name](sigma[population > 2000000](Cities))"),
+  };
+  for (const LsConcept& input : inputs) {
+    LsConcept shortened = explain::MakeIrredundant(input, *instance_);
+    EXPECT_TRUE(ls::EquivalentI(input, shortened, *instance_));
+    ls::Extension target = ls::Eval(shortened, *instance_);
+    for (size_t i = 0; i < shortened.conjuncts().size(); ++i) {
+      std::vector<ls::Conjunct> without = shortened.conjuncts();
+      without.erase(without.begin() + static_cast<long>(i));
+      EXPECT_FALSE(ls::Eval(LsConcept(without), *instance_) == target)
+          << "conjunct " << i << " of "
+          << shortened.ToString(&schema_) << " is removable";
+    }
+  }
+}
+
+TEST_F(ShortenTest, ExplanationWideningPreservesEachPosition) {
+  auto wni_or = explain::MakeWhyNotInstance(instance_.get(),
+                                            workload::ConnectedViaQuery(),
+                                            {"Amsterdam", "New York"});
+  ASSERT_TRUE(wni_or.ok());
+  explain::IncrementalOptions options;
+  ASSERT_OK_AND_ASSIGN(explain::LsExplanation e,
+                       explain::IncrementalSearch(wni_or.value(), options));
+  explain::LsExplanation shortened =
+      explain::MakeIrredundant(e, *instance_);
+  ASSERT_EQ(shortened.size(), e.size());
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_TRUE(ls::EquivalentI(e[i], shortened[i], *instance_));
+    EXPECT_LE(shortened[i].Length(), e[i].Length());
+  }
+  EXPECT_TRUE(explain::IsLsExplanation(wni_or.value(), shortened));
+}
+
+TEST_F(ShortenTest, MinimizeFindsShorterEquivalent) {
+  // Proposition 6.3's irredundant-but-not-minimized example: C2 ⊓ C3 can be
+  // irredundant while a single equivalent concept C1 is shorter. Here:
+  // Europe-cities ∩ >1M = {Berlin, Rome} has the shorter equivalent
+  // "population in [2753000, 3502000]" — a single canonical box — but in
+  // *selection-free* LS no shorter equivalent exists, so MinimizeEquivalent
+  // with selections must win over the irredundant form.
+  LsConcept c = Parse(
+      "pi[name](sigma[continent = Europe](Cities)) & "
+      "pi[name](sigma[population > 1000000](Cities))");
+  explain::MinimizeOptions options;
+  options.with_selections = true;
+  ASSERT_OK_AND_ASSIGN(LsConcept minimized,
+                       explain::MinimizeEquivalent(c, *instance_, options));
+  EXPECT_TRUE(ls::EquivalentI(c, minimized, *instance_));
+  EXPECT_LE(minimized.Length(), explain::MakeIrredundant(c, *instance_)
+                                    .Length());
+}
+
+TEST_F(ShortenTest, MinimizeNominalStaysNominal) {
+  LsConcept c = Parse("{Amsterdam} & pi[name](Cities)");
+  ASSERT_OK_AND_ASSIGN(LsConcept minimized,
+                       explain::MinimizeEquivalent(c, *instance_));
+  EXPECT_TRUE(ls::EquivalentI(c, minimized, *instance_));
+  EXPECT_EQ(minimized.Length(), 1u);  // the nominal alone
+}
+
+TEST_F(ShortenTest, MinimizeTopIsTop) {
+  ASSERT_OK_AND_ASSIGN(LsConcept minimized,
+                       explain::MinimizeEquivalent(LsConcept::Top(),
+                                                   *instance_));
+  EXPECT_TRUE(minimized.IsTop());
+}
+
+}  // namespace
+}  // namespace whynot

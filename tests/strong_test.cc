@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+using explain::Explanation;
+
+class StrongTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = workload::CitiesDataSchema();
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::move(schema).value();
+    auto ontology = workload::CitiesOntology();
+    ASSERT_TRUE(ontology.ok());
+    ontology_ = std::move(ontology).value();
+  }
+
+  /// A variant of the Figure 2 instance with one extra train connection.
+  Result<rel::Instance> InstanceWithExtraEdge(const std::string& from,
+                                              const std::string& to) {
+    WHYNOT_ASSIGN_OR_RETURN(rel::Instance instance,
+                            workload::CitiesInstance(&schema_));
+    WHYNOT_RETURN_IF_ERROR(instance.AddFact("Train-Connections", {from, to}));
+    return instance;
+  }
+
+  rel::Schema schema_;
+  std::unique_ptr<onto::ExplicitOntology> ontology_;
+};
+
+TEST_F(StrongTest, RefutedByAlternativeInstance) {
+  // (European-City, US-City) explains why-not (Amsterdam, New York) on the
+  // Figure 2 instance, but it is NOT strong: adding Berlin -> New York
+  // makes (Amsterdam, New York) itself an answer inside the product.
+  ASSERT_OK_AND_ASSIGN(rel::Instance original,
+                       workload::CitiesInstance(&schema_));
+  ASSERT_OK_AND_ASSIGN(rel::Instance extended,
+                       InstanceWithExtraEdge("Berlin", "New York"));
+  Explanation e = {ontology_->FindConcept("European-City"),
+                   ontology_->FindConcept("US-City")};
+  ASSERT_OK_AND_ASSIGN(
+      explain::StrongCheckResult result,
+      explain::CheckStrongExplanation(*ontology_,
+                                      workload::ConnectedViaQuery(), e,
+                                      {&original, &extended}));
+  EXPECT_TRUE(result.refuted);
+  EXPECT_EQ(result.instances_checked, 2u);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST_F(StrongTest, NotRefutedWithinFamily) {
+  // A family of instances that never connects Europe to the US keeps the
+  // explanation unrefuted (a semi-decision, as documented).
+  ASSERT_OK_AND_ASSIGN(rel::Instance original,
+                       workload::CitiesInstance(&schema_));
+  ASSERT_OK_AND_ASSIGN(rel::Instance asia_edge,
+                       InstanceWithExtraEdge("Kyoto", "Tokyo"));
+  ASSERT_OK_AND_ASSIGN(rel::Instance europe_edge,
+                       InstanceWithExtraEdge("Rome", "Amsterdam"));
+  Explanation e = {ontology_->FindConcept("European-City"),
+                   ontology_->FindConcept("US-City")};
+  ASSERT_OK_AND_ASSIGN(
+      explain::StrongCheckResult result,
+      explain::CheckStrongExplanation(
+          *ontology_, workload::ConnectedViaQuery(), e,
+          {&original, &asia_edge, &europe_edge}));
+  EXPECT_FALSE(result.refuted);
+  EXPECT_EQ(result.instances_checked, 3u);
+}
+
+TEST_F(StrongTest, InconsistentInstancesAreSkipped) {
+  // The Figure 3 ontology has fixed extensions, so every instance is
+  // consistent with it; use a function-extension ontology where an
+  // instance can break consistency.
+  onto::ExplicitOntology o;
+  o.AddSubsumption("Sub", "Super");
+  o.SetExtensionFn("Sub", [](const rel::Instance& i) {
+    std::vector<Value> out;
+    for (const Tuple& t : i.Relation("U")) out.push_back(t[0]);
+    return out;
+  });
+  o.SetExtension("Super", {Value(1)});
+  ASSERT_OK(o.Finalize());
+
+  rel::Schema schema = testutil::SimpleSchema();
+  rel::Instance consistent(&schema);
+  ASSERT_OK(consistent.AddFact("U", {Value(1)}));
+  rel::Instance inconsistent(&schema);
+  ASSERT_OK(inconsistent.AddFact("U", {Value(2)}));  // Sub ⊄ Super
+
+  rel::ConjunctiveQuery q;
+  q.head = {"x"};
+  q.atoms = {testutil::A("U", {testutil::V("x")})};
+  Explanation e = {o.FindConcept("Super")};
+  ASSERT_OK_AND_ASSIGN(
+      explain::StrongCheckResult result,
+      explain::CheckStrongExplanation(o, testutil::Q1(q), e,
+                                      {&consistent, &inconsistent}));
+  // Only the consistent instance is in the quantifier's range; it refutes
+  // (Super's extension {1} meets the answer {1}).
+  EXPECT_EQ(result.instances_checked, 1u);
+  EXPECT_TRUE(result.refuted);
+}
+
+}  // namespace
+}  // namespace whynot

@@ -1,0 +1,69 @@
+#ifndef WHYNOT_TESTS_TEST_UTIL_H_
+#define WHYNOT_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "whynot/whynot.h"
+
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    const ::whynot::Status _st = (expr);                \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define EXPECT_OK(expr)                                 \
+  do {                                                  \
+    const ::whynot::Status _st = (expr);                \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)       \
+  auto tmp = (expr);                                    \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();     \
+  lhs = std::move(tmp).value()
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                          \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                     \
+      WHYNOT_ASSIGN_OR_RETURN_NAME(_test_result_, __LINE__), lhs, expr)
+
+namespace whynot::testutil {
+
+/// A schema with one binary relation R(a, b) and one unary relation U(a).
+inline rel::Schema SimpleSchema() {
+  rel::Schema schema;
+  EXPECT_TRUE(schema.AddRelation("R", {"a", "b"}).ok());
+  EXPECT_TRUE(schema.AddRelation("U", {"a"}).ok());
+  return schema;
+}
+
+/// Shorthand atom builder.
+inline rel::Atom A(const std::string& relation,
+                   const std::vector<rel::Term>& args) {
+  rel::Atom atom;
+  atom.relation = relation;
+  atom.args = args;
+  return atom;
+}
+
+inline rel::Term V(const std::string& name) { return rel::Term::Var(name); }
+inline rel::Term C(const Value& v) { return rel::Term::Const(v); }
+
+/// One-disjunct union query.
+inline rel::UnionQuery Q1(rel::ConjunctiveQuery cq) {
+  rel::UnionQuery q;
+  q.disjuncts.push_back(std::move(cq));
+  return q;
+}
+
+/// Extension values of an LS concept as a plain vector (empty if All).
+inline std::vector<Value> ExtValues(const ls::LsConcept& c,
+                                    const rel::Instance& i) {
+  return ls::Eval(c, i).values;
+}
+
+}  // namespace whynot::testutil
+
+#endif  // WHYNOT_TESTS_TEST_UTIL_H_
