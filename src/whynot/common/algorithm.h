@@ -1,0 +1,19 @@
+#ifndef WHYNOT_COMMON_ALGORITHM_H_
+#define WHYNOT_COMMON_ALGORITHM_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace whynot {
+
+/// Sorts `v` and drops duplicates — the canonical-set idiom used for
+/// extensions, answer lists, and column caches throughout.
+template <typename T>
+void SortUnique(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace whynot
+
+#endif  // WHYNOT_COMMON_ALGORITHM_H_

@@ -80,6 +80,24 @@ Extension Eval(const LsConcept& concept_expr, const rel::Instance& instance) {
   return ext;
 }
 
+const Extension& EvalCache::EvalConjunct(const Conjunct& conjunct) {
+  auto it = conjunct_exts_.find(conjunct);
+  if (it == conjunct_exts_.end()) {
+    it = conjunct_exts_.emplace(conjunct, ls::Eval(conjunct, *instance_))
+             .first;
+  }
+  return it->second;
+}
+
+Extension EvalCache::Eval(const LsConcept& concept_expr) {
+  Extension ext = Extension::All();
+  for (const Conjunct& c : concept_expr.conjuncts()) {
+    ext = ext.Intersect(EvalConjunct(c));
+    if (ext.empty()) break;
+  }
+  return ext;
+}
+
 bool SubsumedI(const LsConcept& c1, const LsConcept& c2,
                const rel::Instance& instance) {
   return Eval(c1, instance).SubsetOf(Eval(c2, instance));

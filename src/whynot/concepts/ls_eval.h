@@ -1,6 +1,7 @@
 #ifndef WHYNOT_CONCEPTS_LS_EVAL_H_
 #define WHYNOT_CONCEPTS_LS_EVAL_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,30 @@ Extension Eval(const LsConcept& concept_expr, const rel::Instance& instance);
 
 /// ⟦D⟧ᴵ of a single conjunct.
 Extension Eval(const Conjunct& conjunct, const rel::Instance& instance);
+
+/// Memoizes per-conjunct extensions of one (fixed) instance. Concepts are
+/// intersections of conjuncts, and the greedy searches (Algorithm 2 and
+/// the MGE checks) re-evaluate candidates whose conjuncts — projections of
+/// the same few (relation, attr) pairs plus nominals — repeat constantly;
+/// caching at the conjunct level turns each re-evaluation from a full
+/// relation scan into an intersection of cached sorted vectors. The
+/// instance must not change while the cache is alive.
+class EvalCache {
+ public:
+  explicit EvalCache(const rel::Instance* instance) : instance_(instance) {}
+
+  const rel::Instance& instance() const { return *instance_; }
+
+  /// ⟦C⟧ᴵ via cached conjunct extensions.
+  Extension Eval(const LsConcept& concept_expr);
+
+  /// ⟦D⟧ᴵ, computed once per distinct conjunct.
+  const Extension& EvalConjunct(const Conjunct& conjunct);
+
+ private:
+  const rel::Instance* instance_;
+  std::map<Conjunct, Extension> conjunct_exts_;
+};
 
 /// C1 ⊑_I C2 : ⟦C1⟧ᴵ ⊆ ⟦C2⟧ᴵ (Proposition 4.1, PTIME).
 bool SubsumedI(const LsConcept& c1, const LsConcept& c2,

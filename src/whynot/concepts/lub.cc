@@ -4,36 +4,61 @@
 #include <map>
 #include <set>
 
+#include "whynot/common/algorithm.h"
 #include "whynot/concepts/ls_eval.h"
 
 namespace whynot::ls {
 
 LubContext::LubContext(const rel::Instance* instance, LubOptions options)
-    : instance_(instance), options_(options) {}
+    : instance_(instance), options_(options) {
+  const auto& relations = instance_->schema().relations();
+  rel_index_.reserve(relations.size());
+  for (size_t i = 0; i < relations.size(); ++i) {
+    rel_index_.emplace(relations[i].name(), i);
+  }
+  boxes_.resize(relations.size());
+  columns_.resize(relations.size());
+  columns_built_.resize(relations.size(), false);
+}
+
+size_t LubContext::RelIndex(const std::string& relation) const {
+  auto it = rel_index_.find(relation);
+  return it == rel_index_.end() ? SIZE_MAX : it->second;
+}
+
+const std::vector<std::vector<Value>>& LubContext::ColumnsFor(
+    size_t rel_idx) const {
+  if (!columns_built_[rel_idx]) {
+    const rel::RelationDef& def = instance_->schema().relations()[rel_idx];
+    const std::vector<Tuple>& tuples = instance_->Relation(def.name());
+    std::vector<std::vector<Value>>& cols = columns_[rel_idx];
+    cols.resize(def.arity());
+    for (size_t a = 0; a < def.arity(); ++a) {
+      cols[a].clear();
+      cols[a].reserve(tuples.size());
+      for (const Tuple& t : tuples) cols[a].push_back(t[a]);
+      SortUnique(&cols[a]);
+    }
+    columns_built_[rel_idx] = true;
+  }
+  return columns_[rel_idx];
+}
 
 LsConcept LubContext::LubSelectionFree(const std::vector<Value>& x) const {
   std::vector<Value> sorted_x = x;
-  std::sort(sorted_x.begin(), sorted_x.end());
-  sorted_x.erase(std::unique(sorted_x.begin(), sorted_x.end()),
-                 sorted_x.end());
+  SortUnique(&sorted_x);
 
   std::vector<Conjunct> conjuncts;
   if (sorted_x.size() == 1) {
     conjuncts.push_back(Conjunct::Nominal(sorted_x.front()));
   }
-  for (const rel::RelationDef& def : instance_->schema().relations()) {
-    const std::vector<Tuple>& tuples = instance_->Relation(def.name());
+  const auto& relations = instance_->schema().relations();
+  for (size_t r = 0; r < relations.size(); ++r) {
+    const rel::RelationDef& def = relations[r];
+    const std::vector<std::vector<Value>>& cols = ColumnsFor(r);
     for (size_t a = 0; a < def.arity(); ++a) {
-      std::set<Value> column;
-      for (const Tuple& t : tuples) column.insert(t[a]);
-      bool covers = true;
-      for (const Value& v : sorted_x) {
-        if (column.count(v) == 0) {
-          covers = false;
-          break;
-        }
-      }
-      if (covers) {
+      if (std::includes(cols[a].begin(), cols[a].end(), sorted_x.begin(),
+                        sorted_x.end())) {
         conjuncts.push_back(
             Conjunct::Projection(def.name(), static_cast<int>(a)));
       }
@@ -42,29 +67,24 @@ LsConcept LubContext::LubSelectionFree(const std::vector<Value>& x) const {
   return LsConcept(std::move(conjuncts));
 }
 
-Status LubContext::BuildBoxes(const std::string& relation,
-                              RelationBoxes* out) const {
+Status LubContext::BuildBoxes(size_t rel_idx, RelationBoxes* out) const {
+  const rel::RelationDef& def = instance_->schema().relations()[rel_idx];
+  const std::string& relation = def.name();
   const std::vector<Tuple>& tuples = instance_->Relation(relation);
-  const rel::RelationDef* def = instance_->schema().Find(relation);
-  if (def == nullptr) return Status::NotFound("unknown relation " + relation);
-  size_t m = def->arity();
+  size_t m = def.arity();
   size_t n = tuples.size();
   if (n == 0) return Status::OK();
 
   // Sorted distinct values per attribute, and each tuple's value index.
-  std::vector<std::vector<Value>> distinct(m);
+  const std::vector<std::vector<Value>>& distinct = ColumnsFor(rel_idx);
   std::vector<std::vector<int>> tuple_value_index(m,
                                                   std::vector<int>(n, 0));
   for (size_t j = 0; j < m; ++j) {
-    std::set<Value> col;
-    for (const Tuple& t : tuples) col.insert(t[j]);
-    distinct[j].assign(col.begin(), col.end());
-    std::map<Value, int> index;
-    for (size_t i = 0; i < distinct[j].size(); ++i) {
-      index[distinct[j][i]] = static_cast<int>(i);
-    }
     for (size_t i = 0; i < n; ++i) {
-      tuple_value_index[j][i] = index[tuples[i][j]];
+      tuple_value_index[j][i] = static_cast<int>(
+          std::lower_bound(distinct[j].begin(), distinct[j].end(),
+                           tuples[i][j]) -
+          distinct[j].begin());
     }
   }
 
@@ -96,6 +116,7 @@ Status LubContext::BuildBoxes(const std::string& relation,
         Box box;
         box.selections = current_sel;
         box.tuple_indices = std::move(selected);
+        box.projections.resize(m);
         out->boxes.push_back(std::move(box));
       }
       return;
@@ -135,28 +156,33 @@ Status LubContext::BuildBoxes(const std::string& relation,
   return status;
 }
 
-LubContext::RelationBoxes& LubContext::BoxesFor(const std::string& relation) {
-  RelationBoxes& rb = cache_[relation];
+LubContext::RelationBoxes& LubContext::BoxesFor(size_t rel_idx) {
+  RelationBoxes& rb = boxes_[rel_idx];
   if (!rb.built) {
-    rb.build_status = BuildBoxes(relation, &rb);
+    rb.build_status = BuildBoxes(rel_idx, &rb);
     rb.built = true;
   }
   return rb;
 }
 
 size_t LubContext::NumBoxes(const std::string& relation) {
-  return BoxesFor(relation).boxes.size();
+  size_t idx = RelIndex(relation);
+  if (idx == SIZE_MAX) return 0;
+  return BoxesFor(idx).boxes.size();
 }
 
 Result<std::vector<LsConcept>> LubContext::CanonicalSelectionConcepts(
     const std::string& relation) {
-  RelationBoxes& rb = BoxesFor(relation);
+  size_t idx = RelIndex(relation);
+  if (idx == SIZE_MAX) {
+    return Status::NotFound("unknown relation " + relation);
+  }
+  RelationBoxes& rb = BoxesFor(idx);
   if (!rb.build_status.ok()) return rb.build_status;
-  const rel::RelationDef* def = instance_->schema().Find(relation);
-  if (def == nullptr) return Status::NotFound("unknown relation " + relation);
+  const rel::RelationDef& def = instance_->schema().relations()[idx];
   std::vector<LsConcept> out;
   for (const Box& box : rb.boxes) {
-    for (size_t a = 0; a < def->arity(); ++a) {
+    for (size_t a = 0; a < def.arity(); ++a) {
       out.push_back(LsConcept::Projection(relation, static_cast<int>(a),
                                           box.selections));
     }
@@ -166,17 +192,17 @@ Result<std::vector<LsConcept>> LubContext::CanonicalSelectionConcepts(
 
 Result<LsConcept> LubContext::LubWithSelections(const std::vector<Value>& x) {
   std::vector<Value> sorted_x = x;
-  std::sort(sorted_x.begin(), sorted_x.end());
-  sorted_x.erase(std::unique(sorted_x.begin(), sorted_x.end()),
-                 sorted_x.end());
+  SortUnique(&sorted_x);
 
   std::vector<Conjunct> conjuncts;
   if (sorted_x.size() == 1) {
     conjuncts.push_back(Conjunct::Nominal(sorted_x.front()));
   }
 
-  for (const rel::RelationDef& def : instance_->schema().relations()) {
-    RelationBoxes& rb = BoxesFor(def.name());
+  const auto& relations = instance_->schema().relations();
+  for (size_t r = 0; r < relations.size(); ++r) {
+    const rel::RelationDef& def = relations[r];
+    RelationBoxes& rb = BoxesFor(r);
     if (!rb.build_status.ok()) return rb.build_status;
     const std::vector<Tuple>& tuples = instance_->Relation(def.name());
     for (size_t a = 0; a < def.arity(); ++a) {
@@ -184,16 +210,14 @@ Result<LsConcept> LubContext::LubWithSelections(const std::vector<Value>& x) {
       // Valid boxes: A-projection contains X.
       std::vector<Box*> valid;
       for (Box& box : rb.boxes) {
-        auto it = box.projections.find(attr);
-        if (it == box.projections.end()) {
-          std::set<Value> proj;
-          for (uint32_t idx : box.tuple_indices) proj.insert(tuples[idx][a]);
-          it = box.projections
-                   .emplace(attr, std::vector<Value>(proj.begin(), proj.end()))
-                   .first;
+        std::vector<Value>& proj = box.projections[a];
+        if (proj.empty()) {
+          proj.reserve(box.tuple_indices.size());
+          for (uint32_t idx : box.tuple_indices) proj.push_back(tuples[idx][a]);
+          SortUnique(&proj);
         }
-        if (std::includes(it->second.begin(), it->second.end(),
-                          sorted_x.begin(), sorted_x.end())) {
+        if (std::includes(proj.begin(), proj.end(), sorted_x.begin(),
+                          sorted_x.end())) {
           valid.push_back(&box);
         }
       }

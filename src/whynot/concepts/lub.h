@@ -2,9 +2,9 @@
 #define WHYNOT_CONCEPTS_LUB_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "whynot/common/status.h"
@@ -68,8 +68,12 @@ class LubContext {
  private:
   struct Box {
     std::vector<Selection> selections;
-    std::vector<uint32_t> tuple_indices;         // sorted
-    std::map<int, std::vector<Value>> projections;  // attr -> sorted values
+    std::vector<uint32_t> tuple_indices;  // sorted
+    // Per-attribute sorted distinct projection values, sized by the
+    // relation arity; an empty inner vector means "not yet computed"
+    // (boxes always select at least one tuple, so real projections are
+    // non-empty).
+    std::vector<std::vector<Value>> projections;
   };
   struct RelationBoxes {
     bool built = false;
@@ -77,12 +81,26 @@ class LubContext {
     std::vector<Box> boxes;
   };
 
-  Status BuildBoxes(const std::string& relation, RelationBoxes* out) const;
-  RelationBoxes& BoxesFor(const std::string& relation);
+  /// Dense index of `relation` in the schema's relation list, or SIZE_MAX.
+  /// All per-relation caches are vectors over this index — one hash lookup
+  /// per call instead of a string-keyed tree walk.
+  size_t RelIndex(const std::string& relation) const;
+
+  Status BuildBoxes(size_t rel_idx, RelationBoxes* out) const;
+  RelationBoxes& BoxesFor(size_t rel_idx);
+
+  /// Sorted distinct values per attribute of the relation, built once and
+  /// cached (mutable: LubSelectionFree is logically const). NOTE: the lazy
+  /// mutable caches make a LubContext single-threaded, const methods
+  /// included; give each thread its own context.
+  const std::vector<std::vector<Value>>& ColumnsFor(size_t rel_idx) const;
 
   const rel::Instance* instance_;
   LubOptions options_;
-  std::map<std::string, RelationBoxes> cache_;
+  std::unordered_map<std::string, size_t> rel_index_;
+  std::vector<RelationBoxes> boxes_;
+  mutable std::vector<std::vector<std::vector<Value>>> columns_;
+  mutable std::vector<bool> columns_built_;
 };
 
 }  // namespace whynot::ls

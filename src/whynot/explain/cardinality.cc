@@ -25,9 +25,7 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
   std::vector<std::vector<onto::ConceptId>> lists(wni.arity());
   for (size_t i = 0; i < wni.arity(); ++i) {
     ValueId id = bound->pool().Intern(wni.missing[i]);
-    for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
-      if (bound->Ext(c).Contains(id)) lists[i].push_back(c);
-    }
+    lists[i] = bound->ConceptsContaining(id);
     if (lists[i].empty()) return std::optional<CardinalityResult>();
   }
   std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
@@ -67,16 +65,23 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
   if (!exists) return std::optional<CardinalityResult>();
   std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
 
+  // Per-position candidate lists are loop-invariant; hoist them out of
+  // the climb.
+  std::vector<std::vector<onto::ConceptId>> candidates(wni.arity());
+  for (size_t i = 0; i < wni.arity(); ++i) {
+    candidates[i] =
+        bound->ConceptsContaining(bound->pool().Intern(wni.missing[i]));
+  }
+
   Explanation current = seed;
   Degree degree = DegreeOf(bound, current);
   bool improved = true;
   while (improved) {
     improved = false;
     for (size_t i = 0; i < current.size(); ++i) {
-      ValueId missing_id = bound->pool().Intern(wni.missing[i]);
       Explanation probe = current;
-      for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
-        if (c == current[i] || !bound->Ext(c).Contains(missing_id)) continue;
+      for (onto::ConceptId c : candidates[i]) {
+        if (c == current[i]) continue;
         probe[i] = c;
         if (ProductIntersectsAnswers(bound, probe, answers)) continue;
         Degree d = DegreeOf(bound, probe);

@@ -33,18 +33,19 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              const LsExplanation& candidate,
                              bool with_selections,
                              ls::LubContext* lub_context) {
-  if (!IsLsExplanation(wni, candidate)) return false;
+  ls::EvalCache cache(wni.instance);
+  if (!IsLsExplanation(wni, candidate, &cache)) return false;
   std::vector<Value> adom = wni.instance->ActiveDomain();
   LsExplanation probe = candidate;
   for (size_t j = 0; j < candidate.size(); ++j) {
-    ls::Extension ext = ls::Eval(candidate[j], *wni.instance);
+    ls::Extension ext = cache.Eval(candidate[j]);
     if (ext.all) continue;  // already maximally general at this position
 
     // Generalization to ⊤ covers all constants outside adom(I) at once:
     // the only LS concepts containing a non-adom constant besides its own
     // nominal are equivalent to ⊤.
     probe[j] = ls::LsConcept::Top();
-    if (IsLsExplanation(wni, probe)) return false;
+    if (IsLsExplanation(wni, probe, &cache)) return false;
 
     // lines 4-11 of Algorithm 2, used as a maximality test: lub-generalize
     // by each uncovered active-domain constant.
@@ -62,7 +63,7 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
         generalized = lub_context->LubSelectionFree(extended);
       }
       probe[j] = std::move(generalized);
-      if (IsLsExplanation(wni, probe)) return false;
+      if (IsLsExplanation(wni, probe, &cache)) return false;
     }
     probe[j] = candidate[j];
   }

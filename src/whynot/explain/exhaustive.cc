@@ -13,9 +13,7 @@ Result<std::vector<std::vector<onto::ConceptId>>> CandidateLists(
   std::vector<std::vector<onto::ConceptId>> lists(wni.arity());
   for (size_t i = 0; i < wni.arity(); ++i) {
     ValueId id = bound->pool().Intern(wni.missing[i]);
-    for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
-      if (bound->Ext(c).Contains(id)) lists[i].push_back(c);
-    }
+    lists[i] = bound->ConceptsContaining(id);
     if (lists[i].empty()) return lists;  // no explanation can exist
   }
   return lists;

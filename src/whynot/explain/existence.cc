@@ -19,9 +19,7 @@ class Search {
     candidates_.resize(m_);
     for (size_t i = 0; i < m_; ++i) {
       ValueId id = bound->pool().Intern(wni.missing[i]);
-      for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
-        if (bound->Ext(c).Contains(id)) candidates_[i].push_back(c);
-      }
+      candidates_[i] = bound->ConceptsContaining(id);
     }
     answers_ = InternAnswers(bound, wni);
     chosen_.resize(m_);

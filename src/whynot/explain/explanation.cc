@@ -65,12 +65,16 @@ std::string ExplanationToString(const onto::BoundOntology& bound,
   return "(" + Join(parts, ", ") + ")";
 }
 
-bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e) {
+namespace {
+
+bool IsLsExplanationImpl(const WhyNotInstance& wni, const LsExplanation& e,
+                         ls::EvalCache* cache) {
   if (e.size() != wni.arity()) return false;
   std::vector<ls::Extension> exts;
   exts.reserve(e.size());
   for (size_t i = 0; i < e.size(); ++i) {
-    exts.push_back(ls::Eval(e[i], *wni.instance));
+    exts.push_back(cache != nullptr ? cache->Eval(e[i])
+                                    : ls::Eval(e[i], *wni.instance));
     if (!exts.back().Contains(wni.missing[i])) return false;
   }
   for (const Tuple& ans : wni.answers) {
@@ -81,6 +85,17 @@ bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e) {
     if (inside) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e) {
+  return IsLsExplanationImpl(wni, e, nullptr);
+}
+
+bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e,
+                     ls::EvalCache* cache) {
+  return IsLsExplanationImpl(wni, e, cache);
 }
 
 bool LessGeneralI(const rel::Instance& instance, const LsExplanation& e,

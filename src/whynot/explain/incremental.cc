@@ -18,6 +18,7 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
                                         const IncrementalOptions& options,
                                         ls::LubContext* lub_context) {
   size_t m = wni.arity();
+  ls::EvalCache cache(wni.instance);
 
   // Lines 2-3: support sets X_j = {a_j}; first candidate explanation
   // E = (lub(X_1), ..., lub(X_m)).
@@ -28,7 +29,7 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
     WHYNOT_ASSIGN_OR_RETURN(
         e[j], Lub(lub_context, options.with_selections, support[j]));
   }
-  if (!IsLsExplanation(wni, e)) {
+  if (!IsLsExplanation(wni, e, &cache)) {
     return Status::Internal(
         "initial nominal-pinned tuple is not an explanation; this "
         "contradicts Section 5.2 (the trivial explanation always exists)");
@@ -40,7 +41,7 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
   std::vector<Value> adom = wni.instance->ActiveDomain();
   for (size_t j = 0; j < m; ++j) {
     for (const Value& b : adom) {
-      ls::Extension ext = ls::Eval(e[j], *wni.instance);
+      ls::Extension ext = cache.Eval(e[j]);
       if (ext.Contains(b)) continue;
       std::vector<Value> extended = support[j];
       extended.push_back(b);
@@ -49,7 +50,7 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
           Lub(lub_context, options.with_selections, extended));
       LsExplanation probe = e;
       probe[j] = generalized;
-      if (IsLsExplanation(wni, probe)) {
+      if (IsLsExplanation(wni, probe, &cache)) {
         e = std::move(probe);
         support[j] = std::move(extended);
       }
@@ -60,10 +61,10 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
   // extension is finite; accept it where the tuple stays an explanation.
   if (options.generalize_to_top) {
     for (size_t j = 0; j < m; ++j) {
-      if (ls::Eval(e[j], *wni.instance).all) continue;
+      if (cache.Eval(e[j]).all) continue;
       LsExplanation probe = e;
       probe[j] = ls::LsConcept::Top();
-      if (IsLsExplanation(wni, probe)) e = std::move(probe);
+      if (IsLsExplanation(wni, probe, &cache)) e = std::move(probe);
     }
   }
   return e;

@@ -1,8 +1,8 @@
 #include "whynot/explain/why_explanation.h"
 
 #include <algorithm>
-#include <set>
 
+#include "whynot/common/algorithm.h"
 #include "whynot/concepts/ls_eval.h"
 #include "whynot/relational/cq_eval.h"
 
@@ -30,29 +30,84 @@ Result<WhyInstance> MakeWhyInstance(const rel::Instance* instance,
 
 namespace {
 
-/// ext(C1) × ... × ext(Cm) ⊆ Ans. An All extension at any position makes
-/// the product infinite, hence never ⊆ the finite answer set (unless the
-/// product is empty, which cannot happen since a is inside).
+/// The counting formulations below require Ans to be duplicate-free.
+/// MakeWhyInstance guarantees that (rel::Evaluate sort-dedups), but
+/// WhyInstance is a plain struct that callers may fill by hand, so the
+/// answer vectors are defensively sort-deduped where they are built.
+std::vector<Tuple> SortedUniqueAnswers(const WhyInstance& wi) {
+  std::vector<Tuple> answers = wi.answers;
+  SortUnique(&answers);
+  return answers;
+}
+
+/// Shared counting core of the "product ⊆ Ans" checks: the product tuples
+/// are pairwise distinct and Ans is duplicate-free, so the product is
+/// inside Ans iff |product| equals the number of answers whose every
+/// component lies in the corresponding extension. That replaces the
+/// exponential product walk (with a set probe per tuple) by one pass over
+/// Ans with O(1)/logarithmic membership tests. An All extension at any
+/// position makes the product infinite, hence never ⊆ the finite answer
+/// set — unless some other position is empty, making the product empty
+/// and vacuously inside.
+///
+/// `is_all(ext)`, `size(ext)` (finite case only) and
+/// `contains(ext, row, i)` adapt the two extension representations.
+template <typename Ext, typename Row, typename IsAllFn, typename SizeFn,
+          typename ContainsFn>
+bool CountingProductInside(const std::vector<Ext>& exts,
+                           const std::vector<Row>& answers, IsAllFn is_all,
+                           SizeFn size, ContainsFn contains) {
+  for (const Ext& e : exts) {
+    if (!is_all(e) && size(e) == 0) return true;  // vacuously inside
+  }
+  for (const Ext& e : exts) {
+    if (is_all(e)) return false;
+  }
+  size_t product_size = 1;
+  for (const Ext& e : exts) {
+    // |product| > |Ans| can never be covered; bail before overflow.
+    if (product_size > answers.size() / size(e)) return false;
+    product_size *= size(e);
+  }
+  size_t inside = 0;
+  for (const Row& ans : answers) {
+    bool covered = true;
+    for (size_t i = 0; i < exts.size() && covered; ++i) {
+      covered = contains(exts[i], ans, i);
+    }
+    inside += covered ? 1 : 0;
+  }
+  return inside == product_size;
+}
+
+/// ext(C1) × ... × ext(Cm) ⊆ Ans over a bound finite ontology.
 bool ProductInsideAnswers(onto::BoundOntology* bound,
                           const std::vector<onto::ConceptId>& concepts,
-                          const std::set<std::vector<ValueId>>& answers) {
+                          const std::vector<std::vector<ValueId>>& answers) {
   std::vector<const onto::ExtSet*> exts;
   exts.reserve(concepts.size());
-  for (onto::ConceptId c : concepts) {
-    const onto::ExtSet& e = bound->Ext(c);
-    if (e.is_all()) return false;
-    exts.push_back(&e);
+  for (onto::ConceptId c : concepts) exts.push_back(&bound->Ext(c));
+  return CountingProductInside(
+      exts, answers, [](const onto::ExtSet* e) { return e->is_all(); },
+      [](const onto::ExtSet* e) { return e->size(); },
+      [](const onto::ExtSet* e, const std::vector<ValueId>& ans, size_t i) {
+        return e->Contains(ans[i]);
+      });
+}
+
+/// Answers interned against the pool, sort-deduped for the counting check.
+std::vector<std::vector<ValueId>> InternedUniqueAnswers(
+    onto::BoundOntology* bound, const WhyInstance& wi) {
+  std::vector<std::vector<ValueId>> answers;
+  answers.reserve(wi.answers.size());
+  for (const Tuple& t : wi.answers) {
+    std::vector<ValueId> ids;
+    ids.reserve(t.size());
+    for (const Value& v : t) ids.push_back(bound->pool().Intern(v));
+    answers.push_back(std::move(ids));
   }
-  std::vector<ValueId> current(concepts.size());
-  auto recurse = [&](auto&& self, size_t pos) -> bool {
-    if (pos == concepts.size()) return answers.count(current) > 0;
-    for (ValueId id : exts[pos]->ids()) {
-      current[pos] = id;
-      if (!self(self, pos + 1)) return false;
-    }
-    return true;
-  };
-  return recurse(recurse, 0);
+  SortUnique(&answers);
+  return answers;
 }
 
 }  // namespace
@@ -67,14 +122,7 @@ Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
     ValueId id = bound->pool().Intern(wi.present[i]);
     if (!bound->Ext(e[i]).Contains(id)) return false;
   }
-  std::set<std::vector<ValueId>> answers;
-  for (const Tuple& t : wi.answers) {
-    std::vector<ValueId> ids;
-    ids.reserve(t.size());
-    for (const Value& v : t) ids.push_back(bound->pool().Intern(v));
-    answers.insert(std::move(ids));
-  }
-  return ProductInsideAnswers(bound, e, answers);
+  return ProductInsideAnswers(bound, e, InternedUniqueAnswers(bound, wi));
 }
 
 Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
@@ -84,18 +132,10 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
   std::vector<std::vector<onto::ConceptId>> lists(m);
   for (size_t i = 0; i < m; ++i) {
     ValueId id = bound->pool().Intern(wi.present[i]);
-    for (onto::ConceptId c = 0; c < bound->NumConcepts(); ++c) {
-      if (bound->Ext(c).Contains(id)) lists[i].push_back(c);
-    }
+    lists[i] = bound->ConceptsContaining(id);
     if (lists[i].empty()) return std::vector<Explanation>{};
   }
-  std::set<std::vector<ValueId>> answers;
-  for (const Tuple& t : wi.answers) {
-    std::vector<ValueId> ids;
-    ids.reserve(t.size());
-    for (const Value& v : t) ids.push_back(bound->pool().Intern(v));
-    answers.insert(std::move(ids));
-  }
+  std::vector<std::vector<ValueId>> answers = InternedUniqueAnswers(bound, wi);
 
   std::vector<Explanation> antichain;
   std::vector<size_t> idx(m, 0);
@@ -138,28 +178,17 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
 
 namespace {
 
-/// ext(C1) × ... × ext(Cm) ⊆ Ans over LS extensions; early exit on the
-/// first non-answer combination (a successful product has at most |Ans|
-/// tuples, so the walk is answer-bounded).
+/// ext(C1) × ... × ext(Cm) ⊆ Ans over LS extensions — the same counting
+/// core, with binary-search membership over sorted Value vectors. Requires
+/// a sort-deduped answer vector (SortedUniqueAnswers).
 bool LsProductInsideAnswers(const std::vector<ls::Extension>& exts,
-                            const std::set<Tuple>& answers) {
-  for (const ls::Extension& e : exts) {
-    if (e.all) return false;
-  }
-  Tuple current(exts.size());
-  auto recurse = [&](auto&& self, size_t pos) -> bool {
-    if (pos == exts.size()) return answers.count(current) > 0;
-    for (const Value& v : exts[pos].values) {
-      current[pos] = v;
-      if (!self(self, pos + 1)) return false;
-    }
-    return true;
-  };
-  return recurse(recurse, 0);
-}
-
-std::set<Tuple> AnswerSet(const WhyInstance& wi) {
-  return std::set<Tuple>(wi.answers.begin(), wi.answers.end());
+                            const std::vector<Tuple>& answers) {
+  return CountingProductInside(
+      exts, answers, [](const ls::Extension& e) { return e.all; },
+      [](const ls::Extension& e) { return e.values.size(); },
+      [](const ls::Extension& e, const Tuple& ans, size_t i) {
+        return e.Contains(ans[i]);
+      });
 }
 
 Result<ls::LsConcept> WhyLub(ls::LubContext* ctx, bool with_selections,
@@ -168,24 +197,33 @@ Result<ls::LsConcept> WhyLub(ls::LubContext* ctx, bool with_selections,
   return ctx->LubSelectionFree(x);
 }
 
-}  // namespace
-
-bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e) {
+/// `answers` must be the sort-deduped answer vector of `wi`.
+bool IsLsWhyExplanationImpl(const WhyInstance& wi, const LsExplanation& e,
+                            const std::vector<Tuple>& answers,
+                            ls::EvalCache* cache) {
   if (e.size() != wi.arity()) return false;
   std::vector<ls::Extension> exts;
   exts.reserve(e.size());
   for (size_t i = 0; i < e.size(); ++i) {
-    exts.push_back(ls::Eval(e[i], *wi.instance));
+    exts.push_back(cache != nullptr ? cache->Eval(e[i])
+                                    : ls::Eval(e[i], *wi.instance));
     if (!exts.back().Contains(wi.present[i])) return false;
   }
-  return LsProductInsideAnswers(exts, AnswerSet(wi));
+  return LsProductInsideAnswers(exts, answers);
+}
+
+}  // namespace
+
+bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e) {
+  return IsLsWhyExplanationImpl(wi, e, SortedUniqueAnswers(wi), nullptr);
 }
 
 Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
                                            bool with_selections) {
   ls::LubContext ctx(wi.instance);
+  ls::EvalCache cache(wi.instance);
   size_t m = wi.arity();
-  std::set<Tuple> answers = AnswerSet(wi);
+  const std::vector<Tuple> answers = SortedUniqueAnswers(wi);
 
   std::vector<std::vector<Value>> support(m);
   LsExplanation e(m);
@@ -193,7 +231,7 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
   for (size_t j = 0; j < m; ++j) {
     support[j] = {wi.present[j]};
     WHYNOT_ASSIGN_OR_RETURN(e[j], WhyLub(&ctx, with_selections, support[j]));
-    exts[j] = ls::Eval(e[j], *wi.instance);
+    exts[j] = cache.Eval(e[j]);
   }
   // Unlike the why-not case, the nominal-pinned start can already fail:
   // lub({a_j}) may denote more than {a_j} only through columns, but the
@@ -212,7 +250,7 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
       extended.push_back(b);
       WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
                               WhyLub(&ctx, with_selections, extended));
-      ls::Extension cand_ext = ls::Eval(cand, *wi.instance);
+      ls::Extension cand_ext = cache.Eval(cand);
       std::vector<ls::Extension> probe = exts;
       probe[j] = cand_ext;
       if (LsProductInsideAnswers(probe, answers)) {
@@ -229,12 +267,13 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                 const LsExplanation& candidate,
                                 bool with_selections,
                                 ls::LubContext* lub_context) {
-  if (!IsLsWhyExplanation(wi, candidate)) return false;
-  std::set<Tuple> answers = AnswerSet(wi);
+  ls::EvalCache cache(wi.instance);
+  const std::vector<Tuple> answers = SortedUniqueAnswers(wi);
+  if (!IsLsWhyExplanationImpl(wi, candidate, answers, &cache)) return false;
   std::vector<ls::Extension> exts;
   exts.reserve(candidate.size());
   for (const ls::LsConcept& c : candidate) {
-    exts.push_back(ls::Eval(c, *wi.instance));
+    exts.push_back(cache.Eval(c));
   }
   std::vector<Value> adom = wi.instance->ActiveDomain();
   for (size_t j = 0; j < candidate.size(); ++j) {
@@ -244,7 +283,7 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
       extended.push_back(b);
       WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
                               WhyLub(lub_context, with_selections, extended));
-      ls::Extension cand_ext = ls::Eval(cand, *wi.instance);
+      ls::Extension cand_ext = cache.Eval(cand);
       // lub(ext ∪ {b}) is strictly more general than the candidate's
       // position (it contains b); if the tuple stays a why-explanation,
       // the candidate is not most general.

@@ -2,9 +2,9 @@
 #define WHYNOT_ONTOLOGY_EXPLICIT_ONTOLOGY_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "whynot/common/status.h"
@@ -65,7 +65,7 @@ class ExplicitOntology : public FiniteOntology {
 
  private:
   std::vector<std::string> names_;
-  std::map<std::string, ConceptId> index_;
+  std::unordered_map<std::string, ConceptId> index_;
   std::vector<std::pair<ConceptId, ConceptId>> edges_;
   std::vector<std::vector<Value>> fixed_ext_;
   std::vector<ExtFn> ext_fns_;

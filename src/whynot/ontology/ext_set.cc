@@ -3,15 +3,90 @@
 #include <algorithm>
 #include <cassert>
 
+#include "whynot/common/algorithm.h"
 #include "whynot/common/strings.h"
 
 namespace whynot::onto {
 
+namespace {
+
+size_t WordsFor(int32_t universe) {
+  return (static_cast<size_t>(universe) + 63) / 64;
+}
+
+/// The density switch: mirror `ids` as a bitmap iff the bitmap costs at
+/// most kMaxWordsPerElement words per element, or is trivially small.
+bool DenseEnough(size_t num_ids, size_t num_words) {
+  if (num_ids == 0) return false;
+  return num_words <= ExtSet::kMinWords ||
+         num_words <= ExtSet::kMaxWordsPerElement * num_ids;
+}
+
+}  // namespace
+
+DenseBitmap::DenseBitmap(const std::vector<ValueId>& sorted_ids,
+                         int32_t universe) {
+  int32_t max_id = sorted_ids.empty() ? -1 : sorted_ids.back();
+  if (universe <= max_id) universe = max_id + 1;
+  words_.assign(WordsFor(universe), 0);
+  for (ValueId id : sorted_ids) {
+    assert(id >= 0);
+    words_[static_cast<size_t>(id) / 64] |= uint64_t{1}
+                                            << (static_cast<size_t>(id) % 64);
+  }
+}
+
+bool DenseBitmap::SubsetOf(const DenseBitmap& other) const {
+  size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t w = 0; w < common; ++w) {
+    if (words_[w] & ~other.words_[w]) return false;
+  }
+  for (size_t w = common; w < words_.size(); ++w) {
+    if (words_[w]) return false;
+  }
+  return true;
+}
+
+DenseBitmap DenseBitmap::Intersect(const DenseBitmap& a, const DenseBitmap& b) {
+  DenseBitmap out;
+  size_t common = std::min(a.words_.size(), b.words_.size());
+  out.words_.resize(common);
+  for (size_t w = 0; w < common; ++w) {
+    out.words_[w] = a.words_[w] & b.words_[w];
+  }
+  return out;
+}
+
+size_t DenseBitmap::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) {
+    count += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return count;
+}
+
+std::vector<ValueId> DenseBitmap::ToIds() const {
+  std::vector<ValueId> ids;
+  ids.reserve(Count());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = __builtin_ctzll(word);
+      ids.push_back(static_cast<ValueId>(w * 64 + static_cast<size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return ids;
+}
+
 ExtSet ExtSet::Finite(std::vector<ValueId> ids) {
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  SortUnique(&ids);
   ExtSet s;
   s.ids_ = std::move(ids);
+  if (!s.ids_.empty() &&
+      DenseEnough(s.ids_.size(), WordsFor(s.ids_.back() + 1))) {
+    s.bits_ = DenseBitmap(s.ids_);
+  }
   return s;
 }
 
@@ -21,14 +96,23 @@ ExtSet ExtSet::All() {
   return s;
 }
 
+void ExtSet::EnsureBitmap(int32_t universe) {
+  if (all_ || has_bitmap() || ids_.empty()) return;
+  bits_ = DenseBitmap(ids_, universe);
+}
+
 bool ExtSet::Contains(ValueId id) const {
   if (all_) return true;
+  if (has_bitmap()) return bits_.Test(id);
   return std::binary_search(ids_.begin(), ids_.end(), id);
 }
 
 bool ExtSet::SubsetOf(const ExtSet& other) const {
   if (other.all_) return true;
   if (all_) return false;
+  if (has_bitmap() && other.has_bitmap()) {
+    return bits_.SubsetOf(other.bits_);
+  }
   return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
                        ids_.end());
 }
@@ -36,10 +120,17 @@ bool ExtSet::SubsetOf(const ExtSet& other) const {
 ExtSet ExtSet::Intersect(const ExtSet& other) const {
   if (all_) return other;
   if (other.all_) return *this;
-  ExtSet out;
+  if (has_bitmap() && other.has_bitmap()) {
+    ExtSet out;
+    out.bits_ = DenseBitmap::Intersect(bits_, other.bits_);
+    out.ids_ = out.bits_.ToIds();
+    if (out.ids_.empty()) out.bits_ = DenseBitmap();
+    return out;
+  }
+  std::vector<ValueId> ids;
   std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
-                        other.ids_.end(), std::back_inserter(out.ids_));
-  return out;
+                        other.ids_.end(), std::back_inserter(ids));
+  return Finite(std::move(ids));
 }
 
 std::string ExtSet::ToString(const ValuePool& pool) const {

@@ -9,18 +9,69 @@
 
 namespace whynot::onto {
 
+/// A dense bitmap over ValueIds, packed into 64-bit words. The word-parallel
+/// kernel behind ExtSet: Contains is one shift+mask, SubsetOf and Intersect
+/// process 64 ids per instruction. Words past the stored prefix are
+/// implicitly zero, so bitmaps sized for different universes compose.
+class DenseBitmap {
+ public:
+  DenseBitmap() = default;
+
+  /// Bitmap of `sorted_ids` (all non-negative), sized to at least
+  /// `universe` bits (0 = size from the largest id).
+  explicit DenseBitmap(const std::vector<ValueId>& sorted_ids,
+                       int32_t universe = 0);
+
+  bool empty() const { return words_.empty(); }
+  size_t num_words() const { return words_.size(); }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  bool Test(ValueId id) const {
+    size_t w = static_cast<size_t>(id) / 64;
+    if (w >= words_.size()) return false;
+    return (words_[w] >> (static_cast<size_t>(id) % 64)) & 1u;
+  }
+
+  /// Word-parallel containment: every bit of *this is set in `other`.
+  bool SubsetOf(const DenseBitmap& other) const;
+
+  /// Word-parallel intersection.
+  static DenseBitmap Intersect(const DenseBitmap& a, const DenseBitmap& b);
+
+  /// Number of set bits (popcount over words).
+  size_t Count() const;
+
+  /// The set bits as a sorted id vector.
+  std::vector<ValueId> ToIds() const;
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
 /// The extension of a concept with respect to an instance: either a finite
 /// set of interned constants, or symbolically *all* of Const (the extension
 /// of ⊤ and of any concept equivalent to it).
 ///
 /// Ids refer to a ValuePool owned by the surrounding BoundOntology /
-/// algorithm context. Finite sets are kept sorted and deduplicated.
+/// algorithm context. Finite sets keep a sorted, deduplicated id vector
+/// (the canonical representation: iteration, equality, printing) and — when
+/// the set is dense enough in its id universe — a DenseBitmap mirror that
+/// makes Contains O(1) and SubsetOf/Intersect word-parallel. The density
+/// switch builds the bitmap iff it costs at most kMaxWordsPerElement words
+/// per element (or the universe is trivially small), capping bitmap memory
+/// at 64 bytes per stored id.
 class ExtSet {
  public:
+  /// Bitmap representation threshold: build iff
+  ///   words(universe) <= max(kMinWords, kMaxWordsPerElement * |S|).
+  static constexpr size_t kMaxWordsPerElement = 8;
+  static constexpr size_t kMinWords = 16;
+
   /// The empty extension.
   ExtSet() = default;
 
-  /// A finite extension; `ids` need not be sorted.
+  /// A finite extension; `ids` need not be sorted. Builds the bitmap
+  /// mirror automatically when the density heuristic allows.
   static ExtSet Finite(std::vector<ValueId> ids);
 
   /// The extension Const (countably infinite).
@@ -47,12 +98,23 @@ class ExtSet {
     return all_ == other.all_ && ids_ == other.ids_;
   }
 
+  /// Force-builds the bitmap mirror sized for `universe` ids (e.g. the
+  /// owning ValuePool's size), bypassing the density heuristic. Used by
+  /// BoundOntology's extension table so every membership probe in the
+  /// explanation inner loops is O(1). No-op for All or if already built.
+  void EnsureBitmap(int32_t universe);
+
+  /// Whether the bitmap mirror is present (exposed for tests/benchmarks).
+  bool has_bitmap() const { return !bits_.empty(); }
+
   /// "{a, b, c}" or "Const" using the pool for names.
   std::string ToString(const ValuePool& pool) const;
 
  private:
   bool all_ = false;
   std::vector<ValueId> ids_;
+  DenseBitmap bits_;  // empty unless the density switch (or EnsureBitmap)
+                      // materialized it; always mirrors ids_ when present
 };
 
 /// Interns a list of values into the pool and returns their ExtSet.

@@ -13,9 +13,25 @@ const ExtSet& BoundOntology::Ext(ConceptId id) {
   size_t idx = static_cast<size_t>(id);
   if (!cached_[idx]) {
     cache_[idx] = ontology_->ComputeExt(id, *instance_, &pool_);
+    cache_[idx].EnsureBitmap(pool_.size());
     cached_[idx] = true;
   }
   return cache_[idx];
+}
+
+void BoundOntology::WarmExtensions() {
+  int32_t n = NumConcepts();
+  for (ConceptId c = 0; c < n; ++c) Ext(c);
+}
+
+std::vector<ConceptId> BoundOntology::ConceptsContaining(ValueId id) {
+  WarmExtensions();
+  std::vector<ConceptId> out;
+  int32_t n = NumConcepts();
+  for (ConceptId c = 0; c < n; ++c) {
+    if (cache_[static_cast<size_t>(c)].Contains(id)) out.push_back(c);
+  }
+  return out;
 }
 
 Status BoundOntology::CheckConsistent() {

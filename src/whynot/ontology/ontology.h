@@ -64,8 +64,19 @@ class BoundOntology {
     return ontology_->ConceptName(id);
   }
 
-  /// Cached ext(C, I).
+  /// Cached ext(C, I). The cached ExtSet carries a DenseBitmap mirror sized
+  /// by the value pool, so repeated membership probes are O(1) word tests.
   const ExtSet& Ext(ConceptId id);
+
+  /// Computes (and bitmaps) every concept extension up front. Called
+  /// implicitly by ConceptsContaining; cheap to call again.
+  void WarmExtensions();
+
+  /// C(a): all concepts whose extension contains `id` (line 1 of
+  /// Algorithm 1). One word-parallel pass over the precomputed extension
+  /// table; shared by the exhaustive, existence, cardinality, and why
+  /// explanation searches.
+  std::vector<ConceptId> ConceptsContaining(ValueId id);
 
   /// Checks Definition 3.1 consistency of the bound instance with the
   /// ontology. Returns InvalidArgument naming the offending pair otherwise.

@@ -2,43 +2,74 @@
 
 namespace whynot::onto {
 
+int32_t BoolMatrix::RowCount(int32_t i) const {
+  const uint64_t* row = RowWords(i);
+  int32_t count = 0;
+  for (size_t w = 0; w < words_per_row_; ++w) {
+    count += static_cast<int32_t>(__builtin_popcountll(row[w]));
+  }
+  return count;
+}
+
 void ReflexiveTransitiveClosure(BoolMatrix* m) {
   int32_t n = m->size();
   for (int32_t i = 0; i < n; ++i) m->Set(i, i);
   for (int32_t k = 0; k < n; ++k) {
     for (int32_t i = 0; i < n; ++i) {
-      if (!m->Get(i, k)) continue;
-      for (int32_t j = 0; j < n; ++j) {
-        if (m->Get(k, j)) m->Set(i, j);
-      }
+      if (i != k && m->Get(i, k)) m->RowOr(i, k);
     }
   }
 }
 
 namespace {
 
+/// Calls `fn(j)` for every set column j of row i, in increasing order,
+/// until fn returns false. Iterates set bits word-by-word, skipping the
+/// zero words a sparse closure row mostly consists of.
+template <typename Fn>
+void ForEachInRow(const BoolMatrix& m, int32_t i, Fn fn) {
+  const uint64_t* row = m.RowWords(i);
+  for (size_t w = 0; w < m.words_per_row(); ++w) {
+    uint64_t word = row[w];
+    while (word != 0) {
+      int bit = __builtin_ctzll(word);
+      if (!fn(static_cast<int32_t>(w * 64 + static_cast<size_t>(bit)))) {
+        return;
+      }
+      word &= word - 1;
+    }
+  }
+}
+
 /// Representative (smallest id) of i's equivalence class under ⊑∩⊒.
 int32_t ClassRep(const BoolMatrix& closure, int32_t i) {
-  for (int32_t j = 0; j < closure.size(); ++j) {
-    if (closure.Get(i, j) && closure.Get(j, i)) return j;  // smallest such j
-  }
-  return i;
+  int32_t rep = i;
+  ForEachInRow(closure, i, [&](int32_t j) {
+    if (closure.Get(j, i)) {
+      rep = j;  // smallest such j: bits come in increasing order
+      return false;
+    }
+    return true;
+  });
+  return rep;
 }
 
 }  // namespace
 
 std::vector<std::pair<int32_t, int32_t>> HasseEdges(const BoolMatrix& closure) {
   int32_t n = closure.size();
+  std::vector<int32_t> rep(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) rep[static_cast<size_t>(i)] = ClassRep(closure, i);
   std::vector<std::pair<int32_t, int32_t>> edges;
   for (int32_t i = 0; i < n; ++i) {
-    if (ClassRep(closure, i) != i) continue;
+    if (rep[static_cast<size_t>(i)] != i) continue;
     for (int32_t j = 0; j < n; ++j) {
-      if (i == j || ClassRep(closure, j) != j) continue;
+      if (i == j || rep[static_cast<size_t>(j)] != j) continue;
       if (!closure.Get(i, j) || closure.Get(j, i)) continue;
       // Check there is no intermediate class strictly between i and j.
       bool covered = true;
       for (int32_t k = 0; k < n; ++k) {
-        if (k == i || k == j || ClassRep(closure, k) != k) continue;
+        if (k == i || k == j || rep[static_cast<size_t>(k)] != k) continue;
         bool i_below_k = closure.Get(i, k) && !closure.Get(k, i);
         bool k_below_j = closure.Get(k, j) && !closure.Get(j, k);
         if (i_below_k && k_below_j) {
@@ -57,9 +88,15 @@ std::vector<int32_t> MaximalElements(const BoolMatrix& closure) {
   std::vector<int32_t> out;
   for (int32_t i = 0; i < n; ++i) {
     bool maximal = true;
-    for (int32_t j = 0; j < n && maximal; ++j) {
-      if (i != j && closure.Get(i, j) && !closure.Get(j, i)) maximal = false;
-    }
+    // i is maximal iff every j above it (a set bit of row i) is also
+    // below it; only the set bits need visiting.
+    ForEachInRow(closure, i, [&](int32_t j) {
+      if (i != j && !closure.Get(j, i)) {
+        maximal = false;
+        return false;
+      }
+      return true;
+    });
     if (maximal) out.push_back(i);
   }
   return out;

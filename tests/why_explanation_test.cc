@@ -97,6 +97,40 @@ TEST_F(WhyExplanationTest, ProductFullyInsideAnswers) {
   EXPECT_EQ(all[0], wide);  // (A, BC) dominates (A, B)
 }
 
+TEST_F(WhyExplanationTest, DuplicateAnswersInHandBuiltInstance) {
+  // WhyInstance is a plain struct; a hand-built one may carry duplicate
+  // answers. The counting-based product check must dedup defensively:
+  // with answers [(a,b), (a,b)] and product {a}×{b,c}, the duplicate must
+  // not be counted twice (false positive), and with product {a}×{b} the
+  // double count must not be compared against product size 1 (false
+  // negative).
+  onto::ExplicitOntology o;
+  o.AddConcept("A");
+  o.SetExtension("A", {Value("a")});
+  o.AddConcept("B");
+  o.SetExtension("B", {Value("b")});
+  o.AddConcept("BC");
+  o.SetExtension("BC", {Value("b"), Value("c")});
+  ASSERT_OK(o.Finalize());
+  rel::Instance instance(&schema_);
+  onto::BoundOntology bound(&o, &instance);
+
+  explain::WhyInstance wi;
+  wi.instance = &instance;
+  wi.answers = {{Value("a"), Value("b")}, {Value("a"), Value("b")}};
+  wi.present = {Value("a"), Value("b")};
+
+  Explanation exact = {o.FindConcept("A"), o.FindConcept("B")};
+  ASSERT_OK_AND_ASSIGN(bool inside,
+                       explain::IsWhyExplanation(&bound, wi, exact));
+  EXPECT_TRUE(inside);  // product {(a,b)} ⊆ {(a,b)}
+
+  Explanation wide = {o.FindConcept("A"), o.FindConcept("BC")};
+  ASSERT_OK_AND_ASSIGN(bool too_wide,
+                       explain::IsWhyExplanation(&bound, wi, wide));
+  EXPECT_FALSE(too_wide);  // (a, c) is not an answer
+}
+
 TEST_F(WhyExplanationTest, TopNeverQualifies) {
   // ⊤-like concepts (is_all extensions) can never be inside a finite
   // answer set.

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Builds the Release tree and runs the perf-trajectory benchmarks
+# (bench_table1_subsumption, bench_why, bench_enumerate) with JSON output,
+# merging the results into BENCH_PR1.json at the repo root.
+#
+# Usage: tools/run_benchmarks.sh [build-dir] [min-time-seconds]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-rel}"
+MIN_TIME="${2:-0.2}"
+OUT="$REPO_ROOT/BENCH_PR1.json"
+BENCHES=(bench_table1_subsumption bench_why bench_enumerate)
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
+      -DWHYNOT_BUILD_TESTS=OFF -DWHYNOT_BUILD_EXAMPLES=OFF \
+      -DWHYNOT_BUILD_TOOLS=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+for bench in "${BENCHES[@]}"; do
+  echo "Running $bench ..." >&2
+  "$BUILD_DIR/$bench" --benchmark_format=json \
+      --benchmark_min_time="$MIN_TIME" > "$TMP_DIR/$bench.json"
+done
+
+python3 - "$OUT" "$TMP_DIR" "${BENCHES[@]}" <<'EOF'
+import json, sys
+
+out_path, tmp_dir, *benches = sys.argv[1:]
+merged = {"schema": "whynot-bench-v1", "benchmarks": {}}
+try:
+    merged = json.load(open(out_path))
+    merged.setdefault("benchmarks", {})
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+for bench in benches:
+    data = json.load(open(f"{tmp_dir}/{bench}.json"))
+    merged["benchmarks"][bench] = {
+        "context": data.get("context", {}),
+        "results": {
+            b["name"]: {"real_time": b["real_time"],
+                        "time_unit": b["time_unit"]}
+            for b in data.get("benchmarks", [])
+        },
+    }
+json.dump(merged, open(out_path, "w"), indent=1, sort_keys=True)
+print(f"wrote {out_path}")
+EOF
