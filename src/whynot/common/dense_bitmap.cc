@@ -1,0 +1,71 @@
+#include "whynot/common/dense_bitmap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace whynot {
+
+namespace {
+
+size_t WordsFor(int32_t universe) {
+  return (static_cast<size_t>(universe) + 63) / 64;
+}
+
+}  // namespace
+
+DenseBitmap::DenseBitmap(const std::vector<ValueId>& sorted_ids,
+                         int32_t universe) {
+  int32_t max_id = sorted_ids.empty() ? -1 : sorted_ids.back();
+  if (universe <= max_id) universe = max_id + 1;
+  words_.assign(WordsFor(universe), 0);
+  for (ValueId id : sorted_ids) {
+    assert(id >= 0);
+    words_[static_cast<size_t>(id) / 64] |= uint64_t{1}
+                                            << (static_cast<size_t>(id) % 64);
+  }
+}
+
+bool DenseBitmap::SubsetOf(const DenseBitmap& other) const {
+  size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t w = 0; w < common; ++w) {
+    if (words_[w] & ~other.words_[w]) return false;
+  }
+  for (size_t w = common; w < words_.size(); ++w) {
+    if (words_[w]) return false;
+  }
+  return true;
+}
+
+DenseBitmap DenseBitmap::Intersect(const DenseBitmap& a, const DenseBitmap& b) {
+  DenseBitmap out;
+  size_t common = std::min(a.words_.size(), b.words_.size());
+  out.words_.resize(common);
+  for (size_t w = 0; w < common; ++w) {
+    out.words_[w] = a.words_[w] & b.words_[w];
+  }
+  return out;
+}
+
+size_t DenseBitmap::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) {
+    count += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return count;
+}
+
+std::vector<ValueId> DenseBitmap::ToIds() const {
+  std::vector<ValueId> ids;
+  ids.reserve(Count());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = __builtin_ctzll(word);
+      ids.push_back(static_cast<ValueId>(w * 64 + static_cast<size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return ids;
+}
+
+}  // namespace whynot

@@ -1,5 +1,6 @@
 #include "whynot/common/value.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -71,12 +72,62 @@ ValueId ValuePool::Intern(const Value& v) {
   ValueId id = static_cast<ValueId>(values_.size());
   values_.push_back(v);
   index_.emplace(v, id);
+  order_dirty_ = true;
   return id;
 }
 
 ValueId ValuePool::Lookup(const Value& v) const {
   auto it = index_.find(v);
   return it == index_.end() ? -1 : it->second;
+}
+
+ValuePool ValuePool::Clone() const {
+  ValuePool out;
+  out.values_ = values_;
+  out.index_ = index_;
+  out.order_dirty_ = true;
+  return out;
+}
+
+void ValuePool::EnsureOrderIndex() const {
+  if (!order_dirty_ && sorted_ids_.size() == values_.size()) return;
+  sorted_ids_.resize(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    sorted_ids_[i] = static_cast<ValueId>(i);
+  }
+  std::sort(sorted_ids_.begin(), sorted_ids_.end(),
+            [this](ValueId a, ValueId b) {
+              return values_[static_cast<size_t>(a)] <
+                     values_[static_cast<size_t>(b)];
+            });
+  ranks_.resize(values_.size());
+  for (size_t r = 0; r < sorted_ids_.size(); ++r) {
+    ranks_[static_cast<size_t>(sorted_ids_[r])] = static_cast<int32_t>(r);
+  }
+  order_dirty_ = false;
+}
+
+const std::vector<ValueId>& ValuePool::SortedIds() const {
+  EnsureOrderIndex();
+  return sorted_ids_;
+}
+
+int32_t ValuePool::LowerBoundRank(const Value& v) const {
+  EnsureOrderIndex();
+  auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), v,
+                             [this](ValueId id, const Value& val) {
+                               return values_[static_cast<size_t>(id)] < val;
+                             });
+  return static_cast<int32_t>(it - sorted_ids_.begin());
+}
+
+int32_t ValuePool::UpperBoundRank(const Value& v) const {
+  EnsureOrderIndex();
+  auto it = std::upper_bound(sorted_ids_.begin(), sorted_ids_.end(), v,
+                             [this](const Value& val, ValueId id) {
+                               return val < values_[static_cast<size_t>(id)];
+                             });
+  return static_cast<int32_t>(it - sorted_ids_.begin());
 }
 
 std::string TupleToString(const Tuple& t) {

@@ -81,11 +81,25 @@ using ValueId = int32_t;
 
 /// Interns Values to dense ids. Owned by an Instance; ids are stable for
 /// the lifetime of the pool and assigned in insertion order.
+///
+/// Besides the hash index, the pool maintains an *order-preserving* index —
+/// the permutation of ids sorted by the Value total order, plus its inverse
+/// (the rank array) — rebuilt lazily after interning. It lets id-space code
+/// compare values (`Rank(a) < Rank(b)` iff `Get(a) < Get(b)`), resolve
+/// comparison predicates to rank ranges, and emit extensions sorted by the
+/// Value order without touching boxed Values. NOTE: the lazy mutable order
+/// index makes a pool single-threaded, const methods included.
 class ValuePool {
  public:
   ValuePool() = default;
   ValuePool(const ValuePool&) = delete;
   ValuePool& operator=(const ValuePool&) = delete;
+  ValuePool(ValuePool&&) = default;
+  ValuePool& operator=(ValuePool&&) = default;
+
+  /// Explicit deep copy (the copy constructor stays deleted so pools are
+  /// never duplicated by accident; an owning Instance clones on copy).
+  ValuePool Clone() const;
 
   /// Returns the id for `v`, interning it if new.
   ValueId Intern(const Value& v);
@@ -95,9 +109,31 @@ class ValuePool {
   const Value& Get(ValueId id) const { return values_[static_cast<size_t>(id)]; }
   int32_t size() const { return static_cast<int32_t>(values_.size()); }
 
+  /// All interned ids, ascending in the Value total order.
+  const std::vector<ValueId>& SortedIds() const;
+
+  /// Position of `id` in the Value total order over interned values:
+  /// Rank(a) < Rank(b) iff Get(a) < Get(b). O(1) after the lazy rebuild.
+  int32_t Rank(ValueId id) const {
+    EnsureOrderIndex();
+    return ranks_[static_cast<size_t>(id)];
+  }
+
+  /// Number of interned values strictly smaller than `v` (`v` need not be
+  /// interned). With UpperBoundRank this resolves any `x op c` comparison
+  /// to a half-open rank interval.
+  int32_t LowerBoundRank(const Value& v) const;
+  /// Number of interned values smaller than or equal to `v`.
+  int32_t UpperBoundRank(const Value& v) const;
+
  private:
+  void EnsureOrderIndex() const;
+
   std::vector<Value> values_;
   std::unordered_map<Value, ValueId, ValueHash> index_;
+  mutable std::vector<ValueId> sorted_ids_;  // ids by ascending Value
+  mutable std::vector<int32_t> ranks_;       // inverse of sorted_ids_
+  mutable bool order_dirty_ = false;
 };
 
 /// A tuple of constants (a row of a relation, or a why-not tuple).

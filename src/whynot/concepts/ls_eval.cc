@@ -4,8 +4,27 @@
 #include <limits>
 
 #include "whynot/common/strings.h"
+#include "whynot/relational/interval.h"
 
 namespace whynot::ls {
+
+namespace {
+
+/// Renders distinct instance-pool ids as an Extension: sorted by the Value
+/// total order via the pool's rank index (ids are unique per value, so no
+/// further dedup is needed once the ids are distinct).
+Extension ExtensionFromDistinctIds(const ValuePool& pool,
+                                   std::vector<ValueId> ids) {
+  std::sort(ids.begin(), ids.end(), [&pool](ValueId a, ValueId b) {
+    return pool.Rank(a) < pool.Rank(b);
+  });
+  Extension out;
+  out.values.reserve(ids.size());
+  for (ValueId id : ids) out.values.push_back(pool.Get(id));
+  return out;
+}
+
+}  // namespace
 
 Extension Extension::Of(std::vector<Value> vals) {
   std::sort(vals.begin(), vals.end());
@@ -53,19 +72,66 @@ Extension Eval(const Conjunct& conjunct, const rel::Instance& instance) {
     case Conjunct::Kind::kNominal:
       return Extension::Of({conjunct.nominal});
     case Conjunct::Kind::kProjection: {
-      std::vector<Value> out;
-      for (const Tuple& t : instance.Relation(conjunct.relation)) {
-        bool pass = true;
-        for (const Selection& s : conjunct.selections) {
-          if (!rel::EvalCmp(t[static_cast<size_t>(s.attr)], s.op,
-                            s.constant)) {
-            pass = false;
-            break;
-          }
+      const rel::StoredRelation* rel = instance.Find(conjunct.relation);
+      if (rel == nullptr || rel->empty()) return Extension();
+      const ValuePool& pool = instance.pool();
+      size_t attr = static_cast<size_t>(conjunct.attr);
+
+      // Selection-free projection: exactly the distinct column, which the
+      // columnar store already keeps as the index keys (for relations big
+      // enough to index; small ones dedup a direct column copy).
+      if (conjunct.selections.empty()) {
+        if (rel->num_rows() >= rel::StoredRelation::kIndexMinRows) {
+          return ExtensionFromDistinctIds(pool, rel->Index(attr).keys);
         }
-        if (pass) out.push_back(t[static_cast<size_t>(conjunct.attr)]);
+        std::vector<ValueId> ids = rel->Column(attr);
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        return ExtensionFromDistinctIds(pool, std::move(ids));
       }
-      return Extension::Of(std::move(out));
+
+      // Pre-resolve every selection to a rank range (values only pass if
+      // interned); pick an equality selection's posting list as the driver
+      // when one exists, otherwise scan the columns.
+      std::vector<rel::RankRange> ranges;
+      ranges.reserve(conjunct.selections.size());
+      const Selection* eq_driver = nullptr;
+      for (const Selection& s : conjunct.selections) {
+        rel::RankRange r = rel::ResolveCmpRange(pool, s.op, s.constant);
+        if (r.empty()) return Extension();
+        ranges.push_back(r);
+        if (eq_driver == nullptr && s.op == rel::CmpOp::kEq) eq_driver = &s;
+      }
+
+      auto row_passes = [&](size_t row) {
+        for (size_t i = 0; i < ranges.size(); ++i) {
+          const Selection& s = conjunct.selections[i];
+          ValueId id = rel->At(row, static_cast<size_t>(s.attr));
+          if (!ranges[i].Contains(pool.Rank(id))) return false;
+        }
+        return true;
+      };
+
+      if (rel->num_rows() < rel::StoredRelation::kIndexMinRows) {
+        eq_driver = nullptr;  // scanning a tiny relation beats indexing it
+      }
+      std::vector<ValueId> out;
+      if (eq_driver != nullptr) {
+        ValueId id = pool.Lookup(eq_driver->constant);
+        if (id < 0) return Extension();
+        auto [begin, end] =
+            rel->RowsEqual(static_cast<size_t>(eq_driver->attr), id);
+        for (const uint32_t* r = begin; r != end; ++r) {
+          if (row_passes(*r)) out.push_back(rel->At(*r, attr));
+        }
+      } else {
+        for (size_t row = 0; row < rel->num_rows(); ++row) {
+          if (row_passes(row)) out.push_back(rel->At(row, attr));
+        }
+      }
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return ExtensionFromDistinctIds(pool, std::move(out));
     }
   }
   return Extension::All();
@@ -80,7 +146,24 @@ Extension Eval(const LsConcept& concept_expr, const rel::Instance& instance) {
   return ext;
 }
 
+const Extension& EvalCache::Projection(const std::string& relation, int attr) {
+  auto key = std::make_pair(relation, attr);
+  auto it = projection_exts_.find(key);
+  if (it == projection_exts_.end()) {
+    it = projection_exts_
+             .emplace(std::move(key),
+                      ls::Eval(Conjunct::Projection(relation, attr),
+                               *instance_))
+             .first;
+  }
+  return it->second;
+}
+
 const Extension& EvalCache::EvalConjunct(const Conjunct& conjunct) {
+  if (conjunct.kind == Conjunct::Kind::kProjection &&
+      conjunct.selections.empty()) {
+    return Projection(conjunct.relation, conjunct.attr);
+  }
   auto it = conjunct_exts_.find(conjunct);
   if (it == conjunct_exts_.end()) {
     it = conjunct_exts_.emplace(conjunct, ls::Eval(conjunct, *instance_))
@@ -89,13 +172,15 @@ const Extension& EvalCache::EvalConjunct(const Conjunct& conjunct) {
   return it->second;
 }
 
-Extension EvalCache::Eval(const LsConcept& concept_expr) {
+const Extension& EvalCache::Eval(const LsConcept& concept_expr) {
+  auto it = concept_exts_.find(concept_expr);
+  if (it != concept_exts_.end()) return it->second;
   Extension ext = Extension::All();
   for (const Conjunct& c : concept_expr.conjuncts()) {
     ext = ext.Intersect(EvalConjunct(c));
     if (ext.empty()) break;
   }
-  return ext;
+  return concept_exts_.emplace(concept_expr, std::move(ext)).first->second;
 }
 
 bool SubsumedI(const LsConcept& c1, const LsConcept& c2,

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "whynot/common/value.h"
@@ -42,28 +43,40 @@ Extension Eval(const LsConcept& concept_expr, const rel::Instance& instance);
 /// ⟦D⟧ᴵ of a single conjunct.
 Extension Eval(const Conjunct& conjunct, const rel::Instance& instance);
 
-/// Memoizes per-conjunct extensions of one (fixed) instance. Concepts are
-/// intersections of conjuncts, and the greedy searches (Algorithm 2 and
-/// the MGE checks) re-evaluate candidates whose conjuncts — projections of
-/// the same few (relation, attr) pairs plus nominals — repeat constantly;
-/// caching at the conjunct level turns each re-evaluation from a full
-/// relation scan into an intersection of cached sorted vectors. The
-/// instance must not change while the cache is alive.
+/// Memoizes extensions of one (fixed) instance at three granularities.
+/// Concepts are intersections of conjuncts, and the greedy searches
+/// (Algorithm 2 and the MGE checks) re-evaluate candidates whose
+/// conjuncts — projections of the same few (relation, attr) pairs plus
+/// nominals — repeat constantly:
+///
+///  * per (relation, attr): the selection-free projection π_A(R), shared
+///    by every conjunct over that column (it is the instance's cached
+///    distinct column re-expressed as an Extension);
+///  * per conjunct: selections and nominals, keyed structurally;
+///  * per concept: whole intersections, so IncrementalSearch's inner loop
+///    (one probe per active-domain constant) does not even re-intersect.
+///
+/// The instance must not change while the cache is alive.
 class EvalCache {
  public:
   explicit EvalCache(const rel::Instance* instance) : instance_(instance) {}
 
   const rel::Instance& instance() const { return *instance_; }
 
-  /// ⟦C⟧ᴵ via cached conjunct extensions.
-  Extension Eval(const LsConcept& concept_expr);
+  /// ⟦C⟧ᴵ via cached conjunct extensions, memoized per concept.
+  const Extension& Eval(const LsConcept& concept_expr);
 
   /// ⟦D⟧ᴵ, computed once per distinct conjunct.
   const Extension& EvalConjunct(const Conjunct& conjunct);
 
+  /// ⟦π_attr(relation)⟧ᴵ, computed once per (relation, attr) pair.
+  const Extension& Projection(const std::string& relation, int attr);
+
  private:
   const rel::Instance* instance_;
+  std::map<std::pair<std::string, int>, Extension> projection_exts_;
   std::map<Conjunct, Extension> conjunct_exts_;
+  std::map<LsConcept, Extension> concept_exts_;
 };
 
 /// C1 ⊑_I C2 : ⟦C1⟧ᴵ ⊆ ⟦C2⟧ᴵ (Proposition 4.1, PTIME).

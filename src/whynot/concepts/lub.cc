@@ -26,21 +26,32 @@ size_t LubContext::RelIndex(const std::string& relation) const {
   return it == rel_index_.end() ? SIZE_MAX : it->second;
 }
 
+void LubContext::BuildColumns(size_t rel_idx) const {
+  const rel::RelationDef& def = instance_->schema().relations()[rel_idx];
+  const rel::StoredRelation* rel = instance_->Find(def.name());
+  const ValuePool& pool = instance_->pool();
+  std::vector<std::vector<Value>>& cols = columns_[rel_idx];
+  cols.resize(def.arity());
+  for (size_t a = 0; a < def.arity(); ++a) {
+    cols[a].clear();
+    if (rel == nullptr || rel->empty()) continue;
+    // The columnar store already keeps the distinct column; re-order it
+    // by the pool's rank index instead of rescanning and re-sorting
+    // boxed Values.
+    std::vector<ValueId> ids = rel->Index(a).keys;
+    std::sort(ids.begin(), ids.end(), [&pool](ValueId x, ValueId y) {
+      return pool.Rank(x) < pool.Rank(y);
+    });
+    cols[a].reserve(ids.size());
+    for (ValueId id : ids) cols[a].push_back(pool.Get(id));
+  }
+  columns_built_[rel_idx] = true;
+}
+
 const std::vector<std::vector<Value>>& LubContext::ColumnsFor(
     size_t rel_idx) const {
-  if (!columns_built_[rel_idx]) {
-    const rel::RelationDef& def = instance_->schema().relations()[rel_idx];
-    const std::vector<Tuple>& tuples = instance_->Relation(def.name());
-    std::vector<std::vector<Value>>& cols = columns_[rel_idx];
-    cols.resize(def.arity());
-    for (size_t a = 0; a < def.arity(); ++a) {
-      cols[a].clear();
-      cols[a].reserve(tuples.size());
-      for (const Tuple& t : tuples) cols[a].push_back(t[a]);
-      SortUnique(&cols[a]);
-    }
-    columns_built_[rel_idx] = true;
-  }
+  // Kept small so the built-already fast path inlines into the lub loops.
+  if (!columns_built_[rel_idx]) BuildColumns(rel_idx);
   return columns_[rel_idx];
 }
 
@@ -70,21 +81,31 @@ LsConcept LubContext::LubSelectionFree(const std::vector<Value>& x) const {
 Status LubContext::BuildBoxes(size_t rel_idx, RelationBoxes* out) const {
   const rel::RelationDef& def = instance_->schema().relations()[rel_idx];
   const std::string& relation = def.name();
-  const std::vector<Tuple>& tuples = instance_->Relation(relation);
+  const rel::StoredRelation* rel = instance_->Find(relation);
+  const ValuePool& pool = instance_->pool();
   size_t m = def.arity();
-  size_t n = tuples.size();
+  size_t n = rel == nullptr ? 0 : rel->num_rows();
   if (n == 0) return Status::OK();
 
   // Sorted distinct values per attribute, and each tuple's value index.
+  // In id space the per-tuple position is one rank comparison sort of the
+  // distinct ids plus O(1) array probes — no boxed binary searches.
   const std::vector<std::vector<Value>>& distinct = ColumnsFor(rel_idx);
   std::vector<std::vector<int>> tuple_value_index(m,
                                                   std::vector<int>(n, 0));
   for (size_t j = 0; j < m; ++j) {
+    std::vector<ValueId> ordered = rel->Index(j).keys;
+    std::sort(ordered.begin(), ordered.end(),
+              [&pool](ValueId x, ValueId y) {
+                return pool.Rank(x) < pool.Rank(y);
+              });
+    std::unordered_map<ValueId, int> pos;
+    pos.reserve(ordered.size());
+    for (size_t k = 0; k < ordered.size(); ++k) {
+      pos.emplace(ordered[k], static_cast<int>(k));
+    }
     for (size_t i = 0; i < n; ++i) {
-      tuple_value_index[j][i] = static_cast<int>(
-          std::lower_bound(distinct[j].begin(), distinct[j].end(),
-                           tuples[i][j]) -
-          distinct[j].begin());
+      tuple_value_index[j][i] = pos.at(rel->At(i, j));
     }
   }
 
@@ -204,7 +225,8 @@ Result<LsConcept> LubContext::LubWithSelections(const std::vector<Value>& x) {
     const rel::RelationDef& def = relations[r];
     RelationBoxes& rb = BoxesFor(r);
     if (!rb.build_status.ok()) return rb.build_status;
-    const std::vector<Tuple>& tuples = instance_->Relation(def.name());
+    const rel::StoredRelation* rel = instance_->Find(def.name());
+    const ValuePool& pool = instance_->pool();
     for (size_t a = 0; a < def.arity(); ++a) {
       int attr = static_cast<int>(a);
       // Valid boxes: A-projection contains X.
@@ -213,7 +235,9 @@ Result<LsConcept> LubContext::LubWithSelections(const std::vector<Value>& x) {
         std::vector<Value>& proj = box.projections[a];
         if (proj.empty()) {
           proj.reserve(box.tuple_indices.size());
-          for (uint32_t idx : box.tuple_indices) proj.push_back(tuples[idx][a]);
+          for (uint32_t idx : box.tuple_indices) {
+            proj.push_back(pool.Get(rel->At(idx, a)));
+          }
           SortUnique(&proj);
         }
         if (std::includes(proj.begin(), proj.end(), sorted_x.begin(),

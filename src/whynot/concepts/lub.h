@@ -94,6 +94,8 @@ class LubContext {
   /// mutable caches make a LubContext single-threaded, const methods
   /// included; give each thread its own context.
   const std::vector<std::vector<Value>>& ColumnsFor(size_t rel_idx) const;
+  /// Cold path of ColumnsFor: materializes the columns from the store.
+  void BuildColumns(size_t rel_idx) const;
 
   const rel::Instance* instance_;
   LubOptions options_;

@@ -303,50 +303,84 @@ std::set<std::string> SensitiveVars(const ConceptQuery& q1,
   return sensitive;
 }
 
+/// One rhs disjunct pre-lowered to a Boolean query, built once per
+/// containment check instead of once per canonical-instance combination.
+/// When the disjunct's output variable is free, covering `out_val` is the
+/// Boolean match of the body with the extra comparison `x0 = out_val`
+/// (appended per probe) — an early-exit HasMatch instead of enumerating
+/// and searching the full answer set.
+struct RhsQuery {
+  const ConceptQuery* q2;
+  rel::ConjunctiveQuery boolean;  // empty head; body atoms + comparisons
+  bool uses_out = false;
+};
+
+std::vector<RhsQuery> CompileRhs(const std::vector<ConceptQuery>& q2s) {
+  std::vector<RhsQuery> out;
+  out.reserve(q2s.size());
+  for (const ConceptQuery& q2 : q2s) {
+    RhsQuery rq;
+    rq.q2 = &q2;
+    rq.boolean.atoms = q2.atoms;
+    rq.boolean.comparisons = q2.comparisons;
+    for (const rel::Atom& atom : q2.atoms) {
+      for (const rel::Term& t : atom.args) {
+        if (t.is_var() && t.var() == kOutVar) rq.uses_out = true;
+      }
+    }
+    out.push_back(std::move(rq));
+  }
+  return out;
+}
+
 /// Checks whether the instantiated canonical instance satisfies some rhs
 /// disjunct with output value `out_val`.
-Result<bool> RhsCovers(const std::vector<ConceptQuery>& q2s,
+Result<bool> RhsCovers(std::vector<RhsQuery>* q2s,
                        const rel::Instance& canonical, const Value& out_val) {
-  for (const ConceptQuery& q2 : q2s) {
+  for (RhsQuery& rq : *q2s) {
+    const ConceptQuery& q2 = *rq.q2;
     if (q2.unsat) continue;
     if (q2.IsTop()) return true;
     if (q2.out_const.has_value() && !(*q2.out_const == out_val)) continue;
     if (q2.atoms.empty()) return true;  // nominal-only and equal
-    rel::ConjunctiveQuery cq;
-    cq.atoms = q2.atoms;
-    cq.comparisons = q2.comparisons;
-    bool uses_out = false;
-    for (const rel::Atom& atom : cq.atoms) {
-      for (const rel::Term& t : atom.args) {
-        if (t.is_var() && t.var() == kOutVar) uses_out = true;
-      }
-    }
-    if (uses_out && !q2.out_const.has_value()) {
-      cq.head.push_back(kOutVar);
-      WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
-                              rel::Evaluate(cq, canonical));
-      if (std::binary_search(answers.begin(), answers.end(),
-                             Tuple{out_val})) {
-        return true;
-      }
+    if (rq.uses_out && !q2.out_const.has_value()) {
+      rq.boolean.comparisons.push_back({kOutVar, rel::CmpOp::kEq, out_val});
+      Result<bool> match = rel::HasMatch(rq.boolean, canonical);
+      rq.boolean.comparisons.pop_back();
+      WHYNOT_RETURN_IF_ERROR(match.status());
+      if (match.value()) return true;
     } else {
       // Output pinned by constant (already substituted) or absent: a
       // Boolean match suffices.
-      if (!cq.atoms.empty()) {
-        rel::ConjunctiveQuery boolean = cq;
-        boolean.head.clear();
-        WHYNOT_ASSIGN_OR_RETURN(bool match, rel::HasMatch(boolean, canonical));
-        if (match) return true;
-      }
+      WHYNOT_ASSIGN_OR_RETURN(bool match,
+                              rel::HasMatch(rq.boolean, canonical));
+      if (match) return true;
     }
   }
   return false;
 }
 
+/// A canonical instance reused across region combinations and lhs
+/// disjuncts: clearing and refilling a few relations is far cheaper than
+/// re-constructing the columnar store (pool, fact index) for every one of
+/// the exponentially many instantiations the Table 1 view rows enumerate.
+struct CanonicalScratch {
+  explicit CanonicalScratch(const rel::Schema* schema) : instance(schema) {}
+
+  void Reset() {
+    for (const std::string& name : filled) instance.ClearRelation(name);
+    filled.clear();
+  }
+
+  rel::Instance instance;
+  std::vector<std::string> filled;
+};
+
 Result<bool> ContainedInUnion(const ConceptQuery& q1,
                               const std::vector<ConceptQuery>& q2s,
                               const rel::Schema& schema,
-                              const SchemaSubsumptionOptions& options) {
+                              const SchemaSubsumptionOptions& options,
+                              CanonicalScratch* scratch) {
   if (q1.unsat) return true;
   if (q1.IsTop()) {
     for (const ConceptQuery& q2 : q2s) {
@@ -448,8 +482,10 @@ Result<bool> ContainedInUnion(const ConceptQuery& q1,
   Status inner_status = Status::OK();
   bool contained = true;
 
+  std::vector<RhsQuery> rhs_queries = CompileRhs(q2s);
   auto instantiate_and_check = [&]() -> Result<bool> {
-    rel::Instance canonical(&schema);
+    scratch->Reset();
+    rel::Instance& canonical = scratch->instance;
     for (const rel::Atom& atom : q1.atoms) {
       Tuple t;
       t.reserve(atom.args.size());
@@ -457,11 +493,12 @@ Result<bool> ContainedInUnion(const ConceptQuery& q1,
         t.push_back(term.is_var() ? assignment.at(term.var())
                                   : term.constant());
       }
+      scratch->filled.push_back(atom.relation);
       WHYNOT_RETURN_IF_ERROR(canonical.AddFact(atom.relation, std::move(t)));
     }
     Value out_val = q1.out_const.has_value() ? *q1.out_const
                                              : assignment.at(kOutVar);
-    return RhsCovers(q2s, canonical, out_val);
+    return RhsCovers(&rhs_queries, canonical, out_val);
   };
 
   auto recurse = [&](auto&& self, size_t vi) -> void {
@@ -496,8 +533,10 @@ Result<bool> UnionContained(const std::vector<ConceptQuery>& q1s,
                             const std::vector<ConceptQuery>& q2s,
                             const rel::Schema& schema,
                             const SchemaSubsumptionOptions& options) {
+  CanonicalScratch scratch(&schema);
   for (const ConceptQuery& q1 : q1s) {
-    WHYNOT_ASSIGN_OR_RETURN(bool ok, ContainedInUnion(q1, q2s, schema, options));
+    WHYNOT_ASSIGN_OR_RETURN(
+        bool ok, ContainedInUnion(q1, q2s, schema, options, &scratch));
     if (!ok) return false;
   }
   return true;

@@ -35,7 +35,7 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              ls::LubContext* lub_context) {
   ls::EvalCache cache(wni.instance);
   if (!IsLsExplanation(wni, candidate, &cache)) return false;
-  std::vector<Value> adom = wni.instance->ActiveDomain();
+  const std::vector<Value>& adom = wni.instance->ActiveDomain();
   LsExplanation probe = candidate;
   for (size_t j = 0; j < candidate.size(); ++j) {
     ls::Extension ext = cache.Eval(candidate[j]);

@@ -259,7 +259,7 @@ class Enumerator {
   const EnumerateOptions& options_;
   ls::LubContext* lub_;
   EnumerateStats* stats_;
-  std::vector<Value> adom_;
+  const std::vector<Value>& adom_;
   std::map<std::vector<Value>, std::pair<ls::LsConcept, ls::Extension>>
       lub_cache_;
 };

@@ -38,7 +38,7 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
   // Lines 4-11: for every position and every uncovered active-domain
   // constant, try the lub-generalized tuple; keep it if it remains an
   // explanation.
-  std::vector<Value> adom = wni.instance->ActiveDomain();
+  const std::vector<Value>& adom = wni.instance->ActiveDomain();
   for (size_t j = 0; j < m; ++j) {
     for (const Value& b : adom) {
       ls::Extension ext = cache.Eval(e[j]);

@@ -242,7 +242,7 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
         "nominals is {a} which must be inside Ans");
   }
 
-  std::vector<Value> adom = wi.instance->ActiveDomain();
+  const std::vector<Value>& adom = wi.instance->ActiveDomain();
   for (size_t j = 0; j < m; ++j) {
     for (const Value& b : adom) {
       if (exts[j].Contains(b)) continue;
@@ -275,7 +275,7 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
   for (const ls::LsConcept& c : candidate) {
     exts.push_back(cache.Eval(c));
   }
-  std::vector<Value> adom = wi.instance->ActiveDomain();
+  const std::vector<Value>& adom = wi.instance->ActiveDomain();
   for (size_t j = 0; j < candidate.size(); ++j) {
     for (const Value& b : adom) {
       if (exts[j].Contains(b)) continue;

@@ -5,48 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "whynot/common/dense_bitmap.h"
 #include "whynot/common/value.h"
 
 namespace whynot::onto {
 
-/// A dense bitmap over ValueIds, packed into 64-bit words. The word-parallel
-/// kernel behind ExtSet: Contains is one shift+mask, SubsetOf and Intersect
-/// process 64 ids per instruction. Words past the stored prefix are
-/// implicitly zero, so bitmaps sized for different universes compose.
-class DenseBitmap {
- public:
-  DenseBitmap() = default;
-
-  /// Bitmap of `sorted_ids` (all non-negative), sized to at least
-  /// `universe` bits (0 = size from the largest id).
-  explicit DenseBitmap(const std::vector<ValueId>& sorted_ids,
-                       int32_t universe = 0);
-
-  bool empty() const { return words_.empty(); }
-  size_t num_words() const { return words_.size(); }
-  const std::vector<uint64_t>& words() const { return words_; }
-
-  bool Test(ValueId id) const {
-    size_t w = static_cast<size_t>(id) / 64;
-    if (w >= words_.size()) return false;
-    return (words_[w] >> (static_cast<size_t>(id) % 64)) & 1u;
-  }
-
-  /// Word-parallel containment: every bit of *this is set in `other`.
-  bool SubsetOf(const DenseBitmap& other) const;
-
-  /// Word-parallel intersection.
-  static DenseBitmap Intersect(const DenseBitmap& a, const DenseBitmap& b);
-
-  /// Number of set bits (popcount over words).
-  size_t Count() const;
-
-  /// The set bits as a sorted id vector.
-  std::vector<ValueId> ToIds() const;
-
- private:
-  std::vector<uint64_t> words_;
-};
+/// The word-parallel bitmap kernel now lives in common/ (the relational
+/// column indexes share it); the alias keeps onto::DenseBitmap spelling.
+using whynot::DenseBitmap;
 
 /// The extension of a concept with respect to an instance: either a finite
 /// set of interned constants, or symbolically *all* of Const (the extension

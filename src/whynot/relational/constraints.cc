@@ -1,7 +1,8 @@
 #include "whynot/relational/constraints.h"
 
-#include <map>
-#include <set>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "whynot/common/strings.h"
 #include "whynot/relational/instance.h"
@@ -40,12 +41,29 @@ std::vector<std::string> AttrNames(const Schema& schema,
   return names;
 }
 
-Tuple Project(const Tuple& t, const std::vector<int>& attrs) {
-  Tuple out;
+/// Id-space row projection over the columnar store. Value interning is
+/// injective, so id equality is exactly Value equality and the FD/ID checks
+/// never need to touch boxed Values except to render a violation.
+std::vector<ValueId> ProjectIds(const StoredRelation& rel, size_t row,
+                                const std::vector<int>& attrs) {
+  std::vector<ValueId> out;
   out.reserve(attrs.size());
-  for (int a : attrs) out.push_back(t[static_cast<size_t>(a)]);
+  for (int a : attrs) out.push_back(rel.At(row, static_cast<size_t>(a)));
   return out;
 }
+
+Tuple IdsToTuple(const ValuePool& pool, const std::vector<ValueId>& ids) {
+  Tuple out;
+  out.reserve(ids.size());
+  for (ValueId id : ids) out.push_back(pool.Get(id));
+  return out;
+}
+
+struct IdVecHash {
+  size_t operator()(const std::vector<ValueId>& ids) const {
+    return static_cast<size_t>(StoredRelation::HashIds(ids));
+  }
+};
 
 }  // namespace
 
@@ -80,15 +98,20 @@ std::string InclusionDependency::ToString(const Schema& schema) const {
 
 bool SatisfiesFd(const Instance& instance, const FunctionalDependency& fd,
                  std::string* violation) {
-  std::map<Tuple, Tuple> seen;  // lhs projection -> rhs projection
-  for (const Tuple& t : instance.Relation(fd.relation)) {
-    Tuple key = Project(t, fd.lhs);
-    Tuple val = Project(t, fd.rhs);
+  const StoredRelation* rel = instance.Find(fd.relation);
+  if (rel == nullptr || rel->empty()) return true;
+  // lhs id projection -> rhs id projection
+  std::unordered_map<std::vector<ValueId>, std::vector<ValueId>, IdVecHash>
+      seen;
+  seen.reserve(rel->num_rows());
+  for (size_t row = 0; row < rel->num_rows(); ++row) {
+    std::vector<ValueId> key = ProjectIds(*rel, row, fd.lhs);
+    std::vector<ValueId> val = ProjectIds(*rel, row, fd.rhs);
     auto [it, inserted] = seen.emplace(std::move(key), val);
     if (!inserted && it->second != val) {
       if (violation != nullptr) {
         *violation = fd.ToString(instance.schema()) + " on tuples with key " +
-                     TupleToString(it->first);
+                     TupleToString(IdsToTuple(instance.pool(), it->first));
       }
       return false;
     }
@@ -98,16 +121,45 @@ bool SatisfiesFd(const Instance& instance, const FunctionalDependency& fd,
 
 bool SatisfiesId(const Instance& instance, const InclusionDependency& id,
                  std::string* violation) {
-  std::set<Tuple> rhs;
-  for (const Tuple& t : instance.Relation(id.rhs_relation)) {
-    rhs.insert(Project(t, id.rhs_attrs));
+  const StoredRelation* lhs = instance.Find(id.lhs_relation);
+  if (lhs == nullptr || lhs->empty()) return true;
+  const StoredRelation* rhs = instance.Find(id.rhs_relation);
+
+  // Unary IDs over index-worthy relations reduce to word-parallel
+  // containment of the distinct-value bitmaps of the two columns.
+  if (id.lhs_attrs.size() == 1 && rhs != nullptr && !rhs->empty() &&
+      lhs->num_rows() >= StoredRelation::kIndexMinRows &&
+      rhs->num_rows() >= StoredRelation::kIndexMinRows) {
+    const StoredRelation::ColumnIndex& lix =
+        lhs->Index(static_cast<size_t>(id.lhs_attrs[0]));
+    const StoredRelation::ColumnIndex& rix =
+        rhs->Index(static_cast<size_t>(id.rhs_attrs[0]));
+    if (lix.distinct.SubsetOf(rix.distinct)) return true;
+    if (violation != nullptr) {
+      for (ValueId key : lix.keys) {
+        if (!rix.distinct.Test(key)) {
+          *violation = id.ToString(instance.schema()) + " misses " +
+                       TupleToString({instance.pool().Get(key)});
+          break;
+        }
+      }
+    }
+    return false;
   }
-  for (const Tuple& t : instance.Relation(id.lhs_relation)) {
-    Tuple key = Project(t, id.lhs_attrs);
-    if (rhs.count(key) == 0) {
+
+  std::unordered_set<std::vector<ValueId>, IdVecHash> rhs_keys;
+  if (rhs != nullptr) {
+    rhs_keys.reserve(rhs->num_rows());
+    for (size_t row = 0; row < rhs->num_rows(); ++row) {
+      rhs_keys.insert(ProjectIds(*rhs, row, id.rhs_attrs));
+    }
+  }
+  for (size_t row = 0; row < lhs->num_rows(); ++row) {
+    std::vector<ValueId> key = ProjectIds(*lhs, row, id.lhs_attrs);
+    if (rhs_keys.count(key) == 0) {
       if (violation != nullptr) {
         *violation = id.ToString(instance.schema()) + " misses " +
-                     TupleToString(key);
+                     TupleToString(IdsToTuple(instance.pool(), key));
       }
       return false;
     }

@@ -14,16 +14,32 @@ namespace whynot::rel {
 /// Answers are returned sorted and deduplicated. Comparisons are evaluated
 /// under the Value total order.
 ///
-/// The evaluator is a backtracking join: atoms are reordered greedily so
-/// that atoms sharing variables with already-bound atoms come first, and
-/// per-variable comparison filters are applied as soon as the variable is
-/// bound.
+/// The evaluator is an *id-space* backtracking join over the instance's
+/// interned columns: atoms are reordered greedily so that atoms sharing
+/// variables with already-bound atoms come first; constants and comparison
+/// predicates are pre-resolved to ValueIds / rank ranges of the instance
+/// pool; bound positions probe per-column sorted posting lists instead of
+/// scanning; and candidate bindings are pruned early through the
+/// DenseBitmap distinct-value filters of every column the variable occurs
+/// in (word-parallel semi-join reduction). No boxed Value is touched until
+/// answers are rendered.
 Result<std::vector<Tuple>> Evaluate(const ConjunctiveQuery& query,
                                     const Instance& instance);
 
 /// Evaluates a union of conjunctive queries (set semantics, sorted).
 Result<std::vector<Tuple>> Evaluate(const UnionQuery& query,
                                     const Instance& instance);
+
+/// Id-space evaluation: answers as rows of instance-pool ValueIds, sorted
+/// lexicographically in the Value total order (same order as Evaluate) and
+/// deduplicated. The zero-boxing path used by MaterializeViews and other
+/// id-space consumers.
+Result<std::vector<std::vector<ValueId>>> EvaluateIds(
+    const ConjunctiveQuery& query, const Instance& instance);
+
+/// Id-space evaluation of a union of conjunctive queries.
+Result<std::vector<std::vector<ValueId>>> EvaluateIds(const UnionQuery& query,
+                                                      const Instance& instance);
 
 /// True iff the Boolean query (head ignored) has at least one satisfying
 /// assignment.

@@ -1,11 +1,137 @@
 #include "whynot/relational/instance.h"
 
 #include <algorithm>
-#include <set>
 
 namespace whynot::rel {
 
+// --- StoredRelation --------------------------------------------------------
+
+uint64_t StoredRelation::HashIds(const std::vector<ValueId>& row) {
+  uint64_t h = 1469598103934665603ull;
+  for (ValueId id : row) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool StoredRelation::RowEquals(uint32_t row,
+                               const std::vector<ValueId>& ids) const {
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    if (columns_[a][row] != ids[a]) return false;
+  }
+  return true;
+}
+
+bool StoredRelation::InsertRow(const std::vector<ValueId>& row) {
+  std::vector<uint32_t>& bucket = row_hash_[HashIds(row)];
+  for (uint32_t r : bucket) {
+    if (RowEquals(r, row)) return false;
+  }
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    columns_[a].push_back(row[a]);
+  }
+  bucket.push_back(static_cast<uint32_t>(num_rows_++));
+  InvalidateIndexes();
+  return true;
+}
+
+bool StoredRelation::ContainsRow(const std::vector<ValueId>& row) const {
+  auto it = row_hash_.find(HashIds(row));
+  if (it == row_hash_.end()) return false;
+  for (uint32_t r : it->second) {
+    if (RowEquals(r, row)) return true;
+  }
+  return false;
+}
+
+void StoredRelation::Clear() {
+  num_rows_ = 0;
+  for (std::vector<ValueId>& col : columns_) col.clear();
+  row_hash_.clear();
+  tuple_view_.clear();
+  InvalidateIndexes();
+}
+
+void StoredRelation::InvalidateIndexes() const {
+  std::fill(index_built_.begin(), index_built_.end(), false);
+}
+
+const StoredRelation::ColumnIndex& StoredRelation::Index(size_t attr) const {
+  ColumnIndex& ix = indexes_[attr];
+  if (!index_built_[attr]) {
+    const std::vector<ValueId>& col = columns_[attr];
+    std::vector<std::pair<ValueId, uint32_t>> pairs;
+    pairs.reserve(col.size());
+    for (size_t r = 0; r < col.size(); ++r) {
+      pairs.emplace_back(col[r], static_cast<uint32_t>(r));
+    }
+    std::sort(pairs.begin(), pairs.end());
+    ix.keys.clear();
+    ix.offsets.clear();
+    ix.rows.clear();
+    ix.rows.reserve(pairs.size());
+    for (const auto& [id, row] : pairs) {
+      if (ix.keys.empty() || ix.keys.back() != id) {
+        ix.keys.push_back(id);
+        ix.offsets.push_back(static_cast<uint32_t>(ix.rows.size()));
+      }
+      ix.rows.push_back(row);
+    }
+    ix.offsets.push_back(static_cast<uint32_t>(ix.rows.size()));
+    ix.distinct = DenseBitmap(ix.keys);
+    index_built_[attr] = true;
+  }
+  return ix;
+}
+
+std::pair<const uint32_t*, const uint32_t*> StoredRelation::RowsEqual(
+    size_t attr, ValueId id) const {
+  const ColumnIndex& ix = Index(attr);
+  auto it = std::lower_bound(ix.keys.begin(), ix.keys.end(), id);
+  if (it == ix.keys.end() || *it != id) {
+    return {nullptr, nullptr};
+  }
+  size_t k = static_cast<size_t>(it - ix.keys.begin());
+  return {ix.rows.data() + ix.offsets[k], ix.rows.data() + ix.offsets[k + 1]};
+}
+
+// --- Instance --------------------------------------------------------------
+
 Instance::Instance(const Schema* schema) : schema_(schema) {}
+
+Instance::Instance(const Instance& other)
+    : schema_(other.schema_),
+      pool_(other.pool_.Clone()),
+      store_(other.store_),
+      store_index_(other.store_index_),
+      refcount_(other.refcount_),
+      adom_dirty_(true) {}
+
+Instance& Instance::operator=(const Instance& other) {
+  if (this != &other) *this = Instance(other);
+  return *this;
+}
+
+StoredRelation* Instance::RelationFor(const std::string& relation,
+                                      size_t arity) {
+  auto it = store_index_.find(relation);
+  if (it != store_index_.end()) return &store_[it->second];
+  store_index_.emplace(relation, store_.size());
+  store_.emplace_back(arity);
+  return &store_.back();
+}
+
+void Instance::BumpRef(ValueId id) {
+  if (static_cast<size_t>(id) >= refcount_.size()) {
+    refcount_.resize(static_cast<size_t>(pool_.size()), 0);
+  }
+  if (refcount_[static_cast<size_t>(id)]++ == 0) adom_dirty_ = true;
+}
+
+void Instance::DropRef(ValueId id) {
+  if (--refcount_[static_cast<size_t>(id)] == 0) adom_dirty_ = true;
+}
 
 Status Instance::AddFact(const std::string& relation, Tuple tuple) {
   const RelationDef* def = schema_->Find(relation);
@@ -18,44 +144,127 @@ Status Instance::AddFact(const std::string& relation, Tuple tuple) {
         std::to_string(tuple.size()) + ", relation expects " +
         std::to_string(def->arity()));
   }
-  auto& set = sets_[relation];
-  if (set.insert(tuple).second) {
-    relations_[relation].push_back(std::move(tuple));
+  scratch_row_.clear();
+  for (const Value& v : tuple) scratch_row_.push_back(pool_.Intern(v));
+  StoredRelation* rel = RelationFor(relation, def->arity());
+  if (rel->InsertRow(scratch_row_)) {
+    for (ValueId id : scratch_row_) BumpRef(id);
   }
   return Status::OK();
 }
 
+Status Instance::AddFactIds(const std::string& relation,
+                            const std::vector<ValueId>& row) {
+  const RelationDef* def = schema_->Find(relation);
+  if (def == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  if (def->arity() != row.size()) {
+    return Status::InvalidArgument(
+        "id fact for " + relation + " has arity " +
+        std::to_string(row.size()) + ", relation expects " +
+        std::to_string(def->arity()));
+  }
+  for (ValueId id : row) {
+    if (id < 0 || id >= pool_.size()) {
+      return Status::InvalidArgument("id fact for " + relation +
+                                     " references an id outside the pool");
+    }
+  }
+  StoredRelation* rel = RelationFor(relation, def->arity());
+  if (rel->InsertRow(row)) {
+    for (ValueId id : row) BumpRef(id);
+  }
+  return Status::OK();
+}
+
+void Instance::Reserve(const std::string& relation, size_t extra_rows) {
+  const RelationDef* def = schema_->Find(relation);
+  if (def == nullptr) return;
+  StoredRelation* rel = RelationFor(relation, def->arity());
+  for (std::vector<ValueId>& col : rel->columns_) {
+    col.reserve(rel->num_rows_ + extra_rows);
+  }
+}
+
 bool Instance::Contains(const std::string& relation,
                         const Tuple& tuple) const {
-  auto it = sets_.find(relation);
-  return it != sets_.end() && it->second.count(tuple) > 0;
+  auto it = store_index_.find(relation);
+  if (it == store_index_.end()) return false;
+  const StoredRelation& rel = store_[it->second];
+  if (rel.arity() != tuple.size()) return false;
+  std::vector<ValueId> row;
+  row.reserve(tuple.size());
+  for (const Value& v : tuple) {
+    ValueId id = pool_.Lookup(v);
+    if (id < 0) return false;
+    row.push_back(id);
+  }
+  return rel.ContainsRow(row);
+}
+
+const StoredRelation* Instance::Find(const std::string& relation) const {
+  auto it = store_index_.find(relation);
+  return it == store_index_.end() ? nullptr : &store_[it->second];
 }
 
 const std::vector<Tuple>& Instance::Relation(
     const std::string& relation) const {
-  auto it = relations_.find(relation);
-  return it == relations_.end() ? empty_ : it->second;
+  auto it = store_index_.find(relation);
+  if (it == store_index_.end()) return empty_;
+  const StoredRelation& rel = store_[it->second];
+  // Rows only ever grow between Clears, so the cached view is extended by
+  // the missing suffix.
+  while (rel.tuple_view_.size() < rel.num_rows_) {
+    size_t r = rel.tuple_view_.size();
+    Tuple t;
+    t.reserve(rel.arity());
+    for (size_t a = 0; a < rel.arity(); ++a) {
+      t.push_back(pool_.Get(rel.At(r, a)));
+    }
+    rel.tuple_view_.push_back(std::move(t));
+  }
+  return rel.tuple_view_;
 }
 
 size_t Instance::NumFacts() const {
   size_t n = 0;
-  for (const auto& [name, tuples] : relations_) n += tuples.size();
+  for (const StoredRelation& rel : store_) n += rel.num_rows();
   return n;
 }
 
 void Instance::ClearRelation(const std::string& relation) {
-  relations_.erase(relation);
-  sets_.erase(relation);
+  auto it = store_index_.find(relation);
+  if (it == store_index_.end()) return;
+  StoredRelation& rel = store_[it->second];
+  for (const std::vector<ValueId>& col : rel.columns_) {
+    for (ValueId id : col) DropRef(id);
+  }
+  rel.Clear();
 }
 
-std::vector<Value> Instance::ActiveDomain() const {
-  std::set<Value> dom;
-  for (const auto& [name, tuples] : relations_) {
-    for (const Tuple& t : tuples) {
-      for (const Value& v : t) dom.insert(v);
+void Instance::EnsureActiveDomain() const {
+  if (!adom_dirty_) return;
+  adom_values_.clear();
+  adom_ids_.clear();
+  for (ValueId id : pool_.SortedIds()) {
+    if (static_cast<size_t>(id) < refcount_.size() &&
+        refcount_[static_cast<size_t>(id)] > 0) {
+      adom_ids_.push_back(id);
+      adom_values_.push_back(pool_.Get(id));
     }
   }
-  return std::vector<Value>(dom.begin(), dom.end());
+  adom_dirty_ = false;
+}
+
+const std::vector<Value>& Instance::ActiveDomain() const {
+  EnsureActiveDomain();
+  return adom_values_;
+}
+
+const std::vector<ValueId>& Instance::ActiveDomainIds() const {
+  EnsureActiveDomain();
+  return adom_ids_;
 }
 
 Status Instance::SatisfiesConstraints() const {

@@ -1,37 +1,162 @@
 #ifndef WHYNOT_RELATIONAL_INSTANCE_H_
 #define WHYNOT_RELATIONAL_INSTANCE_H_
 
-#include <map>
+#include <cstdint>
+#include <deque>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "whynot/common/dense_bitmap.h"
 #include "whynot/common/status.h"
 #include "whynot/common/value.h"
 #include "whynot/relational/schema.h"
 
 namespace whynot::rel {
 
+/// Column-major, value-interned storage of one relation's facts. Every
+/// constant is interned once into the owning Instance's ValuePool at
+/// AddFact time; a relation of arity m holds m parallel `ValueId` columns
+/// plus a dense fact index (row hash -> row ids) giving set semantics
+/// without any boxed-tuple hashing on the hot paths.
+class StoredRelation {
+ public:
+  /// Below this many rows, building a column index costs more than the
+  /// scans it would save: the CQ evaluator, the conjunct evaluator, and
+  /// the constraint checks fall back to direct column scans for smaller
+  /// relations (the ⊑_S deciders evaluate one-shot queries over canonical
+  /// instances of a handful of facts — index setup dominated there).
+  static constexpr size_t kIndexMinRows = 32;
+
+  /// Lazily built per-column join index: a CSR posting list (rows grouped
+  /// by distinct ValueId, keys ascending by id) and the distinct-value
+  /// DenseBitmap used as a word-parallel semi-join filter by the CQ
+  /// evaluator.
+  struct ColumnIndex {
+    std::vector<ValueId> keys;      // distinct ids, ascending
+    std::vector<uint32_t> offsets;  // keys.size() + 1, CSR into rows
+    std::vector<uint32_t> rows;     // row ids grouped by key
+    DenseBitmap distinct;           // bitmap over keys
+  };
+
+  size_t arity() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Column `attr` in row order.
+  const std::vector<ValueId>& Column(size_t attr) const {
+    return columns_[attr];
+  }
+  ValueId At(size_t row, size_t attr) const { return columns_[attr][row]; }
+
+  /// The lazily built index of column `attr`; invalidated by mutation.
+  const ColumnIndex& Index(size_t attr) const;
+
+  /// Rows whose column `attr` equals `id` (possibly empty). Pointers are
+  /// valid until the next mutation of this relation.
+  std::pair<const uint32_t*, const uint32_t*> RowsEqual(size_t attr,
+                                                        ValueId id) const;
+
+  /// True iff the id row is present (set semantics probe).
+  bool ContainsRow(const std::vector<ValueId>& row) const;
+
+  /// FNV-1a over an id row — the canonical hash for projected id tuples,
+  /// shared with the constraint checks.
+  static uint64_t HashIds(const std::vector<ValueId>& row);
+
+  /// Constructed by the owning Instance only (public for container
+  /// emplacement).
+  explicit StoredRelation(size_t arity)
+      : columns_(arity), indexes_(arity), index_built_(arity, false) {}
+  /// Copies the stored rows; lazy caches restart cold.
+  StoredRelation(const StoredRelation& other)
+      : num_rows_(other.num_rows_),
+        columns_(other.columns_),
+        row_hash_(other.row_hash_),
+        indexes_(other.columns_.size()),
+        index_built_(other.columns_.size(), false) {}
+  StoredRelation& operator=(const StoredRelation&) = delete;
+
+ private:
+  friend class Instance;
+
+  /// Appends the row if new; returns whether it was inserted.
+  bool InsertRow(const std::vector<ValueId>& row);
+  void Clear();
+  void InvalidateIndexes() const;
+
+  bool RowEquals(uint32_t row, const std::vector<ValueId>& ids) const;
+
+  size_t num_rows_ = 0;
+  std::vector<std::vector<ValueId>> columns_;
+  // Dense fact index: row hash -> rows with that hash (collision chain).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> row_hash_;
+  mutable std::vector<ColumnIndex> indexes_;
+  mutable std::vector<bool> index_built_;
+  // Boxed-tuple compatibility view, materialized on demand (suffix-appended
+  // as rows grow; reset on Clear).
+  mutable std::vector<Tuple> tuple_view_;
+};
+
 /// A database instance over a schema (Section 2): a finite set of facts.
+///
+/// Facts are stored columnar and value-interned (see StoredRelation); the
+/// classic `std::vector<Tuple>` accessor survives as a lazily materialized
+/// compatibility view, so existing call sites keep compiling, while the CQ
+/// evaluator, the concept evaluators, and the constraint checkers operate
+/// on `ValueId` columns directly.
 ///
 /// The instance holds facts for both data and view relations; view
 /// extensions are filled in by MaterializeViews (views.h). Constraint
 /// satisfaction is checked by SatisfiesConstraints, not enforced on insert,
 /// so that tests can construct violating instances on purpose.
+///
+/// NOTE: the lazy mutable caches (column indexes, tuple views, the active
+/// domain snapshot) make an Instance single-threaded, const methods
+/// included; give each thread its own copy.
 class Instance {
  public:
   explicit Instance(const Schema* schema);
 
+  Instance(const Instance& other);
+  Instance& operator=(const Instance& other);
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
+
   const Schema& schema() const { return *schema_; }
+
+  /// The pool interning every constant of the instance. Ids are assigned at
+  /// AddFact time and stable for the lifetime of the instance.
+  const ValuePool& pool() const { return pool_; }
+
+  /// Id of `v` in the instance pool, or -1 if `v` occurs in no fact (and
+  /// was never interned).
+  ValueId LookupId(const Value& v) const { return pool_.Lookup(v); }
 
   /// Inserts the fact R(t). Fails if R is unknown or the arity mismatches.
   /// Duplicate facts are silently ignored (set semantics).
   Status AddFact(const std::string& relation, Tuple tuple);
 
+  /// Id-space insert: `row` holds ids of this instance's pool (as produced
+  /// by the id-space CQ evaluator). Same validation and set semantics as
+  /// AddFact without re-hashing boxed Values.
+  Status AddFactIds(const std::string& relation,
+                    const std::vector<ValueId>& row);
+
+  /// Capacity hint: pre-sizes the columns of `relation` for `extra_rows`
+  /// further facts. No-op for unknown relations.
+  void Reserve(const std::string& relation, size_t extra_rows);
+
   /// True iff the fact is present.
   bool Contains(const std::string& relation, const Tuple& tuple) const;
 
+  /// Columnar store of `relation`, or nullptr if no fact was ever added
+  /// (callers treat nullptr as the empty relation).
+  const StoredRelation* Find(const std::string& relation) const;
+
   /// Tuples of `relation` in insertion order. Empty for unknown relations.
+  /// Compatibility view over the columnar store, materialized on demand.
   const std::vector<Tuple>& Relation(const std::string& relation) const;
 
   /// Number of facts across all relations.
@@ -41,8 +166,12 @@ class Instance {
   void ClearRelation(const std::string& relation);
 
   /// The active domain adom(I): all constants occurring in facts, sorted
-  /// by the Value total order, deduplicated.
-  std::vector<Value> ActiveDomain() const;
+  /// by the Value total order, deduplicated. Maintained incrementally via
+  /// per-id occurrence counts — an O(1) snapshot once built, not a rescan.
+  const std::vector<Value>& ActiveDomain() const;
+
+  /// adom(I) as pool ids, ascending in the Value total order.
+  const std::vector<ValueId>& ActiveDomainIds() const;
 
   /// Checks all FDs and IDs of the schema. Returns InvalidArgument with a
   /// description of the first violation found.
@@ -52,10 +181,26 @@ class Instance {
   std::string ToString() const;
 
  private:
+  StoredRelation* RelationFor(const std::string& relation, size_t arity);
+  void BumpRef(ValueId id);
+  void DropRef(ValueId id);
+  void EnsureActiveDomain() const;
+
   const Schema* schema_;
-  std::map<std::string, std::vector<Tuple>> relations_;
-  std::map<std::string, std::unordered_set<Tuple, TupleHash>> sets_;
+  ValuePool pool_;
+  // deque: stable addresses as relations are added lazily.
+  std::deque<StoredRelation> store_;
+  std::unordered_map<std::string, size_t> store_index_;
   std::vector<Tuple> empty_;
+
+  // Occurrence counts per ValueId across all facts; the active domain is
+  // the ids with positive count, kept as a cached sorted snapshot.
+  std::vector<int64_t> refcount_;
+  mutable std::vector<Value> adom_values_;
+  mutable std::vector<ValueId> adom_ids_;
+  mutable bool adom_dirty_ = false;
+
+  std::vector<ValueId> scratch_row_;
 };
 
 }  // namespace whynot::rel

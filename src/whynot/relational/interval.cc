@@ -182,4 +182,24 @@ std::optional<Value> PickWitness(const IntervalConstraint& interval,
   return std::nullopt;
 }
 
+RankRange FullRankRange(const ValuePool& pool) {
+  return RankRange{0, pool.size()};
+}
+
+RankRange ResolveCmpRange(const ValuePool& pool, CmpOp op, const Value& c) {
+  switch (op) {
+    case CmpOp::kEq:
+      return RankRange{pool.LowerBoundRank(c), pool.UpperBoundRank(c)};
+    case CmpOp::kLt:
+      return RankRange{0, pool.LowerBoundRank(c)};
+    case CmpOp::kLe:
+      return RankRange{0, pool.UpperBoundRank(c)};
+    case CmpOp::kGt:
+      return RankRange{pool.UpperBoundRank(c), pool.size()};
+    case CmpOp::kGe:
+      return RankRange{pool.LowerBoundRank(c), pool.size()};
+  }
+  return RankRange{0, 0};
+}
+
 }  // namespace whynot::rel

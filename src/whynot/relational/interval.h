@@ -53,6 +53,31 @@ std::optional<Value> PickWitness(const IntervalConstraint& interval,
                                  const std::set<Value>& used,
                                  int attempts = 64);
 
+/// A comparison `x op c` restricted to the values interned in a pool: a
+/// half-open interval [lo, hi) of *ranks* in the pool's order index. Because
+/// instance variables only ever bind to interned values, every comparison
+/// predicate is pre-resolvable to such a range, turning per-probe Value
+/// comparisons in the id-space join and the conjunct evaluator into one
+/// integer range test.
+struct RankRange {
+  int32_t lo = 0;
+  int32_t hi = 0;  // exclusive
+
+  bool empty() const { return lo >= hi; }
+  bool Contains(int32_t rank) const { return rank >= lo && rank < hi; }
+  void IntersectWith(const RankRange& o) {
+    if (o.lo > lo) lo = o.lo;
+    if (o.hi < hi) hi = o.hi;
+  }
+};
+
+/// The full range [0, pool.size()).
+RankRange FullRankRange(const ValuePool& pool);
+
+/// Resolves `x op c` to the rank interval it admits within `pool`. `c` need
+/// not be interned.
+RankRange ResolveCmpRange(const ValuePool& pool, CmpOp op, const Value& c);
+
 }  // namespace whynot::rel
 
 #endif  // WHYNOT_RELATIONAL_INTERVAL_H_

@@ -49,10 +49,14 @@ Status MaterializeViews(Instance* instance) {
   for (const std::string& name : order) {
     const ViewDef* def = schema.FindView(name);
     if (def == nullptr) return Status::Internal("missing view def: " + name);
-    WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
-                            Evaluate(def->definition, *instance));
-    for (Tuple& t : tuples) {
-      WHYNOT_RETURN_IF_ERROR(instance->AddFact(name, std::move(t)));
+    // Id-space pipeline: the view body is evaluated over the interned
+    // columns and its answers are inserted as id rows — no boxed tuple is
+    // materialized anywhere between base facts and view extension.
+    WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<ValueId>> rows,
+                            EvaluateIds(def->definition, *instance));
+    instance->Reserve(name, rows.size());
+    for (const std::vector<ValueId>& row : rows) {
+      WHYNOT_RETURN_IF_ERROR(instance->AddFactIds(name, row));
     }
   }
   return Status::OK();

@@ -23,6 +23,7 @@ Result<rel::Instance> RandomInstance(const rel::Schema* schema,
   rel::Instance instance(schema);
   for (const rel::RelationDef& def : schema->relations()) {
     if (def.is_view()) continue;
+    instance.Reserve(def.name(), static_cast<size_t>(rows_per_relation));
     for (int row = 0; row < rows_per_relation; ++row) {
       Tuple t;
       t.reserve(def.arity());

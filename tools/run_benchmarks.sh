@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Builds the Release tree and runs the perf-trajectory benchmarks
-# (bench_table1_subsumption, bench_why, bench_enumerate) with JSON output,
-# merging the results into BENCH_PR1.json at the repo root.
+# Builds the Release tree and runs the perf-trajectory benchmarks with JSON
+# output, merging the results into BENCH_PR<N>.json at the repo root and
+# computing speedup_vs_baseline against the previous PR's numbers.
 #
-# Usage: tools/run_benchmarks.sh [build-dir] [min-time-seconds]
+# Baseline resolution per benchmark name, in order:
+#   1. BENCH_PR<N-1>.json "benchmarks" (the previous PR's measured results);
+#   2. the output file's own "baseline_prev" section — pre-refactor numbers
+#      captured on the parent commit for benchmarks the previous PR did not
+#      track (seeded once, preserved across re-runs).
+#
+# Usage: tools/run_benchmarks.sh [build-dir] [min-time-seconds] [pr-number]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-rel}"
 MIN_TIME="${2:-0.2}"
-OUT="$REPO_ROOT/BENCH_PR1.json"
-BENCHES=(bench_table1_subsumption bench_why bench_enumerate)
+PR="${3:-2}"
+OUT="$REPO_ROOT/BENCH_PR${PR}.json"
+BASELINE="$REPO_ROOT/BENCH_PR$((PR - 1)).json"
+BENCHES=(bench_table1_subsumption bench_why bench_enumerate
+         bench_incremental bench_lub)
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DWHYNOT_BUILD_TESTS=OFF -DWHYNOT_BUILD_EXAMPLES=OFF \
@@ -21,30 +30,65 @@ TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 for bench in "${BENCHES[@]}"; do
   echo "Running $bench ..." >&2
+  # Median of 3 repetitions: single runs of the µs-scale canonical-instance
+  # microbenchmarks are too noisy for the regression gate.
   "$BUILD_DIR/$bench" --benchmark_format=json \
-      --benchmark_min_time="$MIN_TIME" > "$TMP_DIR/$bench.json"
+      --benchmark_min_time="$MIN_TIME" --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=true > "$TMP_DIR/$bench.json"
 done
 
-python3 - "$OUT" "$TMP_DIR" "${BENCHES[@]}" <<'EOF'
+python3 - "$OUT" "$BASELINE" "$TMP_DIR" "$PR" "${BENCHES[@]}" <<'EOF'
 import json, sys
 
-out_path, tmp_dir, *benches = sys.argv[1:]
-merged = {"schema": "whynot-bench-v1", "benchmarks": {}}
+out_path, baseline_path, tmp_dir, pr, *benches = sys.argv[1:]
+merged = {"schema": "whynot-bench-v1", "pr": int(pr), "benchmarks": {}}
 try:
     merged = json.load(open(out_path))
     merged.setdefault("benchmarks", {})
 except (FileNotFoundError, json.JSONDecodeError):
     pass
+
+baseline_times = {}  # name -> (real_time, time_unit)
+try:
+    prev = json.load(open(baseline_path))
+    for bench, data in prev.get("benchmarks", {}).items():
+        for name, r in data.get("results", {}).items():
+            baseline_times[name] = (r["real_time"], r.get("time_unit"))
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+# Parent-commit numbers for benchmarks the previous PR did not track.
+for bench, data in merged.get("baseline_prev", {}).items():
+    for name, r in data.get("results", {}).items():
+        baseline_times.setdefault(name, (r["real_time"], r.get("time_unit")))
+
+speedups = {}
 for bench in benches:
     data = json.load(open(f"{tmp_dir}/{bench}.json"))
+    # Aggregate runs report <name>_mean/_median/_stddev/_cv; keep the
+    # median under the plain benchmark name. Plain names pass through.
+    results = {}
+    for b in data.get("benchmarks", []):
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            name = name[: -len("_median")]
+        results[name] = {"real_time": b["real_time"],
+                         "time_unit": b["time_unit"]}
     merged["benchmarks"][bench] = {
         "context": data.get("context", {}),
-        "results": {
-            b["name"]: {"real_time": b["real_time"],
-                        "time_unit": b["time_unit"]}
-            for b in data.get("benchmarks", [])
-        },
+        "results": results,
     }
+    for name, r in results.items():
+        if name not in baseline_times or r["real_time"] <= 0:
+            continue
+        base_time, base_unit = baseline_times[name]
+        if base_unit != r["time_unit"]:
+            print(f"skipping {name}: time_unit changed "
+                  f"({base_unit} -> {r['time_unit']})", file=sys.stderr)
+            continue
+        speedups[name] = round(base_time / r["real_time"], 2)
+merged["speedup_vs_baseline"] = speedups
 json.dump(merged, open(out_path, "w"), indent=1, sort_keys=True)
 print(f"wrote {out_path}")
 EOF
