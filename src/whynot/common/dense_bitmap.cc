@@ -3,12 +3,132 @@
 #include <algorithm>
 #include <cassert>
 
+// AVX2 word kernels behind a runtime-dispatch shim: the functions carry the
+// target attribute themselves, so the file builds without -mavx2 and the
+// scalar loops remain the portable fallback (and the only path on non-x86).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define WHYNOT_BITMAP_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace whynot {
 
 namespace {
 
 size_t WordsFor(int32_t universe) {
   return (static_cast<size_t>(universe) + 63) / 64;
+}
+
+// ---- scalar kernels (portable fallback) -----------------------------------
+
+bool SubsetOfScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] & ~b[i]) return false;
+  }
+  return true;
+}
+
+void AndScalar(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] & b[i];
+}
+
+size_t CountScalar(const uint64_t* w, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<size_t>(__builtin_popcountll(w[i]));
+  }
+  return count;
+}
+
+#ifdef WHYNOT_BITMAP_AVX2
+
+// Below this many words the dispatch overhead and the scalar tail dominate;
+// the word loops above are already a few cycles total.
+constexpr size_t kSimdMinWords = 8;
+
+bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+__attribute__((target("avx2"))) bool SubsetOfAvx2(const uint64_t* a,
+                                                  const uint64_t* b,
+                                                  size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i excess = _mm256_andnot_si256(vb, va);  // va & ~vb
+    if (!_mm256_testz_si256(excess, excess)) return false;
+  }
+  return SubsetOfScalar(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) void AndAvx2(const uint64_t* a,
+                                             const uint64_t* b, uint64_t* out,
+                                             size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(va, vb));
+  }
+  AndScalar(a + i, b + i, out + i, n - i);
+}
+
+// Mula's nibble-LUT popcount: per-byte counts via pshufb, horizontally
+// summed into 64-bit lanes with sad_epu8.
+__attribute__((target("avx2"))) size_t CountAvx2(const uint64_t* w, size_t n) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i lo = _mm256_and_si256(v, low_mask);
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                  _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + CountScalar(w + i, n - i);
+}
+
+#endif  // WHYNOT_BITMAP_AVX2
+
+// ---- dispatch shim --------------------------------------------------------
+
+bool SubsetOfWords(const uint64_t* a, const uint64_t* b, size_t n) {
+#ifdef WHYNOT_BITMAP_AVX2
+  if (n >= kSimdMinWords && HasAvx2()) return SubsetOfAvx2(a, b, n);
+#endif
+  return SubsetOfScalar(a, b, n);
+}
+
+void AndWords(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+#ifdef WHYNOT_BITMAP_AVX2
+  if (n >= kSimdMinWords && HasAvx2()) {
+    AndAvx2(a, b, out, n);
+    return;
+  }
+#endif
+  AndScalar(a, b, out, n);
+}
+
+size_t CountWords(const uint64_t* w, size_t n) {
+#ifdef WHYNOT_BITMAP_AVX2
+  if (n >= kSimdMinWords && HasAvx2()) return CountAvx2(w, n);
+#endif
+  return CountScalar(w, n);
 }
 
 }  // namespace
@@ -25,11 +145,19 @@ DenseBitmap::DenseBitmap(const std::vector<ValueId>& sorted_ids,
   }
 }
 
+DenseBitmap DenseBitmap::AllSet(int32_t n) {
+  DenseBitmap out;
+  if (n <= 0) return out;
+  size_t full = static_cast<size_t>(n) / 64;
+  size_t rest = static_cast<size_t>(n) % 64;
+  out.words_.assign(WordsFor(n), ~uint64_t{0});
+  if (rest != 0) out.words_[full] = (uint64_t{1} << rest) - 1;
+  return out;
+}
+
 bool DenseBitmap::SubsetOf(const DenseBitmap& other) const {
   size_t common = std::min(words_.size(), other.words_.size());
-  for (size_t w = 0; w < common; ++w) {
-    if (words_[w] & ~other.words_[w]) return false;
-  }
+  if (!SubsetOfWords(words_.data(), other.words_.data(), common)) return false;
   for (size_t w = common; w < words_.size(); ++w) {
     if (words_[w]) return false;
   }
@@ -40,18 +168,12 @@ DenseBitmap DenseBitmap::Intersect(const DenseBitmap& a, const DenseBitmap& b) {
   DenseBitmap out;
   size_t common = std::min(a.words_.size(), b.words_.size());
   out.words_.resize(common);
-  for (size_t w = 0; w < common; ++w) {
-    out.words_[w] = a.words_[w] & b.words_[w];
-  }
+  AndWords(a.words_.data(), b.words_.data(), out.words_.data(), common);
   return out;
 }
 
 size_t DenseBitmap::Count() const {
-  size_t count = 0;
-  for (uint64_t w : words_) {
-    count += static_cast<size_t>(__builtin_popcountll(w));
-  }
-  return count;
+  return CountWords(words_.data(), words_.size());
 }
 
 std::vector<ValueId> DenseBitmap::ToIds() const {

@@ -22,14 +22,34 @@ class DenseBitmap {
   explicit DenseBitmap(const std::vector<ValueId>& sorted_ids,
                        int32_t universe = 0);
 
+  /// The full prefix {0, ..., n-1}: n ones, trailing bits of the last
+  /// word zero (so Count/popcount stay exact).
+  static DenseBitmap AllSet(int32_t n);
+
   bool empty() const { return words_.empty(); }
   size_t num_words() const { return words_.size(); }
   const std::vector<uint64_t>& words() const { return words_; }
+
+  /// True iff any bit is set (no popcount, early exit).
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
 
   bool Test(ValueId id) const {
     size_t w = static_cast<size_t>(id) / 64;
     if (w >= words_.size()) return false;
     return (words_[w] >> (static_cast<size_t>(id) % 64)) & 1u;
+  }
+
+  /// Sets bit `id`, growing the word vector as needed (incremental index
+  /// maintenance appends distinct ids without a full rebuild).
+  void Set(ValueId id) {
+    size_t w = static_cast<size_t>(id) / 64;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    words_[w] |= uint64_t{1} << (static_cast<size_t>(id) % 64);
   }
 
   /// Word-parallel containment: every bit of *this is set in `other`.

@@ -113,9 +113,13 @@ class ValuePool {
   const std::vector<ValueId>& SortedIds() const;
 
   /// Position of `id` in the Value total order over interned values:
-  /// Rank(a) < Rank(b) iff Get(a) < Get(b). O(1) after the lazy rebuild.
+  /// Rank(a) < Rank(b) iff Get(a) < Get(b). O(1) after the lazy rebuild —
+  /// the built-already check is inline (Rank sits in every id-space sort
+  /// comparator; an out-of-line guard call would dominate them).
   int32_t Rank(ValueId id) const {
-    EnsureOrderIndex();
+    if (order_dirty_ || sorted_ids_.size() != values_.size()) {
+      EnsureOrderIndex();
+    }
     return ranks_[static_cast<size_t>(id)];
   }
 

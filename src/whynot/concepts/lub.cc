@@ -18,6 +18,7 @@ LubContext::LubContext(const rel::Instance* instance, LubOptions options)
   }
   boxes_.resize(relations.size());
   columns_.resize(relations.size());
+  id_columns_.resize(relations.size());
   columns_built_.resize(relations.size(), false);
 }
 
@@ -31,19 +32,25 @@ void LubContext::BuildColumns(size_t rel_idx) const {
   const rel::StoredRelation* rel = instance_->Find(def.name());
   const ValuePool& pool = instance_->pool();
   std::vector<std::vector<Value>>& cols = columns_[rel_idx];
+  std::vector<IdColumn>& id_cols = id_columns_[rel_idx];
   cols.resize(def.arity());
+  id_cols.resize(def.arity());
   for (size_t a = 0; a < def.arity(); ++a) {
     cols[a].clear();
     if (rel == nullptr || rel->empty()) continue;
     // The columnar store already keeps the distinct column; re-order it
     // by the pool's rank index instead of rescanning and re-sorting
-    // boxed Values.
+    // boxed Values. The id mirror (rank order + membership bitmap) is
+    // what the lub loops probe; the boxed copy only feeds selection
+    // constants.
     std::vector<ValueId> ids = rel->Index(a).keys;
+    id_cols[a].distinct = DenseBitmap(ids);
     std::sort(ids.begin(), ids.end(), [&pool](ValueId x, ValueId y) {
       return pool.Rank(x) < pool.Rank(y);
     });
     cols[a].reserve(ids.size());
     for (ValueId id : ids) cols[a].push_back(pool.Get(id));
+    id_cols[a].rank_sorted = std::move(ids);
   }
   columns_built_[rel_idx] = true;
 }
@@ -55,6 +62,12 @@ const std::vector<std::vector<Value>>& LubContext::ColumnsFor(
   return columns_[rel_idx];
 }
 
+const std::vector<LubContext::IdColumn>& LubContext::IdColumnsFor(
+    size_t rel_idx) const {
+  if (!columns_built_[rel_idx]) BuildColumns(rel_idx);
+  return id_columns_[rel_idx];
+}
+
 LsConcept LubContext::LubSelectionFree(const std::vector<Value>& x) const {
   std::vector<Value> sorted_x = x;
   SortUnique(&sorted_x);
@@ -63,15 +76,39 @@ LsConcept LubContext::LubSelectionFree(const std::vector<Value>& x) const {
   if (sorted_x.size() == 1) {
     conjuncts.push_back(Conjunct::Nominal(sorted_x.front()));
   }
-  const auto& relations = instance_->schema().relations();
-  for (size_t r = 0; r < relations.size(); ++r) {
-    const rel::RelationDef& def = relations[r];
-    const std::vector<std::vector<Value>>& cols = ColumnsFor(r);
-    for (size_t a = 0; a < def.arity(); ++a) {
-      if (std::includes(cols[a].begin(), cols[a].end(), sorted_x.begin(),
-                        sorted_x.end())) {
-        conjuncts.push_back(
-            Conjunct::Projection(def.name(), static_cast<int>(a)));
+  // Id space: a value outside the pool occurs in no column, so only the
+  // nominal (if any) can qualify; otherwise every containment probe is an
+  // O(1) bitmap test per element of X.
+  const ValuePool& pool = instance_->pool();
+  std::vector<ValueId> x_ids;
+  x_ids.reserve(sorted_x.size());
+  bool all_interned = true;
+  for (const Value& v : sorted_x) {
+    ValueId id = pool.Lookup(v);
+    if (id < 0) {
+      all_interned = false;
+      break;
+    }
+    x_ids.push_back(id);
+  }
+  if (all_interned) {
+    const auto& relations = instance_->schema().relations();
+    for (size_t r = 0; r < relations.size(); ++r) {
+      const rel::RelationDef& def = relations[r];
+      const std::vector<IdColumn>& cols = IdColumnsFor(r);
+      for (size_t a = 0; a < def.arity(); ++a) {
+        const DenseBitmap& distinct = cols[a].distinct;
+        bool inside = true;
+        for (ValueId id : x_ids) {
+          if (!distinct.Test(id)) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) {
+          conjuncts.push_back(
+              Conjunct::Projection(def.name(), static_cast<int>(a)));
+        }
       }
     }
   }
@@ -88,25 +125,23 @@ Status LubContext::BuildBoxes(size_t rel_idx, RelationBoxes* out) const {
   if (n == 0) return Status::OK();
 
   // Sorted distinct values per attribute, and each tuple's value index.
-  // In id space the per-tuple position is one rank comparison sort of the
-  // distinct ids plus O(1) array probes — no boxed binary searches.
+  // In id space the per-tuple position comes from the cached rank-sorted
+  // distinct column plus one dense array probe per cell — no boxed binary
+  // searches, no hashing.
   const std::vector<std::vector<Value>>& distinct = ColumnsFor(rel_idx);
+  const std::vector<IdColumn>& id_cols = IdColumnsFor(rel_idx);
   std::vector<std::vector<int>> tuple_value_index(m,
                                                   std::vector<int>(n, 0));
+  std::vector<int> pos(static_cast<size_t>(pool.size()), -1);
   for (size_t j = 0; j < m; ++j) {
-    std::vector<ValueId> ordered = rel->Index(j).keys;
-    std::sort(ordered.begin(), ordered.end(),
-              [&pool](ValueId x, ValueId y) {
-                return pool.Rank(x) < pool.Rank(y);
-              });
-    std::unordered_map<ValueId, int> pos;
-    pos.reserve(ordered.size());
+    const std::vector<ValueId>& ordered = id_cols[j].rank_sorted;
     for (size_t k = 0; k < ordered.size(); ++k) {
-      pos.emplace(ordered[k], static_cast<int>(k));
+      pos[static_cast<size_t>(ordered[k])] = static_cast<int>(k);
     }
     for (size_t i = 0; i < n; ++i) {
-      tuple_value_index[j][i] = pos.at(rel->At(i, j));
+      tuple_value_index[j][i] = pos[static_cast<size_t>(rel->At(i, j))];
     }
+    for (ValueId id : ordered) pos[static_cast<size_t>(id)] = -1;
   }
 
   // Recursive enumeration of per-attribute runs. The trace (selected tuple
@@ -137,7 +172,7 @@ Status LubContext::BuildBoxes(size_t rel_idx, RelationBoxes* out) const {
         Box box;
         box.selections = current_sel;
         box.tuple_indices = std::move(selected);
-        box.projections.resize(m);
+        box.id_projections.resize(m);
         out->boxes.push_back(std::move(box));
       }
       return;
@@ -220,28 +255,48 @@ Result<LsConcept> LubContext::LubWithSelections(const std::vector<Value>& x) {
     conjuncts.push_back(Conjunct::Nominal(sorted_x.front()));
   }
 
+  // Id space: box projections are rank-sorted pool ids, the validity test
+  // an integer std::includes. An X value outside the pool invalidates
+  // every box (no fact mentions it), leaving just the nominal.
+  const ValuePool& pool = instance_->pool();
+  std::vector<ValueId> x_ids;
+  x_ids.reserve(sorted_x.size());
+  bool all_interned = true;
+  for (const Value& v : sorted_x) {
+    ValueId id = pool.Lookup(v);
+    if (id < 0) {
+      all_interned = false;
+      break;
+    }
+    x_ids.push_back(id);
+  }
+  auto rank_less = [&pool](ValueId l, ValueId r) {
+    return pool.Rank(l) < pool.Rank(r);
+  };
+  std::sort(x_ids.begin(), x_ids.end(), rank_less);
+
   const auto& relations = instance_->schema().relations();
-  for (size_t r = 0; r < relations.size(); ++r) {
+  for (size_t r = 0; r < relations.size() && all_interned; ++r) {
     const rel::RelationDef& def = relations[r];
     RelationBoxes& rb = BoxesFor(r);
     if (!rb.build_status.ok()) return rb.build_status;
     const rel::StoredRelation* rel = instance_->Find(def.name());
-    const ValuePool& pool = instance_->pool();
     for (size_t a = 0; a < def.arity(); ++a) {
       int attr = static_cast<int>(a);
       // Valid boxes: A-projection contains X.
       std::vector<Box*> valid;
       for (Box& box : rb.boxes) {
-        std::vector<Value>& proj = box.projections[a];
+        std::vector<ValueId>& proj = box.id_projections[a];
         if (proj.empty()) {
           proj.reserve(box.tuple_indices.size());
           for (uint32_t idx : box.tuple_indices) {
-            proj.push_back(pool.Get(rel->At(idx, a)));
+            proj.push_back(rel->At(idx, a));
           }
-          SortUnique(&proj);
+          std::sort(proj.begin(), proj.end(), rank_less);
+          proj.erase(std::unique(proj.begin(), proj.end()), proj.end());
         }
-        if (std::includes(proj.begin(), proj.end(), sorted_x.begin(),
-                          sorted_x.end())) {
+        if (std::includes(proj.begin(), proj.end(), x_ids.begin(),
+                          x_ids.end(), rank_less)) {
           valid.push_back(&box);
         }
       }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "whynot/common/dense_bitmap.h"
 #include "whynot/common/status.h"
 #include "whynot/common/value.h"
 #include "whynot/concepts/ls_concept.h"
@@ -69,16 +70,24 @@ class LubContext {
   struct Box {
     std::vector<Selection> selections;
     std::vector<uint32_t> tuple_indices;  // sorted
-    // Per-attribute sorted distinct projection values, sized by the
-    // relation arity; an empty inner vector means "not yet computed"
-    // (boxes always select at least one tuple, so real projections are
-    // non-empty).
-    std::vector<std::vector<Value>> projections;
+    // Per-attribute distinct projection as pool ids in rank order, sized
+    // by the relation arity; an empty inner vector means "not yet
+    // computed" (boxes always select at least one tuple, so real
+    // projections are non-empty). Id space: the validity test against X
+    // is an integer std::includes, no boxed Values.
+    std::vector<std::vector<ValueId>> id_projections;
   };
   struct RelationBoxes {
     bool built = false;
     Status build_status;
     std::vector<Box> boxes;
+  };
+  /// Id-space mirror of one distinct column: the ids in rank order plus
+  /// their membership bitmap (the word-parallel containment probe of
+  /// LubSelectionFree).
+  struct IdColumn {
+    std::vector<ValueId> rank_sorted;
+    DenseBitmap distinct;
   };
 
   /// Dense index of `relation` in the schema's relation list, or SIZE_MAX.
@@ -94,6 +103,8 @@ class LubContext {
   /// mutable caches make a LubContext single-threaded, const methods
   /// included; give each thread its own context.
   const std::vector<std::vector<Value>>& ColumnsFor(size_t rel_idx) const;
+  /// Id-space mirror of ColumnsFor, built together with it.
+  const std::vector<IdColumn>& IdColumnsFor(size_t rel_idx) const;
   /// Cold path of ColumnsFor: materializes the columns from the store.
   void BuildColumns(size_t rel_idx) const;
 
@@ -102,6 +113,7 @@ class LubContext {
   std::unordered_map<std::string, size_t> rel_index_;
   std::vector<RelationBoxes> boxes_;
   mutable std::vector<std::vector<std::vector<Value>>> columns_;
+  mutable std::vector<std::vector<IdColumn>> id_columns_;
   mutable std::vector<bool> columns_built_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "whynot/concepts/ls_eval.h"
 #include "whynot/concepts/lub.h"
@@ -11,10 +12,13 @@ namespace whynot::ls {
 
 namespace {
 
-/// Key identifying an extension for deduplication.
-using ExtKey = std::pair<bool, std::vector<Value>>;
+/// Key identifying an extension for deduplication. All extensions here are
+/// evaluated against one instance, so the (canonical, rank-sorted) pool id
+/// vector plus the boxed out-of-pool extras identify the set — integer
+/// comparisons instead of boxed Value vectors for the common case.
+using ExtKey = std::tuple<bool, std::vector<ValueId>, std::vector<Value>>;
 
-ExtKey KeyOf(const Extension& e) { return {e.all, e.values}; }
+ExtKey KeyOf(const Extension& e) { return {e.all, e.ids(), e.extras()}; }
 
 bool ShorterRepresentative(const LsConcept& a, const LsConcept& b) {
   if (a.Length() != b.Length()) return a.Length() < b.Length();
@@ -200,9 +204,13 @@ onto::ExtSet LsOntology::ComputeExt(onto::ConceptId id,
                                     ValuePool* pool) const {
   Extension e = Eval(concepts_[static_cast<size_t>(id)], instance);
   if (e.all) return onto::ExtSet::All();
+  // Re-intern from the instance pool ids (plus the boxed extras) into the
+  // ontology pool — no intermediate boxed vector.
+  const ValuePool& instance_pool = instance.pool();
   std::vector<ValueId> ids;
-  ids.reserve(e.values.size());
-  for (const Value& v : e.values) ids.push_back(pool->Intern(v));
+  ids.reserve(e.ids().size() + e.extras().size());
+  for (ValueId vid : e.ids()) ids.push_back(pool->Intern(instance_pool.Get(vid)));
+  for (const Value& v : e.extras()) ids.push_back(pool->Intern(v));
   return onto::ExtSet::Finite(std::move(ids));
 }
 

@@ -1,0 +1,145 @@
+#include "whynot/explain/answer_cover.h"
+
+#include <algorithm>
+
+namespace whynot::explain {
+
+// ---- ConceptAnswerCovers --------------------------------------------------
+
+ConceptAnswerCovers::ConceptAnswerCovers(
+    onto::BoundOntology* bound, std::vector<std::vector<ValueId>> answers)
+    : bound_(bound),
+      answers_(std::move(answers)),
+      num_words_((answers_.size() + 63) / 64) {
+  full_.assign(num_words_, ~uint64_t{0});
+  size_t rest = answers_.size() % 64;
+  if (num_words_ > 0 && rest != 0) {
+    full_.back() = (uint64_t{1} << rest) - 1;
+  }
+}
+
+const uint64_t* ConceptAnswerCovers::BuildCover(onto::ConceptId c,
+                                                size_t pos) {
+  size_t n = static_cast<size_t>(bound_->NumConcepts());
+  if (pos >= chunks_.size()) {
+    chunks_.resize(pos + 1);
+    built_.resize(pos + 1);
+  }
+  if (built_[pos].empty()) {
+    chunks_[pos].resize((n + kChunkConcepts - 1) / kChunkConcepts);
+    built_[pos].assign(n, 0);
+  }
+  size_t idx = static_cast<size_t>(c);
+  std::vector<uint64_t>& chunk = chunks_[pos][idx / kChunkConcepts];
+  if (chunk.empty()) chunk.assign(kChunkConcepts * num_words_, 0);
+  uint64_t* slot = chunk.data() + (idx % kChunkConcepts) * num_words_;
+  const onto::ExtSet& ext = bound_->Ext(c);
+  if (ext.is_all()) {
+    std::copy(full_.begin(), full_.end(), slot);
+  } else {
+    for (size_t a = 0; a < answers_.size(); ++a) {
+      if (ext.Contains(answers_[a][pos])) {
+        slot[a / 64] |= uint64_t{1} << (a % 64);
+      }
+    }
+  }
+  built_[pos][idx] = 1;
+  return slot;
+}
+
+std::vector<uint64_t> ConceptAnswerCovers::AndAllExcept(
+    const std::vector<onto::ConceptId>& e, size_t skip) {
+  std::vector<uint64_t> out = full_;
+  for (size_t i = 0; i < e.size(); ++i) {
+    if (i == skip) continue;
+    const uint64_t* cover = Cover(e[i], i);
+    for (size_t w = 0; w < out.size(); ++w) out[w] &= cover[w];
+  }
+  return out;
+}
+
+bool ConceptAnswerCovers::ProductIntersects(
+    const std::vector<onto::ConceptId>& e) {
+  if (answers_.empty() || e.empty()) return false;
+  // Word-outer AND over the (equally sized) covers: no scratch writes.
+  scratch_ptrs_.clear();
+  for (size_t i = 0; i < e.size(); ++i) {
+    scratch_ptrs_.push_back(Cover(e[i], i));
+  }
+  return ProductAny(e.size(), num_words_,
+                    [this](size_t i) { return scratch_ptrs_[i]; });
+}
+
+size_t ConceptAnswerCovers::CountCovered(
+    const std::vector<onto::ConceptId>& e) {
+  if (answers_.empty() || e.empty()) return 0;
+  scratch_ptrs_.clear();
+  for (size_t i = 0; i < e.size(); ++i) {
+    scratch_ptrs_.push_back(Cover(e[i], i));
+  }
+  return ProductCount(e.size(), num_words_,
+                      [this](size_t i) { return scratch_ptrs_[i]; });
+}
+
+// ---- LsAnswerCovers -------------------------------------------------------
+
+LsAnswerCovers::LsAnswerCovers(const rel::Instance* instance,
+                               const std::vector<Tuple>* answers)
+    : answers_(answers),
+      pool_(&instance->pool()),
+      full_(DenseBitmap::AllSet(static_cast<int32_t>(answers->size()))) {
+  size_t arity = answers_->empty() ? 0 : answers_->front().size();
+  columns_.resize(arity);
+  for (size_t pos = 0; pos < arity; ++pos) {
+    columns_[pos].reserve(answers_->size());
+    for (const Tuple& ans : *answers_) {
+      columns_[pos].push_back(pool_->Lookup(ans[pos]));
+    }
+  }
+}
+
+const DenseBitmap& LsAnswerCovers::Cover(const ls::Extension& ext,
+                                         size_t pos) {
+  if (ext.all) return full_;
+  auto key = std::make_pair(&ext, pos);
+  auto it = covers_.find(key);
+  if (it != covers_.end()) return it->second;
+  DenseBitmap cover({}, static_cast<int32_t>(answers_->size()));
+  const std::vector<ValueId>& column = columns_[pos];
+  for (size_t a = 0; a < column.size(); ++a) {
+    if (ext.ContainsInterned(column[a], (*answers_)[a][pos])) {
+      cover.Set(static_cast<ValueId>(a));
+    }
+  }
+  return covers_.emplace(key, std::move(cover)).first->second;
+}
+
+bool LsAnswerCovers::ProductIntersects(
+    const std::vector<const ls::Extension*>& exts, size_t swap_pos,
+    const ls::Extension* repl) {
+  if (answers_->empty() || exts.empty()) return false;
+  scratch_ptrs_.clear();
+  for (size_t i = 0; i < exts.size(); ++i) {
+    const ls::Extension& ext = i == swap_pos ? *repl : *exts[i];
+    scratch_ptrs_.push_back(Cover(ext, i).words().data());
+  }
+  return ConceptAnswerCovers::ProductAny(
+      exts.size(), full_.num_words(),
+      [this](size_t i) { return scratch_ptrs_[i]; });
+}
+
+size_t LsAnswerCovers::CountCovered(
+    const std::vector<const ls::Extension*>& exts, size_t swap_pos,
+    const ls::Extension* repl) {
+  if (answers_->empty() || exts.empty()) return 0;
+  scratch_ptrs_.clear();
+  for (size_t i = 0; i < exts.size(); ++i) {
+    const ls::Extension& ext = i == swap_pos ? *repl : *exts[i];
+    scratch_ptrs_.push_back(Cover(ext, i).words().data());
+  }
+  return ConceptAnswerCovers::ProductCount(
+      exts.size(), full_.num_words(),
+      [this](size_t i) { return scratch_ptrs_[i]; });
+}
+
+}  // namespace whynot::explain

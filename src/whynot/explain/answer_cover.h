@@ -1,0 +1,214 @@
+#ifndef WHYNOT_EXPLAIN_ANSWER_COVER_H_
+#define WHYNOT_EXPLAIN_ANSWER_COVER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "whynot/common/dense_bitmap.h"
+#include "whynot/common/value.h"
+#include "whynot/concepts/ls_eval.h"
+#include "whynot/ontology/ontology.h"
+
+namespace whynot::explain {
+
+/// Word-parallel answer-cover kernel (the PR-3 inner loop of every
+/// explanation search). For a fixed answer set Ans, the *cover* of an
+/// extension at position i is the bitmap over answer indices
+///   Cover(x, i) = { a : Ans[a][i] ∈ ext(x) },
+/// and both product conditions of Definitions 3.2 / the why dual reduce to
+/// an AND over positions:
+///
+///   ext(e_1) × ... × ext(e_m) ∩ Ans ≠ ∅  iff  ⋀_i Cover(e_i, i) ≠ 0;
+///   |ext(e_1) × ... × ext(e_m) ∩ Ans|    =    popcount(⋀_i Cover(e_i, i)).
+///
+/// One O(|Ans|) cover build per (concept, position) — each probe O(1) via
+/// the extension bitmaps — replaces a scalar membership probe per
+/// (answer, position) per *candidate*; candidate checks drop to
+/// m · ⌈|Ans|/64⌉ word ANDs with early exit. An All/⊤ extension covers
+/// every answer (the full-prefix bitmap), an empty one covers none, so the
+/// kernel needs no special-casing at the call sites for the intersection
+/// form; the counting (containment) form keeps its finite/overflow
+/// pre-checks at the caller.
+
+/// Covers for an external finite ontology bound to an instance: keyed by
+/// ConceptId. `answers` are id rows interned against bound->pool()
+/// (InternAnswers), captured by value; `bound` must outlive the covers.
+///
+/// Storage is a per-position chunked *arena*: covers live in contiguous
+/// kChunkConcepts × words(|Ans|) word blocks allocated on demand, covers
+/// are pointers into them — a handful of allocations per position instead
+/// of one per cover, without committing NumConcepts × |Ans| memory when
+/// only a few concepts are ever probed at a position (chunk buffers never
+/// move once allocated, so handed-out pointers stay valid).
+class ConceptAnswerCovers {
+ public:
+  /// Concepts per arena chunk; bounds slack at 32 covers' worth of words.
+  static constexpr size_t kChunkConcepts = 32;
+
+  ConceptAnswerCovers(onto::BoundOntology* bound,
+                      std::vector<std::vector<ValueId>> answers);
+
+  const std::vector<std::vector<ValueId>>& answers() const { return answers_; }
+  size_t num_answers() const { return answers_.size(); }
+  /// Words per cover (= ⌈|Ans|/64⌉).
+  size_t num_words() const { return num_words_; }
+  /// The all-ones cover (trailing bits zero).
+  const std::vector<uint64_t>& full_words() const { return full_; }
+
+  /// Cover(c, pos), built on first use (two array loads on the warm path,
+  /// no tree/hash walk). nullptr iff Ans is empty (zero words).
+  const uint64_t* Cover(onto::ConceptId c, size_t pos) {
+    // built_[pos] stays empty until the first build at this position
+    // (positions can be touched out of order), so guard before indexing.
+    if (pos < built_.size() && !built_[pos].empty() &&
+        built_[pos][static_cast<size_t>(c)]) {
+      size_t idx = static_cast<size_t>(c);
+      return chunks_[pos][idx / kChunkConcepts].data() +
+             (idx % kChunkConcepts) * num_words_;
+    }
+    return BuildCover(c, pos);
+  }
+
+  /// ⋀_i Cover(e_i, i) ≠ 0 : the candidate product intersects Ans.
+  bool ProductIntersects(const std::vector<onto::ConceptId>& e);
+
+  /// popcount(⋀_i Cover(e_i, i)) : answers covered componentwise.
+  size_t CountCovered(const std::vector<onto::ConceptId>& e);
+
+  /// ⋀_{i != skip} Cover(e_i, i) — the loop-invariant part of a probe
+  /// sweep that varies one position. All ones (over |Ans|) when every
+  /// position is skipped.
+  std::vector<uint64_t> AndAllExcept(const std::vector<onto::ConceptId>& e,
+                                     size_t skip);
+
+  /// (words ∧ cover) ≠ 0 without materializing the AND.
+  static bool AnyAnd(const std::vector<uint64_t>& words,
+                     const uint64_t* cover) {
+    for (size_t w = 0; w < words.size(); ++w) {
+      if (words[w] & cover[w]) return true;
+    }
+    return false;
+  }
+
+  /// The shared m-way word-AND kernels: `cover_at(i)` yields position i's
+  /// cover (all covers num_words() long). Any: early-exits on the first
+  /// surviving word; Count: popcount of the full AND. Used by the product
+  /// checks here and by the enumeration odometers in exhaustive.cc /
+  /// cardinality.cc so the kernel exists exactly once.
+  template <typename CoverAt>
+  static bool ProductAny(size_t m, size_t nwords, CoverAt cover_at) {
+    for (size_t w = 0; w < nwords; ++w) {
+      uint64_t acc = cover_at(0)[w];
+      for (size_t i = 1; i < m && acc != 0; ++i) acc &= cover_at(i)[w];
+      if (acc != 0) return true;
+    }
+    return false;
+  }
+  template <typename CoverAt>
+  static size_t ProductCount(size_t m, size_t nwords, CoverAt cover_at) {
+    size_t count = 0;
+    for (size_t w = 0; w < nwords; ++w) {
+      uint64_t acc = cover_at(0)[w];
+      for (size_t i = 1; i < m && acc != 0; ++i) acc &= cover_at(i)[w];
+      count += static_cast<size_t>(__builtin_popcountll(acc));
+    }
+    return count;
+  }
+
+  /// Pre-resolved cover table for the candidate-product odometers
+  /// (exhaustive enumeration, exact cardinality): covers aligned with the
+  /// per-position candidate lists, so the avoidance test per candidate is
+  /// one m-way word AND with no lookups.
+  class ListCovers {
+   public:
+    ListCovers(ConceptAnswerCovers* covers,
+               const std::vector<std::vector<onto::ConceptId>>& lists)
+        : num_answers_(covers->num_answers()),
+          nwords_(covers->num_words()),
+          table_(lists.size()) {
+      for (size_t i = 0; i < lists.size(); ++i) {
+        table_[i].reserve(lists[i].size());
+        for (onto::ConceptId c : lists[i]) {
+          table_[i].push_back(covers->Cover(c, i));
+        }
+      }
+    }
+
+    /// ⋀_i Cover(lists[i][idx[i]], i) ≠ 0.
+    bool ProductAnyAt(const std::vector<size_t>& idx) const {
+      if (num_answers_ == 0) return false;
+      return ProductAny(table_.size(), nwords_,
+                        [&](size_t i) { return table_[i][idx[i]]; });
+    }
+
+   private:
+    size_t num_answers_;
+    size_t nwords_;
+    std::vector<std::vector<const uint64_t*>> table_;
+  };
+
+ private:
+  const uint64_t* BuildCover(onto::ConceptId c, size_t pos);
+
+  onto::BoundOntology* bound_;
+  std::vector<std::vector<ValueId>> answers_;
+  size_t num_words_;
+  // chunks_[pos][chunk]: kChunkConcepts × num_words_ words (empty until a
+  // concept of that chunk is built); built_[pos][concept].
+  std::vector<std::vector<std::vector<uint64_t>>> chunks_;
+  std::vector<std::vector<uint8_t>> built_;
+  std::vector<uint64_t> full_;
+  std::vector<const uint64_t*> scratch_ptrs_;
+};
+
+/// Covers for the derived ontology O_I: keyed by ls::Extension *identity*.
+/// Extensions passed to Cover must be stable for the covers' lifetime —
+/// references into an ls::EvalCache (node-based maps) or locals owned by
+/// the search; All() extensions are recognized by flag, not address.
+/// `instance` and `answers` must outlive the covers and stay fixed.
+class LsAnswerCovers {
+ public:
+  LsAnswerCovers(const rel::Instance* instance,
+                 const std::vector<Tuple>* answers);
+
+  size_t num_answers() const { return answers_->size(); }
+
+  /// Cover(ext, pos), built on first use (identity-cached).
+  const DenseBitmap& Cover(const ls::Extension& ext, size_t pos);
+
+  /// ⋀_i Cover(exts_i, i) ≠ 0, with position `swap_pos` (if != SIZE_MAX)
+  /// read from `repl` instead of exts[swap_pos] — the probe form of the
+  /// greedy searches, no vector copies.
+  bool ProductIntersects(const std::vector<const ls::Extension*>& exts,
+                         size_t swap_pos = SIZE_MAX,
+                         const ls::Extension* repl = nullptr);
+
+  /// popcount of the AND, same swap convention.
+  size_t CountCovered(const std::vector<const ls::Extension*>& exts,
+                      size_t swap_pos = SIZE_MAX,
+                      const ls::Extension* repl = nullptr);
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<const ls::Extension*, size_t>& k) const {
+      uintptr_t p = reinterpret_cast<uintptr_t>(k.first);
+      return (p >> 4) * 1099511628211ull ^ k.second;
+    }
+  };
+
+  const std::vector<Tuple>* answers_;
+  const ValuePool* pool_;
+  // columns_[pos][a] = pool id of (*answers_)[a][pos], -1 if not interned.
+  std::vector<std::vector<ValueId>> columns_;
+  std::unordered_map<std::pair<const ls::Extension*, size_t>, DenseBitmap,
+                     KeyHash>
+      covers_;
+  DenseBitmap full_;
+  std::vector<const uint64_t*> scratch_ptrs_;
+};
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_ANSWER_COVER_H_

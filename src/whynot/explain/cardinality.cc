@@ -28,10 +28,14 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
     lists[i] = bound->ConceptsContaining(id);
     if (lists[i].empty()) return std::optional<CardinalityResult>();
   }
-  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
+  // Pre-resolve cover pointers aligned with the candidate lists: the
+  // enumeration's avoidance test is then an m-way word AND with no
+  // per-candidate cover lookups.
+  size_t m = wni.arity();
+  ConceptAnswerCovers::ListCovers list_covers(&covers, lists);
 
   std::optional<CardinalityResult> best;
-  size_t m = wni.arity();
   std::vector<size_t> idx(m, 0);
   std::vector<onto::ConceptId> current(m);
   size_t count = 0;
@@ -42,7 +46,7 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
           "(Proposition 6.4: no PTIME algorithm exists unless P=NP)");
     }
     for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-    if (!ProductIntersectsAnswers(bound, current, answers)) {
+    if (!list_covers.ProductAnyAt(idx)) {
       Degree d = DegreeOf(bound, current);
       if (!best.has_value() || d > best->degree) {
         best = CardinalityResult{current, d};
@@ -63,7 +67,7 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
   Explanation seed;
   WHYNOT_ASSIGN_OR_RETURN(bool exists, ExistsExplanation(bound, wni, &seed));
   if (!exists) return std::optional<CardinalityResult>();
-  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
 
   // Per-position candidate lists are loop-invariant; hoist them out of
   // the climb.
@@ -79,18 +83,21 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
   while (improved) {
     improved = false;
     for (size_t i = 0; i < current.size(); ++i) {
-      Explanation probe = current;
+      // Positions other than i are stable across this candidate sweep
+      // (an accepted swap only changes position i), so their covers AND
+      // once; each candidate is one word-parallel intersect-any.
+      std::vector<uint64_t> base = covers.AndAllExcept(current, i);
       for (onto::ConceptId c : candidates[i]) {
         if (c == current[i]) continue;
+        if (ConceptAnswerCovers::AnyAnd(base, covers.Cover(c, i))) continue;
+        Explanation probe = current;
         probe[i] = c;
-        if (ProductIntersectsAnswers(bound, probe, answers)) continue;
         Degree d = DegreeOf(bound, probe);
         if (d > degree) {
-          current = probe;
+          current = std::move(probe);
           degree = d;
           improved = true;
         }
-        probe[i] = current[i];
       }
     }
   }

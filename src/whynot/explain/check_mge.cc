@@ -7,24 +7,49 @@ namespace whynot::explain {
 Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
                               const WhyNotInstance& wni,
                               const Explanation& candidate) {
-  WHYNOT_ASSIGN_OR_RETURN(bool is_expl, IsExplanation(bound, wni, candidate));
-  if (!is_expl) return false;
-  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
-  Explanation probe = candidate;
+  if (candidate.size() != wni.arity()) {
+    return Status::InvalidArgument(
+        "explanation arity does not match the missing tuple");
+  }
+  // Definition 3.2 inline (one answer interning, shared with the covers):
+  // every aᵢ ∈ ext(Cᵢ), and the extension product avoids Ans.
   for (size_t i = 0; i < candidate.size(); ++i) {
+    ValueId id = bound->pool().Intern(wni.missing[i]);
+    if (!bound->Ext(candidate[i]).Contains(id)) return false;
+  }
+  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
+  if (covers.ProductIntersects(candidate)) return false;
+  const std::vector<std::vector<ValueId>>& answers = covers.answers();
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    // The probe sweep only varies position i, so AND the other positions'
+    // covers once and keep just the *alive* answers (those covered
+    // everywhere else — the candidate being an explanation, its own
+    // position covers none of them). Each replacement concept is probed
+    // only against the alive answers, with early exit on the first hit;
+    // a cover per replacement would be built for a single use, which is
+    // exactly when the scalar probe wins.
+    std::vector<uint64_t> base = covers.AndAllExcept(candidate, i);
+    std::vector<uint32_t> alive;
+    for (size_t a = 0; a < covers.num_answers(); ++a) {
+      if ((base[a / 64] >> (a % 64)) & 1) alive.push_back(static_cast<uint32_t>(a));
+    }
     for (onto::ConceptId d = 0; d < bound->NumConcepts(); ++d) {
       // Strictly more general replacement at position i.
       if (!bound->Subsumes(candidate[i], d) || bound->Subsumes(d, candidate[i])) {
         continue;
       }
-      probe[i] = d;
       // ext(candidate[i]) ⊆ ext(d) by consistency, so the missing tuple
       // stays inside; only the answer-avoidance condition can break.
-      if (!ProductIntersectsAnswers(bound, probe, answers)) {
-        return false;  // a strictly more general explanation exists
+      const onto::ExtSet& ext = bound->Ext(d);
+      bool intersects = false;
+      for (uint32_t a : alive) {
+        if (ext.Contains(answers[a][i])) {
+          intersects = true;
+          break;
+        }
       }
+      if (!intersects) return false;  // strictly more general explanation
     }
-    probe[i] = candidate[i];
   }
   return true;
 }
@@ -34,27 +59,34 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              bool with_selections,
                              ls::LubContext* lub_context) {
   ls::EvalCache cache(wni.instance);
-  if (!IsLsExplanation(wni, candidate, &cache)) return false;
+  LsAnswerCovers covers(wni.instance, &wni.answers);
+  if (!IsLsExplanation(wni, candidate, &cache, &covers)) return false;
+  const ValuePool& pool = wni.instance->pool();
   const std::vector<Value>& adom = wni.instance->ActiveDomain();
-  LsExplanation probe = candidate;
+  const std::vector<ValueId>& adom_ids = wni.instance->ActiveDomainIds();
+  std::vector<const ls::Extension*> exts;
+  exts.reserve(candidate.size());
+  for (const ls::LsConcept& c : candidate) exts.push_back(&cache.Eval(c));
+  const ls::Extension top_ext = ls::Extension::All();
   for (size_t j = 0; j < candidate.size(); ++j) {
-    ls::Extension ext = cache.Eval(candidate[j]);
+    const ls::Extension& ext = *exts[j];
     if (ext.all) continue;  // already maximally general at this position
 
     // Generalization to ⊤ covers all constants outside adom(I) at once:
     // the only LS concepts containing a non-adom constant besides its own
-    // nominal are equivalent to ⊤.
-    probe[j] = ls::LsConcept::Top();
-    if (IsLsExplanation(wni, probe, &cache)) return false;
+    // nominal are equivalent to ⊤. (⊤ keeps the missing tuple inside; only
+    // the answer-avoidance condition decides.)
+    if (!covers.ProductIntersects(exts, j, &top_ext)) return false;
 
     // lines 4-11 of Algorithm 2, used as a maximality test: lub-generalize
     // by each uncovered active-domain constant.
-    std::vector<Value> support = ext.values;
+    std::vector<Value> support = ext.values();
     support.push_back(wni.missing[j]);
-    for (const Value& b : adom) {
-      if (ext.Contains(b)) continue;
+    ValueId missing_id = pool.Lookup(wni.missing[j]);
+    for (size_t bi = 0; bi < adom.size(); ++bi) {
+      if (ext.ContainsId(adom_ids[bi])) continue;
       std::vector<Value> extended = support;
-      extended.push_back(b);
+      extended.push_back(adom[bi]);
       ls::LsConcept generalized;
       if (with_selections) {
         WHYNOT_ASSIGN_OR_RETURN(generalized,
@@ -62,10 +94,12 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
       } else {
         generalized = lub_context->LubSelectionFree(extended);
       }
-      probe[j] = std::move(generalized);
-      if (IsLsExplanation(wni, probe, &cache)) return false;
+      const ls::Extension& cand = cache.Eval(generalized);
+      if (cand.ContainsInterned(missing_id, wni.missing[j]) &&
+          !covers.ProductIntersects(exts, j, &cand)) {
+        return false;
+      }
     }
-    probe[j] = candidate[j];
   }
   return true;
 }

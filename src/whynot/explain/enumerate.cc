@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <tuple>
 #include <utility>
 
 #include "whynot/concepts/ls_eval.h"
@@ -36,11 +37,14 @@ using ExclusionSet = std::set<GroundElement>;
 // extensions, and the *decision* elements — accepted additions that
 // changed an extension. Decisions are the only elements worth branching
 // on: excluding an absorbed element cannot change the greedy trajectory.
+// Extensions are pointers into the enumerator's lub cache (stable map
+// nodes) or its shared ⊤ extension, so the answer-cover kernel can key
+// cover bitmaps by identity across nodes.
 struct GreedyState {
   std::vector<std::vector<Value>> support;  // constants fed to lub
   std::vector<bool> topped;                 // position generalized to ⊤
   LsExplanation concepts;
-  std::vector<ls::Extension> exts;
+  std::vector<const ls::Extension*> exts;
   std::vector<GroundElement> decisions;
 };
 
@@ -52,7 +56,10 @@ class Enumerator {
         options_(options),
         lub_(lub),
         stats_(stats),
-        adom_(wni.instance->ActiveDomain()) {}
+        adom_(wni.instance->ActiveDomain()),
+        adom_ids_(wni.instance->ActiveDomainIds()),
+        covers_(wni.instance, &wni.answers),
+        top_ext_(ls::Extension::All()) {}
 
   // Exclusion-branching enumeration of maximal independent sets
   // (Lawler-style), specialized to this monotone system:
@@ -70,9 +77,14 @@ class Enumerator {
   //     M's support is attempted and accepted, every acceptance stays
   //     inside M), so the node reports M; otherwise some decision e ∉ M
   //     gives a child with F ∪ {e} still disjoint from M.
+  // Output-dedup key: extensions identified in id space (all extensions
+  // share the instance pool, so rank-sorted ids + boxed extras are
+  // canonical — integer comparisons, no values() materialization).
+  using ExtKey = std::tuple<bool, std::vector<ValueId>, std::vector<Value>>;
+
   Result<std::vector<LsExplanation>> Run() {
     std::vector<LsExplanation> results;
-    std::set<std::vector<std::pair<bool, std::vector<Value>>>> seen_outputs;
+    std::set<std::vector<ExtKey>> seen_outputs;
     std::set<ExclusionSet> visited;
     std::deque<ExclusionSet> queue;
     queue.push_back({});
@@ -97,10 +109,10 @@ class Enumerator {
                               MaximalUnconstrained(excluded, state));
       bool fresh_output = false;
       if (maximal) {
-        std::vector<std::pair<bool, std::vector<Value>>> ext_key;
+        std::vector<ExtKey> ext_key;
         ext_key.reserve(state.exts.size());
-        for (const ls::Extension& ext : state.exts) {
-          ext_key.emplace_back(ext.all, ext.values);
+        for (const ls::Extension* ext : state.exts) {
+          ext_key.emplace_back(ext->all, ext->ids(), ext->extras());
         }
         if (seen_outputs.insert(std::move(ext_key)).second) {
           fresh_output = true;
@@ -141,10 +153,10 @@ class Enumerator {
     for (size_t j = 0; j < m; ++j) {
       state->support[j] = {wni_.missing[j]};
       WHYNOT_ASSIGN_OR_RETURN(auto ce, LubAndEval(state->support[j]));
-      state->concepts[j] = std::move(ce.first);
-      state->exts[j] = std::move(ce.second);
+      state->concepts[j] = *ce.first;
+      state->exts[j] = ce.second;
     }
-    if (!IsExplanationNow(*state)) {
+    if (covers_.ProductIntersects(state->exts)) {
       return Status::Internal(
           "nominal-pinned tuple is not an explanation; contradicts "
           "Section 5.2");
@@ -154,27 +166,26 @@ class Enumerator {
       for (size_t bi = 0; bi < adom_.size() && !state->topped[j]; ++bi) {
         GroundElement e{static_cast<int>(j), static_cast<int>(bi)};
         if (excluded.count(e) > 0) continue;
-        const Value& b = adom_[bi];
         // Inside the current lub extension: adding b leaves the lub
         // unchanged (Lemma 5.1/5.2 minimality), so nothing to decide.
-        if (state->exts[j].Contains(b)) continue;
+        if (state->exts[j]->ContainsId(adom_ids_[bi])) continue;
         std::vector<Value> extended = state->support[j];
-        extended.push_back(b);
+        extended.push_back(adom_[bi]);
         WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
-        if (StaysExplanation(*state, j, cand.second)) {
+        if (StaysExplanation(*state, j, *cand.second)) {
           state->support[j] = std::move(extended);
-          state->concepts[j] = std::move(cand.first);
-          state->exts[j] = std::move(cand.second);
+          state->concepts[j] = *cand.first;
+          state->exts[j] = cand.second;
           state->decisions.push_back(e);
         }
       }
-      if (options_.generalize_to_top && !state->exts[j].all) {
+      if (options_.generalize_to_top && !state->exts[j]->all) {
         GroundElement top{static_cast<int>(j), kTopIndex};
         if (excluded.count(top) == 0 &&
-            StaysExplanation(*state, j, ls::Extension::All())) {
+            StaysExplanation(*state, j, top_ext_)) {
           state->topped[j] = true;
           state->concepts[j] = ls::LsConcept::Top();
-          state->exts[j] = ls::Extension::All();
+          state->exts[j] = &top_ext_;
           state->decisions.push_back(top);
         }
       }
@@ -189,20 +200,20 @@ class Enumerator {
                                     const GreedyState& state) {
     for (const GroundElement& e : excluded) {
       size_t j = static_cast<size_t>(e.position);
-      if (state.topped[j] || state.exts[j].all) continue;
+      if (state.topped[j] || state.exts[j]->all) continue;
       if (e.constant_index == kTopIndex) {
         if (options_.generalize_to_top &&
-            StaysExplanation(state, j, ls::Extension::All())) {
+            StaysExplanation(state, j, top_ext_)) {
           return false;
         }
         continue;
       }
-      const Value& b = adom_[static_cast<size_t>(e.constant_index)];
-      if (state.exts[j].Contains(b)) continue;  // absorbed: same MGE
+      size_t bi = static_cast<size_t>(e.constant_index);
+      if (state.exts[j]->ContainsId(adom_ids_[bi])) continue;  // absorbed
       std::vector<Value> extended = state.support[j];
-      extended.push_back(b);
+      extended.push_back(adom_[bi]);
       WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
-      if (StaysExplanation(state, j, cand.second)) return false;
+      if (StaysExplanation(state, j, *cand.second)) return false;
     }
     return true;
   }
@@ -213,46 +224,32 @@ class Enumerator {
   }
 
   // Memoized lub + evaluation: branch-tree nodes share long support-set
-  // prefixes, so the same lub is requested many times across nodes.
-  Result<std::pair<ls::LsConcept, ls::Extension>> LubAndEval(
+  // prefixes, so the same lub is requested many times across nodes. The
+  // returned pointers reference the cache's map nodes (stable), which the
+  // answer-cover kernel keys its bitmaps by.
+  Result<std::pair<const ls::LsConcept*, const ls::Extension*>> LubAndEval(
       const std::vector<Value>& x) {
     std::vector<Value> key = x;
     std::sort(key.begin(), key.end());
     key.erase(std::unique(key.begin(), key.end()), key.end());
     auto it = lub_cache_.find(key);
-    if (it != lub_cache_.end()) return it->second;
-    WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept concept_expr, Lub(x));
-    ls::Extension ext = ls::Eval(concept_expr, *wni_.instance);
-    auto value = std::make_pair(std::move(concept_expr), std::move(ext));
-    lub_cache_.emplace(std::move(key), value);
-    return value;
-  }
-
-  bool IsExplanationNow(const GreedyState& state) const {
-    for (const Tuple& ans : wni_.answers) {
-      bool inside = true;
-      for (size_t j = 0; j < state.exts.size() && inside; ++j) {
-        inside = state.exts[j].Contains(ans[j]);
-      }
-      if (inside) return false;
+    if (it == lub_cache_.end()) {
+      WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept concept_expr, Lub(x));
+      ls::Extension ext = ls::Eval(concept_expr, *wni_.instance);
+      it = lub_cache_
+               .emplace(std::move(key), std::make_pair(std::move(concept_expr),
+                                                       std::move(ext)))
+               .first;
     }
-    return true;
+    return std::make_pair<const ls::LsConcept*, const ls::Extension*>(
+        &it->second.first, &it->second.second);
   }
 
   // Would replacing position j's extension with `cand` keep the product
-  // disjoint from Ans?
+  // disjoint from Ans? One word-parallel AND over cover bitmaps.
   bool StaysExplanation(const GreedyState& state, size_t j,
-                        const ls::Extension& cand) const {
-    for (const Tuple& ans : wni_.answers) {
-      if (!cand.Contains(ans[j])) continue;
-      bool inside = true;
-      for (size_t k = 0; k < state.exts.size() && inside; ++k) {
-        if (k == j) continue;
-        inside = state.exts[k].Contains(ans[k]);
-      }
-      if (inside) return false;
-    }
-    return true;
+                        const ls::Extension& cand) {
+    return !covers_.ProductIntersects(state.exts, j, &cand);
   }
 
   const WhyNotInstance& wni_;
@@ -260,6 +257,9 @@ class Enumerator {
   ls::LubContext* lub_;
   EnumerateStats* stats_;
   const std::vector<Value>& adom_;
+  const std::vector<ValueId>& adom_ids_;
+  LsAnswerCovers covers_;
+  const ls::Extension top_ext_;
   std::map<std::vector<Value>, std::pair<ls::LsConcept, ls::Extension>>
       lub_cache_;
 };

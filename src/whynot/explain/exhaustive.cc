@@ -21,16 +21,21 @@ Result<std::vector<std::vector<onto::ConceptId>>> CandidateLists(
 
 /// Enumerates the candidate product, calling `visit` on every tuple that
 /// avoids Ans (line 2 of Algorithm 1). `visit` returns false to abort.
+/// The avoidance test is the answer-cover kernel: per (position, concept)
+/// cover bitmaps are resolved once per candidate list, then each candidate
+/// is one m-way word-parallel AND with early exit.
 template <typename Visit>
 Status EnumerateExplanations(
-    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    const WhyNotInstance& wni,
     const std::vector<std::vector<onto::ConceptId>>& lists,
-    const std::vector<std::vector<ValueId>>& answers, size_t max_candidates,
-    Visit visit) {
+    ConceptAnswerCovers* covers, size_t max_candidates, Visit visit) {
   size_t m = wni.arity();
   for (const auto& list : lists) {
     if (list.empty()) return Status::OK();
   }
+  // Pre-resolve cover pointers aligned with the candidate lists.
+  ConceptAnswerCovers::ListCovers list_covers(covers, lists);
+
   std::vector<size_t> idx(m, 0);
   std::vector<onto::ConceptId> current(m);
   size_t count = 0;
@@ -40,8 +45,8 @@ Status EnumerateExplanations(
           "candidate enumeration exceeded max_candidates (the space is "
           "exponential in the query arity, Theorem 5.2)");
     }
-    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-    if (!ProductIntersectsAnswers(bound, current, answers)) {
+    if (!list_covers.ProductAnyAt(idx)) {
+      for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
       if (!visit(current)) return Status::OK();
     }
     // Advance the odometer.
@@ -62,12 +67,12 @@ Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
     const ExhaustiveOptions& options) {
   WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<onto::ConceptId>> lists,
                           CandidateLists(bound, wni));
-  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
 
   // Line 2: the set X of all explanations.
   std::vector<Explanation> x;
   WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
-      bound, wni, lists, answers, options.max_candidates,
+      wni, lists, &covers, options.max_candidates,
       [&x](const Explanation& e) {
         x.push_back(e);
         return true;
@@ -104,11 +109,11 @@ Result<std::vector<Explanation>> PrunedSearchAllMge(
     const ExhaustiveOptions& options) {
   WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<onto::ConceptId>> lists,
                           CandidateLists(bound, wni));
-  std::vector<std::vector<ValueId>> answers = InternAnswers(bound, wni);
+  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
 
   std::vector<Explanation> antichain;
   WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
-      bound, wni, lists, answers, options.max_candidates,
+      wni, lists, &covers, options.max_candidates,
       [&](const Explanation& e) {
         // Skip candidates dominated by (or equivalent to) a kept one.
         for (const Explanation& kept : antichain) {

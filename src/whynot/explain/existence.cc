@@ -6,22 +6,22 @@ namespace whynot::explain {
 
 namespace {
 
-/// Backtracking state: at position i with a set of still-alive answers
+/// Backtracking state: at position i with a bitmap of still-alive answers
 /// (answers not yet excluded at any earlier position). An explanation
 /// exists below this state iff every alive answer can be excluded at some
-/// remaining position.
+/// remaining position. Narrowing the alive set by a candidate concept is
+/// one word-parallel AND with its answer-cover bitmap.
 class Search {
  public:
   Search(onto::BoundOntology* bound, const WhyNotInstance& wni,
          const ExistenceOptions& options)
-      : bound_(bound), options_(options) {
+      : options_(options), covers_(bound, InternAnswers(bound, wni)) {
     m_ = wni.arity();
     candidates_.resize(m_);
     for (size_t i = 0; i < m_; ++i) {
       ValueId id = bound->pool().Intern(wni.missing[i]);
       candidates_[i] = bound->ConceptsContaining(id);
     }
-    answers_ = InternAnswers(bound, wni);
     chosen_.resize(m_);
   }
 
@@ -29,16 +29,22 @@ class Search {
     for (const auto& list : candidates_) {
       if (list.empty()) return false;
     }
-    std::vector<uint32_t> alive(answers_.size());
-    for (uint32_t i = 0; i < answers_.size(); ++i) alive[i] = i;
     bool found = false;
-    WHYNOT_RETURN_IF_ERROR(Descend(0, alive, &found));
+    WHYNOT_RETURN_IF_ERROR(Descend(0, covers_.full_words(), &found));
     if (found && witness != nullptr) *witness = chosen_;
     return found;
   }
 
  private:
-  Status Descend(size_t pos, const std::vector<uint32_t>& alive, bool* found) {
+  static bool Any(const std::vector<uint64_t>& words) {
+    for (uint64_t w : words) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  Status Descend(size_t pos, const std::vector<uint64_t>& alive,
+                 bool* found) {
     if (*found) return Status::OK();
     if (++nodes_ > options_.max_nodes) {
       return Status::ResourceExhausted(
@@ -46,18 +52,17 @@ class Search {
           "Theorem 5.1.2)");
     }
     if (pos == m_) {
-      if (alive.empty()) *found = true;
+      if (!Any(alive)) *found = true;
       return Status::OK();
     }
     // Memoize defeated (pos, alive) states.
     auto key = std::make_pair(pos, alive);
     if (defeated_.count(key) > 0) return Status::OK();
 
+    std::vector<uint64_t> next(alive.size());
     for (onto::ConceptId c : candidates_[pos]) {
-      std::vector<uint32_t> next;
-      for (uint32_t a : alive) {
-        if (bound_->Ext(c).Contains(answers_[a][pos])) next.push_back(a);
-      }
+      const uint64_t* cover = covers_.Cover(c, pos);
+      for (size_t w = 0; w < alive.size(); ++w) next[w] = alive[w] & cover[w];
       chosen_[pos] = c;
       WHYNOT_RETURN_IF_ERROR(Descend(pos + 1, next, found));
       if (*found) return Status::OK();
@@ -66,13 +71,12 @@ class Search {
     return Status::OK();
   }
 
-  onto::BoundOntology* bound_;
   ExistenceOptions options_;
   size_t m_ = 0;
   std::vector<std::vector<onto::ConceptId>> candidates_;
-  std::vector<std::vector<ValueId>> answers_;
+  ConceptAnswerCovers covers_;
   Explanation chosen_;
-  std::set<std::pair<size_t, std::vector<uint32_t>>> defeated_;
+  std::set<std::pair<size_t, std::vector<uint64_t>>> defeated_;
   size_t nodes_ = 0;
 };
 

@@ -68,34 +68,38 @@ std::string ExplanationToString(const onto::BoundOntology& bound,
 namespace {
 
 bool IsLsExplanationImpl(const WhyNotInstance& wni, const LsExplanation& e,
-                         ls::EvalCache* cache) {
+                         ls::EvalCache* cache, LsAnswerCovers* covers) {
   if (e.size() != wni.arity()) return false;
-  std::vector<ls::Extension> exts;
+  const ValuePool& pool = wni.instance->pool();
+  std::vector<const ls::Extension*> exts;
   exts.reserve(e.size());
   for (size_t i = 0; i < e.size(); ++i) {
-    exts.push_back(cache != nullptr ? cache->Eval(e[i])
-                                    : ls::Eval(e[i], *wni.instance));
-    if (!exts.back().Contains(wni.missing[i])) return false;
-  }
-  for (const Tuple& ans : wni.answers) {
-    bool inside = true;
-    for (size_t i = 0; i < e.size() && inside; ++i) {
-      inside = exts[i].Contains(ans[i]);
+    const ls::Extension& ext = cache->Eval(e[i]);
+    if (!ext.ContainsInterned(pool.Lookup(wni.missing[i]), wni.missing[i])) {
+      return false;
     }
-    if (inside) return false;
+    exts.push_back(&ext);
   }
-  return true;
+  return !covers->ProductIntersects(exts);
 }
 
 }  // namespace
 
 bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e) {
-  return IsLsExplanationImpl(wni, e, nullptr);
+  ls::EvalCache cache(wni.instance);
+  LsAnswerCovers covers(wni.instance, &wni.answers);
+  return IsLsExplanationImpl(wni, e, &cache, &covers);
 }
 
 bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e,
                      ls::EvalCache* cache) {
-  return IsLsExplanationImpl(wni, e, cache);
+  LsAnswerCovers covers(wni.instance, &wni.answers);
+  return IsLsExplanationImpl(wni, e, cache, &covers);
+}
+
+bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e,
+                     ls::EvalCache* cache, LsAnswerCovers* covers) {
+  return IsLsExplanationImpl(wni, e, cache, covers);
 }
 
 bool LessGeneralI(const rel::Instance& instance, const LsExplanation& e,

@@ -7,6 +7,7 @@
 #include "whynot/common/status.h"
 #include "whynot/concepts/ls_concept.h"
 #include "whynot/concepts/ls_eval.h"
+#include "whynot/explain/answer_cover.h"
 #include "whynot/explain/whynot_instance.h"
 #include "whynot/ontology/ontology.h"
 
@@ -59,6 +60,12 @@ bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e);
 /// evaluated conjuncts instead of fresh relation scans.
 bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e,
                      ls::EvalCache* cache);
+
+/// The fully hoisted form: `covers` must be an LsAnswerCovers over
+/// (wni.instance, wni.answers) fed by the same `cache`. The answer-product
+/// condition is then one word-parallel AND over cached cover bitmaps.
+bool IsLsExplanation(const WhyNotInstance& wni, const LsExplanation& e,
+                     ls::EvalCache* cache, LsAnswerCovers* covers);
 
 /// Pointwise ⊑_I.
 bool LessGeneralI(const rel::Instance& instance, const LsExplanation& e,

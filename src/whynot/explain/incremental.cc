@@ -19,17 +19,29 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
                                         ls::LubContext* lub_context) {
   size_t m = wni.arity();
   ls::EvalCache cache(wni.instance);
+  LsAnswerCovers covers(wni.instance, &wni.answers);
+  const ValuePool& pool = wni.instance->pool();
 
   // Lines 2-3: support sets X_j = {a_j}; first candidate explanation
-  // E = (lub(X_1), ..., lub(X_m)).
+  // E = (lub(X_1), ..., lub(X_m)). Extensions are held as pointers into
+  // the EvalCache (stable) so the cover bitmaps cache by identity.
   std::vector<std::vector<Value>> support(m);
   LsExplanation e(m);
+  std::vector<const ls::Extension*> exts(m);
+  std::vector<ValueId> missing_ids(m);
   for (size_t j = 0; j < m; ++j) {
     support[j] = {wni.missing[j]};
     WHYNOT_ASSIGN_OR_RETURN(
         e[j], Lub(lub_context, options.with_selections, support[j]));
+    exts[j] = &cache.Eval(e[j]);
+    missing_ids[j] = pool.Lookup(wni.missing[j]);
   }
-  if (!IsLsExplanation(wni, e, &cache)) {
+  bool initial_ok = true;
+  for (size_t j = 0; j < m && initial_ok; ++j) {
+    initial_ok = exts[j]->ContainsInterned(missing_ids[j], wni.missing[j]);
+  }
+  if (initial_ok) initial_ok = !covers.ProductIntersects(exts);
+  if (!initial_ok) {
     return Status::Internal(
         "initial nominal-pinned tuple is not an explanation; this "
         "contradicts Section 5.2 (the trivial explanation always exists)");
@@ -37,21 +49,23 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
 
   // Lines 4-11: for every position and every uncovered active-domain
   // constant, try the lub-generalized tuple; keep it if it remains an
-  // explanation.
+  // explanation. The probe is one word-parallel AND over the cover
+  // bitmaps with position j swapped to the candidate.
   const std::vector<Value>& adom = wni.instance->ActiveDomain();
+  const std::vector<ValueId>& adom_ids = wni.instance->ActiveDomainIds();
   for (size_t j = 0; j < m; ++j) {
-    for (const Value& b : adom) {
-      ls::Extension ext = cache.Eval(e[j]);
-      if (ext.Contains(b)) continue;
+    for (size_t bi = 0; bi < adom.size(); ++bi) {
+      if (exts[j]->ContainsId(adom_ids[bi])) continue;
       std::vector<Value> extended = support[j];
-      extended.push_back(b);
+      extended.push_back(adom[bi]);
       WHYNOT_ASSIGN_OR_RETURN(
           ls::LsConcept generalized,
           Lub(lub_context, options.with_selections, extended));
-      LsExplanation probe = e;
-      probe[j] = generalized;
-      if (IsLsExplanation(wni, probe, &cache)) {
-        e = std::move(probe);
+      const ls::Extension& cand = cache.Eval(generalized);
+      if (cand.ContainsInterned(missing_ids[j], wni.missing[j]) &&
+          !covers.ProductIntersects(exts, j, &cand)) {
+        e[j] = std::move(generalized);
+        exts[j] = &cand;
         support[j] = std::move(extended);
       }
     }
@@ -60,11 +74,13 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
   // Final sweep: ⊤ is strictly more general than any concept whose
   // extension is finite; accept it where the tuple stays an explanation.
   if (options.generalize_to_top) {
+    const ls::Extension top_ext = ls::Extension::All();
     for (size_t j = 0; j < m; ++j) {
-      if (cache.Eval(e[j]).all) continue;
-      LsExplanation probe = e;
-      probe[j] = ls::LsConcept::Top();
-      if (IsLsExplanation(wni, probe, &cache)) e = std::move(probe);
+      if (exts[j]->all) continue;
+      if (!covers.ProductIntersects(exts, j, &top_ext)) {
+        e[j] = ls::LsConcept::Top();
+        exts[j] = &cache.Eval(e[j]);
+      }
     }
   }
   return e;

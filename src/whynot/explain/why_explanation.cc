@@ -40,59 +40,33 @@ std::vector<Tuple> SortedUniqueAnswers(const WhyInstance& wi) {
   return answers;
 }
 
-/// Shared counting core of the "product ⊆ Ans" checks: the product tuples
-/// are pairwise distinct and Ans is duplicate-free, so the product is
-/// inside Ans iff |product| equals the number of answers whose every
-/// component lies in the corresponding extension. That replaces the
-/// exponential product walk (with a set probe per tuple) by one pass over
-/// Ans with O(1)/logarithmic membership tests. An All extension at any
+/// "product ⊆ Ans" in counting form over the answer-cover kernel: the
+/// product tuples are pairwise distinct and Ans is duplicate-free, so the
+/// product is inside Ans iff |product| equals the number of answers whose
+/// every component lies in the corresponding extension — and that number
+/// is popcount(⋀_i Cover(e_i, i)), one word-parallel AND instead of a
+/// scalar membership pass per (answer, position). An All extension at any
 /// position makes the product infinite, hence never ⊆ the finite answer
 /// set — unless some other position is empty, making the product empty
 /// and vacuously inside.
 ///
-/// `is_all(ext)`, `size(ext)` (finite case only) and
-/// `contains(ext, row, i)` adapt the two extension representations.
-template <typename Ext, typename Row, typename IsAllFn, typename SizeFn,
-          typename ContainsFn>
-bool CountingProductInside(const std::vector<Ext>& exts,
-                           const std::vector<Row>& answers, IsAllFn is_all,
-                           SizeFn size, ContainsFn contains) {
-  for (const Ext& e : exts) {
-    if (!is_all(e) && size(e) == 0) return true;  // vacuously inside
-  }
-  for (const Ext& e : exts) {
-    if (is_all(e)) return false;
-  }
-  size_t product_size = 1;
-  for (const Ext& e : exts) {
-    // |product| > |Ans| can never be covered; bail before overflow.
-    if (product_size > answers.size() / size(e)) return false;
-    product_size *= size(e);
-  }
-  size_t inside = 0;
-  for (const Row& ans : answers) {
-    bool covered = true;
-    for (size_t i = 0; i < exts.size() && covered; ++i) {
-      covered = contains(exts[i], ans, i);
-    }
-    inside += covered ? 1 : 0;
-  }
-  return inside == product_size;
-}
-
 /// ext(C1) × ... × ext(Cm) ⊆ Ans over a bound finite ontology.
 bool ProductInsideAnswers(onto::BoundOntology* bound,
                           const std::vector<onto::ConceptId>& concepts,
-                          const std::vector<std::vector<ValueId>>& answers) {
-  std::vector<const onto::ExtSet*> exts;
-  exts.reserve(concepts.size());
-  for (onto::ConceptId c : concepts) exts.push_back(&bound->Ext(c));
-  return CountingProductInside(
-      exts, answers, [](const onto::ExtSet* e) { return e->is_all(); },
-      [](const onto::ExtSet* e) { return e->size(); },
-      [](const onto::ExtSet* e, const std::vector<ValueId>& ans, size_t i) {
-        return e->Contains(ans[i]);
-      });
+                          ConceptAnswerCovers* covers) {
+  for (onto::ConceptId c : concepts) {
+    const onto::ExtSet& e = bound->Ext(c);
+    if (!e.is_all() && e.size() == 0) return true;  // vacuously inside
+  }
+  size_t product_size = 1;
+  for (onto::ConceptId c : concepts) {
+    const onto::ExtSet& e = bound->Ext(c);
+    if (e.is_all()) return false;
+    // |product| > |Ans| can never be covered; bail before overflow.
+    if (product_size > covers->num_answers() / e.size()) return false;
+    product_size *= e.size();
+  }
+  return covers->CountCovered(concepts) == product_size;
 }
 
 /// Answers interned against the pool, sort-deduped for the counting check.
@@ -122,7 +96,8 @@ Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
     ValueId id = bound->pool().Intern(wi.present[i]);
     if (!bound->Ext(e[i]).Contains(id)) return false;
   }
-  return ProductInsideAnswers(bound, e, InternedUniqueAnswers(bound, wi));
+  ConceptAnswerCovers covers(bound, InternedUniqueAnswers(bound, wi));
+  return ProductInsideAnswers(bound, e, &covers);
 }
 
 Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
@@ -135,7 +110,7 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     lists[i] = bound->ConceptsContaining(id);
     if (lists[i].empty()) return std::vector<Explanation>{};
   }
-  std::vector<std::vector<ValueId>> answers = InternedUniqueAnswers(bound, wi);
+  ConceptAnswerCovers covers(bound, InternedUniqueAnswers(bound, wi));
 
   std::vector<Explanation> antichain;
   std::vector<size_t> idx(m, 0);
@@ -154,7 +129,7 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
         break;
       }
     }
-    if (!dominated && ProductInsideAnswers(bound, current, answers)) {
+    if (!dominated && ProductInsideAnswers(bound, current, &covers)) {
       antichain.erase(
           std::remove_if(antichain.begin(), antichain.end(),
                          [&](const Explanation& kept) {
@@ -179,16 +154,29 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
 namespace {
 
 /// ext(C1) × ... × ext(Cm) ⊆ Ans over LS extensions — the same counting
-/// core, with binary-search membership over sorted Value vectors. Requires
-/// a sort-deduped answer vector (SortedUniqueAnswers).
-bool LsProductInsideAnswers(const std::vector<ls::Extension>& exts,
-                            const std::vector<Tuple>& answers) {
-  return CountingProductInside(
-      exts, answers, [](const ls::Extension& e) { return e.all; },
-      [](const ls::Extension& e) { return e.values.size(); },
-      [](const ls::Extension& e, const Tuple& ans, size_t i) {
-        return e.Contains(ans[i]);
-      });
+/// core over the LS answer-cover kernel. `covers` must be built over the
+/// sort-deduped answer vector; position `swap_pos` (if set) is read from
+/// `repl` instead of exts[swap_pos], the probe form of the greedy search.
+bool LsProductInsideAnswers(LsAnswerCovers* covers,
+                            const std::vector<const ls::Extension*>& exts,
+                            size_t swap_pos = SIZE_MAX,
+                            const ls::Extension* repl = nullptr) {
+  auto ext_at = [&](size_t i) -> const ls::Extension& {
+    return i == swap_pos ? *repl : *exts[i];
+  };
+  for (size_t i = 0; i < exts.size(); ++i) {
+    const ls::Extension& e = ext_at(i);
+    if (!e.all && e.CardinalityOrInfinite() == 0) return true;
+  }
+  size_t product_size = 1;
+  for (size_t i = 0; i < exts.size(); ++i) {
+    const ls::Extension& e = ext_at(i);
+    if (e.all) return false;
+    size_t size = e.CardinalityOrInfinite();
+    if (product_size > covers->num_answers() / size) return false;
+    product_size *= size;
+  }
+  return covers->CountCovered(exts, swap_pos, repl) == product_size;
 }
 
 Result<ls::LsConcept> WhyLub(ls::LubContext* ctx, bool with_selections,
@@ -197,25 +185,30 @@ Result<ls::LsConcept> WhyLub(ls::LubContext* ctx, bool with_selections,
   return ctx->LubSelectionFree(x);
 }
 
-/// `answers` must be the sort-deduped answer vector of `wi`.
+/// `covers` must be over the sort-deduped answer vector of `wi`.
 bool IsLsWhyExplanationImpl(const WhyInstance& wi, const LsExplanation& e,
-                            const std::vector<Tuple>& answers,
-                            ls::EvalCache* cache) {
+                            LsAnswerCovers* covers, ls::EvalCache* cache) {
   if (e.size() != wi.arity()) return false;
-  std::vector<ls::Extension> exts;
+  const ValuePool& pool = wi.instance->pool();
+  std::vector<const ls::Extension*> exts;
   exts.reserve(e.size());
   for (size_t i = 0; i < e.size(); ++i) {
-    exts.push_back(cache != nullptr ? cache->Eval(e[i])
-                                    : ls::Eval(e[i], *wi.instance));
-    if (!exts.back().Contains(wi.present[i])) return false;
+    const ls::Extension& ext = cache->Eval(e[i]);
+    if (!ext.ContainsInterned(pool.Lookup(wi.present[i]), wi.present[i])) {
+      return false;
+    }
+    exts.push_back(&ext);
   }
-  return LsProductInsideAnswers(exts, answers);
+  return LsProductInsideAnswers(covers, exts);
 }
 
 }  // namespace
 
 bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e) {
-  return IsLsWhyExplanationImpl(wi, e, SortedUniqueAnswers(wi), nullptr);
+  ls::EvalCache cache(wi.instance);
+  const std::vector<Tuple> answers = SortedUniqueAnswers(wi);
+  LsAnswerCovers covers(wi.instance, &answers);
+  return IsLsWhyExplanationImpl(wi, e, &covers, &cache);
 }
 
 Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
@@ -224,39 +217,42 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
   ls::EvalCache cache(wi.instance);
   size_t m = wi.arity();
   const std::vector<Tuple> answers = SortedUniqueAnswers(wi);
+  LsAnswerCovers covers(wi.instance, &answers);
+  const ValuePool& pool = wi.instance->pool();
 
   std::vector<std::vector<Value>> support(m);
   LsExplanation e(m);
-  std::vector<ls::Extension> exts(m);
+  std::vector<const ls::Extension*> exts(m);
   for (size_t j = 0; j < m; ++j) {
     support[j] = {wi.present[j]};
     WHYNOT_ASSIGN_OR_RETURN(e[j], WhyLub(&ctx, with_selections, support[j]));
-    exts[j] = cache.Eval(e[j]);
+    exts[j] = &cache.Eval(e[j]);
   }
   // Unlike the why-not case, the nominal-pinned start can already fail:
   // lub({a_j}) may denote more than {a_j} only through columns, but the
   // nominal conjunct pins it, so the product here is exactly {a} ⊆ Ans.
-  if (!LsProductInsideAnswers(exts, answers)) {
+  if (!LsProductInsideAnswers(&covers, exts)) {
     return Status::Internal(
         "nominal-pinned tuple is not a why-explanation; the product of "
         "nominals is {a} which must be inside Ans");
   }
 
   const std::vector<Value>& adom = wi.instance->ActiveDomain();
+  const std::vector<ValueId>& adom_ids = wi.instance->ActiveDomainIds();
   for (size_t j = 0; j < m; ++j) {
-    for (const Value& b : adom) {
-      if (exts[j].Contains(b)) continue;
+    ValueId present_id = pool.Lookup(wi.present[j]);
+    for (size_t bi = 0; bi < adom.size(); ++bi) {
+      if (exts[j]->ContainsId(adom_ids[bi])) continue;
       std::vector<Value> extended = support[j];
-      extended.push_back(b);
+      extended.push_back(adom[bi]);
       WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
                               WhyLub(&ctx, with_selections, extended));
-      ls::Extension cand_ext = cache.Eval(cand);
-      std::vector<ls::Extension> probe = exts;
-      probe[j] = cand_ext;
-      if (LsProductInsideAnswers(probe, answers)) {
+      const ls::Extension& cand_ext = cache.Eval(cand);
+      if (cand_ext.ContainsInterned(present_id, wi.present[j]) &&
+          LsProductInsideAnswers(&covers, exts, j, &cand_ext)) {
         support[j] = std::move(extended);
         e[j] = std::move(cand);
-        exts[j] = std::move(cand_ext);
+        exts[j] = &cand_ext;
       }
     }
   }
@@ -269,27 +265,27 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                 ls::LubContext* lub_context) {
   ls::EvalCache cache(wi.instance);
   const std::vector<Tuple> answers = SortedUniqueAnswers(wi);
-  if (!IsLsWhyExplanationImpl(wi, candidate, answers, &cache)) return false;
-  std::vector<ls::Extension> exts;
+  LsAnswerCovers covers(wi.instance, &answers);
+  if (!IsLsWhyExplanationImpl(wi, candidate, &covers, &cache)) return false;
+  std::vector<const ls::Extension*> exts;
   exts.reserve(candidate.size());
   for (const ls::LsConcept& c : candidate) {
-    exts.push_back(cache.Eval(c));
+    exts.push_back(&cache.Eval(c));
   }
   const std::vector<Value>& adom = wi.instance->ActiveDomain();
+  const std::vector<ValueId>& adom_ids = wi.instance->ActiveDomainIds();
   for (size_t j = 0; j < candidate.size(); ++j) {
-    for (const Value& b : adom) {
-      if (exts[j].Contains(b)) continue;
-      std::vector<Value> extended = exts[j].values;
-      extended.push_back(b);
+    for (size_t bi = 0; bi < adom.size(); ++bi) {
+      if (exts[j]->ContainsId(adom_ids[bi])) continue;
+      std::vector<Value> extended = exts[j]->values();
+      extended.push_back(adom[bi]);
       WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
                               WhyLub(lub_context, with_selections, extended));
-      ls::Extension cand_ext = cache.Eval(cand);
+      const ls::Extension& cand_ext = cache.Eval(cand);
       // lub(ext ∪ {b}) is strictly more general than the candidate's
       // position (it contains b); if the tuple stays a why-explanation,
       // the candidate is not most general.
-      std::vector<ls::Extension> probe = exts;
-      probe[j] = std::move(cand_ext);
-      if (LsProductInsideAnswers(probe, answers)) return false;
+      if (LsProductInsideAnswers(&covers, exts, j, &cand_ext)) return false;
     }
   }
   return true;

@@ -46,9 +46,7 @@ void ExtSet::EnsureBitmap(int32_t universe) {
   bits_ = DenseBitmap(ids_, universe);
 }
 
-bool ExtSet::Contains(ValueId id) const {
-  if (all_) return true;
-  if (has_bitmap()) return bits_.Test(id);
+bool ExtSet::ContainsSlow(ValueId id) const {
   return std::binary_search(ids_.begin(), ids_.end(), id);
 }
 

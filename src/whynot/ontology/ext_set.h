@@ -52,7 +52,12 @@ class ExtSet {
   /// Sorted ids; requires !is_all().
   const std::vector<ValueId>& ids() const { return ids_; }
 
-  bool Contains(ValueId id) const;
+  /// Inline: one bitmap word test on the (warm) extension-table path.
+  bool Contains(ValueId id) const {
+    if (all_) return true;
+    if (!bits_.empty()) return bits_.Test(id);
+    return ContainsSlow(id);
+  }
 
   /// Set containment: *this ⊆ other (All ⊆ only All).
   bool SubsetOf(const ExtSet& other) const;
@@ -77,6 +82,8 @@ class ExtSet {
   std::string ToString(const ValuePool& pool) const;
 
  private:
+  bool ContainsSlow(ValueId id) const;
+
   bool all_ = false;
   std::vector<ValueId> ids_;
   DenseBitmap bits_;  // empty unless the density switch (or EnsureBitmap)

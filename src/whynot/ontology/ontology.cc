@@ -9,13 +9,11 @@ BoundOntology::BoundOntology(const FiniteOntology* ontology,
   cached_.resize(static_cast<size_t>(ontology->NumConcepts()), false);
 }
 
-const ExtSet& BoundOntology::Ext(ConceptId id) {
+const ExtSet& BoundOntology::ExtSlow(ConceptId id) {
   size_t idx = static_cast<size_t>(id);
-  if (!cached_[idx]) {
-    cache_[idx] = ontology_->ComputeExt(id, *instance_, &pool_);
-    cache_[idx].EnsureBitmap(pool_.size());
-    cached_[idx] = true;
-  }
+  cache_[idx] = ontology_->ComputeExt(id, *instance_, &pool_);
+  cache_[idx].EnsureBitmap(pool_.size());
+  cached_[idx] = true;
   return cache_[idx];
 }
 

@@ -66,7 +66,12 @@ class BoundOntology {
 
   /// Cached ext(C, I). The cached ExtSet carries a DenseBitmap mirror sized
   /// by the value pool, so repeated membership probes are O(1) word tests.
-  const ExtSet& Ext(ConceptId id);
+  /// Inline fast path: one flag test once the extension is cached.
+  const ExtSet& Ext(ConceptId id) {
+    size_t idx = static_cast<size_t>(id);
+    if (cached_[idx]) return cache_[idx];
+    return ExtSlow(id);
+  }
 
   /// Computes (and bitmaps) every concept extension up front. Called
   /// implicitly by ConceptsContaining; cheap to call again.
@@ -83,6 +88,8 @@ class BoundOntology {
   Status CheckConsistent();
 
  private:
+  const ExtSet& ExtSlow(ConceptId id);
+
   const FiniteOntology* ontology_;
   const rel::Instance* instance_;
   ValuePool pool_;

@@ -32,7 +32,8 @@ bool StoredRelation::InsertRow(const std::vector<ValueId>& row) {
     columns_[a].push_back(row[a]);
   }
   bucket.push_back(static_cast<uint32_t>(num_rows_++));
-  InvalidateIndexes();
+  // Built indexes stay valid for their row prefix; the appended suffix is
+  // merged in on next access (MergeAppendedRows), not rebuilt from scratch.
   return true;
 }
 
@@ -55,6 +56,54 @@ void StoredRelation::Clear() {
 
 void StoredRelation::InvalidateIndexes() const {
   std::fill(index_built_.begin(), index_built_.end(), false);
+  std::fill(index_rows_.begin(), index_rows_.end(), 0);
+}
+
+void StoredRelation::MergeAppendedRows(size_t attr) const {
+  ColumnIndex& ix = indexes_[attr];
+  const std::vector<ValueId>& col = columns_[attr];
+  std::vector<std::pair<ValueId, uint32_t>> pairs;
+  pairs.reserve(col.size() - index_rows_[attr]);
+  for (size_t r = index_rows_[attr]; r < col.size(); ++r) {
+    pairs.emplace_back(col[r], static_cast<uint32_t>(r));
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  // One linear pass merging the old CSR groups with the sorted appended
+  // run; within a group old rows precede new ones (both ascending), so
+  // posting lists stay sorted by row id.
+  ColumnIndex merged;
+  merged.keys.reserve(ix.keys.size() + pairs.size());
+  merged.offsets.reserve(ix.keys.size() + pairs.size() + 1);
+  merged.rows.reserve(ix.rows.size() + pairs.size());
+  merged.distinct = std::move(ix.distinct);
+  size_t k = 0;
+  size_t p = 0;
+  while (k < ix.keys.size() || p < pairs.size()) {
+    ValueId key;
+    if (p == pairs.size() ||
+        (k < ix.keys.size() && ix.keys[k] <= pairs[p].first)) {
+      key = ix.keys[k];
+    } else {
+      key = pairs[p].first;
+      merged.distinct.Set(key);
+    }
+    merged.keys.push_back(key);
+    merged.offsets.push_back(static_cast<uint32_t>(merged.rows.size()));
+    if (k < ix.keys.size() && ix.keys[k] == key) {
+      for (uint32_t r = ix.offsets[k]; r < ix.offsets[k + 1]; ++r) {
+        merged.rows.push_back(ix.rows[r]);
+      }
+      ++k;
+    }
+    while (p < pairs.size() && pairs[p].first == key) {
+      merged.rows.push_back(pairs[p].second);
+      ++p;
+    }
+  }
+  merged.offsets.push_back(static_cast<uint32_t>(merged.rows.size()));
+  ix = std::move(merged);
+  index_rows_[attr] = col.size();
 }
 
 const StoredRelation::ColumnIndex& StoredRelation::Index(size_t attr) const {
@@ -81,6 +130,9 @@ const StoredRelation::ColumnIndex& StoredRelation::Index(size_t attr) const {
     ix.offsets.push_back(static_cast<uint32_t>(ix.rows.size()));
     ix.distinct = DenseBitmap(ix.keys);
     index_built_[attr] = true;
+    index_rows_[attr] = col.size();
+  } else if (index_rows_[attr] < num_rows_) {
+    MergeAppendedRows(attr);
   }
   return ix;
 }

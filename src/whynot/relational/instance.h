@@ -32,7 +32,11 @@ class StoredRelation {
   /// Lazily built per-column join index: a CSR posting list (rows grouped
   /// by distinct ValueId, keys ascending by id) and the distinct-value
   /// DenseBitmap used as a word-parallel semi-join filter by the CQ
-  /// evaluator.
+  /// evaluator. Maintained *incrementally*: appending facts does not
+  /// discard a built index — the appended row suffix is merged into the
+  /// posting lists on next access (one linear merge pass instead of a
+  /// full re-sort), so workloads interleaving AddFact with evaluation
+  /// (e.g. the strong_decide chase) keep warm indexes.
   struct ColumnIndex {
     std::vector<ValueId> keys;      // distinct ids, ascending
     std::vector<uint32_t> offsets;  // keys.size() + 1, CSR into rows
@@ -68,14 +72,18 @@ class StoredRelation {
   /// Constructed by the owning Instance only (public for container
   /// emplacement).
   explicit StoredRelation(size_t arity)
-      : columns_(arity), indexes_(arity), index_built_(arity, false) {}
+      : columns_(arity),
+        indexes_(arity),
+        index_built_(arity, false),
+        index_rows_(arity, 0) {}
   /// Copies the stored rows; lazy caches restart cold.
   StoredRelation(const StoredRelation& other)
       : num_rows_(other.num_rows_),
         columns_(other.columns_),
         row_hash_(other.row_hash_),
         indexes_(other.columns_.size()),
-        index_built_(other.columns_.size(), false) {}
+        index_built_(other.columns_.size(), false),
+        index_rows_(other.columns_.size(), 0) {}
   StoredRelation& operator=(const StoredRelation&) = delete;
 
  private:
@@ -85,6 +93,8 @@ class StoredRelation {
   bool InsertRow(const std::vector<ValueId>& row);
   void Clear();
   void InvalidateIndexes() const;
+  /// Merges rows [index_rows_[attr], num_rows_) into the built index.
+  void MergeAppendedRows(size_t attr) const;
 
   bool RowEquals(uint32_t row, const std::vector<ValueId>& ids) const;
 
@@ -94,6 +104,8 @@ class StoredRelation {
   std::unordered_map<uint64_t, std::vector<uint32_t>> row_hash_;
   mutable std::vector<ColumnIndex> indexes_;
   mutable std::vector<bool> index_built_;
+  // Rows already merged into each built index; rows beyond are pending.
+  mutable std::vector<size_t> index_rows_;
   // Boxed-tuple compatibility view, materialized on demand (suffix-appended
   // as rows grow; reset on Clear).
   mutable std::vector<Tuple> tuple_view_;

@@ -422,7 +422,7 @@ TEST(EvalCacheTest, ProjectionCacheAgreesWithDirectEval) {
   ASSERT_OK(instance.AddFact("R", {Value(3), Value(2)}));
   ls::EvalCache cache(&instance);
   const ls::Extension& proj = cache.Projection("R", 0);
-  EXPECT_EQ(proj.values, (std::vector<Value>{Value(1), Value(3)}));
+  EXPECT_EQ(proj.values(), (std::vector<Value>{Value(1), Value(3)}));
   // Selection-free projection conjuncts share the (relation, attr) entry.
   EXPECT_EQ(&cache.EvalConjunct(ls::Conjunct::Projection("R", 0)), &proj);
   // Concept-level memoization returns the identical extension object.

@@ -27,7 +27,7 @@ std::vector<std::pair<bool, std::vector<Value>>> ExtKey(
   std::vector<std::pair<bool, std::vector<Value>>> key;
   for (const ls::LsConcept& c : e) {
     ls::Extension ext = ls::Eval(c, instance);
-    key.emplace_back(ext.all, ext.values);
+    key.emplace_back(ext.all, ext.values());
   }
   return key;
 }

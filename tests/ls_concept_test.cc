@@ -76,18 +76,18 @@ TEST_F(LsConceptTest, EvalSemantics) {
   EXPECT_TRUE(ls::Eval(LsConcept::Top(), *instance_).all);
   // ⟦{c}⟧ = {c} even when c is not in the active domain.
   ls::Extension nom = ls::Eval(LsConcept::Nominal(Value("Mars")), *instance_);
-  EXPECT_EQ(nom.values, std::vector<Value>{Value("Mars")});
+  EXPECT_EQ(nom.values(), std::vector<Value>{Value("Mars")});
   // ⟦π_name(σ_continent=Europe(Cities))⟧ = {Amsterdam, Berlin, Rome}.
   ls::Extension eu = ls::Eval(
       Parse("pi[name](sigma[continent = Europe](Cities))"), *instance_);
-  EXPECT_EQ(eu.values, (std::vector<Value>{Value("Amsterdam"), Value("Berlin"),
+  EXPECT_EQ(eu.values(), (std::vector<Value>{Value("Amsterdam"), Value("Berlin"),
                                            Value("Rome")}));
   // Intersection evaluates to set intersection.
   ls::Extension meet = ls::Eval(
       Parse("pi[name](sigma[continent = Europe](Cities)) & "
             "pi[name](sigma[population > 1000000](Cities))"),
       *instance_);
-  EXPECT_EQ(meet.values,
+  EXPECT_EQ(meet.values(),
             (std::vector<Value>{Value("Berlin"), Value("Rome")}));
 }
 
@@ -96,17 +96,17 @@ TEST_F(LsConceptTest, EvalMultipleSelectionsSameAttribute) {
       Parse("pi[name](sigma[population > 1000000, population < "
             "3000000](Cities))"),
       *instance_);
-  EXPECT_EQ(mid.values, (std::vector<Value>{Value("Kyoto"), Value("Rome")}));
+  EXPECT_EQ(mid.values(), (std::vector<Value>{Value("Kyoto"), Value("Rome")}));
 }
 
 TEST_F(LsConceptTest, EvalOverViews) {
   ls::Extension big = ls::Eval(Parse("pi[name](BigCity)"), *instance_);
-  EXPECT_EQ(big.values,
+  EXPECT_EQ(big.values(),
             (std::vector<Value>{Value("New York"), Value("Tokyo")}));
   ls::Extension reach = ls::Eval(
       Parse("pi[city_to](sigma[city_from = Amsterdam](Reachable))"),
       *instance_);
-  EXPECT_EQ(reach.values,
+  EXPECT_EQ(reach.values(),
             (std::vector<Value>{Value("Amsterdam"), Value("Berlin"),
                                 Value("Rome")}));
 }

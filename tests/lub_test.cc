@@ -29,7 +29,7 @@ TEST_F(LubTest, SingletonLubIsNominalPinned) {
   LsConcept lub = ctx_->LubSelectionFree({Value("Amsterdam")});
   ls::Extension ext = ls::Eval(lub, *instance_);
   // The nominal conjunct pins the extension to exactly {Amsterdam}.
-  EXPECT_EQ(ext.values, std::vector<Value>{Value("Amsterdam")});
+  EXPECT_EQ(ext.values(), std::vector<Value>{Value("Amsterdam")});
 }
 
 TEST_F(LubTest, LubContainsItsInput) {
@@ -117,7 +117,7 @@ TEST_F(LubTest, LubWithSelectionsIsAtLeastAsSpecific) {
   for (const Value& v : x) EXPECT_TRUE(sel_ext.Contains(v));
   // With selections, {Amsterdam, Berlin} is pinned exactly: the canonical
   // box name ∈ [Amsterdam..Berlin] selects precisely those rows.
-  EXPECT_EQ(sel_ext.values,
+  EXPECT_EQ(sel_ext.values(),
             (std::vector<Value>{Value("Amsterdam"), Value("Berlin")}));
 }
 

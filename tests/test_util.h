@@ -61,7 +61,7 @@ inline rel::UnionQuery Q1(rel::ConjunctiveQuery cq) {
 /// Extension values of an LS concept as a plain vector (empty if All).
 inline std::vector<Value> ExtValues(const ls::LsConcept& c,
                                     const rel::Instance& i) {
-  return ls::Eval(c, i).values;
+  return ls::Eval(c, i).values();
 }
 
 }  // namespace whynot::testutil

@@ -260,14 +260,14 @@ TEST_P(WhyDerivedSweepTest, GreedyOutputInBruteForceAntichain) {
   std::vector<std::pair<bool, std::vector<Value>>> greedy_key;
   for (const ls::LsConcept& c : greedy) {
     ls::Extension ext = ls::Eval(c, instance);
-    greedy_key.emplace_back(ext.all, ext.values);
+    greedy_key.emplace_back(ext.all, ext.values());
   }
   bool found = false;
   for (const Explanation& e : brute) {
     std::vector<std::pair<bool, std::vector<Value>>> key;
     for (onto::ConceptId id : e) {
       ls::Extension ext = ls::Eval(ontology->Concept(id), instance);
-      key.emplace_back(ext.all, ext.values);
+      key.emplace_back(ext.all, ext.values());
     }
     if (key == greedy_key) found = true;
   }

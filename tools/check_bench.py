@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Reads a BENCH_PR<N>.json produced by tools/run_benchmarks.sh and fails
+(exit 1) when any tracked benchmark's speedup_vs_baseline falls below the
+floor (default 0.85x vs the parent tree). Also prints the per-benchmark-
+binary median speedup so the perf trajectory is visible in CI logs.
+
+Usage: tools/check_bench.py [bench-json] [--floor 0.85]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", nargs="?",
+                        default=str(Path(__file__).resolve().parent.parent /
+                                    "BENCH_PR3.json"))
+    parser.add_argument("--floor", type=float, default=0.85,
+                        help="fail when any benchmark's speedup is below this")
+    args = parser.parse_args()
+
+    data = json.load(open(args.bench_json))
+    speedups = data.get("speedup_vs_baseline", {})
+    if not speedups:
+        print(f"error: no speedup_vs_baseline in {args.bench_json}",
+              file=sys.stderr)
+        return 1
+
+    # Group entries by the benchmark binary that produced them.
+    by_binary = {}
+    for bench, payload in data.get("benchmarks", {}).items():
+        for name in payload.get("results", {}):
+            if name in speedups:
+                by_binary.setdefault(bench, []).append(speedups[name])
+
+    for bench in sorted(by_binary):
+        med = statistics.median(by_binary[bench])
+        print(f"{bench}: median speedup {med:.2f}x over "
+              f"{len(by_binary[bench])} entries")
+    overall = statistics.median(speedups.values())
+    print(f"overall: median speedup {overall:.2f}x over "
+          f"{len(speedups)} entries")
+
+    regressed = {name: s for name, s in sorted(speedups.items())
+                 if s < args.floor}
+    if regressed:
+        print(f"\nFAIL: {len(regressed)} benchmark(s) below "
+              f"{args.floor:.2f}x:", file=sys.stderr)
+        for name, s in regressed.items():
+            print(f"  {name}: {s:.2f}x", file=sys.stderr)
+        return 1
+    print(f"OK: no tracked benchmark below {args.floor:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

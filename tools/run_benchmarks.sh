@@ -15,11 +15,12 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-rel}"
 MIN_TIME="${2:-0.2}"
-PR="${3:-2}"
+PR="${3:-3}"
 OUT="$REPO_ROOT/BENCH_PR${PR}.json"
 BASELINE="$REPO_ROOT/BENCH_PR$((PR - 1)).json"
 BENCHES=(bench_table1_subsumption bench_why bench_enumerate
-         bench_incremental bench_lub)
+         bench_incremental bench_lub bench_exhaustive bench_check_mge
+         bench_cardinality)
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DWHYNOT_BUILD_TESTS=OFF -DWHYNOT_BUILD_EXAMPLES=OFF \
