@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cassert>
 
-// AVX2 word kernels behind a runtime-dispatch shim: the functions carry the
-// target attribute themselves, so the file builds without -mavx2 and the
-// scalar loops remain the portable fallback (and the only path on non-x86).
+// SIMD word kernels behind a runtime-dispatch shim. On x86-64 the AVX2
+// functions carry the target attribute themselves, so the file builds
+// without -mavx2 and dispatch tests the CPU at runtime. On aarch64 NEON is
+// part of the baseline ISA, so the lane needs no runtime test — the shim
+// just routes sizes past the threshold to it. The scalar loops remain the
+// portable fallback everywhere else.
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define WHYNOT_BITMAP_AVX2 1
 #include <immintrin.h>
+#elif defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define WHYNOT_BITMAP_NEON 1
+#include <arm_neon.h>
 #endif
 
 namespace whynot {
@@ -40,11 +46,15 @@ size_t CountScalar(const uint64_t* w, size_t n) {
   return count;
 }
 
-#ifdef WHYNOT_BITMAP_AVX2
+#if defined(WHYNOT_BITMAP_AVX2) || defined(WHYNOT_BITMAP_NEON)
 
 // Below this many words the dispatch overhead and the scalar tail dominate;
 // the word loops above are already a few cycles total.
 constexpr size_t kSimdMinWords = 8;
+
+#endif
+
+#ifdef WHYNOT_BITMAP_AVX2
 
 bool HasAvx2() {
   static const bool has = __builtin_cpu_supports("avx2");
@@ -105,11 +115,58 @@ __attribute__((target("avx2"))) size_t CountAvx2(const uint64_t* w, size_t n) {
 
 #endif  // WHYNOT_BITMAP_AVX2
 
+#ifdef WHYNOT_BITMAP_NEON
+
+// 128-bit NEON lanes, two q-registers (4 words) per iteration for ILP.
+
+bool SubsetOfNeon(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64x2_t a0 = vld1q_u64(a + i);
+    uint64x2_t a1 = vld1q_u64(a + i + 2);
+    uint64x2_t b0 = vld1q_u64(b + i);
+    uint64x2_t b1 = vld1q_u64(b + i + 2);
+    // excess = a & ~b, nonzero iff some bit of a is missing from b.
+    uint64x2_t excess = vorrq_u64(vbicq_u64(a0, b0), vbicq_u64(a1, b1));
+    if (vgetq_lane_u64(excess, 0) | vgetq_lane_u64(excess, 1)) return false;
+  }
+  return SubsetOfScalar(a + i, b + i, n - i);
+}
+
+void AndNeon(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_u64(out + i, vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+    vst1q_u64(out + i + 2,
+              vandq_u64(vld1q_u64(a + i + 2), vld1q_u64(b + i + 2)));
+  }
+  AndScalar(a + i, b + i, out + i, n - i);
+}
+
+// vcnt counts per byte; the widening pairwise adds fold bytes up to one
+// 64-bit count per lane, accumulated across iterations.
+size_t CountNeon(const uint64_t* w, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint8x16_t bytes = vreinterpretq_u8_u64(vld1q_u64(w + i));
+    uint8x16_t cnt = vcntq_u8(bytes);
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+  }
+  size_t count = static_cast<size_t>(vgetq_lane_u64(acc, 0)) +
+                 static_cast<size_t>(vgetq_lane_u64(acc, 1));
+  return count + CountScalar(w + i, n - i);
+}
+
+#endif  // WHYNOT_BITMAP_NEON
+
 // ---- dispatch shim --------------------------------------------------------
 
 bool SubsetOfWords(const uint64_t* a, const uint64_t* b, size_t n) {
 #ifdef WHYNOT_BITMAP_AVX2
   if (n >= kSimdMinWords && HasAvx2()) return SubsetOfAvx2(a, b, n);
+#elif defined(WHYNOT_BITMAP_NEON)
+  if (n >= kSimdMinWords) return SubsetOfNeon(a, b, n);
 #endif
   return SubsetOfScalar(a, b, n);
 }
@@ -120,6 +177,11 @@ void AndWords(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
     AndAvx2(a, b, out, n);
     return;
   }
+#elif defined(WHYNOT_BITMAP_NEON)
+  if (n >= kSimdMinWords) {
+    AndNeon(a, b, out, n);
+    return;
+  }
 #endif
   AndScalar(a, b, out, n);
 }
@@ -127,6 +189,8 @@ void AndWords(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
 size_t CountWords(const uint64_t* w, size_t n) {
 #ifdef WHYNOT_BITMAP_AVX2
   if (n >= kSimdMinWords && HasAvx2()) return CountAvx2(w, n);
+#elif defined(WHYNOT_BITMAP_NEON)
+  if (n >= kSimdMinWords) return CountNeon(w, n);
 #endif
   return CountScalar(w, n);
 }
@@ -162,6 +226,11 @@ bool DenseBitmap::SubsetOf(const DenseBitmap& other) const {
     if (words_[w]) return false;
   }
   return true;
+}
+
+void DenseBitmap::AndWordsInPlace(uint64_t* acc, const uint64_t* words,
+                                  size_t n) {
+  AndWords(acc, words, acc, n);
 }
 
 DenseBitmap DenseBitmap::Intersect(const DenseBitmap& a, const DenseBitmap& b) {

@@ -58,6 +58,11 @@ class DenseBitmap {
   /// Word-parallel intersection.
   static DenseBitmap Intersect(const DenseBitmap& a, const DenseBitmap& b);
 
+  /// Raw word-level in-place AND through the same runtime SIMD dispatch:
+  /// acc[i] &= words[i] for i < n. Aliasing is fine. For callers that keep
+  /// their own word buffers (the explain layer's running cover ANDs).
+  static void AndWordsInPlace(uint64_t* acc, const uint64_t* words, size_t n);
+
   /// Number of set bits (popcount over words).
   size_t Count() const;
 

@@ -42,6 +42,9 @@ class LubContext {
   explicit LubContext(const rel::Instance* instance, LubOptions options = {});
 
   const rel::Instance& instance() const { return *instance_; }
+  /// The resource limits this context was built with (per-worker contexts
+  /// in the parallel searches clone them).
+  const LubOptions& options() const { return options_; }
 
   /// lub_I(X) in selection-free LS (Lemma 5.1, PTIME): the conjunction of
   /// every selection-free conjunct whose extension contains X (the nominal

@@ -143,6 +143,14 @@ class ConceptAnswerCovers {
                         [&](size_t i) { return table_[i][idx[i]]; });
     }
 
+    /// popcount(⋀_i Cover(lists[i][idx[i]], i)) — the counting form used
+    /// by the why-explanation product-containment check.
+    size_t ProductCountAt(const std::vector<size_t>& idx) const {
+      if (num_answers_ == 0) return 0;
+      return ProductCount(table_.size(), nwords_,
+                          [&](size_t i) { return table_[i][idx[i]]; });
+    }
+
    private:
     size_t num_answers_;
     size_t nwords_;

@@ -1,0 +1,72 @@
+#ifndef WHYNOT_EXPLAIN_CANDIDATE_SPACE_H_
+#define WHYNOT_EXPLAIN_CANDIDATE_SPACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "whynot/ontology/ontology.h"
+
+namespace whynot::explain {
+
+/// The candidate product space of per-position concept lists (line 2 of
+/// Algorithm 1), linearized in the serial odometer's order: position 0
+/// advances fastest, so linear index L maps to
+///   idx[i] = (L / stride_i) % |lists[i]|,  stride_0 = 1,
+///   stride_{i+1} = stride_i * |lists[i]|.
+/// The parallel candidate filters shard [0, total) into index ranges and
+/// merge per-range results in range order, which reproduces the serial
+/// enumeration order exactly.
+class CandidateSpace {
+ public:
+  explicit CandidateSpace(
+      const std::vector<std::vector<onto::ConceptId>>& lists)
+      : lists_(&lists) {
+    total_ = lists.empty() ? 0 : 1;
+    for (const auto& list : lists) {
+      if (list.empty()) {
+        total_ = 0;
+        overflow_ = false;
+        return;
+      }
+      if (__builtin_mul_overflow(total_, list.size(), &total_)) {
+        overflow_ = true;
+        return;
+      }
+    }
+  }
+
+  /// Product of the list sizes; meaningless when overflow().
+  size_t total() const { return total_; }
+  /// The product exceeds SIZE_MAX (and therefore any candidate budget).
+  bool overflow() const { return overflow_; }
+
+  /// Odometer position of linear index `linear` (idx sized to the arity).
+  void Decode(size_t linear, std::vector<size_t>* idx) const {
+    idx->resize(lists_->size());
+    for (size_t i = 0; i < lists_->size(); ++i) {
+      size_t len = (*lists_)[i].size();
+      (*idx)[i] = linear % len;
+      linear /= len;
+    }
+  }
+
+  /// Advances the odometer one step (position 0 fastest); returns false
+  /// when it wraps past the end.
+  bool Advance(std::vector<size_t>* idx) const {
+    size_t i = 0;
+    while (i < idx->size() && ++(*idx)[i] == (*lists_)[i].size()) {
+      (*idx)[i] = 0;
+      ++i;
+    }
+    return i < idx->size();
+  }
+
+ private:
+  const std::vector<std::vector<onto::ConceptId>>* lists_;
+  size_t total_ = 0;
+  bool overflow_ = false;
+};
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_CANDIDATE_SPACE_H_

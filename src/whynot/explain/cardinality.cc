@@ -1,8 +1,21 @@
 #include "whynot/explain/cardinality.h"
 
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "whynot/common/parallel.h"
+#include "whynot/explain/candidate_space.h"
 #include "whynot/explain/existence.h"
 
 namespace whynot::explain {
+
+namespace {
+
+/// Candidates per parallel filter round (see exhaustive.cc).
+constexpr size_t kFilterChunk = 1 << 16;
+
+}  // namespace
 
 Degree DegreeOf(onto::BoundOntology* bound, const Explanation& e) {
   Degree d;
@@ -34,30 +47,66 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
   // per-candidate cover lookups.
   size_t m = wni.arity();
   ConceptAnswerCovers::ListCovers list_covers(&covers, lists);
+  CandidateSpace space(lists);
+  if (space.overflow() || space.total() > options.max_candidates) {
+    return Status::ResourceExhausted(
+        "exact >card-maximal enumeration exceeded max_candidates "
+        "(Proposition 6.4: no PTIME algorithm exists unless P=NP)");
+  }
 
   std::optional<CardinalityResult> best;
   std::vector<size_t> idx(m, 0);
-  std::vector<onto::ConceptId> current(m);
-  size_t count = 0;
-  while (true) {
-    if (++count > options.max_candidates) {
-      return Status::ResourceExhausted(
-          "exact >card-maximal enumeration exceeded max_candidates "
-          "(Proposition 6.4: no PTIME algorithm exists unless P=NP)");
-    }
-    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-    if (!list_covers.ProductAnyAt(idx)) {
-      Degree d = DegreeOf(bound, current);
-      if (!best.has_value() || d > best->degree) {
-        best = CardinalityResult{current, d};
+  Explanation current(m);
+  if (par::NumThreads() <= 1) {
+    for (size_t linear = 0; linear < space.total(); ++linear) {
+      for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+      if (!list_covers.ProductAnyAt(idx)) {
+        Degree d = DegreeOf(bound, current);
+        if (!best.has_value() || d > best->degree) {
+          best = CardinalityResult{current, d};
+        }
       }
+      space.Advance(&idx);
     }
-    size_t i = 0;
-    while (i < m && ++idx[i] == lists[i].size()) {
-      idx[i] = 0;
-      ++i;
+    return best;
+  }
+
+  // Sharded by linear candidate range: blocks keep their own best (strict
+  // improvement only, so the *first* candidate of a degree wins within a
+  // block) and merge in range order with the same strict comparison — the
+  // overall winner is the serial loop's. Everything read in a block
+  // (covers table, warm extensions for DegreeOf) is immutable.
+  std::vector<std::pair<size_t, CardinalityResult>> block_best;
+  std::mutex mutex;
+  for (size_t chunk = 0; chunk < space.total(); chunk += kFilterChunk) {
+    size_t chunk_end = std::min(space.total(), chunk + kFilterChunk);
+    par::ParallelFor(chunk_end - chunk, 1024, [&](size_t begin, size_t end) {
+      std::optional<CardinalityResult> local;
+      std::vector<size_t> block_idx;
+      Explanation cand(m);
+      space.Decode(chunk + begin, &block_idx);
+      for (size_t off = begin; off < end; ++off) {
+        if (!list_covers.ProductAnyAt(block_idx)) {
+          for (size_t i = 0; i < m; ++i) cand[i] = lists[i][block_idx[i]];
+          Degree d = DegreeOf(bound, cand);
+          if (!local.has_value() || d > local->degree) {
+            local = CardinalityResult{cand, d};
+          }
+        }
+        space.Advance(&block_idx);
+      }
+      if (local.has_value()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        block_best.emplace_back(chunk + begin, std::move(*local));
+      }
+    });
+  }
+  std::sort(block_best.begin(), block_best.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [begin, result] : block_best) {
+    if (!best.has_value() || result.degree > best->degree) {
+      best = std::move(result);
     }
-    if (i == m) break;
   }
   return best;
 }
@@ -87,11 +136,41 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
       // (an accepted swap only changes position i), so their covers AND
       // once; each candidate is one word-parallel intersect-any.
       std::vector<uint64_t> base = covers.AndAllExcept(current, i);
-      for (onto::ConceptId c : candidates[i]) {
-        if (c == current[i]) continue;
-        if (ConceptAnswerCovers::AnyAnd(base, covers.Cover(c, i))) continue;
+      const std::vector<onto::ConceptId>& list = candidates[i];
+      if (par::NumThreads() <= 1) {
+        for (onto::ConceptId c : list) {
+          if (c == current[i]) continue;
+          if (ConceptAnswerCovers::AnyAnd(base, covers.Cover(c, i))) continue;
+          Explanation probe = current;
+          probe[i] = c;
+          Degree d = DegreeOf(bound, probe);
+          if (d > degree) {
+            current = std::move(probe);
+            degree = d;
+            improved = true;
+          }
+        }
+        continue;
+      }
+      // The ANDs are the sweep's hot part and independent per candidate,
+      // so they shard across the pool into an index-addressed validity
+      // mask; the acceptance scan — whose degree threshold ratchets
+      // within the sweep — replays serially in candidate order, exactly
+      // as the serial loop.
+      std::vector<const uint64_t*> cover_at(list.size());
+      for (size_t c = 0; c < list.size(); ++c) {
+        cover_at[c] = covers.Cover(list[c], i);
+      }
+      std::vector<uint8_t> valid(list.size(), 0);
+      par::ParallelFor(list.size(), 64, [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          valid[c] = !ConceptAnswerCovers::AnyAnd(base, cover_at[c]);
+        }
+      });
+      for (size_t c = 0; c < list.size(); ++c) {
+        if (list[c] == current[i] || !valid[c]) continue;
         Explanation probe = current;
-        probe[i] = c;
+        probe[i] = list[c];
         Degree d = DegreeOf(bound, probe);
         if (d > degree) {
           current = std::move(probe);

@@ -1,6 +1,11 @@
 #include "whynot/explain/check_mge.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "whynot/common/parallel.h"
 
 namespace whynot::explain {
 
@@ -20,6 +25,11 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
   ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
   if (covers.ProductIntersects(candidate)) return false;
   const std::vector<std::vector<ValueId>>& answers = covers.answers();
+  const bool parallel =
+      par::NumThreads() > 1 && bound->NumConcepts() >= 64;
+  // The replacement sweep below reads every concept's extension; warm them
+  // all up front (sharded) so the parallel scan is read-only.
+  if (parallel) bound->WarmExtensions();
   for (size_t i = 0; i < candidate.size(); ++i) {
     // The probe sweep only varies position i, so AND the other positions'
     // covers once and keep just the *alive* answers (those covered
@@ -33,23 +43,60 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
     for (size_t a = 0; a < covers.num_answers(); ++a) {
       if ((base[a / 64] >> (a % 64)) & 1) alive.push_back(static_cast<uint32_t>(a));
     }
-    for (onto::ConceptId d = 0; d < bound->NumConcepts(); ++d) {
-      // Strictly more general replacement at position i.
-      if (!bound->Subsumes(candidate[i], d) || bound->Subsumes(d, candidate[i])) {
-        continue;
-      }
-      // ext(candidate[i]) ⊆ ext(d) by consistency, so the missing tuple
-      // stays inside; only the answer-avoidance condition can break.
-      const onto::ExtSet& ext = bound->Ext(d);
-      bool intersects = false;
-      for (uint32_t a : alive) {
-        if (ext.Contains(answers[a][i])) {
-          intersects = true;
-          break;
+    if (!parallel) {
+      for (onto::ConceptId d = 0; d < bound->NumConcepts(); ++d) {
+        // Strictly more general replacement at position i.
+        if (!bound->Subsumes(candidate[i], d) ||
+            bound->Subsumes(d, candidate[i])) {
+          continue;
         }
+        // ext(candidate[i]) ⊆ ext(d) by consistency, so the missing tuple
+        // stays inside; only the answer-avoidance condition can break.
+        const onto::ExtSet& ext = bound->Ext(d);
+        bool intersects = false;
+        for (uint32_t a : alive) {
+          if (ext.Contains(answers[a][i])) {
+            intersects = true;
+            break;
+          }
+        }
+        if (!intersects) return false;  // strictly more general explanation
       }
-      if (!intersects) return false;  // strictly more general explanation
+      continue;
     }
+    // "Some strictly-more-general replacement keeps avoiding Ans" is an
+    // existence test over independent read-only probes, so it shards over
+    // concept-id ranges; any thread finding a witness settles the result
+    // (the boolean is order-independent) and flags the rest to stop.
+    std::atomic<bool> found{false};
+    par::ParallelFor(
+        static_cast<size_t>(bound->NumConcepts()), 64,
+        [&](size_t begin, size_t end) {
+          for (size_t c = begin; c < end; ++c) {
+            if (found.load(std::memory_order_relaxed)) return;
+            onto::ConceptId d = static_cast<onto::ConceptId>(c);
+            // Strictly more general replacement at position i.
+            if (!bound->Subsumes(candidate[i], d) ||
+                bound->Subsumes(d, candidate[i])) {
+              continue;
+            }
+            // ext(candidate[i]) ⊆ ext(d) by consistency, so the missing
+            // tuple stays inside; only answer-avoidance can break.
+            const onto::ExtSet& ext = bound->Ext(d);
+            bool intersects = false;
+            for (uint32_t a : alive) {
+              if (ext.Contains(answers[a][i])) {
+                intersects = true;
+                break;
+              }
+            }
+            if (!intersects) {
+              found.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+        });
+    if (found.load()) return false;  // strictly more general explanation
   }
   return true;
 }
@@ -68,6 +115,94 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
   exts.reserve(candidate.size());
   for (const ls::LsConcept& c : candidate) exts.push_back(&cache.Eval(c));
   const ls::Extension top_ext = ls::Extension::All();
+
+  if (par::NumThreads() > 1 && adom.size() >= 4) {
+    // Sharded maximality probes, mirroring CheckWhyMgeDerived: workers own
+    // their lazy caches, the instance is pre-warmed, and the lex-smallest
+    // (j, bi) outcome wins so results match the serial scan exactly.
+    wni.instance->WarmForConcurrentReads();
+    struct Worker {
+      ls::LubContext lub;
+      ls::EvalCache cache;
+      LsAnswerCovers covers;
+      std::vector<const ls::Extension*> exts;
+      ls::Extension top_ext = ls::Extension::All();
+      // Position whose boxed support is cached below: the copy of
+      // exts[j]->values() happens once per (worker, position), not per
+      // block.
+      size_t support_pos = SIZE_MAX;
+      std::vector<Value> support;
+      Worker(const rel::Instance* instance, const std::vector<Tuple>* answers,
+             const ls::LubOptions& options, const LsExplanation& candidate)
+          : lub(instance, options), cache(instance), covers(instance, answers) {
+        exts.reserve(candidate.size());
+        for (const ls::LsConcept& c : candidate) exts.push_back(&cache.Eval(c));
+      }
+    };
+    std::vector<std::unique_ptr<Worker>> workers(
+        static_cast<size_t>(par::MaxWorkers()));
+    auto worker_for = [&](int w) -> Worker& {
+      size_t slot = static_cast<size_t>(w);
+      if (workers[slot] == nullptr) {
+        workers[slot] = std::make_unique<Worker>(
+            wni.instance, &wni.answers, lub_context->options(), candidate);
+      }
+      return *workers[slot];
+    };
+    for (size_t j = 0; j < candidate.size(); ++j) {
+      const ls::Extension& ext = *exts[j];
+      if (ext.all) continue;  // already maximally general at this position
+
+      // Generalization to ⊤ covers all constants outside adom(I) at once
+      // (serial probe; one AND).
+      if (!covers.ProductIntersects(exts, j, &top_ext)) return false;
+
+      ValueId missing_id = pool.Lookup(wni.missing[j]);
+      std::atomic<size_t> outcome_at{SIZE_MAX};
+      std::mutex mutex;
+      Status error = Status::OK();
+      bool broken = false;
+      par::ParallelForWorker(
+          adom.size(), 8, [&](int w, size_t begin, size_t end) {
+            if (begin > outcome_at.load(std::memory_order_relaxed)) return;
+            Worker& wk = worker_for(w);
+            if (wk.support_pos != j) {
+              wk.support = wk.exts[j]->values();
+              wk.support.push_back(wni.missing[j]);
+              wk.support_pos = j;
+            }
+            for (size_t bi = begin; bi < end; ++bi) {
+              if (bi > outcome_at.load(std::memory_order_relaxed)) return;
+              if (wk.exts[j]->ContainsId(adom_ids[bi])) continue;
+              std::vector<Value> extended = wk.support;
+              extended.push_back(adom[bi]);
+              Result<ls::LsConcept> generalized =
+                  with_selections ? wk.lub.LubWithSelections(extended)
+                                  : Result<ls::LsConcept>(
+                                        wk.lub.LubSelectionFree(extended));
+              bool breaks = false;
+              if (generalized.ok()) {
+                const ls::Extension& cand = wk.cache.Eval(generalized.value());
+                breaks = cand.ContainsInterned(missing_id, wni.missing[j]) &&
+                         !wk.covers.ProductIntersects(wk.exts, j, &cand);
+                if (!breaks) continue;
+              }
+              std::lock_guard<std::mutex> lock(mutex);
+              size_t seen = outcome_at.load(std::memory_order_relaxed);
+              if (bi < seen) {
+                outcome_at.store(bi, std::memory_order_relaxed);
+                broken = breaks;
+                error = breaks ? Status::OK() : generalized.status();
+              }
+              return;
+            }
+          });
+      if (!error.ok()) return error;
+      if (broken) return false;
+    }
+    return true;
+  }
+
   for (size_t j = 0; j < candidate.size(); ++j) {
     const ls::Extension& ext = *exts[j];
     if (ext.all) continue;  // already maximally general at this position

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <tuple>
 #include <utility>
 
+#include "whynot/common/parallel.h"
 #include "whynot/concepts/ls_eval.h"
 
 namespace whynot::explain {
@@ -37,7 +39,7 @@ using ExclusionSet = std::set<GroundElement>;
 // extensions, and the *decision* elements — accepted additions that
 // changed an extension. Decisions are the only elements worth branching
 // on: excluding an absorbed element cannot change the greedy trajectory.
-// Extensions are pointers into the enumerator's lub cache (stable map
+// Extensions are pointers into the evaluator's lub cache (stable map
 // nodes) or its shared ⊤ extension, so the answer-cover kernel can key
 // cover bitmaps by identity across nodes.
 struct GreedyState {
@@ -48,18 +50,230 @@ struct GreedyState {
   std::vector<GroundElement> decisions;
 };
 
+// Output-dedup key: extensions identified in id space (all extensions
+// share the instance pool, so rank-sorted ids + boxed extras are
+// canonical — integer comparisons, no values() materialization).
+using ExtKey = std::tuple<bool, std::vector<ValueId>, std::vector<Value>>;
+
+/// Evaluates one branch-tree node: deterministic greedy completion under
+/// an exclusion set plus the unconstrained-maximality test. The evaluator
+/// owns every lazily mutating structure a node touches — the lub context,
+/// the lub/eval memo, the answer covers — so the parallel enumerator can
+/// give each pool worker its own evaluator and the serial one can keep a
+/// single evaluator across all nodes. Node results are pure functions of
+/// the exclusion set, independent of which evaluator computes them.
+///
+/// Probes use the *suffix-AND cache*: within a greedy sweep the product
+/// check "replace position j's cover, AND with all others" has a loop-
+/// invariant rest — the AND of the final covers below j and the initial
+/// covers above j. The sweep maintains a running prefix AND, takes the
+/// initial-suffix ANDs once per node, and each candidate probe collapses
+/// from an m-way AND to a single AND against the cached rest words. This
+/// speeds the single-thread path as much as the parallel one.
+class NodeEvaluator {
+ public:
+  NodeEvaluator(const WhyNotInstance& wni, const EnumerateOptions& options,
+                ls::LubContext* lub)
+      : wni_(wni),
+        options_(options),
+        lub_(lub),
+        adom_(wni.instance->ActiveDomain()),
+        adom_ids_(wni.instance->ActiveDomainIds()),
+        covers_(wni.instance, &wni.answers),
+        nwords_((wni.answers.size() + 63) / 64),
+        top_ext_(ls::Extension::All()) {
+    full_.assign(nwords_, ~uint64_t{0});
+    size_t rest = wni.answers.size() % 64;
+    if (nwords_ > 0 && rest != 0) full_.back() = (uint64_t{1} << rest) - 1;
+  }
+
+  // Deterministic greedy maximization under an exclusion set: start from
+  // the nominal-pinned tuple and, in fixed (position, constant) order, add
+  // every non-excluded generalization that keeps the tuple an explanation.
+  Status GreedyComplete(const ExclusionSet& excluded, GreedyState* state) {
+    size_t m = wni_.arity();
+    state->support.resize(m);
+    state->topped.assign(m, false);
+    state->concepts.resize(m);
+    state->exts.resize(m);
+    for (size_t j = 0; j < m; ++j) {
+      state->support[j] = {wni_.missing[j]};
+      WHYNOT_ASSIGN_OR_RETURN(auto ce, LubAndEval(state->support[j]));
+      state->concepts[j] = *ce.first;
+      state->exts[j] = ce.second;
+    }
+    if (covers_.ProductIntersects(state->exts)) {
+      return Status::Internal(
+          "nominal-pinned tuple is not an explanation; contradicts "
+          "Section 5.2");
+    }
+
+    // Initial-suffix ANDs: suffix[j] = ⋀_{k>j} Cover(exts[k], k) over the
+    // nominal-pinned extensions, valid while sweeping position j (later
+    // positions have not changed yet). The prefix AND absorbs each
+    // position's *final* cover as the sweep passes it.
+    std::vector<std::vector<uint64_t>> suffix(m);
+    if (m > 0) {
+      suffix[m - 1] = full_;
+      for (size_t j = m - 1; j > 0; --j) {
+        suffix[j - 1] = suffix[j];
+        AndInto(&suffix[j - 1], CoverWords(*state->exts[j], j));
+      }
+    }
+    std::vector<uint64_t> prefix = full_;
+    std::vector<uint64_t> rest(nwords_);
+
+    for (size_t j = 0; j < m; ++j) {
+      // Loop-invariant rest of the probe at position j: an accepted swap
+      // only changes position j itself, so `rest` survives the whole
+      // sweep of this position.
+      rest = prefix;
+      AndInto(&rest, suffix[j].data());
+      for (size_t bi = 0; bi < adom_.size() && !state->topped[j]; ++bi) {
+        GroundElement e{static_cast<int>(j), static_cast<int>(bi)};
+        if (excluded.count(e) > 0) continue;
+        // Inside the current lub extension: adding b leaves the lub
+        // unchanged (Lemma 5.1/5.2 minimality), so nothing to decide.
+        if (state->exts[j]->ContainsId(adom_ids_[bi])) continue;
+        std::vector<Value> extended = state->support[j];
+        extended.push_back(adom_[bi]);
+        WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
+        if (!AnyAnd(rest, CoverWords(*cand.second, j))) {
+          state->support[j] = std::move(extended);
+          state->concepts[j] = *cand.first;
+          state->exts[j] = cand.second;
+          state->decisions.push_back(e);
+        }
+      }
+      if (options_.generalize_to_top && !state->exts[j]->all) {
+        GroundElement top{static_cast<int>(j), kTopIndex};
+        if (excluded.count(top) == 0 && !AnyAnd(rest, full_.data())) {
+          state->topped[j] = true;
+          state->concepts[j] = ls::LsConcept::Top();
+          state->exts[j] = &top_ext_;
+          state->decisions.push_back(top);
+        }
+      }
+      AndInto(&prefix, CoverWords(*state->exts[j], j));
+    }
+    return Status::OK();
+  }
+
+  // True iff no *excluded* element can still be added: combined with
+  // maximality within ground ∖ F (which the sweep guarantees), this makes
+  // the output maximal in the unconstrained system.
+  Result<bool> MaximalUnconstrained(const ExclusionSet& excluded,
+                                    const GreedyState& state) {
+    size_t m = wni_.arity();
+    // Prefix/suffix ANDs over the *final* covers; rest(j) = pre[j] ∧
+    // suf[j+1] replaces the m-way AND of each probe.
+    std::vector<std::vector<uint64_t>> pre(m + 1), suf(m + 1);
+    pre[0] = full_;
+    for (size_t j = 0; j < m; ++j) {
+      pre[j + 1] = pre[j];
+      AndInto(&pre[j + 1], CoverWords(*state.exts[j], j));
+    }
+    suf[m] = full_;
+    for (size_t j = m; j > 0; --j) {
+      suf[j - 1] = suf[j];
+      AndInto(&suf[j - 1], CoverWords(*state.exts[j - 1], j - 1));
+    }
+    std::vector<uint64_t> rest(nwords_);
+    for (const GroundElement& e : excluded) {
+      size_t j = static_cast<size_t>(e.position);
+      if (state.topped[j] || state.exts[j]->all) continue;
+      rest = pre[j];
+      AndInto(&rest, suf[j + 1].data());
+      if (e.constant_index == kTopIndex) {
+        if (options_.generalize_to_top && !AnyAnd(rest, full_.data())) {
+          return false;
+        }
+        continue;
+      }
+      size_t bi = static_cast<size_t>(e.constant_index);
+      if (state.exts[j]->ContainsId(adom_ids_[bi])) continue;  // absorbed
+      std::vector<Value> extended = state.support[j];
+      extended.push_back(adom_[bi]);
+      WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
+      if (!AnyAnd(rest, CoverWords(*cand.second, j))) return false;
+    }
+    return true;
+  }
+
+ private:
+  Result<ls::LsConcept> Lub(const std::vector<Value>& x) {
+    if (options_.with_selections) return lub_->LubWithSelections(x);
+    return lub_->LubSelectionFree(x);
+  }
+
+  // Memoized lub + evaluation: branch-tree nodes share long support-set
+  // prefixes, so the same lub is requested many times across nodes. The
+  // returned pointers reference the cache's map nodes (stable), which the
+  // answer-cover kernel keys its bitmaps by.
+  Result<std::pair<const ls::LsConcept*, const ls::Extension*>> LubAndEval(
+      const std::vector<Value>& x) {
+    std::vector<Value> key = x;
+    std::sort(key.begin(), key.end());
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+    auto it = lub_cache_.find(key);
+    if (it == lub_cache_.end()) {
+      WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept concept_expr, Lub(x));
+      ls::Extension ext = ls::Eval(concept_expr, *wni_.instance);
+      it = lub_cache_
+               .emplace(std::move(key), std::make_pair(std::move(concept_expr),
+                                                       std::move(ext)))
+               .first;
+    }
+    return std::make_pair<const ls::LsConcept*, const ls::Extension*>(
+        &it->second.first, &it->second.second);
+  }
+
+  const uint64_t* CoverWords(const ls::Extension& ext, size_t pos) {
+    // No answers: nothing to cover, every probe passes (the covers have no
+    // per-position columns to index in that case).
+    if (nwords_ == 0) return full_.data();
+    return covers_.Cover(ext, pos).words().data();
+  }
+
+  // The running prefix/suffix ANDs go through the SIMD dispatch; the probe
+  // reuses the cover kernel's early-exit AnyAnd.
+  static void AndInto(std::vector<uint64_t>* acc, const uint64_t* words) {
+    DenseBitmap::AndWordsInPlace(acc->data(), words, acc->size());
+  }
+
+  static bool AnyAnd(const std::vector<uint64_t>& a, const uint64_t* b) {
+    return ConceptAnswerCovers::AnyAnd(a, b);
+  }
+
+  const WhyNotInstance& wni_;
+  const EnumerateOptions& options_;
+  ls::LubContext* lub_;
+  const std::vector<Value>& adom_;
+  const std::vector<ValueId>& adom_ids_;
+  LsAnswerCovers covers_;
+  size_t nwords_;
+  std::vector<uint64_t> full_;  // all answers alive, trailing bits zero
+  const ls::Extension top_ext_;
+  std::map<std::vector<Value>, std::pair<ls::LsConcept, ls::Extension>>
+      lub_cache_;
+};
+
+/// Everything the deterministic merge needs from one evaluated node; a
+/// plain value type so worker-local extension pointers never escape their
+/// evaluator.
+struct NodeResult {
+  Status status = Status::OK();
+  bool maximal = false;
+  LsExplanation concepts;
+  std::vector<ExtKey> ext_key;
+  std::vector<GroundElement> decisions;
+};
+
 class Enumerator {
  public:
   Enumerator(const WhyNotInstance& wni, const EnumerateOptions& options,
              ls::LubContext* lub, EnumerateStats* stats)
-      : wni_(wni),
-        options_(options),
-        lub_(lub),
-        stats_(stats),
-        adom_(wni.instance->ActiveDomain()),
-        adom_ids_(wni.instance->ActiveDomainIds()),
-        covers_(wni.instance, &wni.answers),
-        top_ext_(ls::Extension::All()) {}
+      : wni_(wni), options_(options), lub_(lub), stats_(stats) {}
 
   // Exclusion-branching enumeration of maximal independent sets
   // (Lawler-style), specialized to this monotone system:
@@ -77,12 +291,21 @@ class Enumerator {
   //     M's support is attempted and accepted, every acceptance stays
   //     inside M), so the node reports M; otherwise some decision e ∉ M
   //     gives a child with F ∪ {e} still disjoint from M.
-  // Output-dedup key: extensions identified in id space (all extensions
-  // share the instance pool, so rank-sorted ids + boxed extras are
-  // canonical — integer comparisons, no values() materialization).
-  using ExtKey = std::tuple<bool, std::vector<ValueId>, std::vector<Value>>;
-
+  //
+  // With more than one pool thread the branch tree expands in FIFO waves:
+  // every queued node evaluates in parallel (each worker owns a
+  // NodeEvaluator — node results do not depend on which one), then a
+  // serial merge consumes the results *in queue order*, replaying the
+  // serial loop's accounting — node budget, dedup, delay stats, child
+  // discovery — exactly. Outputs and stats are therefore identical for
+  // every thread count; nodes past a mid-wave stopping point are wasted
+  // speculation, nothing more.
   Result<std::vector<LsExplanation>> Run() {
+    if (par::NumThreads() > 1) {
+      wni_.instance->WarmForConcurrentReads();
+      return RunParallel();
+    }
+    NodeEvaluator evaluator(wni_, options_, lub_);
     std::vector<LsExplanation> results;
     std::set<std::vector<ExtKey>> seen_outputs;
     std::set<ExclusionSet> visited;
@@ -103,10 +326,10 @@ class Enumerator {
       ++nodes_since_last_output;
 
       GreedyState state;
-      WHYNOT_RETURN_IF_ERROR(GreedyComplete(excluded, &state));
+      WHYNOT_RETURN_IF_ERROR(evaluator.GreedyComplete(excluded, &state));
 
       WHYNOT_ASSIGN_OR_RETURN(bool maximal,
-                              MaximalUnconstrained(excluded, state));
+                              evaluator.MaximalUnconstrained(excluded, state));
       bool fresh_output = false;
       if (maximal) {
         std::vector<ExtKey> ext_key;
@@ -141,127 +364,106 @@ class Enumerator {
   }
 
  private:
-  // Deterministic greedy maximization under an exclusion set: start from
-  // the nominal-pinned tuple and, in fixed (position, constant) order, add
-  // every non-excluded generalization that keeps the tuple an explanation.
-  Status GreedyComplete(const ExclusionSet& excluded, GreedyState* state) {
-    size_t m = wni_.arity();
-    state->support.resize(m);
-    state->topped.assign(m, false);
-    state->concepts.resize(m);
-    state->exts.resize(m);
-    for (size_t j = 0; j < m; ++j) {
-      state->support[j] = {wni_.missing[j]};
-      WHYNOT_ASSIGN_OR_RETURN(auto ce, LubAndEval(state->support[j]));
-      state->concepts[j] = *ce.first;
-      state->exts[j] = ce.second;
-    }
-    if (covers_.ProductIntersects(state->exts)) {
-      return Status::Internal(
-          "nominal-pinned tuple is not an explanation; contradicts "
-          "Section 5.2");
-    }
+  Result<std::vector<LsExplanation>> RunParallel() {
+    std::vector<LsExplanation> results;
+    std::set<std::vector<ExtKey>> seen_outputs;
+    std::set<ExclusionSet> visited;
+    std::vector<ExclusionSet> frontier;
+    frontier.push_back({});
+    visited.insert({});
+    size_t nodes_since_last_output = 0;
+    std::vector<std::unique_ptr<NodeEvaluator>> workers(
+        static_cast<size_t>(par::MaxWorkers()));
+    std::vector<std::unique_ptr<ls::LubContext>> worker_lubs(workers.size());
 
-    for (size_t j = 0; j < m; ++j) {
-      for (size_t bi = 0; bi < adom_.size() && !state->topped[j]; ++bi) {
-        GroundElement e{static_cast<int>(j), static_cast<int>(bi)};
-        if (excluded.count(e) > 0) continue;
-        // Inside the current lub extension: adding b leaves the lub
-        // unchanged (Lemma 5.1/5.2 minimality), so nothing to decide.
-        if (state->exts[j]->ContainsId(adom_ids_[bi])) continue;
-        std::vector<Value> extended = state->support[j];
-        extended.push_back(adom_[bi]);
-        WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
-        if (StaysExplanation(*state, j, *cand.second)) {
-          state->support[j] = std::move(extended);
-          state->concepts[j] = *cand.first;
-          state->exts[j] = cand.second;
-          state->decisions.push_back(e);
+    while (!frontier.empty()) {
+      // Only nodes inside the remaining budget can ever be consumed: the
+      // merge errors out the moment nodes_expanded hits max_nodes, exactly
+      // like the serial pop loop, so evaluating past the budget would be
+      // pure wasted work (a wave can exceed it by the full branch
+      // fan-out).
+      size_t budget = options_.max_nodes > stats_->nodes_expanded
+                          ? options_.max_nodes - stats_->nodes_expanded
+                          : 0;
+      size_t n_eval = std::min(frontier.size(), budget);
+      std::vector<NodeResult> evaluated(n_eval);
+      par::ParallelForWorker(
+          n_eval, 1, [&](int w, size_t begin, size_t end) {
+            size_t slot = static_cast<size_t>(w);
+            if (workers[slot] == nullptr) {
+              worker_lubs[slot] = std::make_unique<ls::LubContext>(
+                  wni_.instance, options_.lub);
+              workers[slot] = std::make_unique<NodeEvaluator>(
+                  wni_, options_, worker_lubs[slot].get());
+            }
+            NodeEvaluator& evaluator = *workers[slot];
+            for (size_t i = begin; i < end; ++i) {
+              NodeResult& nr = evaluated[i];
+              GreedyState state;
+              nr.status = evaluator.GreedyComplete(frontier[i], &state);
+              if (!nr.status.ok()) continue;
+              Result<bool> maximal =
+                  evaluator.MaximalUnconstrained(frontier[i], state);
+              if (!maximal.ok()) {
+                nr.status = maximal.status();
+                continue;
+              }
+              nr.maximal = maximal.value();
+              nr.concepts = std::move(state.concepts);
+              nr.decisions = std::move(state.decisions);
+              if (nr.maximal) {
+                nr.ext_key.reserve(state.exts.size());
+                for (const ls::Extension* ext : state.exts) {
+                  nr.ext_key.emplace_back(ext->all, ext->ids(), ext->extras());
+                }
+              }
+            }
+          });
+
+      std::vector<ExclusionSet> next;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        if (stats_->nodes_expanded >= options_.max_nodes) {
+          return Status::ResourceExhausted(
+              "MGE enumeration exceeded max_nodes = " +
+              std::to_string(options_.max_nodes));
+        }
+        ++stats_->nodes_expanded;
+        ++nodes_since_last_output;
+        NodeResult& nr = evaluated[i];
+        if (!nr.status.ok()) return nr.status;
+        bool fresh_output = false;
+        if (nr.maximal) {
+          if (seen_outputs.insert(std::move(nr.ext_key)).second) {
+            fresh_output = true;
+            stats_->max_delay =
+                std::max(stats_->max_delay, nodes_since_last_output);
+            nodes_since_last_output = 0;
+            results.push_back(std::move(nr.concepts));
+            if (results.size() >= options_.max_results) return results;
+          } else {
+            ++stats_->duplicate_outputs;
+          }
+        }
+        if (!fresh_output && !options_.expand_duplicate_nodes) continue;
+        for (const GroundElement& e : nr.decisions) {
+          ExclusionSet child = frontier[i];
+          child.insert(e);
+          if (visited.insert(child).second) {
+            next.push_back(std::move(child));
+          } else {
+            ++stats_->visited_hits;
+          }
         }
       }
-      if (options_.generalize_to_top && !state->exts[j]->all) {
-        GroundElement top{static_cast<int>(j), kTopIndex};
-        if (excluded.count(top) == 0 &&
-            StaysExplanation(*state, j, top_ext_)) {
-          state->topped[j] = true;
-          state->concepts[j] = ls::LsConcept::Top();
-          state->exts[j] = &top_ext_;
-          state->decisions.push_back(top);
-        }
-      }
+      frontier = std::move(next);
     }
-    return Status::OK();
-  }
-
-  // True iff no *excluded* element can still be added: combined with
-  // maximality within ground ∖ F (which the sweep guarantees), this makes
-  // the output maximal in the unconstrained system.
-  Result<bool> MaximalUnconstrained(const ExclusionSet& excluded,
-                                    const GreedyState& state) {
-    for (const GroundElement& e : excluded) {
-      size_t j = static_cast<size_t>(e.position);
-      if (state.topped[j] || state.exts[j]->all) continue;
-      if (e.constant_index == kTopIndex) {
-        if (options_.generalize_to_top &&
-            StaysExplanation(state, j, top_ext_)) {
-          return false;
-        }
-        continue;
-      }
-      size_t bi = static_cast<size_t>(e.constant_index);
-      if (state.exts[j]->ContainsId(adom_ids_[bi])) continue;  // absorbed
-      std::vector<Value> extended = state.support[j];
-      extended.push_back(adom_[bi]);
-      WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
-      if (StaysExplanation(state, j, *cand.second)) return false;
-    }
-    return true;
-  }
-
-  Result<ls::LsConcept> Lub(const std::vector<Value>& x) {
-    if (options_.with_selections) return lub_->LubWithSelections(x);
-    return lub_->LubSelectionFree(x);
-  }
-
-  // Memoized lub + evaluation: branch-tree nodes share long support-set
-  // prefixes, so the same lub is requested many times across nodes. The
-  // returned pointers reference the cache's map nodes (stable), which the
-  // answer-cover kernel keys its bitmaps by.
-  Result<std::pair<const ls::LsConcept*, const ls::Extension*>> LubAndEval(
-      const std::vector<Value>& x) {
-    std::vector<Value> key = x;
-    std::sort(key.begin(), key.end());
-    key.erase(std::unique(key.begin(), key.end()), key.end());
-    auto it = lub_cache_.find(key);
-    if (it == lub_cache_.end()) {
-      WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept concept_expr, Lub(x));
-      ls::Extension ext = ls::Eval(concept_expr, *wni_.instance);
-      it = lub_cache_
-               .emplace(std::move(key), std::make_pair(std::move(concept_expr),
-                                                       std::move(ext)))
-               .first;
-    }
-    return std::make_pair<const ls::LsConcept*, const ls::Extension*>(
-        &it->second.first, &it->second.second);
-  }
-
-  // Would replacing position j's extension with `cand` keep the product
-  // disjoint from Ans? One word-parallel AND over cover bitmaps.
-  bool StaysExplanation(const GreedyState& state, size_t j,
-                        const ls::Extension& cand) {
-    return !covers_.ProductIntersects(state.exts, j, &cand);
+    return results;
   }
 
   const WhyNotInstance& wni_;
   const EnumerateOptions& options_;
   ls::LubContext* lub_;
   EnumerateStats* stats_;
-  const std::vector<Value>& adom_;
-  const std::vector<ValueId>& adom_ids_;
-  LsAnswerCovers covers_;
-  const ls::Extension top_ext_;
-  std::map<std::vector<Value>, std::pair<ls::LsConcept, ls::Extension>>
-      lub_cache_;
 };
 
 }  // namespace

@@ -1,6 +1,11 @@
 #include "whynot/explain/exhaustive.h"
 
 #include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "whynot/common/parallel.h"
+#include "whynot/explain/candidate_space.h"
 
 namespace whynot::explain {
 
@@ -19,11 +24,21 @@ Result<std::vector<std::vector<onto::ConceptId>>> CandidateLists(
   return lists;
 }
 
+/// Candidates filtered in one parallel round before their survivors are
+/// visited serially; bounds the survivor buffer without a sync per block.
+constexpr size_t kFilterChunk = 1 << 16;
+
 /// Enumerates the candidate product, calling `visit` on every tuple that
 /// avoids Ans (line 2 of Algorithm 1). `visit` returns false to abort.
 /// The avoidance test is the answer-cover kernel: per (position, concept)
 /// cover bitmaps are resolved once per candidate list, then each candidate
 /// is one m-way word-parallel AND with early exit.
+///
+/// With more than one pool thread the avoidance ANDs — the dominant cost —
+/// run sharded over linear candidate ranges (the cover table is immutable
+/// once resolved); each range collects its survivors, and `visit` then
+/// consumes them serially in range order, i.e. in exactly the serial
+/// odometer's order, one bounded chunk at a time.
 template <typename Visit>
 Status EnumerateExplanations(
     const WhyNotInstance& wni,
@@ -33,29 +48,55 @@ Status EnumerateExplanations(
   for (const auto& list : lists) {
     if (list.empty()) return Status::OK();
   }
+  CandidateSpace space(lists);
+  if (space.overflow() || space.total() > max_candidates) {
+    return Status::ResourceExhausted(
+        "candidate enumeration exceeded max_candidates (the space is "
+        "exponential in the query arity, Theorem 5.2)");
+  }
   // Pre-resolve cover pointers aligned with the candidate lists.
   ConceptAnswerCovers::ListCovers list_covers(covers, lists);
 
   std::vector<size_t> idx(m, 0);
   std::vector<onto::ConceptId> current(m);
-  size_t count = 0;
-  while (true) {
-    if (++count > max_candidates) {
-      return Status::ResourceExhausted(
-          "candidate enumeration exceeded max_candidates (the space is "
-          "exponential in the query arity, Theorem 5.2)");
+  if (par::NumThreads() <= 1) {
+    for (size_t linear = 0; linear < space.total(); ++linear) {
+      if (!list_covers.ProductAnyAt(idx)) {
+        for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+        if (!visit(current)) return Status::OK();
+      }
+      space.Advance(&idx);
     }
-    if (!list_covers.ProductAnyAt(idx)) {
-      for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-      if (!visit(current)) return Status::OK();
+    return Status::OK();
+  }
+
+  std::vector<std::pair<size_t, std::vector<Explanation>>> blocks;
+  std::mutex mutex;
+  for (size_t chunk = 0; chunk < space.total(); chunk += kFilterChunk) {
+    size_t chunk_end = std::min(space.total(), chunk + kFilterChunk);
+    blocks.clear();
+    par::ParallelFor(chunk_end - chunk, 1024, [&](size_t begin, size_t end) {
+      std::vector<Explanation> survivors;
+      std::vector<size_t> block_idx;
+      space.Decode(chunk + begin, &block_idx);
+      for (size_t off = begin; off < end; ++off) {
+        if (!list_covers.ProductAnyAt(block_idx)) {
+          Explanation e(m);
+          for (size_t i = 0; i < m; ++i) e[i] = lists[i][block_idx[i]];
+          survivors.push_back(std::move(e));
+        }
+        space.Advance(&block_idx);
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      blocks.emplace_back(begin, std::move(survivors));
+    });
+    std::sort(blocks.begin(), blocks.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [begin, survivors] : blocks) {
+      for (const Explanation& e : survivors) {
+        if (!visit(e)) return Status::OK();
+      }
     }
-    // Advance the odometer.
-    size_t i = 0;
-    while (i < m && ++idx[i] == lists[i].size()) {
-      idx[i] = 0;
-      ++i;
-    }
-    if (i == m) break;
   }
   return Status::OK();
 }

@@ -1,9 +1,15 @@
 #include "whynot/explain/why_explanation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "whynot/common/algorithm.h"
+#include "whynot/common/parallel.h"
 #include "whynot/concepts/ls_eval.h"
+#include "whynot/explain/candidate_space.h"
 #include "whynot/relational/cq_eval.h"
 
 namespace whynot::explain {
@@ -111,39 +117,115 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     if (lists[i].empty()) return std::vector<Explanation>{};
   }
   ConceptAnswerCovers covers(bound, InternedUniqueAnswers(bound, wi));
+  CandidateSpace space(lists);
+  if (space.overflow() || space.total() > max_candidates) {
+    return Status::ResourceExhausted(
+        "why-explanation enumeration exceeded max_candidates");
+  }
 
   std::vector<Explanation> antichain;
   std::vector<size_t> idx(m, 0);
   Explanation current(m);
-  size_t count = 0;
-  while (true) {
-    if (++count > max_candidates) {
-      return Status::ResourceExhausted(
-          "why-explanation enumeration exceeded max_candidates");
+  if (par::NumThreads() <= 1) {
+    for (size_t linear = 0; linear < space.total(); ++linear) {
+      for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+      bool dominated = false;
+      for (const Explanation& kept : antichain) {
+        if (LessGeneral(*bound, current, kept)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated && ProductInsideAnswers(bound, current, &covers)) {
+        antichain.erase(
+            std::remove_if(antichain.begin(), antichain.end(),
+                           [&](const Explanation& kept) {
+                             return StrictlyLessGeneral(*bound, kept, current);
+                           }),
+            antichain.end());
+        antichain.push_back(current);
+      }
+      space.Advance(&idx);
     }
-    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-    bool dominated = false;
-    for (const Explanation& kept : antichain) {
-      if (LessGeneral(*bound, current, kept)) {
-        dominated = true;
-        break;
+    std::sort(antichain.begin(), antichain.end());
+    return antichain;
+  }
+
+  // Parallel candidate filter. The product-containment test — the counting
+  // AND, by far the dominant cost — is a pure function of the candidate,
+  // so it shards over linear candidate ranges against the pre-resolved
+  // cover table; the antichain pass then replays serially in candidate
+  // order over the survivors. A candidate the serial loop would have
+  // skipped as dominated is dominated here too (domination is checked
+  // before insertion), so the resulting antichain is identical.
+  ConceptAnswerCovers::ListCovers list_covers(&covers, lists);
+  std::vector<std::vector<size_t>> sizes(m);   // |ext| per list entry
+  std::vector<std::vector<uint8_t>> is_all(m);
+  for (size_t i = 0; i < m; ++i) {
+    sizes[i].reserve(lists[i].size());
+    is_all[i].reserve(lists[i].size());
+    for (onto::ConceptId c : lists[i]) {
+      const onto::ExtSet& e = bound->Ext(c);
+      is_all[i].push_back(e.is_all() ? 1 : 0);
+      sizes[i].push_back(e.is_all() ? 0 : e.size());
+    }
+  }
+  // Mirrors ProductInsideAnswers over the precomputed per-list metadata.
+  auto inside_at = [&](const std::vector<size_t>& at) {
+    for (size_t i = 0; i < m; ++i) {
+      if (!is_all[i][at[i]] && sizes[i][at[i]] == 0) return true;
+    }
+    size_t product_size = 1;
+    for (size_t i = 0; i < m; ++i) {
+      if (is_all[i][at[i]]) return false;
+      if (product_size > covers.num_answers() / sizes[i][at[i]]) return false;
+      product_size *= sizes[i][at[i]];
+    }
+    return list_covers.ProductCountAt(at) == product_size;
+  };
+
+  constexpr size_t kFilterChunk = 1 << 16;
+  std::vector<std::pair<size_t, std::vector<Explanation>>> blocks;
+  std::mutex mutex;
+  for (size_t chunk = 0; chunk < space.total(); chunk += kFilterChunk) {
+    size_t chunk_end = std::min(space.total(), chunk + kFilterChunk);
+    blocks.clear();
+    par::ParallelFor(chunk_end - chunk, 1024, [&](size_t begin, size_t end) {
+      std::vector<Explanation> survivors;
+      std::vector<size_t> block_idx;
+      space.Decode(chunk + begin, &block_idx);
+      for (size_t off = begin; off < end; ++off) {
+        if (inside_at(block_idx)) {
+          Explanation e(m);
+          for (size_t i = 0; i < m; ++i) e[i] = lists[i][block_idx[i]];
+          survivors.push_back(std::move(e));
+        }
+        space.Advance(&block_idx);
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      blocks.emplace_back(begin, std::move(survivors));
+    });
+    std::sort(blocks.begin(), blocks.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [begin, survivors] : blocks) {
+      for (const Explanation& e : survivors) {
+        bool dominated = false;
+        for (const Explanation& kept : antichain) {
+          if (LessGeneral(*bound, e, kept)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        antichain.erase(
+            std::remove_if(antichain.begin(), antichain.end(),
+                           [&](const Explanation& kept) {
+                             return StrictlyLessGeneral(*bound, kept, e);
+                           }),
+            antichain.end());
+        antichain.push_back(e);
       }
     }
-    if (!dominated && ProductInsideAnswers(bound, current, &covers)) {
-      antichain.erase(
-          std::remove_if(antichain.begin(), antichain.end(),
-                         [&](const Explanation& kept) {
-                           return StrictlyLessGeneral(*bound, kept, current);
-                         }),
-          antichain.end());
-      antichain.push_back(current);
-    }
-    size_t i = 0;
-    while (i < m && ++idx[i] == lists[i].size()) {
-      idx[i] = 0;
-      ++i;
-    }
-    if (i == m) break;
   }
   std::sort(antichain.begin(), antichain.end());
   return antichain;
@@ -274,18 +356,85 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
   }
   const std::vector<Value>& adom = wi.instance->ActiveDomain();
   const std::vector<ValueId>& adom_ids = wi.instance->ActiveDomainIds();
-  for (size_t j = 0; j < candidate.size(); ++j) {
-    for (size_t bi = 0; bi < adom.size(); ++bi) {
-      if (exts[j]->ContainsId(adom_ids[bi])) continue;
-      std::vector<Value> extended = exts[j]->values();
-      extended.push_back(adom[bi]);
-      WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
-                              WhyLub(lub_context, with_selections, extended));
-      const ls::Extension& cand_ext = cache.Eval(cand);
-      // lub(ext ∪ {b}) is strictly more general than the candidate's
-      // position (it contains b); if the tuple stays a why-explanation,
-      // the candidate is not most general.
-      if (LsProductInsideAnswers(&covers, exts, j, &cand_ext)) return false;
+
+  if (par::NumThreads() > 1 && adom.size() >= 4) {
+    // The per-constant probes — lub, eval, counting AND — are independent
+    // reads of a fixed instance, so each position's sweep shards over adom
+    // ranges. Workers keep their own LubContext / EvalCache / covers (all
+    // three have lazy single-threaded caches); the instance itself is
+    // pre-warmed. The serial loop returns at the *smallest* bi that either
+    // errors or breaks maximality, so blocks report their first outcome
+    // and the lex-smallest one wins — identical for every thread count.
+    wi.instance->WarmForConcurrentReads();
+    struct Worker {
+      ls::LubContext lub;
+      ls::EvalCache cache;
+      LsAnswerCovers covers;
+      std::vector<const ls::Extension*> exts;
+      Worker(const rel::Instance* instance, const std::vector<Tuple>* answers,
+             const ls::LubOptions& options, const LsExplanation& candidate)
+          : lub(instance, options), cache(instance), covers(instance, answers) {
+        exts.reserve(candidate.size());
+        for (const ls::LsConcept& c : candidate) exts.push_back(&cache.Eval(c));
+      }
+    };
+    std::vector<std::unique_ptr<Worker>> workers(
+        static_cast<size_t>(par::MaxWorkers()));
+    for (size_t j = 0; j < candidate.size(); ++j) {
+      std::atomic<size_t> outcome_at{SIZE_MAX};
+      std::mutex mutex;
+      Status error = Status::OK();
+      bool broken = false;
+      par::ParallelForWorker(
+          adom.size(), 8, [&](int w, size_t begin, size_t end) {
+            if (begin > outcome_at.load(std::memory_order_relaxed)) return;
+            size_t slot = static_cast<size_t>(w);
+            if (workers[slot] == nullptr) {
+              workers[slot] = std::make_unique<Worker>(
+                  wi.instance, &answers, lub_context->options(), candidate);
+            }
+            Worker& wk = *workers[slot];
+            for (size_t bi = begin; bi < end; ++bi) {
+              if (bi > outcome_at.load(std::memory_order_relaxed)) return;
+              if (wk.exts[j]->ContainsId(adom_ids[bi])) continue;
+              std::vector<Value> extended = wk.exts[j]->values();
+              extended.push_back(adom[bi]);
+              Result<ls::LsConcept> cand =
+                  WhyLub(&wk.lub, with_selections, extended);
+              bool breaks = false;
+              if (cand.ok()) {
+                const ls::Extension& cand_ext = wk.cache.Eval(cand.value());
+                breaks =
+                    LsProductInsideAnswers(&wk.covers, wk.exts, j, &cand_ext);
+                if (!breaks) continue;
+              }
+              std::lock_guard<std::mutex> lock(mutex);
+              size_t seen = outcome_at.load(std::memory_order_relaxed);
+              if (bi < seen) {
+                outcome_at.store(bi, std::memory_order_relaxed);
+                broken = breaks;
+                error = breaks ? Status::OK() : cand.status();
+              }
+              return;
+            }
+          });
+      if (!error.ok()) return error;
+      if (broken) return false;
+    }
+  } else {
+    for (size_t j = 0; j < candidate.size(); ++j) {
+      for (size_t bi = 0; bi < adom.size(); ++bi) {
+        if (exts[j]->ContainsId(adom_ids[bi])) continue;
+        std::vector<Value> extended = exts[j]->values();
+        extended.push_back(adom[bi]);
+        WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
+                                WhyLub(lub_context, with_selections, extended));
+        const ls::Extension& cand_ext = cache.Eval(cand);
+        // lub(ext ∪ {b}) is strictly more general than the candidate's
+        // position (it contains b); if the tuple stays a why-explanation,
+        // the candidate is not most general.
+        if (LsProductInsideAnswers(&covers, exts, j, &cand_ext)) return false;
+      }
     }
   }
   return true;

@@ -37,6 +37,13 @@ class FiniteOntology {
   /// ext(C, I): the extension of concept `id` in `instance`, with constants
   /// interned into `pool`. Must be polynomial-time computable
   /// (Definition 3.1).
+  ///
+  /// Threading contract (sharded warm-up): after one serial call against
+  /// an instance, further calls against the *same* instance may run
+  /// concurrently (each with its own pool) and must not mutate shared
+  /// state. Once-per-ontology lazy caches are therefore fine — they build
+  /// during the serial first call — and the bound instance's lazy caches
+  /// are pre-warmed by the caller (Instance::WarmForConcurrentReads).
   virtual ExtSet ComputeExt(ConceptId id, const rel::Instance& instance,
                             ValuePool* pool) const = 0;
 };
@@ -74,7 +81,11 @@ class BoundOntology {
   }
 
   /// Computes (and bitmaps) every concept extension up front. Called
-  /// implicitly by ConceptsContaining; cheap to call again.
+  /// implicitly by ConceptsContaining; cheap to call again. With more than
+  /// one pool thread the construction is *sharded* by concept range: each
+  /// shard computes into a concept-local ValuePool and a serial merge
+  /// replays the interning in concept order, so the resulting pool ids,
+  /// extensions, and bitmaps are byte-identical to the serial warm-up.
   void WarmExtensions();
 
   /// C(a): all concepts whose extension contains `id` (line 1 of

@@ -319,6 +319,16 @@ const std::vector<ValueId>& Instance::ActiveDomainIds() const {
   return adom_ids_;
 }
 
+void Instance::WarmForConcurrentReads() const {
+  pool_.SortedIds();  // also builds the rank array Rank() reads
+  EnsureActiveDomain();
+  for (const auto& [name, idx] : store_index_) {
+    const StoredRelation& rel = store_[idx];
+    Relation(name);  // boxed tuple view (instance-dependent ExtFns read it)
+    for (size_t a = 0; a < rel.arity(); ++a) rel.Index(a);
+  }
+}
+
 Status Instance::SatisfiesConstraints() const {
   std::string violation;
   for (const FunctionalDependency& fd : schema_->fds()) {

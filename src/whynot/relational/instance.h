@@ -189,6 +189,14 @@ class Instance {
   /// description of the first violation found.
   Status SatisfiesConstraints() const;
 
+  /// Forces every lazily built cache — the pool's order index, the active
+  /// domain snapshot, all column indexes, and the boxed tuple views — so
+  /// that subsequent *const* access is genuinely read-only. The parallel
+  /// execution layer calls this once before fanning readers of a shared
+  /// instance out across pool workers (the lazy mutable caches otherwise
+  /// make even const methods single-threaded; see the class NOTE above).
+  void WarmForConcurrentReads() const;
+
   /// Multi-line table rendering of non-empty relations.
   std::string ToString() const;
 

@@ -402,9 +402,13 @@ std::vector<ValueId> RandomIds(Rng* rng, int32_t universe, size_t count) {
 
 TEST_P(BitmapKernelTest, KernelsMatchScalarDefinitions) {
   Rng rng(GetParam());
-  // Sizes straddling the SIMD minimum (8 words = 512 bits) exercise both
-  // the AVX2 path (when available) and the scalar fallback/tail.
-  for (int32_t universe : {40, 500, 513, 2048, 4096}) {
+  // Sizes straddling the SIMD minimum (8 words = 512 bits) exercise
+  // whichever lane the runtime shim dispatches to — AVX2 on x86-64, NEON
+  // on aarch64 — against the scalar definitions, including the scalar
+  // fallback below the threshold. 640/704/770 give word counts of
+  // 10/11/13, whose remainders mod the 4-word (AVX2) and 2-word (NEON
+  // popcount) strides land in every tail class of both lanes.
+  for (int32_t universe : {40, 130, 500, 513, 640, 704, 770, 2048, 4096}) {
     for (int trial = 0; trial < 10; ++trial) {
       std::vector<ValueId> a_ids =
           RandomIds(&rng, universe, static_cast<size_t>(universe) / 3 + 1);

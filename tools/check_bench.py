@@ -3,7 +3,11 @@
 
 Reads a BENCH_PR<N>.json produced by tools/run_benchmarks.sh and fails
 (exit 1) when any tracked benchmark's speedup_vs_baseline falls below the
-floor (default 0.85x vs the parent tree). Also prints the per-benchmark-
+floor (default 0.85x vs the parent tree). Since the v2 schema (PR 4)
+speedup_vs_baseline is computed from the 1-thread row, so the gate always
+checks the serial path — thread-level parallelism cannot mask a serial
+regression. The pooled speedups (speedup_pooled_vs_baseline) are printed
+for the scaling trajectory but not gated. Also prints the per-benchmark-
 binary median speedup so the perf trajectory is visible in CI logs.
 
 Usage: tools/check_bench.py [bench-json] [--floor 0.85]
@@ -20,7 +24,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", nargs="?",
                         default=str(Path(__file__).resolve().parent.parent /
-                                    "BENCH_PR3.json"))
+                                    "BENCH_PR4.json"))
     parser.add_argument("--floor", type=float, default=0.85,
                         help="fail when any benchmark's speedup is below this")
     args = parser.parse_args()
@@ -32,9 +36,11 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
-    # Group entries by the benchmark binary that produced them.
+    # Group entries by the benchmark binary that produced them (the
+    # 1-thread section when present — its names drive the gate).
+    sections = data.get("benchmarks_1thread") or data.get("benchmarks", {})
     by_binary = {}
-    for bench, payload in data.get("benchmarks", {}).items():
+    for bench, payload in sections.items():
         for name in payload.get("results", {}):
             if name in speedups:
                 by_binary.setdefault(bench, []).append(speedups[name])
@@ -46,6 +52,13 @@ def main() -> int:
     overall = statistics.median(speedups.values())
     print(f"overall: median speedup {overall:.2f}x over "
           f"{len(speedups)} entries")
+    pooled = data.get("speedup_pooled_vs_baseline", {})
+    if pooled:
+        pmed = statistics.median(pooled.values())
+        threads = {p.get("context", {}).get("whynot_threads")
+                   for p in data.get("benchmarks", {}).values()}
+        print(f"pooled ({sorted(t for t in threads if t)} threads): median "
+              f"speedup {pmed:.2f}x over {len(pooled)} entries [not gated]")
 
     regressed = {name: s for name, s in sorted(speedups.items())
                  if s < args.floor}
