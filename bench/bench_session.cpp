@@ -1,0 +1,218 @@
+// PR 5: prepared-session serving benchmarks. The repeated-traffic
+// scenario the ROADMAP targets: one (ontology, instance, query) binding
+// answering a stream of why-not requests. Cold rows pay the full one-shot
+// path per request — query evaluation, extension warm-up, answer-cover
+// construction, lub canonical boxes — while the warm rows reuse an
+// ExplainSession's shared state and only run the per-request search.
+// Results are bit-identical (see tests/session_test.cc); the gap is the
+// per-request cost the session amortizes.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "whynot/whynot.h"
+
+namespace wn = whynot;
+
+namespace {
+
+struct Fixture {
+  wn::workload::RetailScenario scenario;
+  std::vector<wn::Tuple> requests;  // missing tuples, rotated per request
+};
+
+/// Builds the scaled retail scenario plus a rotation of distinct missing
+/// (product, store) requests, so warm rows cannot degenerate into serving
+/// one memoized answer.
+std::optional<Fixture> MakeFixture(int num_products, int num_stores,
+                                   size_t num_requests) {
+  auto scenario = wn::workload::MakeRetailScenario(num_products, num_stores);
+  if (!scenario.ok()) return std::nullopt;
+  Fixture f;
+  f.scenario = std::move(scenario).value();
+  auto answers =
+      wn::rel::Evaluate(f.scenario.stock_query, *f.scenario.instance);
+  if (!answers.ok()) return std::nullopt;
+  const auto& products = f.scenario.instance->Relation("Products");
+  const auto& stores = f.scenario.instance->Relation("Stores");
+  for (const wn::Tuple& p : products) {
+    for (const wn::Tuple& s : stores) {
+      wn::Tuple missing = {p[0], s[0]};
+      if (!std::binary_search(answers->begin(), answers->end(), missing)) {
+        f.requests.push_back(std::move(missing));
+        if (f.requests.size() >= num_requests) return f;
+      }
+    }
+  }
+  return f.requests.empty() ? std::nullopt : std::optional<Fixture>(std::move(f));
+}
+
+// --- External ontology: Algorithm 1 per request ----------------------------
+
+void BM_ColdOneShot_ExhaustiveMges(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 4, 8);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    // The full cold path a stateless server would pay per request.
+    auto wni = wn::explain::MakeWhyNotInstance(
+        f->scenario.instance.get(), f->scenario.stock_query,
+        f->requests[i++ % f->requests.size()]);
+    if (!wni.ok()) {
+      state.SkipWithError(wni.status().ToString().c_str());
+      return;
+    }
+    wn::onto::BoundOntology bound(f->scenario.ontology.get(),
+                                  f->scenario.instance.get());
+    auto mges = wn::explain::ExhaustiveSearchAllMge(&bound, wni.value());
+    if (!mges.ok()) {
+      state.SkipWithError(mges.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(mges.value().size());
+  }
+  state.counters["requests"] = static_cast<double>(f->requests.size());
+}
+BENCHMARK(BM_ColdOneShot_ExhaustiveMges)->RangeMultiplier(2)->Range(4, 16);
+
+void BM_WarmSession_ExhaustiveMges(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 4, 8);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  auto session = wn::explain::ExplainSession::Bind(
+      f->scenario.instance.get(), f->scenario.stock_query,
+      f->scenario.ontology.get());
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto mges = session->ExhaustiveMges(f->requests[i++ % f->requests.size()]);
+    if (!mges.ok()) {
+      state.SkipWithError(mges.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(mges.value().size());
+  }
+  state.counters["requests"] = static_cast<double>(f->requests.size());
+}
+BENCHMARK(BM_WarmSession_ExhaustiveMges)->RangeMultiplier(2)->Range(4, 16);
+
+// --- Derived ontology OI: Algorithm 2 per request --------------------------
+
+void BM_ColdOneShot_WhyNotDerived(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 4, 8);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto wni = wn::explain::MakeWhyNotInstance(
+        f->scenario.instance.get(), f->scenario.stock_query,
+        f->requests[i++ % f->requests.size()]);
+    if (!wni.ok()) {
+      state.SkipWithError(wni.status().ToString().c_str());
+      return;
+    }
+    auto e = wn::explain::IncrementalSearch(wni.value(), {});
+    if (!e.ok()) {
+      state.SkipWithError(e.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(e.value().size());
+  }
+}
+BENCHMARK(BM_ColdOneShot_WhyNotDerived)->RangeMultiplier(2)->Range(4, 16);
+
+void BM_WarmSession_WhyNotDerived(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 4, 8);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  auto session = wn::explain::ExplainSession::Bind(
+      f->scenario.instance.get(), f->scenario.stock_query);
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto e = session->WhyNot(f->requests[i++ % f->requests.size()]);
+    if (!e.ok()) {
+      state.SkipWithError(e.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(e.value().size());
+  }
+}
+BENCHMARK(BM_WarmSession_WhyNotDerived)->RangeMultiplier(2)->Range(4, 16);
+
+// --- Bind + invalidation costs --------------------------------------------
+
+void BM_SessionBind(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 4, 1);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  for (auto _ : state) {
+    auto session = wn::explain::ExplainSession::Bind(
+        f->scenario.instance.get(), f->scenario.stock_query,
+        f->scenario.ontology.get());
+    if (!session.ok()) {
+      state.SkipWithError(session.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(session->answers().size());
+  }
+}
+BENCHMARK(BM_SessionBind)->RangeMultiplier(2)->Range(4, 16);
+
+void BM_SessionInvalidationRewarm(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 4, 2);
+  if (!f.has_value() || f->requests.size() < 2) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  // A private mutable copy: each iteration adds a fresh fact (bumping the
+  // version) and the next request pays one deterministic rewarm.
+  wn::rel::Instance instance(*f->scenario.instance);
+  auto session = wn::explain::ExplainSession::Bind(
+      &instance, f->scenario.stock_query, f->scenario.ontology.get());
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  int64_t next_id = 0;
+  for (auto _ : state) {
+    wn::Status st = instance.AddFact(
+        "Products", {wn::Value("P-hot-" + std::to_string(next_id)),
+                     wn::Value("Bluetooth-Headset")});
+    ++next_id;
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    auto e = session->WhyNot(f->requests[0]);
+    if (!e.ok()) {
+      state.SkipWithError(e.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(e.value().size());
+  }
+}
+BENCHMARK(BM_SessionInvalidationRewarm)->RangeMultiplier(4)->Range(4, 16);
+
+}  // namespace

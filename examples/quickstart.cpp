@@ -57,18 +57,30 @@ int main() {
   std::printf("\nOntology subsumptions (Hasse diagram):\n%s",
               (*ontology)->SubsumptionToString().c_str());
 
-  wn::onto::BoundOntology bound(ontology->get(), &instance.value());
-  wn::Status consistent = bound.CheckConsistent();
+  // 5. Bind a prepared ExplainSession: one warm-up (query evaluation,
+  // extension tables, answer covers) serves any number of why-not
+  // questions over this data — the serving shape of a production
+  // deployment. Results are bit-identical to the one-shot entry points.
+  wn::Result<wn::explain::ExplainSession> session =
+      wn::explain::ExplainSession::Bind(&instance.value(), query,
+                                        ontology->get());
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  wn::Status consistent = session->CheckConsistent();
   std::printf("\nInstance consistent with ontology: %s\n",
               consistent.ToString().c_str());
 
-  // 5. All most-general explanations (Algorithm 1, EXHAUSTIVE SEARCH).
+  // All most-general explanations (Algorithm 1, EXHAUSTIVE SEARCH).
   wn::Result<std::vector<wn::explain::Explanation>> mges =
-      wn::explain::ExhaustiveSearchAllMge(&bound, wni.value());
+      session->ExhaustiveMges({"Amsterdam", "New York"});
   if (!mges.ok()) {
     std::fprintf(stderr, "search: %s\n", mges.status().ToString().c_str());
     return 1;
   }
+  wn::onto::BoundOntology& bound = *session->bound_ontology();
   std::printf("\nMost-general explanations:\n");
   for (const wn::explain::Explanation& e : mges.value()) {
     std::printf("  %s\n", wn::explain::ExplanationToString(bound, e).c_str());
@@ -79,5 +91,18 @@ int main() {
       "one intermediate stop — the paper's explanation E4. The second MGE,\n"
       "(City, East-Coast-City), is also a valid Definition 3.2 explanation:\n"
       "no city at all reaches an East-Coast city in the data.\n");
+
+  // 6. The warm session answers further questions without re-deriving
+  // any shared state.
+  wn::Result<std::vector<wn::explain::Explanation>> second =
+      session->ExhaustiveMges({"Berlin", "San Francisco"});
+  if (second.ok()) {
+    std::printf("\nSecond request, same session — why not (Berlin, San "
+                "Francisco)?\n");
+    for (const wn::explain::Explanation& e : second.value()) {
+      std::printf("  %s\n",
+                  wn::explain::ExplanationToString(bound, e).c_str());
+    }
+  }
   return 0;
 }

@@ -25,26 +25,30 @@ int main() {
               s.instance->Relation("Stores").size(),
               s.instance->Relation("Stock").size());
 
-  wn::Result<wn::explain::WhyNotInstance> wni =
-      wn::explain::MakeWhyNotInstance(s.instance.get(), s.stock_query,
-                                      s.missing);
-  if (!wni.ok()) {
-    std::fprintf(stderr, "%s\n", wni.status().ToString().c_str());
+  // One prepared session serves the whole conversation about this data:
+  // existence, all MGEs, and the cardinality preference reuse the same
+  // warm extension tables and answer covers (bit-identical to the
+  // one-shot entry points).
+  wn::Result<wn::explain::ExplainSession> session =
+      wn::explain::ExplainSession::Bind(s.instance.get(), s.stock_query,
+                                        s.ontology.get());
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n\n", wni->ToString().c_str());
-
-  wn::onto::BoundOntology bound(s.ontology.get(), s.instance.get());
-  wn::Status consistent = bound.CheckConsistent();
+  wn::Status consistent = session->CheckConsistent();
   if (!consistent.ok()) {
     std::fprintf(stderr, "%s\n", consistent.ToString().c_str());
     return 1;
   }
+  std::printf("why-not %s? Ans has %zu tuples\n\n",
+              wn::TupleToString(s.missing).c_str(),
+              session->answers().size());
+  wn::onto::BoundOntology& bound = *session->bound_ontology();
 
   // Existence first (Theorem 5.1.2), then all MGEs (Algorithm 1).
   wn::explain::Explanation witness;
-  wn::Result<bool> exists =
-      wn::explain::ExistsExplanation(&bound, wni.value(), &witness);
+  wn::Result<bool> exists = session->Exists(s.missing, &witness);
   if (!exists.ok()) {
     std::fprintf(stderr, "%s\n", exists.status().ToString().c_str());
     return 1;
@@ -56,7 +60,7 @@ int main() {
   }
 
   wn::Result<std::vector<wn::explain::Explanation>> mges =
-      wn::explain::ExhaustiveSearchAllMge(&bound, wni.value());
+      session->ExhaustiveMges(s.missing);
   if (!mges.ok()) {
     std::fprintf(stderr, "%s\n", mges.status().ToString().c_str());
     return 1;
@@ -71,7 +75,7 @@ int main() {
   // Cardinality-based preference (Section 6): the >card-maximal
   // explanation maximizes |ext(C1)| + |ext(C2)|.
   wn::Result<std::optional<wn::explain::CardinalityResult>> exact =
-      wn::explain::ExactCardMaximal(&bound, wni.value());
+      session->CardMaximal(s.missing);
   if (exact.ok() && exact->has_value()) {
     std::printf(
         "\n>card-maximal explanation (Section 6): %s with degree %s\n",

@@ -46,6 +46,14 @@ size_t CountScalar(const uint64_t* w, size_t n) {
   return count;
 }
 
+size_t AndCountScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return count;
+}
+
 #if defined(WHYNOT_BITMAP_AVX2) || defined(WHYNOT_BITMAP_NEON)
 
 // Below this many words the dispatch overhead and the scalar tail dominate;
@@ -113,6 +121,33 @@ __attribute__((target("avx2"))) size_t CountAvx2(const uint64_t* w, size_t n) {
   return lanes[0] + lanes[1] + lanes[2] + lanes[3] + CountScalar(w + i, n - i);
 }
 
+// Fused AND + Mula popcount: the AND happens in-register and feeds the
+// nibble LUT directly — no intermediate word buffer.
+__attribute__((target("avx2"))) size_t AndCountAvx2(const uint64_t* a,
+                                                    const uint64_t* b,
+                                                    size_t n) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i v = _mm256_and_si256(va, vb);
+    __m256i lo = _mm256_and_si256(v, low_mask);
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                  _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         AndCountScalar(a + i, b + i, n - i);
+}
+
 #endif  // WHYNOT_BITMAP_AVX2
 
 #ifdef WHYNOT_BITMAP_NEON
@@ -158,6 +193,20 @@ size_t CountNeon(const uint64_t* w, size_t n) {
   return count + CountScalar(w + i, n - i);
 }
 
+// Fused AND + vcnt popcount, same widening pairwise fold as CountNeon.
+size_t AndCountNeon(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t v = vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    uint8x16_t cnt = vcntq_u8(vreinterpretq_u8_u64(v));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+  }
+  size_t count = static_cast<size_t>(vgetq_lane_u64(acc, 0)) +
+                 static_cast<size_t>(vgetq_lane_u64(acc, 1));
+  return count + AndCountScalar(a + i, b + i, n - i);
+}
+
 #endif  // WHYNOT_BITMAP_NEON
 
 // ---- dispatch shim --------------------------------------------------------
@@ -193,6 +242,15 @@ size_t CountWords(const uint64_t* w, size_t n) {
   if (n >= kSimdMinWords) return CountNeon(w, n);
 #endif
   return CountScalar(w, n);
+}
+
+size_t AndCountWordsDispatch(const uint64_t* a, const uint64_t* b, size_t n) {
+#ifdef WHYNOT_BITMAP_AVX2
+  if (n >= kSimdMinWords && HasAvx2()) return AndCountAvx2(a, b, n);
+#elif defined(WHYNOT_BITMAP_NEON)
+  if (n >= kSimdMinWords) return AndCountNeon(a, b, n);
+#endif
+  return AndCountScalar(a, b, n);
 }
 
 }  // namespace
@@ -231,6 +289,15 @@ bool DenseBitmap::SubsetOf(const DenseBitmap& other) const {
 void DenseBitmap::AndWordsInPlace(uint64_t* acc, const uint64_t* words,
                                   size_t n) {
   AndWords(acc, words, acc, n);
+}
+
+size_t DenseBitmap::PopcountWords(const uint64_t* words, size_t n) {
+  return CountWords(words, n);
+}
+
+size_t DenseBitmap::AndCountWords(const uint64_t* a, const uint64_t* b,
+                                  size_t n) {
+  return AndCountWordsDispatch(a, b, n);
 }
 
 DenseBitmap DenseBitmap::Intersect(const DenseBitmap& a, const DenseBitmap& b) {

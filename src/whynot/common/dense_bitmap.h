@@ -63,6 +63,16 @@ class DenseBitmap {
   /// their own word buffers (the explain layer's running cover ANDs).
   static void AndWordsInPlace(uint64_t* acc, const uint64_t* words, size_t n);
 
+  /// popcount over raw words through the runtime SIMD dispatch.
+  static size_t PopcountWords(const uint64_t* words, size_t n);
+
+  /// Fused popcount(a ∧ b) without materializing the intermediate words —
+  /// the counting-containment form of the answer-cover kernel ANDs two
+  /// covers and immediately popcounts, so the AND result never needs a
+  /// buffer. One pass, SIMD lanes AND in-register and feed the popcount
+  /// directly.
+  static size_t AndCountWords(const uint64_t* a, const uint64_t* b, size_t n);
+
   /// Number of set bits (popcount over words).
   size_t Count() const;
 

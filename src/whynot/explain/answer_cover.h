@@ -106,8 +106,16 @@ class ConceptAnswerCovers {
     }
     return false;
   }
+  /// The one- and two-cover forms route through the SIMD dispatch: a lone
+  /// cover is a straight popcount, a pair uses the fused AND+popcount
+  /// kernel (no intermediate bitmap); wider products keep the word-outer
+  /// scalar loop whose running AND early-exits on a zero accumulator.
   template <typename CoverAt>
   static size_t ProductCount(size_t m, size_t nwords, CoverAt cover_at) {
+    if (m == 1) return DenseBitmap::PopcountWords(cover_at(0), nwords);
+    if (m == 2) {
+      return DenseBitmap::AndCountWords(cover_at(0), cover_at(1), nwords);
+    }
     size_t count = 0;
     for (size_t w = 0; w < nwords; ++w) {
       uint64_t acc = cover_at(0)[w];
@@ -117,45 +125,9 @@ class ConceptAnswerCovers {
     return count;
   }
 
-  /// Pre-resolved cover table for the candidate-product odometers
-  /// (exhaustive enumeration, exact cardinality): covers aligned with the
-  /// per-position candidate lists, so the avoidance test per candidate is
-  /// one m-way word AND with no lookups.
-  class ListCovers {
-   public:
-    ListCovers(ConceptAnswerCovers* covers,
-               const std::vector<std::vector<onto::ConceptId>>& lists)
-        : num_answers_(covers->num_answers()),
-          nwords_(covers->num_words()),
-          table_(lists.size()) {
-      for (size_t i = 0; i < lists.size(); ++i) {
-        table_[i].reserve(lists[i].size());
-        for (onto::ConceptId c : lists[i]) {
-          table_[i].push_back(covers->Cover(c, i));
-        }
-      }
-    }
-
-    /// ⋀_i Cover(lists[i][idx[i]], i) ≠ 0.
-    bool ProductAnyAt(const std::vector<size_t>& idx) const {
-      if (num_answers_ == 0) return false;
-      return ProductAny(table_.size(), nwords_,
-                        [&](size_t i) { return table_[i][idx[i]]; });
-    }
-
-    /// popcount(⋀_i Cover(lists[i][idx[i]], i)) — the counting form used
-    /// by the why-explanation product-containment check.
-    size_t ProductCountAt(const std::vector<size_t>& idx) const {
-      if (num_answers_ == 0) return 0;
-      return ProductCount(table_.size(), nwords_,
-                          [&](size_t i) { return table_[i][idx[i]]; });
-    }
-
-   private:
-    size_t num_answers_;
-    size_t nwords_;
-    std::vector<std::vector<const uint64_t*>> table_;
-  };
+  // The pre-resolved per-candidate-list cover table lives in
+  // search_core.h (explain::CoverTable), next to the chunked candidate
+  // filter that probes it.
 
  private:
   const uint64_t* BuildCover(onto::ConceptId c, size_t pos);

@@ -16,6 +16,14 @@ namespace whynot::explain {
 /// The parallel candidate filters shard [0, total) into index ranges and
 /// merge per-range results in range order, which reproduces the serial
 /// enumeration order exactly.
+///
+/// Overflow guard: wide arities × large cover lists can push the product
+/// past SIZE_MAX. The constructor detects that (overflow()) instead of
+/// wrapping; `total()` and `Decode` are then meaningless, but the
+/// odometer operations (`Advance`, `AdvanceBy`, `RemainingFrom`) remain
+/// exact, so ParallelFilterSpace (search_core.h) falls back to
+/// prefix-chunked odometer iteration and still enumerates the space in
+/// the serial order until the caller stops it.
 class CandidateSpace {
  public:
   explicit CandidateSpace(
@@ -35,6 +43,8 @@ class CandidateSpace {
     }
   }
 
+  /// Number of odometer positions (the query arity).
+  size_t arity() const { return lists_->size(); }
   /// Product of the list sizes; meaningless when overflow().
   size_t total() const { return total_; }
   /// The product exceeds SIZE_MAX (and therefore any candidate budget).
@@ -59,6 +69,46 @@ class CandidateSpace {
       ++i;
     }
     return i < idx->size();
+  }
+
+  /// Advances the odometer `steps` positions in one mixed-radix add with
+  /// carry — O(arity), no linearization, exact even when total()
+  /// overflows. The caller must know the space does not wrap within
+  /// `steps` (see RemainingFrom).
+  void AdvanceBy(std::vector<size_t>* idx, size_t steps) const {
+    size_t carry = steps;
+    for (size_t i = 0; i < idx->size() && carry != 0; ++i) {
+      size_t len = (*lists_)[i].size();
+      size_t sum = (*idx)[i] + carry;
+      (*idx)[i] = sum % len;
+      carry = sum / len;
+    }
+  }
+
+  /// Candidates from `idx` (inclusive) to the end of the space, saturated
+  /// at SIZE_MAX when the count does not fit a word — enough to bound any
+  /// chunk length, which is all the prefix-chunked iteration needs.
+  size_t RemainingFrom(const std::vector<size_t>& idx) const {
+    if (lists_->empty()) return 0;
+    size_t remaining = 1;  // the candidate at idx itself
+    size_t stride = 1;
+    bool saturated = false;
+    for (size_t i = 0; i < lists_->size(); ++i) {
+      size_t len = (*lists_)[i].size();
+      size_t above = len - 1 - idx[i];
+      size_t term;
+      if (saturated ? above > 0
+                    : (__builtin_mul_overflow(above, stride, &term) ||
+                       __builtin_add_overflow(remaining, term, &remaining))) {
+        return SIZE_MAX;
+      }
+      if (!saturated && __builtin_mul_overflow(stride, len, &stride)) {
+        // Strides past this position overflow; any non-zero `above` there
+        // saturates the count.
+        saturated = true;
+      }
+    }
+    return remaining;
   }
 
  private:

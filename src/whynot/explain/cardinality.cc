@@ -1,21 +1,13 @@
 #include "whynot/explain/cardinality.h"
 
 #include <algorithm>
-#include <mutex>
+#include <optional>
 #include <utility>
 
-#include "whynot/common/parallel.h"
-#include "whynot/explain/candidate_space.h"
 #include "whynot/explain/existence.h"
+#include "whynot/explain/search_core.h"
 
 namespace whynot::explain {
-
-namespace {
-
-/// Candidates per parallel filter round (see exhaustive.cc).
-constexpr size_t kFilterChunk = 1 << 16;
-
-}  // namespace
 
 Degree DegreeOf(onto::BoundOntology* bound, const Explanation& e) {
   Degree d;
@@ -32,7 +24,7 @@ Degree DegreeOf(onto::BoundOntology* bound, const Explanation& e) {
 
 Result<std::optional<CardinalityResult>> ExactCardMaximal(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    const ExhaustiveOptions& options) {
+    const ExhaustiveOptions& options, ConceptAnswerCovers* covers) {
   // Enumerate the full candidate product (as in Algorithm 1 line 2) and
   // keep the highest-degree explanation.
   std::vector<std::vector<onto::ConceptId>> lists(wni.arity());
@@ -41,82 +33,64 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
     lists[i] = bound->ConceptsContaining(id);
     if (lists[i].empty()) return std::optional<CardinalityResult>();
   }
-  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
-  // Pre-resolve cover pointers aligned with the candidate lists: the
-  // enumeration's avoidance test is then an m-way word AND with no
-  // per-candidate cover lookups.
+  std::optional<ConceptAnswerCovers> local;
+  if (covers == nullptr) {
+    local.emplace(bound, InternAnswers(bound, wni));
+    covers = &*local;
+  }
   size_t m = wni.arity();
-  ConceptAnswerCovers::ListCovers list_covers(&covers, lists);
   CandidateSpace space(lists);
   if (space.overflow() || space.total() > options.max_candidates) {
     return Status::ResourceExhausted(
         "exact >card-maximal enumeration exceeded max_candidates "
         "(Proposition 6.4: no PTIME algorithm exists unless P=NP)");
   }
+  // Pre-resolved cover table: the avoidance ANDs — the dominant cost —
+  // shard through the shared candidate filter, while the degree ratchet
+  // (strict improvement only, so the *first* candidate of a degree wins)
+  // replays serially over the survivors in the serial odometer's order.
+  // On spaces large enough to amortize the setup, degrees come from the
+  // table's resolved sizes (a handful of adds per survivor, even when
+  // nothing is filtered); tiny spaces keep the direct DegreeOf, whose
+  // two warm extension loads per survivor undercut the table build.
+  CoverTable table(covers, lists);
+  const bool table_degree = space.total() >= 4096;
+  if (table_degree) table.ResolveSizes(bound, lists);
 
   std::optional<CardinalityResult> best;
-  std::vector<size_t> idx(m, 0);
   Explanation current(m);
-  if (par::NumThreads() <= 1) {
-    for (size_t linear = 0; linear < space.total(); ++linear) {
-      for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-      if (!list_covers.ProductAnyAt(idx)) {
-        Degree d = DegreeOf(bound, current);
+  WHYNOT_RETURN_IF_ERROR(ParallelFilterSpace(
+      space,
+      [&](const std::vector<size_t>& idx) { return !table.ProductAnyAt(idx); },
+      [&](const std::vector<size_t>& idx) {
+        Degree d;
+        if (table_degree) {
+          table.DegreeAt(idx, &d.infinite, &d.finite);
+        } else {
+          for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+          d = DegreeOf(bound, current);
+        }
         if (!best.has_value() || d > best->degree) {
+          for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
           best = CardinalityResult{current, d};
         }
-      }
-      space.Advance(&idx);
-    }
-    return best;
-  }
-
-  // Sharded by linear candidate range: blocks keep their own best (strict
-  // improvement only, so the *first* candidate of a degree wins within a
-  // block) and merge in range order with the same strict comparison — the
-  // overall winner is the serial loop's. Everything read in a block
-  // (covers table, warm extensions for DegreeOf) is immutable.
-  std::vector<std::pair<size_t, CardinalityResult>> block_best;
-  std::mutex mutex;
-  for (size_t chunk = 0; chunk < space.total(); chunk += kFilterChunk) {
-    size_t chunk_end = std::min(space.total(), chunk + kFilterChunk);
-    par::ParallelFor(chunk_end - chunk, 1024, [&](size_t begin, size_t end) {
-      std::optional<CardinalityResult> local;
-      std::vector<size_t> block_idx;
-      Explanation cand(m);
-      space.Decode(chunk + begin, &block_idx);
-      for (size_t off = begin; off < end; ++off) {
-        if (!list_covers.ProductAnyAt(block_idx)) {
-          for (size_t i = 0; i < m; ++i) cand[i] = lists[i][block_idx[i]];
-          Degree d = DegreeOf(bound, cand);
-          if (!local.has_value() || d > local->degree) {
-            local = CardinalityResult{cand, d};
-          }
-        }
-        space.Advance(&block_idx);
-      }
-      if (local.has_value()) {
-        std::lock_guard<std::mutex> lock(mutex);
-        block_best.emplace_back(chunk + begin, std::move(*local));
-      }
-    });
-  }
-  std::sort(block_best.begin(), block_best.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (auto& [begin, result] : block_best) {
-    if (!best.has_value() || result.degree > best->degree) {
-      best = std::move(result);
-    }
-  }
+        return true;
+      }));
   return best;
 }
 
 Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
-    onto::BoundOntology* bound, const WhyNotInstance& wni) {
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    ConceptAnswerCovers* covers) {
+  std::optional<ConceptAnswerCovers> local;
+  if (covers == nullptr) {
+    local.emplace(bound, InternAnswers(bound, wni));
+    covers = &*local;
+  }
   Explanation seed;
-  WHYNOT_ASSIGN_OR_RETURN(bool exists, ExistsExplanation(bound, wni, &seed));
+  WHYNOT_ASSIGN_OR_RETURN(bool exists,
+                          ExistsExplanation(bound, wni, &seed, {}, covers));
   if (!exists) return std::optional<CardinalityResult>();
-  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
 
   // Per-position candidate lists are loop-invariant; hoist them out of
   // the climb.
@@ -135,12 +109,12 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
       // Positions other than i are stable across this candidate sweep
       // (an accepted swap only changes position i), so their covers AND
       // once; each candidate is one word-parallel intersect-any.
-      std::vector<uint64_t> base = covers.AndAllExcept(current, i);
+      std::vector<uint64_t> base = covers->AndAllExcept(current, i);
       const std::vector<onto::ConceptId>& list = candidates[i];
       if (par::NumThreads() <= 1) {
         for (onto::ConceptId c : list) {
           if (c == current[i]) continue;
-          if (ConceptAnswerCovers::AnyAnd(base, covers.Cover(c, i))) continue;
+          if (ConceptAnswerCovers::AnyAnd(base, covers->Cover(c, i))) continue;
           Explanation probe = current;
           probe[i] = c;
           Degree d = DegreeOf(bound, probe);
@@ -157,10 +131,8 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
       // mask; the acceptance scan — whose degree threshold ratchets
       // within the sweep — replays serially in candidate order, exactly
       // as the serial loop.
-      std::vector<const uint64_t*> cover_at(list.size());
-      for (size_t c = 0; c < list.size(); ++c) {
-        cover_at[c] = covers.Cover(list[c], i);
-      }
+      std::vector<const uint64_t*> cover_at =
+          CoverTable::ResolveList(covers, list, i);
       std::vector<uint8_t> valid(list.size(), 0);
       par::ParallelFor(list.size(), 64, [&](size_t begin, size_t end) {
         for (size_t c = begin; c < end; ++c) {

@@ -37,10 +37,13 @@ struct CardinalityResult {
 /// A >card-maximal explanation by exhaustive enumeration of all
 /// explanations (exponential; Proposition 6.4 shows no PTIME algorithm
 /// exists unless P=NP, and no PTIME constant-factor approximation either).
-/// Returns nullopt when no explanation exists.
+/// Returns nullopt when no explanation exists. `covers`, when non-null,
+/// must be the answer-cover table of (bound, InternAnswers(bound, wni))
+/// (a prepared ExplainSession's warm table); results are identical.
 Result<std::optional<CardinalityResult>> ExactCardMaximal(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    const ExhaustiveOptions& options = {});
+    const ExhaustiveOptions& options = {},
+    ConceptAnswerCovers* covers = nullptr);
 
 /// Greedy hill-climbing heuristic: starts from any explanation and
 /// repeatedly applies the single-position replacement that increases the
@@ -48,8 +51,10 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
 /// bench_cardinality benchmark exhibits the approximation gap on
 /// set-cover-shaped families, illustrating Proposition 6.4's
 /// inapproximability. Returns nullopt when no explanation exists.
+/// Same `covers` contract as ExactCardMaximal.
 Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
-    onto::BoundOntology* bound, const WhyNotInstance& wni);
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
+    ConceptAnswerCovers* covers = nullptr);
 
 }  // namespace whynot::explain
 

@@ -3,15 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
+#include <optional>
 
-#include "whynot/common/parallel.h"
+#include "whynot/explain/search_core.h"
 
 namespace whynot::explain {
 
 Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
                               const WhyNotInstance& wni,
-                              const Explanation& candidate) {
+                              const Explanation& candidate,
+                              ConceptAnswerCovers* covers) {
   if (candidate.size() != wni.arity()) {
     return Status::InvalidArgument(
         "explanation arity does not match the missing tuple");
@@ -22,9 +23,13 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
     ValueId id = bound->pool().Intern(wni.missing[i]);
     if (!bound->Ext(candidate[i]).Contains(id)) return false;
   }
-  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
-  if (covers.ProductIntersects(candidate)) return false;
-  const std::vector<std::vector<ValueId>>& answers = covers.answers();
+  std::optional<ConceptAnswerCovers> local;
+  if (covers == nullptr) {
+    local.emplace(bound, InternAnswers(bound, wni));
+    covers = &*local;
+  }
+  if (covers->ProductIntersects(candidate)) return false;
+  const std::vector<std::vector<ValueId>>& answers = covers->answers();
   const bool parallel =
       par::NumThreads() > 1 && bound->NumConcepts() >= 64;
   // The replacement sweep below reads every concept's extension; warm them
@@ -38,9 +43,9 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
     // only against the alive answers, with early exit on the first hit;
     // a cover per replacement would be built for a single use, which is
     // exactly when the scalar probe wins.
-    std::vector<uint64_t> base = covers.AndAllExcept(candidate, i);
+    std::vector<uint64_t> base = covers->AndAllExcept(candidate, i);
     std::vector<uint32_t> alive;
-    for (size_t a = 0; a < covers.num_answers(); ++a) {
+    for (size_t a = 0; a < covers->num_answers(); ++a) {
       if ((base[a / 64] >> (a % 64)) & 1) alive.push_back(static_cast<uint32_t>(a));
     }
     if (!parallel) {
@@ -104,22 +109,32 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
 Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              const LsExplanation& candidate,
                              bool with_selections,
-                             ls::LubContext* lub_context) {
-  ls::EvalCache cache(wni.instance);
-  LsAnswerCovers covers(wni.instance, &wni.answers);
-  if (!IsLsExplanation(wni, candidate, &cache, &covers)) return false;
+                             ls::LubContext* lub_context,
+                             ls::EvalCache* cache, LsAnswerCovers* covers) {
+  std::optional<ls::EvalCache> local_cache;
+  if (cache == nullptr) {
+    local_cache.emplace(wni.instance);
+    cache = &*local_cache;
+  }
+  std::optional<LsAnswerCovers> local_covers;
+  if (covers == nullptr) {
+    local_covers.emplace(wni.instance, &wni.answers);
+    covers = &*local_covers;
+  }
+  if (!IsLsExplanation(wni, candidate, cache, covers)) return false;
   const ValuePool& pool = wni.instance->pool();
   const std::vector<Value>& adom = wni.instance->ActiveDomain();
   const std::vector<ValueId>& adom_ids = wni.instance->ActiveDomainIds();
   std::vector<const ls::Extension*> exts;
   exts.reserve(candidate.size());
-  for (const ls::LsConcept& c : candidate) exts.push_back(&cache.Eval(c));
+  for (const ls::LsConcept& c : candidate) exts.push_back(&cache->Eval(c));
   const ls::Extension top_ext = ls::Extension::All();
 
   if (par::NumThreads() > 1 && adom.size() >= 4) {
-    // Sharded maximality probes, mirroring CheckWhyMgeDerived: workers own
-    // their lazy caches, the instance is pre-warmed, and the lex-smallest
-    // (j, bi) outcome wins so results match the serial scan exactly.
+    // Sharded maximality probes through the shared lex-min sweep
+    // (search_core.h): workers own their lazy caches, the instance is
+    // pre-warmed, and the outcome at the smallest (j, bi) wins so results
+    // match the serial scan exactly.
     wni.instance->WarmForConcurrentReads();
     struct Worker {
       ls::LubContext lub;
@@ -141,13 +156,9 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
     };
     std::vector<std::unique_ptr<Worker>> workers(
         static_cast<size_t>(par::MaxWorkers()));
-    auto worker_for = [&](int w) -> Worker& {
-      size_t slot = static_cast<size_t>(w);
-      if (workers[slot] == nullptr) {
-        workers[slot] = std::make_unique<Worker>(
-            wni.instance, &wni.answers, lub_context->options(), candidate);
-      }
-      return *workers[slot];
+    auto make_worker = [&]() {
+      return std::make_unique<Worker>(wni.instance, &wni.answers,
+                                      lub_context->options(), candidate);
     };
     for (size_t j = 0; j < candidate.size(); ++j) {
       const ls::Extension& ext = *exts[j];
@@ -155,50 +166,38 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
 
       // Generalization to ⊤ covers all constants outside adom(I) at once
       // (serial probe; one AND).
-      if (!covers.ProductIntersects(exts, j, &top_ext)) return false;
+      if (!covers->ProductIntersects(exts, j, &top_ext)) return false;
 
       ValueId missing_id = pool.Lookup(wni.missing[j]);
-      std::atomic<size_t> outcome_at{SIZE_MAX};
-      std::mutex mutex;
-      Status error = Status::OK();
-      bool broken = false;
-      par::ParallelForWorker(
-          adom.size(), 8, [&](int w, size_t begin, size_t end) {
-            if (begin > outcome_at.load(std::memory_order_relaxed)) return;
-            Worker& wk = worker_for(w);
+      std::optional<ProbeOutcome> outcome = LexMinSweep<Worker, ProbeOutcome>(
+          adom.size(), 8, &workers, make_worker,
+          [&](Worker& wk, size_t bi) -> std::optional<ProbeOutcome> {
             if (wk.support_pos != j) {
               wk.support = wk.exts[j]->values();
               wk.support.push_back(wni.missing[j]);
               wk.support_pos = j;
             }
-            for (size_t bi = begin; bi < end; ++bi) {
-              if (bi > outcome_at.load(std::memory_order_relaxed)) return;
-              if (wk.exts[j]->ContainsId(adom_ids[bi])) continue;
-              std::vector<Value> extended = wk.support;
-              extended.push_back(adom[bi]);
-              Result<ls::LsConcept> generalized =
-                  with_selections ? wk.lub.LubWithSelections(extended)
-                                  : Result<ls::LsConcept>(
-                                        wk.lub.LubSelectionFree(extended));
-              bool breaks = false;
-              if (generalized.ok()) {
-                const ls::Extension& cand = wk.cache.Eval(generalized.value());
-                breaks = cand.ContainsInterned(missing_id, wni.missing[j]) &&
-                         !wk.covers.ProductIntersects(wk.exts, j, &cand);
-                if (!breaks) continue;
-              }
-              std::lock_guard<std::mutex> lock(mutex);
-              size_t seen = outcome_at.load(std::memory_order_relaxed);
-              if (bi < seen) {
-                outcome_at.store(bi, std::memory_order_relaxed);
-                broken = breaks;
-                error = breaks ? Status::OK() : generalized.status();
-              }
-              return;
+            if (wk.exts[j]->ContainsId(adom_ids[bi])) return std::nullopt;
+            std::vector<Value> extended = wk.support;
+            extended.push_back(adom[bi]);
+            Result<ls::LsConcept> generalized =
+                with_selections ? wk.lub.LubWithSelections(extended)
+                                : Result<ls::LsConcept>(
+                                      wk.lub.LubSelectionFree(extended));
+            if (!generalized.ok()) {
+              return ProbeOutcome{false, generalized.status()};
             }
+            const ls::Extension& cand = wk.cache.Eval(generalized.value());
+            if (cand.ContainsInterned(missing_id, wni.missing[j]) &&
+                !wk.covers.ProductIntersects(wk.exts, j, &cand)) {
+              return ProbeOutcome{true, Status::OK()};
+            }
+            return std::nullopt;
           });
-      if (!error.ok()) return error;
-      if (broken) return false;
+      if (outcome.has_value()) {
+        if (!outcome->error.ok()) return outcome->error;
+        if (outcome->broken) return false;
+      }
     }
     return true;
   }
@@ -211,7 +210,7 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
     // the only LS concepts containing a non-adom constant besides its own
     // nominal are equivalent to ⊤. (⊤ keeps the missing tuple inside; only
     // the answer-avoidance condition decides.)
-    if (!covers.ProductIntersects(exts, j, &top_ext)) return false;
+    if (!covers->ProductIntersects(exts, j, &top_ext)) return false;
 
     // lines 4-11 of Algorithm 2, used as a maximality test: lub-generalize
     // by each uncovered active-domain constant.
@@ -229,9 +228,9 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
       } else {
         generalized = lub_context->LubSelectionFree(extended);
       }
-      const ls::Extension& cand = cache.Eval(generalized);
+      const ls::Extension& cand = cache->Eval(generalized);
       if (cand.ContainsInterned(missing_id, wni.missing[j]) &&
-          !covers.ProductIntersects(exts, j, &cand)) {
+          !covers->ProductIntersects(exts, j, &cand)) {
         return false;
       }
     }

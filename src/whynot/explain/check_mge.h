@@ -16,9 +16,13 @@ namespace whynot::explain {
 /// most general. Single-position replacement is complete because a
 /// pointwise-greater explanation stays an explanation when all other
 /// positions are shrunk back.
+/// `covers`, when non-null, must be the answer-cover table of
+/// (bound, InternAnswers(bound, wni)) — a prepared ExplainSession's warm
+/// table; results are identical either way.
 Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
                               const WhyNotInstance& wni,
-                              const Explanation& candidate);
+                              const Explanation& candidate,
+                              ConceptAnswerCovers* covers = nullptr);
 
 /// CHECK-MGE W.R.T. OI (Definition 5.7, Proposition 5.2): is the candidate
 /// LS-explanation most general w.r.t. the instance-derived ontology OI?
@@ -28,10 +32,15 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
 /// lub(ext(Cj,I) ∪ {b}); the candidate is an MGE iff no replacement (and no
 /// generalization to ⊤) keeps the tuple an explanation. PTIME for
 /// selection-free LS and for bounded schema arity, EXPTIME in general.
+/// `cache` / `covers`, when non-null, are a prepared session's warm
+/// extension memo and answer-cover table over (wni.instance, wni.answers);
+/// per-call locals are created otherwise, with identical results.
 Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              const LsExplanation& candidate,
                              bool with_selections,
-                             ls::LubContext* lub_context);
+                             ls::LubContext* lub_context,
+                             ls::EvalCache* cache = nullptr,
+                             LsAnswerCovers* covers = nullptr);
 
 }  // namespace whynot::explain
 

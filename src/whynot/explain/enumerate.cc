@@ -4,12 +4,14 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <tuple>
 #include <utility>
 
 #include "whynot/common/parallel.h"
 #include "whynot/concepts/ls_eval.h"
+#include "whynot/explain/search_core.h"
 
 namespace whynot::explain {
 
@@ -63,11 +65,10 @@ using ExtKey = std::tuple<bool, std::vector<ValueId>, std::vector<Value>>;
 /// single evaluator across all nodes. Node results are pure functions of
 /// the exclusion set, independent of which evaluator computes them.
 ///
-/// Probes use the *suffix-AND cache*: within a greedy sweep the product
-/// check "replace position j's cover, AND with all others" has a loop-
-/// invariant rest — the AND of the final covers below j and the initial
-/// covers above j. The sweep maintains a running prefix AND, takes the
-/// initial-suffix ANDs once per node, and each candidate probe collapses
+/// Probes use the shared GreedyAndCache (search_core.h): within a greedy
+/// sweep the product check "replace position j's cover, AND with all
+/// others" has a loop-invariant rest — the AND of the final covers below
+/// j and the initial covers above j — so each candidate probe collapses
 /// from an m-way AND to a single AND against the cached rest words. This
 /// speeds the single-thread path as much as the parallel one.
 class NodeEvaluator {
@@ -108,27 +109,20 @@ class NodeEvaluator {
           "Section 5.2");
     }
 
-    // Initial-suffix ANDs: suffix[j] = ⋀_{k>j} Cover(exts[k], k) over the
-    // nominal-pinned extensions, valid while sweeping position j (later
-    // positions have not changed yet). The prefix AND absorbs each
-    // position's *final* cover as the sweep passes it.
-    std::vector<std::vector<uint64_t>> suffix(m);
-    if (m > 0) {
-      suffix[m - 1] = full_;
-      for (size_t j = m - 1; j > 0; --j) {
-        suffix[j - 1] = suffix[j];
-        AndInto(&suffix[j - 1], CoverWords(*state->exts[j], j));
-      }
-    }
-    std::vector<uint64_t> prefix = full_;
-    std::vector<uint64_t> rest(nwords_);
+    // The cache snapshots the initial-suffix ANDs here (later positions
+    // have not changed yet) and lazily absorbs each position's *final*
+    // cover into its prefix as Rest moves past it — cover_at reads the
+    // state's current extension at absorption time.
+    auto cover_at = [this, state](size_t k) {
+      return CoverWords(*state->exts[k], k);
+    };
+    and_cache_.Reset(m, nwords_, full_.data(), cover_at);
 
     for (size_t j = 0; j < m; ++j) {
       // Loop-invariant rest of the probe at position j: an accepted swap
       // only changes position j itself, so `rest` survives the whole
       // sweep of this position.
-      rest = prefix;
-      AndInto(&rest, suffix[j].data());
+      const std::vector<uint64_t>& rest = and_cache_.Rest(j, cover_at);
       for (size_t bi = 0; bi < adom_.size() && !state->topped[j]; ++bi) {
         GroundElement e{static_cast<int>(j), static_cast<int>(bi)};
         if (excluded.count(e) > 0) continue;
@@ -154,7 +148,6 @@ class NodeEvaluator {
           state->decisions.push_back(top);
         }
       }
-      AndInto(&prefix, CoverWords(*state->exts[j], j));
     }
     return Status::OK();
   }
@@ -165,25 +158,17 @@ class NodeEvaluator {
   Result<bool> MaximalUnconstrained(const ExclusionSet& excluded,
                                     const GreedyState& state) {
     size_t m = wni_.arity();
-    // Prefix/suffix ANDs over the *final* covers; rest(j) = pre[j] ∧
-    // suf[j+1] replaces the m-way AND of each probe.
-    std::vector<std::vector<uint64_t>> pre(m + 1), suf(m + 1);
-    pre[0] = full_;
-    for (size_t j = 0; j < m; ++j) {
-      pre[j + 1] = pre[j];
-      AndInto(&pre[j + 1], CoverWords(*state.exts[j], j));
-    }
-    suf[m] = full_;
-    for (size_t j = m; j > 0; --j) {
-      suf[j - 1] = suf[j];
-      AndInto(&suf[j - 1], CoverWords(*state.exts[j - 1], j - 1));
-    }
-    std::vector<uint64_t> rest(nwords_);
+    // The same prefix/suffix cache over the *final* covers (fixed during
+    // this pass); the exclusion set iterates in ascending position order,
+    // exactly the non-decreasing j the cache requires.
+    auto cover_at = [this, &state](size_t k) {
+      return CoverWords(*state.exts[k], k);
+    };
+    and_cache_.Reset(m, nwords_, full_.data(), cover_at);
     for (const GroundElement& e : excluded) {
       size_t j = static_cast<size_t>(e.position);
       if (state.topped[j] || state.exts[j]->all) continue;
-      rest = pre[j];
-      AndInto(&rest, suf[j + 1].data());
+      const std::vector<uint64_t>& rest = and_cache_.Rest(j, cover_at);
       if (e.constant_index == kTopIndex) {
         if (options_.generalize_to_top && !AnyAnd(rest, full_.data())) {
           return false;
@@ -235,12 +220,8 @@ class NodeEvaluator {
     return covers_.Cover(ext, pos).words().data();
   }
 
-  // The running prefix/suffix ANDs go through the SIMD dispatch; the probe
-  // reuses the cover kernel's early-exit AnyAnd.
-  static void AndInto(std::vector<uint64_t>* acc, const uint64_t* words) {
-    DenseBitmap::AndWordsInPlace(acc->data(), words, acc->size());
-  }
-
+  // The probe reuses the cover kernel's early-exit AnyAnd; the running
+  // prefix/suffix ANDs live in the shared GreedyAndCache.
   static bool AnyAnd(const std::vector<uint64_t>& a, const uint64_t* b) {
     return ConceptAnswerCovers::AnyAnd(a, b);
   }
@@ -253,6 +234,7 @@ class NodeEvaluator {
   LsAnswerCovers covers_;
   size_t nwords_;
   std::vector<uint64_t> full_;  // all answers alive, trailing bits zero
+  GreedyAndCache and_cache_;
   const ls::Extension top_ext_;
   std::map<std::vector<Value>, std::pair<ls::LsConcept, ls::Extension>>
       lub_cache_;
@@ -470,12 +452,16 @@ class Enumerator {
 
 Result<std::vector<LsExplanation>> EnumerateAllMges(
     const WhyNotInstance& wni, const EnumerateOptions& options,
-    EnumerateStats* stats) {
-  EnumerateStats local;
-  if (stats == nullptr) stats = &local;
+    EnumerateStats* stats, ls::LubContext* lub_context) {
+  EnumerateStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   *stats = EnumerateStats{};
-  ls::LubContext lub(wni.instance, options.lub);
-  Enumerator enumerator(wni, options, &lub, stats);
+  std::optional<ls::LubContext> local_lub;
+  if (lub_context == nullptr) {
+    local_lub.emplace(wni.instance, options.lub);
+    lub_context = &*local_lub;
+  }
+  Enumerator enumerator(wni, options, lub_context, stats);
   return enumerator.Run();
 }
 

@@ -76,9 +76,15 @@ struct EnumerateStats {
 /// The result is an antichain w.r.t. ≤_OI; each element passes CHECK-MGE
 /// w.r.t. OI. Ordering is deterministic (discovery order of the
 /// deterministic branching).
+///
+/// `lub_context`, when non-null, is reused for the serial evaluator
+/// (a prepared ExplainSession keeps its canonical boxes warm across
+/// requests; with more than one pool thread the wave workers still build
+/// their own contexts, as in the one-shot call). Results, ordering, and
+/// stats are bit-identical either way.
 Result<std::vector<LsExplanation>> EnumerateAllMges(
     const WhyNotInstance& wni, const EnumerateOptions& options = {},
-    EnumerateStats* stats = nullptr);
+    EnumerateStats* stats = nullptr, ls::LubContext* lub_context = nullptr);
 
 }  // namespace whynot::explain
 

@@ -1,11 +1,10 @@
 #include "whynot/explain/exhaustive.h"
 
 #include <algorithm>
-#include <mutex>
+#include <optional>
 #include <utility>
 
-#include "whynot/common/parallel.h"
-#include "whynot/explain/candidate_space.h"
+#include "whynot/explain/search_core.h"
 
 namespace whynot::explain {
 
@@ -24,21 +23,14 @@ Result<std::vector<std::vector<onto::ConceptId>>> CandidateLists(
   return lists;
 }
 
-/// Candidates filtered in one parallel round before their survivors are
-/// visited serially; bounds the survivor buffer without a sync per block.
-constexpr size_t kFilterChunk = 1 << 16;
-
 /// Enumerates the candidate product, calling `visit` on every tuple that
 /// avoids Ans (line 2 of Algorithm 1). `visit` returns false to abort.
-/// The avoidance test is the answer-cover kernel: per (position, concept)
-/// cover bitmaps are resolved once per candidate list, then each candidate
-/// is one m-way word-parallel AND with early exit.
-///
-/// With more than one pool thread the avoidance ANDs — the dominant cost —
-/// run sharded over linear candidate ranges (the cover table is immutable
-/// once resolved); each range collects its survivors, and `visit` then
-/// consumes them serially in range order, i.e. in exactly the serial
-/// odometer's order, one bounded chunk at a time.
+/// The avoidance test is the answer-cover kernel — per (position, concept)
+/// cover bitmaps resolved once per candidate list (CoverTable), each
+/// candidate one m-way word-parallel AND with early exit — and the
+/// enumeration itself is the shared chunked candidate filter
+/// (ParallelFilterSpace): sharded avoidance ANDs, survivors visited
+/// serially in the serial odometer's order.
 template <typename Visit>
 Status EnumerateExplanations(
     const WhyNotInstance& wni,
@@ -54,66 +46,35 @@ Status EnumerateExplanations(
         "candidate enumeration exceeded max_candidates (the space is "
         "exponential in the query arity, Theorem 5.2)");
   }
-  // Pre-resolve cover pointers aligned with the candidate lists.
-  ConceptAnswerCovers::ListCovers list_covers(covers, lists);
+  CoverTable table(covers, lists);
 
-  std::vector<size_t> idx(m, 0);
   std::vector<onto::ConceptId> current(m);
-  if (par::NumThreads() <= 1) {
-    for (size_t linear = 0; linear < space.total(); ++linear) {
-      if (!list_covers.ProductAnyAt(idx)) {
+  return ParallelFilterSpace(
+      space,
+      [&](const std::vector<size_t>& idx) { return !table.ProductAnyAt(idx); },
+      [&](const std::vector<size_t>& idx) {
         for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-        if (!visit(current)) return Status::OK();
-      }
-      space.Advance(&idx);
-    }
-    return Status::OK();
-  }
-
-  std::vector<std::pair<size_t, std::vector<Explanation>>> blocks;
-  std::mutex mutex;
-  for (size_t chunk = 0; chunk < space.total(); chunk += kFilterChunk) {
-    size_t chunk_end = std::min(space.total(), chunk + kFilterChunk);
-    blocks.clear();
-    par::ParallelFor(chunk_end - chunk, 1024, [&](size_t begin, size_t end) {
-      std::vector<Explanation> survivors;
-      std::vector<size_t> block_idx;
-      space.Decode(chunk + begin, &block_idx);
-      for (size_t off = begin; off < end; ++off) {
-        if (!list_covers.ProductAnyAt(block_idx)) {
-          Explanation e(m);
-          for (size_t i = 0; i < m; ++i) e[i] = lists[i][block_idx[i]];
-          survivors.push_back(std::move(e));
-        }
-        space.Advance(&block_idx);
-      }
-      std::lock_guard<std::mutex> lock(mutex);
-      blocks.emplace_back(begin, std::move(survivors));
-    });
-    std::sort(blocks.begin(), blocks.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [begin, survivors] : blocks) {
-      for (const Explanation& e : survivors) {
-        if (!visit(e)) return Status::OK();
-      }
-    }
-  }
-  return Status::OK();
+        return visit(current);
+      });
 }
 
 }  // namespace
 
 Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    const ExhaustiveOptions& options) {
+    const ExhaustiveOptions& options, ConceptAnswerCovers* covers) {
   WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<onto::ConceptId>> lists,
                           CandidateLists(bound, wni));
-  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
+  std::optional<ConceptAnswerCovers> local;
+  if (covers == nullptr) {
+    local.emplace(bound, InternAnswers(bound, wni));
+    covers = &*local;
+  }
 
   // Line 2: the set X of all explanations.
   std::vector<Explanation> x;
   WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
-      wni, lists, &covers, options.max_candidates,
+      wni, lists, covers, options.max_candidates,
       [&x](const Explanation& e) {
         x.push_back(e);
         return true;
@@ -147,14 +108,18 @@ Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
 
 Result<std::vector<Explanation>> PrunedSearchAllMge(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    const ExhaustiveOptions& options) {
+    const ExhaustiveOptions& options, ConceptAnswerCovers* covers) {
   WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<onto::ConceptId>> lists,
                           CandidateLists(bound, wni));
-  ConceptAnswerCovers covers(bound, InternAnswers(bound, wni));
+  std::optional<ConceptAnswerCovers> local;
+  if (covers == nullptr) {
+    local.emplace(bound, InternAnswers(bound, wni));
+    covers = &*local;
+  }
 
   std::vector<Explanation> antichain;
   WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
-      wni, lists, &covers, options.max_candidates,
+      wni, lists, covers, options.max_candidates,
       [&](const Explanation& e) {
         // Skip candidates dominated by (or equivalent to) a kept one.
         for (const Explanation& kept : antichain) {

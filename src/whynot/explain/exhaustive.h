@@ -21,18 +21,26 @@ struct ExhaustiveOptions {
 /// (Theorem 5.2). The result is an antichain under ≤_O containing, modulo
 /// equivalence, every most-general explanation; explanations are returned
 /// in lexicographic concept-id order.
+///
+/// `covers`, when non-null, must be the answer-cover table of
+/// (bound, InternAnswers(bound, wni)); a prepared ExplainSession passes
+/// its warm table so repeated requests skip the per-call cover rebuild.
+/// Results are identical either way (covers are a pure function of the
+/// bound extensions and the answer set).
 Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    const ExhaustiveOptions& options = {});
+    const ExhaustiveOptions& options = {},
+    ConceptAnswerCovers* covers = nullptr);
 
 /// Optimized variant of Algorithm 1 used as an ablation baseline: maintains
 /// the maximal antichain incrementally while enumerating (instead of
 /// generating all explanations first and filtering pairwise afterwards) and
 /// skips candidates already dominated. Produces exactly the same set as
-/// ExhaustiveSearchAllMge.
+/// ExhaustiveSearchAllMge. Same `covers` contract as above.
 Result<std::vector<Explanation>> PrunedSearchAllMge(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    const ExhaustiveOptions& options = {});
+    const ExhaustiveOptions& options = {},
+    ConceptAnswerCovers* covers = nullptr);
 
 }  // namespace whynot::explain
 

@@ -1,9 +1,10 @@
 #include "whynot/explain/existence.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
-#include "whynot/common/parallel.h"
+#include "whynot/explain/search_core.h"
 
 namespace whynot::explain {
 
@@ -21,8 +22,12 @@ constexpr size_t kMinParallelAndWords = 4096;
 class Search {
  public:
   Search(onto::BoundOntology* bound, const WhyNotInstance& wni,
-         const ExistenceOptions& options)
-      : options_(options), covers_(bound, InternAnswers(bound, wni)) {
+         const ExistenceOptions& options, ConceptAnswerCovers* covers)
+      : options_(options), covers_(covers) {
+    if (covers_ == nullptr) {
+      local_covers_.emplace(bound, InternAnswers(bound, wni));
+      covers_ = &*local_covers_;
+    }
     m_ = wni.arity();
     candidates_.resize(m_);
     for (size_t i = 0; i < m_; ++i) {
@@ -45,7 +50,7 @@ class Search {
     // and the node counts are identical for every thread count.
     if (par::NumThreads() > 1) cover_table_.resize(m_);
     bool found = false;
-    WHYNOT_RETURN_IF_ERROR(Descend(0, covers_.full_words(), &found));
+    WHYNOT_RETURN_IF_ERROR(Descend(0, covers_->full_words(), &found));
     if (found && witness != nullptr) *witness = chosen_;
     return found;
   }
@@ -84,10 +89,7 @@ class Search {
       if (cover_table_[pos].empty()) {
         // First descent into this position: resolve its covers serially
         // (Cover builds lazily; the sharded loop below must be read-only).
-        cover_table_[pos].reserve(cands.size());
-        for (onto::ConceptId c : cands) {
-          cover_table_[pos].push_back(covers_.Cover(c, pos));
-        }
+        cover_table_[pos] = CoverTable::ResolveList(covers_, cands, pos);
       }
       std::vector<std::vector<uint64_t>> nexts(cands.size());
       const std::vector<const uint64_t*>& table = cover_table_[pos];
@@ -113,7 +115,7 @@ class Search {
     } else {
       std::vector<uint64_t> next(nwords);
       for (onto::ConceptId c : cands) {
-        const uint64_t* cover = covers_.Cover(c, pos);
+        const uint64_t* cover = covers_->Cover(c, pos);
         for (size_t w = 0; w < nwords; ++w) next[w] = alive[w] & cover[w];
         chosen_[pos] = c;
         WHYNOT_RETURN_IF_ERROR(Descend(pos + 1, next, found));
@@ -127,7 +129,8 @@ class Search {
   ExistenceOptions options_;
   size_t m_ = 0;
   std::vector<std::vector<onto::ConceptId>> candidates_;
-  ConceptAnswerCovers covers_;
+  ConceptAnswerCovers* covers_;
+  std::optional<ConceptAnswerCovers> local_covers_;
   // Pre-resolved cover pointers per position (parallel runs only; empty
   // in the serial configuration, which keeps the lazy one-at-a-time path).
   std::vector<std::vector<const uint64_t*>> cover_table_;
@@ -141,8 +144,9 @@ class Search {
 Result<bool> ExistsExplanation(onto::BoundOntology* bound,
                                const WhyNotInstance& wni,
                                Explanation* witness,
-                               const ExistenceOptions& options) {
-  Search search(bound, wni, options);
+                               const ExistenceOptions& options,
+                               ConceptAnswerCovers* covers) {
+  Search search(bound, wni, options, covers);
   return search.Run(witness);
 }
 

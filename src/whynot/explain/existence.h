@@ -19,10 +19,14 @@ struct ExistenceOptions {
 /// for bounded schema arity (Theorem 5.1.2); decided by backtracking over
 /// positions with answer-set pruning and memoization of defeated states.
 /// If `witness` is non-null and an explanation exists, one is stored.
+/// `covers`, when non-null, must be the answer-cover table of
+/// (bound, InternAnswers(bound, wni)) (a prepared ExplainSession's warm
+/// table); the traversal, witness, and node counts are identical.
 Result<bool> ExistsExplanation(onto::BoundOntology* bound,
                                const WhyNotInstance& wni,
                                Explanation* witness = nullptr,
-                               const ExistenceOptions& options = {});
+                               const ExistenceOptions& options = {},
+                               ConceptAnswerCovers* covers = nullptr);
 
 }  // namespace whynot::explain
 

@@ -1,6 +1,7 @@
 #include "whynot/explain/incremental.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace whynot::explain {
 
@@ -16,10 +17,20 @@ Result<ls::LsConcept> Lub(ls::LubContext* ctx, bool with_selections,
 
 Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
                                         const IncrementalOptions& options,
-                                        ls::LubContext* lub_context) {
+                                        ls::LubContext* lub_context,
+                                        ls::EvalCache* cache,
+                                        LsAnswerCovers* covers) {
   size_t m = wni.arity();
-  ls::EvalCache cache(wni.instance);
-  LsAnswerCovers covers(wni.instance, &wni.answers);
+  std::optional<ls::EvalCache> local_cache;
+  if (cache == nullptr) {
+    local_cache.emplace(wni.instance);
+    cache = &*local_cache;
+  }
+  std::optional<LsAnswerCovers> local_covers;
+  if (covers == nullptr) {
+    local_covers.emplace(wni.instance, &wni.answers);
+    covers = &*local_covers;
+  }
   const ValuePool& pool = wni.instance->pool();
 
   // Lines 2-3: support sets X_j = {a_j}; first candidate explanation
@@ -33,14 +44,14 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
     support[j] = {wni.missing[j]};
     WHYNOT_ASSIGN_OR_RETURN(
         e[j], Lub(lub_context, options.with_selections, support[j]));
-    exts[j] = &cache.Eval(e[j]);
+    exts[j] = &cache->Eval(e[j]);
     missing_ids[j] = pool.Lookup(wni.missing[j]);
   }
   bool initial_ok = true;
   for (size_t j = 0; j < m && initial_ok; ++j) {
     initial_ok = exts[j]->ContainsInterned(missing_ids[j], wni.missing[j]);
   }
-  if (initial_ok) initial_ok = !covers.ProductIntersects(exts);
+  if (initial_ok) initial_ok = !covers->ProductIntersects(exts);
   if (!initial_ok) {
     return Status::Internal(
         "initial nominal-pinned tuple is not an explanation; this "
@@ -61,9 +72,9 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
       WHYNOT_ASSIGN_OR_RETURN(
           ls::LsConcept generalized,
           Lub(lub_context, options.with_selections, extended));
-      const ls::Extension& cand = cache.Eval(generalized);
+      const ls::Extension& cand = cache->Eval(generalized);
       if (cand.ContainsInterned(missing_ids[j], wni.missing[j]) &&
-          !covers.ProductIntersects(exts, j, &cand)) {
+          !covers->ProductIntersects(exts, j, &cand)) {
         e[j] = std::move(generalized);
         exts[j] = &cand;
         support[j] = std::move(extended);
@@ -77,9 +88,9 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
     const ls::Extension top_ext = ls::Extension::All();
     for (size_t j = 0; j < m; ++j) {
       if (exts[j]->all) continue;
-      if (!covers.ProductIntersects(exts, j, &top_ext)) {
+      if (!covers->ProductIntersects(exts, j, &top_ext)) {
         e[j] = ls::LsConcept::Top();
-        exts[j] = &cache.Eval(e[j]);
+        exts[j] = &cache->Eval(e[j]);
       }
     }
   }

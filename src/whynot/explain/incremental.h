@@ -35,10 +35,15 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
                                         const IncrementalOptions& options = {});
 
 /// Same, reusing a caller-provided lub context (amortizes the canonical-box
-/// construction across repeated calls; used by benchmarks).
+/// construction across repeated calls; used by benchmarks). `cache` /
+/// `covers`, when non-null, are a prepared ExplainSession's warm extension
+/// memo and answer-cover table over (wni.instance, wni.answers); per-call
+/// locals are created otherwise, with bit-identical results.
 Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
                                         const IncrementalOptions& options,
-                                        ls::LubContext* lub_context);
+                                        ls::LubContext* lub_context,
+                                        ls::EvalCache* cache = nullptr,
+                                        LsAnswerCovers* covers = nullptr);
 
 }  // namespace whynot::explain
 

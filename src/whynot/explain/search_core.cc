@@ -1,0 +1,47 @@
+#include "whynot/explain/search_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "whynot/common/dense_bitmap.h"
+
+namespace whynot::explain {
+
+CoverTable::CoverTable(ConceptAnswerCovers* covers,
+                       const std::vector<std::vector<onto::ConceptId>>& lists)
+    : num_answers_(covers->num_answers()),
+      nwords_(covers->num_words()),
+      table_(lists.size()) {
+  for (size_t i = 0; i < lists.size(); ++i) {
+    table_[i] = ResolveList(covers, lists[i], i);
+  }
+}
+
+void CoverTable::ResolveSizes(
+    onto::BoundOntology* bound,
+    const std::vector<std::vector<onto::ConceptId>>& lists) {
+  sizes_.resize(lists.size());
+  is_all_.resize(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    sizes_[i].clear();
+    is_all_[i].clear();
+    sizes_[i].reserve(lists[i].size());
+    is_all_[i].reserve(lists[i].size());
+    for (onto::ConceptId c : lists[i]) {
+      const onto::ExtSet& e = bound->Ext(c);
+      is_all_[i].push_back(e.is_all() ? 1 : 0);
+      sizes_[i].push_back(e.is_all() ? 0 : e.size());
+    }
+  }
+}
+
+std::vector<const uint64_t*> CoverTable::ResolveList(
+    ConceptAnswerCovers* covers, const std::vector<onto::ConceptId>& list,
+    size_t pos) {
+  std::vector<const uint64_t*> out;
+  out.reserve(list.size());
+  for (onto::ConceptId c : list) out.push_back(covers->Cover(c, pos));
+  return out;
+}
+
+}  // namespace whynot::explain

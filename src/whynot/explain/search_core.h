@@ -1,0 +1,351 @@
+#ifndef WHYNOT_EXPLAIN_SEARCH_CORE_H_
+#define WHYNOT_EXPLAIN_SEARCH_CORE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "whynot/common/dense_bitmap.h"
+#include "whynot/common/parallel.h"
+#include "whynot/common/status.h"
+#include "whynot/explain/answer_cover.h"
+#include "whynot/explain/candidate_space.h"
+#include "whynot/ontology/ontology.h"
+
+namespace whynot::explain {
+
+/// The shared search core of every explain entry point. Each of the
+/// paper's algorithms bottoms out in the same four pieces of scaffolding,
+/// which used to be hand-written per file (PR 4) and live exactly once
+/// here:
+///
+///  * ParallelFilterSpace — the chunked candidate-product shard with
+///    range-ordered survivor replay (exhaustive / pruned enumeration,
+///    exact cardinality, the why antichain);
+///  * LexMinSweep — the per-worker first-outcome sweep of the derived MGE
+///    checks (CheckMgeDerived / CheckWhyMgeDerived);
+///  * CoverTable — pre-resolved cover pointers aligned with per-position
+///    candidate lists, plus the extension metadata the counting
+///    (containment) form needs;
+///  * GreedyAndCache — the prefix/suffix running-AND probe cache of the
+///    greedy sweeps (EnumerateAllMges' completion and maximality tests).
+///
+/// Everything here follows the engine-wide parallel discipline: parallel
+/// stages compute pure index-addressed results, stateful consumption
+/// replays serially in index order, so outputs are bit-identical for
+/// every thread count.
+
+/// Candidates filtered in one parallel round before their survivors are
+/// consumed serially; bounds the survivor buffer without a sync per block.
+inline constexpr size_t kFilterChunk = 1 << 16;
+/// Minimum indices per parallel block inside a chunk.
+inline constexpr size_t kFilterGrain = 1024;
+
+/// Enumerates the candidate space in the serial odometer's order, calling
+/// `pred` on every position and `consume` on every position where `pred`
+/// returned true. `consume` returns false to stop the whole enumeration.
+///
+/// `pred` must be a pure function of the odometer position over read-only
+/// shared state (with more than one pool thread it runs sharded across
+/// linear candidate ranges); `consume` always runs serially, in exactly
+/// the order a serial odometer loop would reach the survivors, one
+/// bounded chunk at a time. The `idx` passed to both aliases internal
+/// scratch — copy it to keep it.
+///
+/// Spaces whose product overflows SIZE_MAX (CandidateSpace::overflow) are
+/// enumerated by prefix-chunked odometer iteration — block starts come
+/// from advancing a master odometer rather than decoding linear indices —
+/// so enumeration stays exact at any width; callers that budget by
+/// total() must check overflow() themselves before calling.
+///
+/// `serial_skip` (optional overload) is a *stateful* pre-filter applied
+/// before `pred` on the serial path only: return true to skip a
+/// candidate without paying for `pred`. It may read state that `consume`
+/// mutates (the why antichain's domination check), which is exactly why
+/// the parallel path must ignore it — there `consume` has to reject such
+/// survivors itself, so a skipped candidate never changes the output,
+/// only the serial work profile.
+///
+/// A template rather than std::function plumbing: the serial loop runs
+/// per candidate and several entry points sit in sub-microsecond
+/// benchmark territory, where per-call indirection is measurable.
+template <typename Pred, typename Consume, typename SerialSkip>
+Status ParallelFilterSpace(const CandidateSpace& space, Pred&& pred,
+                           Consume&& consume, SerialSkip&& serial_skip) {
+  if (!space.overflow() && space.total() == 0) return Status::OK();
+
+  if (par::NumThreads() <= 1) {
+    std::vector<size_t> idx(space.arity(), 0);
+    for (;;) {
+      if (!serial_skip(idx) && pred(idx) && !consume(idx)) {
+        return Status::OK();
+      }
+      if (!space.Advance(&idx)) return Status::OK();
+    }
+  }
+
+  // Chunked shard with range-ordered survivor replay. Block starts are
+  // odometer positions advanced from the chunk start (AdvanceBy), never
+  // decoded linear indices, so the same loop serves overflowing spaces;
+  // survivors are recorded as offsets within the chunk and replayed by a
+  // serial cursor odometer — exactly the serial enumeration order.
+  std::vector<size_t> chunk_start(space.arity(), 0);
+  size_t remaining = space.RemainingFrom(chunk_start);
+  std::vector<std::pair<size_t, std::vector<uint32_t>>> blocks;
+  std::mutex mutex;
+  std::vector<size_t> cursor_idx;
+  while (remaining > 0) {
+    size_t chunk_len = std::min(remaining, kFilterChunk);
+    blocks.clear();
+    par::ParallelFor(chunk_len, kFilterGrain, [&](size_t begin, size_t end) {
+      std::vector<uint32_t> survivors;
+      std::vector<size_t> idx = chunk_start;
+      space.AdvanceBy(&idx, begin);
+      for (size_t off = begin; off < end; ++off) {
+        if (pred(idx)) survivors.push_back(static_cast<uint32_t>(off));
+        space.Advance(&idx);
+      }
+      if (!survivors.empty()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        blocks.emplace_back(begin, std::move(survivors));
+      }
+    });
+    std::sort(blocks.begin(), blocks.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    cursor_idx = chunk_start;
+    size_t cursor = 0;
+    for (const auto& [begin, survivors] : blocks) {
+      for (uint32_t off : survivors) {
+        space.AdvanceBy(&cursor_idx, off - cursor);
+        cursor = off;
+        if (!consume(cursor_idx)) return Status::OK();
+      }
+    }
+    if (chunk_len == remaining && remaining != SIZE_MAX) break;
+    space.AdvanceBy(&chunk_start, chunk_len);
+    remaining = remaining == SIZE_MAX ? space.RemainingFrom(chunk_start)
+                                      : remaining - chunk_len;
+  }
+  return Status::OK();
+}
+
+template <typename Pred, typename Consume>
+Status ParallelFilterSpace(const CandidateSpace& space, Pred&& pred,
+                           Consume&& consume) {
+  return ParallelFilterSpace(space, std::forward<Pred>(pred),
+                             std::forward<Consume>(consume),
+                             [](const std::vector<size_t>&) { return false; });
+}
+
+/// Sharded first-outcome sweep over [0, n): `body(worker, i)` either
+/// returns std::nullopt ("nothing decided at i, keep scanning") or an
+/// outcome, and the helper returns the outcome at the *smallest* i —
+/// exactly what a serial loop returning at its first outcome produces,
+/// independent of thread count or block scheduling.
+///
+/// Workers hold the per-thread lazily mutating state (lub contexts, eval
+/// caches, covers); `workers` is sized par::MaxWorkers() by the caller
+/// and filled lazily via `make_worker`, so worker state persists across
+/// consecutive sweeps (the per-position loops of the MGE checks). `body`
+/// must be a pure function of (worker state, i) — worker caches may
+/// memoize but never change results.
+///
+/// Only the parallel scaffolding lives here: callers keep their serial
+/// loops (which reuse the caller's own warm caches) and route through
+/// this when the pool is wide enough.
+template <typename Worker, typename Outcome>
+std::optional<Outcome> LexMinSweep(
+    size_t n, size_t grain, std::vector<std::unique_ptr<Worker>>* workers,
+    const std::function<std::unique_ptr<Worker>()>& make_worker,
+    const std::function<std::optional<Outcome>(Worker&, size_t)>& body) {
+  std::atomic<size_t> outcome_at{SIZE_MAX};
+  std::mutex mutex;
+  std::optional<Outcome> best;
+  par::ParallelForWorker(n, grain, [&](int w, size_t begin, size_t end) {
+    if (begin > outcome_at.load(std::memory_order_relaxed)) return;
+    size_t slot = static_cast<size_t>(w);
+    if ((*workers)[slot] == nullptr) (*workers)[slot] = make_worker();
+    Worker& worker = *(*workers)[slot];
+    for (size_t i = begin; i < end; ++i) {
+      if (i > outcome_at.load(std::memory_order_relaxed)) return;
+      std::optional<Outcome> outcome = body(worker, i);
+      if (!outcome.has_value()) continue;
+      std::lock_guard<std::mutex> lock(mutex);
+      if (i < outcome_at.load(std::memory_order_relaxed)) {
+        outcome_at.store(i, std::memory_order_relaxed);
+        best = std::move(outcome);
+      }
+      return;  // everything past i in this block is dominated
+    }
+  });
+  return best;
+}
+
+/// Outcome of one maximality probe of the derived MGE checks, used with
+/// LexMinSweep: the probe either *broke* maximality (a strictly more
+/// general replacement kept the tuple an explanation) or errored.
+struct ProbeOutcome {
+  bool broken = false;
+  Status error = Status::OK();
+};
+
+/// Pre-resolved cover-pointer table aligned with the per-position
+/// candidate lists of an enumeration, so the per-candidate product test
+/// is one m-way word AND with no cover lookups. Optionally carries the
+/// per-candidate extension sizes the counting (containment) form needs
+/// (ResolveSizes), turning the why-explanation "product ⊆ Ans" predicate
+/// into table-local arithmetic plus one popcount AND.
+///
+/// Resolution happens serially at construction (covers build lazily);
+/// the resolved table is immutable and safe to probe from pool workers.
+class CoverTable {
+ public:
+  CoverTable(ConceptAnswerCovers* covers,
+             const std::vector<std::vector<onto::ConceptId>>& lists);
+
+  /// Resolves |ext| / is-All metadata for every candidate (the counting
+  /// form's pre-checks). Must be called before ProductInsideAt.
+  void ResolveSizes(onto::BoundOntology* bound,
+                    const std::vector<std::vector<onto::ConceptId>>& lists);
+
+  size_t num_answers() const { return num_answers_; }
+
+  /// ⋀_i Cover(lists[i][idx[i]], i) ≠ 0: the candidate product intersects
+  /// Ans (the avoidance test of Definition 3.2, negated).
+  bool ProductAnyAt(const std::vector<size_t>& idx) const {
+    if (num_answers_ == 0) return false;
+    return ConceptAnswerCovers::ProductAny(
+        table_.size(), nwords_, [&](size_t i) { return table_[i][idx[i]]; });
+  }
+
+  /// popcount(⋀_i Cover(lists[i][idx[i]], i)).
+  size_t ProductCountAt(const std::vector<size_t>& idx) const {
+    if (num_answers_ == 0) return 0;
+    return ConceptAnswerCovers::ProductCount(
+        table_.size(), nwords_, [&](size_t i) { return table_[i][idx[i]]; });
+  }
+
+  /// The why-dual containment test: ext product ⊆ Ans. Mirrors
+  /// ProductInsideAnswers over the pre-resolved metadata — empty position
+  /// makes the product vacuously inside, an All position (or a product
+  /// larger than |Ans|) can never be covered, otherwise the counting AND
+  /// decides. Requires ResolveSizes.
+  bool ProductInsideAt(const std::vector<size_t>& idx) const {
+    size_t m = table_.size();
+    for (size_t i = 0; i < m; ++i) {
+      if (!is_all_[i][idx[i]] && sizes_[i][idx[i]] == 0) return true;
+    }
+    size_t product_size = 1;
+    for (size_t i = 0; i < m; ++i) {
+      if (is_all_[i][idx[i]]) return false;
+      if (product_size > num_answers_ / sizes_[i][idx[i]]) return false;
+      product_size *= sizes_[i][idx[i]];
+    }
+    return ProductCountAt(idx) == product_size;
+  }
+
+  /// Degree ingredients of the candidate at idx — whether any position's
+  /// extension is All and the sum of the finite |ext|s (Section 6's
+  /// cardinality preference). Requires ResolveSizes; equals DegreeOf over
+  /// the decoded candidate, without per-position extension lookups, so
+  /// the serial survivor replay stays cheap even when the avoidance
+  /// filter rejects nothing.
+  void DegreeAt(const std::vector<size_t>& idx, bool* any_all,
+                size_t* finite_sum) const {
+    *any_all = false;
+    *finite_sum = 0;
+    for (size_t i = 0; i < table_.size(); ++i) {
+      if (is_all_[i][idx[i]]) *any_all = true;
+      *finite_sum += sizes_[i][idx[i]];  // 0 for All positions
+    }
+  }
+
+  /// Covers of one candidate list at a fixed position (the existence
+  /// search's per-node tables, the greedy climb's sweep tables).
+  static std::vector<const uint64_t*> ResolveList(
+      ConceptAnswerCovers* covers, const std::vector<onto::ConceptId>& list,
+      size_t pos);
+
+ private:
+  size_t num_answers_;
+  size_t nwords_;
+  std::vector<std::vector<const uint64_t*>> table_;
+  std::vector<std::vector<size_t>> sizes_;    // |ext|, 0 for All
+  std::vector<std::vector<uint8_t>> is_all_;  // empty until ResolveSizes
+};
+
+/// Prefix/suffix running-AND cache for single-position probe sweeps over
+/// cover bitmaps: within a sweep the product check "replace position j's
+/// cover, AND with all the others" has a loop-invariant rest — the AND of
+/// the *current* covers below j and the *initial* covers above j. Reset
+/// snapshots the suffix ANDs; Rest(j) lazily folds positions the sweep
+/// has passed into the prefix (reading their covers through `cover_at`,
+/// which by then returns the sweep's final cover) and returns prefix ∧
+/// suffix[j], so each candidate probe collapses from an m-way cover AND
+/// to a single AND against the cached rest words. Serves both greedy
+/// completion (covers change as positions are accepted) and the
+/// maximality test (covers fixed); j must be non-decreasing between
+/// Resets.
+///
+/// `cover_at` is passed to both calls rather than stored: the cache
+/// object outlives any one sweep (NodeEvaluator keeps one across all
+/// branch-tree nodes), and a stored callback would silently dangle into
+/// the previous sweep's stack state.
+class GreedyAndCache {
+ public:
+  /// Rebinds to a sweep over `m` positions of `nwords`-word covers.
+  /// `full` (the all-answers-alive words) must outlive the sweep;
+  /// `cover_at(k)` must return position k's *current* cover.
+  template <typename CoverAt>
+  void Reset(size_t m, size_t nwords, const uint64_t* full,
+             CoverAt cover_at) {
+    nwords_ = nwords;
+    absorbed_ = 0;
+    rest_j_ = SIZE_MAX;
+    prefix_.assign(full, full + nwords);
+    suffix_.resize(m);
+    if (m == 0) return;
+    suffix_[m - 1].assign(full, full + nwords);
+    for (size_t j = m - 1; j > 0; --j) {
+      suffix_[j - 1] = suffix_[j];
+      DenseBitmap::AndWordsInPlace(suffix_[j - 1].data(), cover_at(j),
+                                   nwords_);
+    }
+  }
+
+  /// The loop-invariant probe words at position j; `cover_at` must be
+  /// the same view of the sweep's current covers that Reset received.
+  template <typename CoverAt>
+  const std::vector<uint64_t>& Rest(size_t j, CoverAt cover_at) {
+    while (absorbed_ < j) {
+      DenseBitmap::AndWordsInPlace(prefix_.data(), cover_at(absorbed_),
+                                   nwords_);
+      ++absorbed_;
+    }
+    if (rest_j_ != j) {
+      rest_ = prefix_;
+      DenseBitmap::AndWordsInPlace(rest_.data(), suffix_[j].data(), nwords_);
+      rest_j_ = j;
+    }
+    return rest_;
+  }
+
+ private:
+  size_t nwords_ = 0;
+  std::vector<std::vector<uint64_t>> suffix_;  // suffix_[j] = ⋀_{k>j} initial
+  std::vector<uint64_t> prefix_;               // ⋀_{k<absorbed_} current
+  std::vector<uint64_t> rest_;
+  size_t absorbed_ = 0;
+  size_t rest_j_ = SIZE_MAX;
+};
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_SEARCH_CORE_H_

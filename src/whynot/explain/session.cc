@@ -1,0 +1,300 @@
+#include "whynot/explain/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "whynot/common/algorithm.h"
+#include "whynot/relational/cq_eval.h"
+
+namespace whynot::explain {
+
+/// All warm state lives behind one heap allocation so the session is
+/// cheaply movable while internal pointers (covers → answer vector,
+/// covers → bound ontology) stay stable.
+struct ExplainSession::State {
+  const rel::Instance* instance = nullptr;
+  const onto::FiniteOntology* ontology = nullptr;
+  ExplainSessionOptions options;
+  rel::UnionQuery query;
+  bool has_query = false;
+  uint64_t version = 0;
+
+  /// The canonical answer vector lives in wni.answers; requests only swap
+  /// the asked-about tuple, so Ans is never copied per request. wi keeps
+  /// its own (equal) copy because the dual's instance struct owns one.
+  WhyNotInstance wni;
+  WhyInstance wi;
+
+  // External-ontology warm state (null without an ontology).
+  std::unique_ptr<onto::BoundOntology> bound;
+  std::unique_ptr<ConceptAnswerCovers> covers;      // avoidance form
+  std::unique_ptr<ConceptAnswerCovers> why_covers;  // counting (why dual)
+
+  // Derived-ontology (OI) warm state, shared across every request: the
+  // lub context's canonical boxes, the eval cache's extension memo (whose
+  // stable identities key the cover bitmaps), and the LS answer covers
+  // over wni.answers.
+  std::unique_ptr<ls::LubContext> lub;
+  std::unique_ptr<ls::EvalCache> cache;
+  std::unique_ptr<LsAnswerCovers> ls_covers;
+};
+
+ExplainSession::ExplainSession(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+ExplainSession::ExplainSession(ExplainSession&&) noexcept = default;
+ExplainSession& ExplainSession::operator=(ExplainSession&&) noexcept = default;
+ExplainSession::~ExplainSession() = default;
+
+std::unique_ptr<ExplainSession::State> ExplainSession::MakeState(
+    const rel::Instance* instance, const onto::FiniteOntology* ontology,
+    ExplainSessionOptions options) {
+  auto state = std::make_unique<State>();
+  state->instance = instance;
+  state->ontology = ontology;
+  // One shared LubContext serves every derived request, so both searches
+  // must agree on its limits.
+  options.incremental.lub = options.lub;
+  options.enumerate.lub = options.lub;
+  state->options = std::move(options);
+  return state;
+}
+
+Result<ExplainSession> ExplainSession::Bind(const rel::Instance* instance,
+                                            rel::UnionQuery query,
+                                            const onto::FiniteOntology* ontology,
+                                            ExplainSessionOptions options) {
+  std::unique_ptr<State> state =
+      MakeState(instance, ontology, std::move(options));
+  state->query = std::move(query);
+  state->has_query = true;
+  state->wni.query = state->query;  // informational, as in the one-shot path
+  ExplainSession session(std::move(state));
+  WHYNOT_RETURN_IF_ERROR(session.Rewarm());
+  return session;
+}
+
+Result<ExplainSession> ExplainSession::BindWithAnswers(
+    const rel::Instance* instance, std::vector<Tuple> answers,
+    const onto::FiniteOntology* ontology, ExplainSessionOptions options) {
+  SortUnique(&answers);
+  for (const Tuple& t : answers) {
+    if (t.size() != answers.front().size()) {
+      return Status::InvalidArgument("answer tuples have mixed arities");
+    }
+  }
+  std::unique_ptr<State> state =
+      MakeState(instance, ontology, std::move(options));
+  state->has_query = false;
+  state->wni.answers = std::move(answers);
+  ExplainSession session(std::move(state));
+  WHYNOT_RETURN_IF_ERROR(session.Rewarm());
+  return session;
+}
+
+Status ExplainSession::Rewarm() {
+  State& s = *state_;
+  if (s.has_query) {
+    WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
+                            rel::Evaluate(s.query, *s.instance));
+    s.wni.answers = std::move(answers);  // sorted, duplicate-free
+  }
+  s.wni.instance = s.instance;
+  s.wi.instance = s.instance;
+  s.wi.answers = s.wni.answers;
+
+  // Force every lazy instance cache so request-time access — including
+  // pool-worker reads inside the parallel searches — is read-only.
+  s.instance->WarmForConcurrentReads();
+
+  // Derived-ontology state. Build order matters: the covers index the
+  // answer vector assigned above (its address inside this State is
+  // stable; contents were just refreshed).
+  s.lub = std::make_unique<ls::LubContext>(s.instance, s.options.lub);
+  s.cache = std::make_unique<ls::EvalCache>(s.instance);
+  s.ls_covers = std::make_unique<LsAnswerCovers>(s.instance, &s.wni.answers);
+
+  s.covers.reset();
+  s.why_covers.reset();
+  s.bound.reset();
+  if (s.ontology != nullptr) {
+    s.bound = std::make_unique<onto::BoundOntology>(s.ontology, s.instance);
+    s.bound->WarmExtensions();
+    s.covers = std::make_unique<ConceptAnswerCovers>(
+        s.bound.get(), InternAnswers(s.bound.get(), s.wni));
+    s.why_covers = std::make_unique<ConceptAnswerCovers>(
+        s.bound.get(), InternedUniqueAnswers(s.bound.get(), s.wi));
+  }
+  s.version = s.instance->version();
+  return Status::OK();
+}
+
+Status ExplainSession::RewarmIfStale() {
+  if (state_->version != state_->instance->version()) {
+    WHYNOT_RETURN_IF_ERROR(Rewarm());
+  }
+  return Status::OK();
+}
+
+Status ExplainSession::Prepare(const Tuple& tuple, bool expect_answer) {
+  WHYNOT_RETURN_IF_ERROR(RewarmIfStale());
+  State& s = *state_;
+  if (s.has_query && s.query.arity() != tuple.size()) {
+    return Status::InvalidArgument(
+        expect_answer ? "tuple arity does not match query arity"
+                      : "missing tuple arity does not match query arity");
+  }
+  if (!s.has_query && !s.wni.answers.empty() &&
+      s.wni.answers.front().size() != tuple.size()) {
+    return Status::InvalidArgument(
+        "answer arity does not match missing tuple arity");
+  }
+  bool in_answers = std::binary_search(s.wni.answers.begin(),
+                                       s.wni.answers.end(), tuple);
+  if (expect_answer) {
+    if (!in_answers) {
+      return Status::InvalidArgument(
+          "tuple " + TupleToString(tuple) +
+          " is not in the answer set; ask a why-not question instead");
+    }
+    s.wi.present = tuple;
+  } else {
+    if (in_answers) {
+      return Status::InvalidArgument("tuple " + TupleToString(tuple) +
+                                     " is in the answer set; nothing to "
+                                     "explain");
+    }
+    s.wni.missing = tuple;
+  }
+  return Status::OK();
+}
+
+Status ExplainSession::RequireOntology() const {
+  if (state_->ontology == nullptr) {
+    return Status::Unsupported(
+        "session was bound without an external ontology; only derived-"
+        "ontology (OI) requests are available");
+  }
+  return Status::OK();
+}
+
+const std::vector<Tuple>& ExplainSession::answers() const {
+  return state_->wni.answers;
+}
+
+bool ExplainSession::has_ontology() const {
+  return state_->ontology != nullptr;
+}
+
+uint64_t ExplainSession::warmed_version() const { return state_->version; }
+
+onto::BoundOntology* ExplainSession::bound_ontology() {
+  return state_->bound.get();
+}
+
+Status ExplainSession::CheckConsistent() {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  WHYNOT_RETURN_IF_ERROR(RewarmIfStale());
+  return state_->bound->CheckConsistent();
+}
+
+// --- Derived-ontology (OI) requests ---------------------------------------
+
+Result<LsExplanation> ExplainSession::WhyNot(const Tuple& missing) {
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return IncrementalSearch(s.wni, s.options.incremental, s.lub.get(),
+                           s.cache.get(), s.ls_covers.get());
+}
+
+Result<std::vector<LsExplanation>> ExplainSession::EnumerateMges(
+    const Tuple& missing, EnumerateStats* stats) {
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return EnumerateAllMges(s.wni, s.options.enumerate, stats, s.lub.get());
+}
+
+Result<bool> ExplainSession::CheckMgeDerived(const Tuple& missing,
+                                             const LsExplanation& candidate) {
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return explain::CheckMgeDerived(s.wni, candidate,
+                                  s.options.incremental.with_selections,
+                                  s.lub.get(), s.cache.get(),
+                                  s.ls_covers.get());
+}
+
+Result<LsExplanation> ExplainSession::Why(const Tuple& present) {
+  WHYNOT_RETURN_IF_ERROR(Prepare(present, /*expect_answer=*/true));
+  State& s = *state_;
+  // ls_covers indexes wni.answers, which equals the sort-deduped answer
+  // vector of wi (both come from the same evaluation).
+  return IncrementalWhySearch(s.wi, s.options.incremental.with_selections,
+                              s.lub.get(), s.cache.get(), s.ls_covers.get());
+}
+
+// --- External-ontology requests -------------------------------------------
+
+Result<std::vector<Explanation>> ExplainSession::ExhaustiveMges(
+    const Tuple& missing) {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return ExhaustiveSearchAllMge(s.bound.get(), s.wni, s.options.exhaustive,
+                                s.covers.get());
+}
+
+Result<std::vector<Explanation>> ExplainSession::PrunedMges(
+    const Tuple& missing) {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return PrunedSearchAllMge(s.bound.get(), s.wni, s.options.exhaustive,
+                            s.covers.get());
+}
+
+Result<bool> ExplainSession::Exists(const Tuple& missing,
+                                    Explanation* witness) {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return ExistsExplanation(s.bound.get(), s.wni, witness, s.options.existence,
+                           s.covers.get());
+}
+
+Result<std::optional<CardinalityResult>> ExplainSession::CardMaximal(
+    const Tuple& missing) {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return ExactCardMaximal(s.bound.get(), s.wni, s.options.exhaustive,
+                          s.covers.get());
+}
+
+Result<std::optional<CardinalityResult>> ExplainSession::GreedyCard(
+    const Tuple& missing) {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return GreedyCardinalityClimb(s.bound.get(), s.wni, s.covers.get());
+}
+
+Result<bool> ExplainSession::CheckMge(const Tuple& missing,
+                                      const Explanation& candidate) {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+  State& s = *state_;
+  return CheckMgeExternal(s.bound.get(), s.wni, candidate, s.covers.get());
+}
+
+Result<std::vector<Explanation>> ExplainSession::WhyMges(
+    const Tuple& present) {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  WHYNOT_RETURN_IF_ERROR(Prepare(present, /*expect_answer=*/true));
+  State& s = *state_;
+  return AllMostGeneralWhyExplanations(s.bound.get(), s.wi,
+                                       s.options.exhaustive.max_candidates,
+                                       s.why_covers.get());
+}
+
+}  // namespace whynot::explain

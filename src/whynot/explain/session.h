@@ -1,0 +1,166 @@
+#ifndef WHYNOT_EXPLAIN_SESSION_H_
+#define WHYNOT_EXPLAIN_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "whynot/common/status.h"
+#include "whynot/concepts/lub.h"
+#include "whynot/explain/cardinality.h"
+#include "whynot/explain/check_mge.h"
+#include "whynot/explain/enumerate.h"
+#include "whynot/explain/exhaustive.h"
+#include "whynot/explain/existence.h"
+#include "whynot/explain/incremental.h"
+#include "whynot/explain/why_explanation.h"
+#include "whynot/explain/whynot_instance.h"
+#include "whynot/ontology/ontology.h"
+
+namespace whynot::explain {
+
+/// Session-wide knobs, fixed at Bind time. The per-algorithm option
+/// structs keep their one-shot meanings; `lub` overrides the lub limits
+/// of both the incremental and the enumeration searches so the session's
+/// single shared LubContext serves every derived request.
+struct ExplainSessionOptions {
+  ExhaustiveOptions exhaustive;    // Exhaustive/Pruned/CardMaximal budgets
+  ExistenceOptions existence;
+  IncrementalOptions incremental;  // WhyNot()/Why(): selections, ⊤ sweep
+  EnumerateOptions enumerate;
+  ls::LubOptions lub;
+};
+
+/// Prepared serving facade for repeated explanation traffic over one
+/// (ontology, instance, query, answers) binding.
+///
+/// The one-shot entry points re-derive the same warm state on every call:
+/// query answers, extension warm-up, answer-cover bitmaps, lub canonical
+/// boxes, eval memos. A session binds that state once — Bind evaluates
+/// the query, warms the instance's lazy caches for concurrent reads,
+/// warms every bound-ontology extension (sharded), and constructs the
+/// answer-cover tables — and then serves repeated WhyNot / Why /
+/// EnumerateMges / Cardinality / Existence requests that only vary the
+/// asked-about tuple. Results, enumeration order, and stats are
+/// bit-identical to the standalone entry points at every thread count:
+/// all shared caches memoize pure functions of the fixed (instance,
+/// answers) binding, so warm-vs-cold only changes time.
+///
+/// Invalidation: the session records rel::Instance::version() at warm
+/// time. A mutation (AddFact / ClearRelation) bumps the counter, and the
+/// next request deterministically rebuilds everything — re-evaluating the
+/// query when the session was bound from one — instead of serving stale
+/// extensions. Mutating the instance *during* a request is not supported
+/// (same contract as the one-shot searches).
+///
+/// Threading: requests dispatch into the same parallel searches as the
+/// one-shot calls. The session itself is single-threaded — serve
+/// concurrent callers from one session with external serialization, or
+/// give each its own session.
+class ExplainSession {
+ public:
+  /// Binds and warms a session; evaluates `query` over `instance` for the
+  /// answer set. `ontology` is optional — without it only the derived-
+  /// ontology (OI) requests are served.
+  static Result<ExplainSession> Bind(const rel::Instance* instance,
+                                     rel::UnionQuery query,
+                                     const onto::FiniteOntology* ontology =
+                                         nullptr,
+                                     ExplainSessionOptions options = {});
+
+  /// As Bind, from a precomputed answer set (sort-deduplicated here; the
+  /// paper treats Ans as part of the input). Version invalidation then
+  /// rebuilds caches against the mutated instance but keeps this answer
+  /// set — matching one-shot calls built from the same answers.
+  static Result<ExplainSession> BindWithAnswers(
+      const rel::Instance* instance, std::vector<Tuple> answers,
+      const onto::FiniteOntology* ontology = nullptr,
+      ExplainSessionOptions options = {});
+
+  /// Ans = q(I), sorted and duplicate-free.
+  const std::vector<Tuple>& answers() const;
+  bool has_ontology() const;
+  /// The instance version the warm state was built against (tests).
+  uint64_t warmed_version() const;
+  /// The warm bound ontology (null without an external ontology). Exposed
+  /// for rendering — concept names, DOT export; invalidated by the next
+  /// request after an instance mutation.
+  onto::BoundOntology* bound_ontology();
+
+  /// Definition 3.1 consistency of the bound instance with the external
+  /// ontology. Requires an ontology.
+  Status CheckConsistent();
+
+  // --- Derived-ontology (OI) requests ------------------------------------
+
+  /// Algorithm 2 (INCREMENTAL SEARCH): one most-general explanation for
+  /// the missing tuple w.r.t. OI.
+  Result<LsExplanation> WhyNot(const Tuple& missing);
+
+  /// All most-general explanations w.r.t. OI (EnumerateAllMges).
+  Result<std::vector<LsExplanation>> EnumerateMges(
+      const Tuple& missing, EnumerateStats* stats = nullptr);
+
+  /// CHECK-MGE w.r.t. OI for a candidate LS explanation.
+  Result<bool> CheckMgeDerived(const Tuple& missing,
+                               const LsExplanation& candidate);
+
+  /// The dual question: a most-general why-explanation for a tuple that
+  /// IS an answer, w.r.t. OI.
+  Result<LsExplanation> Why(const Tuple& present);
+
+  // --- External-ontology requests (require an ontology) -------------------
+
+  /// Algorithm 1 (EXHAUSTIVE SEARCH): all most-general explanations.
+  Result<std::vector<Explanation>> ExhaustiveMges(const Tuple& missing);
+
+  /// The pruned-antichain variant (same result set).
+  Result<std::vector<Explanation>> PrunedMges(const Tuple& missing);
+
+  /// EXISTENCE-OF-EXPLANATION; stores a witness when one exists.
+  Result<bool> Exists(const Tuple& missing, Explanation* witness = nullptr);
+
+  /// Exact >card-maximal explanation (Section 6).
+  Result<std::optional<CardinalityResult>> CardMaximal(const Tuple& missing);
+
+  /// The greedy hill-climbing heuristic for the same preference.
+  Result<std::optional<CardinalityResult>> GreedyCard(const Tuple& missing);
+
+  /// CHECK-MGE w.r.t. the external ontology.
+  Result<bool> CheckMge(const Tuple& missing, const Explanation& candidate);
+
+  /// All most-general *why*-explanations w.r.t. the external ontology.
+  Result<std::vector<Explanation>> WhyMges(const Tuple& present);
+
+  // Out-of-line: State is incomplete here (pimpl).
+  ExplainSession(ExplainSession&&) noexcept;
+  ExplainSession& operator=(ExplainSession&&) noexcept;
+  ~ExplainSession();
+
+ private:
+  struct State;
+  explicit ExplainSession(std::unique_ptr<State> state);
+
+  /// Shared Bind/BindWithAnswers boilerplate: allocates the state and
+  /// couples the per-algorithm lub limits to the session-wide ones.
+  static std::unique_ptr<State> MakeState(const rel::Instance* instance,
+                                          const onto::FiniteOntology* ontology,
+                                          ExplainSessionOptions options);
+
+  /// Rebuilds all warm state against the current instance contents;
+  /// re-evaluates the query when the session owns one.
+  Status Rewarm();
+  /// Rewarm iff the instance version moved since the last warm-up.
+  Status RewarmIfStale();
+  /// RewarmIfStale, then validates and installs the request tuple
+  /// (missing ∉ Ans when `expect_answer` is false, present ∈ Ans
+  /// otherwise).
+  Status Prepare(const Tuple& tuple, bool expect_answer);
+  Status RequireOntology() const;
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace whynot::explain
+
+#endif  // WHYNOT_EXPLAIN_SESSION_H_

@@ -1,15 +1,13 @@
 #include "whynot/explain/why_explanation.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <utility>
 
 #include "whynot/common/algorithm.h"
-#include "whynot/common/parallel.h"
 #include "whynot/concepts/ls_eval.h"
-#include "whynot/explain/candidate_space.h"
+#include "whynot/explain/search_core.h"
 #include "whynot/relational/cq_eval.h"
 
 namespace whynot::explain {
@@ -75,7 +73,8 @@ bool ProductInsideAnswers(onto::BoundOntology* bound,
   return covers->CountCovered(concepts) == product_size;
 }
 
-/// Answers interned against the pool, sort-deduped for the counting check.
+}  // namespace
+
 std::vector<std::vector<ValueId>> InternedUniqueAnswers(
     onto::BoundOntology* bound, const WhyInstance& wi) {
   std::vector<std::vector<ValueId>> answers;
@@ -90,10 +89,9 @@ std::vector<std::vector<ValueId>> InternedUniqueAnswers(
   return answers;
 }
 
-}  // namespace
-
 Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
-                              const WhyInstance& wi, const Explanation& e) {
+                              const WhyInstance& wi, const Explanation& e,
+                              ConceptAnswerCovers* covers) {
   if (e.size() != wi.arity()) {
     return Status::InvalidArgument(
         "explanation arity does not match the tuple");
@@ -102,13 +100,17 @@ Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
     ValueId id = bound->pool().Intern(wi.present[i]);
     if (!bound->Ext(e[i]).Contains(id)) return false;
   }
-  ConceptAnswerCovers covers(bound, InternedUniqueAnswers(bound, wi));
-  return ProductInsideAnswers(bound, e, &covers);
+  std::optional<ConceptAnswerCovers> local;
+  if (covers == nullptr) {
+    local.emplace(bound, InternedUniqueAnswers(bound, wi));
+    covers = &*local;
+  }
+  return ProductInsideAnswers(bound, e, covers);
 }
 
 Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
-    onto::BoundOntology* bound, const WhyInstance& wi,
-    size_t max_candidates) {
+    onto::BoundOntology* bound, const WhyInstance& wi, size_t max_candidates,
+    ConceptAnswerCovers* covers) {
   size_t m = wi.arity();
   std::vector<std::vector<onto::ConceptId>> lists(m);
   for (size_t i = 0; i < m; ++i) {
@@ -116,27 +118,52 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     lists[i] = bound->ConceptsContaining(id);
     if (lists[i].empty()) return std::vector<Explanation>{};
   }
-  ConceptAnswerCovers covers(bound, InternedUniqueAnswers(bound, wi));
+  std::optional<ConceptAnswerCovers> local;
+  if (covers == nullptr) {
+    local.emplace(bound, InternedUniqueAnswers(bound, wi));
+    covers = &*local;
+  }
   CandidateSpace space(lists);
   if (space.overflow() || space.total() > max_candidates) {
     return Status::ResourceExhausted(
         "why-explanation enumeration exceeded max_candidates");
   }
 
+  // The product-containment test — the counting AND with its finite-size
+  // pre-checks, by far the dominant cost — is a pure function of the
+  // candidate, so it shards through the shared candidate filter against a
+  // pre-resolved cover table; the antichain pass replays serially over
+  // the survivors in candidate order. A candidate the filter admits but a
+  // kept explanation dominates is dropped at the replay (domination is
+  // checked before insertion), so the antichain is exactly the serial
+  // reference's. The table resolves covers for *every* list concept up
+  // front — worth it only when workers will hammer it; the serial path
+  // keeps the lazy per-probe covers (most candidates never get probed
+  // past the domination prefilter below).
+  std::optional<CoverTable> table;
+  if (par::NumThreads() > 1) {
+    table.emplace(covers, lists);
+    table->ResolveSizes(bound, lists);
+  }
+
   std::vector<Explanation> antichain;
-  std::vector<size_t> idx(m, 0);
   Explanation current(m);
-  if (par::NumThreads() <= 1) {
-    for (size_t linear = 0; linear < space.total(); ++linear) {
-      for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-      bool dominated = false;
-      for (const Explanation& kept : antichain) {
-        if (LessGeneral(*bound, current, kept)) {
-          dominated = true;
-          break;
-        }
-      }
-      if (!dominated && ProductInsideAnswers(bound, current, &covers)) {
+  auto dominated = [&](const Explanation& e) {
+    for (const Explanation& kept : antichain) {
+      if (LessGeneral(*bound, e, kept)) return true;
+    }
+    return false;
+  };
+  WHYNOT_RETURN_IF_ERROR(ParallelFilterSpace(
+      space,
+      [&](const std::vector<size_t>& idx) {
+        if (table.has_value()) return table->ProductInsideAt(idx);
+        for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+        return ProductInsideAnswers(bound, current, covers);
+      },
+      [&](const std::vector<size_t>& idx) {
+        for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+        if (dominated(current)) return true;
         antichain.erase(
             std::remove_if(antichain.begin(), antichain.end(),
                            [&](const Explanation& kept) {
@@ -144,89 +171,16 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
                            }),
             antichain.end());
         antichain.push_back(current);
-      }
-      space.Advance(&idx);
-    }
-    std::sort(antichain.begin(), antichain.end());
-    return antichain;
-  }
-
-  // Parallel candidate filter. The product-containment test — the counting
-  // AND, by far the dominant cost — is a pure function of the candidate,
-  // so it shards over linear candidate ranges against the pre-resolved
-  // cover table; the antichain pass then replays serially in candidate
-  // order over the survivors. A candidate the serial loop would have
-  // skipped as dominated is dominated here too (domination is checked
-  // before insertion), so the resulting antichain is identical.
-  ConceptAnswerCovers::ListCovers list_covers(&covers, lists);
-  std::vector<std::vector<size_t>> sizes(m);   // |ext| per list entry
-  std::vector<std::vector<uint8_t>> is_all(m);
-  for (size_t i = 0; i < m; ++i) {
-    sizes[i].reserve(lists[i].size());
-    is_all[i].reserve(lists[i].size());
-    for (onto::ConceptId c : lists[i]) {
-      const onto::ExtSet& e = bound->Ext(c);
-      is_all[i].push_back(e.is_all() ? 1 : 0);
-      sizes[i].push_back(e.is_all() ? 0 : e.size());
-    }
-  }
-  // Mirrors ProductInsideAnswers over the precomputed per-list metadata.
-  auto inside_at = [&](const std::vector<size_t>& at) {
-    for (size_t i = 0; i < m; ++i) {
-      if (!is_all[i][at[i]] && sizes[i][at[i]] == 0) return true;
-    }
-    size_t product_size = 1;
-    for (size_t i = 0; i < m; ++i) {
-      if (is_all[i][at[i]]) return false;
-      if (product_size > covers.num_answers() / sizes[i][at[i]]) return false;
-      product_size *= sizes[i][at[i]];
-    }
-    return list_covers.ProductCountAt(at) == product_size;
-  };
-
-  constexpr size_t kFilterChunk = 1 << 16;
-  std::vector<std::pair<size_t, std::vector<Explanation>>> blocks;
-  std::mutex mutex;
-  for (size_t chunk = 0; chunk < space.total(); chunk += kFilterChunk) {
-    size_t chunk_end = std::min(space.total(), chunk + kFilterChunk);
-    blocks.clear();
-    par::ParallelFor(chunk_end - chunk, 1024, [&](size_t begin, size_t end) {
-      std::vector<Explanation> survivors;
-      std::vector<size_t> block_idx;
-      space.Decode(chunk + begin, &block_idx);
-      for (size_t off = begin; off < end; ++off) {
-        if (inside_at(block_idx)) {
-          Explanation e(m);
-          for (size_t i = 0; i < m; ++i) e[i] = lists[i][block_idx[i]];
-          survivors.push_back(std::move(e));
-        }
-        space.Advance(&block_idx);
-      }
-      std::lock_guard<std::mutex> lock(mutex);
-      blocks.emplace_back(begin, std::move(survivors));
-    });
-    std::sort(blocks.begin(), blocks.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [begin, survivors] : blocks) {
-      for (const Explanation& e : survivors) {
-        bool dominated = false;
-        for (const Explanation& kept : antichain) {
-          if (LessGeneral(*bound, e, kept)) {
-            dominated = true;
-            break;
-          }
-        }
-        if (dominated) continue;
-        antichain.erase(
-            std::remove_if(antichain.begin(), antichain.end(),
-                           [&](const Explanation& kept) {
-                             return StrictlyLessGeneral(*bound, kept, e);
-                           }),
-            antichain.end());
-        antichain.push_back(e);
-      }
-    }
-  }
+        return true;
+      },
+      // Serial prefilter: the domination check is two subsumption matrix
+      // probes against a short antichain — far cheaper than the counting
+      // containment test it saves (the parallel path filters first and
+      // re-checks domination at the replay above, same output).
+      [&](const std::vector<size_t>& idx) {
+        for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+        return dominated(current);
+      }));
   std::sort(antichain.begin(), antichain.end());
   return antichain;
 }
@@ -284,22 +238,51 @@ bool IsLsWhyExplanationImpl(const WhyInstance& wi, const LsExplanation& e,
   return LsProductInsideAnswers(covers, exts);
 }
 
+/// Per-call fallbacks for the prepared-session cache parameters: the
+/// session passes its warm EvalCache / LsAnswerCovers (over its sorted
+/// answer vector); one-shot calls materialize locals here. `sorted`
+/// stores the defensively sort-deduped answers the local covers index.
+struct WhyScratch {
+  std::optional<std::vector<Tuple>> sorted;
+  std::optional<ls::EvalCache> cache;
+  std::optional<LsAnswerCovers> covers;
+};
+
+void ResolveWhyCaches(const WhyInstance& wi, ls::EvalCache** cache,
+                      LsAnswerCovers** covers, WhyScratch* scratch) {
+  if (*cache == nullptr) {
+    scratch->cache.emplace(wi.instance);
+    *cache = &*scratch->cache;
+  }
+  if (*covers == nullptr) {
+    scratch->sorted.emplace(SortedUniqueAnswers(wi));
+    scratch->covers.emplace(wi.instance, &*scratch->sorted);
+    *covers = &*scratch->covers;
+  }
+}
+
 }  // namespace
 
-bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e) {
-  ls::EvalCache cache(wi.instance);
-  const std::vector<Tuple> answers = SortedUniqueAnswers(wi);
-  LsAnswerCovers covers(wi.instance, &answers);
-  return IsLsWhyExplanationImpl(wi, e, &covers, &cache);
+bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e,
+                        ls::EvalCache* cache, LsAnswerCovers* covers) {
+  WhyScratch scratch;
+  ResolveWhyCaches(wi, &cache, &covers, &scratch);
+  return IsLsWhyExplanationImpl(wi, e, covers, cache);
 }
 
 Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
-                                           bool with_selections) {
-  ls::LubContext ctx(wi.instance);
-  ls::EvalCache cache(wi.instance);
+                                           bool with_selections,
+                                           ls::LubContext* lub_context,
+                                           ls::EvalCache* cache,
+                                           LsAnswerCovers* covers) {
+  std::optional<ls::LubContext> local_ctx;
+  if (lub_context == nullptr) {
+    local_ctx.emplace(wi.instance);
+    lub_context = &*local_ctx;
+  }
+  WhyScratch scratch;
+  ResolveWhyCaches(wi, &cache, &covers, &scratch);
   size_t m = wi.arity();
-  const std::vector<Tuple> answers = SortedUniqueAnswers(wi);
-  LsAnswerCovers covers(wi.instance, &answers);
   const ValuePool& pool = wi.instance->pool();
 
   std::vector<std::vector<Value>> support(m);
@@ -307,13 +290,14 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
   std::vector<const ls::Extension*> exts(m);
   for (size_t j = 0; j < m; ++j) {
     support[j] = {wi.present[j]};
-    WHYNOT_ASSIGN_OR_RETURN(e[j], WhyLub(&ctx, with_selections, support[j]));
-    exts[j] = &cache.Eval(e[j]);
+    WHYNOT_ASSIGN_OR_RETURN(e[j],
+                            WhyLub(lub_context, with_selections, support[j]));
+    exts[j] = &cache->Eval(e[j]);
   }
   // Unlike the why-not case, the nominal-pinned start can already fail:
   // lub({a_j}) may denote more than {a_j} only through columns, but the
   // nominal conjunct pins it, so the product here is exactly {a} ⊆ Ans.
-  if (!LsProductInsideAnswers(&covers, exts)) {
+  if (!LsProductInsideAnswers(covers, exts)) {
     return Status::Internal(
         "nominal-pinned tuple is not a why-explanation; the product of "
         "nominals is {a} which must be inside Ans");
@@ -328,10 +312,10 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
       std::vector<Value> extended = support[j];
       extended.push_back(adom[bi]);
       WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
-                              WhyLub(&ctx, with_selections, extended));
-      const ls::Extension& cand_ext = cache.Eval(cand);
+                              WhyLub(lub_context, with_selections, extended));
+      const ls::Extension& cand_ext = cache->Eval(cand);
       if (cand_ext.ContainsInterned(present_id, wi.present[j]) &&
-          LsProductInsideAnswers(&covers, exts, j, &cand_ext)) {
+          LsProductInsideAnswers(covers, exts, j, &cand_ext)) {
         support[j] = std::move(extended);
         e[j] = std::move(cand);
         exts[j] = &cand_ext;
@@ -344,15 +328,24 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
 Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                 const LsExplanation& candidate,
                                 bool with_selections,
-                                ls::LubContext* lub_context) {
-  ls::EvalCache cache(wi.instance);
-  const std::vector<Tuple> answers = SortedUniqueAnswers(wi);
-  LsAnswerCovers covers(wi.instance, &answers);
-  if (!IsLsWhyExplanationImpl(wi, candidate, &covers, &cache)) return false;
+                                ls::LubContext* lub_context,
+                                ls::EvalCache* cache,
+                                LsAnswerCovers* covers) {
+  WhyScratch scratch;
+  ResolveWhyCaches(wi, &cache, &covers, &scratch);
+  // The parallel workers build their own covers, which must index the
+  // same answer vector the shared `covers` do: the local sort-deduped
+  // copy on the one-shot path, or wi.answers itself when the caller
+  // passed warm covers — the covers contract (see the header) then
+  // guarantees wi.answers is already sorted and duplicate-free, so both
+  // definitions coincide.
+  const std::vector<Tuple>& answers =
+      scratch.sorted.has_value() ? *scratch.sorted : wi.answers;
+  if (!IsLsWhyExplanationImpl(wi, candidate, covers, cache)) return false;
   std::vector<const ls::Extension*> exts;
   exts.reserve(candidate.size());
   for (const ls::LsConcept& c : candidate) {
-    exts.push_back(&cache.Eval(c));
+    exts.push_back(&cache->Eval(c));
   }
   const std::vector<Value>& adom = wi.instance->ActiveDomain();
   const std::vector<ValueId>& adom_ids = wi.instance->ActiveDomainIds();
@@ -360,11 +353,12 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
   if (par::NumThreads() > 1 && adom.size() >= 4) {
     // The per-constant probes — lub, eval, counting AND — are independent
     // reads of a fixed instance, so each position's sweep shards over adom
-    // ranges. Workers keep their own LubContext / EvalCache / covers (all
-    // three have lazy single-threaded caches); the instance itself is
-    // pre-warmed. The serial loop returns at the *smallest* bi that either
-    // errors or breaks maximality, so blocks report their first outcome
-    // and the lex-smallest one wins — identical for every thread count.
+    // ranges through the shared lex-min sweep (search_core.h). Workers
+    // keep their own LubContext / EvalCache / covers (all three have lazy
+    // single-threaded caches); the instance itself is pre-warmed. The
+    // serial loop returns at the *smallest* bi that either errors or
+    // breaks maximality, which is exactly the sweep's winning outcome —
+    // identical for every thread count.
     wi.instance->WarmForConcurrentReads();
     struct Worker {
       ls::LubContext lub;
@@ -380,46 +374,30 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
     };
     std::vector<std::unique_ptr<Worker>> workers(
         static_cast<size_t>(par::MaxWorkers()));
+    auto make_worker = [&]() {
+      return std::make_unique<Worker>(wi.instance, &answers,
+                                      lub_context->options(), candidate);
+    };
     for (size_t j = 0; j < candidate.size(); ++j) {
-      std::atomic<size_t> outcome_at{SIZE_MAX};
-      std::mutex mutex;
-      Status error = Status::OK();
-      bool broken = false;
-      par::ParallelForWorker(
-          adom.size(), 8, [&](int w, size_t begin, size_t end) {
-            if (begin > outcome_at.load(std::memory_order_relaxed)) return;
-            size_t slot = static_cast<size_t>(w);
-            if (workers[slot] == nullptr) {
-              workers[slot] = std::make_unique<Worker>(
-                  wi.instance, &answers, lub_context->options(), candidate);
+      std::optional<ProbeOutcome> outcome = LexMinSweep<Worker, ProbeOutcome>(
+          adom.size(), 8, &workers, make_worker,
+          [&](Worker& wk, size_t bi) -> std::optional<ProbeOutcome> {
+            if (wk.exts[j]->ContainsId(adom_ids[bi])) return std::nullopt;
+            std::vector<Value> extended = wk.exts[j]->values();
+            extended.push_back(adom[bi]);
+            Result<ls::LsConcept> cand =
+                WhyLub(&wk.lub, with_selections, extended);
+            if (!cand.ok()) return ProbeOutcome{false, cand.status()};
+            const ls::Extension& cand_ext = wk.cache.Eval(cand.value());
+            if (LsProductInsideAnswers(&wk.covers, wk.exts, j, &cand_ext)) {
+              return ProbeOutcome{true, Status::OK()};
             }
-            Worker& wk = *workers[slot];
-            for (size_t bi = begin; bi < end; ++bi) {
-              if (bi > outcome_at.load(std::memory_order_relaxed)) return;
-              if (wk.exts[j]->ContainsId(adom_ids[bi])) continue;
-              std::vector<Value> extended = wk.exts[j]->values();
-              extended.push_back(adom[bi]);
-              Result<ls::LsConcept> cand =
-                  WhyLub(&wk.lub, with_selections, extended);
-              bool breaks = false;
-              if (cand.ok()) {
-                const ls::Extension& cand_ext = wk.cache.Eval(cand.value());
-                breaks =
-                    LsProductInsideAnswers(&wk.covers, wk.exts, j, &cand_ext);
-                if (!breaks) continue;
-              }
-              std::lock_guard<std::mutex> lock(mutex);
-              size_t seen = outcome_at.load(std::memory_order_relaxed);
-              if (bi < seen) {
-                outcome_at.store(bi, std::memory_order_relaxed);
-                broken = breaks;
-                error = breaks ? Status::OK() : cand.status();
-              }
-              return;
-            }
+            return std::nullopt;
           });
-      if (!error.ok()) return error;
-      if (broken) return false;
+      if (outcome.has_value()) {
+        if (!outcome->error.ok()) return outcome->error;
+        if (outcome->broken) return false;
+      }
     }
   } else {
     for (size_t j = 0; j < candidate.size(); ++j) {
@@ -429,11 +407,11 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
         extended.push_back(adom[bi]);
         WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
                                 WhyLub(lub_context, with_selections, extended));
-        const ls::Extension& cand_ext = cache.Eval(cand);
+        const ls::Extension& cand_ext = cache->Eval(cand);
         // lub(ext ∪ {b}) is strictly more general than the candidate's
         // position (it contains b); if the tuple stays a why-explanation,
         // the candidate is not most general.
-        if (LsProductInsideAnswers(&covers, exts, j, &cand_ext)) return false;
+        if (LsProductInsideAnswers(covers, exts, j, &cand_ext)) return false;
       }
     }
   }

@@ -34,16 +34,27 @@ Result<WhyInstance> MakeWhyInstance(const rel::Instance* instance,
                                     const rel::UnionQuery& query,
                                     Tuple present);
 
-/// Checks the dual Definition 3.2 above.
+/// The why-dual's answer rows interned against the bound pool and
+/// sort-deduped — the vector the external why covers index (the counting
+/// form needs Ans duplicate-free). Shared with ExplainSession's warm
+/// cover table.
+std::vector<std::vector<ValueId>> InternedUniqueAnswers(
+    onto::BoundOntology* bound, const WhyInstance& wi);
+
+/// Checks the dual Definition 3.2 above. `covers`, when non-null, must be
+/// the answer-cover table of (bound, InternedUniqueAnswers(bound, wi)) —
+/// a prepared ExplainSession's warm table; results are identical.
 Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
-                              const WhyInstance& wi, const Explanation& e);
+                              const WhyInstance& wi, const Explanation& e,
+                              ConceptAnswerCovers* covers = nullptr);
 
 /// All most-general why-explanations, by the Algorithm 1 scheme (enumerate
 /// candidates per position, keep product-inside-answers tuples, reduce to
-/// the maximal antichain). Same complexity envelope as Theorem 5.2.
+/// the maximal antichain). Same complexity envelope as Theorem 5.2, and
+/// the same `covers` contract as IsWhyExplanation.
 Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     onto::BoundOntology* bound, const WhyInstance& wi,
-    size_t max_candidates = 20000000);
+    size_t max_candidates = 20000000, ConceptAnswerCovers* covers = nullptr);
 
 // --- Why-explanations w.r.t. the derived ontology OI ----------------------
 
@@ -51,7 +62,19 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
 /// product is contained in the answers. A ⊤-valued position always fails
 /// (infinite product vs. finite Ans), so — unlike the why-not case — no
 /// ⊤-generalization sweep exists.
-bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e);
+///
+/// The trailing cache parameters follow the session convention used
+/// throughout this header: `cache` is an extension memo bound to
+/// wi.instance, `covers` an LsAnswerCovers over the *sort-deduped* answer
+/// vector fed by the same cache; both are created per call when null, and
+/// results are bit-identical either way. Passing `covers` additionally
+/// asserts that wi.answers is itself sorted and duplicate-free (an
+/// ExplainSession guarantees this) — the one-shot path sort-dedups a
+/// local copy defensively, but warm covers and a hand-filled,
+/// duplicate-carrying wi.answers would disagree on answer indexing.
+bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e,
+                        ls::EvalCache* cache = nullptr,
+                        LsAnswerCovers* covers = nullptr);
 
 /// Algorithm 2's scheme applied to the dual problem: start from the
 /// nominal-pinned tuple (whose product is {a} ⊆ Ans) and greedily grow
@@ -63,14 +86,20 @@ bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e);
 /// argument (the product of a why-explanation has at most |Ans| tuples, so
 /// every acceptance check is answer-bounded).
 Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
-                                           bool with_selections = false);
+                                           bool with_selections = false,
+                                           ls::LubContext* lub_context = nullptr,
+                                           ls::EvalCache* cache = nullptr,
+                                           LsAnswerCovers* covers = nullptr);
 
 /// CHECK-MGE for the dual problem w.r.t. OI: no single-position
-/// lub-generalization keeps the product inside the answers.
+/// lub-generalization keeps the product inside the answers. Same trailing
+/// cache convention as IsLsWhyExplanation.
 Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                 const LsExplanation& candidate,
                                 bool with_selections,
-                                ls::LubContext* lub_context);
+                                ls::LubContext* lub_context,
+                                ls::EvalCache* cache = nullptr,
+                                LsAnswerCovers* covers = nullptr);
 
 }  // namespace whynot::explain
 

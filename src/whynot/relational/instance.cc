@@ -158,10 +158,29 @@ Instance::Instance(const Instance& other)
       store_(other.store_),
       store_index_(other.store_index_),
       refcount_(other.refcount_),
+      version_(other.version_),
       adom_dirty_(true) {}
 
 Instance& Instance::operator=(const Instance& other) {
   if (this != &other) *this = Instance(other);
+  return *this;
+}
+
+Instance& Instance::operator=(Instance&& other) noexcept {
+  if (this == &other) return *this;
+  // The new version must differ from anything an observer of *this may
+  // have recorded AND reflect the source's mutation history.
+  uint64_t bumped = std::max(version_, other.version_) + 1;
+  schema_ = other.schema_;
+  pool_ = std::move(other.pool_);
+  store_ = std::move(other.store_);
+  store_index_ = std::move(other.store_index_);
+  refcount_ = std::move(other.refcount_);
+  adom_values_ = std::move(other.adom_values_);
+  adom_ids_ = std::move(other.adom_ids_);
+  adom_dirty_ = other.adom_dirty_;
+  scratch_row_ = std::move(other.scratch_row_);
+  version_ = bumped;
   return *this;
 }
 
@@ -201,6 +220,7 @@ Status Instance::AddFact(const std::string& relation, Tuple tuple) {
   StoredRelation* rel = RelationFor(relation, def->arity());
   if (rel->InsertRow(scratch_row_)) {
     for (ValueId id : scratch_row_) BumpRef(id);
+    ++version_;
   }
   return Status::OK();
 }
@@ -226,6 +246,7 @@ Status Instance::AddFactIds(const std::string& relation,
   StoredRelation* rel = RelationFor(relation, def->arity());
   if (rel->InsertRow(row)) {
     for (ValueId id : row) BumpRef(id);
+    ++version_;
   }
   return Status::OK();
 }
@@ -289,6 +310,7 @@ void Instance::ClearRelation(const std::string& relation) {
   auto it = store_index_.find(relation);
   if (it == store_index_.end()) return;
   StoredRelation& rel = store_[it->second];
+  if (!rel.empty()) ++version_;
   for (const std::vector<ValueId>& col : rel.columns_) {
     for (ValueId id : col) DropRef(id);
   }

@@ -134,7 +134,9 @@ class Instance {
   Instance(const Instance& other);
   Instance& operator=(const Instance& other);
   Instance(Instance&&) = default;
-  Instance& operator=(Instance&&) = default;
+  /// Not defaulted: assignment replaces the fact set, so the version must
+  /// move past both operands' counters (see version()).
+  Instance& operator=(Instance&& other) noexcept;
 
   const Schema& schema() const { return *schema_; }
 
@@ -145,6 +147,17 @@ class Instance {
   /// Id of `v` in the instance pool, or -1 if `v` occurs in no fact (and
   /// was never interned).
   ValueId LookupId(const Value& v) const { return pool_.Lookup(v); }
+
+  /// Monotone mutation counter: bumped whenever the fact set actually
+  /// changes (an inserted fact, a non-empty relation cleared), never by
+  /// no-op duplicates or lazy cache builds. Monotone *per object*:
+  /// copy/move assignment sets the target past both operands' counters,
+  /// so replacing an instance's contents never reuses a version an
+  /// observer recorded against the old contents. Warm caches keyed to an
+  /// instance (ExplainSession's covers, extensions, lub state) record the
+  /// version at warm time and rebuild deterministically when it moves,
+  /// instead of serving stale extensions.
+  uint64_t version() const { return version_; }
 
   /// Inserts the fact R(t). Fails if R is unknown or the arity mismatches.
   /// Duplicate facts are silently ignored (set semantics).
@@ -216,6 +229,7 @@ class Instance {
   // Occurrence counts per ValueId across all facts; the active domain is
   // the ids with positive count, kept as a cached sorted snapshot.
   std::vector<int64_t> refcount_;
+  uint64_t version_ = 0;
   mutable std::vector<Value> adom_values_;
   mutable std::vector<ValueId> adom_ids_;
   mutable bool adom_dirty_ = false;

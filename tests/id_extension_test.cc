@@ -438,6 +438,36 @@ TEST_P(BitmapKernelTest, KernelsMatchScalarDefinitions) {
   }
 }
 
+TEST_P(BitmapKernelTest, FusedAndCountMatchesScalarReference) {
+  Rng rng(GetParam() ^ 0xabcdull);
+  // Word counts straddling the 8-word SIMD threshold plus every remainder
+  // class of the 4-word (AVX2) and 2-word (NEON) strides: below 8 the
+  // dispatch takes the scalar loop, above it the SIMD lane with each
+  // possible scalar tail length.
+  for (size_t nwords : {size_t{0}, size_t{1}, size_t{3}, size_t{7},
+                        size_t{8}, size_t{9}, size_t{10}, size_t{11},
+                        size_t{12}, size_t{13}, size_t{31}, size_t{64}}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<uint64_t> a(nwords), b(nwords);
+      for (size_t w = 0; w < nwords; ++w) {
+        a[w] = rng.Below(~uint64_t{0});
+        b[w] = rng.Below(~uint64_t{0});
+      }
+      size_t want = 0;
+      for (size_t w = 0; w < nwords; ++w) {
+        want += static_cast<size_t>(__builtin_popcountll(a[w] & b[w]));
+      }
+      EXPECT_EQ(DenseBitmap::AndCountWords(a.data(), b.data(), nwords), want)
+          << "nwords=" << nwords;
+      size_t want_pop = 0;
+      for (size_t w = 0; w < nwords; ++w) {
+        want_pop += static_cast<size_t>(__builtin_popcountll(a[w]));
+      }
+      EXPECT_EQ(DenseBitmap::PopcountWords(a.data(), nwords), want_pop);
+    }
+  }
+}
+
 TEST_P(BitmapKernelTest, AllSetAndSetBehave) {
   Rng rng(GetParam() ^ 0x77ull);
   for (int32_t n : {0, 1, 63, 64, 65, 600}) {

@@ -24,7 +24,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", nargs="?",
                         default=str(Path(__file__).resolve().parent.parent /
-                                    "BENCH_PR4.json"))
+                                    "BENCH_PR5.json"))
     parser.add_argument("--floor", type=float, default=0.85,
                         help="fail when any benchmark's speedup is below this")
     args = parser.parse_args()

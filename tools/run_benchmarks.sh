@@ -30,12 +30,12 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-rel}"
 MIN_TIME="${2:-0.2}"
-PR="${3:-4}"
+PR="${3:-5}"
 OUT="$REPO_ROOT/BENCH_PR${PR}.json"
 BASELINE="${4:-$REPO_ROOT/BENCH_PR$((PR - 1)).json}"
 BENCHES=(bench_table1_subsumption bench_why bench_enumerate
          bench_incremental bench_lub bench_exhaustive bench_check_mge
-         bench_cardinality bench_parallel)
+         bench_cardinality bench_parallel bench_session)
 POOLED_THREADS="${WHYNOT_THREADS:-$(nproc)}"
 
 # WHYNOT_BENCH_RESULTS_DIR: when set, skip building/running and merge

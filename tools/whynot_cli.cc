@@ -113,20 +113,29 @@ int Fail(const wn::Status& status) {
   return 1;
 }
 
-// Explains against an external finite ontology with Algorithm 1 and
-// optionally exports the DOT diagram.
+// Explains against an external finite ontology through a prepared
+// ExplainSession (Algorithm 1) and optionally exports the DOT diagram.
+// The session binds, warms, and checks the ontology once; a server
+// answering many why-not questions over the same data would keep it
+// alive and call ExhaustiveMges per request. Bound from the answers the
+// caller already evaluated (for validation and printing), so the query
+// runs exactly once per CLI invocation.
 int ExplainExternal(const wn::onto::FiniteOntology& ontology,
                     const wn::rel::Instance& instance,
-                    const wn::explain::WhyNotInstance& wni, const Args& args) {
-  wn::onto::BoundOntology bound(&ontology, &instance);
-  wn::Status consistent = bound.CheckConsistent();
+                    std::vector<wn::Tuple> answers, const wn::Tuple& missing,
+                    const Args& args) {
+  auto session = wn::explain::ExplainSession::BindWithAnswers(
+      &instance, std::move(answers), &ontology);
+  if (!session.ok()) return Fail(session.status());
+  wn::Status consistent = session->CheckConsistent();
   if (!consistent.ok()) return Fail(consistent);
-  auto mges = wn::explain::ExhaustiveSearchAllMge(&bound, wni);
+  auto mges = session->ExhaustiveMges(missing);
   if (!mges.ok()) return Fail(mges.status());
   if (mges.value().empty()) {
     std::cout << "no explanation exists over this ontology\n";
     return 0;
   }
+  wn::onto::BoundOntology& bound = *session->bound_ontology();
   std::cout << "most-general explanations (" << mges.value().size() << "):\n";
   for (const wn::explain::Explanation& e : mges.value()) {
     std::cout << "  " << wn::explain::ExplanationToString(bound, e) << "\n";
@@ -144,19 +153,26 @@ int ExplainExternal(const wn::onto::FiniteOntology& ontology,
   return 0;
 }
 
-// Explains against the derived ontology OI.
-int ExplainDerived(const wn::explain::WhyNotInstance& wni, const Args& args) {
+// Explains against the derived ontology OI through a prepared session
+// (bound from the already-evaluated answers, as above).
+int ExplainDerived(const wn::rel::Instance& instance,
+                   const wn::rel::UnionQuery& query,
+                   std::vector<wn::Tuple> answers, const wn::Tuple& missing,
+                   const Args& args) {
   std::string mode = args.Has("--mode") ? args.Get("--mode") : "incremental";
+  wn::explain::ExplainSessionOptions options;
+  options.incremental.with_selections = mode == "selections";
+  auto session = wn::explain::ExplainSession::BindWithAnswers(
+      &instance, std::move(answers), /*ontology=*/nullptr, options);
+  if (!session.ok()) return Fail(session.status());
   std::vector<wn::explain::LsExplanation> results;
   if (mode == "enumerate") {
-    auto all = wn::explain::EnumerateAllMges(wni);
+    auto all = session->EnumerateMges(missing);
     if (!all.ok()) return Fail(all.status());
     results = std::move(all).value();
     std::cout << "most-general explanations (" << results.size() << "):\n";
   } else if (mode == "incremental" || mode == "selections") {
-    wn::explain::IncrementalOptions options;
-    options.with_selections = mode == "selections";
-    auto one = wn::explain::IncrementalSearch(wni, options);
+    auto one = session->WhyNot(missing);
     if (!one.ok()) return Fail(one.status());
     results.push_back(std::move(one).value());
     std::cout << "most-general explanation:\n";
@@ -165,16 +181,17 @@ int ExplainDerived(const wn::explain::WhyNotInstance& wni, const Args& args) {
   }
   if (args.Has("--shorten")) {
     for (wn::explain::LsExplanation& e : results) {
-      e = wn::explain::MakeIrredundant(e, *wni.instance);
+      e = wn::explain::MakeIrredundant(e, instance);
     }
   }
   for (const wn::explain::LsExplanation& e : results) {
     std::cout << "  "
-              << wn::explain::LsExplanationToString(wni.schema(), e) << "\n";
+              << wn::explain::LsExplanationToString(instance.schema(), e)
+              << "\n";
   }
   if (args.Has("--strong")) {
     for (const wn::explain::LsExplanation& e : results) {
-      auto d = wn::explain::DecideStrongExplanation(wni.schema(), wni.query, e);
+      auto d = wn::explain::DecideStrongExplanation(instance.schema(), query, e);
       if (!d.ok()) return Fail(d.status());
       std::cout << "  strong? "
                 << wn::explain::StrongVerdictName(d.value().verdict);
@@ -250,13 +267,14 @@ int Run(int argc, char** argv) {
   if (args.Has("--why")) {
     auto present = wn::text::ParseTuple(args.Get("--why"));
     if (!present.ok()) return Fail(present.status());
-    auto wi = wn::explain::MakeWhyInstance(&instance, query.value(),
-                                           present.value());
-    if (!wi.ok()) return Fail(wi.status());
+    wn::explain::ExplainSessionOptions options;
+    options.incremental.with_selections = args.Get("--mode") == "selections";
+    auto session = wn::explain::ExplainSession::Bind(
+        &instance, query.value(), /*ontology=*/nullptr, options);
+    if (!session.ok()) return Fail(session.status());
     std::cout << "why " << wn::TupleToString(present.value())
               << "? (derived ontology OI)\n";
-    auto e = wn::explain::IncrementalWhySearch(
-        wi.value(), /*with_selections=*/args.Get("--mode") == "selections");
+    auto e = session->Why(present.value());
     if (!e.ok()) return Fail(e.status());
     std::cout << "most-general why-explanation:\n  "
               << wn::explain::LsExplanationToString(schema.value(), e.value())
@@ -267,6 +285,9 @@ int Run(int argc, char** argv) {
   auto missing = wn::text::ParseTuple(args.Get("--whynot"));
   if (!missing.ok()) return Fail(missing.status());
 
+  // Validate the question and print the answers; the explain routes
+  // below bind their prepared sessions from this answer set, so the
+  // query is evaluated exactly once.
   auto wni = wn::explain::MakeWhyNotInstance(&instance, query.value(),
                                              missing.value());
   if (!wni.ok()) return Fail(wni.status());
@@ -278,6 +299,7 @@ int Run(int argc, char** argv) {
     }
   }
   std::cout << "why not " << wn::TupleToString(missing.value()) << "?\n";
+  std::vector<wn::Tuple> answers = std::move(wni.value().answers);
 
   // --- Choose the ontology route.
   if (args.Has("--tbox")) {
@@ -297,7 +319,8 @@ int Run(int argc, char** argv) {
       st = spec.CheckConsistent(instance);
       if (!st.ok()) return Fail(st);
       wn::obda::ObdaInducedOntology induced(&spec);
-      return ExplainExternal(induced, instance, wni.value(), args);
+      return ExplainExternal(induced, instance, std::move(answers),
+                             missing.value(), args);
     }
     if (args.Has("--abox")) {
       auto abox_text = ReadFile(args.Get("--abox"));
@@ -307,12 +330,14 @@ int Run(int argc, char** argv) {
       auto ontology =
           wn::dl::AboxOntology::Make(&tbox.value(), std::move(abox).value());
       if (!ontology.ok()) return Fail(ontology.status());
-      return ExplainExternal(*ontology.value(), instance, wni.value(), args);
+      return ExplainExternal(*ontology.value(), instance,
+                             std::move(answers), missing.value(), args);
     }
     return Fail(wn::Status::InvalidArgument(
         "--tbox requires --mappings (OBDA) or --abox"));
   }
-  return ExplainDerived(wni.value(), args);
+  return ExplainDerived(instance, query.value(), std::move(answers),
+                        missing.value(), args);
 }
 
 }  // namespace
