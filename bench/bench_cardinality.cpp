@@ -51,6 +51,82 @@ void BM_Cardinality_Exact(benchmark::State& state) {
 }
 BENCHMARK(BM_Cardinality_Exact)->DenseRange(2, 6);
 
+/// Deep-lattice exact cardinality: same layered multi-parent family as
+/// BM_Exhaustive_DeepLattice (see bench_exhaustive.cpp), with the frontier
+/// additionally branch-and-bounding on the degree. The raw product is
+/// |concepts|^3 ≈ 10⁶–10⁷; the exact odometer enumeration would be
+/// hopeless at the tracked budget, while the frontier completes exactly.
+void BM_Cardinality_DeepLatticeExact(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  wn::rel::Schema schema;
+  auto schema_or = wn::workload::RandomSchema(1, {2});
+  if (!schema_or.ok()) {
+    state.SkipWithError("schema");
+    return;
+  }
+  schema = std::move(schema_or).value();
+  wn::rel::Instance instance(&schema);
+  std::vector<wn::Value> domain;
+  for (int i = 0; i < 48; ++i) domain.push_back(wn::Value(i));
+  wn::Tuple missing = {domain[1], domain[2], domain[3]};
+  std::vector<wn::Value> pinned = {domain[1], domain[2], domain[3]};
+  wn::workload::LatticeOntologyOptions opts;
+  opts.depth = depth;
+  opts.width = 8;
+  auto ontology_or =
+      wn::workload::RandomLatticeOntology(domain, pinned, opts, 1234);
+  if (!ontology_or.ok()) {
+    state.SkipWithError("ontology");
+    return;
+  }
+  std::unique_ptr<wn::onto::ExplicitOntology> ontology =
+      std::move(ontology_or).value();
+  wn::onto::BoundOntology bound(ontology.get(), &instance);
+  wn::workload::Rng rng(1234 ^ 0xdeadbeefull);
+  std::vector<wn::Tuple> answers;
+  for (int a = 0; a < 64; ++a) {
+    wn::Tuple t = {domain[rng.Below(domain.size())],
+                   domain[rng.Below(domain.size())],
+                   domain[rng.Below(domain.size())]};
+    if (t != missing) answers.push_back(std::move(t));
+  }
+  auto wni_or =
+      wn::explain::MakeWhyNotInstanceFromAnswers(&instance, answers, missing);
+  if (!wni_or.ok()) {
+    state.SkipWithError("wni");
+    return;
+  }
+  wn::explain::ExhaustiveOptions options;
+  options.strategy = wn::explain::SearchStrategy::kLattice;
+  options.max_candidates = 2000000;
+  wn::explain::PruneStats stats;
+  options.prune_stats = &stats;
+  wn::explain::LatticeHandle lattice(&bound);
+  double degree = 0;
+  for (auto _ : state) {
+    stats = {};
+    auto r = wn::explain::ExactCardMaximal(&bound, wni_or.value(), options,
+                                           nullptr, &lattice);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    if (r->has_value()) degree = static_cast<double>((**r).degree.finite);
+    benchmark::DoNotOptimize(r);
+  }
+  double concepts = static_cast<double>(bound.NumConcepts());
+  state.counters["raw_product"] = concepts * concepts * concepts;
+  state.counters["prune_enumerated"] =
+      static_cast<double>(stats.products_enumerated);
+  state.counters["prune_skipped"] =
+      static_cast<double>(stats.products_skipped);
+  state.counters["prune_downset_hits"] =
+      static_cast<double>(stats.downset_hits);
+  state.counters["prune_waves"] = static_cast<double>(stats.waves);
+  state.counters["exact_degree"] = degree;
+}
+BENCHMARK(BM_Cardinality_DeepLatticeExact)->Arg(12)->Arg(25);
+
 void BM_Cardinality_Greedy(benchmark::State& state) {
   auto reduction = MakeReduction(static_cast<size_t>(state.range(0)), 23);
   if (reduction == nullptr) {

@@ -117,6 +117,19 @@ class CandidateSpace {
   bool overflow_ = false;
 };
 
+/// The linearization order on odometer positions, without computing linear
+/// indices (which overflow on the spaces the frontier enumerator serves):
+/// position 0 advances fastest, so the last differing position decides.
+/// The dominance-pruned frontier sorts every wave and its survivor replay
+/// with this comparator to reproduce the serial odometer's order exactly.
+template <typename IndexVec>
+bool LinearOrderLess(const IndexVec& a, const IndexVec& b) {
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
 }  // namespace whynot::explain
 
 #endif  // WHYNOT_EXPLAIN_CANDIDATE_SPACE_H_

@@ -37,13 +37,23 @@ struct CardinalityResult {
 /// A >card-maximal explanation by exhaustive enumeration of all
 /// explanations (exponential; Proposition 6.4 shows no PTIME algorithm
 /// exists unless P=NP, and no PTIME constant-factor approximation either).
-/// Returns nullopt when no explanation exists. `covers`, when non-null,
-/// must be the answer-cover table of (bound, InternAnswers(bound, wni))
-/// (a prepared ExplainSession's warm table); results are identical.
+/// Returns nullopt when no explanation exists. Among equal-degree
+/// explanations the witness is the first, in the serial odometer's order,
+/// that no other maximum-degree explanation strictly dominates — a
+/// canonical choice both search strategies produce identically. `covers`,
+/// when non-null, must be the answer-cover table of
+/// (bound, InternAnswers(bound, wni)) (a prepared ExplainSession's warm
+/// table); results are identical. `lattice` follows the
+/// ExhaustiveSearchAllMge contract; the frontier path additionally
+/// branch-and-bounds on the degree (a failing product strictly beaten by
+/// the best passing degree prunes its whole downset). Candidate lists
+/// containing an All-extension concept pin the search to the odometer:
+/// the degree order compares finite parts even between infinite degrees,
+/// which breaks the ≼-monotonicity the pruning relies on.
 Result<std::optional<CardinalityResult>> ExactCardMaximal(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
     const ExhaustiveOptions& options = {},
-    ConceptAnswerCovers* covers = nullptr);
+    ConceptAnswerCovers* covers = nullptr, LatticeHandle* lattice = nullptr);
 
 /// Greedy hill-climbing heuristic: starts from any explanation and
 /// repeatedly applies the single-position replacement that increases the

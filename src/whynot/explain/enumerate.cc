@@ -282,6 +282,18 @@ class Enumerator {
   // discovery — exactly. Outputs and stats are therefore identical for
   // every thread count; nodes past a mid-wave stopping point are wasted
   // speculation, nothing more.
+  //
+  // This enumeration deliberately stays outside the dominance-pruned
+  // frontier machinery (explain/lattice.h) the external-ontology searches
+  // share: the frontier needs a finite, pre-enumerated concept space with
+  // a closed subsumption matrix to build downset bitmaps over, while the
+  // derived ontology OI materializes its concepts on demand as lubs of
+  // support sets — the candidate "lists" here are implicit in the
+  // exponentially many subsets of the active domain, and maximality is
+  // decided by lub probes, not matrix rows. Lawler-style exclusion
+  // branching *is* the lattice walk for that implicit space: each sweep
+  // lands exactly on a maximal element, and children step down only
+  // through explicit exclusions.
   Result<std::vector<LsExplanation>> Run() {
     if (par::NumThreads() > 1) {
       wni_.instance->WarmForConcurrentReads();

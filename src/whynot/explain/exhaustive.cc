@@ -27,42 +27,63 @@ Result<std::vector<std::vector<onto::ConceptId>>> CandidateLists(
 /// avoids Ans (line 2 of Algorithm 1). `visit` returns false to abort.
 /// The avoidance test is the answer-cover kernel — per (position, concept)
 /// cover bitmaps resolved once per candidate list (CoverTable), each
-/// candidate one m-way word-parallel AND with early exit — and the
-/// enumeration itself is the shared chunked candidate filter
-/// (ParallelFilterSpace): sharded avoidance ANDs, survivors visited
-/// serially in the serial odometer's order.
+/// candidate one m-way word-parallel AND with early exit. The enumeration
+/// itself dispatches through ChooseStrategy: in-budget products run the
+/// shared chunked candidate filter (ParallelFilterSpace, sharded
+/// avoidance ANDs, survivors visited serially in the serial odometer's
+/// order); over-budget products on a consistent binding — or any product
+/// under kLattice — run the dominance-pruned frontier
+/// (LatticeFilterSpace), which visits exactly the ≼-maximal survivors in
+/// the same serial order, so MGE callers see bit-identical output.
 template <typename Visit>
 Status EnumerateExplanations(
-    const WhyNotInstance& wni,
+    onto::BoundOntology* bound, const WhyNotInstance& wni,
     const std::vector<std::vector<onto::ConceptId>>& lists,
-    ConceptAnswerCovers* covers, size_t max_candidates, Visit visit) {
+    ConceptAnswerCovers* covers, const ExhaustiveOptions& options,
+    LatticeHandle* lattice, Visit visit) {
   size_t m = wni.arity();
   for (const auto& list : lists) {
     if (list.empty()) return Status::OK();
   }
   CandidateSpace space(lists);
-  if (space.overflow() || space.total() > max_candidates) {
+  std::unique_ptr<LatticeHandle> local_lattice;
+  LatticeChoice choice =
+      ChooseStrategy(options.strategy, space, options.max_candidates, bound,
+                     lattice, &local_lattice);
+
+  if (!choice.use_lattice &&
+      (space.overflow() || space.total() > options.max_candidates)) {
     return Status::ResourceExhausted(
         "candidate enumeration exceeded max_candidates (the space is "
         "exponential in the query arity, Theorem 5.2)");
   }
   CoverTable table(covers, lists);
-
   std::vector<onto::ConceptId> current(m);
-  return ParallelFilterSpace(
-      space,
-      [&](const std::vector<size_t>& idx) { return !table.ProductAnyAt(idx); },
-      [&](const std::vector<size_t>& idx) {
-        for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-        return visit(current);
-      });
+  auto pred = [&](const std::vector<size_t>& idx) {
+    return !table.ProductAnyAt(idx);
+  };
+  auto consume = [&](const std::vector<size_t>& idx) {
+    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+    return visit(current);
+  };
+
+  if (choice.use_lattice) {
+    LatticeFrontierHooks hooks;
+    hooks.pred = pred;
+    hooks.consume = consume;
+    return LatticeFilterSpace(space, *choice.lattice, lists,
+                              options.max_candidates, hooks,
+                              options.prune_stats);
+  }
+  return ParallelFilterSpace(space, pred, consume);
 }
 
 }  // namespace
 
 Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    const ExhaustiveOptions& options, ConceptAnswerCovers* covers) {
+    const ExhaustiveOptions& options, ConceptAnswerCovers* covers,
+    LatticeHandle* lattice) {
   WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<onto::ConceptId>> lists,
                           CandidateLists(bound, wni));
   std::optional<ConceptAnswerCovers> local;
@@ -71,10 +92,11 @@ Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
     covers = &*local;
   }
 
-  // Line 2: the set X of all explanations.
+  // Line 2: the set X of all explanations. (On the frontier path X is
+  // already the maximal antichain, so lines 3-5 below pass it through.)
   std::vector<Explanation> x;
   WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
-      wni, lists, covers, options.max_candidates,
+      bound, wni, lists, covers, options, lattice,
       [&x](const Explanation& e) {
         x.push_back(e);
         return true;
@@ -108,7 +130,8 @@ Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
 
 Result<std::vector<Explanation>> PrunedSearchAllMge(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    const ExhaustiveOptions& options, ConceptAnswerCovers* covers) {
+    const ExhaustiveOptions& options, ConceptAnswerCovers* covers,
+    LatticeHandle* lattice) {
   WHYNOT_ASSIGN_OR_RETURN(std::vector<std::vector<onto::ConceptId>> lists,
                           CandidateLists(bound, wni));
   std::optional<ConceptAnswerCovers> local;
@@ -119,7 +142,7 @@ Result<std::vector<Explanation>> PrunedSearchAllMge(
 
   std::vector<Explanation> antichain;
   WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
-      wni, lists, covers, options.max_candidates,
+      bound, wni, lists, covers, options, lattice,
       [&](const Explanation& e) {
         // Skip candidates dominated by (or equivalent to) a kept one.
         for (const Explanation& kept : antichain) {

@@ -5,14 +5,26 @@
 
 #include "whynot/common/status.h"
 #include "whynot/explain/explanation.h"
+#include "whynot/explain/lattice.h"
 
 namespace whynot::explain {
 
 struct ExhaustiveOptions {
   /// Cap on candidate tuples enumerated (the candidate space is
   /// |C(a_1)| × ... × |C(a_m)|, exponential in the query arity —
-  /// Theorem 5.2).
+  /// Theorem 5.2). Under the frontier strategy the cap budgets products
+  /// actually *tested* — dominance-skipped downsets are free — which is
+  /// what lets the same default serve products orders of magnitude
+  /// larger.
   size_t max_candidates = 20000000;
+  /// Odometer vs dominance-pruned frontier (see SearchStrategy). The
+  /// default escalates to the frontier exactly when the odometer would
+  /// return ResourceExhausted and the binding is consistent, so
+  /// in-budget behavior is unchanged.
+  SearchStrategy strategy = SearchStrategy::kAuto;
+  /// When non-null, frontier enumerations accumulate pruning counters
+  /// here (left untouched on the odometer path).
+  PruneStats* prune_stats = nullptr;
 };
 
 /// Algorithm 1 (EXHAUSTIVE SEARCH): computes the set of *all* most-general
@@ -26,21 +38,24 @@ struct ExhaustiveOptions {
 /// (bound, InternAnswers(bound, wni)); a prepared ExplainSession passes
 /// its warm table so repeated requests skip the per-call cover rebuild.
 /// Results are identical either way (covers are a pure function of the
-/// bound extensions and the answer set).
+/// bound extensions and the answer set). `lattice`, when non-null, is a
+/// (possibly still unbuilt) LatticeHandle over the same binding, consulted
+/// only when the strategy resolves to the frontier path; results are
+/// identical to a locally built lattice.
 Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
     const ExhaustiveOptions& options = {},
-    ConceptAnswerCovers* covers = nullptr);
+    ConceptAnswerCovers* covers = nullptr, LatticeHandle* lattice = nullptr);
 
 /// Optimized variant of Algorithm 1 used as an ablation baseline: maintains
 /// the maximal antichain incrementally while enumerating (instead of
 /// generating all explanations first and filtering pairwise afterwards) and
 /// skips candidates already dominated. Produces exactly the same set as
-/// ExhaustiveSearchAllMge. Same `covers` contract as above.
+/// ExhaustiveSearchAllMge. Same `covers` and `lattice` contracts as above.
 Result<std::vector<Explanation>> PrunedSearchAllMge(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
     const ExhaustiveOptions& options = {},
-    ConceptAnswerCovers* covers = nullptr);
+    ConceptAnswerCovers* covers = nullptr, LatticeHandle* lattice = nullptr);
 
 }  // namespace whynot::explain
 

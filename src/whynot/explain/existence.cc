@@ -22,7 +22,8 @@ constexpr size_t kMinParallelAndWords = 4096;
 class Search {
  public:
   Search(onto::BoundOntology* bound, const WhyNotInstance& wni,
-         const ExistenceOptions& options, ConceptAnswerCovers* covers)
+         const ExistenceOptions& options, ConceptAnswerCovers* covers,
+         LatticeHandle* lattice)
       : options_(options), covers_(covers) {
     if (covers_ == nullptr) {
       local_covers_.emplace(bound, InternAnswers(bound, wni));
@@ -33,6 +34,24 @@ class Search {
     for (size_t i = 0; i < m_; ++i) {
       ValueId id = bound->pool().Intern(wni.missing[i]);
       candidates_[i] = bound->ConceptsContaining(id);
+    }
+    if (options.strategy == SearchStrategy::kLattice) {
+      // Keep only ≼-minimal candidates per position: a minimal concept's
+      // cover narrows the alive set at least as much as anything above
+      // it, so an explanation exists iff one over minimal concepts does.
+      // The restriction preserves per-position candidate order, so the
+      // traversal stays deterministic — but the witness can differ from
+      // the unrestricted backtracker's.
+      std::unique_ptr<LatticeHandle> local_lattice;
+      LatticeHandle* h = lattice;
+      if (h == nullptr) {
+        local_lattice = std::make_unique<LatticeHandle>(bound);
+        h = local_lattice.get();
+      }
+      const ConceptLattice& lat = h->Get();
+      for (size_t i = 0; i < m_; ++i) {
+        candidates_[i] = lat.MinimalOf(candidates_[i]);
+      }
     }
     chosen_.resize(m_);
   }
@@ -145,8 +164,9 @@ Result<bool> ExistsExplanation(onto::BoundOntology* bound,
                                const WhyNotInstance& wni,
                                Explanation* witness,
                                const ExistenceOptions& options,
-                               ConceptAnswerCovers* covers) {
-  Search search(bound, wni, options, covers);
+                               ConceptAnswerCovers* covers,
+                               LatticeHandle* lattice) {
+  Search search(bound, wni, options, covers, lattice);
   return search.Run(witness);
 }
 

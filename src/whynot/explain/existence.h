@@ -5,6 +5,7 @@
 
 #include "whynot/common/status.h"
 #include "whynot/explain/explanation.h"
+#include "whynot/explain/lattice.h"
 
 namespace whynot::explain {
 
@@ -12,6 +13,15 @@ struct ExistenceOptions {
   /// Cap on backtracking search nodes (the problem is NP-complete in
   /// general, Theorem 5.1.2).
   size_t max_nodes = 50000000;
+  /// kLattice restricts every position's candidate list to its ≼-minimal
+  /// concepts before backtracking — sound for the existence *boolean*
+  /// (an explanation using any concept dominates one using a ≼-minimal
+  /// concept below it, and avoidance is ≼-downward closed), and often an
+  /// exponential node-count cut on deep hierarchies. The witness may
+  /// differ from the default's, which is why the default (kAuto, equal to
+  /// kOdometer here) keeps the plain backtracker: one-shot callers pin
+  /// its witness.
+  SearchStrategy strategy = SearchStrategy::kAuto;
 };
 
 /// EXISTENCE-OF-EXPLANATION (Definition 5.2): does any explanation for
@@ -22,11 +32,14 @@ struct ExistenceOptions {
 /// `covers`, when non-null, must be the answer-cover table of
 /// (bound, InternAnswers(bound, wni)) (a prepared ExplainSession's warm
 /// table); the traversal, witness, and node counts are identical.
+/// `lattice` follows the ExhaustiveSearchAllMge contract and is consulted
+/// only under ExistenceOptions::strategy == kLattice.
 Result<bool> ExistsExplanation(onto::BoundOntology* bound,
                                const WhyNotInstance& wni,
                                Explanation* witness = nullptr,
                                const ExistenceOptions& options = {},
-                               ConceptAnswerCovers* covers = nullptr);
+                               ConceptAnswerCovers* covers = nullptr,
+                               LatticeHandle* lattice = nullptr);
 
 }  // namespace whynot::explain
 

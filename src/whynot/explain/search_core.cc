@@ -1,11 +1,246 @@
 #include "whynot/explain/search_core.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "whynot/common/dense_bitmap.h"
 
 namespace whynot::explain {
+
+namespace {
+
+/// FNV-1a over the frontier node's list indices (the visited-set key).
+struct NodeHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+/// One query position's view of the lattice: the candidate list as a
+/// concept-id bitmap, its ≼-maximal members (the frontier tops), and the
+/// lazily memoized induced cover-children of every expanded member —
+/// the ≼-maximal elements of (strict-downset ∩ list). Children are only
+/// ever computed for concepts the walk actually expands, so the cost is
+/// proportional to the explored frontier, not |list|².
+class PositionFrontier {
+ public:
+  void Init(const ConceptLattice* lattice,
+            const std::vector<onto::ConceptId>* list) {
+    lattice_ = lattice;
+    list_ = list;
+    size_t nwords = lattice->words_per_row();
+    list_words_.assign(nwords, 0);
+    to_index_.assign(static_cast<size_t>(lattice->num_concepts()), -1);
+    for (size_t i = 0; i < list->size(); ++i) {
+      size_t c = static_cast<size_t>((*list)[i]);
+      list_words_[c / 64] |= uint64_t{1} << (c % 64);
+      to_index_[c] = static_cast<int32_t>(i);
+    }
+    tops_ = lattice->MaximalOf(*list);
+  }
+
+  const std::vector<uint32_t>& tops() const { return tops_; }
+
+  const std::vector<uint32_t>& Children(uint32_t li) {
+    auto it = children_.find(li);
+    if (it != children_.end()) return it->second;
+    size_t nwords = list_words_.size();
+    scratch_.resize(nwords);
+    const uint64_t* down = lattice_->StrictDownWords((*list_)[li]);
+    for (size_t w = 0; w < nwords; ++w) {
+      scratch_[w] = down[w] & list_words_[w];
+    }
+    std::vector<uint32_t> kids;
+    for (size_t w = 0; w < nwords; ++w) {
+      uint64_t word = scratch_[w];
+      while (word != 0) {
+        size_t c = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+        word &= word - 1;
+        // A member of the restricted downset is a cover-child iff nothing
+        // of the restricted downset sits strictly above it.
+        if (!ConceptAnswerCovers::AnyAnd(
+                scratch_,
+                lattice_->StrictUpWords(static_cast<onto::ConceptId>(c)))) {
+          kids.push_back(static_cast<uint32_t>(to_index_[c]));
+        }
+      }
+    }
+    return children_.emplace(li, std::move(kids)).first->second;
+  }
+
+ private:
+  const ConceptLattice* lattice_ = nullptr;
+  const std::vector<onto::ConceptId>* list_ = nullptr;
+  std::vector<uint64_t> list_words_;
+  std::vector<int32_t> to_index_;
+  std::vector<uint32_t> tops_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> children_;
+  std::vector<uint64_t> scratch_;
+};
+
+}  // namespace
+
+Status LatticeFilterSpace(
+    const CandidateSpace& space, const ConceptLattice& lattice,
+    const std::vector<std::vector<onto::ConceptId>>& lists, size_t max_tested,
+    const LatticeFrontierHooks& hooks, PruneStats* stats) {
+  PruneStats ps;
+  size_t m = space.arity();
+  if (m == 0 || (!space.overflow() && space.total() == 0)) return Status::OK();
+
+  auto exhausted = [] {
+    return Status::ResourceExhausted(
+        "dominance-pruned enumeration exceeded max_candidates even after "
+        "downset pruning (the frontier of tested products is itself "
+        "exponential in the query arity, Theorem 5.2)");
+  };
+
+  std::vector<PositionFrontier> pos(m);
+  for (size_t i = 0; i < m; ++i) pos[i].Init(&lattice, &lists[i]);
+
+  // ≼ on whole products, in list-index space.
+  auto leq_prod = [&](const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+    for (size_t i = 0; i < m; ++i) {
+      if (a[i] != b[i] && !lattice.Leq(lists[i][a[i]], lists[i][b[i]])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto strictly_below = [&](const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b) {
+    return leq_prod(a, b) && !leq_prod(b, a);
+  };
+
+  // Wave 0: the product of per-position tops, generated in linearization
+  // order by a mini odometer. Budget-checked during generation — a flat
+  // lattice degenerates to the full product right here.
+  std::vector<std::vector<uint32_t>> frontier;
+  {
+    std::vector<size_t> ti(m, 0);
+    std::vector<uint32_t> node(m);
+    for (;;) {
+      if (frontier.size() >= max_tested) return exhausted();
+      for (size_t i = 0; i < m; ++i) node[i] = pos[i].tops()[ti[i]];
+      frontier.push_back(node);
+      size_t i = 0;
+      while (i < m && ++ti[i] == pos[i].tops().size()) {
+        ti[i] = 0;
+        ++i;
+      }
+      if (i == m) break;
+    }
+  }
+  std::unordered_set<std::vector<uint32_t>, NodeHash> visited(frontier.begin(),
+                                                              frontier.end());
+
+  std::vector<std::vector<uint32_t>> kept;
+  auto dominated_by_kept = [&](const std::vector<uint32_t>& node) {
+    for (const auto& k : kept) {
+      if (strictly_below(node, k)) return true;
+    }
+    return false;
+  };
+
+  std::vector<uint8_t> passed;
+  std::vector<size_t> scratch_idx(m);
+  auto to_idx = [&](const std::vector<uint32_t>& node) -> decltype(auto) {
+    for (size_t i = 0; i < m; ++i) scratch_idx[i] = node[i];
+    return (scratch_idx);
+  };
+
+  std::vector<std::vector<uint32_t>> next;
+  while (!frontier.empty()) {
+    ++ps.waves;
+    if (max_tested - ps.products_enumerated < frontier.size()) {
+      return exhausted();
+    }
+    passed.assign(frontier.size(), 0);
+    if (par::NumThreads() > 1) {
+      par::ParallelFor(frontier.size(), 16, [&](size_t begin, size_t end) {
+        std::vector<size_t> idx(m);
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t p = 0; p < m; ++p) idx[p] = frontier[i][p];
+          passed[i] = hooks.pred(idx) ? 1 : 0;
+        }
+      });
+    } else {
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        passed[i] = hooks.pred(to_idx(frontier[i])) ? 1 : 0;
+      }
+    }
+    ps.products_enumerated += frontier.size();
+
+    // Serial wave merge, in linearization order (the wave is sorted).
+    next.clear();
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      const std::vector<uint32_t>& node = frontier[i];
+      if (passed[i]) {
+        if (hooks.on_pass) hooks.on_pass(to_idx(node));
+        // ≼-maximal antichain maintenance. A passing node can arrive
+        // already dominated (its dominator was kept after this node was
+        // generated) or can dominate earlier keeps reached through a
+        // shorter cover chain.
+        if (dominated_by_kept(node)) {
+          ++ps.downset_hits;
+          continue;
+        }
+        kept.erase(std::remove_if(kept.begin(), kept.end(),
+                                  [&](const std::vector<uint32_t>& k) {
+                                    return strictly_below(k, node);
+                                  }),
+                   kept.end());
+        kept.push_back(node);
+        continue;
+      }
+      if (hooks.expand && !hooks.expand(to_idx(node))) continue;
+      for (size_t p = 0; p < m; ++p) {
+        for (uint32_t child_li : pos[p].Children(node[p])) {
+          std::vector<uint32_t> child = node;
+          child[p] = child_li;
+          if (visited.size() >= max_tested) return exhausted();
+          if (!visited.insert(child).second) continue;
+          if (dominated_by_kept(child)) {
+            ++ps.downset_hits;
+            continue;
+          }
+          next.push_back(std::move(child));
+        }
+      }
+    }
+    std::sort(next.begin(), next.end(), LinearOrderLess<std::vector<uint32_t>>);
+    frontier.swap(next);
+  }
+
+  // Replay the surviving antichain serially, in the serial odometer's
+  // order — exactly where ParallelFilterSpace would have consumed them.
+  std::sort(kept.begin(), kept.end(), LinearOrderLess<std::vector<uint32_t>>);
+  for (const auto& node : kept) {
+    if (!hooks.consume(to_idx(node))) break;
+  }
+
+  ps.products_skipped =
+      space.overflow() ? SIZE_MAX : space.total() - ps.products_enumerated;
+  if (stats != nullptr) {
+    stats->products_enumerated += ps.products_enumerated;
+    stats->downset_hits += ps.downset_hits;
+    stats->waves += ps.waves;
+    stats->products_skipped =
+        ps.products_skipped == SIZE_MAX ||
+                SIZE_MAX - stats->products_skipped < ps.products_skipped
+            ? SIZE_MAX
+            : stats->products_skipped + ps.products_skipped;
+  }
+  return Status::OK();
+}
 
 CoverTable::CoverTable(ConceptAnswerCovers* covers,
                        const std::vector<std::vector<onto::ConceptId>>& lists)

@@ -17,6 +17,7 @@
 #include "whynot/common/status.h"
 #include "whynot/explain/answer_cover.h"
 #include "whynot/explain/candidate_space.h"
+#include "whynot/explain/lattice.h"
 #include "whynot/ontology/ontology.h"
 
 namespace whynot::explain {
@@ -143,6 +144,58 @@ Status ParallelFilterSpace(const CandidateSpace& space, Pred&& pred,
                              std::forward<Consume>(consume),
                              [](const std::vector<size_t>&) { return false; });
 }
+
+/// Hooks of the dominance-pruned frontier enumeration. `pred` and
+/// `consume` have exactly the ParallelFilterSpace contract (pure sharded
+/// predicate, serial consumption); the optional pair exists for the
+/// branch-and-bound form of the cardinality search:
+///  * `on_pass(idx)` runs serially, in deterministic wave-merge order, on
+///    every candidate the predicate admitted — including ones a kept
+///    survivor later dominates — so callers can maintain a running bound
+///    over *passing* products;
+///  * `expand(idx)` runs on every failing candidate; returning false
+///    prunes its entire downset without generating children. Sound only
+///    when whatever the caller optimizes is monotone along ≼ (a subtree
+///    of a failing product can never beat a bound its root cannot).
+///
+/// std::function rather than templates: these run once per *frontier
+/// node*, not once per raw candidate, and the enumerator's out-of-line
+/// implementation keeps this header light.
+struct LatticeFrontierHooks {
+  std::function<bool(const std::vector<size_t>&)> pred;
+  std::function<bool(const std::vector<size_t>&)> consume;
+  std::function<void(const std::vector<size_t>&)> on_pass;
+  std::function<bool(const std::vector<size_t>&)> expand;
+};
+
+/// The dominance-pruned counterpart of ParallelFilterSpace: walks the
+/// candidate product most-general-first along the effective order ≼ of
+/// `lattice`, one frontier wave at a time. Candidates whose predicate
+/// holds (the answer-cover AND came up empty — the tuple IS an
+/// explanation, or the why dual's containment holds) are collected into a
+/// ≼-maximal antichain and their downsets are never generated — sound
+/// because extensions shrink monotonically along ≼, so both conditions
+/// are downward closed. Candidates that fail are expanded one
+/// componentwise cover-step at a time, which reaches every maximal
+/// passing product (failure propagates upward along any cover chain).
+///
+/// Output protocol: predicate evaluation shards each wave across the
+/// pool; wave merge, antichain maintenance, and child generation are
+/// serial over the wave in linearization order; the surviving antichain
+/// is replayed through `consume` in linearization order
+/// (LinearOrderLess) at the end. On a consistent binding ≼ equals ⊑ and
+/// the consumed sequence is bit-identical to what ParallelFilterSpace
+/// feeds the same consume — at every thread count.
+///
+/// `max_tested` budgets predicate evaluations (the lattice counterpart of
+/// the odometer's raw-product budget); exceeding it returns
+/// ResourceExhausted. Counters accumulate into `stats` when non-null.
+Status LatticeFilterSpace(const CandidateSpace& space,
+                          const ConceptLattice& lattice,
+                          const std::vector<std::vector<onto::ConceptId>>& lists,
+                          size_t max_tested,
+                          const LatticeFrontierHooks& hooks,
+                          PruneStats* stats);
 
 /// Sharded first-outcome sweep over [0, n): `body(worker, i)` either
 /// returns std::nullopt ("nothing decided at i, keep scanning") or an

@@ -29,6 +29,11 @@ struct ExplainSession::State {
   std::unique_ptr<onto::BoundOntology> bound;
   std::unique_ptr<ConceptAnswerCovers> covers;      // avoidance form
   std::unique_ptr<ConceptAnswerCovers> why_covers;  // counting (why dual)
+  // Shared Hasse/downset state for the dominance-pruned searches. The
+  // handle is lazy: Bind stays O(covers) and the O(|concepts|²) lattice
+  // build runs only the first time a request actually escalates to the
+  // frontier, after which every search on this binding reuses it.
+  std::unique_ptr<LatticeHandle> lattice;
 
   // Derived-ontology (OI) warm state, shared across every request: the
   // lub context's canonical boxes, the eval cache's extension memo (whose
@@ -116,6 +121,7 @@ Status ExplainSession::Rewarm() {
 
   s.covers.reset();
   s.why_covers.reset();
+  s.lattice.reset();
   s.bound.reset();
   if (s.ontology != nullptr) {
     s.bound = std::make_unique<onto::BoundOntology>(s.ontology, s.instance);
@@ -124,6 +130,7 @@ Status ExplainSession::Rewarm() {
         s.bound.get(), InternAnswers(s.bound.get(), s.wni));
     s.why_covers = std::make_unique<ConceptAnswerCovers>(
         s.bound.get(), InternedUniqueAnswers(s.bound.get(), s.wi));
+    s.lattice = std::make_unique<LatticeHandle>(s.bound.get());
   }
   s.version = s.instance->version();
   return Status::OK();
@@ -241,7 +248,7 @@ Result<std::vector<Explanation>> ExplainSession::ExhaustiveMges(
   WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
   return ExhaustiveSearchAllMge(s.bound.get(), s.wni, s.options.exhaustive,
-                                s.covers.get());
+                                s.covers.get(), s.lattice.get());
 }
 
 Result<std::vector<Explanation>> ExplainSession::PrunedMges(
@@ -250,7 +257,7 @@ Result<std::vector<Explanation>> ExplainSession::PrunedMges(
   WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
   return PrunedSearchAllMge(s.bound.get(), s.wni, s.options.exhaustive,
-                            s.covers.get());
+                            s.covers.get(), s.lattice.get());
 }
 
 Result<bool> ExplainSession::Exists(const Tuple& missing,
@@ -259,7 +266,7 @@ Result<bool> ExplainSession::Exists(const Tuple& missing,
   WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
   return ExistsExplanation(s.bound.get(), s.wni, witness, s.options.existence,
-                           s.covers.get());
+                           s.covers.get(), s.lattice.get());
 }
 
 Result<std::optional<CardinalityResult>> ExplainSession::CardMaximal(
@@ -268,7 +275,7 @@ Result<std::optional<CardinalityResult>> ExplainSession::CardMaximal(
   WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
   return ExactCardMaximal(s.bound.get(), s.wni, s.options.exhaustive,
-                          s.covers.get());
+                          s.covers.get(), s.lattice.get());
 }
 
 Result<std::optional<CardinalityResult>> ExplainSession::GreedyCard(
@@ -292,9 +299,10 @@ Result<std::vector<Explanation>> ExplainSession::WhyMges(
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
   WHYNOT_RETURN_IF_ERROR(Prepare(present, /*expect_answer=*/true));
   State& s = *state_;
-  return AllMostGeneralWhyExplanations(s.bound.get(), s.wi,
-                                       s.options.exhaustive.max_candidates,
-                                       s.why_covers.get());
+  return AllMostGeneralWhyExplanations(
+      s.bound.get(), s.wi, s.options.exhaustive.max_candidates,
+      s.why_covers.get(), s.options.exhaustive.strategy, s.lattice.get(),
+      s.options.exhaustive.prune_stats);
 }
 
 }  // namespace whynot::explain

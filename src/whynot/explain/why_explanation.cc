@@ -110,7 +110,8 @@ Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
 
 Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     onto::BoundOntology* bound, const WhyInstance& wi, size_t max_candidates,
-    ConceptAnswerCovers* covers) {
+    ConceptAnswerCovers* covers, SearchStrategy strategy,
+    LatticeHandle* lattice, PruneStats* prune_stats) {
   size_t m = wi.arity();
   std::vector<std::vector<onto::ConceptId>> lists(m);
   for (size_t i = 0; i < m; ++i) {
@@ -124,7 +125,14 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     covers = &*local;
   }
   CandidateSpace space(lists);
-  if (space.overflow() || space.total() > max_candidates) {
+  // "product ⊆ Ans" is ≼-downward closed just like avoidance (a smaller
+  // product stays inside Ans), so the strategy dispatch is the
+  // exhaustive search's verbatim.
+  std::unique_ptr<LatticeHandle> local_lattice;
+  LatticeChoice choice = ChooseStrategy(strategy, space, max_candidates, bound,
+                                        lattice, &local_lattice);
+  if (!choice.use_lattice &&
+      (space.overflow() || space.total() > max_candidates)) {
     return Status::ResourceExhausted(
         "why-explanation enumeration exceeded max_candidates");
   }
@@ -137,11 +145,13 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
   // kept explanation dominates is dropped at the replay (domination is
   // checked before insertion), so the antichain is exactly the serial
   // reference's. The table resolves covers for *every* list concept up
-  // front — worth it only when workers will hammer it; the serial path
-  // keeps the lazy per-probe covers (most candidates never get probed
-  // past the domination prefilter below).
+  // front — worth it only when workers will hammer it; the serial
+  // odometer path keeps the lazy per-probe covers (most candidates never
+  // get probed past the domination prefilter below). The frontier path
+  // always resolves the table: its predicate shards per wave regardless
+  // of thread count.
   std::optional<CoverTable> table;
-  if (par::NumThreads() > 1) {
+  if (choice.use_lattice || par::NumThreads() > 1) {
     table.emplace(covers, lists);
     table->ResolveSizes(bound, lists);
   }
@@ -154,33 +164,41 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     }
     return false;
   };
-  WHYNOT_RETURN_IF_ERROR(ParallelFilterSpace(
-      space,
-      [&](const std::vector<size_t>& idx) {
-        if (table.has_value()) return table->ProductInsideAt(idx);
-        for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-        return ProductInsideAnswers(bound, current, covers);
-      },
-      [&](const std::vector<size_t>& idx) {
-        for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-        if (dominated(current)) return true;
-        antichain.erase(
-            std::remove_if(antichain.begin(), antichain.end(),
-                           [&](const Explanation& kept) {
-                             return StrictlyLessGeneral(*bound, kept, current);
-                           }),
-            antichain.end());
-        antichain.push_back(current);
-        return true;
-      },
-      // Serial prefilter: the domination check is two subsumption matrix
-      // probes against a short antichain — far cheaper than the counting
-      // containment test it saves (the parallel path filters first and
-      // re-checks domination at the replay above, same output).
-      [&](const std::vector<size_t>& idx) {
-        for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
-        return dominated(current);
-      }));
+  auto pred = [&](const std::vector<size_t>& idx) {
+    if (table.has_value()) return table->ProductInsideAt(idx);
+    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+    return ProductInsideAnswers(bound, current, covers);
+  };
+  auto consume = [&](const std::vector<size_t>& idx) {
+    for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+    if (dominated(current)) return true;
+    antichain.erase(
+        std::remove_if(antichain.begin(), antichain.end(),
+                       [&](const Explanation& kept) {
+                         return StrictlyLessGeneral(*bound, kept, current);
+                       }),
+        antichain.end());
+    antichain.push_back(current);
+    return true;
+  };
+  if (choice.use_lattice) {
+    LatticeFrontierHooks hooks;
+    hooks.pred = pred;
+    hooks.consume = consume;
+    WHYNOT_RETURN_IF_ERROR(LatticeFilterSpace(
+        space, *choice.lattice, lists, max_candidates, hooks, prune_stats));
+  } else {
+    WHYNOT_RETURN_IF_ERROR(ParallelFilterSpace(
+        space, pred, consume,
+        // Serial prefilter: the domination check is two subsumption matrix
+        // probes against a short antichain — far cheaper than the counting
+        // containment test it saves (the parallel path filters first and
+        // re-checks domination at the replay above, same output).
+        [&](const std::vector<size_t>& idx) {
+          for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
+          return dominated(current);
+        }));
+  }
   std::sort(antichain.begin(), antichain.end());
   return antichain;
 }

@@ -6,6 +6,7 @@
 #include "whynot/common/status.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
+#include "whynot/explain/lattice.h"
 
 namespace whynot::explain {
 
@@ -51,10 +52,17 @@ Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
 /// All most-general why-explanations, by the Algorithm 1 scheme (enumerate
 /// candidates per position, keep product-inside-answers tuples, reduce to
 /// the maximal antichain). Same complexity envelope as Theorem 5.2, and
-/// the same `covers` contract as IsWhyExplanation.
+/// the same `covers` contract as IsWhyExplanation. The containment
+/// condition is ≼-downward closed exactly like avoidance, so the search
+/// dispatches through the same strategy machinery as
+/// ExhaustiveSearchAllMge: `strategy`/`lattice`/`prune_stats` follow the
+/// ExhaustiveOptions contracts, and the frontier path returns the
+/// identical antichain.
 Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     onto::BoundOntology* bound, const WhyInstance& wi,
-    size_t max_candidates = 20000000, ConceptAnswerCovers* covers = nullptr);
+    size_t max_candidates = 20000000, ConceptAnswerCovers* covers = nullptr,
+    SearchStrategy strategy = SearchStrategy::kAuto,
+    LatticeHandle* lattice = nullptr, PruneStats* prune_stats = nullptr);
 
 // --- Why-explanations w.r.t. the derived ontology OI ----------------------
 

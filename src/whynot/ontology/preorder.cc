@@ -74,31 +74,56 @@ int32_t ClassRep(const BoolMatrix& closure, int32_t i) {
   return rep;
 }
 
+/// Any set bit in rows a AND b.
+bool AnyRowAnd(const uint64_t* a, const uint64_t* b, size_t nwords) {
+  for (size_t w = 0; w < nwords; ++w) {
+    if (a[w] & b[w]) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+std::vector<int32_t> EquivalenceClassReps(const BoolMatrix& closure) {
+  int32_t n = closure.size();
+  std::vector<int32_t> rep(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    rep[static_cast<size_t>(i)] = ClassRep(closure, i);
+  }
+  return rep;
+}
 
 std::vector<std::pair<int32_t, int32_t>> HasseEdges(const BoolMatrix& closure) {
   int32_t n = closure.size();
-  std::vector<int32_t> rep(static_cast<size_t>(n));
-  for (int32_t i = 0; i < n; ++i) rep[static_cast<size_t>(i)] = ClassRep(closure, i);
+  std::vector<int32_t> rep = EquivalenceClassReps(closure);
+  // Materialize the strict order as row bitmaps in both directions: row i
+  // of `strict_up` is {k : i ⊏ k}, row j of `strict_down` is {k : k ⊏ j}.
+  // A strict pair (i, j) is then a cover edge iff strict_up(i) and
+  // strict_down(j) share no element — one word-parallel AND-any instead
+  // of the scalar k-scan, and intermediates that are non-representatives
+  // witness exactly when their representative does, so no rep filtering
+  // is needed inside the test.
+  BoolMatrix strict_up(n), strict_down(n);
+  for (int32_t i = 0; i < n; ++i) {
+    ForEachInRow(closure, i, [&](int32_t j) {
+      if (i != j && !closure.Get(j, i)) {
+        strict_up.Set(i, j);
+        strict_down.Set(j, i);
+      }
+      return true;
+    });
+  }
   std::vector<std::pair<int32_t, int32_t>> edges;
   for (int32_t i = 0; i < n; ++i) {
     if (rep[static_cast<size_t>(i)] != i) continue;
-    for (int32_t j = 0; j < n; ++j) {
-      if (i == j || rep[static_cast<size_t>(j)] != j) continue;
-      if (!closure.Get(i, j) || closure.Get(j, i)) continue;
-      // Check there is no intermediate class strictly between i and j.
-      bool covered = true;
-      for (int32_t k = 0; k < n; ++k) {
-        if (k == i || k == j || rep[static_cast<size_t>(k)] != k) continue;
-        bool i_below_k = closure.Get(i, k) && !closure.Get(k, i);
-        bool k_below_j = closure.Get(k, j) && !closure.Get(j, k);
-        if (i_below_k && k_below_j) {
-          covered = false;
-          break;
-        }
+    ForEachInRow(strict_up, i, [&](int32_t j) {
+      if (rep[static_cast<size_t>(j)] != j) return true;
+      if (!AnyRowAnd(strict_up.RowWords(i), strict_down.RowWords(j),
+                     closure.words_per_row())) {
+        edges.emplace_back(i, j);
       }
-      if (covered) edges.emplace_back(i, j);
-    }
+      return true;
+    });
   }
   return edges;
 }

@@ -76,10 +76,18 @@ class BoolMatrix {
 /// cell operations of the scalar algorithm.
 void ReflexiveTransitiveClosure(BoolMatrix* m);
 
+/// Representative (smallest id) of every element's equivalence class
+/// under ⊑∩⊒. Shared by the Hasse reduction and the DOT export so both
+/// agree on which member names a class.
+std::vector<int32_t> EquivalenceClassReps(const BoolMatrix& closure);
+
 /// The Hasse reduction of a *partial order* closure: edges (i, j) with
 /// i ⊑ j, i ≠ j, and no k ∉ {i, j} with i ⊑ k ⊑ j. For pre-orders,
 /// equivalent elements are first grouped; edges are between class
-/// representatives (smallest id).
+/// representatives (smallest id). Runs word-parallel: the strict relation
+/// is materialized as row/column bitmaps once, after which each cover
+/// test is a single AND-any between a strict-upset and a strict-downset
+/// row instead of an O(n) scalar scan per candidate pair.
 std::vector<std::pair<int32_t, int32_t>> HasseEdges(const BoolMatrix& closure);
 
 /// Indices that are maximal in the pre-order: no j with i ⊑ j and not j ⊑ i.

@@ -29,20 +29,12 @@ std::string OntologyToDot(onto::BoundOntology* bound,
     }
   }
 
-  // Group ⊑-equivalent concepts; the class representative is the smallest
-  // id (matching HasseEdges).
+  // Group ⊑-equivalent concepts under the shared representative choice
+  // (smallest id — the same classes HasseEdges connects).
   std::map<int32_t, std::vector<int32_t>> classes;
-  std::vector<int32_t> rep(static_cast<size_t>(n));
+  std::vector<int32_t> rep = onto::EquivalenceClassReps(closure);
   for (int32_t i = 0; i < n; ++i) {
-    int32_t r = i;
-    for (int32_t j = 0; j < i; ++j) {
-      if (closure.Get(i, j) && closure.Get(j, i)) {
-        r = rep[static_cast<size_t>(j)];
-        break;
-      }
-    }
-    rep[static_cast<size_t>(i)] = r;
-    classes[r].push_back(i);
+    classes[rep[static_cast<size_t>(i)]].push_back(i);
   }
 
   std::set<onto::ConceptId> highlighted(options.highlight.begin(),

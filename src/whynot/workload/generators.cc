@@ -60,6 +60,73 @@ Result<std::unique_ptr<onto::ExplicitOntology>> RandomTreeOntology(
   return onto;
 }
 
+Result<std::unique_ptr<onto::ExplicitOntology>> RandomLatticeOntology(
+    const std::vector<Value>& domain, const std::vector<Value>& pinned,
+    const LatticeOntologyOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  auto onto = std::make_unique<onto::ExplicitOntology>();
+  auto is_pinned = [&](const Value& v) {
+    return std::find(pinned.begin(), pinned.end(), v) != pinned.end();
+  };
+
+  // Level 0: the all-containing root. previous/current hold one level of
+  // extensions; indices are level-local.
+  onto->AddConcept("D0_0");
+  onto->SetExtension("D0_0", domain);
+  std::vector<std::vector<Value>> previous = {domain};
+  std::vector<std::string> previous_names = {"D0_0"};
+
+  for (int level = 1; level <= options.depth; ++level) {
+    std::vector<std::vector<Value>> current;
+    std::vector<std::string> current_names;
+    for (int i = 0; i < options.width; ++i) {
+      // Distinct parents from the level above (all of it, when the level
+      // is narrower than the requested fan-in).
+      std::vector<size_t> parent_idx;
+      while (parent_idx.size() <
+             std::min(static_cast<size_t>(options.parents), previous.size())) {
+        size_t p = rng.Below(previous.size());
+        if (std::find(parent_idx.begin(), parent_idx.end(), p) ==
+            parent_idx.end()) {
+          parent_idx.push_back(p);
+        }
+      }
+      // Extension: the parents' intersection, thinned value-wise. Pinned
+      // values survive unconditionally — inductively they are in every
+      // parent, so inclusion in each parent's extension (what makes the
+      // declared subsumptions consistent) is preserved.
+      std::vector<Value> ext;
+      for (const Value& v : previous[parent_idx[0]]) {
+        bool in_all = true;
+        for (size_t k = 1; k < parent_idx.size(); ++k) {
+          const std::vector<Value>& other = previous[parent_idx[k]];
+          if (std::find(other.begin(), other.end(), v) == other.end()) {
+            in_all = false;
+            break;
+          }
+        }
+        if (!in_all) continue;
+        if (is_pinned(v) || rng.Chance(options.keep_num, options.keep_den)) {
+          ext.push_back(v);
+        }
+      }
+      std::string name =
+          "D" + std::to_string(level) + "_" + std::to_string(i);
+      onto->AddConcept(name);
+      for (size_t p : parent_idx) {
+        onto->AddSubsumption(name, previous_names[p]);
+      }
+      onto->SetExtension(name, ext);
+      current.push_back(std::move(ext));
+      current_names.push_back(std::move(name));
+    }
+    previous = std::move(current);
+    previous_names = std::move(current_names);
+  }
+  WHYNOT_RETURN_IF_ERROR(onto->Finalize());
+  return onto;
+}
+
 dl::TBox RandomTBox(int num_concepts, int num_roles, int num_axioms,
                     uint64_t seed, int negative_percent) {
   Rng rng(seed);

@@ -58,6 +58,33 @@ Result<rel::Instance> RandomInstance(const rel::Schema* schema,
 Result<std::unique_ptr<onto::ExplicitOntology>> RandomTreeOntology(
     const std::vector<Value>& domain, int num_concepts, uint64_t seed);
 
+/// Shape of a RandomLatticeOntology: a layered DAG `depth` levels deep
+/// below an all-containing root, `width` concepts per level, each drawing
+/// `parents` subsumers from the level above (multi-parent, so the Hasse
+/// diagram is a genuine lattice-like DAG, not a tree). A child's extension
+/// is the intersection of its parents' extensions thinned value-wise with
+/// probability keep_num/keep_den — the shrink rate that controls how fast
+/// extensions (and with them explanation opportunities) decay with depth.
+struct LatticeOntologyOptions {
+  int depth = 16;
+  int width = 8;
+  int parents = 2;
+  uint64_t keep_num = 9;
+  uint64_t keep_den = 10;
+};
+
+/// A random deep layered ontology over `domain`, consistent with every
+/// instance by construction (declared subsumptions always come with
+/// extension inclusion). Values in `pinned` are exempt from thinning, so
+/// every concept of the lattice contains them: a why-not tuple over
+/// pinned values gets the *entire* lattice as its per-position candidate
+/// list, which is exactly the deep-and-wide candidate product the
+/// dominance-pruned frontier benchmarks need. Concept names are
+/// "D<level>_<index>" with root "D0_0".
+Result<std::unique_ptr<onto::ExplicitOntology>> RandomLatticeOntology(
+    const std::vector<Value>& domain, const std::vector<Value>& pinned,
+    const LatticeOntologyOptions& options, uint64_t seed);
+
 /// A random DL-LiteR TBox over `num_concepts` atomic concepts and
 /// `num_roles` atomic roles with `num_axioms` axioms; a fraction of the
 /// axioms are negative inclusions.

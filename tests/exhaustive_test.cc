@@ -108,6 +108,9 @@ TEST_F(ExhaustiveTest, OutputsAreExplanationsAndAntichain) {
 TEST_F(ExhaustiveTest, CandidateCapReported) {
   explain::ExhaustiveOptions options;
   options.max_candidates = 3;
+  // Pin the odometer: this test is about the raw-product budget check
+  // (kAuto would escalate an over-budget space to the frontier instead).
+  options.strategy = explain::SearchStrategy::kOdometer;
   Result<std::vector<Explanation>> r =
       explain::ExhaustiveSearchAllMge(bound_.get(), *wni_, options);
   ASSERT_FALSE(r.ok());

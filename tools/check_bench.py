@@ -10,7 +10,16 @@ regression. The pooled speedups (speedup_pooled_vs_baseline) are printed
 for the scaling trajectory but not gated. Also prints the per-benchmark-
 binary median speedup so the perf trajectory is visible in CI logs.
 
-Usage: tools/check_bench.py [bench-json] [--floor 0.85]
+Since PR 6 the lattice-frontier benchmarks export pruning counters
+(raw_product / prune_enumerated / prune_skipped / prune_downset_hits /
+prune_waves). A pruning-effectiveness report is printed for every entry
+carrying them, and entries whose raw candidate product exceeds 10^6 are
+gated on skipping at least --prune-floor (default 0.9) of that product —
+the deep-lattice scenarios only finish exactly because the dominance
+pruning holds, so a collapse in effectiveness is a correctness-adjacent
+regression, not just a slowdown.
+
+Usage: tools/check_bench.py [bench-json] [--floor 0.85] [--prune-floor 0.9]
 """
 
 import argparse
@@ -24,9 +33,12 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", nargs="?",
                         default=str(Path(__file__).resolve().parent.parent /
-                                    "BENCH_PR5.json"))
+                                    "BENCH_PR6.json"))
     parser.add_argument("--floor", type=float, default=0.85,
                         help="fail when any benchmark's speedup is below this")
+    parser.add_argument("--prune-floor", type=float, default=0.9,
+                        help="fail when a >10^6-product lattice benchmark "
+                             "skips less than this fraction of the product")
     args = parser.parse_args()
 
     data = json.load(open(args.bench_json))
@@ -60,6 +72,30 @@ def main() -> int:
         print(f"pooled ({sorted(t for t in threads if t)} threads): median "
               f"speedup {pmed:.2f}x over {len(pooled)} entries [not gated]")
 
+    # Pruning-effectiveness report: every result exporting the PR-6
+    # frontier counters, across both thread flavors (the stats are part of
+    # the deterministic contract, so the flavors should agree).
+    prune_fails = []
+    seen_prune = set()
+    for section in ("benchmarks_1thread", "benchmarks"):
+        for bench, payload in data.get(section, {}).items():
+            for name, r in sorted(payload.get("results", {}).items()):
+                c = r.get("counters", {})
+                if "prune_enumerated" not in c or name in seen_prune:
+                    continue
+                seen_prune.add(name)
+                enumerated = c["prune_enumerated"]
+                skipped = c.get("prune_skipped", 0)
+                raw = c.get("raw_product", enumerated + skipped)
+                total = enumerated + skipped
+                ratio = skipped / total if total else 0.0
+                print(f"pruning {name}: raw_product={raw:.3g} "
+                      f"tested={enumerated:.0f} skipped={skipped:.3g} "
+                      f"({ratio:.2%}), {c.get('prune_waves', 0):.0f} waves, "
+                      f"{c.get('prune_downset_hits', 0):.0f} downset hits")
+                if raw > 1e6 and ratio < args.prune_floor:
+                    prune_fails.append((name, ratio))
+
     regressed = {name: s for name, s in sorted(speedups.items())
                  if s < args.floor}
     if regressed:
@@ -67,6 +103,13 @@ def main() -> int:
               f"{args.floor:.2f}x:", file=sys.stderr)
         for name, s in regressed.items():
             print(f"  {name}: {s:.2f}x", file=sys.stderr)
+        return 1
+    if prune_fails:
+        print(f"\nFAIL: {len(prune_fails)} lattice benchmark(s) skipping "
+              f"less than {args.prune_floor:.0%} of a >10^6 product:",
+              file=sys.stderr)
+        for name, ratio in prune_fails:
+            print(f"  {name}: {ratio:.2%}", file=sys.stderr)
         return 1
     print(f"OK: no tracked benchmark below {args.floor:.2f}x")
     return 0

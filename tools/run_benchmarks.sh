@@ -30,7 +30,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-rel}"
 MIN_TIME="${2:-0.2}"
-PR="${3:-5}"
+PR="${3:-6}"
 OUT="$REPO_ROOT/BENCH_PR${PR}.json"
 BASELINE="${4:-$REPO_ROOT/BENCH_PR$((PR - 1)).json}"
 BENCHES=(bench_table1_subsumption bench_why bench_enumerate
@@ -96,6 +96,17 @@ for bench, data in merged.get("baseline_prev", {}).items():
         baseline_times.setdefault(name, (r["real_time"], r.get("time_unit")))
 
 
+# Non-counter fields of a google-benchmark result row; everything numeric
+# outside this set is a user counter (raw_product, prune_skipped, ...) and
+# is carried into the merged artifact so check_bench.py can report
+# pruning effectiveness.
+STANDARD_FIELDS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+}
+
+
 def load(bench, flavor):
     data = json.load(open(f"{tmp_dir}/{bench}.{flavor}.json"))
     # Aggregate runs report <name>_mean/_median/_stddev/_cv; keep the
@@ -107,8 +118,12 @@ def load(bench, flavor):
             if b.get("aggregate_name") != "median":
                 continue
             name = name[: -len("_median")]
-        results[name] = {"real_time": b["real_time"],
-                         "time_unit": b["time_unit"]}
+        row = {"real_time": b["real_time"], "time_unit": b["time_unit"]}
+        counters = {k: v for k, v in b.items()
+                    if k not in STANDARD_FIELDS and isinstance(v, (int, float))}
+        if counters:
+            row["counters"] = counters
+        results[name] = row
     return data.get("context", {}), results
 
 
