@@ -54,13 +54,8 @@ size_t AndCountScalar(const uint64_t* a, const uint64_t* b, size_t n) {
   return count;
 }
 
-#if defined(WHYNOT_BITMAP_AVX2) || defined(WHYNOT_BITMAP_NEON)
-
-// Below this many words the dispatch overhead and the scalar tail dominate;
-// the word loops above are already a few cycles total.
-constexpr size_t kSimdMinWords = 8;
-
-#endif
+// kSimdMinWords (the dispatch threshold) now lives in dense_bitmap.h next
+// to the other representation constants.
 
 #ifdef WHYNOT_BITMAP_AVX2
 
@@ -211,7 +206,7 @@ size_t AndCountNeon(const uint64_t* a, const uint64_t* b, size_t n) {
 
 // ---- dispatch shim --------------------------------------------------------
 
-bool SubsetOfWords(const uint64_t* a, const uint64_t* b, size_t n) {
+bool SubsetOfWordsDispatch(const uint64_t* a, const uint64_t* b, size_t n) {
 #ifdef WHYNOT_BITMAP_AVX2
   if (n >= kSimdMinWords && HasAvx2()) return SubsetOfAvx2(a, b, n);
 #elif defined(WHYNOT_BITMAP_NEON)
@@ -220,7 +215,8 @@ bool SubsetOfWords(const uint64_t* a, const uint64_t* b, size_t n) {
   return SubsetOfScalar(a, b, n);
 }
 
-void AndWords(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+void AndWordsDispatch(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                      size_t n) {
 #ifdef WHYNOT_BITMAP_AVX2
   if (n >= kSimdMinWords && HasAvx2()) {
     AndAvx2(a, b, out, n);
@@ -279,7 +275,9 @@ DenseBitmap DenseBitmap::AllSet(int32_t n) {
 
 bool DenseBitmap::SubsetOf(const DenseBitmap& other) const {
   size_t common = std::min(words_.size(), other.words_.size());
-  if (!SubsetOfWords(words_.data(), other.words_.data(), common)) return false;
+  if (!SubsetOfWordsDispatch(words_.data(), other.words_.data(), common)) {
+    return false;
+  }
   for (size_t w = common; w < words_.size(); ++w) {
     if (words_[w]) return false;
   }
@@ -288,7 +286,17 @@ bool DenseBitmap::SubsetOf(const DenseBitmap& other) const {
 
 void DenseBitmap::AndWordsInPlace(uint64_t* acc, const uint64_t* words,
                                   size_t n) {
-  AndWords(acc, words, acc, n);
+  AndWordsDispatch(acc, words, acc, n);
+}
+
+void DenseBitmap::AndWordsTo(const uint64_t* a, const uint64_t* b,
+                             uint64_t* out, size_t n) {
+  AndWordsDispatch(a, b, out, n);
+}
+
+bool DenseBitmap::SubsetOfWords(const uint64_t* a, const uint64_t* b,
+                                size_t n) {
+  return SubsetOfWordsDispatch(a, b, n);
 }
 
 size_t DenseBitmap::PopcountWords(const uint64_t* words, size_t n) {
@@ -304,7 +312,7 @@ DenseBitmap DenseBitmap::Intersect(const DenseBitmap& a, const DenseBitmap& b) {
   DenseBitmap out;
   size_t common = std::min(a.words_.size(), b.words_.size());
   out.words_.resize(common);
-  AndWords(a.words_.data(), b.words_.data(), out.words_.data(), common);
+  AndWordsDispatch(a.words_.data(), b.words_.data(), out.words_.data(), common);
   return out;
 }
 

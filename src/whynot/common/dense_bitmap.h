@@ -8,6 +8,30 @@
 
 namespace whynot {
 
+// ---- representation thresholds -------------------------------------------
+//
+// Every layer that chooses between sparse and dense set forms shares these
+// measured constants (they used to live independently in dense_bitmap.cc
+// and ext_set.cc, which is how they drift apart).
+
+/// Minimum word count for the SIMD lanes: below 8 words (512 bits) the
+/// runtime-dispatch overhead plus the scalar tail dominate — the plain word
+/// loop is already a few cycles total. Measured on the PR-1 kernel
+/// microbenches (bench_bitmap) on both AVX2 and NEON hosts.
+inline constexpr size_t kSimdMinWords = 8;
+
+/// Dense-mirror crossover: a dense form costs universe_words * 8 bytes, a
+/// sorted-id array ~4 bytes per element with log-time probes. The PR-1
+/// ExtSet measurements put the size/speed crossover near 8 universe words
+/// per element — sparser than that, dense is pure waste; denser, it is both
+/// smaller and faster.
+inline constexpr size_t kDenseMirrorMaxWordsPerElement = 8;
+
+/// Universes at or below this many words always take the dense form: the
+/// mirror costs at most 128 bytes and probes are one shift+mask, so the
+/// per-element heuristic isn't worth evaluating.
+inline constexpr size_t kDenseMirrorMinWords = 16;
+
 /// A dense bitmap over ValueIds, packed into 64-bit words. The word-parallel
 /// kernel shared by onto::ExtSet and the relational column indexes: Contains
 /// is one shift+mask, SubsetOf and Intersect process 64 ids per instruction.
@@ -63,6 +87,16 @@ class DenseBitmap {
   /// their own word buffers (the explain layer's running cover ANDs).
   static void AndWordsInPlace(uint64_t* acc, const uint64_t* words, size_t n);
 
+  /// Out-of-place word AND through the dispatch: out[i] = a[i] & b[i].
+  /// `out` may alias either input.
+  static void AndWordsTo(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                         size_t n);
+
+  /// Word-parallel containment over raw buffers: no bit of a[0..n) is
+  /// missing from b. The raw-word form of SubsetOf, for containers that
+  /// manage their own word storage (HybridBitmap dense chunks).
+  static bool SubsetOfWords(const uint64_t* a, const uint64_t* b, size_t n);
+
   /// popcount over raw words through the runtime SIMD dispatch.
   static size_t PopcountWords(const uint64_t* words, size_t n);
 
@@ -78,6 +112,12 @@ class DenseBitmap {
 
   /// The set bits as a sorted id vector.
   std::vector<ValueId> ToIds() const;
+
+  /// Heap + object bytes this bitmap occupies (the BENCH memory column
+  /// aggregates these through every container layer).
+  size_t MemoryBytes() const {
+    return sizeof(*this) + words_.capacity() * sizeof(uint64_t);
+  }
 
  private:
   std::vector<uint64_t> words_;

@@ -1,0 +1,523 @@
+#include "whynot/common/hybrid_bitmap.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace whynot {
+
+namespace {
+
+std::atomic<int> g_set_rep_policy{static_cast<int>(SetRepPolicy::kAdaptive)};
+
+size_t WordsForBits(int64_t bits) {
+  return static_cast<size_t>((bits + 63) / 64);
+}
+
+// Sorted-uint16 intersection helpers. When one side is much smaller,
+// galloping (binary-search each small element) beats the linear merge; the
+// 32x ratio is where log2(nb) probes win over walking nb elements.
+constexpr size_t kGallopRatio = 32;
+
+void IntersectLows(const uint16_t* a, size_t na, const uint16_t* b, size_t nb,
+                   std::vector<uint16_t>* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na * kGallopRatio < nb) {
+    for (size_t i = 0; i < na; ++i) {
+      if (std::binary_search(b, b + nb, a[i])) out->push_back(a[i]);
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+size_t CountIntersectLows(const uint16_t* a, size_t na, const uint16_t* b,
+                          size_t nb) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  size_t count = 0;
+  if (na * kGallopRatio < nb) {
+    for (size_t i = 0; i < na; ++i) {
+      if (std::binary_search(b, b + nb, a[i])) ++count;
+    }
+    return count;
+  }
+  size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool AnyIntersectLows(const uint16_t* a, size_t na, const uint16_t* b,
+                      size_t nb) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na * kGallopRatio < nb) {
+    for (size_t i = 0; i < na; ++i) {
+      if (std::binary_search(b, b + nb, a[i])) return true;
+    }
+    return false;
+  }
+  size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SetRepPolicy GetSetRepPolicy() {
+  return static_cast<SetRepPolicy>(
+      g_set_rep_policy.load(std::memory_order_relaxed));
+}
+
+void SetSetRepPolicy(SetRepPolicy policy) {
+  g_set_rep_policy.store(static_cast<int>(policy), std::memory_order_relaxed);
+}
+
+bool ChooseHybridRep(size_t cardinality, size_t universe_words) {
+  switch (GetSetRepPolicy()) {
+    case SetRepPolicy::kForceDense:
+      return false;
+    case SetRepPolicy::kForceHybrid:
+      return true;
+    case SetRepPolicy::kAdaptive:
+      break;
+  }
+  if (universe_words <= kDenseMirrorMinWords) return false;
+  return universe_words >
+         kDenseMirrorMaxWordsPerElement * std::max<size_t>(cardinality, 1);
+}
+
+size_t HybridBitmap::ContainerWords(uint32_t key) const {
+  size_t base = static_cast<size_t>(key) * kChunkWords;
+  assert(base < num_words_);
+  return std::min(kChunkWords, num_words_ - base);
+}
+
+const HybridBitmap::Container* HybridBitmap::FindContainer(uint32_t key) const {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint32_t k) { return c.key < k; });
+  if (it == containers_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+void HybridBitmap::AppendChunkFromWords(uint32_t key, const uint64_t* words,
+                                        size_t nwords, size_t card) {
+  if (card == 0) return;
+  Container c;
+  c.key = key;
+  c.card = static_cast<uint32_t>(card);
+  if (ChunkDense(card, nwords)) {
+    c.dense = 1;
+    c.offset = static_cast<uint32_t>(dense_.size());
+    dense_.insert(dense_.end(), words, words + nwords);
+  } else {
+    c.dense = 0;
+    c.offset = static_cast<uint32_t>(sparse_.size());
+    for (size_t w = 0; w < nwords; ++w) {
+      uint64_t word = words[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        sparse_.push_back(
+            static_cast<uint16_t>(w * 64 + static_cast<size_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+  containers_.push_back(c);
+  total_card_ += card;
+}
+
+void HybridBitmap::AppendChunkFromLows(uint32_t key, const uint16_t* lows,
+                                       size_t n) {
+  if (n == 0) return;
+  size_t cw = ContainerWords(key);
+  Container c;
+  c.key = key;
+  c.card = static_cast<uint32_t>(n);
+  if (ChunkDense(n, cw)) {
+    c.dense = 1;
+    c.offset = static_cast<uint32_t>(dense_.size());
+    dense_.resize(dense_.size() + cw, 0);
+    uint64_t* words = dense_.data() + c.offset;
+    for (size_t i = 0; i < n; ++i) {
+      words[lows[i] / 64] |= uint64_t{1} << (lows[i] % 64);
+    }
+  } else {
+    c.dense = 0;
+    c.offset = static_cast<uint32_t>(sparse_.size());
+    sparse_.insert(sparse_.end(), lows, lows + n);
+  }
+  containers_.push_back(c);
+  total_card_ += n;
+}
+
+HybridBitmap HybridBitmap::FromSorted(const std::vector<ValueId>& sorted_ids,
+                                      int64_t universe) {
+  HybridBitmap out;
+  int64_t max_id = sorted_ids.empty() ? -1 : sorted_ids.back();
+  if (universe <= max_id) universe = max_id + 1;
+  out.num_words_ = WordsForBits(universe);
+  std::vector<uint16_t> lows;
+  size_t i = 0;
+  while (i < sorted_ids.size()) {
+    uint32_t key = static_cast<uint32_t>(sorted_ids[i]) / kChunkBits;
+    lows.clear();
+    while (i < sorted_ids.size() &&
+           static_cast<uint32_t>(sorted_ids[i]) / kChunkBits == key) {
+      assert(sorted_ids[i] >= 0);
+      lows.push_back(static_cast<uint16_t>(
+          static_cast<uint32_t>(sorted_ids[i]) % kChunkBits));
+      ++i;
+    }
+    out.AppendChunkFromLows(key, lows.data(), lows.size());
+  }
+  return out;
+}
+
+HybridBitmap HybridBitmap::FromWords(const uint64_t* words, size_t n) {
+  HybridBitmap out;
+  out.num_words_ = n;
+  for (size_t w0 = 0; w0 < n; w0 += kChunkWords) {
+    size_t cw = std::min(kChunkWords, n - w0);
+    size_t card = DenseBitmap::PopcountWords(words + w0, cw);
+    if (card != 0) {
+      out.AppendChunkFromWords(static_cast<uint32_t>(w0 / kChunkWords),
+                               words + w0, cw, card);
+    }
+  }
+  return out;
+}
+
+bool HybridBitmap::Test(ValueId id) const {
+  if (id < 0) return false;
+  uint32_t key = static_cast<uint32_t>(id) / kChunkBits;
+  const Container* c = FindContainer(key);
+  if (c == nullptr) return false;
+  uint32_t low = static_cast<uint32_t>(id) % kChunkBits;
+  if (c->dense) {
+    size_t w = low / 64;
+    if (w >= ContainerWords(key)) return false;
+    return (dense_[c->offset + w] >> (low % 64)) & 1u;
+  }
+  const uint16_t* begin = sparse_.data() + c->offset;
+  return std::binary_search(begin, begin + c->card,
+                            static_cast<uint16_t>(low));
+}
+
+bool HybridBitmap::SubsetOf(const HybridBitmap& other) const {
+  auto bi = other.containers_.begin();
+  for (const Container& a : containers_) {
+    while (bi != other.containers_.end() && bi->key < a.key) ++bi;
+    if (bi == other.containers_.end() || bi->key != a.key) return false;
+    const Container& b = *bi;
+    if (a.card > b.card) return false;
+    size_t wa = ContainerWords(a.key);
+    size_t wb = other.ContainerWords(b.key);
+    const uint64_t* aw = a.dense ? dense_.data() + a.offset : nullptr;
+    const uint64_t* bw = b.dense ? other.dense_.data() + b.offset : nullptr;
+    const uint16_t* al = a.dense ? nullptr : sparse_.data() + a.offset;
+    const uint16_t* bl = b.dense ? nullptr : other.sparse_.data() + b.offset;
+    if (a.dense && b.dense) {
+      size_t common = std::min(wa, wb);
+      if (!DenseBitmap::SubsetOfWords(aw, bw, common)) return false;
+      for (size_t w = common; w < wa; ++w) {
+        if (aw[w] != 0) return false;
+      }
+    } else if (!a.dense && b.dense) {
+      for (uint32_t i = 0; i < a.card; ++i) {
+        size_t w = al[i] / 64;
+        if (w >= wb || !((bw[w] >> (al[i] % 64)) & 1u)) return false;
+      }
+    } else if (!a.dense && !b.dense) {
+      if (!std::includes(bl, bl + b.card, al, al + a.card)) return false;
+    } else {  // dense a inside sparse b — only possible across universes
+      for (size_t w = 0; w < wa; ++w) {
+        uint64_t word = aw[w];
+        while (word != 0) {
+          int bit = __builtin_ctzll(word);
+          uint16_t low =
+              static_cast<uint16_t>(w * 64 + static_cast<size_t>(bit));
+          if (!std::binary_search(bl, bl + b.card, low)) return false;
+          word &= word - 1;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+HybridBitmap HybridBitmap::Intersect(const HybridBitmap& a,
+                                     const HybridBitmap& b) {
+  HybridBitmap out;
+  out.num_words_ = std::min(a.num_words_, b.num_words_);
+  std::vector<uint64_t> scratch;
+  std::vector<uint16_t> lows;
+  auto ai = a.containers_.begin();
+  auto bi = b.containers_.begin();
+  while (ai != a.containers_.end() && bi != b.containers_.end()) {
+    if (ai->key < bi->key) {
+      ++ai;
+      continue;
+    }
+    if (bi->key < ai->key) {
+      ++bi;
+      continue;
+    }
+    uint32_t key = ai->key;
+    size_t cw = out.ContainerWords(key);
+    if (ai->dense && bi->dense) {
+      scratch.resize(cw);
+      DenseBitmap::AndWordsTo(a.dense_.data() + ai->offset,
+                              b.dense_.data() + bi->offset, scratch.data(),
+                              cw);
+      size_t card = DenseBitmap::PopcountWords(scratch.data(), cw);
+      out.AppendChunkFromWords(key, scratch.data(), cw, card);
+    } else if (!ai->dense && !bi->dense) {
+      lows.clear();
+      IntersectLows(a.sparse_.data() + ai->offset, ai->card,
+                    b.sparse_.data() + bi->offset, bi->card, &lows);
+      out.AppendChunkFromLows(key, lows.data(), lows.size());
+    } else {
+      const uint16_t* sl =
+          ai->dense ? b.sparse_.data() + bi->offset : a.sparse_.data() + ai->offset;
+      uint32_t sn = ai->dense ? bi->card : ai->card;
+      const uint64_t* dw =
+          ai->dense ? a.dense_.data() + ai->offset : b.dense_.data() + bi->offset;
+      size_t dn = ai->dense ? a.ContainerWords(key) : b.ContainerWords(key);
+      lows.clear();
+      for (uint32_t i = 0; i < sn; ++i) {
+        size_t w = sl[i] / 64;
+        if (w < dn && ((dw[w] >> (sl[i] % 64)) & 1u)) lows.push_back(sl[i]);
+      }
+      out.AppendChunkFromLows(key, lows.data(), lows.size());
+    }
+    ++ai;
+    ++bi;
+  }
+  return out;
+}
+
+size_t HybridBitmap::AndCount(const HybridBitmap& a, const HybridBitmap& b) {
+  size_t count = 0;
+  auto ai = a.containers_.begin();
+  auto bi = b.containers_.begin();
+  while (ai != a.containers_.end() && bi != b.containers_.end()) {
+    if (ai->key < bi->key) {
+      ++ai;
+      continue;
+    }
+    if (bi->key < ai->key) {
+      ++bi;
+      continue;
+    }
+    uint32_t key = ai->key;
+    if (ai->dense && bi->dense) {
+      size_t cw = std::min(a.ContainerWords(key), b.ContainerWords(key));
+      count += DenseBitmap::AndCountWords(a.dense_.data() + ai->offset,
+                                          b.dense_.data() + bi->offset, cw);
+    } else if (!ai->dense && !bi->dense) {
+      count += CountIntersectLows(a.sparse_.data() + ai->offset, ai->card,
+                                  b.sparse_.data() + bi->offset, bi->card);
+    } else {
+      const uint16_t* sl =
+          ai->dense ? b.sparse_.data() + bi->offset : a.sparse_.data() + ai->offset;
+      uint32_t sn = ai->dense ? bi->card : ai->card;
+      const uint64_t* dw =
+          ai->dense ? a.dense_.data() + ai->offset : b.dense_.data() + bi->offset;
+      size_t dn = ai->dense ? a.ContainerWords(key) : b.ContainerWords(key);
+      for (uint32_t i = 0; i < sn; ++i) {
+        size_t w = sl[i] / 64;
+        if (w < dn && ((dw[w] >> (sl[i] % 64)) & 1u)) ++count;
+      }
+    }
+    ++ai;
+    ++bi;
+  }
+  return count;
+}
+
+bool HybridBitmap::AnyAnd(const HybridBitmap& a, const HybridBitmap& b) {
+  auto ai = a.containers_.begin();
+  auto bi = b.containers_.begin();
+  while (ai != a.containers_.end() && bi != b.containers_.end()) {
+    if (ai->key < bi->key) {
+      ++ai;
+      continue;
+    }
+    if (bi->key < ai->key) {
+      ++bi;
+      continue;
+    }
+    uint32_t key = ai->key;
+    if (ai->dense && bi->dense) {
+      size_t cw = std::min(a.ContainerWords(key), b.ContainerWords(key));
+      const uint64_t* aw = a.dense_.data() + ai->offset;
+      const uint64_t* bw = b.dense_.data() + bi->offset;
+      for (size_t w = 0; w < cw; ++w) {
+        if ((aw[w] & bw[w]) != 0) return true;
+      }
+    } else if (!ai->dense && !bi->dense) {
+      if (AnyIntersectLows(a.sparse_.data() + ai->offset, ai->card,
+                           b.sparse_.data() + bi->offset, bi->card)) {
+        return true;
+      }
+    } else {
+      const uint16_t* sl =
+          ai->dense ? b.sparse_.data() + bi->offset : a.sparse_.data() + ai->offset;
+      uint32_t sn = ai->dense ? bi->card : ai->card;
+      const uint64_t* dw =
+          ai->dense ? a.dense_.data() + ai->offset : b.dense_.data() + bi->offset;
+      size_t dn = ai->dense ? a.ContainerWords(key) : b.ContainerWords(key);
+      for (uint32_t i = 0; i < sn; ++i) {
+        size_t w = sl[i] / 64;
+        if (w < dn && ((dw[w] >> (sl[i] % 64)) & 1u)) return true;
+      }
+    }
+    ++ai;
+    ++bi;
+  }
+  return false;
+}
+
+void HybridBitmap::AndWith(const uint64_t* in, uint64_t* out, size_t n) const {
+  size_t w = 0;  // next word of `out` to produce
+  for (const Container& c : containers_) {
+    size_t w0 = static_cast<size_t>(c.key) * kChunkWords;
+    if (w0 >= n) break;
+    for (; w < w0; ++w) out[w] = 0;
+    size_t cw = std::min(ContainerWords(c.key), n - w0);
+    if (c.dense) {
+      DenseBitmap::AndWordsTo(in + w0, dense_.data() + c.offset, out + w0, cw);
+    } else {
+      // Per-word mask assembly keeps the in-place case (out == in) safe:
+      // in[w0+i] is read before out[w0+i] is written.
+      const uint16_t* lo = sparse_.data() + c.offset;
+      const uint16_t* end = lo + c.card;
+      for (size_t i = 0; i < cw; ++i) {
+        uint64_t mask = 0;
+        uint32_t hi = static_cast<uint32_t>((i + 1) * 64);
+        for (; lo != end && *lo < hi; ++lo) {
+          mask |= uint64_t{1} << (*lo % 64);
+        }
+        out[w0 + i] = in[w0 + i] & mask;
+      }
+    }
+    w = w0 + cw;
+  }
+  for (; w < n; ++w) out[w] = 0;
+}
+
+size_t HybridBitmap::AndCountWith(const uint64_t* words, size_t n) const {
+  size_t count = 0;
+  for (const Container& c : containers_) {
+    size_t w0 = static_cast<size_t>(c.key) * kChunkWords;
+    if (w0 >= n) break;
+    size_t cw = std::min(ContainerWords(c.key), n - w0);
+    if (c.dense) {
+      count +=
+          DenseBitmap::AndCountWords(words + w0, dense_.data() + c.offset, cw);
+    } else {
+      const uint16_t* lo = sparse_.data() + c.offset;
+      for (uint32_t i = 0; i < c.card; ++i) {
+        size_t w = lo[i] / 64;
+        if (w < cw && ((words[w0 + w] >> (lo[i] % 64)) & 1u)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+bool HybridBitmap::AnyAndWith(const uint64_t* words, size_t n) const {
+  for (const Container& c : containers_) {
+    size_t w0 = static_cast<size_t>(c.key) * kChunkWords;
+    if (w0 >= n) break;
+    size_t cw = std::min(ContainerWords(c.key), n - w0);
+    if (c.dense) {
+      const uint64_t* cwords = dense_.data() + c.offset;
+      for (size_t w = 0; w < cw; ++w) {
+        if ((words[w0 + w] & cwords[w]) != 0) return true;
+      }
+    } else {
+      const uint16_t* lo = sparse_.data() + c.offset;
+      for (uint32_t i = 0; i < c.card; ++i) {
+        size_t w = lo[i] / 64;
+        if (w < cw && ((words[w0 + w] >> (lo[i] % 64)) & 1u)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+void HybridBitmap::DecodeTo(uint64_t* out, size_t n) const {
+  std::fill(out, out + n, 0);
+  for (const Container& c : containers_) {
+    size_t w0 = static_cast<size_t>(c.key) * kChunkWords;
+    if (w0 >= n) break;
+    size_t cw = std::min(ContainerWords(c.key), n - w0);
+    if (c.dense) {
+      std::copy(dense_.data() + c.offset, dense_.data() + c.offset + cw,
+                out + w0);
+    } else {
+      const uint16_t* lo = sparse_.data() + c.offset;
+      for (uint32_t i = 0; i < c.card; ++i) {
+        size_t w = lo[i] / 64;
+        if (w < cw) out[w0 + w] |= uint64_t{1} << (lo[i] % 64);
+      }
+    }
+  }
+}
+
+std::vector<ValueId> HybridBitmap::ToIds() const {
+  std::vector<ValueId> ids;
+  ids.reserve(total_card_);
+  ForEachIdUntil([&ids](ValueId id) {
+    ids.push_back(id);
+    return true;
+  });
+  return ids;
+}
+
+size_t HybridBitmap::NumDenseContainers() const {
+  size_t count = 0;
+  for (const Container& c : containers_) count += c.dense ? 1 : 0;
+  return count;
+}
+
+}  // namespace whynot

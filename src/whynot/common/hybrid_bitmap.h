@@ -1,0 +1,189 @@
+#ifndef WHYNOT_COMMON_HYBRID_BITMAP_H_
+#define WHYNOT_COMMON_HYBRID_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "whynot/common/dense_bitmap.h"
+#include "whynot/common/value.h"
+
+namespace whynot {
+
+/// Which physical representation the freeze points pick for long-lived
+/// read-mostly sets (ExtSet mirrors, ls::Extension universe bitmaps,
+/// answer-cover rows, column distinct filters). kAdaptive applies the
+/// measured density rule (ChooseHybridRep); the force modes exist for the
+/// representation-equivalence sweep, which runs the whole engine under both
+/// forms and asserts bit-identical search output at every thread count.
+enum class SetRepPolicy : int {
+  kAdaptive = 0,
+  kForceDense = 1,
+  kForceHybrid = 2,
+};
+
+SetRepPolicy GetSetRepPolicy();
+void SetSetRepPolicy(SetRepPolicy policy);
+
+/// True when a frozen set of `cardinality` ids over a `universe_words`-word
+/// universe should take the chunked hybrid form instead of a flat dense
+/// bitmap. The adaptive rule is the complement of the ExtSet dense-mirror
+/// heuristic: dense costs universe_words * 8 bytes, the sorted-array side
+/// of a hybrid ~2 bytes per element, so past kDenseMirrorMaxWordsPerElement
+/// universe words per element the dense form is pure waste. Universes at or
+/// below kDenseMirrorMinWords words never convert — the dense form costs at
+/// most 128 bytes and probes are one shift+mask.
+bool ChooseHybridRep(size_t cardinality, size_t universe_words);
+
+/// Roaring-style chunked set (Chambi et al., "Better bitmap performance
+/// with Roaring bitmaps"): the id space splits into 2^16-bit chunks and
+/// each non-empty chunk stores either a sorted uint16 array of low bits
+/// (sparse) or a dense word block (dense), chosen per chunk at build time
+/// at the 2-bytes-per-element vs 8-bytes-per-word crossover (dense iff
+/// 2 * card > 8 * words). Dense×dense chunk pairs dispatch to the same
+/// AVX2/NEON/scalar lanes as DenseBitmap; sparse×sparse uses linear or
+/// galloping merge; sparse×dense probes words. Immutable after build: this
+/// is the freeze-time representation — mutation-phase code keeps the flat
+/// forms and converts only sets that will be read many times.
+class HybridBitmap {
+ public:
+  /// Chunk geometry: 2^16 bits = 1024 words = 8 KiB per full dense chunk,
+  /// so a chunk's low bits fit exactly in a uint16.
+  static constexpr uint32_t kChunkBits = 1u << 16;
+  static constexpr size_t kChunkWords = kChunkBits / 64;
+
+  HybridBitmap() = default;
+
+  /// Build from sorted non-negative ids over at least `universe` bits
+  /// (0 = size from the largest id).
+  static HybridBitmap FromSorted(const std::vector<ValueId>& sorted_ids,
+                                 int64_t universe = 0);
+
+  /// Build from a dense word buffer (universe = n * 64 bits).
+  static HybridBitmap FromWords(const uint64_t* words, size_t n);
+
+  bool empty() const { return total_card_ == 0; }
+  bool Any() const { return total_card_ != 0; }
+  /// Total cardinality (precomputed at build — O(1)).
+  size_t Count() const { return total_card_; }
+  /// Word length of the conceptual dense equivalent.
+  size_t num_words() const { return num_words_; }
+
+  bool Test(ValueId id) const;
+
+  /// Containment: every bit of *this set in `other`.
+  bool SubsetOf(const HybridBitmap& other) const;
+
+  static HybridBitmap Intersect(const HybridBitmap& a, const HybridBitmap& b);
+
+  /// Fused popcount(a ∧ b) — the hybrid form of AndCountWords.
+  static size_t AndCount(const HybridBitmap& a, const HybridBitmap& b);
+
+  /// True iff a ∧ b is non-empty (early exit).
+  static bool AnyAnd(const HybridBitmap& a, const HybridBitmap& b);
+
+  // ---- mixed hybrid × raw-word kernels. The explain layer's m-way AND
+  // keeps dense word accumulators; hybrid operands fold into them through
+  // these without materializing a dense copy of the hybrid side. ----
+
+  /// out[i] = in[i] & this, for i < n. `out` may alias `in` (the running-
+  /// cover accumulators AND in place).
+  void AndWith(const uint64_t* in, uint64_t* out, size_t n) const;
+
+  /// popcount(words ∧ this) over the first n words.
+  size_t AndCountWith(const uint64_t* words, size_t n) const;
+
+  /// True iff words ∧ this has any set bit in the first n words.
+  bool AnyAndWith(const uint64_t* words, size_t n) const;
+
+  /// Materialize into a dense word buffer: out[0..n) = this (bits past the
+  /// set's universe zeroed).
+  void DecodeTo(uint64_t* out, size_t n) const;
+
+  std::vector<ValueId> ToIds() const;
+
+  /// Visit set ids in ascending order until `fn` returns false. Returns
+  /// false iff stopped early. The sparse-driven side of the mixed m-way
+  /// AND: iterate the smallest operand's elements, probe the rest.
+  template <typename Fn>
+  bool ForEachIdUntil(Fn&& fn) const;
+
+  /// Heap + object bytes actually resident.
+  size_t MemoryBytes() const {
+    return sizeof(*this) + containers_.capacity() * sizeof(Container) +
+           sparse_.capacity() * sizeof(uint16_t) +
+           dense_.capacity() * sizeof(uint64_t);
+  }
+
+  /// Bytes the flat DenseBitmap over the same universe would occupy — the
+  /// counterfactual the BENCH memory column reports residency against.
+  size_t DenseEquivalentBytes() const {
+    return sizeof(DenseBitmap) + num_words_ * sizeof(uint64_t);
+  }
+
+  /// Containers currently stored dense (exposed for tests/stats).
+  size_t NumDenseContainers() const;
+  size_t NumContainers() const { return containers_.size(); }
+
+ private:
+  struct Container {
+    uint32_t key;     // chunk index: ids in [key*kChunkBits, …+kChunkBits)
+    uint32_t card;    // set bits in this chunk (always >= 1)
+    uint32_t offset;  // into sparse_ (uint16 lows) or dense_ (words)
+    uint8_t dense;    // 1 = word block, 0 = sorted array
+  };
+
+  // Per-chunk representation rule: dense iff the word block is smaller
+  // than the uint16 array (2 * card > 8 * words, i.e. card > 4 * words —
+  // 4096 elements for a full chunk, the classic Roaring threshold).
+  static bool ChunkDense(size_t card, size_t words) {
+    return card * 2 > words * 8;
+  }
+
+  // Word length of a dense container for chunk `key`: full kChunkWords
+  // except possibly the final chunk of the universe.
+  size_t ContainerWords(uint32_t key) const;
+
+  const Container* FindContainer(uint32_t key) const;
+
+  void AppendChunkFromWords(uint32_t key, const uint64_t* words, size_t nwords,
+                            size_t card);
+  void AppendChunkFromLows(uint32_t key, const uint16_t* lows, size_t n);
+
+  std::vector<Container> containers_;  // sorted by key
+  std::vector<uint16_t> sparse_;       // arena for sorted-array containers
+  std::vector<uint64_t> dense_;        // arena for word-block containers
+  size_t num_words_ = 0;               // dense-equivalent word length
+  size_t total_card_ = 0;
+};
+
+template <typename Fn>
+bool HybridBitmap::ForEachIdUntil(Fn&& fn) const {
+  for (const Container& c : containers_) {
+    uint64_t base = static_cast<uint64_t>(c.key) * kChunkBits;
+    if (c.dense) {
+      size_t nw = ContainerWords(c.key);
+      for (size_t i = 0; i < nw; ++i) {
+        uint64_t word = dense_[c.offset + i];
+        while (word != 0) {
+          int bit = __builtin_ctzll(word);
+          if (!fn(static_cast<ValueId>(base + i * 64 +
+                                       static_cast<size_t>(bit)))) {
+            return false;
+          }
+          word &= word - 1;
+        }
+      }
+    } else {
+      for (uint32_t i = 0; i < c.card; ++i) {
+        if (!fn(static_cast<ValueId>(base + sparse_[c.offset + i]))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace whynot
+
+#endif  // WHYNOT_COMMON_HYBRID_BITMAP_H_

@@ -86,11 +86,32 @@ const DenseBitmap& Extension::bits() const {
   return *bits_;
 }
 
+void Extension::EnsureRep() const {
+  if (bits_ != nullptr || hyb_ != nullptr) return;
+  std::vector<ValueId> sorted = ids_;
+  std::sort(sorted.begin(), sorted.end());
+  int32_t universe = pool_ == nullptr ? 0 : pool_->size();
+  size_t words = sorted.empty() && universe <= 0
+                     ? 0
+                     : (static_cast<size_t>(std::max(
+                            universe, sorted.empty() ? 0 : sorted.back() + 1)) +
+                        63) /
+                           64;
+  if (ChooseHybridRep(sorted.size(), words)) {
+    hyb_ = std::make_shared<const HybridBitmap>(
+        HybridBitmap::FromSorted(sorted, universe));
+  } else {
+    bits_ = std::make_shared<const DenseBitmap>(sorted, universe);
+  }
+}
+
 bool Extension::ContainsIdSlow(ValueId id) const {
   if (ids_.size() <= kSmallLinearIds) {
     return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
   }
-  return bits().Test(id);
+  EnsureRep();
+  if (bits_ != nullptr) return bits_->Test(id);
+  return hyb_->Test(id);
 }
 
 bool Extension::ContainsBoxedSlow(const Value& v) const {
@@ -120,10 +141,14 @@ bool Extension::SubsetOf(const Extension& o) const {
     if (ids_.empty()) return true;
     if (ids_.size() > o.ids_.size()) return false;
     if (has_bitmap() && o.has_bitmap()) return bits_->SubsetOf(*o.bits_);
-    if (o.has_bitmap()) {
-      const DenseBitmap& ob = *o.bits_;
+    if (has_hybrid() && o.has_hybrid()) return hyb_->SubsetOf(*o.hyb_);
+    if (o.has_bitmap() || o.has_hybrid()) {
+      // Probe our ids against the superset's O(1)/O(log) membership —
+      // representation-agnostic, no universe-sized temporary.
       for (ValueId id : ids_) {
-        if (!ob.Test(id)) return false;
+        if (!(o.has_bitmap() ? o.bits_->Test(id) : o.hyb_->Test(id))) {
+          return false;
+        }
       }
       return true;
     }
@@ -157,12 +182,17 @@ Extension Extension::Intersect(const Extension& o) const {
       if (big->has_bitmap()) {
         // One O(1) probe per element of the smaller side; iteration order
         // of `small` keeps the result rank-sorted. Only an *existing*
-        // bitmap is used — cached conjunct extensions keep theirs across
-        // calls, while one-shot temporaries in an Eval chain never pay a
-        // pool-universe allocation.
+        // representation is used — cached conjunct extensions keep theirs
+        // across calls, while one-shot temporaries in an Eval chain never
+        // pay a pool-universe allocation.
         const DenseBitmap& bb = big->bits();
         for (ValueId id : small->ids_) {
           if (bb.Test(id)) out.ids_.push_back(id);
+        }
+      } else if (big->has_hybrid()) {
+        const HybridBitmap& bh = big->hybrid();
+        for (ValueId id : small->ids_) {
+          if (bh.Test(id)) out.ids_.push_back(id);
         }
       } else {
         // Rank-order merge: integer rank loads, no allocation.
@@ -194,6 +224,17 @@ Extension Extension::Intersect(const Extension& o) const {
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
                         std::back_inserter(both));
   return Extension::Of(std::move(both));
+}
+
+size_t Extension::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + ids_.capacity() * sizeof(ValueId) +
+                 extras_.capacity() * sizeof(Value);
+  if (bits_ != nullptr) bytes += bits_->MemoryBytes();
+  if (hyb_ != nullptr) bytes += hyb_->MemoryBytes();
+  if (boxed_ != nullptr) {
+    bytes += sizeof(*boxed_) + boxed_->capacity() * sizeof(Value);
+  }
+  return bytes;
 }
 
 size_t Extension::CardinalityOrInfinite() const {
@@ -321,6 +362,14 @@ const Extension& EvalCache::Eval(const LsConcept& concept_expr) {
     if (ext.empty()) break;
   }
   return concept_exts_.emplace(concept_expr, std::move(ext)).first->second;
+}
+
+size_t EvalCache::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, ext] : projection_exts_) bytes += ext.MemoryBytes();
+  for (const auto& [key, ext] : conjunct_exts_) bytes += ext.MemoryBytes();
+  for (const auto& [key, ext] : concept_exts_) bytes += ext.MemoryBytes();
+  return bytes;
 }
 
 bool SubsumedI(const LsConcept& c1, const LsConcept& c2,

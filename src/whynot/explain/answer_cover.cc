@@ -18,33 +18,71 @@ ConceptAnswerCovers::ConceptAnswerCovers(
   }
 }
 
-const uint64_t* ConceptAnswerCovers::BuildCover(onto::ConceptId c,
-                                                size_t pos) {
+CoverView ConceptAnswerCovers::BuildCover(onto::ConceptId c, size_t pos) {
   size_t n = static_cast<size_t>(bound_->NumConcepts());
   if (pos >= chunks_.size()) {
     chunks_.resize(pos + 1);
     built_.resize(pos + 1);
+    hybrids_.resize(pos + 1);
   }
   if (built_[pos].empty()) {
     chunks_[pos].resize((n + kChunkConcepts - 1) / kChunkConcepts);
-    built_[pos].assign(n, 0);
+    built_[pos].assign(n, kRepUnbuilt);
+    // hybrids_[pos] stays empty until the first hybrid row at this
+    // position: throwaway covers objects (per-call locals on tiny
+    // searches) must not pay an O(NumConcepts) allocation per position
+    // for rows that all freeze flat.
   }
   size_t idx = static_cast<size_t>(c);
-  std::vector<uint64_t>& chunk = chunks_[pos][idx / kChunkConcepts];
-  if (chunk.empty()) chunk.assign(kChunkConcepts * num_words_, 0);
-  uint64_t* slot = chunk.data() + (idx % kChunkConcepts) * num_words_;
   const onto::ExtSet& ext = bound_->Ext(c);
+  // Card 0 is the most hybrid-permissive input, so a false here means no
+  // cardinality can freeze hybrid at this universe (small |Ans|, or
+  // kForceDense) — build straight into the arena slot, the pre-hybrid
+  // fast path.
+  if (!ChooseHybridRep(0, num_words_)) {
+    std::vector<uint64_t>& chunk = chunks_[pos][idx / kChunkConcepts];
+    if (chunk.empty()) chunk.assign(kChunkConcepts * num_words_, 0);
+    uint64_t* slot = chunk.data() + (idx % kChunkConcepts) * num_words_;
+    if (ext.is_all()) {
+      std::copy(full_.begin(), full_.end(), slot);
+    } else {
+      for (size_t a = 0; a < answers_.size(); ++a) {
+        if (ext.Contains(answers_[a][pos])) {
+          slot[a / 64] |= uint64_t{1} << (a % 64);
+        }
+      }
+    }
+    built_[pos][idx] = kRepDense;
+    return CoverView{slot, nullptr};
+  }
+  // Build into the scratch row first: representation choice needs the
+  // cardinality, and a hybrid row must not commit an arena chunk.
+  scratch_row_.assign(num_words_, 0);
+  size_t card = 0;
   if (ext.is_all()) {
-    std::copy(full_.begin(), full_.end(), slot);
+    std::copy(full_.begin(), full_.end(), scratch_row_.begin());
+    card = answers_.size();
   } else {
     for (size_t a = 0; a < answers_.size(); ++a) {
       if (ext.Contains(answers_[a][pos])) {
-        slot[a / 64] |= uint64_t{1} << (a % 64);
+        scratch_row_[a / 64] |= uint64_t{1} << (a % 64);
+        ++card;
       }
     }
   }
-  built_[pos][idx] = 1;
-  return slot;
+  if (ChooseHybridRep(card, num_words_)) {
+    if (hybrids_[pos].empty()) hybrids_[pos].resize(n);
+    hybrids_[pos][idx] = std::make_unique<HybridBitmap>(
+        HybridBitmap::FromWords(scratch_row_.data(), num_words_));
+    built_[pos][idx] = kRepHybrid;
+    return CoverView{nullptr, hybrids_[pos][idx].get()};
+  }
+  std::vector<uint64_t>& chunk = chunks_[pos][idx / kChunkConcepts];
+  if (chunk.empty()) chunk.assign(kChunkConcepts * num_words_, 0);
+  uint64_t* slot = chunk.data() + (idx % kChunkConcepts) * num_words_;
+  std::copy(scratch_row_.begin(), scratch_row_.end(), slot);
+  built_[pos][idx] = kRepDense;
+  return CoverView{slot, nullptr};
 }
 
 std::vector<uint64_t> ConceptAnswerCovers::AndAllExcept(
@@ -52,8 +90,7 @@ std::vector<uint64_t> ConceptAnswerCovers::AndAllExcept(
   std::vector<uint64_t> out = full_;
   for (size_t i = 0; i < e.size(); ++i) {
     if (i == skip) continue;
-    const uint64_t* cover = Cover(e[i], i);
-    for (size_t w = 0; w < out.size(); ++w) out[w] &= cover[w];
+    AndViewInPlace(out.data(), Cover(e[i], i), out.size());
   }
   return out;
 }
@@ -62,23 +99,76 @@ bool ConceptAnswerCovers::ProductIntersects(
     const std::vector<onto::ConceptId>& e) {
   if (answers_.empty() || e.empty()) return false;
   // Word-outer AND over the (equally sized) covers: no scratch writes.
-  scratch_ptrs_.clear();
+  scratch_views_.clear();
+  bool any_hybrid = false;
   for (size_t i = 0; i < e.size(); ++i) {
-    scratch_ptrs_.push_back(Cover(e[i], i));
+    scratch_views_.push_back(Cover(e[i], i));
+    any_hybrid = any_hybrid || scratch_views_.back().hybrid != nullptr;
   }
-  return ProductAny(e.size(), num_words_,
-                    [this](size_t i) { return scratch_ptrs_[i]; });
+  if (!any_hybrid) {
+    return ProductAny(e.size(), num_words_,
+                      [this](size_t i) { return scratch_views_[i].words; });
+  }
+  return ProductAnyViews(e.size(), num_words_,
+                         [this](size_t i) { return scratch_views_[i]; });
 }
 
 size_t ConceptAnswerCovers::CountCovered(
     const std::vector<onto::ConceptId>& e) {
   if (answers_.empty() || e.empty()) return 0;
-  scratch_ptrs_.clear();
+  scratch_views_.clear();
+  bool any_hybrid = false;
   for (size_t i = 0; i < e.size(); ++i) {
-    scratch_ptrs_.push_back(Cover(e[i], i));
+    scratch_views_.push_back(Cover(e[i], i));
+    any_hybrid = any_hybrid || scratch_views_.back().hybrid != nullptr;
   }
-  return ProductCount(e.size(), num_words_,
-                      [this](size_t i) { return scratch_ptrs_[i]; });
+  if (!any_hybrid) {
+    return ProductCount(e.size(), num_words_,
+                        [this](size_t i) { return scratch_views_[i].words; });
+  }
+  return ProductCountViews(e.size(), num_words_,
+                           [this](size_t i) { return scratch_views_[i]; });
+}
+
+size_t ConceptAnswerCovers::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + full_.capacity() * sizeof(uint64_t) +
+                 scratch_row_.capacity() * sizeof(uint64_t) +
+                 scratch_views_.capacity() * sizeof(CoverView);
+  for (const auto& pos_chunks : chunks_) {
+    bytes += pos_chunks.capacity() * sizeof(std::vector<uint64_t>);
+    for (const auto& chunk : pos_chunks) {
+      bytes += chunk.capacity() * sizeof(uint64_t);
+    }
+  }
+  for (const auto& b : built_) bytes += b.capacity();
+  for (const auto& pos_hybrids : hybrids_) {
+    bytes += pos_hybrids.capacity() * sizeof(std::unique_ptr<HybridBitmap>);
+    for (const auto& h : pos_hybrids) {
+      if (h != nullptr) bytes += h->MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+size_t ConceptAnswerCovers::DenseEquivalentBytes() const {
+  // Every built row flat: one arena slot (num_words_ words) per row, plus
+  // the bookkeeping that exists either way.
+  size_t bytes = sizeof(*this) + full_.capacity() * sizeof(uint64_t);
+  for (const auto& b : built_) {
+    bytes += b.capacity();
+    for (uint8_t rep : b) {
+      if (rep != kRepUnbuilt) bytes += num_words_ * sizeof(uint64_t);
+    }
+  }
+  return bytes;
+}
+
+size_t ConceptAnswerCovers::NumHybridCovers() const {
+  size_t n = 0;
+  for (const auto& b : built_) {
+    for (uint8_t rep : b) n += rep == kRepHybrid ? 1 : 0;
+  }
+  return n;
 }
 
 // ---- LsAnswerCovers -------------------------------------------------------
@@ -98,48 +188,100 @@ LsAnswerCovers::LsAnswerCovers(const rel::Instance* instance,
   }
 }
 
-const DenseBitmap& LsAnswerCovers::Cover(const ls::Extension& ext,
-                                         size_t pos) {
-  if (ext.all) return full_;
+CoverView LsAnswerCovers::Cover(const ls::Extension& ext, size_t pos) {
+  if (ext.all) return CoverView{full_.words().data(), nullptr};
   auto key = std::make_pair(&ext, pos);
   auto it = covers_.find(key);
-  if (it != covers_.end()) return it->second;
-  DenseBitmap cover({}, static_cast<int32_t>(answers_->size()));
-  const std::vector<ValueId>& column = columns_[pos];
-  for (size_t a = 0; a < column.size(); ++a) {
-    if (ext.ContainsInterned(column[a], (*answers_)[a][pos])) {
-      cover.Set(static_cast<ValueId>(a));
+  if (it == covers_.end()) {
+    DenseBitmap cover({}, static_cast<int32_t>(answers_->size()));
+    const std::vector<ValueId>& column = columns_[pos];
+    size_t card = 0;
+    for (size_t a = 0; a < column.size(); ++a) {
+      if (ext.ContainsInterned(column[a], (*answers_)[a][pos])) {
+        cover.Set(static_cast<ValueId>(a));
+        ++card;
+      }
     }
+    StoredCover stored;
+    if (ChooseHybridRep(card, full_.num_words())) {
+      stored.hybrid = std::make_unique<HybridBitmap>(HybridBitmap::FromWords(
+          cover.words().data(), cover.num_words()));
+    } else {
+      stored.dense = std::move(cover);
+    }
+    it = covers_.emplace(key, std::move(stored)).first;
   }
-  return covers_.emplace(key, std::move(cover)).first->second;
+  const StoredCover& stored = it->second;
+  if (stored.hybrid != nullptr) return CoverView{nullptr, stored.hybrid.get()};
+  return CoverView{stored.dense.words().data(), nullptr};
 }
 
 bool LsAnswerCovers::ProductIntersects(
     const std::vector<const ls::Extension*>& exts, size_t swap_pos,
     const ls::Extension* repl) {
   if (answers_->empty() || exts.empty()) return false;
-  scratch_ptrs_.clear();
+  scratch_views_.clear();
+  bool any_hybrid = false;
   for (size_t i = 0; i < exts.size(); ++i) {
     const ls::Extension& ext = i == swap_pos ? *repl : *exts[i];
-    scratch_ptrs_.push_back(Cover(ext, i).words().data());
+    scratch_views_.push_back(Cover(ext, i));
+    any_hybrid = any_hybrid || scratch_views_.back().hybrid != nullptr;
   }
-  return ConceptAnswerCovers::ProductAny(
+  if (!any_hybrid) {
+    return ConceptAnswerCovers::ProductAny(
+        exts.size(), full_.num_words(),
+        [this](size_t i) { return scratch_views_[i].words; });
+  }
+  return ConceptAnswerCovers::ProductAnyViews(
       exts.size(), full_.num_words(),
-      [this](size_t i) { return scratch_ptrs_[i]; });
+      [this](size_t i) { return scratch_views_[i]; });
 }
 
 size_t LsAnswerCovers::CountCovered(
     const std::vector<const ls::Extension*>& exts, size_t swap_pos,
     const ls::Extension* repl) {
   if (answers_->empty() || exts.empty()) return 0;
-  scratch_ptrs_.clear();
+  scratch_views_.clear();
+  bool any_hybrid = false;
   for (size_t i = 0; i < exts.size(); ++i) {
     const ls::Extension& ext = i == swap_pos ? *repl : *exts[i];
-    scratch_ptrs_.push_back(Cover(ext, i).words().data());
+    scratch_views_.push_back(Cover(ext, i));
+    any_hybrid = any_hybrid || scratch_views_.back().hybrid != nullptr;
   }
-  return ConceptAnswerCovers::ProductCount(
+  if (!any_hybrid) {
+    return ConceptAnswerCovers::ProductCount(
+        exts.size(), full_.num_words(),
+        [this](size_t i) { return scratch_views_[i].words; });
+  }
+  return ConceptAnswerCovers::ProductCountViews(
       exts.size(), full_.num_words(),
-      [this](size_t i) { return scratch_ptrs_[i]; });
+      [this](size_t i) { return scratch_views_[i]; });
+}
+
+size_t LsAnswerCovers::DenseEquivalentBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += full_.MemoryBytes() - sizeof(DenseBitmap);
+  for (const auto& col : columns_) bytes += col.capacity() * sizeof(ValueId);
+  bytes += columns_.capacity() * sizeof(std::vector<ValueId>);
+  bytes += covers_.bucket_count() * sizeof(void*);
+  bytes += covers_.size() *
+           (sizeof(std::pair<const ls::Extension*, size_t>) +
+            sizeof(StoredCover) + full_.num_words() * sizeof(uint64_t));
+  return bytes;
+}
+
+size_t LsAnswerCovers::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + scratch_views_.capacity() * sizeof(CoverView);
+  bytes += full_.MemoryBytes() - sizeof(DenseBitmap);
+  for (const auto& col : columns_) bytes += col.capacity() * sizeof(ValueId);
+  bytes += columns_.capacity() * sizeof(std::vector<ValueId>);
+  bytes += covers_.bucket_count() * sizeof(void*);
+  for (const auto& [key, stored] : covers_) {
+    bytes += sizeof(key) + sizeof(StoredCover) +
+             (stored.dense.MemoryBytes() - sizeof(DenseBitmap));
+    if (stored.hybrid != nullptr) bytes += stored.hybrid->MemoryBytes();
+  }
+  return bytes;
 }
 
 }  // namespace whynot::explain

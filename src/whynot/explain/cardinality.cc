@@ -192,7 +192,9 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
       if (par::NumThreads() <= 1) {
         for (onto::ConceptId c : list) {
           if (c == current[i]) continue;
-          if (ConceptAnswerCovers::AnyAnd(base, covers->Cover(c, i))) continue;
+          if (ConceptAnswerCovers::AnyAndView(base, covers->Cover(c, i))) {
+            continue;
+          }
           Explanation probe = current;
           probe[i] = c;
           Degree d = DegreeOf(bound, probe);
@@ -209,12 +211,12 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
       // mask; the acceptance scan — whose degree threshold ratchets
       // within the sweep — replays serially in candidate order, exactly
       // as the serial loop.
-      std::vector<const uint64_t*> cover_at =
+      std::vector<CoverView> cover_at =
           CoverTable::ResolveList(covers, list, i);
       std::vector<uint8_t> valid(list.size(), 0);
       par::ParallelFor(list.size(), 64, [&](size_t begin, size_t end) {
         for (size_t c = begin; c < end; ++c) {
-          valid[c] = !ConceptAnswerCovers::AnyAnd(base, cover_at[c]);
+          valid[c] = !ConceptAnswerCovers::AnyAndView(base, cover_at[c]);
         }
       });
       for (size_t c = 0; c < list.size(); ++c) {

@@ -114,7 +114,7 @@ class NodeEvaluator {
     // cover into its prefix as Rest moves past it — cover_at reads the
     // state's current extension at absorption time.
     auto cover_at = [this, state](size_t k) {
-      return CoverWords(*state->exts[k], k);
+      return View(*state->exts[k], k);
     };
     and_cache_.Reset(m, nwords_, full_.data(), cover_at);
 
@@ -132,7 +132,7 @@ class NodeEvaluator {
         std::vector<Value> extended = state->support[j];
         extended.push_back(adom_[bi]);
         WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
-        if (!AnyAnd(rest, CoverWords(*cand.second, j))) {
+        if (!AnyAnd(rest, View(*cand.second, j))) {
           state->support[j] = std::move(extended);
           state->concepts[j] = *cand.first;
           state->exts[j] = cand.second;
@@ -162,7 +162,7 @@ class NodeEvaluator {
     // this pass); the exclusion set iterates in ascending position order,
     // exactly the non-decreasing j the cache requires.
     auto cover_at = [this, &state](size_t k) {
-      return CoverWords(*state.exts[k], k);
+      return View(*state.exts[k], k);
     };
     and_cache_.Reset(m, nwords_, full_.data(), cover_at);
     for (const GroundElement& e : excluded) {
@@ -180,7 +180,7 @@ class NodeEvaluator {
       std::vector<Value> extended = state.support[j];
       extended.push_back(adom_[bi]);
       WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
-      if (!AnyAnd(rest, CoverWords(*cand.second, j))) return false;
+      if (!AnyAnd(rest, View(*cand.second, j))) return false;
     }
     return true;
   }
@@ -213,15 +213,19 @@ class NodeEvaluator {
         &it->second.first, &it->second.second);
   }
 
-  const uint64_t* CoverWords(const ls::Extension& ext, size_t pos) {
+  CoverView View(const ls::Extension& ext, size_t pos) {
     // No answers: nothing to cover, every probe passes (the covers have no
     // per-position columns to index in that case).
-    if (nwords_ == 0) return full_.data();
-    return covers_.Cover(ext, pos).words().data();
+    if (nwords_ == 0) return CoverView{full_.data(), nullptr};
+    return covers_.Cover(ext, pos);
   }
 
-  // The probe reuses the cover kernel's early-exit AnyAnd; the running
+  // The probe reuses the cover kernel's early-exit AnyAnd (view form for
+  // cached cover rows, raw form for the all-alive words); the running
   // prefix/suffix ANDs live in the shared GreedyAndCache.
+  static bool AnyAnd(const std::vector<uint64_t>& a, const CoverView& b) {
+    return ConceptAnswerCovers::AnyAndView(a, b);
+  }
   static bool AnyAnd(const std::vector<uint64_t>& a, const uint64_t* b) {
     return ConceptAnswerCovers::AnyAnd(a, b);
   }

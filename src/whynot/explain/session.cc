@@ -205,6 +205,40 @@ Status ExplainSession::CheckConsistent() {
   return state_->bound->CheckConsistent();
 }
 
+ExplainSession::MemoryStats ExplainSession::MemoryUsage() const {
+  const State& s = *state_;
+  MemoryStats m;
+  m.instance_bytes = s.instance->MemoryBytes();
+  size_t ext_dense_equivalent = 0;
+  size_t cover_dense_equivalent = 0;
+  if (s.bound != nullptr) {
+    onto::BoundOntology::MemoryStats es = s.bound->ExtMemoryStats();
+    m.ext_bytes = es.ext_bytes;
+    ext_dense_equivalent = es.dense_equivalent_bytes;
+    m.hybrid_ext_sets = es.hybrid_sets;
+    m.dense_ext_sets = es.dense_sets;
+  }
+  if (s.covers != nullptr) {
+    m.cover_bytes += s.covers->MemoryBytes();
+    cover_dense_equivalent += s.covers->DenseEquivalentBytes();
+  }
+  if (s.why_covers != nullptr) {
+    m.cover_bytes += s.why_covers->MemoryBytes();
+    cover_dense_equivalent += s.why_covers->DenseEquivalentBytes();
+  }
+  if (s.ls_covers != nullptr) {
+    m.cover_bytes += s.ls_covers->MemoryBytes();
+    cover_dense_equivalent += s.ls_covers->DenseEquivalentBytes();
+  }
+  if (s.cache != nullptr) m.eval_cache_bytes = s.cache->MemoryBytes();
+  m.total_bytes =
+      m.instance_bytes + m.ext_bytes + m.cover_bytes + m.eval_cache_bytes;
+  m.dense_equivalent_total_bytes = m.instance_bytes + ext_dense_equivalent +
+                                   cover_dense_equivalent +
+                                   m.eval_cache_bytes;
+  return m;
+}
+
 // --- Derived-ontology (OI) requests ---------------------------------------
 
 Result<LsExplanation> ExplainSession::WhyNot(const Tuple& missing) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "whynot/common/dense_bitmap.h"
+#include "whynot/common/hybrid_bitmap.h"
 #include "whynot/common/value.h"
 
 namespace whynot::onto {
@@ -30,8 +31,11 @@ class ExtSet {
  public:
   /// Bitmap representation threshold: build iff
   ///   words(universe) <= max(kMinWords, kMaxWordsPerElement * |S|).
-  static constexpr size_t kMaxWordsPerElement = 8;
-  static constexpr size_t kMinWords = 16;
+  /// (Aliases of the shared constants in common/dense_bitmap.h — every
+  /// sparse/dense choice in the engine uses the same measured numbers.)
+  static constexpr size_t kMaxWordsPerElement =
+      whynot::kDenseMirrorMaxWordsPerElement;
+  static constexpr size_t kMinWords = whynot::kDenseMirrorMinWords;
 
   /// The empty extension.
   ExtSet() = default;
@@ -52,10 +56,12 @@ class ExtSet {
   /// Sorted ids; requires !is_all().
   const std::vector<ValueId>& ids() const { return ids_; }
 
-  /// Inline: one bitmap word test on the (warm) extension-table path.
+  /// Inline: one bitmap word test on the (warm) extension-table path, a
+  /// chunked probe when the set froze hybrid, binary search otherwise.
   bool Contains(ValueId id) const {
     if (all_) return true;
     if (!bits_.empty()) return bits_.Test(id);
+    if (!hyb_.empty()) return hyb_.Test(id);
     return ContainsSlow(id);
   }
 
@@ -71,12 +77,25 @@ class ExtSet {
 
   /// Force-builds the bitmap mirror sized for `universe` ids (e.g. the
   /// owning ValuePool's size), bypassing the density heuristic. Used by
-  /// BoundOntology's extension table so every membership probe in the
-  /// explanation inner loops is O(1). No-op for All or if already built.
+  /// tests and callers that explicitly want the flat dense form. No-op for
+  /// All or if already built.
   void EnsureBitmap(int32_t universe);
+
+  /// Freeze-time representation selection for a long-lived read-mostly set
+  /// (BoundOntology's warm extension table): builds a dense mirror when the
+  /// set is dense in the `universe`, a chunked HybridBitmap otherwise —
+  /// O(cardinality) bytes instead of O(universe). Mutation-phase code never
+  /// calls this; the flat ids_ vector stays canonical either way.
+  void Freeze(int32_t universe);
 
   /// Whether the bitmap mirror is present (exposed for tests/benchmarks).
   bool has_bitmap() const { return !bits_.empty(); }
+
+  /// Whether the frozen hybrid representation is present.
+  bool has_hybrid() const { return !hyb_.empty(); }
+
+  /// Heap + object bytes this set occupies across all representations.
+  size_t MemoryBytes() const;
 
   /// "{a, b, c}" or "Const" using the pool for names.
   std::string ToString(const ValuePool& pool) const;
@@ -86,8 +105,10 @@ class ExtSet {
 
   bool all_ = false;
   std::vector<ValueId> ids_;
-  DenseBitmap bits_;  // empty unless the density switch (or EnsureBitmap)
-                      // materialized it; always mirrors ids_ when present
+  DenseBitmap bits_;   // empty unless the density switch (or EnsureBitmap)
+                       // materialized it; always mirrors ids_ when present
+  HybridBitmap hyb_;   // empty unless Freeze chose the hybrid form; mutually
+                       // exclusive with bits_, always mirrors ids_
 };
 
 /// Interns a list of values into the pool and returns their ExtSet.

@@ -27,7 +27,7 @@ BoundOntology::BoundOntology(const FiniteOntology* ontology,
 const ExtSet& BoundOntology::ExtSlow(ConceptId id) {
   size_t idx = static_cast<size_t>(id);
   cache_[idx] = ontology_->ComputeExt(id, *instance_, &pool_);
-  cache_[idx].EnsureBitmap(pool_.size());
+  cache_[idx].Freeze(pool_.size());
   cached_[idx] = true;
   return cache_[idx];
 }
@@ -90,9 +90,9 @@ void BoundOntology::WarmExtensions() {
       for (ValueId lid : ext.ids()) ids.push_back(remap[static_cast<size_t>(lid)]);
       cache_[idx] = ExtSet::Finite(std::move(ids));
     }
-    // Bitmap universe = pool size right after this concept's interning,
-    // exactly as the serial ExtSlow would have sized it.
-    cache_[idx].EnsureBitmap(pool_.size());
+    // Representation universe = pool size right after this concept's
+    // interning, exactly as the serial ExtSlow would have sized it.
+    cache_[idx].Freeze(pool_.size());
     cached_[idx] = true;
   }
 }
@@ -170,6 +170,28 @@ Status BoundOntology::CheckConsistent() {
     }
   }
   return Status::OK();
+}
+
+BoundOntology::MemoryStats BoundOntology::ExtMemoryStats() const {
+  MemoryStats s;
+  size_t pool_words = (static_cast<size_t>(pool_.size()) + 63) / 64;
+  for (size_t i = 0; i < cache_.size(); ++i) {
+    if (!cached_[i]) continue;
+    const ExtSet& e = cache_[i];
+    if (e.is_all()) continue;
+    s.ext_bytes += e.MemoryBytes();
+    s.dense_equivalent_bytes += sizeof(ExtSet) +
+                                e.ids().capacity() * sizeof(ValueId) +
+                                pool_words * sizeof(uint64_t);
+    if (e.has_bitmap()) {
+      ++s.dense_sets;
+    } else if (e.has_hybrid()) {
+      ++s.hybrid_sets;
+    } else {
+      ++s.flat_sets;
+    }
+  }
+  return s;
 }
 
 }  // namespace whynot::onto

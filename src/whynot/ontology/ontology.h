@@ -98,6 +98,20 @@ class BoundOntology {
   /// ontology. Returns InvalidArgument naming the offending pair otherwise.
   Status CheckConsistent();
 
+  /// Memory accounting for the warm extension table. `ext_bytes` is the
+  /// actual residency across representations; `dense_equivalent_bytes` is
+  /// the counterfactual cost had every finite extension force-built a
+  /// pool-universe dense mirror (the pre-hybrid behavior) — the pair is
+  /// what the BENCH memory column reports residency reduction against.
+  struct MemoryStats {
+    size_t ext_bytes = 0;
+    size_t dense_equivalent_bytes = 0;
+    size_t dense_sets = 0;   // froze to a flat dense mirror
+    size_t hybrid_sets = 0;  // froze to chunked hybrid containers
+    size_t flat_sets = 0;    // id vector only
+  };
+  MemoryStats ExtMemoryStats() const;
+
  private:
   const ExtSet& ExtSlow(ConceptId id);
 

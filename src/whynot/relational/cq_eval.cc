@@ -134,7 +134,7 @@ class Evaluator {
       for (size_t pos = 0; pos < ca.terms.size(); ++pos) {
         const CompiledTerm& ct = ca.terms[pos];
         if (!ct.is_var) continue;
-        filters_.emplace_back(ct.var, &ca.rel->Index(pos).distinct);
+        filters_.emplace_back(ct.var, &ca.rel->Index(pos));
       }
     }
   }
@@ -178,8 +178,8 @@ class Evaluator {
     if (state.has_filter && !state.range.Contains(pool_.Rank(id))) {
       return false;
     }
-    for (const auto& [v, bm] : filters_) {
-      if (v == var && !bm->Test(id)) return false;
+    for (const auto& [v, ix] : filters_) {
+      if (v == var && !ix->DistinctTest(id)) return false;
     }
     return true;
   }
@@ -287,7 +287,10 @@ class Evaluator {
   std::vector<CompiledAtom> atoms_;
   std::vector<const CompiledAtom*> ordered_;
   std::vector<VarState> vars_;
-  std::vector<std::pair<int, const DenseBitmap*>> filters_;
+  // (var, column index) semi-join filters; the index pointer is stable
+  // (indexes_ is sized at relation construction) and its distinct set is
+  // probed representation-agnostically via DistinctTest.
+  std::vector<std::pair<int, const StoredRelation::ColumnIndex*>> filters_;
   std::vector<int> bind_stack_;  // vars bound, in bind order
 
   std::vector<std::vector<ValueId>>* out_ = nullptr;

@@ -61,6 +61,12 @@ void StoredRelation::InvalidateIndexes() const {
 
 void StoredRelation::MergeAppendedRows(size_t attr) const {
   ColumnIndex& ix = indexes_[attr];
+  if (!ix.distinct_hybrid.empty()) {
+    // Mutation resumed after a freeze: thaw back to the flat mirror (the
+    // hybrid containers are immutable; the merge below Sets new keys).
+    ix.distinct = DenseBitmap(ix.keys);
+    ix.distinct_hybrid = HybridBitmap();
+  }
   const std::vector<ValueId>& col = columns_[attr];
   std::vector<std::pair<ValueId, uint32_t>> pairs;
   pairs.reserve(col.size() - index_rows_[attr]);
@@ -135,6 +141,36 @@ const StoredRelation::ColumnIndex& StoredRelation::Index(size_t attr) const {
     MergeAppendedRows(attr);
   }
   return ix;
+}
+
+void StoredRelation::FreezeIndex(size_t attr) const {
+  ColumnIndex& ix = indexes_[attr];
+  if (!index_built_[attr] || index_rows_[attr] < num_rows_) return;
+  if (!ix.distinct_hybrid.empty()) return;  // already frozen
+  if (ChooseHybridRep(ix.keys.size(), ix.distinct.num_words())) {
+    ix.distinct_hybrid = HybridBitmap::FromSorted(ix.keys);
+    ix.distinct = DenseBitmap();
+  }
+}
+
+size_t StoredRelation::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const std::vector<ValueId>& col : columns_) {
+    bytes += col.capacity() * sizeof(ValueId);
+  }
+  bytes += row_hash_.bucket_count() * sizeof(void*);
+  for (const auto& [hash, bucket] : row_hash_) {
+    bytes += sizeof(hash) + sizeof(bucket) +
+             bucket.capacity() * sizeof(uint32_t);
+  }
+  for (size_t a = 0; a < indexes_.size(); ++a) {
+    bytes += sizeof(ColumnIndex);
+    if (index_built_[a]) bytes += indexes_[a].MemoryBytes();
+  }
+  for (const Tuple& t : tuple_view_) {
+    bytes += sizeof(Tuple) + t.capacity() * sizeof(Value);
+  }
+  return bytes;
 }
 
 std::pair<const uint32_t*, const uint32_t*> StoredRelation::RowsEqual(
@@ -347,8 +383,23 @@ void Instance::WarmForConcurrentReads() const {
   for (const auto& [name, idx] : store_index_) {
     const StoredRelation& rel = store_[idx];
     Relation(name);  // boxed tuple view (instance-dependent ExtFns read it)
-    for (size_t a = 0; a < rel.arity(); ++a) rel.Index(a);
+    for (size_t a = 0; a < rel.arity(); ++a) {
+      rel.Index(a);
+      // Read-only phase from here on: sparse distinct sets freeze to
+      // hybrid containers (thawed automatically if mutation resumes).
+      rel.FreezeIndex(a);
+    }
   }
+}
+
+size_t Instance::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += static_cast<size_t>(pool_.size()) * (sizeof(Value) + sizeof(ValueId));
+  for (const StoredRelation& rel : store_) bytes += rel.MemoryBytes();
+  bytes += refcount_.capacity() * sizeof(int64_t);
+  bytes += adom_values_.capacity() * sizeof(Value);
+  bytes += adom_ids_.capacity() * sizeof(ValueId);
+  return bytes;
 }
 
 Status Instance::SatisfiesConstraints() const {

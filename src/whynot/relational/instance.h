@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "whynot/common/dense_bitmap.h"
+#include "whynot/common/hybrid_bitmap.h"
 #include "whynot/common/status.h"
 #include "whynot/common/value.h"
 #include "whynot/relational/schema.h"
@@ -41,7 +42,25 @@ class StoredRelation {
     std::vector<ValueId> keys;      // distinct ids, ascending
     std::vector<uint32_t> offsets;  // keys.size() + 1, CSR into rows
     std::vector<uint32_t> rows;     // row ids grouped by key
-    DenseBitmap distinct;           // bitmap over keys
+    DenseBitmap distinct;           // bitmap over keys (mutation phase)
+    // Frozen sparse form of `distinct` (WarmForConcurrentReads applies the
+    // freeze rule; mutually exclusive with a populated `distinct`). Merging
+    // appended rows thaws back to the flat mirror first.
+    HybridBitmap distinct_hybrid;
+
+    /// Membership in the distinct-value set under either representation.
+    bool DistinctTest(ValueId id) const {
+      if (!distinct_hybrid.empty()) return distinct_hybrid.Test(id);
+      return distinct.Test(id);
+    }
+
+    /// Heap bytes resident in this index.
+    size_t MemoryBytes() const {
+      return keys.capacity() * sizeof(ValueId) +
+             (offsets.capacity() + rows.capacity()) * sizeof(uint32_t) +
+             (distinct.MemoryBytes() - sizeof(DenseBitmap)) +
+             (distinct_hybrid.MemoryBytes() - sizeof(HybridBitmap));
+    }
   };
 
   size_t arity() const { return columns_.size(); }
@@ -69,6 +88,10 @@ class StoredRelation {
   /// shared with the constraint checks.
   static uint64_t HashIds(const std::vector<ValueId>& row);
 
+  /// Heap + object bytes across columns, the fact index, and built column
+  /// indexes (shallow for the boxed tuple view's Values).
+  size_t MemoryBytes() const;
+
   /// Constructed by the owning Instance only (public for container
   /// emplacement).
   explicit StoredRelation(size_t arity)
@@ -95,6 +118,10 @@ class StoredRelation {
   void InvalidateIndexes() const;
   /// Merges rows [index_rows_[attr], num_rows_) into the built index.
   void MergeAppendedRows(size_t attr) const;
+  /// Applies the freeze rule to a fully built index: sparse distinct sets
+  /// convert to hybrid containers (read-only phase; Index() must have been
+  /// called first so the index is built and merged).
+  void FreezeIndex(size_t attr) const;
 
   bool RowEquals(uint32_t row, const std::vector<ValueId>& ids) const;
 
@@ -209,6 +236,11 @@ class Instance {
   /// instance out across pool workers (the lazy mutable caches otherwise
   /// make even const methods single-threaded; see the class NOTE above).
   void WarmForConcurrentReads() const;
+
+  /// Heap + object bytes of the stored facts and warm caches: interned
+  /// pool values (shallow), columns, fact hashes, column indexes, and the
+  /// active-domain snapshot. Boxed compatibility views count shallow.
+  size_t MemoryBytes() const;
 
   /// Multi-line table rendering of non-empty relations.
   std::string ToString() const;

@@ -1,0 +1,197 @@
+// Property suite for the chunked hybrid containers: HybridBitmap must
+// agree with DenseBitmap (the flat reference kernel) on Contains,
+// SubsetOf, Intersect, Count, and the fused AndCount across the densities
+// that exercise every per-chunk representation — empty, one element,
+// either side of the per-chunk dense crossover, full, and alternating —
+// including universes whose tail word is partial at both SIMD lane widths
+// (the dispatch threshold sits at kSimdMinWords words).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "test_util.h"
+#include "whynot/common/hybrid_bitmap.h"
+
+namespace whynot {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+std::vector<ValueId> SortedUniqueIds(Rng* rng, int32_t universe,
+                                     size_t count) {
+  std::vector<ValueId> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ids.push_back(static_cast<ValueId>(
+        rng->Below(static_cast<uint64_t>(universe))));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+/// Id patterns per 2^16-bit chunk sweeping the container crossover. The
+/// per-chunk rule is dense iff card > 4 * words; a full chunk flips at
+/// 4096 elements, so 4095/4097 pin threshold±1.
+std::vector<std::vector<ValueId>> ChunkPatterns(Rng* rng, int32_t universe) {
+  std::vector<std::vector<ValueId>> out;
+  out.push_back({});                                   // empty
+  out.push_back({static_cast<ValueId>(rng->Below(
+      static_cast<uint64_t>(universe)))});             // singleton
+  size_t full_words = (static_cast<size_t>(universe) + 63) / 64;
+  size_t crossover = 4 * std::min<size_t>(full_words, 1024);
+  out.push_back(SortedUniqueIds(rng, universe, crossover - 1));
+  out.push_back(SortedUniqueIds(rng, universe, crossover + 1));
+  std::vector<ValueId> alternating;                    // every other bit
+  for (int32_t id = 0; id < universe; id += 2) alternating.push_back(id);
+  out.push_back(std::move(alternating));
+  std::vector<ValueId> full(static_cast<size_t>(universe));
+  for (int32_t id = 0; id < universe; ++id) {
+    full[static_cast<size_t>(id)] = id;
+  }
+  out.push_back(std::move(full));
+  return out;
+}
+
+TEST(HybridBitmapTest, AgreesWithDenseBitmapAcrossDensities) {
+  Rng rng(0x9e3779b97f4a7c15ULL);
+  // Universes straddle the chunk boundary (65536 bits) and exercise tail
+  // words on both sides of the kSimdMinWords dispatch threshold:
+  // 130 bits = 3 words (scalar tail), 530 = 9 words (SIMD with partial
+  // tail), 65536+77 spans two chunks with a ragged second chunk.
+  for (int32_t universe : {130, 530, 4096, 65536 + 77, 3 * 65536 + 1}) {
+    SCOPED_TRACE(universe);
+    std::vector<std::vector<ValueId>> patterns = ChunkPatterns(&rng, universe);
+    for (size_t pi = 0; pi < patterns.size(); ++pi) {
+      for (size_t pj = 0; pj < patterns.size(); ++pj) {
+        const std::vector<ValueId>& a_ids = patterns[pi];
+        const std::vector<ValueId>& b_ids = patterns[pj];
+        SCOPED_TRACE(pi);
+        SCOPED_TRACE(pj);
+        DenseBitmap da(a_ids, universe);
+        DenseBitmap db(b_ids, universe);
+        HybridBitmap ha = HybridBitmap::FromSorted(a_ids, universe);
+        HybridBitmap hb = HybridBitmap::FromSorted(b_ids, universe);
+
+        ASSERT_EQ(ha.Count(), a_ids.size());
+        ASSERT_EQ(ha.ToIds(), a_ids);
+
+        // Membership: every 97th id plus both patterns' own elements.
+        for (int32_t id = 0; id < universe; id += 97) {
+          ASSERT_EQ(ha.Test(id), da.Test(id)) << id;
+        }
+        for (ValueId id : b_ids) {
+          if (rng.Below(16) == 0) ASSERT_EQ(ha.Test(id), da.Test(id)) << id;
+        }
+
+        EXPECT_EQ(ha.SubsetOf(hb), da.SubsetOf(db));
+        EXPECT_EQ(HybridBitmap::AndCount(ha, hb),
+                  DenseBitmap::AndCountWords(da.words().data(),
+                                             db.words().data(),
+                                             da.num_words()));
+        EXPECT_EQ(HybridBitmap::AnyAnd(ha, hb),
+                  HybridBitmap::AndCount(ha, hb) != 0);
+        HybridBitmap hi = HybridBitmap::Intersect(ha, hb);
+        DenseBitmap di = DenseBitmap::Intersect(da, db);
+        EXPECT_EQ(hi.ToIds(), di.ToIds());
+
+        // Mixed hybrid × raw-word kernels against the flat operand.
+        EXPECT_EQ(ha.AndCountWith(db.words().data(), db.num_words()),
+                  HybridBitmap::AndCount(ha, hb));
+        EXPECT_EQ(ha.AnyAndWith(db.words().data(), db.num_words()),
+                  HybridBitmap::AnyAnd(ha, hb));
+        std::vector<uint64_t> acc(db.words());
+        ha.AndWith(acc.data(), acc.data(), acc.size());  // aliased in/out
+        EXPECT_EQ(acc, di.words());
+
+        std::vector<uint64_t> decoded(da.num_words(), ~uint64_t{0});
+        ha.DecodeTo(decoded.data(), decoded.size());
+        EXPECT_EQ(decoded, da.words());
+      }
+    }
+  }
+}
+
+TEST(HybridBitmapTest, SubsetOfMatchesReferenceOnRandomPairs) {
+  Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    int32_t universe = 1 + static_cast<int32_t>(rng.Below(200000));
+    std::vector<ValueId> b_ids =
+        SortedUniqueIds(&rng, universe, rng.Below(2000));
+    // Bias toward genuine subsets: sample a from b half the time.
+    std::vector<ValueId> a_ids;
+    if (rng.Below(2) == 0) {
+      for (ValueId id : b_ids) {
+        if (rng.Below(3) != 0) a_ids.push_back(id);
+      }
+    } else {
+      a_ids = SortedUniqueIds(&rng, universe, rng.Below(200));
+    }
+    HybridBitmap ha = HybridBitmap::FromSorted(a_ids, universe);
+    HybridBitmap hb = HybridBitmap::FromSorted(b_ids, universe);
+    bool want = std::includes(b_ids.begin(), b_ids.end(), a_ids.begin(),
+                              a_ids.end());
+    ASSERT_EQ(ha.SubsetOf(hb), want) << "round " << round;
+  }
+}
+
+TEST(HybridBitmapTest, FromWordsRoundTripsAndTracksMemory) {
+  Rng rng(99);
+  for (size_t nwords : {0ul, 1ul, 7ul, 8ul, 9ul, 1024ul, 1030ul}) {
+    std::vector<uint64_t> words(nwords);
+    for (uint64_t& w : words) {
+      // Sparse-ish fill so both container kinds appear across sizes.
+      w = rng.Next() & rng.Next() & rng.Next();
+    }
+    HybridBitmap h = HybridBitmap::FromWords(words.data(), nwords);
+    EXPECT_EQ(h.Count(), DenseBitmap::PopcountWords(words.data(), nwords));
+    std::vector<uint64_t> back(nwords, ~uint64_t{0});
+    h.DecodeTo(back.data(), nwords);
+    EXPECT_EQ(back, words);
+    EXPECT_GE(h.MemoryBytes(), sizeof(HybridBitmap));
+  }
+  // A genuinely sparse large set must be far below its dense equivalent
+  // (the point of the freeze): 100 elements over 2^20 bits.
+  std::vector<ValueId> sparse;
+  for (int i = 0; i < 100; ++i) sparse.push_back(i * 10007);
+  HybridBitmap h = HybridBitmap::FromSorted(sparse, 1 << 20);
+  EXPECT_LT(h.MemoryBytes() * 3, h.DenseEquivalentBytes());
+  EXPECT_EQ(h.NumDenseContainers(), 0u);
+}
+
+TEST(HybridBitmapTest, ChooseHybridRepFollowsDensityRule) {
+  ASSERT_EQ(GetSetRepPolicy(), SetRepPolicy::kAdaptive);
+  // At or below kDenseMirrorMinWords words the dense form always wins.
+  EXPECT_FALSE(ChooseHybridRep(1, kDenseMirrorMinWords));
+  EXPECT_FALSE(ChooseHybridRep(0, kDenseMirrorMinWords));
+  // Past it, hybrid iff the universe exceeds the per-element budget.
+  EXPECT_TRUE(ChooseHybridRep(1, kDenseMirrorMinWords + 1));
+  EXPECT_FALSE(ChooseHybridRep(1000, 1000));
+  EXPECT_TRUE(
+      ChooseHybridRep(100, 100 * kDenseMirrorMaxWordsPerElement + 1));
+  EXPECT_FALSE(ChooseHybridRep(100, 100 * kDenseMirrorMaxWordsPerElement));
+
+  // Force modes override the rule (the representation-equivalence sweep).
+  SetSetRepPolicy(SetRepPolicy::kForceHybrid);
+  EXPECT_TRUE(ChooseHybridRep(1000, 1));
+  SetSetRepPolicy(SetRepPolicy::kForceDense);
+  EXPECT_FALSE(ChooseHybridRep(1, 1 << 20));
+  SetSetRepPolicy(SetRepPolicy::kAdaptive);
+}
+
+}  // namespace
+}  // namespace whynot

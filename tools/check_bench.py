@@ -19,7 +19,17 @@ the deep-lattice scenarios only finish exactly because the dominance
 pruning holds, so a collapse in effectiveness is a correctness-adjacent
 regression, not just a slowdown.
 
+Since PR 7 the memory column: entries exporting a memory_bytes counter
+(bench_memory's container sweep and warm-session residency scenarios)
+print their residency against the dense_memory_bytes counterfactual —
+the force-dense byte count the hybrid containers replaced — and are
+gated against the parent tree: when the baseline JSON carries the same
+entry, current memory_bytes above --memory-ceiling (default 1.10x) times
+the parent's fails, so a time win can never quietly buy back the memory.
+Per-binary peak RSS (context.peak_rss_bytes) is reported alongside.
+
 Usage: tools/check_bench.py [bench-json] [--floor 0.85] [--prune-floor 0.9]
+                            [--memory-ceiling 1.10] [--baseline-json FILE]
 """
 
 import argparse
@@ -33,12 +43,18 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", nargs="?",
                         default=str(Path(__file__).resolve().parent.parent /
-                                    "BENCH_PR6.json"))
+                                    "BENCH_PR7.json"))
     parser.add_argument("--floor", type=float, default=0.85,
                         help="fail when any benchmark's speedup is below this")
     parser.add_argument("--prune-floor", type=float, default=0.9,
                         help="fail when a >10^6-product lattice benchmark "
                              "skips less than this fraction of the product")
+    parser.add_argument("--memory-ceiling", type=float, default=1.10,
+                        help="fail when an entry's memory_bytes exceeds this "
+                             "multiple of the parent tree's")
+    parser.add_argument("--baseline-json", default=None,
+                        help="parent-tree BENCH json for the memory gate "
+                             "(default: BENCH_PR<N-1>.json beside bench-json)")
     args = parser.parse_args()
 
     data = json.load(open(args.bench_json))
@@ -96,6 +112,66 @@ def main() -> int:
                 if raw > 1e6 and ratio < args.prune_floor:
                     prune_fails.append((name, ratio))
 
+    # Memory column: residency report plus the >ceiling-vs-parent gate.
+    baseline_path = args.baseline_json
+    if baseline_path is None:
+        pr = data.get("pr")
+        if isinstance(pr, int):
+            baseline_path = str(Path(args.bench_json).resolve().parent /
+                                f"BENCH_PR{pr - 1}.json")
+    baseline_memory = {}  # name -> memory_bytes
+    baseline_rss = {}     # bench binary -> peak_rss_bytes
+    if baseline_path:
+        try:
+            base = json.load(open(baseline_path))
+            for section in ("benchmarks_1thread", "benchmarks"):
+                for bench, payload in base.get(section, {}).items():
+                    rss = payload.get("context", {}).get("peak_rss_bytes")
+                    if rss:
+                        baseline_rss.setdefault(bench, rss)
+                    for name, r in payload.get("results", {}).items():
+                        mem = r.get("counters", {}).get("memory_bytes")
+                        if mem is not None:
+                            baseline_memory.setdefault(name, mem)
+        except (FileNotFoundError, json.JSONDecodeError):
+            pass
+
+    memory_fails = []
+    seen_memory = set()
+    for section in ("benchmarks_1thread", "benchmarks"):
+        for bench, payload in data.get(section, {}).items():
+            rss = payload.get("context", {}).get("peak_rss_bytes")
+            if rss and bench not in seen_memory:
+                seen_memory.add(bench)
+                line = f"rss {bench}: peak {rss / 1e6:.1f} MB"
+                if bench in baseline_rss:
+                    line += f" ({rss / baseline_rss[bench]:.2f}x parent)"
+                print(line)
+            for name, r in sorted(payload.get("results", {}).items()):
+                c = r.get("counters", {})
+                mem = c.get("memory_bytes")
+                if mem is None or name in seen_memory:
+                    continue
+                seen_memory.add(name)
+                dense = c.get("dense_memory_bytes")
+                line = f"memory {name}: {mem / 1e6:.2f} MB"
+                if dense:
+                    line += (f", dense counterfactual {dense / 1e6:.2f} MB "
+                             f"({dense / mem:.1f}x reduction)" if mem
+                             else "")
+                adaptive = c.get("adaptive_memory_bytes")
+                adaptive_dense = c.get("adaptive_dense_bytes")
+                if adaptive and adaptive_dense:
+                    line += (f"; adaptive sets {adaptive / 1e6:.2f} MB vs "
+                             f"{adaptive_dense / 1e6:.2f} MB dense "
+                             f"({adaptive_dense / adaptive:.1f}x)")
+                if name in baseline_memory and baseline_memory[name] > 0:
+                    ratio = mem / baseline_memory[name]
+                    line += f" [{ratio:.2f}x parent]"
+                    if ratio > args.memory_ceiling:
+                        memory_fails.append((name, ratio))
+                print(line)
+
     regressed = {name: s for name, s in sorted(speedups.items())
                  if s < args.floor}
     if regressed:
@@ -110,6 +186,13 @@ def main() -> int:
               file=sys.stderr)
         for name, ratio in prune_fails:
             print(f"  {name}: {ratio:.2%}", file=sys.stderr)
+        return 1
+    if memory_fails:
+        print(f"\nFAIL: {len(memory_fails)} benchmark(s) above "
+              f"{args.memory_ceiling:.2f}x the parent's memory_bytes:",
+              file=sys.stderr)
+        for name, ratio in memory_fails:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
         return 1
     print(f"OK: no tracked benchmark below {args.floor:.2f}x")
     return 0

@@ -30,13 +30,29 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-rel}"
 MIN_TIME="${2:-0.2}"
-PR="${3:-6}"
+PR="${3:-7}"
 OUT="$REPO_ROOT/BENCH_PR${PR}.json"
 BASELINE="${4:-$REPO_ROOT/BENCH_PR$((PR - 1)).json}"
 BENCHES=(bench_table1_subsumption bench_why bench_enumerate
          bench_incremental bench_lub bench_exhaustive bench_check_mge
-         bench_cardinality bench_parallel bench_session)
+         bench_cardinality bench_parallel bench_session bench_memory)
 POOLED_THREADS="${WHYNOT_THREADS:-$(nproc)}"
+
+# Runs one bench invocation, writing its JSON stdout to $1 and its peak
+# resident set in bytes to $2 (merged into the result's context block as
+# peak_rss_bytes). The image has no GNU time binary, so a python wrapper
+# reads the child rusage instead.
+run_bench() {
+  python3 - "$@" <<'PYEOF'
+import resource, subprocess, sys
+out_path, rss_path, *cmd = sys.argv[1:]
+with open(out_path, "w") as out:
+    subprocess.run(cmd, stdout=out, check=True)
+rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+with open(rss_path, "w") as f:
+    f.write(str(rss_kb * 1024))
+PYEOF
+}
 
 # WHYNOT_BENCH_RESULTS_DIR: when set, skip building/running and merge
 # pre-measured <bench>.pooled.json / <bench>.1thread.json files from that
@@ -57,14 +73,17 @@ else
     echo "Running $bench (pooled, $POOLED_THREADS threads) ..." >&2
     # Median of 3 repetitions: single runs of the µs-scale
     # canonical-instance microbenchmarks are too noisy for the gate.
-    WHYNOT_THREADS="$POOLED_THREADS" "$BUILD_DIR/$bench" \
-        --benchmark_format=json \
+    WHYNOT_THREADS="$POOLED_THREADS" run_bench \
+        "$TMP_DIR/$bench.pooled.json" "$TMP_DIR/$bench.pooled.rss" \
+        "$BUILD_DIR/$bench" --benchmark_format=json \
         --benchmark_min_time="$MIN_TIME" --benchmark_repetitions=3 \
-        --benchmark_report_aggregates_only=true > "$TMP_DIR/$bench.pooled.json"
+        --benchmark_report_aggregates_only=true
     echo "Running $bench (1 thread) ..." >&2
-    WHYNOT_THREADS=1 "$BUILD_DIR/$bench" --benchmark_format=json \
+    WHYNOT_THREADS=1 run_bench \
+        "$TMP_DIR/$bench.1thread.json" "$TMP_DIR/$bench.1thread.rss" \
+        "$BUILD_DIR/$bench" --benchmark_format=json \
         --benchmark_min_time="$MIN_TIME" --benchmark_repetitions=3 \
-        --benchmark_report_aggregates_only=true > "$TMP_DIR/$bench.1thread.json"
+        --benchmark_report_aggregates_only=true
   done
 fi
 
@@ -109,6 +128,12 @@ STANDARD_FIELDS = {
 
 def load(bench, flavor):
     data = json.load(open(f"{tmp_dir}/{bench}.{flavor}.json"))
+    context = data.get("context", {})
+    try:
+        with open(f"{tmp_dir}/{bench}.{flavor}.rss") as f:
+            context["peak_rss_bytes"] = int(f.read().strip())
+    except (FileNotFoundError, ValueError):
+        pass
     # Aggregate runs report <name>_mean/_median/_stddev/_cv; keep the
     # median under the plain benchmark name. Plain names pass through.
     results = {}
@@ -124,7 +149,7 @@ def load(bench, flavor):
         if counters:
             row["counters"] = counters
         results[name] = row
-    return data.get("context", {}), results
+    return context, results
 
 
 def speedups_against_baseline(results):
