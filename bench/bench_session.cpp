@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "whynot/common/exec_control.h"
 #include "whynot/whynot.h"
 
 namespace wn = whynot;
@@ -214,5 +215,105 @@ void BM_SessionInvalidationRewarm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SessionInvalidationRewarm)->RangeMultiplier(4)->Range(4, 16);
+
+// --- PR 8: execution-control deadline sweep --------------------------------
+
+// MgesWithDegradation under a per-request wall-clock deadline, swept from
+// none (0: the uninterrupted overhead row — every probe active, nothing
+// fires) down to budgets a request may genuinely blow through. Whether a
+// given row degrades depends on the host, so the exact/heuristic split is
+// exported as counters rather than assumed; the explanations counter shows
+// the degraded rows still return usable partials.
+void BM_DeadlineSweep_MgesWithDegradation(benchmark::State& state) {
+  auto f = MakeFixture(32, 6, 8);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  auto session = wn::explain::ExplainSession::Bind(
+      f->scenario.instance.get(), f->scenario.stock_query,
+      f->scenario.ontology.get());
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  const int64_t deadline_ms = state.range(0);
+  size_t i = 0;
+  double exact = 0, heuristic = 0, explanations = 0, total = 0;
+  for (auto _ : state) {
+    wn::exec::ExecContext ctx;
+    if (deadline_ms > 0) {
+      ctx.deadline = wn::exec::Deadline::After(deadline_ms);
+    }
+    auto graded = session->MgesWithDegradation(
+        f->requests[i++ % f->requests.size()], &ctx);
+    if (!graded.ok()) {
+      state.SkipWithError(graded.status().ToString().c_str());
+      return;
+    }
+    total += 1;
+    if (graded->certificate.quality == wn::exec::Quality::kExact) exact += 1;
+    if (graded->certificate.quality == wn::exec::Quality::kHeuristic) {
+      heuristic += 1;
+    }
+    explanations += static_cast<double>(graded->explanations.size());
+    benchmark::DoNotOptimize(graded->explanations.size());
+  }
+  state.counters["exact_frac"] = total > 0 ? exact / total : 0;
+  state.counters["heuristic_frac"] = total > 0 ? heuristic / total : 0;
+  state.counters["explanations"] =
+      benchmark::Counter(explanations, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_DeadlineSweep_MgesWithDegradation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16);
+
+// Deterministic interruption-depth sweep: an injected deadline fires once
+// the search's serial probe ordinal reaches the trigger, independent of
+// host speed, so each row measures the cost of stopping at that depth plus
+// the greedy-fallback rung when the truncated prefix is empty. Trigger 0
+// stops before any candidate (pure fallback cost); the deepest row runs
+// most of the space first.
+void BM_InjectedStopSweep_MgesWithDegradation(benchmark::State& state) {
+  auto f = MakeFixture(32, 6, 8);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  auto session = wn::explain::ExplainSession::Bind(
+      f->scenario.instance.get(), f->scenario.stock_query,
+      f->scenario.ontology.get());
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  const size_t trigger = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  double explanations = 0, tested = 0, total = 0;
+  for (auto _ : state) {
+    wn::test::FaultInjector inj = wn::test::FaultInjector::DeadlineAt(trigger);
+    wn::exec::ExecContext ctx;
+    ctx.fault = &inj;
+    auto graded = session->MgesWithDegradation(
+        f->requests[i++ % f->requests.size()], &ctx);
+    if (!graded.ok()) {
+      state.SkipWithError(graded.status().ToString().c_str());
+      return;
+    }
+    total += 1;
+    tested += static_cast<double>(graded->certificate.progress.tested);
+    explanations += static_cast<double>(graded->explanations.size());
+    benchmark::DoNotOptimize(graded->certificate.progress.tested);
+  }
+  state.counters["explanations"] =
+      benchmark::Counter(explanations, benchmark::Counter::kAvgIterations);
+  state.counters["tested"] = total > 0 ? tested / total : 0;
+}
+BENCHMARK(BM_InjectedStopSweep_MgesWithDegradation)
+    ->Arg(0)
+    ->Arg(16)
+    ->Arg(1 << 20);
 
 }  // namespace

@@ -1,0 +1,79 @@
+#include "whynot/common/exec_control.h"
+
+#include <chrono>
+#include <thread>
+
+namespace whynot::exec {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "NONE";
+    case StopReason::kDeadline:
+      return "DEADLINE";
+    case StopReason::kCancelled:
+      return "CANCELLED";
+    case StopReason::kBudget:
+      return "BUDGET";
+  }
+  return "UNKNOWN";
+}
+
+const char* QualityName(Quality quality) {
+  switch (quality) {
+    case Quality::kExact:
+      return "EXACT";
+    case Quality::kLowerBound:
+      return "LOWER_BOUND";
+    case Quality::kHeuristic:
+      return "HEURISTIC";
+  }
+  return "UNKNOWN";
+}
+
+Status StopStatus(const Stop& stop, const std::string& what) {
+  std::string at = " (stopped at probe " + std::to_string(stop.at) + ")";
+  switch (stop.reason) {
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded(what + " hit its deadline" + at);
+    case StopReason::kCancelled:
+      return Status::Cancelled(what + " was cancelled" + at);
+    case StopReason::kBudget:
+      return Status::ResourceExhausted(what + " exhausted its budget" + at);
+    case StopReason::kNone:
+      break;
+  }
+  return Status::Internal(what + ": StopStatus on a non-stop");
+}
+
+std::optional<Stop> ExecContext::Poll(size_t probe) const {
+  if (cancel.cancelled()) return Stop{StopReason::kCancelled, probe};
+  if (deadline.Expired()) return Stop{StopReason::kDeadline, probe};
+  return std::nullopt;
+}
+
+std::optional<Stop> ExecContext::CheckFault(size_t probe) const {
+  if (std::optional<Stop> stop = fault->Observe(probe)) return stop;
+  // Injected delays make real deadlines reachable in tests; keep the
+  // strided real poll behind the injector so a DeadlineAt trigger is
+  // still the first stop a fast search can observe.
+  if ((++poll_tick_ & (kPollStride - 1)) != 0) return std::nullopt;
+  return Poll(probe);
+}
+
+}  // namespace whynot::exec
+
+namespace whynot::test {
+
+std::optional<exec::Stop> FaultInjector::Observe(size_t probe) {
+  ++observations_;
+  if (probe_delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(probe_delay_us));
+  }
+  if (reason_ != exec::StopReason::kNone && probe >= trigger_) {
+    return exec::Stop{reason_, trigger_};
+  }
+  return std::nullopt;
+}
+
+}  // namespace whynot::test

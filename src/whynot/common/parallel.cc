@@ -193,8 +193,10 @@ namespace {
 /// (worker, begin, end); the serial fast path costs one virtual-free
 /// inline call — no pool, no allocation.
 template <typename Fn>
-void ParallelForImpl(size_t n, size_t grain, const Fn& fn) {
+void ParallelForImpl(size_t n, size_t grain, const std::atomic<bool>* stop,
+                     const Fn& fn) {
   if (n == 0) return;
+  if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
   if (grain == 0) grain = 1;
   int threads = NumThreads();
   if (threads <= 1 || n <= grain || InParallelRegion()) {
@@ -215,6 +217,10 @@ void ParallelForImpl(size_t n, size_t grain, const Fn& fn) {
     return;
   }
   ThreadPool::Get().Run(nblocks, [&](int worker, size_t block) {
+    // Cooperative stop: blocks dispatched after the flag rises are
+    // skipped; already-running blocks finish (their output is discarded
+    // by the caller on the abandon path).
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
     size_t begin = block * block_size;
     size_t end = std::min(n, begin + block_size);
     fn(worker, begin, end);
@@ -226,12 +232,24 @@ void ParallelForImpl(size_t n, size_t grain, const Fn& fn) {
 void ParallelForWorker(
     size_t n, size_t grain,
     const std::function<void(int worker, size_t begin, size_t end)>& fn) {
-  ParallelForImpl(n, grain, fn);
+  ParallelForImpl(n, grain, nullptr, fn);
 }
 
 void ParallelFor(size_t n, size_t grain,
                  const std::function<void(size_t, size_t)>& fn) {
-  ParallelForImpl(n, grain,
+  ParallelForImpl(n, grain, nullptr,
+                  [&fn](int, size_t begin, size_t end) { fn(begin, end); });
+}
+
+void ParallelForWorker(
+    size_t n, size_t grain, const std::atomic<bool>* stop,
+    const std::function<void(int worker, size_t begin, size_t end)>& fn) {
+  ParallelForImpl(n, grain, stop, fn);
+}
+
+void ParallelFor(size_t n, size_t grain, const std::atomic<bool>* stop,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ParallelForImpl(n, grain, stop,
                   [&fn](int, size_t begin, size_t end) { fn(begin, end); });
 }
 

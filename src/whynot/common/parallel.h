@@ -1,6 +1,7 @@
 #ifndef WHYNOT_COMMON_PARALLEL_H_
 #define WHYNOT_COMMON_PARALLEL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 
@@ -57,6 +58,20 @@ void ParallelFor(size_t n, size_t grain,
 /// use the index for scratch whose contents never leak into results.
 void ParallelForWorker(
     size_t n, size_t grain,
+    const std::function<void(int worker, size_t begin, size_t end)>& fn);
+
+/// Cooperative-stop variants: `stop` (may be null) is polled once per
+/// block, at dispatch — a block that starts after the flag is set is
+/// skipped entirely, and the serial inline path checks once up front.
+/// Because whole index ranges may then never run, these are only for
+/// regions whose partial output is *discarded* on stop (the execution-
+/// control abandon path); deterministic merges must not observe which
+/// blocks ran. Block bodies that want a faster reaction set the flag
+/// themselves (it is the same flag they poll).
+void ParallelFor(size_t n, size_t grain, const std::atomic<bool>* stop,
+                 const std::function<void(size_t, size_t)>& fn);
+void ParallelForWorker(
+    size_t n, size_t grain, const std::atomic<bool>* stop,
     const std::function<void(int worker, size_t begin, size_t end)>& fn);
 
 }  // namespace whynot::par

@@ -28,6 +28,11 @@ enum class StatusCode {
   kResourceExhausted,
   /// Internal invariant violation; indicates a bug in this library.
   kInternal,
+  /// The request's deadline expired before an answer could be produced
+  /// (exec::Deadline); partial results travel via exec::Certificate.
+  kDeadlineExceeded,
+  /// The request was cooperatively cancelled (exec::CancelToken).
+  kCancelled,
 };
 
 /// Human-readable name of a status code ("Ok", "InvalidArgument", ...).
@@ -57,6 +62,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,9 +93,16 @@ class Result {
   /// Implicit from an error status. Must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
     assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      // NDEBUG builds must not fabricate an engaged-looking error result.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
   }
 
-  bool ok() const { return value_.has_value(); }
+  /// A Result whose value was consumed by `std::move(r).value()` is no
+  /// longer ok(): the moved-from optional stays engaged, but status()
+  /// reports the consumption instead of silently staying OK.
+  bool ok() const { return value_.has_value() && status_.ok(); }
   const Status& status() const { return status_; }
 
   /// Requires ok().
@@ -98,6 +116,7 @@ class Result {
   }
   T&& value() && {
     assert(ok());
+    status_ = Status::Internal("Result value consumed by move");
     return std::move(*value_);
   }
 

@@ -32,7 +32,10 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
   for (size_t i = 0; i < wni.arity(); ++i) {
     ValueId id = bound->pool().Intern(wni.missing[i]);
     lists[i] = bound->ConceptsContaining(id);
-    if (lists[i].empty()) return std::optional<CardinalityResult>();
+    if (lists[i].empty()) {
+      exec::FillCertificate(options.cert, exec::Stop{}, exec::Progress{}, 0);
+      return std::optional<CardinalityResult>();
+    }
   }
   std::optional<ConceptAnswerCovers> local;
   if (covers == nullptr) {
@@ -63,7 +66,7 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
       any_all ? LatticeChoice{}
               : ChooseStrategy(options.strategy, space, options.max_candidates,
                                bound, lattice, &local_lattice);
-  if (!choice.use_lattice &&
+  if (!choice.use_lattice && options.cert == nullptr &&
       (space.overflow() || space.total() > options.max_candidates)) {
     return Status::ResourceExhausted(
         "exact >card-maximal enumeration exceeded max_candidates "
@@ -129,6 +132,10 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
     return true;
   };
 
+  const bool certified = options.cert != nullptr;
+  exec::Stop stop;
+  exec::Progress progress;
+  exec::Stop* stop_p = certified ? &stop : nullptr;
   if (choice.use_lattice) {
     // Branch and bound on the degree: on_pass tracks the best degree over
     // *passing* products as the wave merge reaches them; a failing
@@ -147,28 +154,73 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
     hooks.expand = [&](const std::vector<size_t>& idx) {
       return !best_degree.has_value() || !(*best_degree > degree_at(idx));
     };
+    PruneStats local_ps;
+    PruneStats* ps = certified ? &local_ps : options.prune_stats;
     WHYNOT_RETURN_IF_ERROR(LatticeFilterSpace(space, *choice.lattice, lists,
                                               options.max_candidates, hooks,
-                                              options.prune_stats));
+                                              ps, options.exec, stop_p));
+    if (certified) {
+      progress.tested = local_ps.products_enumerated;
+      progress.remaining = local_ps.products_skipped;
+      if (options.prune_stats != nullptr) {
+        AccumulatePruneStats(options.prune_stats, local_ps);
+      }
+    }
   } else {
-    WHYNOT_RETURN_IF_ERROR(ParallelFilterSpace(space, pred, consume));
+    WHYNOT_RETURN_IF_ERROR(ParallelFilterSpace(
+        space, options.exec, stop_p,
+        certified ? options.max_candidates : SIZE_MAX, pred, consume));
+    if (certified) {
+      size_t total = space.overflow() ? SIZE_MAX : space.total();
+      progress.tested =
+          stop.reason != exec::StopReason::kNone ? stop.at : total;
+      progress.remaining = total - progress.tested;
+    }
   }
+  exec::FillCertificate(options.cert, stop, progress,
+                        front.empty() ? 0 : front.front().degree.finite);
   if (front.empty()) return std::optional<CardinalityResult>();
   return std::optional<CardinalityResult>(std::move(front.front()));
 }
 
 Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    ConceptAnswerCovers* covers) {
+    ConceptAnswerCovers* covers, const exec::ExecContext* exec,
+    exec::Certificate* cert) {
   std::optional<ConceptAnswerCovers> local;
   if (covers == nullptr) {
     local.emplace(bound, InternAnswers(bound, wni));
     covers = &*local;
   }
+  // The greedy certificate is filled by hand rather than through
+  // FillCertificate: a converged climb is still only a local optimum, so
+  // its quality never rises above kHeuristic.
+  size_t probes = 0;
+  auto fill_cert = [&](const exec::Stop& stop, size_t best) {
+    if (cert == nullptr) return;
+    cert->quality = exec::Quality::kHeuristic;
+    cert->stop = stop.reason;
+    cert->progress = exec::Progress{};
+    cert->progress.tested = probes;
+    cert->progress.best_so_far = best;
+  };
   Explanation seed;
+  ExistenceOptions eopts;
+  eopts.exec = exec;
+  exec::Certificate seed_cert;
+  if (cert != nullptr) eopts.cert = &seed_cert;
   WHYNOT_ASSIGN_OR_RETURN(bool exists,
-                          ExistsExplanation(bound, wni, &seed, {}, covers));
-  if (!exists) return std::optional<CardinalityResult>();
+                          ExistsExplanation(bound, wni, &seed, eopts, covers));
+  if (!exists) {
+    // Either no explanation exists or the seed search itself was stopped;
+    // the seed certificate's stop distinguishes the two.
+    if (cert != nullptr) {
+      cert->quality = exec::Quality::kHeuristic;
+      cert->stop = seed_cert.stop;
+      cert->progress = seed_cert.progress;
+    }
+    return std::optional<CardinalityResult>();
+  }
 
   // Per-position candidate lists are loop-invariant; hoist them out of
   // the climb.
@@ -180,10 +232,25 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
 
   Explanation current = seed;
   Degree degree = DegreeOf(bound, current);
+  // Stops are observed once per candidate examined, always at the serial
+  // acceptance point — the parallel path's sharded ANDs are pure and
+  // index-addressed, so the climb state at any stop ordinal is identical
+  // for every thread count. A stopped climb returns the current (sound)
+  // explanation when certified; the certificate's stop records where the
+  // climb was cut.
+  std::optional<exec::Stop> halted;
+  auto check = [&]() -> Status {
+    size_t probe = probes++;
+    if (std::optional<exec::Stop> s = exec::Check(exec, probe)) {
+      if (cert == nullptr) return exec::StopStatus(*s, "greedy climb");
+      halted = *s;
+    }
+    return Status::OK();
+  };
   bool improved = true;
-  while (improved) {
+  while (improved && !halted.has_value()) {
     improved = false;
-    for (size_t i = 0; i < current.size(); ++i) {
+    for (size_t i = 0; i < current.size() && !halted.has_value(); ++i) {
       // Positions other than i are stable across this candidate sweep
       // (an accepted swap only changes position i), so their covers AND
       // once; each candidate is one word-parallel intersect-any.
@@ -191,6 +258,8 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
       const std::vector<onto::ConceptId>& list = candidates[i];
       if (par::NumThreads() <= 1) {
         for (onto::ConceptId c : list) {
+          WHYNOT_RETURN_IF_ERROR(check());
+          if (halted.has_value()) break;
           if (c == current[i]) continue;
           if (ConceptAnswerCovers::AnyAndView(base, covers->Cover(c, i))) {
             continue;
@@ -220,6 +289,8 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
         }
       });
       for (size_t c = 0; c < list.size(); ++c) {
+        WHYNOT_RETURN_IF_ERROR(check());
+        if (halted.has_value()) break;
         if (list[c] == current[i] || !valid[c]) continue;
         Explanation probe = current;
         probe[i] = list[c];
@@ -232,6 +303,7 @@ Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
       }
     }
   }
+  fill_cert(halted.value_or(exec::Stop{}), degree.finite);
   return std::optional<CardinalityResult>(CardinalityResult{current, degree});
 }
 

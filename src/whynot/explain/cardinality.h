@@ -62,9 +62,17 @@ Result<std::optional<CardinalityResult>> ExactCardMaximal(
 /// set-cover-shaped families, illustrating Proposition 6.4's
 /// inapproximability. Returns nullopt when no explanation exists.
 /// Same `covers` contract as ExactCardMaximal.
+///
+/// `exec` / `cert` follow the engine-wide contract (ExhaustiveOptions):
+/// probes are per climb candidate, and with `cert` a stop returns the
+/// current sound explanation instead of an error. Greedy certificates are
+/// always Quality::kHeuristic — complete() only says the climb converged
+/// to its local optimum, never that the degree is maximal.
 Result<std::optional<CardinalityResult>> GreedyCardinalityClimb(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
-    ConceptAnswerCovers* covers = nullptr);
+    ConceptAnswerCovers* covers = nullptr,
+    const exec::ExecContext* exec = nullptr,
+    exec::Certificate* cert = nullptr);
 
 }  // namespace whynot::explain
 

@@ -12,7 +12,8 @@ namespace whynot::explain {
 Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
                               const WhyNotInstance& wni,
                               const Explanation& candidate,
-                              ConceptAnswerCovers* covers) {
+                              ConceptAnswerCovers* covers,
+                              const exec::ExecContext* exec) {
   if (candidate.size() != wni.arity()) {
     return Status::InvalidArgument(
         "explanation arity does not match the missing tuple");
@@ -34,8 +35,15 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
       par::NumThreads() > 1 && bound->NumConcepts() >= 64;
   // The replacement sweep below reads every concept's extension; warm them
   // all up front (sharded) so the parallel scan is read-only.
-  if (parallel) bound->WarmExtensions();
+  if (parallel) WHYNOT_RETURN_IF_ERROR(bound->WarmExtensions(exec));
   for (size_t i = 0; i < candidate.size(); ++i) {
+    // Position-granular probe at the same serial point on both paths: the
+    // parallel existence scan below settles in a thread-dependent order,
+    // so probes must not reach inside it. No partial result for a boolean
+    // check — stops are always errors.
+    if (std::optional<exec::Stop> s = exec::Check(exec, i)) {
+      return exec::StopStatus(*s, "CHECK-MGE");
+    }
     // The probe sweep only varies position i, so AND the other positions'
     // covers once and keep just the *alive* answers (those covered
     // everywhere else — the candidate being an explanation, its own
@@ -110,7 +118,8 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              const LsExplanation& candidate,
                              bool with_selections,
                              ls::LubContext* lub_context,
-                             ls::EvalCache* cache, LsAnswerCovers* covers) {
+                             ls::EvalCache* cache, LsAnswerCovers* covers,
+                             const exec::ExecContext* exec) {
   std::optional<ls::EvalCache> local_cache;
   if (cache == nullptr) {
     local_cache.emplace(wni.instance);
@@ -161,6 +170,10 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                                       lub_context->options(), candidate);
     };
     for (size_t j = 0; j < candidate.size(); ++j) {
+      // Position-granular probe, mirroring the serial loop's check below.
+      if (std::optional<exec::Stop> s = exec::Check(exec, j)) {
+        return exec::StopStatus(*s, "CHECK-MGE (derived)");
+      }
       const ls::Extension& ext = *exts[j];
       if (ext.all) continue;  // already maximally general at this position
 
@@ -193,7 +206,15 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
               return ProbeOutcome{true, Status::OK()};
             }
             return std::nullopt;
-          });
+          },
+          exec);
+      // An abandoned sweep may have skipped ranges; resolve the stop
+      // before trusting (or discarding) its outcome.
+      if (exec::ShouldAbandon(exec)) {
+        exec::Stop s = exec->PollNow(j).value_or(
+            exec::Stop{exec::StopReason::kCancelled, j});
+        return exec::StopStatus(s, "CHECK-MGE (derived)");
+      }
       if (outcome.has_value()) {
         if (!outcome->error.ok()) return outcome->error;
         if (outcome->broken) return false;
@@ -203,6 +224,9 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
   }
 
   for (size_t j = 0; j < candidate.size(); ++j) {
+    if (std::optional<exec::Stop> s = exec::Check(exec, j)) {
+      return exec::StopStatus(*s, "CHECK-MGE (derived)");
+    }
     const ls::Extension& ext = *exts[j];
     if (ext.all) continue;  // already maximally general at this position
 

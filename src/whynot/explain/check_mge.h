@@ -1,6 +1,7 @@
 #ifndef WHYNOT_EXPLAIN_CHECK_MGE_H_
 #define WHYNOT_EXPLAIN_CHECK_MGE_H_
 
+#include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
@@ -18,11 +19,15 @@ namespace whynot::explain {
 /// positions are shrunk back.
 /// `covers`, when non-null, must be the answer-cover table of
 /// (bound, InternAnswers(bound, wni)) — a prepared ExplainSession's warm
-/// table; results are identical either way.
+/// table; results are identical either way. `exec` is observed once per
+/// candidate position, at the same serial point on the serial and sharded
+/// paths; the boolean verdict admits no meaningful partial result, so a
+/// stop always returns the matching error status.
 Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
                               const WhyNotInstance& wni,
                               const Explanation& candidate,
-                              ConceptAnswerCovers* covers = nullptr);
+                              ConceptAnswerCovers* covers = nullptr,
+                              const exec::ExecContext* exec = nullptr);
 
 /// CHECK-MGE W.R.T. OI (Definition 5.7, Proposition 5.2): is the candidate
 /// LS-explanation most general w.r.t. the instance-derived ontology OI?
@@ -35,12 +40,15 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
 /// `cache` / `covers`, when non-null, are a prepared session's warm
 /// extension memo and answer-cover table over (wni.instance, wni.answers);
 /// per-call locals are created otherwise, with identical results.
+/// `exec` follows the CheckMgeExternal contract (one probe per position,
+/// stops are always errors).
 Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              const LsExplanation& candidate,
                              bool with_selections,
                              ls::LubContext* lub_context,
                              ls::EvalCache* cache = nullptr,
-                             LsAnswerCovers* covers = nullptr);
+                             LsAnswerCovers* covers = nullptr,
+                             const exec::ExecContext* exec = nullptr);
 
 }  // namespace whynot::explain
 

@@ -1,6 +1,7 @@
 #include "whynot/explain/enumerate.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -314,9 +315,26 @@ class Enumerator {
 
     while (!queue.empty()) {
       if (stats_->nodes_expanded >= options_.max_nodes) {
-        return Status::ResourceExhausted(
-            "MGE enumeration exceeded max_nodes = " +
-            std::to_string(options_.max_nodes));
+        if (options_.cert == nullptr) {
+          return Status::ResourceExhausted(
+              "MGE enumeration exceeded max_nodes = " +
+              std::to_string(options_.max_nodes));
+        }
+        halted_ = exec::Stop{exec::StopReason::kBudget, options_.max_nodes};
+        remaining_ = queue.size();
+        break;
+      }
+      // Probe = node ordinal (nodes expanded so far) — the wave merge in
+      // RunParallel consumes nodes in the same order, so the ordinal at
+      // any stop is thread-invariant.
+      if (std::optional<exec::Stop> s =
+              exec::Check(options_.exec, stats_->nodes_expanded)) {
+        if (options_.cert == nullptr) {
+          return exec::StopStatus(*s, "MGE enumeration");
+        }
+        halted_ = *s;
+        remaining_ = queue.size();
+        break;
       }
       ExclusionSet excluded = std::move(queue.front());
       queue.pop_front();
@@ -341,7 +359,14 @@ class Enumerator {
               std::max(stats_->max_delay, nodes_since_last_output);
           nodes_since_last_output = 0;
           results.push_back(state.concepts);
-          if (results.size() >= options_.max_results) return results;
+          if (results.size() >= options_.max_results) {
+            if (options_.cert != nullptr) {
+              halted_ = exec::Stop{exec::StopReason::kBudget,
+                                   stats_->nodes_expanded};
+              remaining_ = queue.size();
+            }
+            return Finish(std::move(results));
+          }
         } else {
           ++stats_->duplicate_outputs;
         }
@@ -358,10 +383,27 @@ class Enumerator {
         }
       }
     }
-    return results;
+    return Finish(std::move(results));
   }
 
  private:
+  // Certifies a (possibly partial) result set: quality is kExact only for
+  // an uninterrupted run; any stop downgrades to kLowerBound — every
+  // reported element is a verified MGE, but the antichain may be
+  // incomplete. `remaining_` counts the branch-tree nodes still queued at
+  // the stop, a thread-invariant measure of the unexplored frontier.
+  Result<std::vector<LsExplanation>> Finish(
+      std::vector<LsExplanation> results) {
+    if (options_.cert != nullptr) {
+      exec::Progress progress;
+      progress.tested = stats_->nodes_expanded;
+      progress.remaining = remaining_;
+      exec::FillCertificate(options_.cert, halted_.value_or(exec::Stop{}),
+                            progress, results.size());
+    }
+    return results;
+  }
+
   Result<std::vector<LsExplanation>> RunParallel() {
     std::vector<LsExplanation> results;
     std::set<std::vector<ExtKey>> seen_outputs;
@@ -385,8 +427,16 @@ class Enumerator {
                           : 0;
       size_t n_eval = std::min(frontier.size(), budget);
       std::vector<NodeResult> evaluated(n_eval);
+      // Workers poll for abandonment (real deadline/cancellation only —
+      // never fault injection) at node granularity; an abandoned wave is
+      // discarded whole below, so skipped nodes cannot leak into results.
+      std::atomic<bool> abandon{false};
       par::ParallelForWorker(
-          n_eval, 1, [&](int w, size_t begin, size_t end) {
+          n_eval, 1, &abandon, [&](int w, size_t begin, size_t end) {
+            if (exec::ShouldAbandon(options_.exec)) {
+              abandon.store(true, std::memory_order_relaxed);
+              return;
+            }
             size_t slot = static_cast<size_t>(w);
             if (workers[slot] == nullptr) {
               worker_lubs[slot] = std::make_unique<ls::LubContext>(
@@ -417,13 +467,45 @@ class Enumerator {
               }
             }
           });
+      if (abandon.load(std::memory_order_relaxed)) {
+        // The wave may have holes, so none of it is consumed: the partial
+        // result is everything merged through the end of the previous
+        // wave. Both abandon conditions are monotone, so PollNow resolves
+        // the reason; the fallback covers a cancel raced against its own
+        // observation.
+        exec::Stop s =
+            options_.exec->PollNow(stats_->nodes_expanded)
+                .value_or(exec::Stop{exec::StopReason::kCancelled,
+                                     stats_->nodes_expanded});
+        if (options_.cert == nullptr) {
+          return exec::StopStatus(s, "MGE enumeration");
+        }
+        halted_ = s;
+        remaining_ = frontier.size();
+        break;
+      }
 
       std::vector<ExclusionSet> next;
       for (size_t i = 0; i < frontier.size(); ++i) {
         if (stats_->nodes_expanded >= options_.max_nodes) {
-          return Status::ResourceExhausted(
-              "MGE enumeration exceeded max_nodes = " +
-              std::to_string(options_.max_nodes));
+          if (options_.cert == nullptr) {
+            return Status::ResourceExhausted(
+                "MGE enumeration exceeded max_nodes = " +
+                std::to_string(options_.max_nodes));
+          }
+          halted_ = exec::Stop{exec::StopReason::kBudget, options_.max_nodes};
+          remaining_ = (frontier.size() - i) + next.size();
+          break;
+        }
+        // Same probe ordinals, same check order as the serial pop loop.
+        if (std::optional<exec::Stop> s =
+                exec::Check(options_.exec, stats_->nodes_expanded)) {
+          if (options_.cert == nullptr) {
+            return exec::StopStatus(*s, "MGE enumeration");
+          }
+          halted_ = *s;
+          remaining_ = (frontier.size() - i) + next.size();
+          break;
         }
         ++stats_->nodes_expanded;
         ++nodes_since_last_output;
@@ -437,7 +519,14 @@ class Enumerator {
                 std::max(stats_->max_delay, nodes_since_last_output);
             nodes_since_last_output = 0;
             results.push_back(std::move(nr.concepts));
-            if (results.size() >= options_.max_results) return results;
+            if (results.size() >= options_.max_results) {
+              if (options_.cert != nullptr) {
+                halted_ = exec::Stop{exec::StopReason::kBudget,
+                                     stats_->nodes_expanded};
+                remaining_ = (frontier.size() - 1 - i) + next.size();
+              }
+              return Finish(std::move(results));
+            }
           } else {
             ++stats_->duplicate_outputs;
           }
@@ -453,15 +542,18 @@ class Enumerator {
           }
         }
       }
+      if (halted_.has_value()) break;
       frontier = std::move(next);
     }
-    return results;
+    return Finish(std::move(results));
   }
 
   const WhyNotInstance& wni_;
   const EnumerateOptions& options_;
   ls::LubContext* lub_;
   EnumerateStats* stats_;
+  std::optional<exec::Stop> halted_;
+  size_t remaining_ = 0;
 };
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
@@ -39,6 +40,20 @@ struct EnumerateOptions {
   bool expand_duplicate_nodes = true;
 
   ls::LubOptions lub;
+
+  /// Optional execution control, observed once per branch-tree node at the
+  /// serial consumption point (queue pop / wave merge), so node ordinals —
+  /// and hence any injected stop — are identical for every thread count.
+  const exec::ExecContext* exec = nullptr;
+
+  /// When non-null, a stop (deadline, cancellation, or the max_nodes /
+  /// max_results budgets) returns OK with the MGEs reported so far — every
+  /// one a verified most-general explanation, but possibly not all of them
+  /// (Quality::kLowerBound) — and the certificate records where the
+  /// enumeration was cut. When null, deadline/cancellation return the
+  /// matching error status and max_nodes keeps its historical
+  /// ResourceExhausted.
+  exec::Certificate* cert = nullptr;
 };
 
 /// Counters exposed for the enumeration benchmarks (delay behaviour).

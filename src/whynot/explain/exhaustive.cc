@@ -35,12 +35,16 @@ Result<std::vector<std::vector<onto::ConceptId>>> CandidateLists(
 /// under kLattice — run the dominance-pruned frontier
 /// (LatticeFilterSpace), which visits exactly the ≼-maximal survivors in
 /// the same serial order, so MGE callers see bit-identical output.
+/// `stop` / `progress` (both null or both set — set iff the caller wants a
+/// certificate) make stops return OK with the deterministic partial
+/// prefix; see ExhaustiveOptions::cert.
 template <typename Visit>
 Status EnumerateExplanations(
     onto::BoundOntology* bound, const WhyNotInstance& wni,
     const std::vector<std::vector<onto::ConceptId>>& lists,
     ConceptAnswerCovers* covers, const ExhaustiveOptions& options,
-    LatticeHandle* lattice, Visit visit) {
+    LatticeHandle* lattice, Visit visit, exec::Stop* stop = nullptr,
+    exec::Progress* progress = nullptr) {
   size_t m = wni.arity();
   for (const auto& list : lists) {
     if (list.empty()) return Status::OK();
@@ -51,7 +55,7 @@ Status EnumerateExplanations(
       ChooseStrategy(options.strategy, space, options.max_candidates, bound,
                      lattice, &local_lattice);
 
-  if (!choice.use_lattice &&
+  if (!choice.use_lattice && stop == nullptr &&
       (space.overflow() || space.total() > options.max_candidates)) {
     return Status::ResourceExhausted(
         "candidate enumeration exceeded max_candidates (the space is "
@@ -71,11 +75,38 @@ Status EnumerateExplanations(
     LatticeFrontierHooks hooks;
     hooks.pred = pred;
     hooks.consume = consume;
-    return LatticeFilterSpace(space, *choice.lattice, lists,
-                              options.max_candidates, hooks,
-                              options.prune_stats);
+    PruneStats local_ps;
+    PruneStats* ps = progress != nullptr ? &local_ps : options.prune_stats;
+    Status st =
+        LatticeFilterSpace(space, *choice.lattice, lists,
+                           options.max_candidates, hooks, ps, options.exec,
+                           stop);
+    if (progress != nullptr) {
+      progress->tested = local_ps.products_enumerated;
+      progress->remaining = local_ps.products_skipped;
+      if (options.prune_stats != nullptr) {
+        AccumulatePruneStats(options.prune_stats, local_ps);
+      }
+    }
+    return st;
   }
-  return ParallelFilterSpace(space, pred, consume);
+  // With a certificate requested the odometer budget becomes a kBudget
+  // stop at ordinal max_candidates — the budget-truncated prefix — instead
+  // of the pre-emptive ResourceExhausted above.
+  Status st = ParallelFilterSpace(space, options.exec, stop,
+                                  stop != nullptr ? options.max_candidates
+                                                  : SIZE_MAX,
+                                  pred, consume);
+  if (progress != nullptr) {
+    size_t total = space.overflow() ? SIZE_MAX : space.total();
+    size_t tested = stop != nullptr && stop->reason != exec::StopReason::kNone
+                        ? stop->at
+                        : total;
+    progress->tested = tested;
+    progress->remaining =
+        total == SIZE_MAX ? SIZE_MAX : total - std::min(tested, total);
+  }
+  return st;
 }
 
 }  // namespace
@@ -95,12 +126,16 @@ Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
   // Line 2: the set X of all explanations. (On the frontier path X is
   // already the maximal antichain, so lines 3-5 below pass it through.)
   std::vector<Explanation> x;
+  exec::Stop stop;
+  exec::Progress progress;
+  bool certified = options.cert != nullptr;
   WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
       bound, wni, lists, covers, options, lattice,
       [&x](const Explanation& e) {
         x.push_back(e);
         return true;
-      }));
+      },
+      certified ? &stop : nullptr, certified ? &progress : nullptr));
 
   // Lines 3-5: remove every explanation strictly less general than another.
   std::vector<bool> removed(x.size(), false);
@@ -125,6 +160,7 @@ Result<std::vector<Explanation>> ExhaustiveSearchAllMge(
     if (!duplicate) result.push_back(x[i]);
   }
   std::sort(result.begin(), result.end());
+  exec::FillCertificate(options.cert, stop, progress, result.size());
   return result;
 }
 
@@ -141,6 +177,9 @@ Result<std::vector<Explanation>> PrunedSearchAllMge(
   }
 
   std::vector<Explanation> antichain;
+  exec::Stop stop;
+  exec::Progress progress;
+  bool certified = options.cert != nullptr;
   WHYNOT_RETURN_IF_ERROR(EnumerateExplanations(
       bound, wni, lists, covers, options, lattice,
       [&](const Explanation& e) {
@@ -157,8 +196,10 @@ Result<std::vector<Explanation>> PrunedSearchAllMge(
             antichain.end());
         antichain.push_back(e);
         return true;
-      }));
+      },
+      certified ? &stop : nullptr, certified ? &progress : nullptr));
   std::sort(antichain.begin(), antichain.end());
+  exec::FillCertificate(options.cert, stop, progress, antichain.size());
   return antichain;
 }
 

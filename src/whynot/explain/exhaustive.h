@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
 #include "whynot/explain/explanation.h"
 #include "whynot/explain/lattice.h"
@@ -25,6 +26,17 @@ struct ExhaustiveOptions {
   /// When non-null, frontier enumerations accumulate pruning counters
   /// here (left untouched on the odometer path).
   PruneStats* prune_stats = nullptr;
+  /// Optional execution control (deadline / cancellation / fault
+  /// injection), observed only at serial merge points so interrupted
+  /// output stays bit-identical at every thread count. Null = none.
+  const exec::ExecContext* exec = nullptr;
+  /// When non-null, a stop (deadline / cancellation / budget) returns OK
+  /// with the deterministic partial prefix covered so far and fills this
+  /// certificate (Quality::kLowerBound: every returned tuple is a genuine
+  /// explanation, maximality only certified up to the covered prefix).
+  /// When null, stops return the matching error status and budget
+  /// exhaustion keeps its historical ResourceExhausted report.
+  exec::Certificate* cert = nullptr;
 };
 
 /// Algorithm 1 (EXHAUSTIVE SEARCH): computes the set of *all* most-general

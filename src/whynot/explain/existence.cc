@@ -58,7 +58,11 @@ class Search {
 
   Result<bool> Run(Explanation* witness) {
     for (const auto& list : candidates_) {
-      if (list.empty()) return false;
+      if (list.empty()) {
+        exec::FillCertificate(options_.cert, exec::Stop{}, exec::Progress{},
+                              0);
+        return false;
+      }
     }
     // Parallel configuration: per-position cover tables are resolved
     // lazily on first descent into a position (an easy instance that
@@ -71,6 +75,14 @@ class Search {
     bool found = false;
     WHYNOT_RETURN_IF_ERROR(Descend(0, covers_->full_words(), &found));
     if (found && witness != nullptr) *witness = chosen_;
+    if (options_.cert != nullptr) {
+      // A stop and a found witness are mutually exclusive (descent
+      // unwinds on either), so a witness is always definitive.
+      exec::Stop stop = halted_.value_or(exec::Stop{});
+      exec::Progress progress;
+      progress.tested = halted_.has_value() ? halted_->at : nodes_;
+      exec::FillCertificate(options_.cert, stop, progress, found ? 1 : 0);
+    }
     return found;
   }
 
@@ -84,11 +96,23 @@ class Search {
 
   Status Descend(size_t pos, const std::vector<uint64_t>& alive,
                  bool* found) {
-    if (*found) return Status::OK();
+    if (*found || halted_.has_value()) return Status::OK();
+    size_t probe = nodes_;  // 0-based node ordinal, thread-invariant
     if (++nodes_ > options_.max_nodes) {
-      return Status::ResourceExhausted(
-          "existence search exceeded max_nodes (the problem is NP-complete, "
-          "Theorem 5.1.2)");
+      if (options_.cert == nullptr) {
+        return Status::ResourceExhausted(
+            "existence search exceeded max_nodes (the problem is "
+            "NP-complete, Theorem 5.1.2)");
+      }
+      halted_ = exec::Stop{exec::StopReason::kBudget, options_.max_nodes};
+      return Status::OK();
+    }
+    if (std::optional<exec::Stop> s = exec::Check(options_.exec, probe)) {
+      if (options_.cert == nullptr) {
+        return exec::StopStatus(*s, "existence search");
+      }
+      halted_ = *s;  // unwind the whole descent via the guard above
+      return Status::OK();
     }
     if (pos == m_) {
       if (!Any(alive)) *found = true;
@@ -133,7 +157,7 @@ class Search {
         // next: otherwise the whole level's buffers stay live under the
         // entire subtree (O(|candidates| × words) instead of one level).
         std::vector<uint64_t>().swap(nexts[c]);
-        if (*found) return Status::OK();
+        if (*found || halted_.has_value()) return Status::OK();
       }
     } else {
       std::vector<uint64_t> next(nwords);
@@ -146,7 +170,7 @@ class Search {
         }
         chosen_[pos] = c;
         WHYNOT_RETURN_IF_ERROR(Descend(pos + 1, next, found));
-        if (*found) return Status::OK();
+        if (*found || halted_.has_value()) return Status::OK();
       }
     }
     defeated_.emplace(std::move(key));
@@ -164,6 +188,7 @@ class Search {
   Explanation chosen_;
   std::set<std::pair<size_t, std::vector<uint64_t>>> defeated_;
   size_t nodes_ = 0;
+  std::optional<exec::Stop> halted_;
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
 #include "whynot/explain/explanation.h"
 #include "whynot/explain/lattice.h"
@@ -22,6 +23,15 @@ struct ExistenceOptions {
   /// kOdometer here) keeps the plain backtracker: one-shot callers pin
   /// its witness.
   SearchStrategy strategy = SearchStrategy::kAuto;
+  /// Optional execution control, observed once per backtracking node (the
+  /// traversal is thread-invariant, so node ordinals are too).
+  const exec::ExecContext* exec = nullptr;
+  /// When non-null, a stop returns OK(false) with the certificate filled
+  /// (Quality::kLowerBound — no witness found within the covered nodes;
+  /// existence is unresolved). A found witness is always definitive
+  /// (kExact). When null, stops return the matching error status and the
+  /// node budget keeps its historical ResourceExhausted.
+  exec::Certificate* cert = nullptr;
 };
 
 /// EXISTENCE-OF-EXPLANATION (Definition 5.2): does any explanation for

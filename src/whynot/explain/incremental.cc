@@ -58,14 +58,33 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
         "contradicts Section 5.2 (the trivial explanation always exists)");
   }
 
+  // Execution control: one probe per generalization candidate, counted in
+  // the fixed sweep order (including skipped candidates, so ordinals
+  // depend only on the instance). A stop leaves `e` a sound explanation —
+  // just not necessarily most general.
+  size_t probes = 0;
+  std::optional<exec::Stop> halted;
+  auto check = [&]() -> Status {
+    size_t probe = probes++;
+    if (std::optional<exec::Stop> s = exec::Check(options.exec, probe)) {
+      if (options.cert == nullptr) {
+        return exec::StopStatus(*s, "incremental search");
+      }
+      halted = *s;
+    }
+    return Status::OK();
+  };
+
   // Lines 4-11: for every position and every uncovered active-domain
   // constant, try the lub-generalized tuple; keep it if it remains an
   // explanation. The probe is one word-parallel AND over the cover
   // bitmaps with position j swapped to the candidate.
   const std::vector<Value>& adom = wni.instance->ActiveDomain();
   const std::vector<ValueId>& adom_ids = wni.instance->ActiveDomainIds();
-  for (size_t j = 0; j < m; ++j) {
+  for (size_t j = 0; j < m && !halted.has_value(); ++j) {
     for (size_t bi = 0; bi < adom.size(); ++bi) {
+      WHYNOT_RETURN_IF_ERROR(check());
+      if (halted.has_value()) break;
       if (exts[j]->ContainsId(adom_ids[bi])) continue;
       std::vector<Value> extended = support[j];
       extended.push_back(adom[bi]);
@@ -84,15 +103,28 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
 
   // Final sweep: ⊤ is strictly more general than any concept whose
   // extension is finite; accept it where the tuple stays an explanation.
-  if (options.generalize_to_top) {
+  if (options.generalize_to_top && !halted.has_value()) {
     const ls::Extension top_ext = ls::Extension::All();
     for (size_t j = 0; j < m; ++j) {
+      WHYNOT_RETURN_IF_ERROR(check());
+      if (halted.has_value()) break;
       if (exts[j]->all) continue;
       if (!covers->ProductIntersects(exts, j, &top_ext)) {
         e[j] = ls::LsConcept::Top();
         exts[j] = &cache->Eval(e[j]);
       }
     }
+  }
+  if (options.cert != nullptr) {
+    size_t total = m * adom.size() + (options.generalize_to_top ? m : 0);
+    exec::Progress progress;
+    progress.tested = halted.has_value() ? halted->at : total;
+    progress.remaining = total - progress.tested;
+    // An interrupted sweep is kHeuristic: the tuple is a sound explanation
+    // but candidates after the cut were never offered, so most-generality
+    // is not certified.
+    exec::FillCertificate(options.cert, halted.value_or(exec::Stop{}),
+                          progress, 1, exec::Quality::kHeuristic);
   }
   return e;
 }

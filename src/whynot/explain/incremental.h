@@ -1,6 +1,7 @@
 #ifndef WHYNOT_EXPLAIN_INCREMENTAL_H_
 #define WHYNOT_EXPLAIN_INCREMENTAL_H_
 
+#include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
@@ -23,6 +24,18 @@ struct IncrementalOptions {
   bool generalize_to_top = true;
 
   ls::LubOptions lub;
+
+  /// Optional execution control, observed once per generalization
+  /// candidate (position, constant) in the fixed sweep order — the search
+  /// is serial, so probe ordinals are trivially deterministic.
+  const exec::ExecContext* exec = nullptr;
+
+  /// When non-null, a stop returns OK with the tuple generalized so far —
+  /// always a sound explanation (the nominal-pinned tuple is one and every
+  /// accepted swap preserves that), but possibly not most general
+  /// (Quality::kHeuristic) — and the certificate records the cut. When
+  /// null, stops return the matching error status.
+  exec::Certificate* cert = nullptr;
 };
 
 /// Algorithm 2 (INCREMENTAL SEARCH): computes one most-general explanation

@@ -43,6 +43,19 @@ struct PruneStats {
   size_t waves = 0;
 };
 
+/// Accumulates one enumeration's counters into a running total
+/// (products_skipped saturates at SIZE_MAX, its overflow sentinel).
+inline void AccumulatePruneStats(PruneStats* into, const PruneStats& from) {
+  into->products_enumerated += from.products_enumerated;
+  into->downset_hits += from.downset_hits;
+  into->waves += from.waves;
+  into->products_skipped =
+      from.products_skipped == SIZE_MAX ||
+              SIZE_MAX - into->products_skipped < from.products_skipped
+          ? SIZE_MAX
+          : into->products_skipped + from.products_skipped;
+}
+
 /// The subsumption lattice of one BoundOntology, in concept-id space: the
 /// reflexive-transitive ⊑ rows intersected with extension inclusion (the
 /// *effective* order ≼), plus its strict upset/downset row bitmaps and the

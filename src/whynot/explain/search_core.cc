@@ -90,8 +90,10 @@ class PositionFrontier {
 Status LatticeFilterSpace(
     const CandidateSpace& space, const ConceptLattice& lattice,
     const std::vector<std::vector<onto::ConceptId>>& lists, size_t max_tested,
-    const LatticeFrontierHooks& hooks, PruneStats* stats) {
+    const LatticeFrontierHooks& hooks, PruneStats* stats,
+    const exec::ExecContext* exec, exec::Stop* stop) {
   PruneStats ps;
+  if (stop != nullptr) *stop = exec::Stop{};
   size_t m = space.arity();
   if (m == 0 || (!space.overflow() && space.total() == 0)) return Status::OK();
 
@@ -101,6 +103,12 @@ Status LatticeFilterSpace(
         "downset pruning (the frontier of tested products is itself "
         "exponential in the query arity, Theorem 5.2)");
   };
+
+  // When a partial result is requested, stops (the budget included) break
+  // out to the antichain replay below instead of erroring; `halted`
+  // carries the Stop. With no `stop` out-param every stop site returns
+  // exactly the historical status, before any consume or stats write.
+  std::optional<exec::Stop> halted;
 
   std::vector<PositionFrontier> pos(m);
   for (size_t i = 0; i < m; ++i) pos[i].Init(&lattice, &lists[i]);
@@ -128,7 +136,12 @@ Status LatticeFilterSpace(
     std::vector<size_t> ti(m, 0);
     std::vector<uint32_t> node(m);
     for (;;) {
-      if (frontier.size() >= max_tested) return exhausted();
+      if (frontier.size() >= max_tested) {
+        if (stop == nullptr) return exhausted();
+        halted = exec::Stop{exec::StopReason::kBudget, frontier.size()};
+        frontier.clear();  // nothing was tested; no partial to salvage
+        break;
+      }
       for (size_t i = 0; i < m; ++i) node[i] = pos[i].tops()[ti[i]];
       frontier.push_back(node);
       size_t i = 0;
@@ -158,20 +171,52 @@ Status LatticeFilterSpace(
   };
 
   std::vector<std::vector<uint32_t>> next;
-  while (!frontier.empty()) {
+  while (!halted.has_value() && !frontier.empty()) {
+    // Wave-start probe. products_enumerated only advances through the
+    // serial wave merge, so the ordinal sequence — and with it any
+    // injected stop and the antichain kept at that point — is identical
+    // at every thread count.
+    if (std::optional<exec::Stop> s =
+            exec::Check(exec, ps.products_enumerated)) {
+      if (stop == nullptr) {
+        return exec::StopStatus(*s, "dominance-pruned enumeration");
+      }
+      halted = *s;
+      break;
+    }
     ++ps.waves;
     if (max_tested - ps.products_enumerated < frontier.size()) {
-      return exhausted();
+      if (stop == nullptr) return exhausted();
+      halted = exec::Stop{exec::StopReason::kBudget, ps.products_enumerated};
+      break;
     }
     passed.assign(frontier.size(), 0);
     if (par::NumThreads() > 1) {
-      par::ParallelFor(frontier.size(), 16, [&](size_t begin, size_t end) {
-        std::vector<size_t> idx(m);
-        for (size_t i = begin; i < end; ++i) {
-          for (size_t p = 0; p < m; ++p) idx[p] = frontier[i][p];
-          passed[i] = hooks.pred(idx) ? 1 : 0;
+      std::atomic<bool> abandon{false};
+      par::ParallelFor(
+          frontier.size(), 16, &abandon, [&](size_t begin, size_t end) {
+            if (exec::ShouldAbandon(exec)) {
+              abandon.store(true, std::memory_order_relaxed);
+              return;
+            }
+            std::vector<size_t> idx(m);
+            for (size_t i = begin; i < end; ++i) {
+              for (size_t p = 0; p < m; ++p) idx[p] = frontier[i][p];
+              passed[i] = hooks.pred(idx) ? 1 : 0;
+            }
+          });
+      if (abandon.load(std::memory_order_relaxed)) {
+        // Real cancel/deadline mid-wave: the wave is discarded whole (not
+        // merged, not counted) and the antichain so far is the partial.
+        exec::Stop s = exec->PollNow(ps.products_enumerated)
+                           .value_or(exec::Stop{exec::StopReason::kCancelled,
+                                                ps.products_enumerated});
+        if (stop == nullptr) {
+          return exec::StopStatus(s, "dominance-pruned enumeration");
         }
-      });
+        halted = s;
+        break;
+      }
     } else {
       for (size_t i = 0; i < frontier.size(); ++i) {
         passed[i] = hooks.pred(to_idx(frontier[i])) ? 1 : 0;
@@ -181,7 +226,7 @@ Status LatticeFilterSpace(
 
     // Serial wave merge, in linearization order (the wave is sorted).
     next.clear();
-    for (size_t i = 0; i < frontier.size(); ++i) {
+    for (size_t i = 0; i < frontier.size() && !halted.has_value(); ++i) {
       const std::vector<uint32_t>& node = frontier[i];
       if (passed[i]) {
         if (hooks.on_pass) hooks.on_pass(to_idx(node));
@@ -202,11 +247,15 @@ Status LatticeFilterSpace(
         continue;
       }
       if (hooks.expand && !hooks.expand(to_idx(node))) continue;
-      for (size_t p = 0; p < m; ++p) {
+      for (size_t p = 0; p < m && !halted.has_value(); ++p) {
         for (uint32_t child_li : pos[p].Children(node[p])) {
           std::vector<uint32_t> child = node;
           child[p] = child_li;
-          if (visited.size() >= max_tested) return exhausted();
+          if (visited.size() >= max_tested) {
+            if (stop == nullptr) return exhausted();
+            halted = exec::Stop{exec::StopReason::kBudget, visited.size()};
+            break;
+          }
           if (!visited.insert(child).second) continue;
           if (dominated_by_kept(child)) {
             ++ps.downset_hits;
@@ -216,12 +265,14 @@ Status LatticeFilterSpace(
         }
       }
     }
+    if (halted.has_value()) break;
     std::sort(next.begin(), next.end(), LinearOrderLess<std::vector<uint32_t>>);
     frontier.swap(next);
   }
 
   // Replay the surviving antichain serially, in the serial odometer's
   // order — exactly where ParallelFilterSpace would have consumed them.
+  // On a halt this is the sound partial prefix the certificate covers.
   std::sort(kept.begin(), kept.end(), LinearOrderLess<std::vector<uint32_t>>);
   for (const auto& node : kept) {
     if (!hooks.consume(to_idx(node))) break;
@@ -239,6 +290,7 @@ Status LatticeFilterSpace(
             ? SIZE_MAX
             : stats->products_skipped + ps.products_skipped;
   }
+  if (halted.has_value()) *stop = *halted;  // non-null by construction
   return Status::OK();
 }
 

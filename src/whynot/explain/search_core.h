@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "whynot/common/dense_bitmap.h"
+#include "whynot/common/exec_control.h"
 #include "whynot/common/parallel.h"
 #include "whynot/common/status.h"
 #include "whynot/explain/answer_cover.h"
@@ -78,17 +79,56 @@ inline constexpr size_t kFilterGrain = 1024;
 /// A template rather than std::function plumbing: the serial loop runs
 /// per candidate and several entry points sit in sub-microsecond
 /// benchmark territory, where per-call indirection is measurable.
+///
+/// Execution control (`exec` may be null): the serial path probes
+/// exec::Check at every candidate ordinal; the parallel path probes at
+/// chunk starts, before every survivor consume, and — because a trigger
+/// can land on a non-survivor ordinal — once more at the chunk's last
+/// ordinal after the survivor replay, so it stops inside exactly the
+/// chunks whose ordinal range the serial loop would have stopped in.
+/// Workers poll ShouldAbandon at block starts (an abandoned chunk is
+/// discarded whole, never merged). Under fault injection with trigger N
+/// the consumed prefix is therefore exactly the survivors with ordinal
+/// < N on both paths — bit-identical at every thread count. `budget` is an ordinal
+/// cap checked at the same points (a kBudget stop at exactly `budget`,
+/// thread-count-invariant); pass SIZE_MAX for none. On a stop: when
+/// `stop` is null the enumeration returns the matching error status;
+/// when non-null it records the Stop there and returns OK with the
+/// prefix already consumed (`stop->reason == kNone` means it ran to
+/// completion).
 template <typename Pred, typename Consume, typename SerialSkip>
-Status ParallelFilterSpace(const CandidateSpace& space, Pred&& pred,
-                           Consume&& consume, SerialSkip&& serial_skip) {
+Status ParallelFilterSpace(const CandidateSpace& space,
+                           const exec::ExecContext* exec, exec::Stop* stop,
+                           size_t budget, Pred&& pred, Consume&& consume,
+                           SerialSkip&& serial_skip) {
+  if (stop != nullptr) *stop = exec::Stop{};
   if (!space.overflow() && space.total() == 0) return Status::OK();
+
+  auto halt = [&](const exec::Stop& s) {
+    if (stop != nullptr) {
+      *stop = s;
+      return Status::OK();
+    }
+    return exec::StopStatus(s, "candidate enumeration");
+  };
+  auto check_at = [&](size_t ordinal) -> std::optional<exec::Stop> {
+    if (ordinal >= budget) {
+      return exec::Stop{exec::StopReason::kBudget, budget};
+    }
+    return exec::Check(exec, ordinal);
+  };
 
   if (par::NumThreads() <= 1) {
     std::vector<size_t> idx(space.arity(), 0);
+    size_t ordinal = 0;
     for (;;) {
+      if (std::optional<exec::Stop> s = check_at(ordinal)) {
+        return halt(*s);
+      }
       if (!serial_skip(idx) && pred(idx) && !consume(idx)) {
         return Status::OK();
       }
+      ++ordinal;
       if (!space.Advance(&idx)) return Status::OK();
     }
   }
@@ -99,39 +139,70 @@ Status ParallelFilterSpace(const CandidateSpace& space, Pred&& pred,
   // survivors are recorded as offsets within the chunk and replayed by a
   // serial cursor odometer — exactly the serial enumeration order.
   std::vector<size_t> chunk_start(space.arity(), 0);
+  size_t chunk_base = 0;  // serial ordinal of chunk_start
   size_t remaining = space.RemainingFrom(chunk_start);
   std::vector<std::pair<size_t, std::vector<uint32_t>>> blocks;
   std::mutex mutex;
   std::vector<size_t> cursor_idx;
   while (remaining > 0) {
+    if (std::optional<exec::Stop> s = check_at(chunk_base)) {
+      return halt(*s);
+    }
     size_t chunk_len = std::min(remaining, kFilterChunk);
     blocks.clear();
-    par::ParallelFor(chunk_len, kFilterGrain, [&](size_t begin, size_t end) {
-      std::vector<uint32_t> survivors;
-      std::vector<size_t> idx = chunk_start;
-      space.AdvanceBy(&idx, begin);
-      for (size_t off = begin; off < end; ++off) {
-        if (pred(idx)) survivors.push_back(static_cast<uint32_t>(off));
-        space.Advance(&idx);
-      }
-      if (!survivors.empty()) {
-        std::lock_guard<std::mutex> lock(mutex);
-        blocks.emplace_back(begin, std::move(survivors));
-      }
-    });
+    std::atomic<bool> abandon{false};
+    par::ParallelFor(
+        chunk_len, kFilterGrain, &abandon, [&](size_t begin, size_t end) {
+          if (exec::ShouldAbandon(exec)) {
+            abandon.store(true, std::memory_order_relaxed);
+            return;
+          }
+          std::vector<uint32_t> survivors;
+          std::vector<size_t> idx = chunk_start;
+          space.AdvanceBy(&idx, begin);
+          for (size_t off = begin; off < end; ++off) {
+            if (pred(idx)) survivors.push_back(static_cast<uint32_t>(off));
+            space.Advance(&idx);
+          }
+          if (!survivors.empty()) {
+            std::lock_guard<std::mutex> lock(mutex);
+            blocks.emplace_back(begin, std::move(survivors));
+          }
+        });
+    if (abandon.load(std::memory_order_relaxed)) {
+      // Real cancel/deadline seen by a worker: the chunk is incomplete,
+      // so none of it is merged — the consumed prefix ends at the last
+      // full chunk, and both abandon conditions are monotone so the
+      // resolving poll is engaged.
+      exec::Stop s = exec->PollNow(chunk_base).value_or(
+          exec::Stop{exec::StopReason::kCancelled, chunk_base});
+      return halt(s);
+    }
     std::sort(blocks.begin(), blocks.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     cursor_idx = chunk_start;
     size_t cursor = 0;
     for (const auto& [begin, survivors] : blocks) {
       for (uint32_t off : survivors) {
+        if (std::optional<exec::Stop> s = check_at(chunk_base + off)) {
+          return halt(*s);
+        }
         space.AdvanceBy(&cursor_idx, off - cursor);
         cursor = off;
         if (!consume(cursor_idx)) return Status::OK();
       }
     }
+    // The serial reference probes every candidate ordinal, so a trigger
+    // (or budget) landing on a *non-survivor* ordinal of this chunk must
+    // stop here too: probe the chunk's last ordinal once its survivors
+    // are merged. Injected stops report at = trigger and budget stops
+    // at = budget, both thread-count-invariant.
+    if (std::optional<exec::Stop> s = check_at(chunk_base + chunk_len - 1)) {
+      return halt(*s);
+    }
     if (chunk_len == remaining && remaining != SIZE_MAX) break;
     space.AdvanceBy(&chunk_start, chunk_len);
+    chunk_base += chunk_len;
     remaining = remaining == SIZE_MAX ? space.RemainingFrom(chunk_start)
                                       : remaining - chunk_len;
   }
@@ -139,9 +210,29 @@ Status ParallelFilterSpace(const CandidateSpace& space, Pred&& pred,
 }
 
 template <typename Pred, typename Consume>
+Status ParallelFilterSpace(const CandidateSpace& space,
+                           const exec::ExecContext* exec, exec::Stop* stop,
+                           size_t budget, Pred&& pred, Consume&& consume) {
+  return ParallelFilterSpace(space, exec, stop, budget,
+                             std::forward<Pred>(pred),
+                             std::forward<Consume>(consume),
+                             [](const std::vector<size_t>&) { return false; });
+}
+
+template <typename Pred, typename Consume, typename SerialSkip>
+Status ParallelFilterSpace(const CandidateSpace& space, Pred&& pred,
+                           Consume&& consume, SerialSkip&& serial_skip) {
+  return ParallelFilterSpace(space, nullptr, nullptr, SIZE_MAX,
+                             std::forward<Pred>(pred),
+                             std::forward<Consume>(consume),
+                             std::forward<SerialSkip>(serial_skip));
+}
+
+template <typename Pred, typename Consume>
 Status ParallelFilterSpace(const CandidateSpace& space, Pred&& pred,
                            Consume&& consume) {
-  return ParallelFilterSpace(space, std::forward<Pred>(pred),
+  return ParallelFilterSpace(space, nullptr, nullptr, SIZE_MAX,
+                             std::forward<Pred>(pred),
                              std::forward<Consume>(consume),
                              [](const std::vector<size_t>&) { return false; });
 }
@@ -191,12 +282,24 @@ struct LatticeFrontierHooks {
 /// `max_tested` budgets predicate evaluations (the lattice counterpart of
 /// the odometer's raw-product budget); exceeding it returns
 /// ResourceExhausted. Counters accumulate into `stats` when non-null.
+///
+/// Execution control (`exec` may be null): checked at wave starts with
+/// probe = products_enumerated so far — a thread-invariant ordinal, since
+/// wave contents are serially merged in linearization order. When `stop`
+/// is null a stop returns the matching error (budget exhaustion keeps its
+/// historical ResourceExhausted, with no consume and no stats — exactly
+/// the pre-control behavior); when non-null the *current* ≼-maximal
+/// antichain is replayed through `consume` as a sound partial prefix,
+/// stats accumulate, the Stop (budget included, as kBudget) is recorded,
+/// and the call returns OK.
 Status LatticeFilterSpace(const CandidateSpace& space,
                           const ConceptLattice& lattice,
                           const std::vector<std::vector<onto::ConceptId>>& lists,
                           size_t max_tested,
                           const LatticeFrontierHooks& hooks,
-                          PruneStats* stats);
+                          PruneStats* stats,
+                          const exec::ExecContext* exec = nullptr,
+                          exec::Stop* stop = nullptr);
 
 /// Sharded first-outcome sweep over [0, n): `body(worker, i)` either
 /// returns std::nullopt ("nothing decided at i, keep scanning") or an
@@ -214,15 +317,21 @@ Status LatticeFilterSpace(const CandidateSpace& space,
 /// Only the parallel scaffolding lives here: callers keep their serial
 /// loops (which reuse the caller's own warm caches) and route through
 /// this when the pool is wide enough.
+/// `exec` (optional) is polled for abandonment at block starts — callers
+/// must re-check their context at the serial point after the sweep and
+/// discard the outcome on a stop, since an abandoned sweep may have
+/// skipped ranges.
 template <typename Worker, typename Outcome>
 std::optional<Outcome> LexMinSweep(
     size_t n, size_t grain, std::vector<std::unique_ptr<Worker>>* workers,
     const std::function<std::unique_ptr<Worker>()>& make_worker,
-    const std::function<std::optional<Outcome>(Worker&, size_t)>& body) {
+    const std::function<std::optional<Outcome>(Worker&, size_t)>& body,
+    const exec::ExecContext* exec = nullptr) {
   std::atomic<size_t> outcome_at{SIZE_MAX};
   std::mutex mutex;
   std::optional<Outcome> best;
   par::ParallelForWorker(n, grain, [&](int w, size_t begin, size_t end) {
+    if (exec::ShouldAbandon(exec)) return;
     if (begin > outcome_at.load(std::memory_order_relaxed)) return;
     size_t slot = static_cast<size_t>(w);
     if ((*workers)[slot] == nullptr) (*workers)[slot] = make_worker();

@@ -42,7 +42,33 @@ struct ExplainSession::State {
   std::unique_ptr<ls::LubContext> lub;
   std::unique_ptr<ls::EvalCache> cache;
   std::unique_ptr<LsAnswerCovers> ls_covers;
+
+  /// Session-wide cancel flag, copied into every session-built request
+  /// context so Cancel() from another thread reaches the request that is
+  /// currently inside a search. Replaced wholesale by ResetCancel().
+  exec::CancelToken cancel;
 };
+
+namespace {
+
+/// The effective execution context of one request: an explicit caller
+/// context wins verbatim (its own deadline, token, injector); otherwise
+/// the session builds one from its default request deadline and its
+/// cancel token. Always materialized — the per-probe cost of a default
+/// context is one strided counter test.
+exec::ExecContext MakeRequestExec(int64_t request_deadline_ms,
+                                  const exec::CancelToken& cancel,
+                                  const exec::ExecContext* exec) {
+  if (exec != nullptr) return *exec;
+  exec::ExecContext ctx;
+  if (request_deadline_ms > 0) {
+    ctx.deadline = exec::Deadline::After(request_deadline_ms);
+  }
+  ctx.cancel = cancel;
+  return ctx;
+}
+
+}  // namespace
 
 ExplainSession::ExplainSession(std::unique_ptr<State> state)
     : state_(std::move(state)) {}
@@ -97,7 +123,7 @@ Result<ExplainSession> ExplainSession::BindWithAnswers(
   return session;
 }
 
-Status ExplainSession::Rewarm() {
+Status ExplainSession::Rewarm(const exec::ExecContext* exec) {
   State& s = *state_;
   if (s.has_query) {
     WHYNOT_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
@@ -125,7 +151,10 @@ Status ExplainSession::Rewarm() {
   s.bound.reset();
   if (s.ontology != nullptr) {
     s.bound = std::make_unique<onto::BoundOntology>(s.ontology, s.instance);
-    s.bound->WarmExtensions();
+    // A stop (or injected warm fault) aborts the rewarm before the covers
+    // are rebuilt; s.version stays behind, so the next request retries the
+    // warm-up from the concepts already cached.
+    WHYNOT_RETURN_IF_ERROR(s.bound->WarmExtensions(exec));
     s.covers = std::make_unique<ConceptAnswerCovers>(
         s.bound.get(), InternAnswers(s.bound.get(), s.wni));
     s.why_covers = std::make_unique<ConceptAnswerCovers>(
@@ -136,15 +165,16 @@ Status ExplainSession::Rewarm() {
   return Status::OK();
 }
 
-Status ExplainSession::RewarmIfStale() {
+Status ExplainSession::RewarmIfStale(const exec::ExecContext* exec) {
   if (state_->version != state_->instance->version()) {
-    WHYNOT_RETURN_IF_ERROR(Rewarm());
+    WHYNOT_RETURN_IF_ERROR(Rewarm(exec));
   }
   return Status::OK();
 }
 
-Status ExplainSession::Prepare(const Tuple& tuple, bool expect_answer) {
-  WHYNOT_RETURN_IF_ERROR(RewarmIfStale());
+Status ExplainSession::Prepare(const Tuple& tuple, bool expect_answer,
+                               const exec::ExecContext* exec) {
+  WHYNOT_RETURN_IF_ERROR(RewarmIfStale(exec));
   State& s = *state_;
   if (s.has_query && s.query.arity() != tuple.size()) {
     return Status::InvalidArgument(
@@ -199,6 +229,10 @@ onto::BoundOntology* ExplainSession::bound_ontology() {
   return state_->bound.get();
 }
 
+void ExplainSession::Cancel() { state_->cancel.Cancel(); }
+
+void ExplainSession::ResetCancel() { state_->cancel = exec::CancelToken(); }
+
 Status ExplainSession::CheckConsistent() {
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
   WHYNOT_RETURN_IF_ERROR(RewarmIfStale());
@@ -241,102 +275,186 @@ ExplainSession::MemoryStats ExplainSession::MemoryUsage() const {
 
 // --- Derived-ontology (OI) requests ---------------------------------------
 
-Result<LsExplanation> ExplainSession::WhyNot(const Tuple& missing) {
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+Result<LsExplanation> ExplainSession::WhyNot(const Tuple& missing,
+                                             const exec::ExecContext* exec) {
   State& s = *state_;
-  return IncrementalSearch(s.wni, s.options.incremental, s.lub.get(),
-                           s.cache.get(), s.ls_covers.get());
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  IncrementalOptions opts = s.options.incremental;
+  opts.exec = &ctx;
+  return IncrementalSearch(s.wni, opts, s.lub.get(), s.cache.get(),
+                           s.ls_covers.get());
 }
 
 Result<std::vector<LsExplanation>> ExplainSession::EnumerateMges(
-    const Tuple& missing, EnumerateStats* stats) {
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+    const Tuple& missing, EnumerateStats* stats,
+    const exec::ExecContext* exec) {
   State& s = *state_;
-  return EnumerateAllMges(s.wni, s.options.enumerate, stats, s.lub.get());
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  EnumerateOptions opts = s.options.enumerate;
+  opts.exec = &ctx;
+  return EnumerateAllMges(s.wni, opts, stats, s.lub.get());
 }
 
 Result<bool> ExplainSession::CheckMgeDerived(const Tuple& missing,
-                                             const LsExplanation& candidate) {
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
+                                             const LsExplanation& candidate,
+                                             const exec::ExecContext* exec) {
   State& s = *state_;
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
   return explain::CheckMgeDerived(s.wni, candidate,
                                   s.options.incremental.with_selections,
                                   s.lub.get(), s.cache.get(),
-                                  s.ls_covers.get());
+                                  s.ls_covers.get(), &ctx);
 }
 
-Result<LsExplanation> ExplainSession::Why(const Tuple& present) {
-  WHYNOT_RETURN_IF_ERROR(Prepare(present, /*expect_answer=*/true));
+Result<LsExplanation> ExplainSession::Why(const Tuple& present,
+                                          const exec::ExecContext* exec) {
   State& s = *state_;
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(present, /*expect_answer=*/true, &ctx));
   // ls_covers indexes wni.answers, which equals the sort-deduped answer
   // vector of wi (both come from the same evaluation).
   return IncrementalWhySearch(s.wi, s.options.incremental.with_selections,
-                              s.lub.get(), s.cache.get(), s.ls_covers.get());
+                              s.lub.get(), s.cache.get(), s.ls_covers.get(),
+                              &ctx);
 }
 
 // --- External-ontology requests -------------------------------------------
 
 Result<std::vector<Explanation>> ExplainSession::ExhaustiveMges(
-    const Tuple& missing) {
+    const Tuple& missing, const exec::ExecContext* exec) {
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
-  return ExhaustiveSearchAllMge(s.bound.get(), s.wni, s.options.exhaustive,
-                                s.covers.get(), s.lattice.get());
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  ExhaustiveOptions opts = s.options.exhaustive;
+  opts.exec = &ctx;
+  return ExhaustiveSearchAllMge(s.bound.get(), s.wni, opts, s.covers.get(),
+                                s.lattice.get());
 }
 
 Result<std::vector<Explanation>> ExplainSession::PrunedMges(
-    const Tuple& missing) {
+    const Tuple& missing, const exec::ExecContext* exec) {
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
-  return PrunedSearchAllMge(s.bound.get(), s.wni, s.options.exhaustive,
-                            s.covers.get(), s.lattice.get());
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  ExhaustiveOptions opts = s.options.exhaustive;
+  opts.exec = &ctx;
+  return PrunedSearchAllMge(s.bound.get(), s.wni, opts, s.covers.get(),
+                            s.lattice.get());
 }
 
-Result<bool> ExplainSession::Exists(const Tuple& missing,
-                                    Explanation* witness) {
+Result<GradedMges> ExplainSession::MgesWithDegradation(
+    const Tuple& missing, const exec::ExecContext* exec) {
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
-  return ExistsExplanation(s.bound.get(), s.wni, witness, s.options.existence,
-                           s.covers.get(), s.lattice.get());
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  GradedMges graded;
+  // Rung 1/2: the pruned exact search under the request context. With a
+  // certificate attached a stop is not an error — the search returns the
+  // deterministic prefix it had confirmed and records the cut.
+  ExhaustiveOptions opts = s.options.exhaustive;
+  opts.exec = &ctx;
+  opts.cert = &graded.certificate;
+  WHYNOT_ASSIGN_OR_RETURN(
+      graded.explanations,
+      PrunedSearchAllMge(s.bound.get(), s.wni, opts, s.covers.get(),
+                         s.lattice.get()));
+  if (graded.certificate.complete() || !graded.explanations.empty()) {
+    return graded;  // kExact, or a non-empty kLowerBound prefix
+  }
+  // Rung 3: the stop left nothing confirmed. A cancelled caller asked for
+  // no further work; a deadline/budget stop buys one greedy explanation
+  // under a cancel-only grace context (no deadline, no injector — the
+  // original deadline is already spent).
+  if (graded.certificate.stop == exec::StopReason::kCancelled) return graded;
+  exec::ExecContext grace;
+  grace.cancel = ctx.cancel;
+  exec::Certificate greedy_cert;
+  WHYNOT_ASSIGN_OR_RETURN(
+      std::optional<CardinalityResult> one,
+      GreedyCardinalityClimb(s.bound.get(), s.wni, s.covers.get(), &grace,
+                             &greedy_cert));
+  if (one.has_value()) {
+    graded.explanations.push_back(std::move(one->explanation));
+    graded.certificate.quality = exec::Quality::kHeuristic;
+    graded.certificate.progress.best_so_far = 1;
+  }
+  // The certificate keeps the original stop reason: it explains why the
+  // answer is not exact, not how the fallback itself ended.
+  return graded;
+}
+
+Result<bool> ExplainSession::Exists(const Tuple& missing, Explanation* witness,
+                                    const exec::ExecContext* exec) {
+  WHYNOT_RETURN_IF_ERROR(RequireOntology());
+  State& s = *state_;
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  ExistenceOptions opts = s.options.existence;
+  opts.exec = &ctx;
+  return ExistsExplanation(s.bound.get(), s.wni, witness, opts, s.covers.get(),
+                           s.lattice.get());
 }
 
 Result<std::optional<CardinalityResult>> ExplainSession::CardMaximal(
-    const Tuple& missing) {
+    const Tuple& missing, const exec::ExecContext* exec) {
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
-  return ExactCardMaximal(s.bound.get(), s.wni, s.options.exhaustive,
-                          s.covers.get(), s.lattice.get());
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  ExhaustiveOptions opts = s.options.exhaustive;
+  opts.exec = &ctx;
+  return ExactCardMaximal(s.bound.get(), s.wni, opts, s.covers.get(),
+                          s.lattice.get());
 }
 
 Result<std::optional<CardinalityResult>> ExplainSession::GreedyCard(
-    const Tuple& missing) {
+    const Tuple& missing, const exec::ExecContext* exec) {
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
-  return GreedyCardinalityClimb(s.bound.get(), s.wni, s.covers.get());
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  return GreedyCardinalityClimb(s.bound.get(), s.wni, s.covers.get(), &ctx);
 }
 
 Result<bool> ExplainSession::CheckMge(const Tuple& missing,
-                                      const Explanation& candidate) {
+                                      const Explanation& candidate,
+                                      const exec::ExecContext* exec) {
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
-  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false));
   State& s = *state_;
-  return CheckMgeExternal(s.bound.get(), s.wni, candidate, s.covers.get());
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
+  return CheckMgeExternal(s.bound.get(), s.wni, candidate, s.covers.get(),
+                          &ctx);
 }
 
 Result<std::vector<Explanation>> ExplainSession::WhyMges(
-    const Tuple& present) {
+    const Tuple& present, const exec::ExecContext* exec) {
   WHYNOT_RETURN_IF_ERROR(RequireOntology());
-  WHYNOT_RETURN_IF_ERROR(Prepare(present, /*expect_answer=*/true));
   State& s = *state_;
+  exec::ExecContext ctx =
+      MakeRequestExec(s.options.request_deadline_ms, s.cancel, exec);
+  WHYNOT_RETURN_IF_ERROR(Prepare(present, /*expect_answer=*/true, &ctx));
   return AllMostGeneralWhyExplanations(
       s.bound.get(), s.wi, s.options.exhaustive.max_candidates,
       s.why_covers.get(), s.options.exhaustive.strategy, s.lattice.get(),
-      s.options.exhaustive.prune_stats);
+      s.options.exhaustive.prune_stats, &ctx);
 }
 
 }  // namespace whynot::explain

@@ -29,6 +29,22 @@ struct ExplainSessionOptions {
   IncrementalOptions incremental;  // WhyNot()/Why(): selections, ⊤ sweep
   EnumerateOptions enumerate;
   ls::LubOptions lub;
+
+  /// Default per-request deadline in milliseconds (0 = none). Every
+  /// request that is not handed an explicit ExecContext runs under a
+  /// fresh deadline of this length plus the session's cancel token; an
+  /// explicit context overrides both.
+  int64_t request_deadline_ms = 0;
+};
+
+/// An MGE answer graded by the degradation ladder (MgesWithDegradation):
+/// the certificate says what the explanation list is worth — kExact (the
+/// full antichain), kLowerBound (a deterministic prefix of it, cut by the
+/// stop the certificate records), or kHeuristic (the greedy fallback's
+/// single sound explanation).
+struct GradedMges {
+  std::vector<Explanation> explanations;
+  exec::Certificate certificate;
 };
 
 /// Prepared serving facade for repeated explanation traffic over one
@@ -109,46 +125,86 @@ class ExplainSession {
   };
   MemoryStats MemoryUsage() const;
 
+  // --- Execution control ---------------------------------------------------
+  //
+  // Every request below takes an optional ExecContext. When `exec` is
+  // null the session builds one per request from
+  // ExplainSessionOptions::request_deadline_ms and the session's cancel
+  // token; an explicit context is used verbatim (its own deadline, token,
+  // and fault injector), so Cancel() only reaches requests that let the
+  // session build their context. Stops surface as DeadlineExceeded /
+  // Cancelled errors except through MgesWithDegradation, which converts
+  // them into graded partial answers.
+
+  /// Cooperatively cancels the in-flight request (callable from another
+  /// thread) and fails every later one until ResetCancel(). Only requests
+  /// running under a session-built context (exec == nullptr) observe it.
+  void Cancel();
+  /// Re-arms the session after Cancel() by installing a fresh token.
+  void ResetCancel();
+
   // --- Derived-ontology (OI) requests ------------------------------------
 
   /// Algorithm 2 (INCREMENTAL SEARCH): one most-general explanation for
   /// the missing tuple w.r.t. OI.
-  Result<LsExplanation> WhyNot(const Tuple& missing);
+  Result<LsExplanation> WhyNot(const Tuple& missing,
+                               const exec::ExecContext* exec = nullptr);
 
   /// All most-general explanations w.r.t. OI (EnumerateAllMges).
   Result<std::vector<LsExplanation>> EnumerateMges(
-      const Tuple& missing, EnumerateStats* stats = nullptr);
+      const Tuple& missing, EnumerateStats* stats = nullptr,
+      const exec::ExecContext* exec = nullptr);
 
   /// CHECK-MGE w.r.t. OI for a candidate LS explanation.
   Result<bool> CheckMgeDerived(const Tuple& missing,
-                               const LsExplanation& candidate);
+                               const LsExplanation& candidate,
+                               const exec::ExecContext* exec = nullptr);
 
   /// The dual question: a most-general why-explanation for a tuple that
   /// IS an answer, w.r.t. OI.
-  Result<LsExplanation> Why(const Tuple& present);
+  Result<LsExplanation> Why(const Tuple& present,
+                            const exec::ExecContext* exec = nullptr);
 
   // --- External-ontology requests (require an ontology) -------------------
 
   /// Algorithm 1 (EXHAUSTIVE SEARCH): all most-general explanations.
-  Result<std::vector<Explanation>> ExhaustiveMges(const Tuple& missing);
+  Result<std::vector<Explanation>> ExhaustiveMges(
+      const Tuple& missing, const exec::ExecContext* exec = nullptr);
 
   /// The pruned-antichain variant (same result set).
-  Result<std::vector<Explanation>> PrunedMges(const Tuple& missing);
+  Result<std::vector<Explanation>> PrunedMges(
+      const Tuple& missing, const exec::ExecContext* exec = nullptr);
+
+  /// The degradation ladder over PrunedMges: a stop no longer aborts the
+  /// request but walks down one rung at a time — (1) the exact antichain
+  /// (Quality::kExact), (2) the deterministic partial prefix the
+  /// interrupted search had confirmed (kLowerBound), (3) when the stop
+  /// left nothing, one greedy hill-climbing explanation computed under a
+  /// cancel-only grace context (kHeuristic). The certificate keeps the
+  /// original stop reason; a cancelled request never takes rung 3 (the
+  /// caller asked for no further work).
+  Result<GradedMges> MgesWithDegradation(
+      const Tuple& missing, const exec::ExecContext* exec = nullptr);
 
   /// EXISTENCE-OF-EXPLANATION; stores a witness when one exists.
-  Result<bool> Exists(const Tuple& missing, Explanation* witness = nullptr);
+  Result<bool> Exists(const Tuple& missing, Explanation* witness = nullptr,
+                      const exec::ExecContext* exec = nullptr);
 
   /// Exact >card-maximal explanation (Section 6).
-  Result<std::optional<CardinalityResult>> CardMaximal(const Tuple& missing);
+  Result<std::optional<CardinalityResult>> CardMaximal(
+      const Tuple& missing, const exec::ExecContext* exec = nullptr);
 
   /// The greedy hill-climbing heuristic for the same preference.
-  Result<std::optional<CardinalityResult>> GreedyCard(const Tuple& missing);
+  Result<std::optional<CardinalityResult>> GreedyCard(
+      const Tuple& missing, const exec::ExecContext* exec = nullptr);
 
   /// CHECK-MGE w.r.t. the external ontology.
-  Result<bool> CheckMge(const Tuple& missing, const Explanation& candidate);
+  Result<bool> CheckMge(const Tuple& missing, const Explanation& candidate,
+                        const exec::ExecContext* exec = nullptr);
 
   /// All most-general *why*-explanations w.r.t. the external ontology.
-  Result<std::vector<Explanation>> WhyMges(const Tuple& present);
+  Result<std::vector<Explanation>> WhyMges(
+      const Tuple& present, const exec::ExecContext* exec = nullptr);
 
   // Out-of-line: State is incomplete here (pimpl).
   ExplainSession(ExplainSession&&) noexcept;
@@ -166,14 +222,17 @@ class ExplainSession {
                                           ExplainSessionOptions options);
 
   /// Rebuilds all warm state against the current instance contents;
-  /// re-evaluates the query when the session owns one.
-  Status Rewarm();
+  /// re-evaluates the query when the session owns one. `exec` is observed
+  /// by the extension warm-up (WarmExtensions), so a request's deadline
+  /// covers the rewarm it triggers.
+  Status Rewarm(const exec::ExecContext* exec = nullptr);
   /// Rewarm iff the instance version moved since the last warm-up.
-  Status RewarmIfStale();
+  Status RewarmIfStale(const exec::ExecContext* exec = nullptr);
   /// RewarmIfStale, then validates and installs the request tuple
   /// (missing ∉ Ans when `expect_answer` is false, present ∈ Ans
   /// otherwise).
-  Status Prepare(const Tuple& tuple, bool expect_answer);
+  Status Prepare(const Tuple& tuple, bool expect_answer,
+                 const exec::ExecContext* exec = nullptr);
   Status RequireOntology() const;
 
   std::unique_ptr<State> state_;

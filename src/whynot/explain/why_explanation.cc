@@ -111,13 +111,17 @@ Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
 Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     onto::BoundOntology* bound, const WhyInstance& wi, size_t max_candidates,
     ConceptAnswerCovers* covers, SearchStrategy strategy,
-    LatticeHandle* lattice, PruneStats* prune_stats) {
+    LatticeHandle* lattice, PruneStats* prune_stats,
+    const exec::ExecContext* exec, exec::Certificate* cert) {
   size_t m = wi.arity();
   std::vector<std::vector<onto::ConceptId>> lists(m);
   for (size_t i = 0; i < m; ++i) {
     ValueId id = bound->pool().Intern(wi.present[i]);
     lists[i] = bound->ConceptsContaining(id);
-    if (lists[i].empty()) return std::vector<Explanation>{};
+    if (lists[i].empty()) {
+      exec::FillCertificate(cert, exec::Stop{}, exec::Progress{}, 0);
+      return std::vector<Explanation>{};
+    }
   }
   std::optional<ConceptAnswerCovers> local;
   if (covers == nullptr) {
@@ -131,7 +135,7 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
   std::unique_ptr<LatticeHandle> local_lattice;
   LatticeChoice choice = ChooseStrategy(strategy, space, max_candidates, bound,
                                         lattice, &local_lattice);
-  if (!choice.use_lattice &&
+  if (!choice.use_lattice && cert == nullptr &&
       (space.overflow() || space.total() > max_candidates)) {
     return Status::ResourceExhausted(
         "why-explanation enumeration exceeded max_candidates");
@@ -181,15 +185,28 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     antichain.push_back(current);
     return true;
   };
+  const bool certified = cert != nullptr;
+  exec::Stop stop;
+  exec::Progress progress;
+  exec::Stop* stop_p = certified ? &stop : nullptr;
   if (choice.use_lattice) {
     LatticeFrontierHooks hooks;
     hooks.pred = pred;
     hooks.consume = consume;
-    WHYNOT_RETURN_IF_ERROR(LatticeFilterSpace(
-        space, *choice.lattice, lists, max_candidates, hooks, prune_stats));
+    PruneStats local_ps;
+    PruneStats* ps = certified ? &local_ps : prune_stats;
+    WHYNOT_RETURN_IF_ERROR(LatticeFilterSpace(space, *choice.lattice, lists,
+                                              max_candidates, hooks, ps, exec,
+                                              stop_p));
+    if (certified) {
+      progress.tested = local_ps.products_enumerated;
+      progress.remaining = local_ps.products_skipped;
+      if (prune_stats != nullptr) AccumulatePruneStats(prune_stats, local_ps);
+    }
   } else {
     WHYNOT_RETURN_IF_ERROR(ParallelFilterSpace(
-        space, pred, consume,
+        space, exec, stop_p, certified ? max_candidates : SIZE_MAX, pred,
+        consume,
         // Serial prefilter: the domination check is two subsumption matrix
         // probes against a short antichain — far cheaper than the counting
         // containment test it saves (the parallel path filters first and
@@ -198,8 +215,15 @@ Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
           for (size_t i = 0; i < m; ++i) current[i] = lists[i][idx[i]];
           return dominated(current);
         }));
+    if (certified) {
+      size_t total = space.overflow() ? SIZE_MAX : space.total();
+      progress.tested =
+          stop.reason != exec::StopReason::kNone ? stop.at : total;
+      progress.remaining = total - progress.tested;
+    }
   }
   std::sort(antichain.begin(), antichain.end());
+  exec::FillCertificate(cert, stop, progress, antichain.size());
   return antichain;
 }
 
@@ -292,7 +316,9 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
                                            bool with_selections,
                                            ls::LubContext* lub_context,
                                            ls::EvalCache* cache,
-                                           LsAnswerCovers* covers) {
+                                           LsAnswerCovers* covers,
+                                           const exec::ExecContext* exec,
+                                           exec::Certificate* cert) {
   std::optional<ls::LubContext> local_ctx;
   if (lub_context == nullptr) {
     local_ctx.emplace(wi.instance);
@@ -321,11 +347,24 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
         "nominals is {a} which must be inside Ans");
   }
 
+  // One probe per generalization candidate in fixed sweep order, exactly
+  // the IncrementalSearch convention; a stop leaves `e` a sound
+  // why-explanation (every acceptance preserves product ⊆ Ans).
+  size_t probes = 0;
+  std::optional<exec::Stop> halted;
   const std::vector<Value>& adom = wi.instance->ActiveDomain();
   const std::vector<ValueId>& adom_ids = wi.instance->ActiveDomainIds();
-  for (size_t j = 0; j < m; ++j) {
+  for (size_t j = 0; j < m && !halted.has_value(); ++j) {
     ValueId present_id = pool.Lookup(wi.present[j]);
     for (size_t bi = 0; bi < adom.size(); ++bi) {
+      size_t probe = probes++;
+      if (std::optional<exec::Stop> s = exec::Check(exec, probe)) {
+        if (cert == nullptr) {
+          return exec::StopStatus(*s, "incremental why search");
+        }
+        halted = *s;
+        break;
+      }
       if (exts[j]->ContainsId(adom_ids[bi])) continue;
       std::vector<Value> extended = support[j];
       extended.push_back(adom[bi]);
@@ -340,6 +379,14 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
       }
     }
   }
+  if (cert != nullptr) {
+    size_t total = m * adom.size();
+    exec::Progress progress;
+    progress.tested = halted.has_value() ? halted->at : total;
+    progress.remaining = total - progress.tested;
+    exec::FillCertificate(cert, halted.value_or(exec::Stop{}), progress, 1,
+                          exec::Quality::kHeuristic);
+  }
   return e;
 }
 
@@ -348,7 +395,8 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                 bool with_selections,
                                 ls::LubContext* lub_context,
                                 ls::EvalCache* cache,
-                                LsAnswerCovers* covers) {
+                                LsAnswerCovers* covers,
+                                const exec::ExecContext* exec) {
   WhyScratch scratch;
   ResolveWhyCaches(wi, &cache, &covers, &scratch);
   // The parallel workers build their own covers, which must index the
@@ -397,6 +445,13 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                       lub_context->options(), candidate);
     };
     for (size_t j = 0; j < candidate.size(); ++j) {
+      // Position-granular probe at the same serial point as the serial
+      // loop below: the sweep's internal schedule is thread-dependent, so
+      // probes must not depend on it. A boolean check has no partial
+      // result — stops are always errors here.
+      if (std::optional<exec::Stop> s = exec::Check(exec, j)) {
+        return exec::StopStatus(*s, "why CHECK-MGE");
+      }
       std::optional<ProbeOutcome> outcome = LexMinSweep<Worker, ProbeOutcome>(
           adom.size(), 8, &workers, make_worker,
           [&](Worker& wk, size_t bi) -> std::optional<ProbeOutcome> {
@@ -411,7 +466,15 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
               return ProbeOutcome{true, Status::OK()};
             }
             return std::nullopt;
-          });
+          },
+          exec);
+      // An abandoned sweep may have skipped ranges; resolve the stop
+      // before trusting (or discarding) its outcome.
+      if (exec::ShouldAbandon(exec)) {
+        exec::Stop s = exec->PollNow(j).value_or(
+            exec::Stop{exec::StopReason::kCancelled, j});
+        return exec::StopStatus(s, "why CHECK-MGE");
+      }
       if (outcome.has_value()) {
         if (!outcome->error.ok()) return outcome->error;
         if (outcome->broken) return false;
@@ -419,6 +482,9 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
     }
   } else {
     for (size_t j = 0; j < candidate.size(); ++j) {
+      if (std::optional<exec::Stop> s = exec::Check(exec, j)) {
+        return exec::StopStatus(*s, "why CHECK-MGE");
+      }
       for (size_t bi = 0; bi < adom.size(); ++bi) {
         if (exts[j]->ContainsId(adom_ids[bi])) continue;
         std::vector<Value> extended = exts[j]->values();

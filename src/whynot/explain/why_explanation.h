@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
@@ -57,12 +58,16 @@ Result<bool> IsWhyExplanation(onto::BoundOntology* bound,
 /// dispatches through the same strategy machinery as
 /// ExhaustiveSearchAllMge: `strategy`/`lattice`/`prune_stats` follow the
 /// ExhaustiveOptions contracts, and the frontier path returns the
-/// identical antichain.
+/// identical antichain. `exec`/`cert` follow the engine-wide contract
+/// (ExhaustiveOptions): with `cert`, a stop returns the deterministic
+/// partial antichain (Quality::kLowerBound) instead of an error, and
+/// max_candidates becomes a certified budget stop.
 Result<std::vector<Explanation>> AllMostGeneralWhyExplanations(
     onto::BoundOntology* bound, const WhyInstance& wi,
     size_t max_candidates = 20000000, ConceptAnswerCovers* covers = nullptr,
     SearchStrategy strategy = SearchStrategy::kAuto,
-    LatticeHandle* lattice = nullptr, PruneStats* prune_stats = nullptr);
+    LatticeHandle* lattice = nullptr, PruneStats* prune_stats = nullptr,
+    const exec::ExecContext* exec = nullptr, exec::Certificate* cert = nullptr);
 
 // --- Why-explanations w.r.t. the derived ontology OI ----------------------
 
@@ -93,21 +98,32 @@ bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e,
 /// with `with_selections`). PTIME for selection-free LS by the Theorem 5.3
 /// argument (the product of a why-explanation has at most |Ans| tuples, so
 /// every acceptance check is answer-bounded).
+///
+/// `exec`/`cert` follow the IncrementalOptions contract: probes are
+/// per generalization candidate in the fixed sweep order; with `cert` a
+/// stop returns the tuple generalized so far — a sound why-explanation,
+/// possibly not most general (Quality::kHeuristic).
 Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
                                            bool with_selections = false,
                                            ls::LubContext* lub_context = nullptr,
                                            ls::EvalCache* cache = nullptr,
-                                           LsAnswerCovers* covers = nullptr);
+                                           LsAnswerCovers* covers = nullptr,
+                                           const exec::ExecContext* exec = nullptr,
+                                           exec::Certificate* cert = nullptr);
 
 /// CHECK-MGE for the dual problem w.r.t. OI: no single-position
 /// lub-generalization keeps the product inside the answers. Same trailing
-/// cache convention as IsLsWhyExplanation.
+/// cache convention as IsLsWhyExplanation. `exec` is observed once per
+/// candidate position (the same serial points on the serial and sharded
+/// paths); the boolean verdict admits no meaningful partial result, so a
+/// stop always returns the matching error status.
 Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                 const LsExplanation& candidate,
                                 bool with_selections,
                                 ls::LubContext* lub_context,
                                 ls::EvalCache* cache = nullptr,
-                                LsAnswerCovers* covers = nullptr);
+                                LsAnswerCovers* covers = nullptr,
+                                const exec::ExecContext* exec = nullptr);
 
 }  // namespace whynot::explain
 

@@ -32,24 +32,38 @@ const ExtSet& BoundOntology::ExtSlow(ConceptId id) {
   return cache_[idx];
 }
 
-void BoundOntology::WarmExtensions() {
+Status BoundOntology::WarmExtensions(const exec::ExecContext* exec) {
   int32_t n = NumConcepts();
   std::vector<ConceptId> todo;
   for (ConceptId c = 0; c < n; ++c) {
     if (!cached_[static_cast<size_t>(c)]) todo.push_back(c);
   }
-  if (todo.empty()) return;
+  if (todo.empty()) return Status::OK();
+  // Injected warm failure: an allocation-failure stand-in fired before any
+  // mutation, so the cache is untouched and the call is safely retryable.
+  if (exec != nullptr && exec->fault != nullptr && exec->fault->fail_warm) {
+    return Status::ResourceExhausted(
+        "extension warm-up failed (injected fault)");
+  }
   if (par::NumThreads() <= 1 || todo.size() < kMinConceptsToShard) {
-    for (ConceptId c : todo) Ext(c);
-    return;
+    for (size_t k = 0; k < todo.size(); ++k) {
+      if (std::optional<exec::Stop> s = exec::Check(exec, k)) {
+        return exec::StopStatus(*s, "extension warm-up");
+      }
+      Ext(todo[k]);
+    }
+    return Status::OK();
   }
   // Serially compute the first concept through the normal path: any
   // once-per-ontology lazy state a ComputeExt keeps (e.g. the OBDA induced
   // ontology's saturation cache) is built here on the calling thread,
   // making the sharded calls below read-only on the ontology side.
+  if (std::optional<exec::Stop> s = exec::Check(exec, 0)) {
+    return exec::StopStatus(*s, "extension warm-up");
+  }
   Ext(todo.front());
   todo.erase(todo.begin());
-  if (todo.empty()) return;
+  if (todo.empty()) return Status::OK();
 
   // Sharded warm-up. ComputeExt interns into the bound pool, which is
   // single-threaded, so each shard computes into a concept-local pool and
@@ -67,14 +81,31 @@ void BoundOntology::WarmExtensions() {
   std::vector<Shard> shards(todo.size());
   const FiniteOntology* ontology = ontology_;
   const rel::Instance* instance = instance_;
-  par::ParallelFor(todo.size(), 1, [&](size_t begin, size_t end) {
+  // An abandoned compute wave has holes, so it is discarded whole below —
+  // already-warmed concepts stay cached and a later call resumes.
+  std::atomic<bool> abandon{false};
+  par::ParallelFor(todo.size(), 1, &abandon, [&](size_t begin, size_t end) {
+    if (exec::ShouldAbandon(exec)) {
+      abandon.store(true, std::memory_order_relaxed);
+      return;
+    }
     for (size_t k = begin; k < end; ++k) {
       shards[k].ext = ontology->ComputeExt(todo[k], *instance, &shards[k].pool);
     }
   });
+  if (abandon.load(std::memory_order_relaxed)) {
+    exec::Stop s = exec->PollNow(1).value_or(
+        exec::Stop{exec::StopReason::kCancelled, 1});
+    return exec::StopStatus(s, "extension warm-up");
+  }
   std::vector<ValueId> remap;
   std::vector<ValueId> ids;
   for (size_t k = 0; k < todo.size(); ++k) {
+    // Merge-order probe: ordinal k+1 continues the serial loop's count
+    // (the first un-warmed concept consumed ordinal 0 above).
+    if (std::optional<exec::Stop> s = exec::Check(exec, k + 1)) {
+      return exec::StopStatus(*s, "extension warm-up");
+    }
     size_t idx = static_cast<size_t>(todo[k]);
     ExtSet& ext = shards[k].ext;
     if (ext.is_all()) {
@@ -95,6 +126,7 @@ void BoundOntology::WarmExtensions() {
     cache_[idx].Freeze(pool_.size());
     cached_[idx] = true;
   }
+  return Status::OK();
 }
 
 std::vector<ConceptId> BoundOntology::ConceptsContaining(ValueId id) {

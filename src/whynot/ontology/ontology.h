@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
 #include "whynot/common/value.h"
 #include "whynot/ontology/ext_set.h"
@@ -86,7 +87,14 @@ class BoundOntology {
   /// shard computes into a concept-local ValuePool and a serial merge
   /// replays the interning in concept order, so the resulting pool ids,
   /// extensions, and bitmaps are byte-identical to the serial warm-up.
-  void WarmExtensions();
+  ///
+  /// `exec` (optional) is observed once per un-warmed concept at the
+  /// serial points (the serial warm loop / the sharded path's merge), so a
+  /// stop ordinal is thread-invariant. A stop — or an injected warm
+  /// failure (test::FaultInjector::fail_warm) — returns the matching error
+  /// status; concepts already warmed stay cached (warm-up is idempotent
+  /// and resumable), and there is no partial warm table to certify.
+  Status WarmExtensions(const exec::ExecContext* exec = nullptr);
 
   /// C(a): all concepts whose extension contains `id` (line 1 of
   /// Algorithm 1). One word-parallel pass over the precomputed extension

@@ -1,0 +1,225 @@
+// Unit tests for the execution-control primitives (common/exec_control.h):
+// deadlines, cancel tokens, fault injectors, stop→status mapping, and the
+// certificate helpers — plus the Result<T> moved-from contract and full
+// StatusCodeName coverage they rely on.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "test_util.h"
+
+namespace whynot {
+namespace {
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  exec::Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(exec::Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  exec::Deadline d = exec::Deadline::After(0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineExpiresAfterSleep) {
+  exec::Deadline d = exec::Deadline::After(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(CancelTokenTest, CopiesShareOneFlag) {
+  exec::CancelToken a;
+  exec::CancelToken b = a;
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+  b.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  // A fresh token is independent of the cancelled pair.
+  exec::CancelToken c;
+  EXPECT_FALSE(c.cancelled());
+}
+
+TEST(NamesTest, StopReasonNames) {
+  EXPECT_STREQ(exec::StopReasonName(exec::StopReason::kNone), "NONE");
+  EXPECT_STREQ(exec::StopReasonName(exec::StopReason::kDeadline), "DEADLINE");
+  EXPECT_STREQ(exec::StopReasonName(exec::StopReason::kCancelled),
+               "CANCELLED");
+  EXPECT_STREQ(exec::StopReasonName(exec::StopReason::kBudget), "BUDGET");
+}
+
+TEST(NamesTest, QualityNames) {
+  EXPECT_STREQ(exec::QualityName(exec::Quality::kExact), "EXACT");
+  EXPECT_STREQ(exec::QualityName(exec::Quality::kLowerBound), "LOWER_BOUND");
+  EXPECT_STREQ(exec::QualityName(exec::Quality::kHeuristic), "HEURISTIC");
+}
+
+TEST(NamesTest, StatusCodeNamesCoverEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StatusTest, DeadlineAndCancelledFactories) {
+  Status d = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: too slow");
+  Status c = Status::Cancelled("stopped");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: stopped");
+}
+
+TEST(StatusTest, ResultConsumedByMoveIsNoLongerOk) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+  // The moved-from Result must not keep claiming ok(): its status reports
+  // the consumption instead of silently staying OK over a gutted value.
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(StopStatusTest, MapsEveryReasonToItsCode) {
+  Status d = exec::StopStatus({exec::StopReason::kDeadline, 7}, "search");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(d.message().find("probe 7"), std::string::npos);
+  Status c = exec::StopStatus({exec::StopReason::kCancelled, 3}, "search");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  Status b = exec::StopStatus({exec::StopReason::kBudget, 11}, "search");
+  EXPECT_EQ(b.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CertificateTest, FillTagsCompleteRunsExact) {
+  exec::Certificate cert;
+  exec::FillCertificate(&cert, exec::Stop{}, exec::Progress{42, 0, 0}, 5);
+  EXPECT_TRUE(cert.complete());
+  EXPECT_EQ(cert.quality, exec::Quality::kExact);
+  EXPECT_EQ(cert.progress.tested, 42u);
+  EXPECT_EQ(cert.progress.best_so_far, 5u);
+}
+
+TEST(CertificateTest, FillTagsStoppedRunsWithPartialQuality) {
+  exec::Certificate cert;
+  exec::FillCertificate(&cert, {exec::StopReason::kDeadline, 10},
+                        exec::Progress{10, 90, 0}, 2);
+  EXPECT_FALSE(cert.complete());
+  EXPECT_EQ(cert.quality, exec::Quality::kLowerBound);
+  EXPECT_EQ(cert.stop, exec::StopReason::kDeadline);
+  EXPECT_EQ(cert.progress.remaining, 90u);
+
+  exec::FillCertificate(&cert, {exec::StopReason::kCancelled, 4},
+                        exec::Progress{4, 0, 0}, 1,
+                        exec::Quality::kHeuristic);
+  EXPECT_EQ(cert.quality, exec::Quality::kHeuristic);
+
+  // Null certificate: the call must be a no-op, not a crash.
+  exec::FillCertificate(nullptr, exec::Stop{}, exec::Progress{}, 0);
+}
+
+TEST(ExecContextTest, DefaultContextNeverStops) {
+  exec::ExecContext ctx;
+  for (size_t probe = 0; probe < 1000; ++probe) {
+    EXPECT_FALSE(ctx.Check(probe).has_value());
+  }
+  EXPECT_FALSE(ctx.ShouldAbandon());
+}
+
+TEST(ExecContextTest, NullContextHelpersAreNoOps) {
+  EXPECT_FALSE(exec::Check(nullptr, 0).has_value());
+  EXPECT_FALSE(exec::ShouldAbandon(nullptr));
+}
+
+TEST(ExecContextTest, PreCancelledContextStopsAtFirstCheck) {
+  exec::ExecContext ctx;
+  ctx.cancel.Cancel();
+  // The poll stride starts one short, so the very first merge-point check
+  // observes the cancellation instead of waiting out a stride.
+  std::optional<exec::Stop> stop = ctx.Check(0);
+  ASSERT_TRUE(stop.has_value());
+  EXPECT_EQ(stop->reason, exec::StopReason::kCancelled);
+  EXPECT_TRUE(ctx.ShouldAbandon());
+}
+
+TEST(ExecContextTest, ExpiredDeadlineStops) {
+  exec::ExecContext ctx;
+  ctx.deadline = exec::Deadline::After(0);
+  std::optional<exec::Stop> stop = ctx.Check(17);
+  ASSERT_TRUE(stop.has_value());
+  EXPECT_EQ(stop->reason, exec::StopReason::kDeadline);
+  EXPECT_EQ(stop->at, 17u);
+  EXPECT_TRUE(ctx.ShouldAbandon());
+  // PollNow resolves an abandoned region without stride effects.
+  ASSERT_TRUE(ctx.PollNow(23).has_value());
+  EXPECT_EQ(ctx.PollNow(23)->at, 23u);
+}
+
+TEST(ExecContextTest, CancellationWinsOverDeadlineInPollOrder) {
+  exec::ExecContext ctx;
+  ctx.cancel.Cancel();
+  ctx.deadline = exec::Deadline::After(0);
+  std::optional<exec::Stop> stop = ctx.Check(0);
+  ASSERT_TRUE(stop.has_value());
+  EXPECT_EQ(stop->reason, exec::StopReason::kCancelled);
+}
+
+TEST(FaultInjectorTest, FiresOnProbeValueNotCallCount) {
+  test::FaultInjector inj = test::FaultInjector::CancelAt(5);
+  exec::ExecContext ctx;
+  ctx.fault = &inj;
+  // Probes below the trigger never fire, regardless of how many there are.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(ctx.Check(i).has_value()) << i;
+    EXPECT_FALSE(ctx.Check(i).has_value()) << i;  // repeated ordinal
+  }
+  // A probe that jumps past the trigger (wave-granular checks) still
+  // reports at = trigger, keeping certificates thread-invariant.
+  std::optional<exec::Stop> stop = ctx.Check(9);
+  ASSERT_TRUE(stop.has_value());
+  EXPECT_EQ(stop->reason, exec::StopReason::kCancelled);
+  EXPECT_EQ(stop->at, 5u);
+  EXPECT_EQ(inj.trigger(), 5u);
+  EXPECT_GT(inj.observations(), 0u);
+}
+
+TEST(FaultInjectorTest, DeadlineInjectionReportsDeadline) {
+  test::FaultInjector inj = test::FaultInjector::DeadlineAt(0);
+  exec::ExecContext ctx;
+  ctx.fault = &inj;
+  std::optional<exec::Stop> stop = ctx.Check(0);
+  ASSERT_TRUE(stop.has_value());
+  EXPECT_EQ(stop->reason, exec::StopReason::kDeadline);
+  EXPECT_EQ(stop->at, 0u);
+}
+
+TEST(FaultInjectorTest, DefaultInjectorIsACarrierThatNeverFires) {
+  test::FaultInjector inj;
+  exec::ExecContext ctx;
+  ctx.fault = &inj;
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_FALSE(ctx.Check(i).has_value());
+  }
+  EXPECT_EQ(inj.observations(), 200u);
+  // ShouldAbandon never consults the injector: abandoning chunks on
+  // injected stops would perturb the merged output.
+  test::FaultInjector firing = test::FaultInjector::CancelAt(0);
+  exec::ExecContext ctx2;
+  ctx2.fault = &firing;
+  EXPECT_FALSE(ctx2.ShouldAbandon());
+}
+
+}  // namespace
+}  // namespace whynot

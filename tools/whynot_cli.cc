@@ -21,6 +21,7 @@
 //       --dot ontology.dot
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -54,12 +55,23 @@ ontology source (default: the instance-derived ontology OI):
 options:
   --mode MODE          derived: incremental | selections | enumerate
                        external: exhaustive (default)
+  --deadline-ms N      wall-clock budget per explain request, in
+                       milliseconds; an exceeded deadline exits with
+                       code 4 (binding/warm-up is not counted)
   --shorten            make derived explanations irredundant (Prop. 6.2)
   --strong             check whether each reported explanation is strong
   --answers            print the query answers before explaining
   --dot FILE           write the ontology Hasse diagram as Graphviz DOT
                        (external ontologies only), highlighting the first
                        explanation
+
+exit codes:
+  0  success
+  1  generic error (I/O, parse, inconsistency, ...)
+  2  usage error / invalid argument
+  3  resource budget exhausted (node/candidate limits)
+  4  deadline exceeded (--deadline-ms)
+  5  cancelled
 )";
 
 wn::Result<std::string> ReadFile(const std::string& path) {
@@ -86,6 +98,7 @@ wn::Result<Args> ParseArgs(int argc, char** argv) {
       {"--query-file", true}, {"--whynot", true}, {"--why", true},
       {"--tbox", true},
       {"--mappings", true},   {"--abox", true},   {"--mode", true},
+      {"--deadline-ms", true},
       {"--strong", false},    {"--shorten", false},
       {"--answers", false},   {"--dot", true},
       {"--help", false},
@@ -108,9 +121,40 @@ wn::Result<Args> ParseArgs(int argc, char** argv) {
   return args;
 }
 
+// Distinct exit codes per failure class (documented in kUsage), so shell
+// callers can tell a blown deadline from a genuinely failed request.
+int ExitCodeFor(const wn::Status& status) {
+  switch (status.code()) {
+    case wn::StatusCode::kInvalidArgument:
+      return 2;
+    case wn::StatusCode::kResourceExhausted:
+      return 3;
+    case wn::StatusCode::kDeadlineExceeded:
+      return 4;
+    case wn::StatusCode::kCancelled:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
 int Fail(const wn::Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
-  return 1;
+  return ExitCodeFor(status);
+}
+
+// --deadline-ms, parsed strictly (a mistyped budget must not silently run
+// unbounded). 0 = no deadline.
+wn::Result<int64_t> DeadlineMsArg(const Args& args) {
+  if (!args.Has("--deadline-ms")) return static_cast<int64_t>(0);
+  const std::string& text = args.Get("--deadline-ms");
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value <= 0) {
+    return wn::Status::InvalidArgument(
+        "--deadline-ms expects a positive integer, got '" + text + "'");
+  }
+  return static_cast<int64_t>(value);
 }
 
 // Explains against an external finite ontology through a prepared
@@ -124,8 +168,12 @@ int ExplainExternal(const wn::onto::FiniteOntology& ontology,
                     const wn::rel::Instance& instance,
                     std::vector<wn::Tuple> answers, const wn::Tuple& missing,
                     const Args& args) {
+  auto deadline_ms = DeadlineMsArg(args);
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  wn::explain::ExplainSessionOptions options;
+  options.request_deadline_ms = deadline_ms.value();
   auto session = wn::explain::ExplainSession::BindWithAnswers(
-      &instance, std::move(answers), &ontology);
+      &instance, std::move(answers), &ontology, options);
   if (!session.ok()) return Fail(session.status());
   wn::Status consistent = session->CheckConsistent();
   if (!consistent.ok()) return Fail(consistent);
@@ -160,8 +208,11 @@ int ExplainDerived(const wn::rel::Instance& instance,
                    std::vector<wn::Tuple> answers, const wn::Tuple& missing,
                    const Args& args) {
   std::string mode = args.Has("--mode") ? args.Get("--mode") : "incremental";
+  auto deadline_ms = DeadlineMsArg(args);
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
   wn::explain::ExplainSessionOptions options;
   options.incremental.with_selections = mode == "selections";
+  options.request_deadline_ms = deadline_ms.value();
   auto session = wn::explain::ExplainSession::BindWithAnswers(
       &instance, std::move(answers), /*ontology=*/nullptr, options);
   if (!session.ok()) return Fail(session.status());
@@ -267,8 +318,11 @@ int Run(int argc, char** argv) {
   if (args.Has("--why")) {
     auto present = wn::text::ParseTuple(args.Get("--why"));
     if (!present.ok()) return Fail(present.status());
+    auto deadline_ms = DeadlineMsArg(args);
+    if (!deadline_ms.ok()) return Fail(deadline_ms.status());
     wn::explain::ExplainSessionOptions options;
     options.incremental.with_selections = args.Get("--mode") == "selections";
+    options.request_deadline_ms = deadline_ms.value();
     auto session = wn::explain::ExplainSession::Bind(
         &instance, query.value(), /*ontology=*/nullptr, options);
     if (!session.ok()) return Fail(session.status());
