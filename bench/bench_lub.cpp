@@ -93,4 +93,35 @@ void BM_Lub_WithSelectionsAritySweep(benchmark::State& state) {
 }
 BENCHMARK(BM_Lub_WithSelectionsAritySweep)->DenseRange(1, 4);
 
+// PR 10: the run-length regime. Duplicate-heavy columns (many rows over a
+// small domain) make every distinct value a long run, so the canonical-box
+// recursion narrows whole runs at a time — the case the columnar
+// run-length BuildBoxes targets, in contrast to the near-unique columns of
+// the sweeps above. Rebuilds the context each iteration so the box
+// construction itself is what's timed.
+void BM_Lub_BuildBoxesDenseDuplicates(benchmark::State& state) {
+  rel::Schema schema;
+  auto instance =
+      MakeInstance(&schema, 3, static_cast<int>(state.range(0)), 6);
+  if (instance == nullptr) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  std::vector<wn::Value> adom = instance->ActiveDomain();
+  std::vector<wn::Value> x = {adom[0], adom.back()};
+  size_t boxes = 0;
+  for (auto _ : state) {
+    wn::ls::LubContext ctx(instance.get());
+    auto r = ctx.LubWithSelections(x);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    boxes = ctx.NumBoxes("R");
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  state.counters["boxes"] = static_cast<double>(boxes);
+}
+BENCHMARK(BM_Lub_BuildBoxesDenseDuplicates)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024);
+
 }  // namespace

@@ -316,4 +316,81 @@ BENCHMARK(BM_InjectedStopSweep_MgesWithDegradation)
     ->Arg(16)
     ->Arg(1 << 20);
 
+// --- PR 10: repeated derived-request traffic -------------------------------
+
+// The shared concept-cache target scenario: one warm session serves a
+// stream of derived EnumerateMges requests over rotating missing tuples.
+// Every request's search asks for lubs of support sets drawn from the
+// same fixed (instance, answers) binding, so requests past the first
+// mostly replay published cache entries instead of recomputing
+// lub+eval pairs. Pure timing with parent-era APIs only, so the same
+// source measures the parent tree for the baseline row.
+void BM_WarmSession_RepeatedEnumerateDerived(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 4, 8);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  auto session = wn::explain::ExplainSession::Bind(
+      f->scenario.instance.get(), f->scenario.stock_query);
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto mges = session->EnumerateMges(f->requests[i++ % f->requests.size()]);
+    if (!mges.ok()) {
+      state.SkipWithError(mges.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(mges.value().size());
+  }
+  state.counters["requests"] = static_cast<double>(f->requests.size());
+}
+BENCHMARK(BM_WarmSession_RepeatedEnumerateDerived)
+    ->RangeMultiplier(2)
+    ->Range(4, 16);
+
+// The CHECK-side of the same traffic: repeated CheckMgeDerived probes of a
+// fixed candidate pool against rotating missing tuples. Each check's
+// generalization sweep re-derives neighbour lubs of the candidate, which
+// the shared cache serves across requests.
+void BM_WarmSession_RepeatedCheckMgeDerived(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<int>(state.range(0)), 4, 8);
+  if (!f.has_value()) {
+    state.SkipWithError("fixture");
+    return;
+  }
+  auto session = wn::explain::ExplainSession::Bind(
+      f->scenario.instance.get(), f->scenario.stock_query);
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  // One candidate per request, derived once up front (not timed).
+  std::vector<wn::explain::LsExplanation> candidates;
+  for (const wn::Tuple& missing : f->requests) {
+    auto e = session->WhyNot(missing);
+    if (!e.ok()) {
+      state.SkipWithError(e.status().ToString().c_str());
+      return;
+    }
+    candidates.push_back(std::move(e).value());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t r = i++ % f->requests.size();
+    auto ok = session->CheckMgeDerived(f->requests[r], candidates[r]);
+    if (!ok.ok()) {
+      state.SkipWithError(ok.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(ok.value());
+  }
+}
+BENCHMARK(BM_WarmSession_RepeatedCheckMgeDerived)
+    ->RangeMultiplier(2)
+    ->Range(4, 16);
+
 }  // namespace

@@ -1,6 +1,7 @@
 #include "whynot/concepts/lub.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
 
@@ -71,7 +72,11 @@ const std::vector<LubContext::IdColumn>& LubContext::IdColumnsFor(
 LsConcept LubContext::LubSelectionFree(const std::vector<Value>& x) const {
   std::vector<Value> sorted_x = x;
   SortUnique(&sorted_x);
+  return LubSelectionFreeSorted(sorted_x);
+}
 
+LsConcept LubContext::LubSelectionFreeSorted(
+    const std::vector<Value>& sorted_x) const {
   std::vector<Conjunct> conjuncts;
   if (sorted_x.size() == 1) {
     conjuncts.push_back(Conjunct::Nominal(sorted_x.front()));
@@ -144,21 +149,62 @@ Status LubContext::BuildBoxes(size_t rel_idx, RelationBoxes* out) const {
     for (ValueId id : ordered) pos[static_cast<size_t>(id)] = -1;
   }
 
+  // Columnar run-length narrowing state. The selected tuple set lives in a
+  // word vector; narrowing to a run [a..b] of attribute j is then one
+  // AND-with-mask sweep (prefix mode) or one set-bit walk (scalar mode)
+  // instead of the old per-tuple trace copy.
+  size_t nwords = (n + 63) / 64;
+
+  // Prefix mode precomputes, per attribute, k+1 prefix bitmaps P[v] with
+  // bit i set iff tuple_value_index[j][i] < v, so the run mask for [a..b]
+  // is P[b+1] &~ P[a] — O(nwords) per candidate run, independent of how
+  // many tuples the run matches. That costs (k+1)*nwords words of memory,
+  // which is ~n²/64 on near-unique columns; those fall back to the scalar
+  // walk over the selected bits (same O(popcount) as the old trace copy,
+  // without the allocation). Both strategies narrow to identical sets, so
+  // the choice is invisible in the output.
+  std::vector<std::vector<std::vector<uint64_t>>> prefix(m);
+  std::vector<bool> use_prefix(m, false);
+  for (size_t j = 0; j < m; ++j) {
+    size_t k = distinct[j].size();
+    if ((k + 1) * nwords > std::max<size_t>(64 * nwords, 8 * n)) continue;
+    use_prefix[j] = true;
+    std::vector<std::vector<uint64_t>>& P = prefix[j];
+    P.assign(k + 1, std::vector<uint64_t>(nwords, 0));
+    for (size_t i = 0; i < n; ++i) {
+      size_t vi = static_cast<size_t>(tuple_value_index[j][i]);
+      P[vi + 1][i >> 6] |= uint64_t{1} << (i & 63);
+    }
+    for (size_t v = 1; v <= k; ++v) {
+      for (size_t w = 0; w < nwords; ++w) P[v][w] |= P[v - 1][w];
+    }
+  }
+
+  auto none_set = [nwords](const std::vector<uint64_t>& words) {
+    for (size_t w = 0; w < nwords; ++w) {
+      if (words[w] != 0) return false;
+    }
+    return true;
+  };
+
   // Recursive enumeration of per-attribute runs. The trace (selected tuple
-  // index set) canonicalizes boxes; duplicates keep the first (fewest
-  // selections, because the unconstrained option is enumerated first).
-  std::map<std::vector<uint32_t>, size_t> seen;
+  // set, as its word vector) canonicalizes boxes; duplicates keep the
+  // first (fewest selections, because the unconstrained option is
+  // enumerated first).
+  std::map<std::vector<uint64_t>, size_t> seen;
   size_t enumerated = 0;
   std::vector<Selection> current_sel;
-  std::vector<uint32_t> current_tuples(n);
-  for (size_t i = 0; i < n; ++i) current_tuples[i] = static_cast<uint32_t>(i);
+  std::vector<uint64_t> all_tuples(nwords, 0);
+  for (size_t i = 0; i < n; ++i) {
+    all_tuples[i >> 6] |= uint64_t{1} << (i & 63);
+  }
 
   // Iterative stack-free recursion via std::function-free lambda recursion.
   Status status = Status::OK();
   auto recurse = [&](auto&& self, size_t j,
-                     std::vector<uint32_t> selected) -> void {
+                     std::vector<uint64_t> selected) -> void {
     if (!status.ok()) return;
-    if (selected.empty()) return;
+    if (none_set(selected)) return;
     if (j == m) {
       if (++enumerated > options_.max_boxes_per_relation) {
         status = Status::ResourceExhausted(
@@ -171,7 +217,17 @@ Status LubContext::BuildBoxes(size_t rel_idx, RelationBoxes* out) const {
       if (inserted) {
         Box box;
         box.selections = current_sel;
-        box.tuple_indices = std::move(selected);
+        // Decode set bits ascending: tuple_indices stays index-sorted,
+        // which the projection fill and minimality includes rely on.
+        for (size_t w = 0; w < nwords; ++w) {
+          uint64_t bits = selected[w];
+          while (bits != 0) {
+            uint32_t i = static_cast<uint32_t>(
+                (w << 6) + static_cast<size_t>(__builtin_ctzll(bits)));
+            box.tuple_indices.push_back(i);
+            bits &= bits - 1;
+          }
+        }
         box.id_projections.resize(m);
         out->boxes.push_back(std::move(box));
       }
@@ -181,15 +237,35 @@ Status LubContext::BuildBoxes(size_t rel_idx, RelationBoxes* out) const {
     self(self, j + 1, selected);
     // Option 2: every run [a..b] over the distinct values of attribute j.
     int k = static_cast<int>(distinct[j].size());
+    std::vector<uint64_t> narrowed(nwords);
     for (int a = 0; a < k; ++a) {
       for (int b = a; b < k; ++b) {
         if (a == 0 && b == k - 1) continue;  // same trace as unconstrained
-        std::vector<uint32_t> narrowed;
-        for (uint32_t idx : selected) {
-          int vi = tuple_value_index[j][idx];
-          if (vi >= a && vi <= b) narrowed.push_back(idx);
+        bool any = false;
+        if (use_prefix[j]) {
+          const std::vector<uint64_t>& lo = prefix[j][static_cast<size_t>(a)];
+          const std::vector<uint64_t>& hi =
+              prefix[j][static_cast<size_t>(b) + 1];
+          for (size_t w = 0; w < nwords; ++w) {
+            narrowed[w] = selected[w] & hi[w] & ~lo[w];
+            any |= narrowed[w] != 0;
+          }
+        } else {
+          std::fill(narrowed.begin(), narrowed.end(), 0);
+          for (size_t w = 0; w < nwords; ++w) {
+            uint64_t bits = selected[w];
+            while (bits != 0) {
+              size_t i = (w << 6) + static_cast<size_t>(__builtin_ctzll(bits));
+              bits &= bits - 1;
+              int vi = tuple_value_index[j][i];
+              if (vi >= a && vi <= b) {
+                narrowed[w] |= uint64_t{1} << (i & 63);
+                any = true;
+              }
+            }
+          }
         }
-        if (narrowed.empty()) continue;
+        if (!any) continue;
         size_t sel_mark = current_sel.size();
         int ja = static_cast<int>(j);
         if (a == b) {
@@ -202,13 +278,13 @@ Status LubContext::BuildBoxes(size_t rel_idx, RelationBoxes* out) const {
             current_sel.push_back({ja, rel::CmpOp::kLe, distinct[j][b]});
           }
         }
-        self(self, j + 1, std::move(narrowed));
+        self(self, j + 1, narrowed);
         current_sel.resize(sel_mark);
         if (!status.ok()) return;
       }
     }
   };
-  recurse(recurse, 0, std::move(current_tuples));
+  recurse(recurse, 0, std::move(all_tuples));
   return status;
 }
 
@@ -249,7 +325,11 @@ Result<std::vector<LsConcept>> LubContext::CanonicalSelectionConcepts(
 Result<LsConcept> LubContext::LubWithSelections(const std::vector<Value>& x) {
   std::vector<Value> sorted_x = x;
   SortUnique(&sorted_x);
+  return LubWithSelectionsSorted(sorted_x);
+}
 
+Result<LsConcept> LubContext::LubWithSelectionsSorted(
+    const std::vector<Value>& sorted_x) {
   std::vector<Conjunct> conjuncts;
   if (sorted_x.size() == 1) {
     conjuncts.push_back(Conjunct::Nominal(sorted_x.front()));

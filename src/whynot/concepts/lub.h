@@ -58,6 +58,13 @@ class LubContext {
   /// into ResourceExhausted.
   Result<LsConcept> LubWithSelections(const std::vector<Value>& x);
 
+  /// Variants for callers that already hold X sort-deduplicated (the
+  /// concept cache probes with canonical keys): skips the defensive
+  /// copy + sort the general entry points pay. Results are bit-identical
+  /// to the unsorted entry points — lub is a function of the set.
+  LsConcept LubSelectionFreeSorted(const std::vector<Value>& sorted_x) const;
+  Result<LsConcept> LubWithSelectionsSorted(const std::vector<Value>& sorted_x);
+
   /// Number of canonical boxes enumerated for `relation` (0 before first
   /// use); exposed for the Lemma 5.2 benchmarks.
   size_t NumBoxes(const std::string& relation);

@@ -119,6 +119,7 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              bool with_selections,
                              ls::LubContext* lub_context,
                              ls::EvalCache* cache, LsAnswerCovers* covers,
+                             ls::ConceptCache* concept_cache,
                              const exec::ExecContext* exec) {
   std::optional<ls::EvalCache> local_cache;
   if (cache == nullptr) {
@@ -129,6 +130,11 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
   if (covers == nullptr) {
     local_covers.emplace(wni.instance, &wni.answers);
     covers = &*local_covers;
+  }
+  std::optional<ls::ConceptCache> local_cc;
+  if (concept_cache == nullptr) {
+    local_cc.emplace(wni.instance);
+    concept_cache = &*local_cc;
   }
   if (!IsLsExplanation(wni, candidate, cache, covers)) return false;
   const ValuePool& pool = wni.instance->pool();
@@ -149,6 +155,10 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
       ls::LubContext lub;
       ls::EvalCache cache;
       LsAnswerCovers covers;
+      // The worker's view of the shared concept cache: published-tier
+      // reads during the sweep, misses kept worker-local until the
+      // serial publish below. Declared after lub/cache — it drives both.
+      ls::ConceptCacheOverlay overlay;
       std::vector<const ls::Extension*> exts;
       ls::Extension top_ext = ls::Extension::All();
       // Position whose boxed support is cached below: the copy of
@@ -157,8 +167,10 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
       size_t support_pos = SIZE_MAX;
       std::vector<Value> support;
       Worker(const rel::Instance* instance, const std::vector<Tuple>* answers,
-             const ls::LubOptions& options, const LsExplanation& candidate)
-          : lub(instance, options), cache(instance), covers(instance, answers) {
+             const ls::LubOptions& options, const LsExplanation& candidate,
+             ls::ConceptCache* shared, bool with_selections)
+          : lub(instance, options), cache(instance), covers(instance, answers),
+            overlay(shared, with_selections, &lub, &cache) {
         exts.reserve(candidate.size());
         for (const ls::LsConcept& c : candidate) exts.push_back(&cache.Eval(c));
       }
@@ -167,7 +179,8 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
         static_cast<size_t>(par::MaxWorkers()));
     auto make_worker = [&]() {
       return std::make_unique<Worker>(wni.instance, &wni.answers,
-                                      lub_context->options(), candidate);
+                                      lub_context->options(), candidate,
+                                      concept_cache, with_selections);
     };
     for (size_t j = 0; j < candidate.size(); ++j) {
       // Position-granular probe, mirroring the serial loop's check below.
@@ -193,21 +206,29 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
             if (wk.exts[j]->ContainsId(adom_ids[bi])) return std::nullopt;
             std::vector<Value> extended = wk.support;
             extended.push_back(adom[bi]);
-            Result<ls::LsConcept> generalized =
-                with_selections ? wk.lub.LubWithSelections(extended)
-                                : Result<ls::LsConcept>(
-                                      wk.lub.LubSelectionFree(extended));
-            if (!generalized.ok()) {
-              return ProbeOutcome{false, generalized.status()};
+            // Maximality probes never accept a candidate, so the keys are
+            // looked up exactly once — the transient path serves warm
+            // tiers but skips the support-tier record (the keys here are
+            // whole extension value lists, expensive to copy and hash).
+            Result<std::shared_ptr<const ls::Extension>> cand =
+                wk.overlay.LubExtTransient(extended);
+            if (!cand.ok()) {
+              return ProbeOutcome{false, cand.status()};
             }
-            const ls::Extension& cand = wk.cache.Eval(generalized.value());
-            if (cand.ContainsInterned(missing_id, wni.missing[j]) &&
-                !wk.covers.ProductIntersects(wk.exts, j, &cand)) {
+            if ((*cand)->ContainsInterned(missing_id, wni.missing[j]) &&
+                !wk.covers.ProductIntersects(wk.exts, j, cand->get())) {
               return ProbeOutcome{true, Status::OK()};
             }
             return std::nullopt;
           },
           exec);
+      // Publish-after-sweep: drain the worker overlays in slot order (a
+      // thread-independent linearization) at this serial point, so later
+      // positions — and later requests against a session cache — reuse
+      // the lubs this sweep computed.
+      for (std::unique_ptr<Worker>& wk : workers) {
+        if (wk != nullptr) concept_cache->Publish(&wk->overlay);
+      }
       // An abandoned sweep may have skipped ranges; resolve the stop
       // before trusting (or discarding) its outcome.
       if (exec::ShouldAbandon(exec)) {
@@ -223,6 +244,12 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
     return true;
   }
 
+  // Serial maximality probes through a single overlay over the shared
+  // cache; published on every return path so later requests against a
+  // session cache start warm.
+  ls::ConceptCacheOverlay overlay(concept_cache, with_selections, lub_context,
+                                  cache);
+  ls::ScopedPublish publish(concept_cache, &overlay);
   for (size_t j = 0; j < candidate.size(); ++j) {
     if (std::optional<exec::Stop> s = exec::Check(exec, j)) {
       return exec::StopStatus(*s, "CHECK-MGE (derived)");
@@ -245,16 +272,12 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
       if (ext.ContainsId(adom_ids[bi])) continue;
       std::vector<Value> extended = support;
       extended.push_back(adom[bi]);
-      ls::LsConcept generalized;
-      if (with_selections) {
-        WHYNOT_ASSIGN_OR_RETURN(generalized,
-                                lub_context->LubWithSelections(extended));
-      } else {
-        generalized = lub_context->LubSelectionFree(extended);
-      }
-      const ls::Extension& cand = cache->Eval(generalized);
-      if (cand.ContainsInterned(missing_id, wni.missing[j]) &&
-          !covers->ProductIntersects(exts, j, &cand)) {
+      // Probe-once keys (whole extension value lists): transient path,
+      // no support-tier record — see the parallel branch above.
+      WHYNOT_ASSIGN_OR_RETURN(std::shared_ptr<const ls::Extension> cand,
+                              overlay.LubExtTransient(extended));
+      if (cand->ContainsInterned(missing_id, wni.missing[j]) &&
+          !covers->ProductIntersects(exts, j, cand.get())) {
         return false;
       }
     }

@@ -3,6 +3,7 @@
 
 #include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
+#include "whynot/concepts/concept_cache.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
 
@@ -40,6 +41,11 @@ Result<bool> CheckMgeExternal(onto::BoundOntology* bound,
 /// `cache` / `covers`, when non-null, are a prepared session's warm
 /// extension memo and answer-cover table over (wni.instance, wni.answers);
 /// per-call locals are created otherwise, with identical results.
+/// `concept_cache`, when non-null, is the shared lub/eval cache the
+/// maximality probes run through (published-tier lookups during a sharded
+/// sweep, misses published at its serial end; a session cache carries the
+/// entries to later requests). Null uses a call-local cache; verdicts and
+/// errors are identical either way.
 /// `exec` follows the CheckMgeExternal contract (one probe per position,
 /// stops are always errors).
 Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
@@ -48,6 +54,7 @@ Result<bool> CheckMgeDerived(const WhyNotInstance& wni,
                              ls::LubContext* lub_context,
                              ls::EvalCache* cache = nullptr,
                              LsAnswerCovers* covers = nullptr,
+                             ls::ConceptCache* concept_cache = nullptr,
                              const exec::ExecContext* exec = nullptr);
 
 }  // namespace whynot::explain

@@ -61,10 +61,12 @@ using ExtKey = std::tuple<bool, std::vector<ValueId>, std::vector<Value>>;
 /// Evaluates one branch-tree node: deterministic greedy completion under
 /// an exclusion set plus the unconstrained-maximality test. The evaluator
 /// owns every lazily mutating structure a node touches — the lub context,
-/// the lub/eval memo, the answer covers — so the parallel enumerator can
-/// give each pool worker its own evaluator and the serial one can keep a
-/// single evaluator across all nodes. Node results are pure functions of
-/// the exclusion set, independent of which evaluator computes them.
+/// its concept-cache overlay, the answer covers — so the parallel
+/// enumerator can give each pool worker its own evaluator and the serial
+/// one can keep a single evaluator across all nodes; only the *published*
+/// (frozen, read-only during a wave) tier of the concept cache is shared.
+/// Node results are pure functions of the exclusion set, independent of
+/// which evaluator computes them.
 ///
 /// Probes use the shared GreedyAndCache (search_core.h): within a greedy
 /// sweep the product check "replace position j's cover, AND with all
@@ -75,10 +77,10 @@ using ExtKey = std::tuple<bool, std::vector<ValueId>, std::vector<Value>>;
 class NodeEvaluator {
  public:
   NodeEvaluator(const WhyNotInstance& wni, const EnumerateOptions& options,
-                ls::LubContext* lub)
+                ls::LubContext* lub, ls::ConceptCache* cache)
       : wni_(wni),
         options_(options),
-        lub_(lub),
+        overlay_(cache, options.with_selections, lub),
         adom_(wni.instance->ActiveDomain()),
         adom_ids_(wni.instance->ActiveDomainIds()),
         covers_(wni.instance, &wni.answers),
@@ -180,38 +182,34 @@ class NodeEvaluator {
       if (state.exts[j]->ContainsId(adom_ids_[bi])) continue;  // absorbed
       std::vector<Value> extended = state.support[j];
       extended.push_back(adom_[bi]);
-      WHYNOT_ASSIGN_OR_RETURN(auto cand, LubAndEval(extended));
-      if (!AnyAnd(rest, View(*cand.second, j))) return false;
+      // Verification probes never accept, so these keys are probed once:
+      // the transient path serves warm tiers without recording a
+      // support-tier entry (the greedy sweep's candidates, which recur
+      // across sibling nodes and requests, stay on the caching path).
+      WHYNOT_ASSIGN_OR_RETURN(std::shared_ptr<const ls::Extension> cand,
+                              overlay_.LubExtTransient(extended));
+      if (!AnyAnd(rest, View(*cand, j))) return false;
     }
     return true;
   }
 
- private:
-  Result<ls::LsConcept> Lub(const std::vector<Value>& x) {
-    if (options_.with_selections) return lub_->LubWithSelections(x);
-    return lub_->LubSelectionFree(x);
-  }
+  /// The overlay to publish at serial points (the enumerator drains it
+  /// wave by wave in worker-slot order).
+  ls::ConceptCacheOverlay* overlay() { return &overlay_; }
 
-  // Memoized lub + evaluation: branch-tree nodes share long support-set
-  // prefixes, so the same lub is requested many times across nodes. The
-  // returned pointers reference the cache's map nodes (stable), which the
-  // answer-cover kernel keys its bitmaps by.
+ private:
+  // Memoized lub + evaluation through the shared concept cache:
+  // branch-tree nodes share long support-set prefixes, so the same lub is
+  // requested many times across nodes — and, via the published tier,
+  // across workers and requests. The returned pointers are address-stable
+  // (shared_ptr-owned entries), which the answer-cover kernel keys its
+  // bitmaps by.
   Result<std::pair<const ls::LsConcept*, const ls::Extension*>> LubAndEval(
       const std::vector<Value>& x) {
-    std::vector<Value> key = x;
-    std::sort(key.begin(), key.end());
-    key.erase(std::unique(key.begin(), key.end()), key.end());
-    auto it = lub_cache_.find(key);
-    if (it == lub_cache_.end()) {
-      WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept concept_expr, Lub(x));
-      ls::Extension ext = ls::Eval(concept_expr, *wni_.instance);
-      it = lub_cache_
-               .emplace(std::move(key), std::make_pair(std::move(concept_expr),
-                                                       std::move(ext)))
-               .first;
-    }
+    WHYNOT_ASSIGN_OR_RETURN(const ls::ConceptCache::Entry* entry,
+                            overlay_.LubAndEval(x));
     return std::make_pair<const ls::LsConcept*, const ls::Extension*>(
-        &it->second.first, &it->second.second);
+        &entry->concept, entry->ext.get());
   }
 
   CoverView View(const ls::Extension& ext, size_t pos) {
@@ -233,7 +231,7 @@ class NodeEvaluator {
 
   const WhyNotInstance& wni_;
   const EnumerateOptions& options_;
-  ls::LubContext* lub_;
+  ls::ConceptCacheOverlay overlay_;
   const std::vector<Value>& adom_;
   const std::vector<ValueId>& adom_ids_;
   LsAnswerCovers covers_;
@@ -241,8 +239,6 @@ class NodeEvaluator {
   std::vector<uint64_t> full_;  // all answers alive, trailing bits zero
   GreedyAndCache and_cache_;
   const ls::Extension top_ext_;
-  std::map<std::vector<Value>, std::pair<ls::LsConcept, ls::Extension>>
-      lub_cache_;
 };
 
 /// Everything the deterministic merge needs from one evaluated node; a
@@ -259,8 +255,10 @@ struct NodeResult {
 class Enumerator {
  public:
   Enumerator(const WhyNotInstance& wni, const EnumerateOptions& options,
-             ls::LubContext* lub, EnumerateStats* stats)
-      : wni_(wni), options_(options), lub_(lub), stats_(stats) {}
+             ls::LubContext* lub, ls::ConceptCache* cache,
+             EnumerateStats* stats)
+      : wni_(wni), options_(options), lub_(lub), cache_(cache),
+        stats_(stats) {}
 
   // Exclusion-branching enumeration of maximal independent sets
   // (Lawler-style), specialized to this monotone system:
@@ -304,7 +302,11 @@ class Enumerator {
       wni_.instance->WarmForConcurrentReads();
       return RunParallel();
     }
-    NodeEvaluator evaluator(wni_, options_, lub_);
+    NodeEvaluator evaluator(wni_, options_, lub_, cache_);
+    // Whatever this run computes becomes visible to the next request
+    // against the same cache (session reuse), on success and error paths
+    // alike.
+    ls::ScopedPublish publish(cache_, evaluator.overlay());
     std::vector<LsExplanation> results;
     std::set<std::vector<ExtKey>> seen_outputs;
     std::set<ExclusionSet> visited;
@@ -442,7 +444,7 @@ class Enumerator {
               worker_lubs[slot] = std::make_unique<ls::LubContext>(
                   wni_.instance, options_.lub);
               workers[slot] = std::make_unique<NodeEvaluator>(
-                  wni_, options_, worker_lubs[slot].get());
+                  wni_, options_, worker_lubs[slot].get(), cache_);
             }
             NodeEvaluator& evaluator = *workers[slot];
             for (size_t i = begin; i < end; ++i) {
@@ -467,6 +469,14 @@ class Enumerator {
               }
             }
           });
+      // Publish-after-wave: drain every live overlay in worker-slot order
+      // (a thread-independent linearization) at this serial point, so the
+      // lubs one worker computed are published-tier hits for every worker
+      // of the next wave. Publishing is sound even for an abandoned wave —
+      // entries are pure functions of the instance.
+      for (std::unique_ptr<NodeEvaluator>& worker : workers) {
+        if (worker != nullptr) cache_->Publish(worker->overlay());
+      }
       if (abandon.load(std::memory_order_relaxed)) {
         // The wave may have holes, so none of it is consumed: the partial
         // result is everything merged through the end of the previous
@@ -551,6 +561,7 @@ class Enumerator {
   const WhyNotInstance& wni_;
   const EnumerateOptions& options_;
   ls::LubContext* lub_;
+  ls::ConceptCache* cache_;
   EnumerateStats* stats_;
   std::optional<exec::Stop> halted_;
   size_t remaining_ = 0;
@@ -560,7 +571,8 @@ class Enumerator {
 
 Result<std::vector<LsExplanation>> EnumerateAllMges(
     const WhyNotInstance& wni, const EnumerateOptions& options,
-    EnumerateStats* stats, ls::LubContext* lub_context) {
+    EnumerateStats* stats, ls::LubContext* lub_context,
+    ls::ConceptCache* concept_cache) {
   EnumerateStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = EnumerateStats{};
@@ -569,8 +581,23 @@ Result<std::vector<LsExplanation>> EnumerateAllMges(
     local_lub.emplace(wni.instance, options.lub);
     lub_context = &*local_lub;
   }
-  Enumerator enumerator(wni, options, lub_context, stats);
-  return enumerator.Run();
+  std::optional<ls::ConceptCache> local_cache;
+  if (concept_cache == nullptr) {
+    local_cache.emplace(wni.instance);
+    concept_cache = &*local_cache;
+  }
+  const ls::ConceptCacheStats before = concept_cache->stats();
+  Enumerator enumerator(wni, options, lub_context, concept_cache, stats);
+  Result<std::vector<LsExplanation>> result = enumerator.Run();
+  // Attribute this run's cache traffic (a session cache accumulates
+  // across requests; the stats block reports per-call deltas).
+  const ls::ConceptCacheStats& after = concept_cache->stats();
+  stats->cache_shared_hits = after.shared_hits - before.shared_hits;
+  stats->cache_local_hits = after.local_hits - before.local_hits;
+  stats->cache_misses = after.misses - before.misses;
+  stats->cache_publishes = after.publishes - before.publishes;
+  stats->cache_evictions = after.evictions - before.evictions;
+  return result;
 }
 
 }  // namespace whynot::explain

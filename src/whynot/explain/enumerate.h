@@ -6,6 +6,7 @@
 
 #include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
+#include "whynot/concepts/concept_cache.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
 
@@ -67,6 +68,17 @@ struct EnumerateStats {
   /// Largest number of nodes expanded between two successive new outputs
   /// (the empirical "delay" of the enumeration).
   size_t max_delay = 0;
+
+  // Shared concept-cache traffic attributable to this run (deltas of the
+  // cache's cumulative counters). Unlike the fields above, these are
+  // observability only and NOT thread-invariant: which lookups land on the
+  // published tier versus a worker-local overlay depends on the wave
+  // structure. The served values are identical everywhere.
+  size_t cache_shared_hits = 0;
+  size_t cache_local_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_publishes = 0;
+  size_t cache_evictions = 0;
 };
 
 /// Enumerates *all* most-general explanations for the why-not instance
@@ -97,9 +109,19 @@ struct EnumerateStats {
 /// requests; with more than one pool thread the wave workers still build
 /// their own contexts, as in the one-shot call). Results, ordering, and
 /// stats are bit-identical either way.
+///
+/// `concept_cache`, when non-null, is the shared lub/eval cache: node
+/// evaluators (serial and per-worker alike) probe its published tier
+/// during waves and publish their misses at the wave-end serial point, so
+/// lubs computed by one worker are shared by all workers of later waves —
+/// and, when the cache belongs to an ExplainSession, by later requests.
+/// Null runs against a run-local cache. Either way the output, the
+/// deterministic stats, and errors are bit-identical (cache entries are
+/// pure functions of the instance).
 Result<std::vector<LsExplanation>> EnumerateAllMges(
     const WhyNotInstance& wni, const EnumerateOptions& options = {},
-    EnumerateStats* stats = nullptr, ls::LubContext* lub_context = nullptr);
+    EnumerateStats* stats = nullptr, ls::LubContext* lub_context = nullptr,
+    ls::ConceptCache* concept_cache = nullptr);
 
 }  // namespace whynot::explain
 

@@ -5,21 +5,13 @@
 
 namespace whynot::explain {
 
-namespace {
-
-Result<ls::LsConcept> Lub(ls::LubContext* ctx, bool with_selections,
-                          const std::vector<Value>& x) {
-  if (with_selections) return ctx->LubWithSelections(x);
-  return ctx->LubSelectionFree(x);
-}
-
-}  // namespace
-
 Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
                                         const IncrementalOptions& options,
                                         ls::LubContext* lub_context,
                                         ls::EvalCache* cache,
-                                        LsAnswerCovers* covers) {
+                                        LsAnswerCovers* covers,
+                                        ls::ConceptCache* concept_cache,
+                                        ls::ConceptCacheOverlay* session_overlay) {
   size_t m = wni.arity();
   std::optional<ls::EvalCache> local_cache;
   if (cache == nullptr) {
@@ -31,20 +23,42 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
     local_covers.emplace(wni.instance, &wni.answers);
     covers = &*local_covers;
   }
+  std::optional<ls::ConceptCache> local_cc;
+  if (concept_cache == nullptr) {
+    local_cc.emplace(wni.instance);
+    concept_cache = &*local_cc;
+  }
   const ValuePool& pool = wni.instance->pool();
 
+  // The whole greedy sweep is serial, so one overlay over the shared cache
+  // suffices; published on every return path (including certified stops)
+  // so a session cache carries the lubs to later requests. A session's
+  // persistent overlay (warm private maps) is used when it matches this
+  // search's flavor.
+  std::optional<ls::ConceptCacheOverlay> local_overlay;
+  if (session_overlay == nullptr ||
+      session_overlay->with_selections() != options.with_selections) {
+    local_overlay.emplace(concept_cache, options.with_selections, lub_context,
+                          cache);
+  }
+  ls::ConceptCacheOverlay& overlay =
+      local_overlay.has_value() ? *local_overlay : *session_overlay;
+  ls::ScopedPublish publish(concept_cache, &overlay);
+
   // Lines 2-3: support sets X_j = {a_j}; first candidate explanation
-  // E = (lub(X_1), ..., lub(X_m)). Extensions are held as pointers into
-  // the EvalCache (stable) so the cover bitmaps cache by identity.
+  // E = (lub(X_1), ..., lub(X_m)). Extensions are held as pointers to
+  // overlay entries (stable for the overlay's lifetime) so the cover
+  // bitmaps cache by identity.
   std::vector<std::vector<Value>> support(m);
   LsExplanation e(m);
   std::vector<const ls::Extension*> exts(m);
   std::vector<ValueId> missing_ids(m);
   for (size_t j = 0; j < m; ++j) {
     support[j] = {wni.missing[j]};
-    WHYNOT_ASSIGN_OR_RETURN(
-        e[j], Lub(lub_context, options.with_selections, support[j]));
-    exts[j] = &cache->Eval(e[j]);
+    WHYNOT_ASSIGN_OR_RETURN(const ls::ConceptCache::Entry* entry,
+                            overlay.LubAndEval(support[j]));
+    e[j] = entry->concept;
+    exts[j] = entry->ext.get();
     missing_ids[j] = pool.Lookup(wni.missing[j]);
   }
   bool initial_ok = true;
@@ -88,14 +102,18 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
       if (exts[j]->ContainsId(adom_ids[bi])) continue;
       std::vector<Value> extended = support[j];
       extended.push_back(adom[bi]);
-      WHYNOT_ASSIGN_OR_RETURN(
-          ls::LsConcept generalized,
-          Lub(lub_context, options.with_selections, extended));
-      const ls::Extension& cand = cache->Eval(generalized);
-      if (cand.ContainsInterned(missing_ids[j], wni.missing[j]) &&
-          !covers->ProductIntersects(exts, j, &cand)) {
-        e[j] = std::move(generalized);
-        exts[j] = &cand;
+      // Probe-once candidates go through the transient path (no
+      // support-tier record — the sweep rejects almost all of them);
+      // an accepted candidate is promoted in place, reusing the lub and
+      // extension the probe just computed, so the session cache carries
+      // it to later requests.
+      WHYNOT_ASSIGN_OR_RETURN(std::shared_ptr<const ls::Extension> cand,
+                              overlay.LubExtTransient(extended));
+      if (cand->ContainsInterned(missing_ids[j], wni.missing[j]) &&
+          !covers->ProductIntersects(exts, j, cand.get())) {
+        const ls::ConceptCache::Entry* entry = overlay.PromoteLastProbe();
+        e[j] = entry->concept;
+        exts[j] = entry->ext.get();
         support[j] = std::move(extended);
       }
     }
@@ -132,7 +150,7 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
 Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
                                         const IncrementalOptions& options) {
   ls::LubContext ctx(wni.instance, options.lub);
-  return IncrementalSearch(wni, options, &ctx);
+  return IncrementalSearch(wni, options, &ctx, nullptr, nullptr, nullptr);
 }
 
 }  // namespace whynot::explain

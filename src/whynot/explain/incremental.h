@@ -3,6 +3,7 @@
 
 #include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
+#include "whynot/concepts/concept_cache.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
 
@@ -50,13 +51,25 @@ Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
 /// Same, reusing a caller-provided lub context (amortizes the canonical-box
 /// construction across repeated calls; used by benchmarks). `cache` /
 /// `covers`, when non-null, are a prepared ExplainSession's warm extension
-/// memo and answer-cover table over (wni.instance, wni.answers); per-call
-/// locals are created otherwise, with bit-identical results.
-Result<LsExplanation> IncrementalSearch(const WhyNotInstance& wni,
-                                        const IncrementalOptions& options,
-                                        ls::LubContext* lub_context,
-                                        ls::EvalCache* cache = nullptr,
-                                        LsAnswerCovers* covers = nullptr);
+/// memo and answer-cover table over (wni.instance, wni.answers);
+/// `concept_cache` the shared lub/eval cache the greedy sweep runs through
+/// (the search is serial, so entries publish once on return — a session
+/// cache carries them to later requests). Per-call locals are created for
+/// any null parameter, with bit-identical results.
+///
+/// `session_overlay`, when non-null, must be an overlay bound to exactly
+/// (concept_cache, options.with_selections, lub_context, cache); the
+/// search then probes through it instead of a per-call overlay, so its
+/// private maps stay warm across a session's requests (repeat probes
+/// become raw local-map hits instead of published-tier lookups that
+/// re-copy each concept into a fresh overlay). Results are bit-identical
+/// either way — only timing and served-from counters move.
+Result<LsExplanation> IncrementalSearch(
+    const WhyNotInstance& wni, const IncrementalOptions& options,
+    ls::LubContext* lub_context, ls::EvalCache* cache = nullptr,
+    LsAnswerCovers* covers = nullptr,
+    ls::ConceptCache* concept_cache = nullptr,
+    ls::ConceptCacheOverlay* session_overlay = nullptr);
 
 }  // namespace whynot::explain
 

@@ -42,6 +42,18 @@ struct ExplainSession::State {
   std::unique_ptr<ls::LubContext> lub;
   std::unique_ptr<ls::EvalCache> cache;
   std::unique_ptr<LsAnswerCovers> ls_covers;
+  // The shared concept cache: every derived request publishes its lub+eval
+  // results here and later requests start from the published tier. Entries
+  // are dropped on rewarm (pure functions of the instance contents);
+  // traffic counters survive.
+  std::unique_ptr<ls::ConceptCache> concept_cache;
+  // Persistent overlay for the *serial* searches (WhyNot / Why run on the
+  // session thread): its private maps stay warm across requests, so a
+  // repeated request's probes are raw local-map hits instead of
+  // published-tier lookups that re-copy every concept into a fresh
+  // overlay. Rebuilt on rewarm together with lub/cache it is bound to.
+  // The parallel searches keep their own per-worker overlays.
+  std::unique_ptr<ls::ConceptCacheOverlay> serial_overlay;
 
   /// Session-wide cancel flag, copied into every session-built request
   /// context so Cancel() from another thread reaches the request that is
@@ -144,6 +156,17 @@ Status ExplainSession::Rewarm(const exec::ExecContext* exec) {
   s.lub = std::make_unique<ls::LubContext>(s.instance, s.options.lub);
   s.cache = std::make_unique<ls::EvalCache>(s.instance);
   s.ls_covers = std::make_unique<LsAnswerCovers>(s.instance, &s.wni.answers);
+  if (s.concept_cache == nullptr) {
+    s.concept_cache = std::make_unique<ls::ConceptCache>(
+        s.instance, s.options.concept_cache);
+  } else {
+    s.concept_cache->Clear();
+  }
+  // After the Clear: stale overlay memos would otherwise outlive the
+  // instance contents they were computed from.
+  s.serial_overlay = std::make_unique<ls::ConceptCacheOverlay>(
+      s.concept_cache.get(), s.options.incremental.with_selections,
+      s.lub.get(), s.cache.get());
 
   s.covers.reset();
   s.why_covers.reset();
@@ -265,12 +288,20 @@ ExplainSession::MemoryStats ExplainSession::MemoryUsage() const {
     cover_dense_equivalent += s.ls_covers->DenseEquivalentBytes();
   }
   if (s.cache != nullptr) m.eval_cache_bytes = s.cache->MemoryBytes();
-  m.total_bytes =
-      m.instance_bytes + m.ext_bytes + m.cover_bytes + m.eval_cache_bytes;
+  if (s.concept_cache != nullptr) {
+    m.shared_cache_bytes = s.concept_cache->MemoryBytes();
+  }
+  m.total_bytes = m.instance_bytes + m.ext_bytes + m.cover_bytes +
+                  m.eval_cache_bytes + m.shared_cache_bytes;
   m.dense_equivalent_total_bytes = m.instance_bytes + ext_dense_equivalent +
                                    cover_dense_equivalent +
-                                   m.eval_cache_bytes;
+                                   m.eval_cache_bytes + m.shared_cache_bytes;
   return m;
+}
+
+ls::ConceptCacheStats ExplainSession::CacheStats() const {
+  if (state_->concept_cache == nullptr) return {};
+  return state_->concept_cache->stats();
 }
 
 // --- Derived-ontology (OI) requests ---------------------------------------
@@ -284,7 +315,8 @@ Result<LsExplanation> ExplainSession::WhyNot(const Tuple& missing,
   IncrementalOptions opts = s.options.incremental;
   opts.exec = &ctx;
   return IncrementalSearch(s.wni, opts, s.lub.get(), s.cache.get(),
-                           s.ls_covers.get());
+                           s.ls_covers.get(), s.concept_cache.get(),
+                           s.serial_overlay.get());
 }
 
 Result<std::vector<LsExplanation>> ExplainSession::EnumerateMges(
@@ -296,7 +328,8 @@ Result<std::vector<LsExplanation>> ExplainSession::EnumerateMges(
   WHYNOT_RETURN_IF_ERROR(Prepare(missing, /*expect_answer=*/false, &ctx));
   EnumerateOptions opts = s.options.enumerate;
   opts.exec = &ctx;
-  return EnumerateAllMges(s.wni, opts, stats, s.lub.get());
+  return EnumerateAllMges(s.wni, opts, stats, s.lub.get(),
+                          s.concept_cache.get());
 }
 
 Result<bool> ExplainSession::CheckMgeDerived(const Tuple& missing,
@@ -309,7 +342,8 @@ Result<bool> ExplainSession::CheckMgeDerived(const Tuple& missing,
   return explain::CheckMgeDerived(s.wni, candidate,
                                   s.options.incremental.with_selections,
                                   s.lub.get(), s.cache.get(),
-                                  s.ls_covers.get(), &ctx);
+                                  s.ls_covers.get(), s.concept_cache.get(),
+                                  &ctx);
 }
 
 Result<LsExplanation> ExplainSession::Why(const Tuple& present,
@@ -322,7 +356,8 @@ Result<LsExplanation> ExplainSession::Why(const Tuple& present,
   // vector of wi (both come from the same evaluation).
   return IncrementalWhySearch(s.wi, s.options.incremental.with_selections,
                               s.lub.get(), s.cache.get(), s.ls_covers.get(),
-                              &ctx);
+                              s.concept_cache.get(), &ctx,
+                              /*cert=*/nullptr, s.serial_overlay.get());
 }
 
 // --- External-ontology requests -------------------------------------------

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "whynot/common/status.h"
+#include "whynot/concepts/concept_cache.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/cardinality.h"
 #include "whynot/explain/check_mge.h"
@@ -29,6 +30,12 @@ struct ExplainSessionOptions {
   IncrementalOptions incremental;  // WhyNot()/Why(): selections, ⊤ sweep
   EnumerateOptions enumerate;
   ls::LubOptions lub;
+
+  /// Limits of the session's shared concept-evaluation cache (the
+  /// lub+eval memo every derived request publishes into and reuses).
+  /// Leave max_bytes at 0: the session's answer covers key bitmaps by
+  /// published extension addresses (see ConceptCacheOptions::max_bytes).
+  ls::ConceptCacheOptions concept_cache;
 
   /// Default per-request deadline in milliseconds (0 = none). Every
   /// request that is not handed an explicit ExecContext runs under a
@@ -118,12 +125,19 @@ class ExplainSession {
     size_t ext_bytes = 0;         // warm extension table (external ontology)
     size_t cover_bytes = 0;       // answer-cover rows, both ontologies
     size_t eval_cache_bytes = 0;  // derived-ontology extension memos
+    size_t shared_cache_bytes = 0;  // published concept-cache entries
     size_t total_bytes = 0;
     size_t dense_equivalent_total_bytes = 0;
     size_t hybrid_ext_sets = 0;   // extensions frozen to hybrid containers
     size_t dense_ext_sets = 0;    // extensions frozen to flat mirrors
   };
   MemoryStats MemoryUsage() const;
+
+  /// Cumulative traffic counters of the session's shared concept cache
+  /// across every derived request served so far. Observability only — the
+  /// split between shared/local hits is thread-dependent (the values
+  /// served are identical); counters survive rewarm, entries do not.
+  ls::ConceptCacheStats CacheStats() const;
 
   // --- Execution control ---------------------------------------------------
   //

@@ -257,12 +257,6 @@ bool LsProductInsideAnswers(LsAnswerCovers* covers,
   return covers->CountCovered(exts, swap_pos, repl) == product_size;
 }
 
-Result<ls::LsConcept> WhyLub(ls::LubContext* ctx, bool with_selections,
-                             const std::vector<Value>& x) {
-  if (with_selections) return ctx->LubWithSelections(x);
-  return ctx->LubSelectionFree(x);
-}
-
 /// `covers` must be over the sort-deduped answer vector of `wi`.
 bool IsLsWhyExplanationImpl(const WhyInstance& wi, const LsExplanation& e,
                             LsAnswerCovers* covers, ls::EvalCache* cache) {
@@ -317,8 +311,10 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
                                            ls::LubContext* lub_context,
                                            ls::EvalCache* cache,
                                            LsAnswerCovers* covers,
+                                           ls::ConceptCache* concept_cache,
                                            const exec::ExecContext* exec,
-                                           exec::Certificate* cert) {
+                                           exec::Certificate* cert,
+                                           ls::ConceptCacheOverlay* session_overlay) {
   std::optional<ls::LubContext> local_ctx;
   if (lub_context == nullptr) {
     local_ctx.emplace(wi.instance);
@@ -326,17 +322,37 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
   }
   WhyScratch scratch;
   ResolveWhyCaches(wi, &cache, &covers, &scratch);
+  std::optional<ls::ConceptCache> local_cc;
+  if (concept_cache == nullptr) {
+    local_cc.emplace(wi.instance);
+    concept_cache = &*local_cc;
+  }
   size_t m = wi.arity();
   const ValuePool& pool = wi.instance->pool();
+
+  // The whole greedy sweep is serial, so one overlay over the shared cache
+  // suffices; published on every return path (including certified stops)
+  // so a session cache carries the lubs to later requests. A session's
+  // persistent overlay (warm private maps) is used when it matches this
+  // search's flavor.
+  std::optional<ls::ConceptCacheOverlay> local_overlay;
+  if (session_overlay == nullptr ||
+      session_overlay->with_selections() != with_selections) {
+    local_overlay.emplace(concept_cache, with_selections, lub_context, cache);
+  }
+  ls::ConceptCacheOverlay& overlay =
+      local_overlay.has_value() ? *local_overlay : *session_overlay;
+  ls::ScopedPublish publish(concept_cache, &overlay);
 
   std::vector<std::vector<Value>> support(m);
   LsExplanation e(m);
   std::vector<const ls::Extension*> exts(m);
   for (size_t j = 0; j < m; ++j) {
     support[j] = {wi.present[j]};
-    WHYNOT_ASSIGN_OR_RETURN(e[j],
-                            WhyLub(lub_context, with_selections, support[j]));
-    exts[j] = &cache->Eval(e[j]);
+    WHYNOT_ASSIGN_OR_RETURN(const ls::ConceptCache::Entry* entry,
+                            overlay.LubAndEval(support[j]));
+    e[j] = entry->concept;
+    exts[j] = entry->ext.get();
   }
   // Unlike the why-not case, the nominal-pinned start can already fail:
   // lub({a_j}) may denote more than {a_j} only through columns, but the
@@ -368,14 +384,18 @@ Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
       if (exts[j]->ContainsId(adom_ids[bi])) continue;
       std::vector<Value> extended = support[j];
       extended.push_back(adom[bi]);
-      WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
-                              WhyLub(lub_context, with_selections, extended));
-      const ls::Extension& cand_ext = cache->Eval(cand);
-      if (cand_ext.ContainsInterned(present_id, wi.present[j]) &&
-          LsProductInsideAnswers(covers, exts, j, &cand_ext)) {
+      // Probe-once candidates take the transient path (no support-tier
+      // record); an acceptance is promoted in place, reusing the lub and
+      // extension the probe just computed, so the session cache carries
+      // it to later requests.
+      WHYNOT_ASSIGN_OR_RETURN(std::shared_ptr<const ls::Extension> cand_ext,
+                              overlay.LubExtTransient(extended));
+      if (cand_ext->ContainsInterned(present_id, wi.present[j]) &&
+          LsProductInsideAnswers(covers, exts, j, cand_ext.get())) {
+        const ls::ConceptCache::Entry* entry = overlay.PromoteLastProbe();
         support[j] = std::move(extended);
-        e[j] = std::move(cand);
-        exts[j] = &cand_ext;
+        e[j] = entry->concept;
+        exts[j] = entry->ext.get();
       }
     }
   }
@@ -396,9 +416,15 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                 ls::LubContext* lub_context,
                                 ls::EvalCache* cache,
                                 LsAnswerCovers* covers,
+                                ls::ConceptCache* concept_cache,
                                 const exec::ExecContext* exec) {
   WhyScratch scratch;
   ResolveWhyCaches(wi, &cache, &covers, &scratch);
+  std::optional<ls::ConceptCache> local_cc;
+  if (concept_cache == nullptr) {
+    local_cc.emplace(wi.instance);
+    concept_cache = &*local_cc;
+  }
   // The parallel workers build their own covers, which must index the
   // same answer vector the shared `covers` do: the local sort-deduped
   // copy on the one-shot path, or wi.answers itself when the caller
@@ -430,10 +456,16 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
       ls::LubContext lub;
       ls::EvalCache cache;
       LsAnswerCovers covers;
+      // The worker's view of the shared concept cache: published-tier
+      // reads during the sweep, misses kept worker-local until the serial
+      // publish below. Declared after lub/cache — it drives both.
+      ls::ConceptCacheOverlay overlay;
       std::vector<const ls::Extension*> exts;
       Worker(const rel::Instance* instance, const std::vector<Tuple>* answers,
-             const ls::LubOptions& options, const LsExplanation& candidate)
-          : lub(instance, options), cache(instance), covers(instance, answers) {
+             const ls::LubOptions& options, const LsExplanation& candidate,
+             ls::ConceptCache* shared, bool with_selections)
+          : lub(instance, options), cache(instance), covers(instance, answers),
+            overlay(shared, with_selections, &lub, &cache) {
         exts.reserve(candidate.size());
         for (const ls::LsConcept& c : candidate) exts.push_back(&cache.Eval(c));
       }
@@ -442,7 +474,8 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
         static_cast<size_t>(par::MaxWorkers()));
     auto make_worker = [&]() {
       return std::make_unique<Worker>(wi.instance, &answers,
-                                      lub_context->options(), candidate);
+                                      lub_context->options(), candidate,
+                                      concept_cache, with_selections);
     };
     for (size_t j = 0; j < candidate.size(); ++j) {
       // Position-granular probe at the same serial point as the serial
@@ -458,16 +491,25 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
             if (wk.exts[j]->ContainsId(adom_ids[bi])) return std::nullopt;
             std::vector<Value> extended = wk.exts[j]->values();
             extended.push_back(adom[bi]);
-            Result<ls::LsConcept> cand =
-                WhyLub(&wk.lub, with_selections, extended);
+            // Maximality probes never accept a candidate — transient
+            // path, no support-tier record (the keys are whole extension
+            // value lists, expensive to copy and hash).
+            Result<std::shared_ptr<const ls::Extension>> cand =
+                wk.overlay.LubExtTransient(extended);
             if (!cand.ok()) return ProbeOutcome{false, cand.status()};
-            const ls::Extension& cand_ext = wk.cache.Eval(cand.value());
-            if (LsProductInsideAnswers(&wk.covers, wk.exts, j, &cand_ext)) {
+            if (LsProductInsideAnswers(&wk.covers, wk.exts, j, cand->get())) {
               return ProbeOutcome{true, Status::OK()};
             }
             return std::nullopt;
           },
           exec);
+      // Publish-after-sweep: drain the worker overlays in slot order (a
+      // thread-independent linearization) at this serial point, so later
+      // positions — and later requests against a session cache — reuse
+      // the lubs this sweep computed.
+      for (std::unique_ptr<Worker>& wk : workers) {
+        if (wk != nullptr) concept_cache->Publish(&wk->overlay);
+      }
       // An abandoned sweep may have skipped ranges; resolve the stop
       // before trusting (or discarding) its outcome.
       if (exec::ShouldAbandon(exec)) {
@@ -481,6 +523,12 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
       }
     }
   } else {
+    // Serial maximality probes through a single overlay over the shared
+    // cache; published on every return path so later requests against a
+    // session cache start warm.
+    ls::ConceptCacheOverlay overlay(concept_cache, with_selections,
+                                    lub_context, cache);
+    ls::ScopedPublish publish(concept_cache, &overlay);
     for (size_t j = 0; j < candidate.size(); ++j) {
       if (std::optional<exec::Stop> s = exec::Check(exec, j)) {
         return exec::StopStatus(*s, "why CHECK-MGE");
@@ -489,13 +537,16 @@ Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
         if (exts[j]->ContainsId(adom_ids[bi])) continue;
         std::vector<Value> extended = exts[j]->values();
         extended.push_back(adom[bi]);
-        WHYNOT_ASSIGN_OR_RETURN(ls::LsConcept cand,
-                                WhyLub(lub_context, with_selections, extended));
-        const ls::Extension& cand_ext = cache->Eval(cand);
+        // Probe-once keys: transient path, no support-tier record — see
+        // the parallel branch above.
+        WHYNOT_ASSIGN_OR_RETURN(std::shared_ptr<const ls::Extension> cand_ext,
+                                overlay.LubExtTransient(extended));
         // lub(ext ∪ {b}) is strictly more general than the candidate's
         // position (it contains b); if the tuple stays a why-explanation,
         // the candidate is not most general.
-        if (LsProductInsideAnswers(covers, exts, j, &cand_ext)) return false;
+        if (LsProductInsideAnswers(covers, exts, j, cand_ext.get())) {
+          return false;
+        }
       }
     }
   }

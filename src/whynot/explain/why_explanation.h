@@ -5,6 +5,7 @@
 
 #include "whynot/common/exec_control.h"
 #include "whynot/common/status.h"
+#include "whynot/concepts/concept_cache.h"
 #include "whynot/concepts/lub.h"
 #include "whynot/explain/explanation.h"
 #include "whynot/explain/lattice.h"
@@ -103,26 +104,35 @@ bool IsLsWhyExplanation(const WhyInstance& wi, const LsExplanation& e,
 /// per generalization candidate in the fixed sweep order; with `cert` a
 /// stop returns the tuple generalized so far — a sound why-explanation,
 /// possibly not most general (Quality::kHeuristic).
-Result<LsExplanation> IncrementalWhySearch(const WhyInstance& wi,
-                                           bool with_selections = false,
-                                           ls::LubContext* lub_context = nullptr,
-                                           ls::EvalCache* cache = nullptr,
-                                           LsAnswerCovers* covers = nullptr,
-                                           const exec::ExecContext* exec = nullptr,
-                                           exec::Certificate* cert = nullptr);
+/// `concept_cache` is the shared lub/eval cache (session convention: null
+/// uses a call-local one; output is bit-identical either way).
+/// `session_overlay` follows the IncrementalSearch contract: a session's
+/// persistent overlay bound to (concept_cache, with_selections,
+/// lub_context, cache), keeping probe memos warm across requests.
+Result<LsExplanation> IncrementalWhySearch(
+    const WhyInstance& wi, bool with_selections = false,
+    ls::LubContext* lub_context = nullptr, ls::EvalCache* cache = nullptr,
+    LsAnswerCovers* covers = nullptr,
+    ls::ConceptCache* concept_cache = nullptr,
+    const exec::ExecContext* exec = nullptr,
+    exec::Certificate* cert = nullptr,
+    ls::ConceptCacheOverlay* session_overlay = nullptr);
 
 /// CHECK-MGE for the dual problem w.r.t. OI: no single-position
 /// lub-generalization keeps the product inside the answers. Same trailing
-/// cache convention as IsLsWhyExplanation. `exec` is observed once per
-/// candidate position (the same serial points on the serial and sharded
-/// paths); the boolean verdict admits no meaningful partial result, so a
-/// stop always returns the matching error status.
+/// cache convention as IsLsWhyExplanation, with `concept_cache` the shared
+/// lub/eval cache (published-tier reads during a sharded sweep, misses
+/// published at its serial end). `exec` is observed once per candidate
+/// position (the same serial points on the serial and sharded paths); the
+/// boolean verdict admits no meaningful partial result, so a stop always
+/// returns the matching error status.
 Result<bool> CheckWhyMgeDerived(const WhyInstance& wi,
                                 const LsExplanation& candidate,
                                 bool with_selections,
                                 ls::LubContext* lub_context,
                                 ls::EvalCache* cache = nullptr,
                                 LsAnswerCovers* covers = nullptr,
+                                ls::ConceptCache* concept_cache = nullptr,
                                 const exec::ExecContext* exec = nullptr);
 
 }  // namespace whynot::explain

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "test_util.h"
+#include "whynot/common/algorithm.h"
 
 namespace whynot {
 namespace {
@@ -164,6 +168,170 @@ TEST_F(LubTest, BoxCapReportsResourceExhausted) {
   Result<LsConcept> lub = tight.LubWithSelections({Value("Amsterdam")});
   ASSERT_FALSE(lub.ok());
   EXPECT_EQ(lub.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Run-length vs. per-tuple trace-walk oracle ----------------------------
+
+/// The reference formulation of the canonical-box decomposition: the
+/// per-tuple trace walk. `selected` is a sorted tuple-index vector,
+/// narrowing to a run [a..b] copies the matching indices one by one, and
+/// boxes canonicalize by their trace with the first enumeration winning
+/// (fewest selections — the unconstrained option recurses first). The
+/// production BuildBoxes computes the same enumeration columnar over
+/// run-length bitmaps; box count, order, and selections must agree.
+struct OracleBox {
+  std::vector<ls::Selection> selections;
+  std::vector<uint32_t> tuples;
+};
+
+std::vector<OracleBox> TraceWalkBoxes(const std::vector<Tuple>& rows,
+                                      size_t arity) {
+  size_t n = rows.size();
+  std::vector<std::vector<Value>> distinct(arity);
+  for (size_t j = 0; j < arity; ++j) {
+    for (const Tuple& t : rows) distinct[j].push_back(t[j]);
+    SortUnique(&distinct[j]);
+  }
+  std::vector<std::vector<int>> vi(arity, std::vector<int>(n, 0));
+  for (size_t j = 0; j < arity; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      vi[j][i] = static_cast<int>(
+          std::lower_bound(distinct[j].begin(), distinct[j].end(),
+                           rows[i][j]) -
+          distinct[j].begin());
+    }
+  }
+  std::map<std::vector<uint32_t>, size_t> seen;
+  std::vector<OracleBox> boxes;
+  std::vector<ls::Selection> current;
+  auto recurse = [&](auto&& self, size_t j,
+                     const std::vector<uint32_t>& selected) -> void {
+    if (selected.empty()) return;
+    if (j == arity) {
+      if (seen.emplace(selected, boxes.size()).second) {
+        boxes.push_back(OracleBox{current, selected});
+      }
+      return;
+    }
+    self(self, j + 1, selected);
+    int k = static_cast<int>(distinct[j].size());
+    for (int a = 0; a < k; ++a) {
+      for (int b = a; b < k; ++b) {
+        if (a == 0 && b == k - 1) continue;
+        std::vector<uint32_t> narrowed;
+        for (uint32_t i : selected) {
+          if (vi[j][i] >= a && vi[j][i] <= b) narrowed.push_back(i);
+        }
+        if (narrowed.empty()) continue;
+        size_t mark = current.size();
+        int ja = static_cast<int>(j);
+        if (a == b) {
+          current.push_back({ja, rel::CmpOp::kEq, distinct[j][a]});
+        } else {
+          if (a > 0) {
+            current.push_back({ja, rel::CmpOp::kGe, distinct[j][a]});
+          }
+          if (b < k - 1) {
+            current.push_back({ja, rel::CmpOp::kLe, distinct[j][b]});
+          }
+        }
+        self(self, j + 1, narrowed);
+        current.resize(mark);
+      }
+    }
+  };
+  std::vector<uint32_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<uint32_t>(i);
+  recurse(recurse, 0, all);
+  return boxes;
+}
+
+class RunLengthOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RunLengthOracleTest, BoxesMatchTraceWalkOnDuplicateHeavyColumns) {
+  // Duplicate-heavy: 40 rows over a 4-value domain gives runs that cover
+  // many tuples each — the regime the run-length formulation accelerates —
+  // while the near-unique Cities columns below exercise the scalar
+  // fallback.
+  ASSERT_OK_AND_ASSIGN(rel::Schema schema,
+                       workload::RandomSchema(2, {2, 3}));
+  ASSERT_OK_AND_ASSIGN(
+      rel::Instance instance,
+      workload::RandomInstance(&schema, /*rows_per_relation=*/40,
+                               /*domain=*/4, GetParam()));
+  LubContext ctx(&instance);
+  for (const rel::RelationDef& def : schema.relations()) {
+    const std::vector<Tuple>& rows = instance.Relation(def.name());
+    std::vector<OracleBox> oracle = TraceWalkBoxes(rows, def.arity());
+    EXPECT_EQ(ctx.NumBoxes(def.name()), oracle.size()) << def.name();
+    // Box order and selections must both match: CanonicalSelectionConcepts
+    // emits one concept per (box, attribute) in first-enumeration order.
+    ASSERT_OK_AND_ASSIGN(std::vector<LsConcept> got,
+                         ctx.CanonicalSelectionConcepts(def.name()));
+    std::vector<std::string> want;
+    for (const OracleBox& box : oracle) {
+      for (size_t a = 0; a < def.arity(); ++a) {
+        want.push_back(LsConcept::Projection(def.name(), static_cast<int>(a),
+                                             box.selections)
+                           .ToString());
+      }
+    }
+    ASSERT_EQ(got.size(), want.size()) << def.name();
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].ToString(), want[i]) << def.name() << " box " << i;
+    }
+  }
+}
+
+TEST_P(RunLengthOracleTest, LubWithSelectionsMatchesBruteForceMinimality) {
+  ASSERT_OK_AND_ASSIGN(rel::Schema schema,
+                       workload::RandomSchema(2, {2, 2}));
+  ASSERT_OK_AND_ASSIGN(
+      rel::Instance instance,
+      workload::RandomInstance(&schema, /*rows_per_relation=*/40,
+                               /*domain=*/4, GetParam() ^ 0xb0b0ull));
+  LubContext ctx(&instance);
+  std::vector<LsConcept> pool;
+  for (const rel::RelationDef& def : schema.relations()) {
+    ASSERT_OK_AND_ASSIGN(std::vector<LsConcept> sel,
+                         ctx.CanonicalSelectionConcepts(def.name()));
+    pool.insert(pool.end(), sel.begin(), sel.end());
+  }
+  const std::vector<Value>& adom = instance.ActiveDomain();
+  ASSERT_GE(adom.size(), 2u);
+  workload::Rng rng(GetParam() ^ 0xd1ceull);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<Value> x = {adom[rng.Below(adom.size())],
+                            adom[rng.Below(adom.size())]};
+    SortUnique(&x);
+    ASSERT_OK_AND_ASSIGN(LsConcept lub, ctx.LubWithSelections(x));
+    ls::Extension lub_ext = ls::Eval(lub, instance);
+    ls::Extension best = ls::Extension::All();
+    for (const LsConcept& c : pool) {
+      ls::Extension e = ls::Eval(c, instance);
+      bool covers = true;
+      for (const Value& v : x) covers &= e.Contains(v);
+      if (covers) best = best.Intersect(e);
+    }
+    if (x.size() == 1) {
+      best = best.Intersect(ls::Eval(LsConcept::Nominal(x[0]), instance));
+    }
+    EXPECT_EQ(lub_ext, best) << "X = " << TupleToString(x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunLengthOracleTest,
+                         ::testing::Values(3ull, 71ull, 512ull, 8191ull));
+
+// The Cities instance has near-unique columns (every name distinct), which
+// drives BuildBoxes into its scalar set-bit fallback; the oracle must
+// still agree there.
+TEST_F(LubTest, RunLengthMatchesTraceWalkOnNearUniqueColumns) {
+  for (const rel::RelationDef& def : schema_.relations()) {
+    const std::vector<Tuple>& rows = instance_->Relation(def.name());
+    std::vector<OracleBox> oracle = TraceWalkBoxes(rows, def.arity());
+    EXPECT_EQ(ctx_->NumBoxes(def.name()), oracle.size()) << def.name();
+  }
 }
 
 }  // namespace

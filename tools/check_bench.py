@@ -19,6 +19,17 @@ the deep-lattice scenarios only finish exactly because the dominance
 pruning holds, so a collapse in effectiveness is a correctness-adjacent
 regression, not just a slowdown.
 
+Since PR 10 the shared concept-cache column: entries exporting the
+cache traffic counters (cache_shared_hits / cache_local_hits /
+cache_misses / cache_publishes, from the session-held concept cache's
+cumulative stats) print a per-entry traffic report with the published-tier
+hit share. Warm-session entries in the pooled section are gated on
+reporting at least one shared hit: the whole point of the
+publish-after-wave merge is that later requests and parallel workers read
+entries previous waves published, so a zero there means the shared tier
+went dark (e.g. a search stopped threading the session cache through) even
+if timings look plausible.
+
 Since PR 7 the memory column: entries exporting a memory_bytes counter
 (bench_memory's container sweep and warm-session residency scenarios)
 print their residency against the dense_memory_bytes counterfactual —
@@ -43,7 +54,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", nargs="?",
                         default=str(Path(__file__).resolve().parent.parent /
-                                    "BENCH_PR7.json"))
+                                    "BENCH_PR10.json"))
     parser.add_argument("--floor", type=float, default=0.85,
                         help="fail when any benchmark's speedup is below this")
     parser.add_argument("--prune-floor", type=float, default=0.9,
@@ -111,6 +122,36 @@ def main() -> int:
                       f"{c.get('prune_downset_hits', 0):.0f} downset hits")
                 if raw > 1e6 and ratio < args.prune_floor:
                     prune_fails.append((name, ratio))
+
+    # Shared concept-cache traffic: report every entry exporting the PR-10
+    # counters; gate pooled warm-session entries on nonzero shared hits.
+    cache_fails = []
+    seen_cache = set()
+    for section in ("benchmarks", "benchmarks_1thread"):
+        for bench, payload in data.get(section, {}).items():
+            threads = payload.get("context", {}).get("whynot_threads")
+            for name, r in sorted(payload.get("results", {}).items()):
+                c = r.get("counters", {})
+                if "cache_shared_hits" not in c or name in seen_cache:
+                    continue
+                seen_cache.add(name)
+                shared = c["cache_shared_hits"]
+                local = c.get("cache_local_hits", 0)
+                misses = c.get("cache_misses", 0)
+                lookups = shared + local + misses
+                share = shared / lookups if lookups else 0.0
+                line = (f"cache {name}: shared={shared:.3g} local={local:.3g} "
+                        f"misses={misses:.3g} ({share:.2%} published-tier)")
+                if "cache_publishes" in c:
+                    line += f", publishes={c['cache_publishes']:.3g}"
+                if "cache_resident_bytes" in c:
+                    line += f", resident {c['cache_resident_bytes'] / 1e3:.0f} kB"
+                print(line)
+                # Only session-backed scenarios promise reuse; one-shot
+                # contrast rows legitimately report zero shared hits.
+                if (section == "benchmarks" and "Session" in name
+                        and shared <= 0):
+                    cache_fails.append((name, threads))
 
     # Memory column: residency report plus the >ceiling-vs-parent gate.
     baseline_path = args.baseline_json
@@ -186,6 +227,12 @@ def main() -> int:
               file=sys.stderr)
         for name, ratio in prune_fails:
             print(f"  {name}: {ratio:.2%}", file=sys.stderr)
+        return 1
+    if cache_fails:
+        print(f"\nFAIL: {len(cache_fails)} warm-session benchmark(s) with "
+              f"zero shared concept-cache hits:", file=sys.stderr)
+        for name, threads in cache_fails:
+            print(f"  {name} (pooled, {threads} threads)", file=sys.stderr)
         return 1
     if memory_fails:
         print(f"\nFAIL: {len(memory_fails)} benchmark(s) above "

@@ -30,12 +30,13 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-rel}"
 MIN_TIME="${2:-0.2}"
-PR="${3:-7}"
+PR="${3:-10}"
 OUT="$REPO_ROOT/BENCH_PR${PR}.json"
 BASELINE="${4:-$REPO_ROOT/BENCH_PR$((PR - 1)).json}"
 BENCHES=(bench_table1_subsumption bench_why bench_enumerate
          bench_incremental bench_lub bench_exhaustive bench_check_mge
-         bench_cardinality bench_parallel bench_session bench_memory)
+         bench_cardinality bench_parallel bench_session bench_memory
+         bench_concept_cache)
 POOLED_THREADS="${WHYNOT_THREADS:-$(nproc)}"
 
 # Runs one bench invocation, writing its JSON stdout to $1 and its peak
